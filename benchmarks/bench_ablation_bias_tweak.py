@@ -1,0 +1,92 @@
+"""Ablation — the §4.6 conservatism knobs: the 5:1 ambiguity bias and the
+post-training constant tweak.
+
+"It is very important that subgestures not be judged unambiguous
+wrongly ... the constant terms of the evaluation function of the
+incomplete classes are incremented ... to bias the classifier so that it
+believes that ambiguous gestures are five times more likely."
+
+Expected shape: removing the bias/tweak makes the recognizer *more
+eager* (it commits earlier) but *less accurate* (it commits before
+gestures are genuinely unambiguous).  The ablation sweeps the bias ratio
+and toggles the tweak on the figure-9 workload.
+"""
+
+import pytest
+from conftest import TEST_PARAMS, TRAIN_PER_CLASS, TEST_PER_CLASS, write_report
+
+from repro.datasets import GestureSet
+from repro.eager import EagerTrainingConfig, train_eager_recognizer
+from repro.evaluate import evaluate_recognizer
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+@pytest.fixture(scope="module")
+def workload():
+    train = GestureGenerator(
+        eight_direction_templates(), seed=111
+    ).generate_strokes(TRAIN_PER_CLASS)
+    test = GestureSet.from_generator(
+        "test",
+        GestureGenerator(
+            eight_direction_templates(), params=TEST_PARAMS, seed=112
+        ),
+        TEST_PER_CLASS,
+    )
+    return train, test
+
+
+def run(train, test, **config_kwargs):
+    config = EagerTrainingConfig(**config_kwargs)
+    report = train_eager_recognizer(train, config=config)
+    return evaluate_recognizer(report.recognizer, test)
+
+
+def test_bias_tweak_ablation(workload):
+    train, test = workload
+    configurations = [
+        ("paper (bias 5:1 + tweak)", dict()),
+        ("no tweak", dict(tweak=False)),
+        ("no bias", dict(ambiguity_bias_ratio=1.0)),
+        ("no bias, no tweak", dict(ambiguity_bias_ratio=1.0, tweak=False)),
+        ("bias 25:1", dict(ambiguity_bias_ratio=25.0)),
+    ]
+    rows = []
+    results = {}
+    for label, kwargs in configurations:
+        result = run(train, test, **kwargs)
+        results[label] = result
+        rows.append(
+            f"{label:<26} eager acc {result.eager_accuracy:6.1%}   "
+            f"seen {result.eagerness.mean_fraction_seen:6.1%}"
+        )
+    write_report(
+        "ablation_bias_tweak",
+        "Ablation: the conservatism knobs of §4.6 (figure-9 workload)\n"
+        "expected: less conservatism -> earlier commitment, more errors\n\n"
+        + "\n".join(rows),
+    )
+
+    paper = results["paper (bias 5:1 + tweak)"]
+    naked = results["no bias, no tweak"]
+    heavy = results["bias 25:1"]
+    # Removing the safety nets must not make the recognizer less eager.
+    assert (
+        naked.eagerness.mean_fraction_seen
+        <= paper.eagerness.mean_fraction_seen + 1e-9
+    )
+    # And must not improve accuracy (usually strictly hurts).
+    assert naked.eager_accuracy <= paper.eager_accuracy + 0.02
+    # Cranking the bias up makes the recognizer examine at least as much.
+    assert (
+        heavy.eagerness.mean_fraction_seen
+        >= paper.eagerness.mean_fraction_seen - 1e-9
+    )
+
+
+def test_bias_tweak_training_overhead(workload, benchmark):
+    """The tweak loop's cost relative to plain training."""
+    train, test = workload
+    benchmark(
+        lambda: train_eager_recognizer(train, config=EagerTrainingConfig())
+    )

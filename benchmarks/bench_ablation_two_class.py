@@ -1,0 +1,77 @@
+"""Ablation — the 2C-class decomposition vs a naive two-class AUC (§4.4).
+
+"A linear discriminator will not be adequate to discriminate between two
+classes ambiguous and unambiguous subgestures.  What must be done is to
+turn this two-class problem into a multi-class problem."
+
+The paper's argument: the unambiguous subgestures of different gesture
+classes look nothing alike, so lumping them into one Gaussian class
+violates the model.  Expected shape: the naive two-class AUC either
+loses accuracy, loses eagerness, or both, relative to the 2C split.
+"""
+
+import pytest
+from conftest import TEST_PARAMS, TEST_PER_CLASS, TRAIN_PER_CLASS, write_report
+
+from repro.datasets import GestureSet
+from repro.eager import EagerTrainingConfig, train_eager_recognizer
+from repro.evaluate import evaluate_recognizer
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+@pytest.fixture(scope="module")
+def workload():
+    train = GestureGenerator(
+        eight_direction_templates(), seed=131
+    ).generate_strokes(TRAIN_PER_CLASS)
+    test = GestureSet.from_generator(
+        "test",
+        GestureGenerator(
+            eight_direction_templates(), params=TEST_PARAMS, seed=132
+        ),
+        TEST_PER_CLASS,
+    )
+    return train, test
+
+
+def score(result):
+    """A single figure of merit: accuracy, breaking ties by eagerness.
+
+    (1 - fraction seen) rewards eagerness; errors are penalized 5x,
+    mirroring the paper's asymmetric costs.
+    """
+    return result.eager_accuracy * 5 + (1 - result.eagerness.mean_fraction_seen)
+
+
+def test_two_class_vs_2c(workload):
+    train, test = workload
+    results = {}
+    for label, config in [
+        ("2C classes (paper)", EagerTrainingConfig()),
+        ("naive two-class", EagerTrainingConfig(two_class_only=True)),
+    ]:
+        report = train_eager_recognizer(train, config=config)
+        results[label] = evaluate_recognizer(report.recognizer, test)
+
+    paper = results["2C classes (paper)"]
+    naive = results["naive two-class"]
+    write_report(
+        "ablation_two_class",
+        "Ablation: 2C-way AUC vs naive ambiguous/unambiguous (§4.4)\n\n"
+        f"{'2C classes (paper)':<22} eager acc {paper.eager_accuracy:6.1%}  "
+        f"seen {paper.eagerness.mean_fraction_seen:6.1%}\n"
+        f"{'naive two-class':<22} eager acc {naive.eager_accuracy:6.1%}  "
+        f"seen {naive.eagerness.mean_fraction_seen:6.1%}\n\n"
+        "expected: the multimodal 'unambiguous' class breaks the Gaussian\n"
+        "model, so the naive AUC is dominated on accuracy x eagerness.",
+    )
+    assert score(paper) >= score(naive) - 1e-9
+
+
+def test_two_class_training_time(workload, benchmark):
+    train, _ = workload
+    benchmark(
+        lambda: train_eager_recognizer(
+            train, config=EagerTrainingConfig(two_class_only=True)
+        )
+    )

@@ -1,0 +1,79 @@
+"""Feature ablation — which of Rubine's 13 features carry the load?
+
+§4.2 describes the vector as "(currently twelve) features": the set was
+a moving target, with the dynamic features (maximum speed, duration)
+the usual candidates for removal because they vary with user mood more
+than with gesture class.  This bench trains the full classifier with
+each feature removed in turn (and with the dynamic pair removed — the
+"twelve features" configuration) on the GDP workload and reports the
+accuracy deltas.
+"""
+
+import pytest
+from conftest import TEST_PER_CLASS, TRAIN_PER_CLASS, write_report
+
+from repro.datasets import GestureSet
+from repro.features import FEATURE_NAMES, NUM_FEATURES
+from repro.recognizer import GestureClassifier
+from repro.synth import GestureGenerator, gdp_templates
+
+
+@pytest.fixture(scope="module")
+def workload():
+    train = GestureGenerator(gdp_templates(), seed=161).generate_strokes(
+        TRAIN_PER_CLASS
+    )
+    test = GestureSet.from_generator(
+        "test", GestureGenerator(gdp_templates(), seed=162), TEST_PER_CLASS
+    )
+    return train, test
+
+
+def accuracy(classifier, test):
+    hits = sum(
+        classifier.classify(example.stroke) == example.class_name
+        for example in test
+    )
+    return hits / len(test)
+
+
+def test_feature_ablation(workload):
+    train, test = workload
+    full = accuracy(GestureClassifier.train(train), test)
+    rows = [f"{'all 13 features':<26} {full:6.1%}"]
+    drops = {}
+    for drop in range(NUM_FEATURES):
+        indices = [i for i in range(NUM_FEATURES) if i != drop]
+        acc = accuracy(GestureClassifier.train(train, indices), test)
+        drops[FEATURE_NAMES[drop]] = full - acc
+        rows.append(f"{'- ' + FEATURE_NAMES[drop]:<26} {acc:6.1%}")
+    # The historical "twelve features": drop duration (and its sibling
+    # configuration dropping both dynamic features).
+    twelve = [i for i in range(NUM_FEATURES) if FEATURE_NAMES[i] != "duration"]
+    static_only = [
+        i
+        for i in range(NUM_FEATURES)
+        if FEATURE_NAMES[i] not in ("duration", "max_speed_sq")
+    ]
+    acc_twelve = accuracy(GestureClassifier.train(train, twelve), test)
+    acc_static = accuracy(GestureClassifier.train(train, static_only), test)
+    rows.append(f"{'twelve (no duration)':<26} {acc_twelve:6.1%}")
+    rows.append(f"{'eleven (geometric only)':<26} {acc_static:6.1%}")
+    write_report(
+        "feature_ablation",
+        "Leave-one-out feature ablation, GDP workload\n"
+        f"({TRAIN_PER_CLASS} train / {TEST_PER_CLASS} test per class)\n\n"
+        + "\n".join(rows),
+    )
+    # No single feature should be so load-bearing that accuracy
+    # collapses without it (the set is deliberately redundant)...
+    assert all(delta < 0.25 for delta in drops.values())
+    # ...and the paper's 12-feature configuration works about as well.
+    assert acc_twelve > full - 0.05
+    assert acc_static > full - 0.10
+
+
+def test_masked_training_time(workload, benchmark):
+    train, _ = workload
+    twelve = [i for i in range(NUM_FEATURES) if FEATURE_NAMES[i] != "duration"]
+    benchmark(lambda: GestureClassifier.train(train, twelve))

@@ -1,0 +1,133 @@
+"""Figure 3 — a GDP gesture sequence, end to end.
+
+Figure 3 walks a drawing through the gesture set and tabulates, per
+gesture, which parameters are fixed at recognition time and which are
+manipulated interactively.  The reproduction performs the same sequence
+against a live GDP instance (rectangle, ellipse, line, group, copy,
+rotate-scale, delete) and writes the evolving canvas plus the observed
+parameter bindings to ``results/fig3_gdp_session.txt``.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.events import perform_gesture
+from repro.gdp import GDPApp, GroupShape, train_gdp_recognizer
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, gdp_templates
+
+
+@pytest.fixture(scope="module")
+def recognizer():
+    return train_gdp_recognizer(examples_per_class=10, seed=81)
+
+
+def anchored(stroke, x, y):
+    return stroke.translated(x - stroke.start.x, y - stroke.start.y)
+
+
+def do(app, stroke, manip_xy=None, dwell=0.3):
+    manip = Stroke.from_xy(manip_xy, dt=0.03) if manip_xy else None
+    app.perform(perform_gesture(stroke, dwell=dwell, manipulation_path=manip))
+
+
+def run_session(recognizer) -> tuple[GDPApp, list[str]]:
+    app = GDPApp(recognizer=recognizer, use_eager=False)
+    generator = GestureGenerator(gdp_templates(), seed=82)
+    log = []
+
+    # rectangle: corner 1 at recognition, corner 2 by manipulation
+    rect_stroke = generator.generate("rect").stroke.translated(80, 80)
+    do(app, rect_stroke, manip_xy=[(300, 240)])
+    rect = app.shapes[-1]
+    log.append(
+        f"rectangle: corner1 fixed at recognition "
+        f"({rect.corners[0][0]:.0f},{rect.corners[0][1]:.0f}); "
+        f"corner2 manipulated to ({rect.corners[1][0]:.0f},"
+        f"{rect.corners[1][1]:.0f})"
+    )
+
+    # ellipse: center at recognition; size/eccentricity by manipulation
+    ell_stroke = generator.generate("ellipse").stroke.translated(520, 150)
+    do(app, ell_stroke, manip_xy=[(600, 190)])
+    ellipse = app.shapes[-1]
+    log.append(
+        f"ellipse: center fixed ({ellipse.center[0]:.0f},"
+        f"{ellipse.center[1]:.0f}); radii manipulated to "
+        f"({ellipse.rx:.0f},{ellipse.ry:.0f})"
+    )
+
+    # line: endpoint 1 at recognition, endpoint 2 by manipulation
+    line_stroke = generator.generate("line").stroke.translated(100, 420)
+    do(app, line_stroke, manip_xy=[(300, 520)])
+    line = app.shapes[-1]
+    log.append(
+        f"line: endpoint1 fixed ({line.endpoints[0][0]:.0f},"
+        f"{line.endpoints[0][1]:.0f}); endpoint2 manipulated to "
+        f"({line.endpoints[1][0]:.0f},{line.endpoints[1][1]:.0f})"
+    )
+
+    # group: enclosed objects at recognition (circle the ellipse, whose
+    # center landed near (580, 170) — the gesture starts at the circle
+    # top, so the circled region is roughly (530..630, 120..220))
+    ex, ey = ellipse.center
+    group_stroke = generator.generate("group").stroke.translated(
+        ex - 50, ey - 50
+    )
+    do(app, group_stroke)
+    groups = [s for s in app.shapes if isinstance(s, GroupShape)]
+    log.append(f"group: enclosed {len(groups[-1].members)} object(s)")
+
+    # copy: object at recognition, position of the copy by manipulation
+    copy_stroke = anchored(
+        generator.generate("copy").stroke, *line.endpoints[0]
+    )
+    do(app, copy_stroke, manip_xy=[(copy_stroke.end.x + 150, copy_stroke.end.y - 40)])
+    log.append(f"copy: duplicated the line; canvas now {len(app.shapes)} shapes")
+
+    # rotate-scale: center of rotation at recognition, size/orientation
+    # by manipulation (double the handle distance)
+    rs_stroke = anchored(
+        generator.generate("rotate-scale").stroke, *rect.corners[0]
+    )
+    cx, cy = rs_stroke.start.x, rs_stroke.start.y
+    hx, hy = rs_stroke.end.x, rs_stroke.end.y
+    do(app, rs_stroke, manip_xy=[(cx + (hx - cx) * 2, cy + (hy - cy) * 2)])
+    log.append(
+        f"rotate-scale: center fixed ({cx:.0f},{cy:.0f}); "
+        f"rect scaled, angle now {rect.angle:.2f} rad"
+    )
+
+    # delete: object at gesture start
+    del_stroke = anchored(
+        generator.generate("delete").stroke, *line.endpoints[0]
+    )
+    do(app, del_stroke)
+    log.append(f"delete: removed the line; canvas now {len(app.shapes)} shapes")
+
+    return app, log
+
+
+def test_fig3_session(recognizer):
+    app, log = run_session(recognizer)
+    content = "\n".join(
+        [
+            "Figure 3 reproduction: a GDP gesture session",
+            "(parameters fixed at recognition vs set by manipulation)",
+            "",
+            *log,
+            "",
+            "Final canvas:",
+            app.render(cols=72, rows=20),
+        ]
+    )
+    write_report("fig3_gdp_session", content)
+    # The sequence leaves: rect (scaled), ellipse group, line copy.
+    assert len(app.shapes) == 3
+    groups = [s for s in app.shapes if isinstance(s, GroupShape)]
+    assert len(groups) == 1 and len(groups[0].members) == 1
+
+
+def test_fig3_session_time(recognizer, benchmark):
+    app, log = benchmark(lambda: run_session(recognizer))
+    assert len(log) == 7

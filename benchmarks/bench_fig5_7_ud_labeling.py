@@ -1,0 +1,150 @@
+"""Figures 5–7 — the U/D labelling walk-through.
+
+Three figures show the eager trainer's intermediate states on two toy
+classes (U = right-then-up, D = right-then-down):
+
+* Figure 5: complete/incomplete labels straight from the full
+  classifier.  Along D's horizontal run some subgestures are
+  *accidentally complete* — classified D even though still ambiguous.
+* Figure 6: after the accidental-complete move, every subgesture along
+  the shared horizontal prefix is incomplete.
+* Figure 7: the final (biased, tweaked) AUC classifies conservatively —
+  "never indicating that a subgesture is unambiguous when it is not".
+
+The reproduction prints each training example as one character per
+subgesture (uppercase = complete / judged-unambiguous) for each stage.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.eager import (
+    is_complete_set,
+    label_examples,
+    train_eager_recognizer,
+)
+from repro.recognizer import GestureClassifier
+from repro.synth import GenerationParams, GestureGenerator, ud_templates
+
+EXAMPLES_PER_CLASS = 15
+
+
+@pytest.fixture(scope="module")
+def ud_setup():
+    params = GenerationParams(rotation_sigma=0.04, jitter=0.8)
+    generator = GestureGenerator(ud_templates(), params=params, seed=71)
+    train = generator.generate_strokes(EXAMPLES_PER_CLASS)
+    full = GestureClassifier.train(train)
+    # Figure 5 state: labels before any moving.
+    fig5_labels = label_examples(full, train)
+    # Figures 6–7 state: the full training pipeline (mutates labels).
+    report = train_eager_recognizer(train, full_classifier=full)
+    return train, full, fig5_labels, report
+
+
+def _diagram(labelled, max_per_class=5):
+    lines = []
+    shown = {}
+    for example in labelled:
+        count = shown.get(example.true_class, 0)
+        if count >= max_per_class:
+            continue
+        shown[example.true_class] = count + 1
+        lines.append(f"  {example.true_class}: {example.label_string()}")
+    return "\n".join(lines)
+
+
+def _auc_diagram(report, max_per_class=5):
+    """Figure 7: the final AUC's verdict on each training subgesture."""
+    auc = report.recognizer.auc
+    lines = []
+    shown = {}
+    for example in report.labelled:
+        count = shown.get(example.true_class, 0)
+        if count >= max_per_class:
+            continue
+        shown[example.true_class] = count + 1
+        verdict = "".join(
+            example.true_class.upper()[0]
+            if auc.is_unambiguous(sub.features)
+            else example.true_class.lower()[0]
+            for sub in example.subgestures
+        )
+        lines.append(f"  {example.true_class}: {verdict}")
+    return "\n".join(lines)
+
+
+def test_fig5_accidentally_complete_exist(ud_setup):
+    train, full, fig5_labels, report = ud_setup
+    # Figure 5's phenomenon: some subgestures are complete yet ambiguous
+    # — they sit on the shared horizontal prefix.  Detectable as complete
+    # subgestures whose length is well before the corner.
+    accidental_candidates = 0
+    for example in fig5_labels:
+        n = len(example.subgestures)
+        for idx, sub in enumerate(example.subgestures):
+            if sub.complete and idx < n // 3:
+                accidental_candidates += 1
+    assert accidental_candidates > 0
+
+
+def test_fig6_moves_clean_the_prefix(ud_setup):
+    train, full, fig5_labels, report = ud_setup
+    assert report.moved_count > 0
+    # After the move, no complete subgesture remains in the first third
+    # of any example (the genuinely ambiguous shared prefix).
+    complete_lengths = {}
+    for name, subs in report.partition.sets.items():
+        if is_complete_set(name):
+            for sub in subs:
+                complete_lengths.setdefault(sub.example_id, []).append(
+                    sub.length
+                )
+    for example in report.labelled:
+        n = example.subgestures[-1].length
+        for length in complete_lengths.get(example.example_id, []):
+            assert length > n // 3
+
+
+def test_fig7_auc_is_conservative(ud_setup):
+    train, full, fig5_labels, report = ud_setup
+    auc = report.recognizer.auc
+    # "never indicating that a subgesture is unambiguous when it is not":
+    # no subgesture the partition holds as incomplete is judged
+    # unambiguous by the final AUC.
+    for name, subs in report.partition.sets.items():
+        if is_complete_set(name):
+            continue
+        for sub in subs:
+            assert not auc.is_unambiguous(sub.features)
+
+
+def test_fig5_7_report(ud_setup):
+    train, full, fig5_labels, report = ud_setup
+    content = "\n".join(
+        [
+            "Figures 5-7 reproduction: U/D subgesture labelling",
+            "(one character per subgesture; uppercase = complete /",
+            " judged unambiguous, lowercase = incomplete / ambiguous;",
+            " the letter is the full classifier's verdict for the prefix)",
+            "",
+            "Figure 5 — complete/incomplete straight from the full classifier:",
+            _diagram(fig5_labels),
+            "",
+            "Figure 6 — after moving accidentally complete subgestures",
+            f"({report.moved_count} subgestures moved,"
+            f" threshold {report.move_threshold:.2f}):",
+            _diagram(report.labelled),
+            "",
+            "Figure 7 — the final AUC's (conservative) verdicts:",
+            _auc_diagram(report),
+        ]
+    )
+    write_report("fig5_7_ud_labeling", content)
+
+
+def test_fig5_7_pipeline_time(benchmark):
+    params = GenerationParams(rotation_sigma=0.04, jitter=0.8)
+    generator = GestureGenerator(ud_templates(), params=params, seed=72)
+    train = generator.generate_strokes(EXAMPLES_PER_CLASS)
+    benchmark(lambda: train_eager_recognizer(train))

@@ -1,0 +1,120 @@
+"""Figure 8 — Buxton's note gestures are not amenable to eager recognition.
+
+"Because all but the last gesture is approximately a subgesture of the
+one to its right, these gestures would always be considered ambiguous by
+the eager recognizer, and thus would never be eagerly recognized."
+
+The reproduction trains an eager recognizer on the five nested note
+classes and measures eagerness per class: the nested (prefix) classes
+must be (almost) never eagerly recognized, in stark contrast to the
+direction-pair classes of figure 9.
+"""
+
+import pytest
+from conftest import TEST_PER_CLASS, TRAIN_PER_CLASS, write_report
+
+from repro.eager import train_eager_recognizer
+from repro.synth import GestureGenerator, note_templates
+
+# All classes except the longest are prefixes of another class.
+PREFIX_CLASSES = ("quarter", "eighth", "sixteenth", "thirtysecond")
+
+
+@pytest.fixture(scope="module")
+def notes_experiment():
+    train = GestureGenerator(note_templates(), seed=61).generate_strokes(
+        TRAIN_PER_CLASS
+    )
+    try:
+        report = train_eager_recognizer(train)
+    except ValueError:
+        # Even stronger than the paper's claim: not a single training
+        # subgesture was unambiguous.
+        return None
+    return report
+
+
+def test_fig8_notes_never_eager(notes_experiment):
+    if notes_experiment is None:
+        write_report(
+            "fig8_notes_no_eagerness",
+            "Figure 8 reproduction: note gestures\n"
+            "No training subgesture was unambiguous at all — the gesture\n"
+            "set is not amenable to eager recognition (paper's claim).",
+        )
+        return
+    recognizer = notes_experiment.recognizer
+    test_gen = GestureGenerator(note_templates(), seed=62)
+    rows = ["Figure 8 reproduction: eagerness per note class",
+            f"({TEST_PER_CLASS} test gestures per class)",
+            ""]
+    eager_counts = {}
+    fraction_seen = {}
+    for class_name in recognizer.class_names:
+        eager = 0
+        fractions = []
+        for _ in range(TEST_PER_CLASS):
+            result = recognizer.recognize(test_gen.generate(class_name).stroke)
+            eager += result.eager
+            fractions.append(result.fraction_seen)
+        eager_counts[class_name] = eager
+        fraction_seen[class_name] = sum(fractions) / len(fractions)
+        rows.append(
+            f"{class_name:>14}: eagerly recognized "
+            f"{eager}/{TEST_PER_CLASS}, "
+            f"mean fraction seen {fraction_seen[class_name]:6.1%}"
+        )
+    rows.append("")
+    rows.append(
+        "paper: the nested note gestures 'would never be eagerly recognized'"
+    )
+    rows.append(
+        "(only the longest class, whose final flag is unique, may commit "
+        "before the stroke ends)"
+    )
+    write_report("fig8_notes_no_eagerness", "\n".join(rows))
+
+    # The deeply nested classes are (essentially) never eager, and even
+    # the shallower prefixes are examined nearly in full — in contrast to
+    # the ~60-70% of figure 9/10.  (Synthetic noise keeps the boundary
+    # classes from the paper's idealized absolute zero.)
+    assert eager_counts["quarter"] + eager_counts["eighth"] <= max(
+        2, TEST_PER_CLASS // 10
+    )
+    prefix_fraction = sum(fraction_seen[c] for c in PREFIX_CLASSES) / len(
+        PREFIX_CLASSES
+    )
+    assert prefix_fraction > 0.9
+
+
+def test_fig8_contrast_with_fig9(notes_experiment, fig9_experiment):
+    """The same algorithm is eager on figure 9's classes and not here."""
+    _, fig9_result, _ = fig9_experiment
+    assert fig9_result.eagerness.eager_rate > 0.8
+    if notes_experiment is None:
+        return
+    recognizer = notes_experiment.recognizer
+    test_gen = GestureGenerator(note_templates(), seed=63)
+    eager = total = 0
+    for class_name in PREFIX_CLASSES:
+        for _ in range(10):
+            total += 1
+            eager += recognizer.recognize(
+                test_gen.generate(class_name).stroke
+            ).eager
+    assert eager / total < fig9_result.eagerness.eager_rate / 4
+
+
+def test_fig8_training_detects_ambiguity(benchmark):
+    """Benchmark: training on a fully-nested set (the pathological case)."""
+    train = GestureGenerator(note_templates(), seed=64).generate_strokes(
+        TRAIN_PER_CLASS
+    )
+
+    def train_or_reject():
+        try:
+            return train_eager_recognizer(train)
+        except ValueError:
+            return None
+
+    benchmark(train_or_reject)

@@ -1,0 +1,92 @@
+"""Figure 9 — the eager recognizer on the eight direction-pair classes.
+
+Paper numbers (USENIX 1991, §5):
+
+* full classifier:  99.2% correct
+* eager recognizer: 97.0% correct
+* points examined before classification: 67.9% on average
+* hand-determined minimum (through the corner turn): 59.4%
+
+The reproduction regenerates the same protocol (10 train / 30 test per
+class) on synthetic gestures, writes a figure-9-style per-example grid
+to ``results/fig9_eight_directions.txt``, and asserts the paper's
+qualitative shape: full >= eager in accuracy, and the eager recognizer
+examines more than the oracle minimum but much less than the whole
+gesture.
+"""
+
+from conftest import write_report
+
+from repro.evaluate import figure9_grid, render_eager_examples, summary_row
+
+
+def test_fig9_shape_and_report(fig9_experiment):
+    report, result, test_set = fig9_experiment
+
+    # Figure 9's stroke drawings: '.' ambiguous, '#' unambiguous-but-not-
+    # yet-classified (the eagerness shortfall), '*' the classification
+    # point, 'o' the manipulated tail.
+    art_rows = []
+    picked = set()
+    for example, outcome in zip(test_set, result.outcomes):
+        if outcome.class_name in picked or len(picked) >= 4:
+            continue
+        picked.add(outcome.class_name)
+        art_rows.append(
+            (
+                outcome.class_name,
+                example.stroke,
+                outcome.points_seen,
+                outcome.oracle_points,
+            )
+        )
+
+    lines = [
+        "Figure 9 reproduction: eight direction-pair gesture classes",
+        "paper:   full 99.2%   eager 97.0%   seen 67.9%   oracle 59.4%",
+        summary_row("reproduction", result),
+        "",
+        "Per-example grid (oracle,seen/total; E = eager error, F = full error):",
+        figure9_grid(result, per_row=6, max_rows_per_class=2),
+        "",
+        "Example strokes ('.' ambiguous, '#' shortfall, '*' classified, 'o' after):",
+        render_eager_examples(art_rows, cols=26, rows=9),
+        "",
+        "Eager confusion matrix:",
+        result.eager_confusion.to_table(),
+    ]
+    write_report("fig9_eight_directions", "\n".join(lines))
+
+    # Who wins, and by roughly what factor (the shape, not the digits):
+    assert result.full_accuracy >= result.eager_accuracy
+    assert result.full_accuracy > 0.95
+    assert result.eager_accuracy > 0.90
+    # Eagerness sits between the oracle minimum and the whole gesture.
+    seen = result.eagerness.mean_fraction_seen
+    oracle = result.eagerness.mean_oracle_fraction
+    assert oracle < seen < 0.95
+    assert 0.4 < oracle < 0.75  # the corner sits near mid-gesture
+
+
+def test_fig9_recognition_throughput(fig9_experiment, benchmark):
+    report, result, test_set = fig9_experiment
+    strokes = [example.stroke for example in test_set][:40]
+
+    def recognize_all():
+        return [report.recognizer.recognize(s).class_name for s in strokes]
+
+    labels = benchmark(recognize_all)
+    assert len(labels) == len(strokes)
+
+
+def test_fig9_training_time(benchmark):
+    from conftest import TRAIN_PER_CLASS
+
+    from repro.eager import train_eager_recognizer
+    from repro.synth import GestureGenerator, eight_direction_templates
+
+    train = GestureGenerator(
+        eight_direction_templates(), seed=11
+    ).generate_strokes(TRAIN_PER_CLASS)
+    report = benchmark(lambda: train_eager_recognizer(train))
+    assert report.recognizer is not None

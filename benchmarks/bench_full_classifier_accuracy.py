@@ -1,0 +1,65 @@
+"""§4.2's full-classifier setting — C = 11 classes, E = 15 examples each.
+
+"In GDP, C = 11 ... and typically we train with 15 examples of each
+class."  The paper reports the full classifier at 99.7% on GDP gestures
+(figure 10) and 99.2% on the direction pairs (figure 9).  This bench
+trains at the paper's training size and sweeps the training-set size to
+show the accuracy saturation the closed-form trainer exhibits.
+"""
+
+from conftest import TEST_PER_CLASS, write_report
+
+from repro.datasets import GestureSet
+from repro.recognizer import GestureClassifier
+from repro.synth import GestureGenerator, gdp_templates
+
+
+def accuracy_at(train_count: int, train_seed: int, test_seed: int) -> float:
+    train = GestureGenerator(gdp_templates(), seed=train_seed).generate_strokes(
+        train_count
+    )
+    classifier = GestureClassifier.train(train)
+    test = GestureSet.from_generator(
+        "test", GestureGenerator(gdp_templates(), seed=test_seed), TEST_PER_CLASS
+    )
+    hits = sum(
+        classifier.classify(example.stroke) == example.class_name
+        for example in test
+    )
+    return hits / len(test)
+
+
+def test_full_classifier_at_paper_training_size():
+    acc = accuracy_at(15, train_seed=91, test_seed=92)
+    sweep = {n: accuracy_at(n, 91, 92) for n in (3, 5, 10, 15, 25)}
+    lines = [
+        "Full classifier accuracy on the GDP gesture set (C = 11)",
+        "paper: 99.7% with 10-15 training examples per class",
+        "",
+        "training examples per class -> accuracy:",
+    ]
+    lines += [f"  E = {n:>2}: {a:6.1%}" for n, a in sweep.items()]
+    write_report("full_classifier_accuracy", "\n".join(lines))
+    assert acc > 0.95
+    # Accuracy roughly saturates: 15 examples is no worse than 5 by much.
+    assert sweep[15] >= sweep[5] - 0.03
+
+
+def test_full_classifier_training_time(benchmark):
+    train = GestureGenerator(gdp_templates(), seed=93).generate_strokes(15)
+    classifier = benchmark(lambda: GestureClassifier.train(train))
+    assert len(classifier.class_names) == 11
+
+
+def test_full_classification_time(benchmark):
+    train = GestureGenerator(gdp_templates(), seed=94).generate_strokes(15)
+    classifier = GestureClassifier.train(train)
+    strokes = [
+        s
+        for strokes in GestureGenerator(
+            gdp_templates(), seed=95
+        ).generate_strokes(5).values()
+        for s in strokes
+    ]
+    labels = benchmark(lambda: [classifier.classify(s) for s in strokes])
+    assert len(labels) == len(strokes)

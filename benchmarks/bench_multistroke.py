@@ -1,0 +1,91 @@
+"""Extension — multi-stroke marks via the connect adaptation (§2/§6).
+
+§2: "many common marks (e.g. 'X' and '->') cannot be used as gestures by
+GRANDMA.  A number of techniques exist for adapting single-stroke
+recognizers to multiple stroke recognition [8, 15], so perhaps
+GRANDMA's recognizer will be extended this way in the future."
+
+This bench exercises that extension: five mark classes ('X', '+', '=',
+'->', 'O'), strokes grouped by a segmentation timeout, classified by the
+unmodified Rubine recognizer on connected strokes, gated by stroke
+count.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.multistroke import (
+    MULTISTROKE_CLASS_NAMES,
+    MultiStrokeClassifier,
+    MultiStrokeGenerator,
+    StrokeCollector,
+)
+
+TRAIN_PER_CLASS = 10
+TEST_PER_CLASS = 30
+
+
+@pytest.fixture(scope="module")
+def trained():
+    train = MultiStrokeGenerator(seed=171).generate_examples(TRAIN_PER_CLASS)
+    return MultiStrokeClassifier.train(train)
+
+
+def test_multistroke_accuracy(trained):
+    test = MultiStrokeGenerator(seed=172).generate_examples(TEST_PER_CLASS)
+    per_class = {}
+    for name, gestures in test.items():
+        hits = sum(trained.classify(g) == name for g in gestures)
+        per_class[name] = hits / len(gestures)
+    overall = sum(per_class.values()) / len(per_class)
+    rows = [f"{name:>8}: {acc:6.1%}" for name, acc in per_class.items()]
+    write_report(
+        "multistroke_extension",
+        "Multi-stroke extension: connect adaptation + stroke-count gating\n"
+        f"({TRAIN_PER_CLASS} train / {TEST_PER_CLASS} test per class)\n\n"
+        + "\n".join(rows)
+        + f"\n\noverall: {overall:6.1%}",
+    )
+    assert overall > 0.9
+
+
+def test_segmentation_pipeline(trained):
+    """Raw stroke sequences through the collector, end to end."""
+    from repro.geometry import Point, Stroke
+    from repro.multistroke import MultiStrokeGesture
+
+    generator = MultiStrokeGenerator(seed=173)
+    collector = StrokeCollector(timeout=0.8)
+    expected = []
+    stream = []
+    clock = 0.0
+    for name in MULTISTROKE_CLASS_NAMES * 3:
+        gesture = generator.generate(name)
+        expected.append(name)
+        for stroke in gesture.strokes:
+            shifted = Stroke(
+                Point(p.x, p.y, p.t + clock - gesture.strokes[0].start.t)
+                for p in stroke
+            )
+            stream.append(shifted)
+        clock = stream[-1].end.t + 2.0  # inter-gesture pause
+    results = []
+    for stroke in stream:
+        finished = collector.add_stroke(stroke)
+        if finished is not None:
+            results.append(trained.classify(finished))
+    final = collector.flush()
+    if final is not None:
+        results.append(trained.classify(final))
+    hits = sum(a == b for a, b in zip(results, expected))
+    assert len(results) == len(expected)
+    assert hits / len(expected) > 0.85
+
+
+def test_multistroke_classification_speed(trained, benchmark):
+    test_gen = MultiStrokeGenerator(seed=174)
+    gestures = [
+        test_gen.generate(name) for name in MULTISTROKE_CLASS_NAMES
+        for _ in range(6)
+    ]
+    benchmark(lambda: [trained.classify(g) for g in gestures])

@@ -1,0 +1,101 @@
+"""§5 timing — the fixed per-mouse-point cost of eager recognition.
+
+"Computationally, eager recognition is quite tractable on modest
+hardware.  A fixed amount of computation needs to occur on each mouse
+point: first the feature vector must be updated (taking 0.5 msec on a
+DEC MicroVAX II), and then the vector must be classified by the AUC
+(taking 0.27 msec per class, or 6 msec in the case of GDP)."
+
+The reproduction measures the same two quantities on this machine —
+per-point feature update, and AUC evaluation for the GDP-sized (2C = 22
+class) problem — and checks they stay within an interactive budget by a
+wide margin (we are not matching MicroVAX numbers, just the claim that
+the cost is fixed and small).
+"""
+
+from conftest import write_report
+
+from repro.features import IncrementalFeatures
+from repro.geometry import Point
+
+
+def test_feature_update_per_point(benchmark):
+    """Paper: 0.5 ms per point on a MicroVAX II."""
+    inc = IncrementalFeatures()
+    points = [Point(float(i), float(i % 17), i * 0.01) for i in range(1000)]
+
+    def update_thousand_points():
+        inc.reset()
+        for p in points:
+            inc.add_point(p)
+        return inc.vector
+
+    vector = benchmark(update_thousand_points)
+    assert vector.shape == (13,)
+    if benchmark.stats is None:  # --benchmark-disable run
+        return
+    per_point_us = benchmark.stats.stats.mean / len(points) * 1e6
+    write_report(
+        "timing_feature_update",
+        "Per-mouse-point feature update\n"
+        f"paper (MicroVAX II): 500 us\n"
+        f"this machine:        {per_point_us:.2f} us",
+    )
+    # Far under the 10 ms inter-sample budget of a 100 Hz mouse.
+    assert per_point_us < 1000
+
+
+def test_auc_evaluation_per_point(fig10_experiment, benchmark):
+    """Paper: 0.27 ms per class, 6 ms total for GDP's 22 AUC classes."""
+    report, result, test_set = fig10_experiment
+    auc = report.recognizer.auc
+    inc = IncrementalFeatures()
+    for i in range(30):
+        inc.add_point(Point(float(i * 3), float(i % 5), i * 0.01))
+    features = inc.vector
+
+    decision = benchmark(lambda: auc.is_unambiguous(features))
+    assert isinstance(decision, bool)
+    if benchmark.stats is None:  # --benchmark-disable run
+        return
+    total_us = benchmark.stats.stats.mean * 1e6
+    num_classes = auc.linear.num_classes
+    write_report(
+        "timing_auc_evaluation",
+        "AUC evaluation per mouse point\n"
+        f"paper (MicroVAX II): 270 us/class x {num_classes} classes "
+        "= ~6 ms for GDP\n"
+        f"this machine:        {total_us:.1f} us total "
+        f"({total_us / num_classes:.2f} us/class)",
+    )
+    assert total_us < 10_000  # comfortably interactive
+
+
+def test_end_to_end_per_point_cost(fig10_experiment, benchmark):
+    """Feature update + AUC check + (on decision) full classification."""
+    report, result, test_set = fig10_experiment
+    strokes = [example.stroke for example in test_set][:20]
+
+    def one_pass():
+        total_points = 0
+        for stroke in strokes:
+            session = report.recognizer.session()
+            for p in stroke:
+                total_points += 1
+                if session.add_point(p) is not None:
+                    break
+            else:
+                session.finish()
+        return total_points
+
+    points = benchmark(one_pass)
+    if benchmark.stats is None:  # --benchmark-disable run
+        return
+    per_point_us = benchmark.stats.stats.mean / points * 1e6
+    write_report(
+        "timing_end_to_end",
+        "Full eager-recognition cost per mouse point (GDP recognizer)\n"
+        f"this machine: {per_point_us:.1f} us/point "
+        f"({points} points per pass)",
+    )
+    assert per_point_us < 10_000

@@ -1,0 +1,71 @@
+"""Training-size sweep — how many examples does eager recognition need?
+
+§4.2: "typically we train with 15 examples of each class"; figure 9
+uses 10.  This sweep measures, on the figure-9 workload, how accuracy
+and eagerness respond to the number of training examples per class —
+the practical question an application designer using GRANDMA would ask.
+
+Expected shape: accuracy saturates quickly (the closed-form trainer is
+sample-efficient); eagerness keeps improving a little longer, because
+the AUC needs enough subgestures to locate the unambiguity boundary.
+"""
+
+import pytest
+from conftest import TEST_PARAMS, TEST_PER_CLASS, write_report
+
+from repro.datasets import GestureSet
+from repro.eager import train_eager_recognizer
+from repro.evaluate import evaluate_recognizer
+from repro.synth import GestureGenerator, eight_direction_templates
+
+SWEEP = (3, 5, 10, 15, 25)
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    test = GestureSet.from_generator(
+        "test",
+        GestureGenerator(
+            eight_direction_templates(), params=TEST_PARAMS, seed=182
+        ),
+        TEST_PER_CLASS,
+    )
+    results = {}
+    for count in SWEEP:
+        train = GestureGenerator(
+            eight_direction_templates(), seed=181
+        ).generate_strokes(count)
+        report = train_eager_recognizer(train)
+        results[count] = evaluate_recognizer(report.recognizer, test)
+    return results
+
+
+def test_training_size_sweep(sweep_results):
+    rows = [
+        f"  E = {count:>2}: full {result.full_accuracy:6.1%}   "
+        f"eager {result.eager_accuracy:6.1%}   "
+        f"seen {result.eagerness.mean_fraction_seen:6.1%}"
+        for count, result in sweep_results.items()
+    ]
+    write_report(
+        "training_size_sweep",
+        "Training-size sweep on the figure-9 workload\n"
+        "(paper uses E = 10 for figure 9, 'typically 15' for GDP)\n\n"
+        + "\n".join(rows),
+    )
+    # Accuracy saturates: the paper's training sizes sit on the plateau.
+    assert sweep_results[10].eager_accuracy > 0.85
+    assert (
+        sweep_results[25].eager_accuracy
+        >= sweep_results[3].eager_accuracy - 0.02
+    )
+    # Full-classifier accuracy is already high at tiny training sizes.
+    assert sweep_results[5].full_accuracy > 0.9
+
+
+def test_training_scales_linearly(benchmark):
+    """Training cost at the paper's E = 15."""
+    train = GestureGenerator(
+        eight_direction_templates(), seed=183
+    ).generate_strokes(15)
+    benchmark(lambda: train_eager_recognizer(train))

@@ -1,0 +1,88 @@
+"""A GDP drawing session, driven entirely by gestures.
+
+Reproduces the flavour of the paper's figure 3: each gesture is a single
+stroke that simultaneously names an operation, its operands, and initial
+parameters; the manipulation phase then adjusts the remaining parameters
+interactively with application feedback.  The canvas is rendered as
+ASCII art after each step.
+
+Run:  python examples/gdp_session.py
+"""
+
+from repro.events import perform_gesture
+from repro.gdp import GDPApp, GroupShape, train_gdp_recognizer
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, gdp_templates
+
+
+def show(app: GDPApp, title: str) -> None:
+    print(f"\n=== {title} ===")
+    print(app.render(cols=72, rows=18))
+
+
+def perform(app, stroke, manip_xy=None, dwell=0.3):
+    manip = Stroke.from_xy(manip_xy, dt=0.03) if manip_xy else None
+    app.perform(perform_gesture(stroke, dwell=dwell, manipulation_path=manip))
+
+
+def anchored(stroke, x, y):
+    return stroke.translated(x - stroke.start.x, y - stroke.start.y)
+
+
+def main() -> None:
+    print("training the GDP recognizer (11 classes x 15 examples)...")
+    recognizer = train_gdp_recognizer(examples_per_class=15, seed=7)
+    # Timeout-mode transitions so the scripted coordinates are exact;
+    # set use_eager=True to watch eager recognition instead.
+    app = GDPApp(recognizer=recognizer, use_eager=False)
+    gestures = GestureGenerator(gdp_templates(), seed=42)
+
+    # Rectangle: gesture fixes one corner; manipulation rubberbands the
+    # other corner out to (380, 300).
+    rect_stroke = gestures.generate("rect").stroke.translated(90, 80)
+    perform(app, rect_stroke, manip_xy=[(260, 180), (380, 300)])
+    rect = app.shapes[-1]
+    show(app, "rectangle gesture + rubberband to (380, 300)")
+
+    # Ellipse: the gesture start is the center; dragging sets size and
+    # eccentricity.
+    ellipse_stroke = gestures.generate("ellipse").stroke.translated(480, 330)
+    perform(app, ellipse_stroke, manip_xy=[(640, 420)])
+    ellipse = app.shapes[-1]
+    show(app, "ellipse gesture + size/eccentricity manipulation")
+
+    # Line from the rect's corner off to the right.
+    line_stroke = gestures.generate("line").stroke.translated(420, 60)
+    perform(app, line_stroke, manip_xy=[(700, 150)])
+    show(app, "line gesture + endpoint drag")
+
+    # Group: circle the ellipse; it becomes a composite.
+    ex, ey = ellipse.center
+    group_stroke = gestures.generate("group").stroke.translated(ex - 50, ey - 50)
+    perform(app, group_stroke)
+    groups = [s for s in app.shapes if isinstance(s, GroupShape)]
+    print(f"\ngroup gesture enclosed {len(groups[-1].members)} shape(s)")
+
+    # Copy the rectangle; the copy follows the mouse during manipulation.
+    copy_stroke = anchored(gestures.generate("copy").stroke, *rect.corners[0])
+    perform(
+        app,
+        copy_stroke,
+        manip_xy=[(copy_stroke.end.x + 180, copy_stroke.end.y + 120)],
+    )
+    show(app, "copy gesture: duplicate dropped down-right")
+
+    # Delete the original rectangle.
+    delete_stroke = anchored(
+        gestures.generate("delete").stroke, *rect.corners[0]
+    )
+    perform(app, delete_stroke)
+    show(app, "delete gesture on the original rectangle")
+
+    print(f"\nfinal canvas: {len(app.shapes)} top-level shapes")
+    for shape in app.shapes:
+        print(f"  - {type(shape).__name__}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""GRANDMA's interactive training loop, end to end.
+
+The paper's system let an interface designer add gestures to a running
+application: draw examples, retrain (closed form, instant), and the new
+gesture is live.  This example plays designer:
+
+1. a recording pad captures example strokes through the normal
+   dispatcher (`StrokeRecorder`),
+2. an `OnlineTrainer` accumulates sufficient statistics per class,
+3. the built classifier is swapped into a live `GestureHandler`,
+4. a brand-new gesture class is added the same way, without restarting.
+
+Run:  python examples/interactive_training.py
+"""
+
+from repro.events import EventQueue, VirtualClock, stroke_events
+from repro.geometry import BoundingBox
+from repro.interaction import GestureHandler, GestureSemantics, StrokeRecorder
+from repro.mvc import Dispatcher, View
+from repro.recognizer import OnlineTrainer
+from repro.synth import GestureGenerator, GestureTemplate, ud_templates
+
+
+class Pad(View):
+    def bounds(self):
+        return BoundingBox(0, 0, 1000, 1000)
+
+
+def draw_examples(dispatcher, strokes, t0=0.0):
+    clock = t0
+    for stroke in strokes:
+        # Center the example on the pad (gestures are drawn around their
+        # own origin, which may poke outside the view's bounds).
+        stroke = stroke.translated(300, 300)
+        for event in stroke_events(stroke, t0=clock):
+            dispatcher.dispatch(event)
+        clock += stroke.duration + 1.0
+
+
+def main() -> None:
+    trainer = OnlineTrainer()
+    current = {"class": None}
+
+    # The recording pad: every press-to-release becomes an example of
+    # whatever class the designer currently has selected.
+    recorder = StrokeRecorder(
+        on_stroke=lambda s: trainer.add_example(current["class"], s)
+    )
+    pad = Pad()
+    pad.add_handler(recorder)
+    pad_dispatcher = Dispatcher(pad, EventQueue(VirtualClock()))
+
+    designer = GestureGenerator(ud_templates(), seed=8)
+    for class_name in ("U", "D"):
+        current["class"] = class_name
+        draw_examples(
+            pad_dispatcher, designer.generate_strokes(10)[class_name]
+        )
+        print(
+            f"recorded {trainer.example_count(class_name)} examples "
+            f"of {class_name!r}"
+        )
+
+    # Build and wire into a live application view.
+    actions = []
+    handler = GestureHandler(
+        recognizer=trainer.build(),
+        semantics={
+            name: GestureSemantics(
+                recog=lambda ctx: actions.append(ctx.class_name)
+            )
+            for name in ("U", "D", "flick")
+        },
+        use_eager=False,
+    )
+    app_view = Pad()
+    app_view.add_handler(handler)
+    app = Dispatcher(app_view, EventQueue(VirtualClock()))
+
+    user = GestureGenerator(ud_templates(), seed=9)
+    for event in stroke_events(
+        user.generate("U").stroke.translated(300, 300), t0=1.0
+    ):
+        app.dispatch(event)
+    print(f"\nuser drew a U -> application saw: {actions[-1]!r}")
+
+    # Mid-session, the designer invents a new gesture: a rightward flick.
+    flick = GestureTemplate(name="flick", waypoints=((0.0, 0.0), (0.9, 0.05)))
+    current["class"] = "flick"
+    draw_examples(
+        pad_dispatcher,
+        GestureGenerator({"flick": flick}, seed=10).generate_strokes(10)["flick"],
+        t0=1000.0,
+    )
+    print(f"\nrecorded {trainer.example_count('flick')} examples of 'flick'")
+
+    # Retrain (instant — closed form over sufficient statistics) and swap.
+    handler.recognizer = trainer.build()
+    print(f"classifier now knows: {handler.recognizer.class_names}")
+
+    flick_user = GestureGenerator({"flick": flick}, seed=11)
+    for event in stroke_events(
+        flick_user.generate("flick").stroke.translated(300, 300), t0=2000.0
+    ):
+        app.dispatch(event)
+    print(f"user drew a flick -> application saw: {actions[-1]!r}")
+
+    for event in stroke_events(
+        user.generate("D").stroke.translated(300, 300), t0=3000.0
+    ):
+        app.dispatch(event)
+    print(f"user drew a D     -> application saw: {actions[-1]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Multi-stroke marks — lifting GRANDMA's single-stroke restriction.
+
+§2: "many common marks (e.g. 'X' and '→') cannot be used as gestures by
+GRANDMA.  A number of techniques exist for adapting single-stroke
+recognizers to multiple stroke recognition, so perhaps GRANDMA's
+recognizer will be extended this way in the future."
+
+This example is that extension: strokes are grouped by a segmentation
+timeout, connected into one synthetic stroke, and classified by the
+unmodified Rubine recognizer, gated by stroke count.
+
+Run:  python examples/multistroke_marks.py
+"""
+
+from repro.geometry import Point, Stroke
+from repro.multistroke import (
+    MultiStrokeClassifier,
+    MultiStrokeGenerator,
+    StrokeCollector,
+)
+
+
+def main() -> None:
+    # Train on the five mark classes.
+    generator = MultiStrokeGenerator(seed=3)
+    classifier = MultiStrokeClassifier.train(generator.generate_examples(10))
+    print(f"trained stroke counts: {classifier.stroke_counts}")
+    for count in classifier.stroke_counts:
+        print(f"  {count}-stroke classes: {classifier.class_names_for(count)}")
+
+    # Simulate a user drawing a sequence of marks, pen up between
+    # strokes, a longer pause between marks.
+    user = MultiStrokeGenerator(seed=77)
+    script = ["X", "O", "arrow", "plus", "equals", "X"]
+    collector = StrokeCollector(timeout=0.8)
+
+    stream: list[Stroke] = []
+    clock = 0.0
+    for name in script:
+        gesture = user.generate(name)
+        base = gesture.strokes[0].start.t
+        for stroke in gesture.strokes:
+            stream.append(
+                Stroke(Point(p.x, p.y, p.t - base + clock) for p in stroke)
+            )
+        clock = stream[-1].end.t + 2.0  # think for two seconds
+
+    print(f"\nreplaying {len(stream)} pen-down strokes...")
+    recognized = []
+    for stroke in stream:
+        finished = collector.add_stroke(stroke)
+        if finished is not None:
+            recognized.append(
+                (classifier.classify(finished), finished.stroke_count)
+            )
+    final = collector.flush()
+    if final is not None:
+        recognized.append((classifier.classify(final), final.stroke_count))
+
+    print(f"\n{'drawn':>8} {'recognized':>11} {'strokes':>8}")
+    for drawn, (predicted, count) in zip(script, recognized):
+        marker = "" if drawn == predicted else "   <-- wrong"
+        print(f"{drawn:>8} {predicted:>11} {count:>8}{marker}")
+
+
+if __name__ == "__main__":
+    main()

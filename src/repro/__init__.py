@@ -1,0 +1,84 @@
+"""repro — a reproduction of Rubine's *Integrating Gesture Recognition and
+Direct Manipulation* (USENIX 1991).
+
+The package provides, bottom to top:
+
+* :mod:`repro.geometry` — points, strokes, transforms;
+* :mod:`repro.features` — Rubine's 13 features, batch and incremental;
+* :mod:`repro.recognizer` — the statistical full classifier;
+* :mod:`repro.eager` — eager recognition (train + runtime);
+* :mod:`repro.events` — synthetic mouse events and the virtual clock;
+* :mod:`repro.mvc` — the GRANDMA model/view/event-handler architecture;
+* :mod:`repro.interaction` — the two-phase interaction technique;
+* :mod:`repro.gdp` — GDP, the gesture-based drawing program;
+* :mod:`repro.synth` — parametric gesture generation;
+* :mod:`repro.datasets` — labelled gesture sets and JSON persistence;
+* :mod:`repro.evaluate` — the paper's evaluation harness;
+* :mod:`repro.baselines` — comparison recognizers;
+* :mod:`repro.multipath` — the multi-finger future-work extension;
+* :mod:`repro.multistroke` — the multi-stroke future-work extension;
+* :mod:`repro.textedit` — the figure-1 move-text editor scenario;
+* :mod:`repro.gscore` — a mini score editor on figure 8's note gestures.
+
+Quickstart::
+
+    from repro import GestureGenerator, eight_direction_templates
+    from repro import train_eager_recognizer
+
+    gen = GestureGenerator(eight_direction_templates(), seed=1)
+    report = train_eager_recognizer(gen.generate_strokes(10))
+    result = report.recognizer.recognize(gen.generate("ur").stroke)
+    print(result.class_name, result.fraction_seen)
+"""
+
+from .eager import (
+    EagerRecognizer,
+    EagerResult,
+    EagerSession,
+    EagerTrainingConfig,
+    EagerTrainingReport,
+    train_eager_recognizer,
+)
+from .features import FEATURE_NAMES, NUM_FEATURES, IncrementalFeatures, features_of
+from .geometry import Affine, BoundingBox, Point, Stroke
+from .recognizer import GestureClassifier, RejectionPolicy
+from .synth import (
+    GeneratedGesture,
+    GenerationParams,
+    GestureGenerator,
+    GestureTemplate,
+    eight_direction_templates,
+    gdp_templates,
+    note_templates,
+    ud_templates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Affine",
+    "BoundingBox",
+    "EagerRecognizer",
+    "EagerResult",
+    "EagerSession",
+    "EagerTrainingConfig",
+    "EagerTrainingReport",
+    "FEATURE_NAMES",
+    "GeneratedGesture",
+    "GenerationParams",
+    "GestureClassifier",
+    "GestureGenerator",
+    "GestureTemplate",
+    "IncrementalFeatures",
+    "NUM_FEATURES",
+    "Point",
+    "RejectionPolicy",
+    "Stroke",
+    "eight_direction_templates",
+    "features_of",
+    "gdp_templates",
+    "note_templates",
+    "train_eager_recognizer",
+    "ud_templates",
+    "__version__",
+]

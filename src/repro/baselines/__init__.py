@@ -1,0 +1,6 @@
+"""Comparison recognizers: template matching and chain-code zoning."""
+
+from .template import TemplateMatcher
+from .zoning import ChainCodeClassifier
+
+__all__ = ["ChainCodeClassifier", "TemplateMatcher"]

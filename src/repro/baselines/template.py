@@ -1,0 +1,109 @@
+"""A template-matching baseline recognizer.
+
+The paper surveys alternatives to statistical recognition — "many gesture
+researchers choose to hand-code [the classifier] for their particular
+application" — and later work standardized on resample-and-match template
+recognizers (the $1 family descends directly from this setting).  This
+baseline is that approach: resample to a fixed number of points,
+translate to the centroid, scale to a unit box, and classify by the
+nearest stored template under mean point-to-point distance.
+
+It exists for the comparison benchmark: same training data, same test
+data, different technology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..geometry import Point, Stroke
+
+__all__ = ["TemplateMatcher"]
+
+
+class TemplateMatcher:
+    """Nearest-template classification over normalized strokes."""
+
+    def __init__(self, resample_points: int = 32, rotation_invariant: bool = False):
+        if resample_points < 2:
+            raise ValueError("need at least two resample points")
+        self.resample_points = resample_points
+        self.rotation_invariant = rotation_invariant
+        self._templates: list[tuple[str, list[Point]]] = []
+
+    @classmethod
+    def train(
+        cls,
+        examples_by_class: Mapping[str, Sequence[Stroke]],
+        resample_points: int = 32,
+        rotation_invariant: bool = False,
+    ) -> "TemplateMatcher":
+        """Store every training example as a template."""
+        matcher = cls(resample_points, rotation_invariant)
+        for class_name, strokes in examples_by_class.items():
+            for stroke in strokes:
+                matcher.add_template(class_name, stroke)
+        if not matcher._templates:
+            raise ValueError("no training examples given")
+        return matcher
+
+    def add_template(self, class_name: str, stroke: Stroke) -> None:
+        self._templates.append((class_name, self._normalize(stroke)))
+
+    @property
+    def template_count(self) -> int:
+        return len(self._templates)
+
+    def classify(self, stroke: Stroke) -> str:
+        """Class of the nearest template."""
+        if not self._templates:
+            raise ValueError("classifier has no templates")
+        candidate = self._normalize(stroke)
+        best_class, best_score = self._templates[0][0], math.inf
+        for class_name, template in self._templates:
+            score = self._distance(candidate, template)
+            if score < best_score:
+                best_class, best_score = class_name, score
+        return best_class
+
+    # -- normalization pipeline -------------------------------------------------
+
+    def _normalize(self, stroke: Stroke) -> list[Point]:
+        resampled = stroke.resampled(self.resample_points)
+        points = list(resampled)
+        if self.rotation_invariant:
+            points = self._rotate_to_zero(points)
+        points = self._scale_to_unit(points)
+        return self._translate_to_origin(points)
+
+    @staticmethod
+    def _rotate_to_zero(points: list[Point]) -> list[Point]:
+        """Rotate so the centroid-to-first-point angle is zero."""
+        cx = sum(p.x for p in points) / len(points)
+        cy = sum(p.y for p in points) / len(points)
+        theta = math.atan2(points[0].y - cy, points[0].x - cx)
+        return [p.rotated(-theta, cx, cy) for p in points]
+
+    @staticmethod
+    def _scale_to_unit(points: list[Point]) -> list[Point]:
+        min_x = min(p.x for p in points)
+        max_x = max(p.x for p in points)
+        min_y = min(p.y for p in points)
+        max_y = max(p.y for p in points)
+        width = max(max_x - min_x, 1e-9)
+        height = max(max_y - min_y, 1e-9)
+        return [
+            Point((p.x - min_x) / width, (p.y - min_y) / height, p.t)
+            for p in points
+        ]
+
+    @staticmethod
+    def _translate_to_origin(points: list[Point]) -> list[Point]:
+        cx = sum(p.x for p in points) / len(points)
+        cy = sum(p.y for p in points) / len(points)
+        return [Point(p.x - cx, p.y - cy, p.t) for p in points]
+
+    @staticmethod
+    def _distance(a: list[Point], b: list[Point]) -> float:
+        return sum(p.distance_to(q) for p, q in zip(a, b)) / len(a)

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro`` / ``repro-gestures``.
+
+Subcommands:
+
+* ``train`` — train an eager recognizer on a synthetic gesture family
+  (or a saved dataset) and write it to JSON;
+* ``classify`` — classify gestures from a dataset file with a saved
+  recognizer;
+* ``evaluate`` — run the paper's §5 protocol on a gesture family and
+  print the summary and figure-9-style grid;
+* ``demo`` — run a scripted GDP session and print the canvas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datasets import GestureSet
+from .eager import EagerRecognizer, train_eager_recognizer
+from .evaluate import figure9_grid, run_experiment
+from .synth import (
+    GestureGenerator,
+    eight_direction_templates,
+    gdp_templates,
+    note_templates,
+    ud_templates,
+)
+
+__all__ = ["main"]
+
+def _editing_templates():
+    from .textedit import editing_templates
+
+    return editing_templates()
+
+
+_FAMILIES = {
+    "directions": eight_direction_templates,
+    "gdp": gdp_templates,
+    "notes": note_templates,
+    "ud": ud_templates,
+    "editing": _editing_templates,
+}
+
+
+def _generator(family: str, seed: int) -> GestureGenerator:
+    maker = _FAMILIES.get(family)
+    if maker is None:
+        raise SystemExit(
+            f"unknown gesture family {family!r}; choose from {sorted(_FAMILIES)}"
+        )
+    return GestureGenerator(maker(), seed=seed)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    if args.dataset:
+        gesture_set = GestureSet.load(args.dataset)
+        strokes = gesture_set.strokes_by_class()
+    else:
+        strokes = _generator(args.family, args.seed).generate_strokes(
+            args.examples
+        )
+    report = train_eager_recognizer(strokes)
+    import json
+
+    with open(args.output, "w") as f:
+        json.dump(report.recognizer.to_dict(), f)
+    print(f"trained on {sum(len(v) for v in strokes.values())} examples "
+          f"across {len(strokes)} classes")
+    print(f"recognizer written to {args.output}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    import json
+
+    with open(args.recognizer) as f:
+        recognizer = EagerRecognizer.from_dict(json.load(f))
+    gesture_set = GestureSet.load(args.dataset)
+    correct = 0
+    for example in gesture_set:
+        result = recognizer.recognize(example.stroke)
+        ok = result.class_name == example.class_name
+        correct += ok
+        marker = "" if ok else "   <-- expected " + example.class_name
+        print(
+            f"{result.class_name:<16} seen {result.points_seen}/"
+            f"{result.total_points}{marker}"
+        )
+    print(f"\n{correct}/{len(gesture_set)} correct")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    generator = _generator(args.family, args.seed)
+    dataset = GestureSet.from_generator(
+        args.family, generator, args.train + args.test
+    )
+    result, _ = run_experiment(dataset, train_per_class=args.train)
+    print(result.summary())
+    if args.grid:
+        print()
+        print(figure9_grid(result))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .events import perform_gesture
+    from .gdp import GDPApp
+    from .geometry import Stroke
+
+    app = GDPApp()
+    generator = GestureGenerator(gdp_templates(), seed=args.seed)
+    print("GDP demo: rectangle, line, ellipse\n")
+    rect = generator.generate("rect").stroke.translated(80, 80)
+    app.perform(
+        perform_gesture(
+            rect,
+            dwell=0.3,
+            manipulation_path=Stroke.from_xy([(380, 300)], dt=0.02),
+        )
+    )
+    line = generator.generate("line").stroke.translated(420, 80)
+    app.perform(perform_gesture(line, dwell=0.3))
+    ellipse = generator.generate("ellipse").stroke.translated(180, 420)
+    app.perform(
+        perform_gesture(
+            ellipse,
+            dwell=0.3,
+            manipulation_path=Stroke.from_xy([(260, 480)], dt=0.02),
+        )
+    )
+    print(app.render(cols=72, rows=20))
+    print(f"\n{len(app.shapes)} shapes on the canvas")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gestures",
+        description="Rubine (USENIX 1991) reproduction: gesture recognition "
+        "and direct manipulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train an eager recognizer")
+    train.add_argument("--family", default="gdp", help="synthetic gesture family")
+    train.add_argument("--dataset", help="train from a saved GestureSet JSON")
+    train.add_argument("--examples", type=int, default=15, help="examples per class")
+    train.add_argument("--seed", type=int, default=7)
+    train.add_argument("--output", default="recognizer.json")
+    train.set_defaults(func=_cmd_train)
+
+    classify = sub.add_parser("classify", help="classify a dataset")
+    classify.add_argument("recognizer", help="saved recognizer JSON")
+    classify.add_argument("dataset", help="GestureSet JSON to classify")
+    classify.set_defaults(func=_cmd_classify)
+
+    evaluate = sub.add_parser("evaluate", help="run the paper's protocol")
+    evaluate.add_argument("--family", default="directions")
+    evaluate.add_argument("--train", type=int, default=10)
+    evaluate.add_argument("--test", type=int, default=30)
+    evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.add_argument("--grid", action="store_true", help="print the fig-9 grid")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    demo = sub.add_parser("demo", help="scripted GDP session")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Labelled gesture datasets and JSON persistence."""
+
+from .gesture_set import GestureExample, GestureSet, TrainTestSplit
+
+__all__ = ["GestureExample", "GestureSet", "TrainTestSplit"]

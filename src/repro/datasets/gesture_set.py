@@ -1,0 +1,171 @@
+"""Labelled gesture collections.
+
+A :class:`GestureSet` is the unit the trainers and the evaluation
+harness exchange: named examples with class labels and optional ground
+truth (the oracle corner index synthetic gestures carry).  Sets
+round-trip through JSON so recorded data, synthetic data, and trained
+models can be shipped together.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from ..geometry import Point, Stroke
+from ..synth import GeneratedGesture, GestureGenerator
+
+__all__ = ["GestureExample", "GestureSet", "TrainTestSplit"]
+
+
+@dataclass(frozen=True)
+class GestureExample:
+    """One labelled gesture."""
+
+    stroke: Stroke
+    class_name: str
+    # Sample index of each ground-truth corner (empty when unknown).
+    corner_indices: tuple[int, ...] = ()
+
+    @property
+    def oracle_points(self) -> int | None:
+        """Points through the first corner turn — the hand-determined
+        minimum of figure 9 — when ground truth is available."""
+        if not self.corner_indices:
+            return None
+        return self.corner_indices[0] + 1
+
+    @classmethod
+    def from_generated(cls, generated: GeneratedGesture) -> "GestureExample":
+        return cls(
+            stroke=generated.stroke,
+            class_name=generated.class_name,
+            corner_indices=generated.corner_sample_indices,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.class_name,
+            "points": [[p.x, p.y, p.t] for p in self.stroke],
+            "corners": list(self.corner_indices),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GestureExample":
+        return cls(
+            stroke=Stroke(Point(x, y, t) for x, y, t in data["points"]),
+            class_name=data["class"],
+            corner_indices=tuple(data.get("corners", ())),
+        )
+
+
+@dataclass
+class TrainTestSplit:
+    """A deterministic train/test partition of a gesture set."""
+
+    train: "GestureSet"
+    test: "GestureSet"
+
+
+@dataclass
+class GestureSet:
+    """A named collection of labelled gestures."""
+
+    name: str
+    examples: list[GestureExample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self) -> Iterator[GestureExample]:
+        return iter(self.examples)
+
+    def add(self, example: GestureExample) -> None:
+        self.examples.append(example)
+
+    @property
+    def class_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for example in self.examples:
+            seen.setdefault(example.class_name, None)
+        return list(seen.keys())
+
+    def by_class(self) -> dict[str, list[GestureExample]]:
+        grouped: dict[str, list[GestureExample]] = {}
+        for example in self.examples:
+            grouped.setdefault(example.class_name, []).append(example)
+        return grouped
+
+    def strokes_by_class(self) -> dict[str, list[Stroke]]:
+        """The shape the trainers consume."""
+        return {
+            name: [example.stroke for example in examples]
+            for name, examples in self.by_class().items()
+        }
+
+    def split(self, train_per_class: int) -> TrainTestSplit:
+        """First ``train_per_class`` examples of each class train; the
+        rest test.  Order within the set is preserved, so a set built
+        from a seeded generator splits identically every run."""
+        train = GestureSet(name=f"{self.name}-train")
+        test = GestureSet(name=f"{self.name}-test")
+        counts: dict[str, int] = {}
+        for example in self.examples:
+            used = counts.get(example.class_name, 0)
+            if used < train_per_class:
+                train.add(example)
+                counts[example.class_name] = used + 1
+            else:
+                test.add(example)
+        return TrainTestSplit(train=train, test=test)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_generator(
+        cls, name: str, generator: GestureGenerator, count_per_class: int
+    ) -> "GestureSet":
+        """Draw ``count_per_class`` examples of every class."""
+        gesture_set = cls(name=name)
+        for class_name in generator.class_names:
+            for _ in range(count_per_class):
+                gesture_set.add(
+                    GestureExample.from_generated(generator.generate(class_name))
+                )
+        return gesture_set
+
+    @classmethod
+    def from_strokes(
+        cls, name: str, strokes_by_class: Mapping[str, Iterable[Stroke]]
+    ) -> "GestureSet":
+        gesture_set = cls(name=name)
+        for class_name, strokes in strokes_by_class.items():
+            for stroke in strokes:
+                gesture_set.add(
+                    GestureExample(stroke=stroke, class_name=class_name)
+                )
+        return gesture_set
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "examples": [example.to_dict() for example in self.examples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GestureSet":
+        return cls(
+            name=data["name"],
+            examples=[GestureExample.from_dict(e) for e in data["examples"]],
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GestureSet":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,52 @@
+"""Eager recognition: classify a gesture as soon as it is unambiguous."""
+
+from .auc import AMBIGUITY_BIAS_RATIO, AmbiguityClassifier
+from .partition import (
+    ExampleLabelling,
+    LabelledSubgesture,
+    SubgesturePartition,
+    class_of_set,
+    complete_set_name,
+    compute_move_threshold,
+    incomplete_set_name,
+    is_complete_set,
+    label_examples,
+    move_accidentally_complete,
+    partition_subgestures,
+)
+from .recognizer import EagerRecognizer, EagerResult, EagerSession
+from .subgestures import (
+    MIN_PREFIX_POINTS,
+    SubgestureFeatures,
+    prefix_feature_vectors,
+)
+from .trainer import (
+    EagerTrainingConfig,
+    EagerTrainingReport,
+    train_eager_recognizer,
+)
+
+__all__ = [
+    "AMBIGUITY_BIAS_RATIO",
+    "MIN_PREFIX_POINTS",
+    "AmbiguityClassifier",
+    "EagerRecognizer",
+    "EagerResult",
+    "EagerSession",
+    "EagerTrainingConfig",
+    "EagerTrainingReport",
+    "ExampleLabelling",
+    "LabelledSubgesture",
+    "SubgestureFeatures",
+    "SubgesturePartition",
+    "class_of_set",
+    "complete_set_name",
+    "compute_move_threshold",
+    "incomplete_set_name",
+    "is_complete_set",
+    "label_examples",
+    "move_accidentally_complete",
+    "partition_subgestures",
+    "prefix_feature_vectors",
+    "train_eager_recognizer",
+]

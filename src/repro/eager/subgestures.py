@@ -1,0 +1,68 @@
+"""Subgesture enumeration with per-prefix feature vectors.
+
+The eager trainer runs the full classifier "on every subgesture of the
+original training examples" (section 4.7).  Because every Rubine feature
+updates in O(1) per point, all ``|g|`` prefix feature vectors of a gesture
+are computed in a single O(|g|) sweep here, rather than O(|g|^2) batch
+recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..features import IncrementalFeatures
+from ..geometry import Stroke
+
+__all__ = ["SubgestureFeatures", "prefix_feature_vectors", "MIN_PREFIX_POINTS"]
+
+# Prefixes shorter than this are never presented to a classifier: with
+# fewer than three points most features are degenerate (no turn angles,
+# no smoothed initial direction), and no gesture set distinguishes its
+# classes that early.
+MIN_PREFIX_POINTS = 3
+
+
+@dataclass
+class SubgestureFeatures:
+    """Feature vectors of every prefix ``g[min_points] .. g[|g|]``."""
+
+    stroke: Stroke
+    min_points: int
+    vectors: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def lengths(self) -> range:
+        """Prefix lengths ``i`` covered by :attr:`vectors`, in order."""
+        return range(self.min_points, self.min_points + len(self.vectors))
+
+    def vector_for_length(self, i: int) -> np.ndarray:
+        """Feature vector of ``g[i]``."""
+        if i < self.min_points or i > len(self.stroke):
+            raise ValueError(f"no features stored for prefix length {i}")
+        return self.vectors[i - self.min_points]
+
+
+def prefix_feature_vectors(
+    stroke: Stroke, min_points: int = MIN_PREFIX_POINTS
+) -> SubgestureFeatures:
+    """Compute feature vectors of all prefixes in one incremental sweep.
+
+    Gestures shorter than ``min_points`` yield just their full-gesture
+    vector, so two-point gestures like GDP's ``dot`` still participate in
+    training.
+    """
+    if len(stroke) == 0:
+        raise ValueError("cannot enumerate subgestures of an empty stroke")
+    effective_min = min(min_points, len(stroke))
+    inc = IncrementalFeatures()
+    vectors: list[np.ndarray] = []
+    for count, point in enumerate(stroke, start=1):
+        inc.add_point(point)
+        if count >= effective_min:
+            vectors.append(inc.vector)
+    return SubgestureFeatures(
+        stroke=stroke, min_points=effective_min, vectors=vectors
+    )

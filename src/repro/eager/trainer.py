@@ -1,0 +1,190 @@
+"""The eager-recognition training pipeline (paper §4.4–4.7).
+
+The whole algorithm, as the paper summarizes it:
+
+1. Train the full classifier C on the full training gestures.
+2. Run C on every subgesture of every training example; label each
+   subgesture complete or incomplete (§4.4).
+3. Partition the subgestures into 2C sets C-c / I-c (§4.4).
+4. Move accidentally complete subgestures into incomplete sets, using a
+   Mahalanobis threshold of 50% of the smallest full-class-to-incomplete-
+   set mean distance (§4.5).
+5. Train a 2C-class linear classifier — the AUC — on the partition (§4.6).
+6. Bias it 5:1 toward ambiguity, then lower complete-class constants
+   until no training incomplete subgesture is judged unambiguous (§4.6).
+
+Every step's knobs live in :class:`EagerTrainingConfig`, with the paper's
+values as defaults, so the ablation benchmarks can switch steps off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..geometry import Stroke
+from ..recognizer import GestureClassifier, train_linear_classifier
+from .auc import AMBIGUITY_BIAS_RATIO, AmbiguityClassifier
+from .partition import (
+    ExampleLabelling,
+    SubgesturePartition,
+    compute_move_threshold,
+    is_complete_set,
+    label_examples,
+    move_accidentally_complete,
+    partition_subgestures,
+)
+from .recognizer import EagerRecognizer
+from .subgestures import MIN_PREFIX_POINTS
+
+__all__ = ["EagerTrainingConfig", "EagerTrainingReport", "train_eager_recognizer"]
+
+
+@dataclass
+class EagerTrainingConfig:
+    """Knobs of the eager training algorithm; defaults match the paper."""
+
+    # Smallest prefix ever shown to a classifier.
+    min_prefix_points: int = MIN_PREFIX_POINTS
+    # §4.5 accidental-complete move: on/off, the 50% fraction, and the
+    # floor below which full-to-incomplete distances are ignored.
+    move_accidental: bool = True
+    move_threshold_fraction: float = 0.5
+    move_exclusion_distance: float = 1.0
+    # §4.6 conservative bias: ambiguous judged 5x more likely a priori.
+    ambiguity_bias_ratio: float = AMBIGUITY_BIAS_RATIO
+    # §4.6 tweak: push complete-class constants down until clean.
+    tweak: bool = True
+    tweak_margin: float = 0.1
+    tweak_max_rounds: int = 20
+    # Ablation: collapse the 2C sets to a naive ambiguous/unambiguous
+    # two-class problem (§4.4 argues this fails; bench verifies).
+    two_class_only: bool = False
+
+
+@dataclass
+class EagerTrainingReport:
+    """Artifacts of one training run, kept for inspection and figures 5–7."""
+
+    recognizer: EagerRecognizer
+    labelled: list[ExampleLabelling]
+    partition: SubgesturePartition
+    move_threshold: float
+    moved_count: int
+    tweak_adjustments: int
+    set_counts: dict[str, int] = field(default_factory=dict)
+
+
+def train_eager_recognizer(
+    examples_by_class: Mapping[str, Sequence[Stroke]],
+    config: EagerTrainingConfig | None = None,
+    full_classifier: GestureClassifier | None = None,
+) -> EagerTrainingReport:
+    """Build an eager recognizer from example gestures.
+
+    Args:
+        examples_by_class: training strokes grouped by gesture class.
+        config: training knobs; paper defaults when omitted.
+        full_classifier: reuse an already-trained full classifier (it must
+            have been trained on compatible classes); trained here when
+            omitted.
+
+    Returns:
+        The trained recognizer plus the intermediate artifacts the
+        evaluation figures need.
+    """
+    if config is None:
+        config = EagerTrainingConfig()
+    examples = {name: list(strokes) for name, strokes in examples_by_class.items()}
+    if not examples:
+        raise ValueError("no training classes given")
+
+    # Step 1 — the full classifier.
+    if full_classifier is None:
+        full_classifier = GestureClassifier.train(examples)
+    elif full_classifier.feature_indices is not None:
+        # The eager pipeline reuses the full classifier's Mahalanobis
+        # metric against 13-dim subgesture vectors; a feature-masked
+        # classifier's metric lives in the masked space.
+        raise ValueError(
+            "eager training requires a full-feature classifier; "
+            "train it without feature_indices"
+        )
+
+    # Step 2 — label every subgesture complete/incomplete.
+    labelled = label_examples(
+        full_classifier, examples, min_points=config.min_prefix_points
+    )
+
+    # Step 3 — the 2C-way partition.
+    partition = partition_subgestures(labelled, full_classifier.class_names)
+
+    # Step 4 — move accidentally complete subgestures.
+    move_threshold = 0.0
+    moved = 0
+    if config.move_accidental:
+        move_threshold = compute_move_threshold(
+            full_classifier,
+            partition,
+            full_classifier.metric,
+            minimum_fraction=config.move_threshold_fraction,
+            exclusion_distance=config.move_exclusion_distance,
+        )
+        moved = move_accidentally_complete(
+            partition, full_classifier.metric, move_threshold
+        )
+
+    # Step 5 — train the AUC on the non-empty sets.
+    training_sets = {
+        name: [sub.features for sub in subs]
+        for name, subs in partition.non_empty_sets().items()
+    }
+    if config.two_class_only:
+        collapsed: dict[str, list] = {"C:any": [], "I:any": []}
+        for name, vectors in training_sets.items():
+            key = "C:any" if is_complete_set(name) else "I:any"
+            collapsed[key].extend(vectors)
+        training_sets = {k: v for k, v in collapsed.items() if v}
+    if not any(is_complete_set(name) for name in training_sets):
+        raise ValueError(
+            "no subgesture was unambiguous in training; this gesture set "
+            "is not amenable to eager recognition (cf. paper figure 8)"
+        )
+    if not any(not is_complete_set(name) for name in training_sets):
+        raise ValueError(
+            "every subgesture was unambiguous in training; check that the "
+            "training strokes are realistic (do classes share prefixes?)"
+        )
+    auc = AmbiguityClassifier(train_linear_classifier(training_sets).classifier)
+
+    # Step 6 — bias conservatively, then tweak until clean on training data.
+    if config.ambiguity_bias_ratio != 1.0:
+        auc.apply_ambiguity_bias(config.ambiguity_bias_ratio)
+    adjustments = 0
+    if config.tweak:
+        incomplete_vectors = [
+            sub.features
+            for name, subs in partition.non_empty_sets().items()
+            if not is_complete_set(name)
+            for sub in subs
+        ]
+        adjustments = auc.tweak_against(
+            incomplete_vectors,
+            margin=config.tweak_margin,
+            max_rounds=config.tweak_max_rounds,
+        )
+
+    recognizer = EagerRecognizer(
+        full_classifier=full_classifier,
+        auc=auc,
+        min_points=config.min_prefix_points,
+    )
+    return EagerTrainingReport(
+        recognizer=recognizer,
+        labelled=labelled,
+        partition=partition,
+        move_threshold=move_threshold,
+        moved_count=moved,
+        tweak_adjustments=adjustments,
+        set_counts=partition.counts(),
+    )

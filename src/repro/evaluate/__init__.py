@@ -1,0 +1,31 @@
+"""The paper's evaluation harness: metrics, protocol, figure-style reports."""
+
+from .harness import (
+    EvaluationResult,
+    ExampleOutcome,
+    evaluate_recognizer,
+    run_experiment,
+)
+from .metrics import ConfusionMatrix, EagernessStats
+from .stroke_art import render_eager_examples, render_eager_stroke
+from .reports import (
+    comparison_table,
+    figure9_grid,
+    labelling_diagram,
+    summary_row,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "EagernessStats",
+    "EvaluationResult",
+    "ExampleOutcome",
+    "comparison_table",
+    "evaluate_recognizer",
+    "figure9_grid",
+    "labelling_diagram",
+    "render_eager_examples",
+    "render_eager_stroke",
+    "run_experiment",
+    "summary_row",
+]

@@ -1,0 +1,146 @@
+"""The experiment harness: train, test, compare eager vs full.
+
+This reproduces the protocol of paper §5: train an eager recognizer on N
+examples per class, test on a disjoint set of M examples per class, and
+report (a) eager vs full recognition rates and (b) how much of each
+gesture the eager recognizer consumed, against the ground-truth minimum
+when available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import GestureExample, GestureSet
+from ..eager import EagerRecognizer, EagerTrainingConfig, train_eager_recognizer
+from .metrics import ConfusionMatrix, EagernessStats
+
+__all__ = ["ExampleOutcome", "EvaluationResult", "evaluate_recognizer", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExampleOutcome:
+    """Figure 9/10 annotate every test example; this is one annotation.
+
+    The paper's per-example caption "7,8/11" reads: 7 points needed by
+    hand, 8 consumed by the eager recognizer, 11 in the gesture.  The
+    flags mirror the figures' E and F markers.
+    """
+
+    class_name: str
+    eager_prediction: str
+    full_prediction: str
+    points_seen: int
+    total_points: int
+    oracle_points: int | None
+    eager: bool
+
+    @property
+    def eager_wrong(self) -> bool:  # the figures' "E" flag
+        return self.eager_prediction != self.class_name
+
+    @property
+    def full_wrong(self) -> bool:  # the figures' "F" flag
+        return self.full_prediction != self.class_name
+
+    def caption(self) -> str:
+        """The figure-9 style annotation for this example."""
+        parts = []
+        if self.oracle_points is not None:
+            parts.append(f"{self.oracle_points},{self.points_seen}/{self.total_points}")
+        else:
+            parts.append(f"{self.points_seen}/{self.total_points}")
+        flags = ("F" if self.full_wrong else "") + ("E" if self.eager_wrong else "")
+        return " ".join(filter(None, [parts[0], flags]))
+
+
+@dataclass
+class EvaluationResult:
+    """Everything §5 reports for one experiment."""
+
+    eager_confusion: ConfusionMatrix
+    full_confusion: ConfusionMatrix
+    eagerness: EagernessStats
+    outcomes: list[ExampleOutcome] = field(default_factory=list)
+
+    @property
+    def eager_accuracy(self) -> float:
+        return self.eager_confusion.accuracy
+
+    @property
+    def full_accuracy(self) -> float:
+        return self.full_confusion.accuracy
+
+    def summary(self) -> str:
+        lines = [
+            f"full classifier accuracy:  {self.full_accuracy:6.1%}",
+            f"eager recognizer accuracy: {self.eager_accuracy:6.1%}",
+            f"mean fraction of points examined: {self.eagerness.mean_fraction_seen:6.1%}",
+        ]
+        if self.eagerness.oracle_fractions:
+            lines.append(
+                "oracle minimum fraction:          "
+                f"{self.eagerness.mean_oracle_fraction:6.1%}"
+            )
+        lines.append(
+            f"gestures classified before stroke end: {self.eagerness.eager_rate:6.1%}"
+        )
+        return "\n".join(lines)
+
+
+def evaluate_recognizer(
+    recognizer: EagerRecognizer, test_set: GestureSet
+) -> EvaluationResult:
+    """Run eager and full classification over every test example."""
+    class_names = recognizer.class_names
+    result = EvaluationResult(
+        eager_confusion=ConfusionMatrix(class_names=list(class_names)),
+        full_confusion=ConfusionMatrix(class_names=list(class_names)),
+        eagerness=EagernessStats(),
+    )
+    for example in test_set:
+        outcome = _evaluate_example(recognizer, example)
+        result.outcomes.append(outcome)
+        result.eager_confusion.record(example.class_name, outcome.eager_prediction)
+        result.full_confusion.record(example.class_name, outcome.full_prediction)
+        oracle_fraction = None
+        if outcome.oracle_points is not None and outcome.total_points:
+            oracle_fraction = outcome.oracle_points / outcome.total_points
+        result.eagerness.record(
+            fraction_seen=outcome.points_seen / outcome.total_points
+            if outcome.total_points
+            else 0.0,
+            eager=outcome.eager,
+            oracle_fraction=oracle_fraction,
+        )
+    return result
+
+
+def _evaluate_example(
+    recognizer: EagerRecognizer, example: GestureExample
+) -> ExampleOutcome:
+    eager_result = recognizer.recognize(example.stroke)
+    full_prediction = recognizer.classify_full(example.stroke)
+    return ExampleOutcome(
+        class_name=example.class_name,
+        eager_prediction=eager_result.class_name,
+        full_prediction=full_prediction,
+        points_seen=eager_result.points_seen,
+        total_points=eager_result.total_points,
+        oracle_points=example.oracle_points,
+        eager=eager_result.eager,
+    )
+
+
+def run_experiment(
+    dataset: GestureSet,
+    train_per_class: int,
+    config: EagerTrainingConfig | None = None,
+) -> tuple[EvaluationResult, EagerRecognizer]:
+    """Split, train, evaluate — the whole §5 protocol in one call."""
+    split = dataset.split(train_per_class)
+    report = train_eager_recognizer(
+        split.train.strokes_by_class(), config=config
+    )
+    result = evaluate_recognizer(report.recognizer, split.test)
+    return result, report.recognizer

@@ -1,0 +1,119 @@
+"""Evaluation metrics: confusion matrices, accuracy, eagerness.
+
+The paper's §5 reports two numbers per experiment: the recognition rate
+(eager vs full classifier) and the *eagerness* — "on the average, the
+eager recognizer examined 67.9% of the mouse points of each gesture
+before deciding the gesture was unambiguous", compared against a
+hand-determined minimum.  These metrics compute both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ConfusionMatrix", "EagernessStats"]
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of (true class, predicted class) pairs."""
+
+    class_names: list[str]
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def record(self, true_class: str, predicted: str) -> None:
+        key = (true_class, predicted)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def correct(self) -> int:
+        return sum(
+            n for (true, predicted), n in self.counts.items() if true == predicted
+        )
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+    def per_class_accuracy(self) -> dict[str, float]:
+        totals: dict[str, int] = {}
+        hits: dict[str, int] = {}
+        for (true, predicted), n in self.counts.items():
+            totals[true] = totals.get(true, 0) + n
+            if true == predicted:
+                hits[true] = hits.get(true, 0) + n
+        return {
+            name: hits.get(name, 0) / totals[name]
+            for name in self.class_names
+            if totals.get(name)
+        }
+
+    def errors(self) -> list[tuple[str, str, int]]:
+        """All off-diagonal cells, heaviest first."""
+        off = [
+            (true, predicted, n)
+            for (true, predicted), n in self.counts.items()
+            if true != predicted
+        ]
+        return sorted(off, key=lambda item: -item[2])
+
+    def to_table(self) -> str:
+        """A plain-text matrix (rows = true class, columns = predicted)."""
+        names = self.class_names
+        width = max((len(n) for n in names), default=4) + 1
+        header = " " * width + "".join(n[: width - 1].rjust(width) for n in names)
+        rows = [header]
+        for true in names:
+            cells = "".join(
+                str(self.counts.get((true, predicted), 0)).rjust(width)
+                for predicted in names
+            )
+            rows.append(true.ljust(width) + cells)
+        return "\n".join(rows)
+
+
+@dataclass
+class EagernessStats:
+    """Aggregate eagerness over a test set."""
+
+    fractions_seen: list[float] = field(default_factory=list)
+    oracle_fractions: list[float] = field(default_factory=list)
+    eager_count: int = 0
+    total: int = 0
+
+    def record(
+        self,
+        fraction_seen: float,
+        eager: bool,
+        oracle_fraction: float | None = None,
+    ) -> None:
+        self.fractions_seen.append(fraction_seen)
+        if oracle_fraction is not None:
+            self.oracle_fractions.append(oracle_fraction)
+        if eager:
+            self.eager_count += 1
+        self.total += 1
+
+    @property
+    def mean_fraction_seen(self) -> float:
+        """The paper's headline eagerness number (e.g. 67.9% in fig. 9)."""
+        return _mean(self.fractions_seen)
+
+    @property
+    def mean_oracle_fraction(self) -> float:
+        """The oracle lower bound (e.g. the 59.4% "determined by hand")."""
+        return _mean(self.oracle_fractions)
+
+    @property
+    def eager_rate(self) -> float:
+        """Fraction of gestures classified before the stroke ended."""
+        return self.eager_count / self.total if self.total else 0.0
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,97 @@
+"""Plain-text reports in the shape of the paper's figures and tables.
+
+The benchmark harness prints these so a reader can put the reproduction
+side by side with the paper: figure-9 style per-example grids, the §5
+summary rows, and figures 5–7's per-point label strings.
+"""
+
+from __future__ import annotations
+
+from ..eager import EagerTrainingReport
+from .harness import EvaluationResult
+
+__all__ = [
+    "figure9_grid",
+    "summary_row",
+    "comparison_table",
+    "labelling_diagram",
+]
+
+
+def figure9_grid(
+    result: EvaluationResult, per_row: int = 10, max_rows_per_class: int = 1
+) -> str:
+    """Per-example captions grouped by class, like figure 9's grid.
+
+    Each cell reads ``oracle,seen/total [flags]`` — e.g. ``7,8/11`` means
+    the corner was passed after 7 points, the eager recognizer committed
+    after 8, and the gesture had 11 points; E flags an eager
+    misclassification, F a full-classifier one.
+    """
+    by_class: dict[str, list[str]] = {}
+    for i, outcome in enumerate(result.outcomes):
+        name = f"{outcome.class_name}{i}"
+        by_class.setdefault(outcome.class_name, []).append(
+            f"{outcome.caption()} ({name})"
+        )
+    lines: list[str] = []
+    for class_name, cells in by_class.items():
+        lines.append(f"{class_name}:")
+        shown = cells[: per_row * max_rows_per_class]
+        for start in range(0, len(shown), per_row):
+            lines.append("  " + "  ".join(shown[start : start + per_row]))
+    return "\n".join(lines)
+
+
+def summary_row(label: str, result: EvaluationResult) -> str:
+    """One comparison row: accuracies and eagerness percentages."""
+    oracle = (
+        f"{result.eagerness.mean_oracle_fraction:6.1%}"
+        if result.eagerness.oracle_fractions
+        else "   n/a"
+    )
+    return (
+        f"{label:<28} full {result.full_accuracy:6.1%}   "
+        f"eager {result.eager_accuracy:6.1%}   "
+        f"seen {result.eagerness.mean_fraction_seen:6.1%}   "
+        f"oracle {oracle}"
+    )
+
+
+def comparison_table(rows: list[tuple[str, EvaluationResult]]) -> str:
+    """Stack several summary rows under a header."""
+    header = (
+        f"{'experiment':<28} {'full acc':>10} {'eager acc':>11} "
+        f"{'seen':>7} {'oracle':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, result in rows:
+        oracle = (
+            f"{result.eagerness.mean_oracle_fraction:6.1%}"
+            if result.eagerness.oracle_fractions
+            else "n/a"
+        )
+        lines.append(
+            f"{label:<28} {result.full_accuracy:>9.1%} "
+            f"{result.eager_accuracy:>10.1%} "
+            f"{result.eagerness.mean_fraction_seen:>6.1%} {oracle:>8}"
+        )
+    return "\n".join(lines)
+
+
+def labelling_diagram(report: EagerTrainingReport, max_examples: int = 5) -> str:
+    """Figures 5–7: per-subgesture labels of training examples.
+
+    Each training example renders as its class name and one character per
+    subgesture — uppercase for complete, lowercase for incomplete, the
+    letter being the full classifier's verdict on that prefix.
+    """
+    lines: list[str] = []
+    shown: dict[str, int] = {}
+    for example in report.labelled:
+        count = shown.get(example.true_class, 0)
+        if count >= max_examples:
+            continue
+        shown[example.true_class] = count + 1
+        lines.append(f"{example.true_class:>12}: {example.label_string()}")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""ASCII renderings of eager-recognition behaviour (figure 9's key).
+
+Figure 9 draws each test gesture with three line weights: thin for the
+genuinely ambiguous part, medium for points seen after classification,
+and thick where "the eager recognizer failed to be eager enough" —
+points between the hand-determined unambiguity point and the actual
+classification point.  This module reproduces that rendering in
+characters:
+
+* ``.`` — the ambiguous part (before the oracle corner),
+* ``#`` — unambiguous but not yet classified (the eagerness shortfall),
+* ``o`` — seen after the eager recognizer classified,
+* ``*`` — the classification point itself.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Stroke
+
+__all__ = ["render_eager_stroke", "render_eager_examples"]
+
+
+def render_eager_stroke(
+    stroke: Stroke,
+    points_seen: int,
+    oracle_points: int | None = None,
+    cols: int = 36,
+    rows: int = 12,
+) -> str:
+    """One gesture, drawn with figure-9 line weights."""
+    if len(stroke) == 0:
+        return ""
+    box = stroke.bounding_box()
+    width = max(box.width, 1e-9)
+    height = max(box.height, 1e-9)
+    grid = [[" "] * cols for _ in range(rows)]
+    for index, point in enumerate(stroke, start=1):
+        col = int((point.x - box.min_x) / width * (cols - 1))
+        row = int((point.y - box.min_y) / height * (rows - 1))
+        if index == points_seen:
+            ch = "*"
+        elif index > points_seen:
+            ch = "o"
+        elif oracle_points is not None and index > oracle_points:
+            ch = "#"
+        else:
+            ch = "."
+        # The classification point wins over everything else.
+        if grid[row][col] != "*":
+            grid[row][col] = ch
+    return "\n".join("".join(line).rstrip() for line in grid)
+
+
+def render_eager_examples(
+    examples: list[tuple[str, Stroke, int, int | None]],
+    cols: int = 30,
+    rows: int = 10,
+) -> str:
+    """Render several (label, stroke, points_seen, oracle) side by side."""
+    blocks = []
+    for label, stroke, points_seen, oracle in examples:
+        art = render_eager_stroke(stroke, points_seen, oracle, cols, rows)
+        lines = art.split("\n")
+        lines += [""] * (rows - len(lines))
+        caption = (
+            f"{label} ({oracle},{points_seen}/{len(stroke)})"
+            if oracle is not None
+            else f"{label} ({points_seen}/{len(stroke)})"
+        )
+        blocks.append([caption.ljust(cols)] + [l.ljust(cols) for l in lines])
+    out_lines = []
+    for row_index in range(rows + 1):
+        out_lines.append("  ".join(block[row_index] for block in blocks).rstrip())
+    return "\n".join(out_lines)

@@ -1,0 +1,17 @@
+"""Synthetic input events, virtual time, and the event loop."""
+
+from .clock import VirtualClock
+from .event import EventKind, MouseButton, MouseEvent, TimerEvent
+from .player import perform_gesture, stroke_events
+from .queue import EventQueue
+
+__all__ = [
+    "EventKind",
+    "EventQueue",
+    "MouseButton",
+    "MouseEvent",
+    "TimerEvent",
+    "VirtualClock",
+    "perform_gesture",
+    "stroke_events",
+]

@@ -1,0 +1,35 @@
+"""A virtual clock.
+
+All interactive behaviour in the reproduction — most importantly the
+200 ms motionless timeout — is driven by simulated time, so tests and
+benchmarks are deterministic and run as fast as the CPU allows, never in
+real time.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds; returns the new time."""
+        if dt < 0.0:
+            raise ValueError("the clock cannot run backwards")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to ``t`` (no-op if ``t`` is in the past)."""
+        if t > self._now:
+            self._now = t
+        return self._now

@@ -1,0 +1,73 @@
+"""Input events.
+
+GRANDMA ran against X10 mouse events on a MicroVAX; the reproduction
+defines its own event vocabulary and synthesizes streams of them.  An
+event handler's *predicate* (paper §3.1) typically dispatches on the
+event kind and mouse button, so both are first-class fields.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..geometry import Point
+
+__all__ = ["EventKind", "MouseButton", "MouseEvent", "TimerEvent"]
+
+
+class EventKind(enum.Enum):
+    """The mouse event types GRANDMA handlers discriminate on."""
+
+    PRESS = "press"
+    MOVE = "move"
+    RELEASE = "release"
+
+
+class MouseButton(enum.IntEnum):
+    """Mouse buttons; the paper suggests dedicating buttons to styles
+    ("use one mouse button for gesturing and another for direct
+    manipulation")."""
+
+    LEFT = 1
+    MIDDLE = 2
+    RIGHT = 3
+
+
+@dataclass(frozen=True)
+class MouseEvent:
+    """A mouse event at screen position ``(x, y)`` at time ``t`` seconds."""
+
+    kind: EventKind
+    x: float
+    y: float
+    t: float
+    button: MouseButton = MouseButton.LEFT
+
+    @property
+    def point(self) -> Point:
+        """The event's position-with-time, as feature extraction wants it."""
+        return Point(self.x, self.y, self.t)
+
+    def is_press(self) -> bool:
+        return self.kind is EventKind.PRESS
+
+    def is_move(self) -> bool:
+        return self.kind is EventKind.MOVE
+
+    def is_release(self) -> bool:
+        return self.kind is EventKind.RELEASE
+
+
+@dataclass(frozen=True)
+class TimerEvent:
+    """A scheduled wakeup; carries the token it was scheduled under.
+
+    The gesture handler uses one of these for the paper's 200 ms
+    motionless timeout: it schedules a timer on every mouse move and
+    treats the timer firing (without an intervening move) as the
+    collection-to-manipulation phase transition.
+    """
+
+    token: int
+    t: float

@@ -1,0 +1,88 @@
+"""Replaying strokes as event streams.
+
+The evaluation harness and the GDP examples drive GRANDMA interfaces by
+"performing" gestures: a stroke becomes a press, a run of moves, an
+optional motionless dwell (to trigger the 200 ms timeout transition), a
+drag path (the manipulation phase), and a release.  This module builds
+those streams.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Point, Stroke
+from .event import EventKind, MouseButton, MouseEvent
+
+__all__ = ["stroke_events", "perform_gesture"]
+
+
+def stroke_events(
+    stroke: Stroke,
+    button: MouseButton = MouseButton.LEFT,
+    t0: float | None = None,
+) -> list[MouseEvent]:
+    """Press at the first point, move through the rest, release at the end.
+
+    The release reuses the final point's position and time: physically the
+    button comes up where the mouse last was.
+    """
+    pts = list(stroke)
+    if not pts:
+        raise ValueError("cannot replay an empty stroke")
+    shift = 0.0 if t0 is None else t0 - pts[0].t
+    events = [
+        MouseEvent(EventKind.PRESS, pts[0].x, pts[0].y, pts[0].t + shift, button)
+    ]
+    events.extend(
+        MouseEvent(EventKind.MOVE, p.x, p.y, p.t + shift, button) for p in pts[1:]
+    )
+    last = pts[-1]
+    events.append(
+        MouseEvent(EventKind.RELEASE, last.x, last.y, last.t + shift, button)
+    )
+    return events
+
+
+def perform_gesture(
+    gesture: Stroke,
+    dwell: float = 0.0,
+    manipulation_path: Stroke | None = None,
+    button: MouseButton = MouseButton.LEFT,
+    t0: float | None = None,
+) -> list[MouseEvent]:
+    """A full two-phase performance of a gesture.
+
+    Args:
+        gesture: the collection-phase stroke.
+        dwell: seconds to hold the mouse still after the gesture.  Use a
+            value over the handler's timeout (e.g. 0.25 s against the
+            paper's 200 ms) to force the timeout phase transition.
+        manipulation_path: optional positions visited during the
+            manipulation phase, after the dwell.  Its timestamps are
+            reinterpreted as offsets from the end of the dwell.
+        button: mouse button for the whole interaction.
+        t0: start time for the press (defaults to the stroke's own).
+
+    Returns:
+        press, moves, [dwell gap], [manipulation moves], release.
+    """
+    pts = list(gesture)
+    if not pts:
+        raise ValueError("cannot perform an empty gesture")
+    shift = 0.0 if t0 is None else t0 - pts[0].t
+    events = [
+        MouseEvent(EventKind.PRESS, pts[0].x, pts[0].y, pts[0].t + shift, button)
+    ]
+    events.extend(
+        MouseEvent(EventKind.MOVE, p.x, p.y, p.t + shift, button) for p in pts[1:]
+    )
+    cursor = Point(pts[-1].x, pts[-1].y, pts[-1].t + shift)
+    clock = cursor.t + dwell
+    if manipulation_path is not None and len(manipulation_path) > 0:
+        base = manipulation_path[0].t
+        for p in manipulation_path:
+            clock_at = clock + (p.t - base)
+            events.append(MouseEvent(EventKind.MOVE, p.x, p.y, clock_at, button))
+            cursor = Point(p.x, p.y, clock_at)
+        clock = cursor.t
+    events.append(MouseEvent(EventKind.RELEASE, cursor.x, cursor.y, clock, button))
+    return events

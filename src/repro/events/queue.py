@@ -1,0 +1,101 @@
+"""The event queue: time-ordered delivery of mouse events and timers.
+
+This is the reproduction's stand-in for the X event loop GRANDMA ran on.
+Producers post :class:`~repro.events.MouseEvent` objects at absolute
+times; consumers (the GRANDMA dispatcher) receive them in time order.
+Handlers may schedule *timers* — the mechanism behind the paper's
+"timeout indicating that the user has not moved the mouse for 200
+milliseconds" — and cancel them when a later event makes them moot.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from .clock import VirtualClock
+from .event import MouseEvent, TimerEvent
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A deterministic, virtual-time event loop."""
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self.clock = clock or VirtualClock()
+        self._heap: list[tuple[float, int, object]] = []
+        self._sequence = itertools.count()
+        self._cancelled: set[int] = set()
+        self._timer_callbacks: dict[int, Callable[[TimerEvent], None]] = {}
+
+    def post(self, event: MouseEvent) -> None:
+        """Enqueue a mouse event for delivery at its own timestamp.
+
+        Events may be posted out of order; delivery is always in time
+        order (ties break by posting order).
+        """
+        heapq.heappush(self._heap, (event.t, next(self._sequence), event))
+
+    def post_all(self, events: list[MouseEvent]) -> None:
+        for event in events:
+            self.post(event)
+
+    def schedule_timer(
+        self, delay: float, callback: Callable[[TimerEvent], None]
+    ) -> int:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns a token usable with :meth:`cancel_timer`.
+        """
+        if delay < 0.0:
+            raise ValueError("cannot schedule a timer in the past")
+        token = next(self._sequence)
+        fire_at = self.clock.now + delay
+        self._timer_callbacks[token] = callback
+        heapq.heappush(
+            self._heap, (fire_at, token, TimerEvent(token=token, t=fire_at))
+        )
+        return token
+
+    def cancel_timer(self, token: int) -> bool:
+        """Cancel a pending timer; returns False if it already fired."""
+        if token in self._timer_callbacks:
+            del self._timer_callbacks[token]
+            self._cancelled.add(token)
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of undelivered entries (including cancelled timers)."""
+        return len(self._heap)
+
+    def run(self, deliver: Callable[[MouseEvent], None]) -> int:
+        """Drain the queue, advancing the clock to each entry's time.
+
+        Mouse events go to ``deliver``; timer events go to the callback
+        they were scheduled with.  Handlers may post new events or timers
+        while the queue runs — a timer scheduled during delivery of an
+        event at time ``t`` fires at ``t + delay``, exactly like a real
+        event loop.
+
+        Returns:
+            The number of mouse events delivered.
+        """
+        delivered = 0
+        while self._heap:
+            fire_at, token, item = heapq.heappop(self._heap)
+            self.clock.advance_to(fire_at)
+            if isinstance(item, TimerEvent):
+                if token in self._cancelled:
+                    self._cancelled.discard(token)
+                    continue
+                callback = self._timer_callbacks.pop(item.token, None)
+                if callback is not None:
+                    callback(item)
+            else:
+                deliver(item)
+                delivered += 1
+        return delivered

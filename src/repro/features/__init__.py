@@ -1,0 +1,12 @@
+"""Rubine's gesture features: batch and incremental computation."""
+
+from .incremental import IncrementalFeatures
+from .rubine import FEATURE_NAMES, NUM_FEATURES, feature_matrix, features_of
+
+__all__ = [
+    "FEATURE_NAMES",
+    "NUM_FEATURES",
+    "IncrementalFeatures",
+    "feature_matrix",
+    "features_of",
+]

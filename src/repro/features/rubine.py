@@ -1,0 +1,167 @@
+"""Rubine's feature set for single-stroke gestures.
+
+Section 4.2 of the USENIX paper represents a gesture by "a vector of
+(currently twelve) features", each updatable in constant time per mouse
+point.  The definitive list is the thirteen features of Rubine's
+SIGGRAPH'91 paper *Specifying Gestures by Example* / his dissertation;
+the twelfth and thirteenth (maximum speed and duration) are the ones
+variously dropped, so this module implements all thirteen and lets the
+caller select a subset.
+
+With ``P`` points ``p = 0 .. P-1`` and deltas
+``dx_p = x_{p+1} - x_p`` etc., the features are:
+
+==== ==========================================================
+f1   cosine of the initial angle: ``(x_2 - x_0) / d``
+f2   sine of the initial angle:   ``(y_2 - y_0) / d``
+f3   length of the bounding-box diagonal
+f4   angle of the bounding-box diagonal
+f5   distance between first and last point
+f6   cosine of the angle between first and last point
+f7   sine of the angle between first and last point
+f8   total gesture (arc) length
+f9   total angle traversed (sum of signed turn angles)
+f10  sum of absolute turn angles
+f11  sum of squared turn angles ("sharpness")
+f12  maximum squared speed between successive points
+f13  gesture duration
+==== ==========================================================
+
+``d`` in f1/f2 is the distance from the first to the *third* point, a
+smoothing choice from the original paper that makes the initial angle
+robust to one-pixel jitter at the pen-down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry import BoundingBox, Stroke
+
+__all__ = [
+    "FEATURE_NAMES",
+    "NUM_FEATURES",
+    "features_of",
+    "feature_matrix",
+]
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "cos_initial",
+    "sin_initial",
+    "bbox_diagonal",
+    "bbox_angle",
+    "endpoint_distance",
+    "cos_endpoints",
+    "sin_endpoints",
+    "total_length",
+    "total_angle",
+    "total_abs_angle",
+    "sharpness",
+    "max_speed_sq",
+    "duration",
+)
+
+NUM_FEATURES = len(FEATURE_NAMES)
+
+# Below this squared distance two samples are treated as coincident when
+# computing turn angles, matching Rubine's noise floor of 3 pixels.
+_MIN_SEGMENT_SQ = 9.0
+
+# Distances below a thousandth of a pixel are treated as zero when
+# normalizing directions: no input device resolves them, and denormal
+# magnitudes make the direction cosines numerically unstable under
+# translation.
+_MIN_DISTANCE = 1e-3
+
+# Inter-sample gaps below a microsecond are treated as simultaneous:
+# no physical input device delivers them, and tiny denominators would
+# underflow or blow the speed feature up to infinity.
+_MIN_DT = 1e-6
+
+
+def features_of(stroke: Stroke) -> np.ndarray:
+    """Compute the 13-dimensional feature vector of a stroke.
+
+    Degenerate strokes (fewer than 3 points, or zero extent) yield zeros
+    for the undefined trigonometric features rather than raising: the
+    eager recognizer evaluates every prefix of a gesture, including ones
+    only a couple of points long.
+    """
+    f = np.zeros(NUM_FEATURES)
+    pts = list(stroke)
+    n = len(pts)
+    if n == 0:
+        return f
+
+    first = pts[0]
+
+    # f1, f2 — initial direction, smoothed over the first three points.
+    anchor = pts[min(2, n - 1)]
+    dx0, dy0 = anchor.x - first.x, anchor.y - first.y
+    d0 = math.hypot(dx0, dy0)
+    if d0 > _MIN_DISTANCE:
+        f[0] = dx0 / d0
+        f[1] = dy0 / d0
+
+    # f3, f4 — bounding-box diagonal.
+    box = BoundingBox.of(pts)
+    f[2] = box.diagonal
+    f[3] = box.diagonal_angle
+
+    # f5, f6, f7 — endpoint chord.
+    last = pts[-1]
+    dxe, dye = last.x - first.x, last.y - first.y
+    de = math.hypot(dxe, dye)
+    f[4] = de
+    if de > _MIN_DISTANCE:
+        f[5] = dxe / de
+        f[6] = dye / de
+
+    # f8..f12 — per-segment accumulations.
+    total_len = 0.0
+    total_angle = 0.0
+    total_abs = 0.0
+    sharpness = 0.0
+    max_speed_sq = 0.0
+    prev_dx = prev_dy = None
+    for a, b in zip(pts, pts[1:]):
+        dx, dy = b.x - a.x, b.y - a.y
+        seg_sq = dx * dx + dy * dy
+        total_len += math.sqrt(seg_sq)
+        dt = b.t - a.t
+        if dt >= _MIN_DT:
+            speed_sq = seg_sq / (dt * dt)
+            if speed_sq > max_speed_sq:
+                max_speed_sq = speed_sq
+        if (
+            prev_dx is not None
+            and seg_sq >= _MIN_SEGMENT_SQ
+            and prev_dx * prev_dx + prev_dy * prev_dy >= _MIN_SEGMENT_SQ
+        ):
+            theta = math.atan2(
+                prev_dx * dy - prev_dy * dx, prev_dx * dx + prev_dy * dy
+            )
+            total_angle += theta
+            total_abs += abs(theta)
+            sharpness += theta * theta
+        if seg_sq > 0.0:
+            prev_dx, prev_dy = dx, dy
+    f[7] = total_len
+    f[8] = total_angle
+    f[9] = total_abs
+    f[10] = sharpness
+    f[11] = max_speed_sq
+
+    # f13 — duration.
+    f[12] = last.t - first.t
+    return f
+
+
+def feature_matrix(strokes: Sequence[Stroke]) -> np.ndarray:
+    """Stack feature vectors of many strokes into an ``(n, 13)`` matrix."""
+    if not strokes:
+        return np.zeros((0, NUM_FEATURES))
+    return np.vstack([features_of(s) for s in strokes])

@@ -1,0 +1,34 @@
+"""GDP — the gesture-based drawing program (paper §2)."""
+
+from .app import GDPApp, train_gdp_recognizer
+from .canvas import Canvas
+from .render import render_canvas
+from .semantics import build_gdp_semantics
+from .shapes import (
+    ControlPoint,
+    EllipseShape,
+    GroupShape,
+    LineShape,
+    RectShape,
+    Shape,
+    TextShape,
+)
+from .views import CanvasView, ControlPointView, ShapeView
+
+__all__ = [
+    "Canvas",
+    "CanvasView",
+    "ControlPoint",
+    "ControlPointView",
+    "EllipseShape",
+    "GDPApp",
+    "GroupShape",
+    "LineShape",
+    "RectShape",
+    "Shape",
+    "ShapeView",
+    "TextShape",
+    "build_gdp_semantics",
+    "render_canvas",
+    "train_gdp_recognizer",
+]

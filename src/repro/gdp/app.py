@@ -1,0 +1,139 @@
+"""GDP, assembled.
+
+:class:`GDPApp` wires the whole stack the way the paper describes GDP:
+a canvas model, a canvas view with a gesture handler for the eleven GDP
+gestures (eager recognition on by default, the 200 ms timeout as a
+fallback), shape views without handlers (so gestures may start on
+shapes), and control-point views with a shared drag handler.
+
+Drive it by posting mouse events — usually via
+:func:`repro.events.perform_gesture` — and calling :meth:`run`.
+"""
+
+from __future__ import annotations
+
+from ..eager import EagerRecognizer, train_eager_recognizer
+from ..events import EventQueue, MouseButton, MouseEvent, VirtualClock
+from ..interaction import DEFAULT_TIMEOUT, DragHandler, GestureHandler
+from ..mvc import Dispatcher, EventPredicate
+from ..recognizer import GestureClassifier
+from ..synth import GestureGenerator, gdp_templates
+from .canvas import Canvas
+from .render import render_canvas
+from .semantics import build_gdp_semantics
+from .views import CanvasView, ShapeView
+
+__all__ = ["GDPApp", "train_gdp_recognizer"]
+
+
+def train_gdp_recognizer(
+    examples_per_class: int = 15, seed: int = 7
+) -> EagerRecognizer:
+    """Train an eager recognizer for the GDP gesture set.
+
+    The paper trains GDP "typically with 15 examples of each class"; the
+    examples come from the synthetic generator (the reproduction's user).
+    """
+    generator = GestureGenerator(gdp_templates(), seed=seed)
+    report = train_eager_recognizer(
+        generator.generate_strokes(examples_per_class)
+    )
+    return report.recognizer
+
+
+class GDPApp:
+    """A headless but fully interactive GDP instance."""
+
+    def __init__(
+        self,
+        recognizer: EagerRecognizer | GestureClassifier | None = None,
+        width: float = 800.0,
+        height: float = 600.0,
+        use_eager: bool = True,
+        use_timeout: bool = True,
+        timeout: float = DEFAULT_TIMEOUT,
+        modified: bool = False,
+        right_button_drag: bool = False,
+    ):
+        """
+        Args:
+            right_button_drag: §3.1's "gesture and direct manipulation in
+                the same interface ... via different mouse buttons": shape
+                views get a right-button drag handler, so shapes can be
+                dragged directly while left-button input remains gestural.
+        """
+        if recognizer is None:
+            recognizer = train_gdp_recognizer()
+        self.canvas = Canvas(width=width, height=height)
+        self.view = CanvasView(self.canvas)
+        self.queue = EventQueue(VirtualClock())
+        self.dispatcher = Dispatcher(self.view, self.queue)
+        self.gesture_handler = GestureHandler(
+            recognizer=recognizer,
+            semantics=build_gdp_semantics(modified=modified),
+            predicate=EventPredicate.for_button(MouseButton.LEFT),
+            use_eager=use_eager,
+            use_timeout=use_timeout,
+            timeout=timeout,
+        )
+        self.view.add_handler(self.gesture_handler)
+        if right_button_drag:
+            # An instance handler on each shape view would also work;
+            # per §3 a handler per *class* is shared by every shape.
+            drag = DragHandler(
+                predicate=EventPredicate.for_button(MouseButton.RIGHT),
+                target_of=lambda view: getattr(view, "shape", None),
+            )
+            for shape_view in self.view.children:
+                if isinstance(shape_view, ShapeView):
+                    shape_view.add_handler(drag)
+            self._right_drag_handler = drag
+            # New shapes created later get the handler too.
+            original_changed = self.view.model_changed
+
+            def sync_and_attach(model):
+                original_changed(model)
+                for child in self.view.children:
+                    if isinstance(child, ShapeView) and drag not in list(
+                        child.handlers()
+                    ):
+                        child.add_handler(drag)
+
+            self.canvas.add_observer(sync_and_attach)
+
+    # -- driving the app ------------------------------------------------------
+
+    def post(self, events: list[MouseEvent]) -> None:
+        """Queue a batch of input events (e.g. from perform_gesture).
+
+        Gesture strokes are usually timestamped from zero; once the app's
+        clock has advanced past that (a previous interaction ran), the
+        batch is shifted forward to start "now" — otherwise the stillness
+        timeout, which runs on the app clock, could never fire for it.
+        """
+        if events and events[0].t < self.queue.clock.now:
+            shift = self.queue.clock.now - events[0].t
+            events = [
+                MouseEvent(e.kind, e.x, e.y, e.t + shift, e.button)
+                for e in events
+            ]
+        self.queue.post_all(events)
+
+    def run(self) -> int:
+        """Process all queued input; returns the number of mouse events."""
+        return self.dispatcher.run()
+
+    def perform(self, events: list[MouseEvent]) -> None:
+        """Post and immediately process one interaction's events."""
+        self.post(events)
+        self.run()
+
+    # -- inspection -------------------------------------------------------------
+
+    def render(self, cols: int = 80, rows: int = 24) -> str:
+        """The drawing as ASCII art (see :mod:`repro.gdp.render`)."""
+        return render_canvas(self.canvas, cols=cols, rows=rows)
+
+    @property
+    def shapes(self):
+        return self.canvas.shapes

@@ -1,0 +1,159 @@
+"""The GDP drawing — the canvas model.
+
+The canvas owns the z-ordered list of top-level shapes and implements
+the queries gesture semantics need: topmost shape under a point (delete,
+move, copy, rotate-scale, edit, dot), shapes enclosed by a circling
+stroke (group), and structural edits (create, delete, group, ungroup).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..geometry import Stroke, polygon_contains
+from ..mvc import Model
+from .shapes import (
+    EllipseShape,
+    GroupShape,
+    LineShape,
+    RectShape,
+    Shape,
+    TextShape,
+)
+
+__all__ = ["Canvas"]
+
+
+class Canvas(Model):
+    """The drawing: an ordered collection of shapes (later = on top)."""
+
+    def __init__(self, width: float = 800.0, height: float = 600.0):
+        super().__init__()
+        self.width = width
+        self.height = height
+        self._shapes: list[Shape] = []
+        self.selection: set[Shape] = set()
+
+    # -- contents ------------------------------------------------------------
+
+    @property
+    def shapes(self) -> tuple[Shape, ...]:
+        return tuple(self._shapes)
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def __iter__(self) -> Iterator[Shape]:
+        return iter(self._shapes)
+
+    def __contains__(self, shape: Shape) -> bool:
+        return shape in self._shapes
+
+    # -- creation (the paper's [view createRect] etc.) --------------------------
+
+    def add(self, shape: Shape) -> Shape:
+        self._shapes.append(shape)
+        self.changed()
+        return shape
+
+    def create_rect(self, x1: float, y1: float, x2: float, y2: float) -> RectShape:
+        return self.add(RectShape(x1, y1, x2, y2))
+
+    def create_line(self, x1: float, y1: float, x2: float, y2: float) -> LineShape:
+        return self.add(LineShape(x1, y1, x2, y2))
+
+    def create_ellipse(
+        self, cx: float, cy: float, rx: float = 1.0, ry: float = 1.0
+    ) -> EllipseShape:
+        return self.add(EllipseShape(cx, cy, rx, ry))
+
+    def create_text(self, x: float, y: float, text: str = "text") -> TextShape:
+        return self.add(TextShape(x, y, text))
+
+    # -- removal -------------------------------------------------------------
+
+    def delete(self, shape: Shape) -> bool:
+        """Remove a top-level shape; returns False if it was not present."""
+        if shape not in self._shapes:
+            return False
+        self._shapes.remove(shape)
+        self.selection.discard(shape)
+        self.changed()
+        return True
+
+    def clear(self) -> None:
+        self._shapes.clear()
+        self.selection.clear()
+        self.changed()
+
+    # -- grouping -------------------------------------------------------------
+
+    def group(self, members: list[Shape]) -> GroupShape:
+        """Replace top-level ``members`` with one composite.
+
+        Members not on the canvas are ignored; an empty effective member
+        list still produces an (empty) group, which the group gesture's
+        manipulation phase may then populate by touching shapes.
+        """
+        present = [s for s in self._shapes if s in members]
+        for shape in present:
+            self._shapes.remove(shape)
+            self.selection.discard(shape)
+        composite = GroupShape(present)
+        self._shapes.append(composite)
+        self.changed()
+        return composite
+
+    def add_to_group(self, composite: GroupShape, shape: Shape) -> bool:
+        """Move a top-level shape into an existing group (manip phase)."""
+        if shape not in self._shapes or shape is composite:
+            return False
+        self._shapes.remove(shape)
+        self.selection.discard(shape)
+        composite.add_member(shape)
+        self.changed()
+        return True
+
+    def ungroup(self, composite: GroupShape) -> list[Shape]:
+        """Dissolve a group back into its members."""
+        if composite not in self._shapes:
+            return []
+        index = self._shapes.index(composite)
+        self._shapes[index : index + 1] = composite.members
+        self.selection.discard(composite)
+        self.changed()
+        return list(composite.members)
+
+    # -- queries gesture semantics use --------------------------------------------
+
+    def top_shape_at(
+        self, x: float, y: float, tolerance: float = 6.0
+    ) -> Shape | None:
+        """Topmost shape hit by ``(x, y)``, or None."""
+        for shape in reversed(self._shapes):
+            if shape.hit(x, y, tolerance):
+                return shape
+        return None
+
+    def shapes_enclosed_by(self, stroke: Stroke) -> list[Shape]:
+        """Shapes whose reference point lies inside the circled region."""
+        return [
+            shape
+            for shape in self._shapes
+            if polygon_contains(stroke, shape.reference_point().x,
+                                shape.reference_point().y)
+        ]
+
+    # -- selection (the dot gesture) ------------------------------------------------
+
+    def select(self, shape: Shape, extend: bool = False) -> None:
+        if not extend:
+            self.selection.clear()
+        if shape in self._shapes:
+            self.selection.add(shape)
+        self.changed()
+
+    def clear_selection(self) -> None:
+        if self.selection:
+            self.selection.clear()
+            self.changed()

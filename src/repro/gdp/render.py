@@ -1,0 +1,122 @@
+"""Headless rendering of a GDP canvas to a character raster.
+
+The paper's GDP drew through X10 on a MicroVAX; the reproduction renders
+to text so examples and tests can *show* the drawing without a display
+server.  Fidelity is deliberately coarse — the renderer exists to make
+the examples' output legible and to let tests assert "a rectangle
+outline now exists around here".
+"""
+
+from __future__ import annotations
+
+import math
+
+from .canvas import Canvas
+from .shapes import (
+    EllipseShape,
+    GroupShape,
+    LineShape,
+    RectShape,
+    Shape,
+    TextShape,
+)
+
+__all__ = ["render_canvas"]
+
+
+class _Raster:
+    def __init__(self, cols: int, rows: int, sx: float, sy: float):
+        self.cols = cols
+        self.rows = rows
+        self.sx = sx  # canvas units per column
+        self.sy = sy  # canvas units per row
+        self.grid = [[" "] * cols for _ in range(rows)]
+
+    def plot(self, x: float, y: float, ch: str) -> None:
+        col = int(round(x / self.sx))
+        row = int(round(y / self.sy))
+        if 0 <= col < self.cols and 0 <= row < self.rows:
+            self.grid[row][col] = ch
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, ch: str) -> None:
+        steps = max(
+            int(abs(x2 - x1) / self.sx), int(abs(y2 - y1) / self.sy), 1
+        )
+        for k in range(steps + 1):
+            t = k / steps
+            self.plot(x1 + t * (x2 - x1), y1 + t * (y2 - y1), ch)
+
+    def text(self, x: float, y: float, s: str) -> None:
+        col = int(round(x / self.sx))
+        row = int(round(y / self.sy))
+        if not 0 <= row < self.rows:
+            return
+        for i, ch in enumerate(s):
+            if 0 <= col + i < self.cols:
+                self.grid[row][col + i] = ch
+
+    def to_string(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self.grid)
+
+
+def render_canvas(
+    canvas: Canvas, cols: int = 80, rows: int = 24, border: bool = True
+) -> str:
+    """Render the canvas contents as ``cols x rows`` characters."""
+    raster = _Raster(
+        cols, rows, sx=canvas.width / cols, sy=canvas.height / rows
+    )
+    for shape in canvas:
+        _draw(shape, raster, selected=shape in canvas.selection)
+    body = raster.to_string()
+    if not border:
+        return body
+    lines = body.split("\n")
+    lines += [""] * (rows - len(lines))
+    top = "+" + "-" * cols + "+"
+    framed = [top] + [f"|{line.ljust(cols)}|" for line in lines] + [top]
+    return "\n".join(framed)
+
+
+def _draw(shape: Shape, raster: _Raster, selected: bool = False) -> None:
+    marker_override = "*" if selected else None
+    if isinstance(shape, GroupShape):
+        for member in shape.members:
+            _draw(member, raster, selected=selected)
+        return
+    if isinstance(shape, LineShape):
+        (x1, y1), (x2, y2) = shape.endpoints
+        ch = marker_override or _line_char(x1, y1, x2, y2)
+        raster.line(x1, y1, x2, y2, ch)
+    elif isinstance(shape, RectShape):
+        corners = shape.corner_points()
+        for (ax, ay), (bx, by) in zip(corners, corners[1:] + corners[:1]):
+            ch = marker_override or _line_char(ax, ay, bx, by)
+            raster.line(ax, ay, bx, by, ch)
+    elif isinstance(shape, EllipseShape):
+        cx, cy = shape.center
+        steps = max(int((shape.rx + shape.ry) / min(raster.sx, raster.sy)), 12)
+        for k in range(steps):
+            theta = 2 * math.pi * k / steps
+            raster.plot(
+                cx + shape.rx * math.cos(theta),
+                cy + shape.ry * math.sin(theta),
+                marker_override or "o",
+            )
+    elif isinstance(shape, TextShape):
+        x, y = shape.position
+        label = shape.text if marker_override is None else f"*{shape.text}*"
+        raster.text(x, y, label)
+    else:  # an unknown shape type: mark its reference point
+        ref = shape.reference_point()
+        raster.plot(ref.x, ref.y, marker_override or "?")
+
+
+def _line_char(x1: float, y1: float, x2: float, y2: float) -> str:
+    """Pick a character suggesting the segment's slope."""
+    dx, dy = abs(x2 - x1), abs(y2 - y1)
+    if dx >= 2 * dy:
+        return "-"
+    if dy >= 2 * dx:
+        return "|"
+    return "\\" if (x2 - x1) * (y2 - y1) > 0 else "/"

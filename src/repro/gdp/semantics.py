@@ -1,0 +1,293 @@
+"""The semantics of GDP's eleven gestures (paper figure 3).
+
+Each entry is the recog/manip/done triple the paper writes as
+Objective-C message expressions.  The rectangle one, for instance, is a
+direct transliteration of §3.2's example::
+
+    recog = [[view createRect] setEndpoint:0 x:<startX> y:<startY>];
+    manip = [recog setEndpoint:1 x:<currentX> y:<currentY>];
+    done  = nil;
+
+Figure 3's parameter table is the specification: for every gesture,
+which parameters are fixed at recognition time and which are manipulated
+interactively afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..interaction import GestureContext, GestureSemantics
+from .canvas import Canvas
+from .shapes import GroupShape, Shape
+from .views import CanvasView, ShapeView
+
+__all__ = ["build_gdp_semantics"]
+
+
+def _canvas(context: GestureContext) -> Canvas:
+    view = context.view
+    if not isinstance(view, CanvasView):
+        raise TypeError("GDP gestures must be directed at the canvas view")
+    return view.canvas
+
+
+def _shape_view(context: GestureContext, shape: Shape) -> ShapeView | None:
+    view = context.view
+    if isinstance(view, CanvasView):
+        return view.view_for(shape)
+    return None
+
+
+def build_gdp_semantics(modified: bool = False) -> dict[str, GestureSemantics]:
+    """The full gesture-class → semantics mapping for GDP.
+
+    With ``modified=True`` this is §2's "modified version of GDP": the
+    initial angle of the rectangle gesture sets the rectangle's
+    orientation, and the length of the line gesture sets the line's
+    thickness — the paper's illustration of "how gestural attributes may
+    be mapped to application parameters".  (The paper notes the modified
+    rectangle must be *trained* in multiple orientations for the
+    classifier to accept rotated gestures.)
+    """
+    return {
+        "rect": _rect_semantics(modified=modified),
+        "line": _line_semantics(modified=modified),
+        "ellipse": _ellipse_semantics(),
+        "group": _group_semantics(),
+        "copy": _copy_semantics(),
+        "move": _move_semantics(),
+        "rotate-scale": _rotate_scale_semantics(),
+        "delete": _delete_semantics(),
+        "edit": _edit_semantics(),
+        "text": _text_semantics(),
+        "dot": _dot_semantics(),
+    }
+
+
+def _rect_semantics(modified: bool = False) -> GestureSemantics:
+    """Corner 1 at recognition; corner 2 rubberbands (figure 3).
+
+    In the modified variant the gesture's initial angle becomes the
+    rectangle's orientation with respect to the horizontal (§2).  The
+    canonical rect gesture opens straight *down* (+pi/2 on a y-down
+    screen), so the orientation is the deviation from that.
+    """
+
+    def recog(context: GestureContext) -> Shape:
+        rect = _canvas(context).create_rect(
+            context.start_x, context.start_y, context.current_x, context.current_y
+        )
+        if modified:
+            rect.angle = context.initial_angle - math.pi / 2
+            rect.changed()
+        return rect
+
+    def manip(context: GestureContext) -> None:
+        context.recog.set_corner(1, context.current_x, context.current_y)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _line_semantics(modified: bool = False) -> GestureSemantics:
+    """Endpoint 1 at recognition; endpoint 2 rubberbands.
+
+    In the modified variant the gesture's length sets the line's
+    thickness (§2), one display unit per 25 gesture pixels.
+    """
+
+    def recog(context: GestureContext) -> Shape:
+        line = _canvas(context).create_line(
+            context.start_x, context.start_y, context.current_x, context.current_y
+        )
+        if modified:
+            line.thickness = max(1.0, context.gesture_length / 25.0)
+            line.changed()
+        return line
+
+    def manip(context: GestureContext) -> None:
+        context.recog.set_endpoint(1, context.current_x, context.current_y)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _ellipse_semantics() -> GestureSemantics:
+    """Center at recognition; size and eccentricity by manipulation."""
+
+    def recog(context: GestureContext) -> Shape:
+        ellipse = _canvas(context).create_ellipse(
+            context.start_x, context.start_y
+        )
+        _set_radii_from_cursor(ellipse, context)
+        return ellipse
+
+    def manip(context: GestureContext) -> None:
+        _set_radii_from_cursor(context.recog, context)
+
+    def _set_radii_from_cursor(ellipse, context: GestureContext) -> None:
+        rx = abs(context.current_x - context.start_x)
+        ry = abs(context.current_y - context.start_y)
+        ellipse.set_radii(max(rx, 1.0), max(ry, 1.0))
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _group_semantics() -> GestureSemantics:
+    """Enclosed objects grouped at recognition; touch adds members."""
+
+    def recog(context: GestureContext) -> GroupShape:
+        canvas = _canvas(context)
+        enclosed = canvas.shapes_enclosed_by(context.enclosed_stroke)
+        return canvas.group(enclosed)
+
+    def manip(context: GestureContext) -> None:
+        canvas = _canvas(context)
+        touched = canvas.top_shape_at(context.current_x, context.current_y)
+        if touched is not None and touched is not context.recog:
+            canvas.add_to_group(context.recog, touched)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _copy_semantics() -> GestureSemantics:
+    """Object to copy fixed at recognition; copy follows the mouse."""
+
+    def recog(context: GestureContext) -> Shape | None:
+        canvas = _canvas(context)
+        original = canvas.top_shape_at(context.start_x, context.start_y)
+        if original is None:
+            return None
+        duplicate = original.clone()
+        canvas.add(duplicate)
+        context.attributes["last"] = (context.current_x, context.current_y)
+        return duplicate
+
+    def manip(context: GestureContext) -> None:
+        _drag_recog_shape(context)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _move_semantics() -> GestureSemantics:
+    """Object fixed at recognition; location manipulated."""
+
+    def recog(context: GestureContext) -> Shape | None:
+        shape = _canvas(context).top_shape_at(context.start_x, context.start_y)
+        context.attributes["last"] = (context.current_x, context.current_y)
+        return shape
+
+    def manip(context: GestureContext) -> None:
+        _drag_recog_shape(context)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _drag_recog_shape(context: GestureContext) -> None:
+    """Shared manip body: the recog'd shape tracks the mouse deltas."""
+    shape = context.recog
+    if shape is None:
+        return
+    last_x, last_y = context.attributes.get(
+        "last", (context.current_x, context.current_y)
+    )
+    dx, dy = context.current_x - last_x, context.current_y - last_y
+    if dx or dy:
+        shape.move_by(dx, dy)
+    context.attributes["last"] = (context.current_x, context.current_y)
+
+
+def _rotate_scale_semantics() -> GestureSemantics:
+    """Center of rotation = gesture start; drag point manipulates both
+    size and orientation (figure 3)."""
+
+    def recog(context: GestureContext) -> Shape | None:
+        canvas = _canvas(context)
+        shape = canvas.top_shape_at(context.start_x, context.start_y)
+        context.attributes["drag"] = (context.current_x, context.current_y)
+        return shape
+
+    def manip(context: GestureContext) -> None:
+        shape = context.recog
+        if shape is None:
+            return
+        cx, cy = context.start_x, context.start_y
+        px, py = context.attributes.get(
+            "drag", (context.current_x, context.current_y)
+        )
+        qx, qy = context.current_x, context.current_y
+        r_prev = math.hypot(px - cx, py - cy)
+        r_now = math.hypot(qx - cx, qy - cy)
+        if r_prev < 1e-6 or r_now < 1e-6:
+            return
+        angle = math.atan2(qy - cy, qx - cx) - math.atan2(py - cy, px - cx)
+        scale = r_now / r_prev
+        shape.rotate_scale_about(cx, cy, angle, scale)
+        context.attributes["drag"] = (qx, qy)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _delete_semantics() -> GestureSemantics:
+    """Object at gesture start deleted; touching deletes more (figure 3)."""
+
+    def recog(context: GestureContext) -> Shape | None:
+        canvas = _canvas(context)
+        victim = canvas.top_shape_at(context.start_x, context.start_y)
+        if victim is not None:
+            canvas.delete(victim)
+        return victim
+
+    def manip(context: GestureContext) -> None:
+        canvas = _canvas(context)
+        touched = canvas.top_shape_at(context.current_x, context.current_y)
+        if touched is not None:
+            canvas.delete(touched)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _edit_semantics() -> GestureSemantics:
+    """Bring up control points on the object at the gesture start (§2)."""
+
+    def recog(context: GestureContext) -> Shape | None:
+        canvas = _canvas(context)
+        shape = canvas.top_shape_at(context.start_x, context.start_y)
+        if shape is None:
+            return None
+        shape_view = _shape_view(context, shape)
+        if shape_view is not None:
+            if shape_view.editing:
+                shape_view.hide_control_points()
+            else:
+                shape_view.show_control_points()
+        return shape
+
+    return GestureSemantics(recog=recog)
+
+
+def _text_semantics() -> GestureSemantics:
+    """Create a text object at the gesture start; drag to position it."""
+
+    def recog(context: GestureContext) -> Shape:
+        text = _canvas(context).create_text(context.start_x, context.start_y)
+        return text
+
+    def manip(context: GestureContext) -> None:
+        context.recog.set_position(context.current_x, context.current_y)
+
+    return GestureSemantics(recog=recog, manip=manip)
+
+
+def _dot_semantics() -> GestureSemantics:
+    """Select the object under the dot (or clear the selection)."""
+
+    def recog(context: GestureContext) -> Shape | None:
+        canvas = _canvas(context)
+        shape = canvas.top_shape_at(context.start_x, context.start_y)
+        if shape is None:
+            canvas.clear_selection()
+        else:
+            canvas.select(shape)
+        return shape
+
+    return GestureSemantics(recog=recog)

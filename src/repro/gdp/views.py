@@ -1,0 +1,112 @@
+"""GDP's view layer.
+
+One :class:`CanvasView` (the window GDP runs in — "view refers to the
+object at which the gesture is directed, in this case the window in
+which GDP runs") holds a :class:`ShapeView` per top-level shape, kept in
+sync by observing the canvas model.  The edit gesture materializes
+:class:`ControlPointView` children, each carrying a drag handler, which
+is how GDP mixes gesture and direct manipulation in one interface: "the
+control points do not themselves respond to gesture, but can be dragged
+around directly".
+"""
+
+from __future__ import annotations
+
+from ..geometry import BoundingBox
+from ..interaction import DragHandler
+from ..mvc import Model, View
+from .canvas import Canvas
+from .shapes import ControlPoint, Shape
+
+__all__ = ["CanvasView", "ShapeView", "ControlPointView"]
+
+
+class ControlPointView(View):
+    """A small square handle over a shape's control point."""
+
+    SIZE = 8.0
+
+    def __init__(self, control_point: ControlPoint):
+        super().__init__(model=control_point)
+        self.control_point = control_point
+
+    def bounds(self) -> BoundingBox:
+        x, y = self.control_point.position
+        half = self.SIZE / 2.0
+        return BoundingBox(x - half, y - half, x + half, y + half)
+
+
+# Control points respond to direct manipulation via a class handler —
+# the paper's efficiency point: one handler object serves every control
+# point in the application.
+ControlPointView.add_class_handler(
+    DragHandler(target_of=lambda view: view.model)
+)
+
+
+class ShapeView(View):
+    """Displays one shape.
+
+    Shape views carry no handlers: input over a shape falls through to
+    the canvas view's gesture handler, which is what makes gestures that
+    *start on* objects (delete, move, rotate-scale...) work.
+    """
+
+    def __init__(self, shape: Shape):
+        super().__init__(model=shape)
+        self.shape = shape
+        self._editing = False
+
+    @property
+    def editing(self) -> bool:
+        return self._editing
+
+    def bounds(self) -> BoundingBox:
+        return self.shape.bounds()
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.shape.hit(x, y)
+
+    def show_control_points(self) -> None:
+        """The edit gesture: bring up draggable handles."""
+        if self._editing:
+            return
+        self._editing = True
+        for control_point in self.shape.control_points():
+            self.add_child(ControlPointView(control_point))
+
+    def hide_control_points(self) -> None:
+        self._editing = False
+        for child in list(self.children):
+            if isinstance(child, ControlPointView):
+                self.remove_child(child)
+
+
+class CanvasView(View):
+    """The GDP window: catches all input not claimed by a child view."""
+
+    def __init__(self, canvas: Canvas):
+        super().__init__(model=canvas)
+        self.canvas = canvas
+        self._shape_views: dict[int, ShapeView] = {}
+        self.model_changed(canvas)
+
+    def contains(self, x: float, y: float) -> bool:
+        """The window covers its whole extent (gestures can start anywhere)."""
+        return 0.0 <= x <= self.canvas.width and 0.0 <= y <= self.canvas.height
+
+    def view_for(self, shape: Shape) -> ShapeView | None:
+        return self._shape_views.get(shape.id)
+
+    def model_changed(self, model: Model) -> None:
+        """Reconcile shape views against the canvas contents."""
+        current_ids = {shape.id for shape in self.canvas}
+        for shape_id, view in list(self._shape_views.items()):
+            if shape_id not in current_ids:
+                self.remove_child(view)
+                del self._shape_views[shape_id]
+        for shape in self.canvas:
+            if shape.id not in self._shape_views:
+                view = ShapeView(shape)
+                self._shape_views[shape.id] = view
+                self.add_child(view)

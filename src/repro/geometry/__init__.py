@@ -1,0 +1,33 @@
+"""Planar geometry substrate: points, strokes, boxes, transforms.
+
+Everything above this package — features, recognizers, GRANDMA, GDP —
+speaks in terms of :class:`~repro.geometry.Point` and
+:class:`~repro.geometry.Stroke`.
+"""
+
+from .bbox import BoundingBox
+from .point import Point, angle_between, distance, midpoint
+from .polyline import (
+    find_corner_indices,
+    point_segment_distance,
+    polygon_contains,
+    stroke_hits_point,
+    stroke_self_closes,
+)
+from .stroke import Stroke
+from .transform import Affine
+
+__all__ = [
+    "Affine",
+    "BoundingBox",
+    "Point",
+    "Stroke",
+    "angle_between",
+    "distance",
+    "find_corner_indices",
+    "midpoint",
+    "point_segment_distance",
+    "polygon_contains",
+    "stroke_hits_point",
+    "stroke_self_closes",
+]

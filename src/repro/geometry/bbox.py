@@ -1,0 +1,114 @@
+"""Axis-aligned bounding boxes.
+
+Two of Rubine's features (f3, f4 — the length and angle of the bounding-box
+diagonal) are defined in terms of the box enclosing the points seen so far,
+so the box supports incremental extension one point at a time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from .point import Point
+
+__all__ = ["BoundingBox"]
+
+
+@dataclass
+class BoundingBox:
+    """A mutable axis-aligned box, growable point by point."""
+
+    min_x: float = math.inf
+    min_y: float = math.inf
+    max_x: float = -math.inf
+    max_y: float = -math.inf
+
+    @classmethod
+    def of(cls, points: Iterable[Point]) -> "BoundingBox":
+        """Build the bounding box of an iterable of points."""
+        box = cls()
+        for p in points:
+            box.extend(p.x, p.y)
+        return box
+
+    @property
+    def is_empty(self) -> bool:
+        """True if no point has been added yet."""
+        return self.min_x > self.max_x
+
+    def extend(self, x: float, y: float) -> None:
+        """Grow the box to include ``(x, y)``."""
+        if x < self.min_x:
+            self.min_x = x
+        if x > self.max_x:
+            self.max_x = x
+        if y < self.min_y:
+            self.min_y = y
+        if y > self.max_y:
+            self.max_y = y
+
+    @property
+    def width(self) -> float:
+        return 0.0 if self.is_empty else self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return 0.0 if self.is_empty else self.max_y - self.min_y
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the box diagonal (Rubine's f3)."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def diagonal_angle(self) -> float:
+        """Angle of the box diagonal (Rubine's f4); 0 for a degenerate box."""
+        if self.width == 0.0 and self.height == 0.0:
+            return 0.0
+        return math.atan2(self.height, self.width)
+
+    @property
+    def center(self) -> Point:
+        if self.is_empty:
+            return Point(0.0, 0.0)
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies inside or on the boundary of the box."""
+        return (
+            not self.is_empty
+            and self.min_x <= x <= self.max_x
+            and self.min_y <= y <= self.max_y
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """True if this box overlaps ``other`` (shared edges count)."""
+        if self.is_empty or other.is_empty:
+            return False
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def union(self, other: "BoundingBox") -> "BoundingBox":
+        """Smallest box containing both boxes."""
+        box = BoundingBox(self.min_x, self.min_y, self.max_x, self.max_y)
+        if not other.is_empty:
+            box.extend(other.min_x, other.min_y)
+            box.extend(other.max_x, other.max_y)
+        return box
+
+    def inflated(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side (for hit-testing)."""
+        if self.is_empty:
+            return BoundingBox()
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )

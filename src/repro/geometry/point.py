@@ -1,0 +1,75 @@
+"""Timed two-dimensional points.
+
+The paper defines a gesture as a sequence of points ``g_p = (x_p, y_p, t_p)``
+(section 4.1): a mouse point ``(x, y)`` that arrived at time ``t``.  This
+module provides the :class:`Point` value type used throughout the library,
+plus the small amount of planar arithmetic the recognizer needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Point", "distance", "angle_between", "midpoint"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable mouse point ``(x, y)`` stamped with arrival time ``t``.
+
+    Time is in seconds.  Points compare by value, so strokes built from the
+    same coordinates are equal, which the test-suite and dataset round-trip
+    code rely on.
+    """
+
+    x: float
+    y: float
+    t: float = 0.0
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return this point moved by ``(dx, dy)``; time is preserved."""
+        return Point(self.x + dx, self.y + dy, self.t)
+
+    def scaled(self, sx: float, sy: float | None = None) -> "Point":
+        """Return this point scaled about the origin; time is preserved."""
+        if sy is None:
+            sy = sx
+        return Point(self.x * sx, self.y * sy, self.t)
+
+    def rotated(self, theta: float, cx: float = 0.0, cy: float = 0.0) -> "Point":
+        """Return this point rotated by ``theta`` radians about ``(cx, cy)``."""
+        c, s = math.cos(theta), math.sin(theta)
+        dx, dy = self.x - cx, self.y - cy
+        return Point(cx + c * dx - s * dy, cy + s * dx + c * dy, self.t)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` (time is ignored)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Return ``(x, y, t)``."""
+        return (self.x, self.y, self.t)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points (time ignored)."""
+    return a.distance_to(b)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """Spatial midpoint of ``a`` and ``b``; time is averaged as well."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0, (a.t + b.t) / 2.0)
+
+
+def angle_between(a: Point, b: Point) -> float:
+    """Direction of the vector from ``a`` to ``b`` in radians.
+
+    Returns 0.0 for coincident points rather than raising, because
+    degenerate zero-length segments occur in real mouse traces (the mouse
+    reports the same position twice) and must not crash feature extraction.
+    """
+    dx, dy = b.x - a.x, b.y - a.y
+    if dx == 0.0 and dy == 0.0:
+        return 0.0
+    return math.atan2(dy, dx)

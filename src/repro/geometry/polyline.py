@@ -1,0 +1,136 @@
+"""Polyline analysis helpers.
+
+Corner detection supplies the *oracle unambiguity point* used when
+reproducing figure 9: the paper's author determined by hand the number of
+mouse points "from the start through the corner turn"; our synthetic
+gestures carry ground truth, but recorded or replayed strokes need the
+corner found geometrically.  Hit-testing helpers support GDP's delete /
+group / edit gestures, which select shapes by touching or enclosing them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .stroke import Stroke
+
+__all__ = [
+    "find_corner_indices",
+    "point_segment_distance",
+    "stroke_hits_point",
+    "polygon_contains",
+    "stroke_self_closes",
+]
+
+
+def find_corner_indices(
+    stroke: Stroke,
+    min_turn: float = math.pi / 4,
+    window: int = 2,
+) -> list[int]:
+    """Indices of high-curvature points ("corners") along a stroke.
+
+    A point is a corner when the direction of travel over ``window`` points
+    before it and ``window`` points after it differs by at least
+    ``min_turn`` radians.  Consecutive qualifying points are merged to the
+    single sharpest one.
+    """
+    pts = list(stroke.deduplicated())
+    n = len(pts)
+    if n < 2 * window + 1:
+        return []
+    turns: list[tuple[int, float]] = []
+    for i in range(window, n - window):
+        before = math.atan2(
+            pts[i].y - pts[i - window].y, pts[i].x - pts[i - window].x
+        )
+        after = math.atan2(
+            pts[i + window].y - pts[i].y, pts[i + window].x - pts[i].x
+        )
+        diff = abs(_wrap_angle(after - before))
+        if diff >= min_turn:
+            turns.append((i, diff))
+    corners: list[int] = []
+    run: list[tuple[int, float]] = []
+    for idx, diff in turns:
+        if run and idx != run[-1][0] + 1:
+            corners.append(max(run, key=lambda item: item[1])[0])
+            run = []
+        run.append((idx, diff))
+    if run:
+        corners.append(max(run, key=lambda item: item[1])[0])
+    return corners
+
+
+def _wrap_angle(theta: float) -> float:
+    """Wrap an angle into (-pi, pi]."""
+    while theta > math.pi:
+        theta -= 2 * math.pi
+    while theta <= -math.pi:
+        theta += 2 * math.pi
+    return theta
+
+
+def point_segment_distance(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Distance from point ``(px, py)`` to segment ``(a, b)``."""
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    u = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    u = min(max(u, 0.0), 1.0)
+    return math.hypot(px - (ax + u * dx), py - (ay + u * dy))
+
+
+def stroke_hits_point(stroke: Stroke, x: float, y: float, tolerance: float) -> bool:
+    """True if ``(x, y)`` lies within ``tolerance`` of the stroke's path."""
+    pts = list(stroke)
+    if not pts:
+        return False
+    if len(pts) == 1:
+        return math.hypot(pts[0].x - x, pts[0].y - y) <= tolerance
+    for a, b in zip(pts, pts[1:]):
+        if point_segment_distance(x, y, a.x, a.y, b.x, b.y) <= tolerance:
+            return True
+    return False
+
+
+def polygon_contains(polygon: Stroke, x: float, y: float) -> bool:
+    """Even-odd test: is ``(x, y)`` inside the polygon traced by the stroke?
+
+    The polygon is implicitly closed from the last point back to the
+    first, which matches how GDP's circling ``group`` gesture encloses
+    objects without the user perfectly closing the loop.
+    """
+    pts = list(polygon)
+    if len(pts) < 3:
+        return False
+    inside = False
+    j = len(pts) - 1
+    for i in range(len(pts)):
+        xi, yi = pts[i].x, pts[i].y
+        xj, yj = pts[j].x, pts[j].y
+        if (yi > y) != (yj > y):
+            x_cross = xi + (y - yi) / (yj - yi) * (xj - xi)
+            if x < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def stroke_self_closes(stroke: Stroke, closure_fraction: float = 0.25) -> bool:
+    """Heuristic: does the stroke loop back near its start?
+
+    True when the gap between endpoints is smaller than
+    ``closure_fraction`` of the arc length — the signature of a circling
+    gesture such as GDP's ``group`` or ``ellipse``.
+    """
+    if len(stroke) < 3:
+        return False
+    total = stroke.path_length()
+    if total == 0.0:
+        return False
+    gap = stroke.start.distance_to(stroke.end)
+    return gap <= closure_fraction * total

@@ -1,0 +1,215 @@
+"""Strokes — the gesture data type.
+
+Section 4.1 of the paper defines a gesture as a sequence of points and the
+*i-th subgesture* ``g[i]`` as the prefix consisting of the first ``i``
+points (figure 4).  :class:`Stroke` implements exactly that algebra:
+indexing with an int returns a point, slicing is restricted to prefixes via
+:meth:`subgesture`, and ``len`` gives ``|g|``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from .bbox import BoundingBox
+from .point import Point
+from .transform import Affine
+
+__all__ = ["Stroke"]
+
+
+class Stroke(Sequence[Point]):
+    """An immutable sequence of timed points.
+
+    ``Stroke`` is the on-the-wire unit of the whole library: the event
+    player emits one, feature extraction consumes one, the training set is
+    a list of labelled ones.
+    """
+
+    __slots__ = ("_points",)
+
+    def __init__(self, points: Iterable[Point] = ()):
+        self._points: tuple[Point, ...] = tuple(points)
+
+    @classmethod
+    def from_xy(
+        cls,
+        xys: Iterable[tuple[float, float]],
+        dt: float = 0.01,
+        t0: float = 0.0,
+    ) -> "Stroke":
+        """Build a stroke from bare ``(x, y)`` pairs, spacing times ``dt`` apart."""
+        return cls(Point(x, y, t0 + i * dt) for i, (x, y) in enumerate(xys))
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Stroke(self._points[index])
+        return self._points[index]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Stroke) and self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        return f"Stroke({len(self)} points)"
+
+    # -- the subgesture algebra (paper section 4.1) ------------------------
+
+    def subgesture(self, i: int) -> "Stroke":
+        """The paper's ``g[i]``: the prefix holding the first ``i`` points.
+
+        Raises:
+            ValueError: if ``i`` exceeds ``|g|`` — the paper declares
+                ``g[i]`` undefined for ``i > |g|``.
+        """
+        if i < 0 or i > len(self):
+            raise ValueError(f"subgesture g[{i}] undefined for |g| = {len(self)}")
+        return Stroke(self._points[:i])
+
+    def subgestures(self, start: int = 1) -> Iterator["Stroke"]:
+        """Yield every subgesture ``g[start] .. g[|g|]`` in increasing size."""
+        for i in range(start, len(self) + 1):
+            yield self.subgesture(i)
+
+    def is_prefix_of(self, other: "Stroke") -> bool:
+        """True if this stroke is ``other[i]`` for some ``i``."""
+        return len(self) <= len(other) and other._points[: len(self)] == self._points
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def start(self) -> Point:
+        return self._points[0]
+
+    @property
+    def end(self) -> Point:
+        return self._points[-1]
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time between the first and last point."""
+        if len(self) < 2:
+            return 0.0
+        return self._points[-1].t - self._points[0].t
+
+    def path_length(self) -> float:
+        """Arc length: the sum of inter-point segment lengths (Rubine's f8)."""
+        return sum(
+            self._points[i].distance_to(self._points[i + 1])
+            for i in range(len(self) - 1)
+        )
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.of(self._points)
+
+    def centroid(self) -> Point:
+        """Mean of the points; requires a non-empty stroke."""
+        if not self._points:
+            raise ValueError("centroid of an empty stroke")
+        n = len(self._points)
+        return Point(
+            sum(p.x for p in self._points) / n,
+            sum(p.y for p in self._points) / n,
+            sum(p.t for p in self._points) / n,
+        )
+
+    # -- geometric rewrites --------------------------------------------------
+
+    def transformed(self, transform: Affine) -> "Stroke":
+        """Apply an affine map to every point."""
+        return Stroke(transform.apply(p) for p in self._points)
+
+    def translated(self, dx: float, dy: float) -> "Stroke":
+        return Stroke(p.translated(dx, dy) for p in self._points)
+
+    def retimed(self, dt: float, t0: float = 0.0) -> "Stroke":
+        """Replace timestamps with a uniform sampling ``t0, t0+dt, ...``."""
+        return Stroke(
+            Point(p.x, p.y, t0 + i * dt) for i, p in enumerate(self._points)
+        )
+
+    def resampled(self, n: int) -> "Stroke":
+        """Resample to ``n`` points equally spaced along the arc.
+
+        Used by the template-matcher baseline; timestamps are linearly
+        interpolated alongside positions.  A stroke with fewer than two
+        distinct points is replicated.
+        """
+        if n < 1:
+            raise ValueError("cannot resample to fewer than one point")
+        if len(self) == 0:
+            raise ValueError("cannot resample an empty stroke")
+        total = self.path_length()
+        if total == 0.0 or len(self) == 1 or n == 1:
+            return Stroke([self._points[0]] * n)
+        interval = total / (n - 1)
+        out = [self._points[0]]
+        travelled = 0.0
+        prev = self._points[0]
+        i = 1
+        while len(out) < n - 1 and i < len(self._points):
+            cur = self._points[i]
+            seg = prev.distance_to(cur)
+            if seg > 0.0 and travelled + seg >= interval * len(out) - 1e-12:
+                frac = (interval * len(out) - travelled) / seg
+                frac = min(max(frac, 0.0), 1.0)
+                mid = Point(
+                    prev.x + frac * (cur.x - prev.x),
+                    prev.y + frac * (cur.y - prev.y),
+                    prev.t + frac * (cur.t - prev.t),
+                )
+                out.append(mid)
+                prev = mid
+                travelled = interval * (len(out) - 1)
+            else:
+                travelled += seg
+                prev = cur
+                i += 1
+        while len(out) < n:
+            out.append(self._points[-1])
+        return Stroke(out)
+
+    def deduplicated(self) -> "Stroke":
+        """Drop consecutive points at identical coordinates.
+
+        Real mice repeat positions while stationary; most geometric code
+        tolerates that, but corner detection is cleaner without them.
+        """
+        out: list[Point] = []
+        for p in self._points:
+            if not out or (p.x, p.y) != (out[-1].x, out[-1].y):
+                out.append(p)
+        return Stroke(out)
+
+    def turn_angles(self) -> list[float]:
+        """Signed turn angle at each interior point (radians, in (-pi, pi]).
+
+        The angle at point ``p`` is between segments ``(p-1, p)`` and
+        ``(p, p+1)``; zero-length segments contribute zero turn.  These are
+        the ``theta_p`` values Rubine sums for f9/f10/f11.
+        """
+        angles: list[float] = []
+        pts = self._points
+        for i in range(1, len(pts) - 1):
+            dx1, dy1 = pts[i].x - pts[i - 1].x, pts[i].y - pts[i - 1].y
+            dx2, dy2 = pts[i + 1].x - pts[i].x, pts[i + 1].y - pts[i].y
+            if (dx1 == 0.0 and dy1 == 0.0) or (dx2 == 0.0 and dy2 == 0.0):
+                angles.append(0.0)
+                continue
+            theta = math.atan2(
+                dx1 * dy2 - dy1 * dx2,  # cross product
+                dx1 * dx2 + dy1 * dy2,  # dot product
+            )
+            angles.append(theta)
+        return angles

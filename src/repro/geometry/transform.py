@@ -1,0 +1,108 @@
+"""Affine transforms of the plane.
+
+GDP's manipulation phase moves, scales and rotates shapes interactively
+(rubberbanding a rectangle corner, dragging the rotate-scale handle), and
+the synthetic gesture generator perturbs class templates with small
+rotations and scalings.  Both are expressed as affine maps.
+
+The transform is the 2x3 matrix ``[[a, b, tx], [c, d, ty]]`` applied as::
+
+    x' = a*x + b*y + tx
+    y' = c*x + d*y + ty
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .point import Point
+
+__all__ = ["Affine"]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An immutable 2-D affine transform."""
+
+    a: float = 1.0
+    b: float = 0.0
+    c: float = 0.0
+    d: float = 1.0
+    tx: float = 0.0
+    ty: float = 0.0
+
+    @classmethod
+    def identity(cls) -> "Affine":
+        return cls()
+
+    @classmethod
+    def translation(cls, dx: float, dy: float) -> "Affine":
+        return cls(tx=dx, ty=dy)
+
+    @classmethod
+    def scaling(cls, sx: float, sy: float | None = None) -> "Affine":
+        if sy is None:
+            sy = sx
+        return cls(a=sx, d=sy)
+
+    @classmethod
+    def rotation(cls, theta: float) -> "Affine":
+        co, si = math.cos(theta), math.sin(theta)
+        return cls(a=co, b=-si, c=si, d=co)
+
+    @classmethod
+    def about(cls, center: Point, inner: "Affine") -> "Affine":
+        """Conjugate ``inner`` so it acts about ``center`` instead of the origin."""
+        return (
+            cls.translation(center.x, center.y)
+            @ inner
+            @ cls.translation(-center.x, -center.y)
+        )
+
+    def __matmul__(self, other: "Affine") -> "Affine":
+        """Composition: ``(self @ other)(p) == self(other(p))``."""
+        return Affine(
+            a=self.a * other.a + self.b * other.c,
+            b=self.a * other.b + self.b * other.d,
+            c=self.c * other.a + self.d * other.c,
+            d=self.c * other.b + self.d * other.d,
+            tx=self.a * other.tx + self.b * other.ty + self.tx,
+            ty=self.c * other.tx + self.d * other.ty + self.ty,
+        )
+
+    def apply(self, p: Point) -> Point:
+        """Transform a point; time is preserved."""
+        return Point(
+            self.a * p.x + self.b * p.y + self.tx,
+            self.c * p.x + self.d * p.y + self.ty,
+            p.t,
+        )
+
+    def apply_xy(self, x: float, y: float) -> tuple[float, float]:
+        """Transform a bare coordinate pair."""
+        return (self.a * x + self.b * y + self.tx, self.c * x + self.d * y + self.ty)
+
+    @property
+    def determinant(self) -> float:
+        return self.a * self.d - self.b * self.c
+
+    def inverse(self) -> "Affine":
+        """Inverse transform.
+
+        Raises:
+            ZeroDivisionError: if the transform is singular (zero scale).
+        """
+        det = self.determinant
+        if det == 0.0:
+            raise ZeroDivisionError("singular affine transform has no inverse")
+        ia, ib = self.d / det, -self.b / det
+        ic, id_ = -self.c / det, self.a / det
+        return Affine(
+            a=ia,
+            b=ib,
+            c=ic,
+            d=id_,
+            tx=-(ia * self.tx + ib * self.ty),
+            ty=-(ic * self.tx + id_ * self.ty),
+        )

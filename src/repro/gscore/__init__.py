@@ -1,0 +1,14 @@
+"""A mini gesture-based score editor (GSCORE's spirit, figure 8's set)."""
+
+from .app import ScoreApp, score_templates, train_score_recognizer
+from .staff import DURATION_BEATS, DURATIONS, Note, Staff
+
+__all__ = [
+    "DURATIONS",
+    "DURATION_BEATS",
+    "Note",
+    "ScoreApp",
+    "Staff",
+    "score_templates",
+    "train_score_recognizer",
+]

@@ -1,0 +1,174 @@
+"""The mini score editor, assembled.
+
+Gesture set: the five note-duration gestures of figure 8 (each adds a
+note whose duration is the gesture class, pitch and onset snapped from
+the gesture's start), plus a zigzag ``delete`` gesture.
+
+Figure 8's lesson is wired in: because the note gestures are nested
+prefixes of each other, this application does **not** enable eager
+recognition — it relies on the 200 ms timeout and mouse-up transitions.
+The manipulation phase still earns its keep: after a note gesture is
+recognized, dragging adjusts the note's pitch and onset with snapping
+feedback before the button is released.
+"""
+
+from __future__ import annotations
+
+from ..eager import EagerRecognizer, train_eager_recognizer
+from ..events import EventQueue, MouseEvent, VirtualClock
+from ..geometry import BoundingBox
+from ..interaction import (
+    DEFAULT_TIMEOUT,
+    GestureContext,
+    GestureHandler,
+    GestureSemantics,
+)
+from ..mvc import Dispatcher, View
+from ..recognizer import GestureClassifier
+from ..synth import GestureGenerator, GestureTemplate, note_templates
+from .staff import DURATIONS, Note, Staff
+
+__all__ = ["ScoreApp", "score_templates", "train_score_recognizer"]
+
+
+def score_templates() -> dict[str, GestureTemplate]:
+    """The five note gestures plus a delete zigzag."""
+    templates = dict(note_templates())
+    templates["erase"] = GestureTemplate(
+        name="erase",
+        waypoints=((0.0, 0.0), (0.35, 0.5), (0.5, 0.1), (0.85, 0.6)),
+        corner_indices=(1, 2),
+    )
+    return templates
+
+
+def train_score_recognizer(
+    examples_per_class: int = 12, seed: int = 13
+) -> EagerRecognizer:
+    generator = GestureGenerator(score_templates(), seed=seed)
+    report = train_eager_recognizer(
+        generator.generate_strokes(examples_per_class)
+    )
+    return report.recognizer
+
+
+class StaffView(View):
+    """The editor window: the staff plus margin."""
+
+    def __init__(self, staff: Staff, width: float, height: float):
+        super().__init__(model=staff)
+        self.staff = staff
+        self._box = BoundingBox(0.0, 0.0, width, height)
+
+    def bounds(self) -> BoundingBox:
+        return self._box
+
+
+class ScoreApp:
+    """A headless, gesture-driven score editor."""
+
+    def __init__(
+        self,
+        recognizer: EagerRecognizer | GestureClassifier | None = None,
+        width: float = 800.0,
+        height: float = 300.0,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if recognizer is None:
+            recognizer = train_score_recognizer()
+        self.staff = Staff()
+        self.view = StaffView(self.staff, width, height)
+        self.queue = EventQueue(VirtualClock())
+        self.dispatcher = Dispatcher(self.view, self.queue)
+        self.last_action: str | None = None
+        # Figure 8: nested note gestures are never unambiguous early, so
+        # eager recognition is off; timeout + mouse-up transitions only.
+        self.gesture_handler = GestureHandler(
+            recognizer=recognizer,
+            semantics=self._build_semantics(),
+            use_eager=False,
+            timeout=timeout,
+        )
+        self.view.add_handler(self.gesture_handler)
+
+    # -- driving -----------------------------------------------------------------
+
+    def post(self, events: list[MouseEvent]) -> None:
+        if events and events[0].t < self.queue.clock.now:
+            shift = self.queue.clock.now - events[0].t
+            events = [
+                MouseEvent(e.kind, e.x, e.y, e.t + shift, e.button)
+                for e in events
+            ]
+        self.queue.post_all(events)
+
+    def perform(self, events: list[MouseEvent]) -> None:
+        self.post(events)
+        self.dispatcher.run()
+
+    # -- semantics --------------------------------------------------------------
+
+    def _build_semantics(self) -> dict[str, GestureSemantics]:
+        semantics = {
+            duration: self._note_semantics(duration) for duration in DURATIONS
+        }
+        semantics["erase"] = GestureSemantics(recog=self._erase_recog)
+        return semantics
+
+    def _note_semantics(self, duration: str) -> GestureSemantics:
+        def recog(context: GestureContext) -> Note:
+            note = Note(
+                step=self.staff.snap_step(context.start_y),
+                beat=self.staff.snap_beat(context.start_x),
+                duration=duration,
+            )
+            self.staff.add_note(note)
+            self.last_action = (
+                f"{duration}: {note.pitch_name} at beat {note.beat:g}"
+            )
+            return note
+
+        def manip(context: GestureContext) -> None:
+            # Drag adjusts pitch and onset with snapping feedback.
+            note = context.recog
+            note.step = self.staff.snap_step(context.current_y)
+            note.beat = self.staff.snap_beat(context.current_x)
+            self.staff.changed()
+            self.last_action = (
+                f"{duration}: {note.pitch_name} at beat {note.beat:g}"
+            )
+
+        return GestureSemantics(recog=recog, manip=manip)
+
+    def _erase_recog(self, context: GestureContext) -> Note | None:
+        victim = self.staff.note_at(context.start_x, context.start_y)
+        if victim is None:
+            self.last_action = "erase: no note there"
+            return None
+        self.staff.remove_note(victim)
+        self.last_action = f"erase: removed {victim.pitch_name}"
+        return victim
+
+    # -- display ---------------------------------------------------------------
+
+    def render(self) -> str:
+        """The staff as ASCII: lines of '-', notes as duration initials."""
+        staff = self.staff
+        cols = int(staff.beats * 8) + 4
+        # One text row per staff step plus margins above and below.
+        rows = 12 + 4
+        grid = [[" "] * cols for _ in range(rows)]
+        # Staff lines sit on even steps 0,2,4,6,8 (lines); map step ->
+        # row from the top: row = 2 + (11 - step).
+        for step in (0, 2, 4, 6, 8):
+            row = 2 + (11 - step)
+            for col in range(2, cols - 2):
+                grid[row][col] = "-"
+        marks = {"quarter": "Q", "eighth": "E", "sixteenth": "S",
+                 "thirtysecond": "T", "sixtyfourth": "X"}
+        for note in staff.notes:
+            row = 2 + (11 - note.step)
+            col = 2 + int(note.beat * 8)
+            if 0 <= row < rows and 0 <= col < cols:
+                grid[row][col] = marks.get(note.duration, "?")
+        return "\n".join("".join(row).rstrip() for row in grid)

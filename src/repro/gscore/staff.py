@@ -1,0 +1,160 @@
+"""A musical staff model.
+
+Rubine's second GRANDMA application was GSCORE, a gesture-based musical
+score editor (the dissertation's companion to GDP); its gesture set
+descends from Buxton's SSSP note gestures — the very set the paper's
+figure 8 uses to show where eager recognition *cannot* help.  This
+module provides the score substrate: a five-line staff with pitch/time
+geometry, snapping (pitch snaps to lines and spaces, onset time to a
+beat grid), and the note collection the gesture semantics edit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..geometry import BoundingBox
+from ..mvc import Model
+
+__all__ = ["Note", "Staff", "DURATIONS", "DURATION_BEATS"]
+
+# Duration classes, in the order of the paper's figure 8.
+DURATIONS: tuple[str, ...] = (
+    "quarter",
+    "eighth",
+    "sixteenth",
+    "thirtysecond",
+    "sixtyfourth",
+)
+
+DURATION_BEATS: dict[str, float] = {
+    "quarter": 1.0,
+    "eighth": 0.5,
+    "sixteenth": 0.25,
+    "thirtysecond": 0.125,
+    "sixtyfourth": 0.0625,
+}
+
+_note_ids = itertools.count(1)
+
+# Pitch names for staff steps 0..11, bottom line (E4) upward.
+_STEP_NAMES = ("E4", "F4", "G4", "A4", "B4", "C5", "D5", "E5", "F5", "G5", "A5", "B5")
+
+
+@dataclass
+class Note:
+    """One note: a staff step (line/space index), a beat, a duration class."""
+
+    step: int  # 0 = bottom line, increasing upward; one per line/space
+    beat: float  # onset, in beats from the start of the staff
+    duration: str  # one of DURATIONS
+
+    def __post_init__(self) -> None:
+        if self.duration not in DURATION_BEATS:
+            raise ValueError(f"unknown duration {self.duration!r}")
+        self.id = next(_note_ids)
+
+    @property
+    def pitch_name(self) -> str:
+        if 0 <= self.step < len(_STEP_NAMES):
+            return _STEP_NAMES[self.step]
+        return f"step{self.step}"
+
+    @property
+    def beats(self) -> float:
+        return DURATION_BEATS[self.duration]
+
+
+class Staff(Model):
+    """Five staff lines plus the notes on them.
+
+    Geometry: staff line ``k`` (k = 0 bottom .. 4 top) sits at
+    ``origin_y + (4 - k) * line_gap``; pitch *steps* are half a gap
+    apart (lines and spaces).  Time: ``beat_width`` pixels per beat,
+    starting at ``origin_x``.
+    """
+
+    def __init__(
+        self,
+        origin_x: float = 40.0,
+        origin_y: float = 60.0,
+        line_gap: float = 16.0,
+        beat_width: float = 60.0,
+        beats: float = 8.0,
+    ):
+        super().__init__()
+        self.origin_x = origin_x
+        self.origin_y = origin_y
+        self.line_gap = line_gap
+        self.beat_width = beat_width
+        self.beats = beats
+        self._notes: list[Note] = []
+
+    # -- contents ------------------------------------------------------------
+
+    @property
+    def notes(self) -> tuple[Note, ...]:
+        return tuple(sorted(self._notes, key=lambda n: (n.beat, n.step)))
+
+    def add_note(self, note: Note) -> Note:
+        self._notes.append(note)
+        self.changed()
+        return note
+
+    def remove_note(self, note: Note) -> bool:
+        if note in self._notes:
+            self._notes.remove(note)
+            self.changed()
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._notes.clear()
+        self.changed()
+
+    # -- geometry ---------------------------------------------------------------
+
+    def bounds(self) -> BoundingBox:
+        return BoundingBox(
+            self.origin_x,
+            self.origin_y - 3 * self.line_gap,  # room above the staff
+            self.origin_x + self.beats * self.beat_width,
+            self.origin_y + 4 * self.line_gap + 3 * self.line_gap,
+        )
+
+    def step_to_y(self, step: int) -> float:
+        """Center y of a staff step (bottom line = step 0, y grows down)."""
+        bottom_line_y = self.origin_y + 4 * self.line_gap
+        return bottom_line_y - step * (self.line_gap / 2.0)
+
+    def beat_to_x(self, beat: float) -> float:
+        return self.origin_x + beat * self.beat_width
+
+    # -- snapping (pitch to lines/spaces, onset to the beat grid) ------------------
+
+    def snap_step(self, y: float) -> int:
+        """Nearest staff step to a y coordinate, clamped to the staff."""
+        bottom_line_y = self.origin_y + 4 * self.line_gap
+        step = round((bottom_line_y - y) / (self.line_gap / 2.0))
+        return int(min(max(step, 0), 11))
+
+    def snap_beat(self, x: float, grid: float = 0.25) -> float:
+        """Nearest grid beat to an x coordinate, clamped to the staff."""
+        beat = (x - self.origin_x) / self.beat_width
+        snapped = round(beat / grid) * grid
+        return float(min(max(snapped, 0.0), self.beats))
+
+    def note_at(
+        self, x: float, y: float, tolerance: float = 10.0
+    ) -> Note | None:
+        """Topmost note near ``(x, y)``."""
+        best: Note | None = None
+        best_distance = tolerance
+        for note in self._notes:
+            dx = abs(self.beat_to_x(note.beat) - x)
+            dy = abs(self.step_to_y(note.step) - y)
+            distance = max(dx, dy)
+            if distance <= best_distance:
+                best, best_distance = note, distance
+        return best

@@ -1,0 +1,18 @@
+"""The two-phase interaction technique and direct-manipulation handlers."""
+
+from .drag_handler import ClickHandler, DragHandler, Draggable
+from .recorder import StrokeRecorder
+from .gesture_handler import DEFAULT_TIMEOUT, GestureHandler, Phase
+from .semantics import GestureContext, GestureSemantics
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "ClickHandler",
+    "DragHandler",
+    "Draggable",
+    "GestureContext",
+    "GestureHandler",
+    "GestureSemantics",
+    "Phase",
+    "StrokeRecorder",
+]

@@ -1,0 +1,108 @@
+"""Direct-manipulation handlers: drag and click.
+
+"The drag handler handles drag interactions, enabling entire objects (or
+parts of objects) to be dragged by the mouse." (§3.1)
+
+These are the handlers that coexist with gesture handlers in the same
+GRANDMA interface — GDP's control points respond to drag while the
+window responds to gesture, and a view may carry both (distinguished by
+handler predicates, e.g. different mouse buttons).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from ..events import MouseEvent
+from ..mvc import DispatchContext, EventHandler, EventPredicate, View
+
+__all__ = ["Draggable", "DragHandler", "ClickHandler"]
+
+
+class Draggable(Protocol):
+    """What a model must support for the stock drag handler."""
+
+    def move_by(self, dx: float, dy: float) -> None:  # pragma: no cover
+        ...
+
+
+class DragHandler(EventHandler):
+    """Drags the model under the cursor by the mouse's motion.
+
+    By default the dragged object is the pressed view's model (which must
+    be :class:`Draggable`); pass ``target_of`` to redirect — e.g. GDP's
+    control-point views drag a *corner* of their shape rather than the
+    shape itself.
+    """
+
+    def __init__(
+        self,
+        predicate: EventPredicate | None = None,
+        target_of: Callable[[View], Draggable | None] | None = None,
+    ):
+        super().__init__(predicate)
+        self._target_of = target_of or (lambda view: view.model)
+        self._target: Draggable | None = None
+        self._last: tuple[float, float] | None = None
+
+    def begin(
+        self, event: MouseEvent, view: View, context: DispatchContext
+    ) -> bool:
+        target = self._target_of(view)
+        if target is None:
+            return False
+        self._target = target
+        self._last = (event.x, event.y)
+        return True
+
+    def update(self, event: MouseEvent, context: DispatchContext) -> None:
+        if self._target is None or self._last is None:
+            return
+        dx, dy = event.x - self._last[0], event.y - self._last[1]
+        if dx or dy:
+            self._target.move_by(dx, dy)
+        self._last = (event.x, event.y)
+
+    def end(self, event: MouseEvent, context: DispatchContext) -> None:
+        self.update(event, context)
+        self._target = None
+        self._last = None
+
+
+class ClickHandler(EventHandler):
+    """Fires a callback on press-release with little intervening motion."""
+
+    def __init__(
+        self,
+        on_click: Callable[[View, MouseEvent], None],
+        predicate: EventPredicate | None = None,
+        slop: float = 4.0,
+    ):
+        super().__init__(predicate)
+        self.on_click = on_click
+        self.slop = slop
+        self._view: View | None = None
+        self._origin: tuple[float, float] | None = None
+        self._moved_too_far = False
+
+    def begin(
+        self, event: MouseEvent, view: View, context: DispatchContext
+    ) -> bool:
+        self._view = view
+        self._origin = (event.x, event.y)
+        self._moved_too_far = False
+        return True
+
+    def update(self, event: MouseEvent, context: DispatchContext) -> None:
+        if self._origin is None:
+            return
+        dx, dy = event.x - self._origin[0], event.y - self._origin[1]
+        if dx * dx + dy * dy > self.slop * self.slop:
+            self._moved_too_far = True
+
+    def end(self, event: MouseEvent, context: DispatchContext) -> None:
+        view, moved = self._view, self._moved_too_far
+        self._view = None
+        self._origin = None
+        if view is not None and not moved:
+            self.on_click(view, event)

@@ -1,0 +1,68 @@
+"""Recording strokes — the input path of GRANDMA's training interface.
+
+GRANDMA's point was that designers *train* recognizers by example, at
+runtime, inside the running application.  The output half of that loop
+is :class:`~repro.recognizer.OnlineTrainer`; this is the input half: an
+event handler that captures raw strokes from the same dispatcher the
+application runs on, so "enter ten examples of the new gesture" is just
+ten ordinary mouse interactions on a recording view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..events import MouseEvent
+from ..geometry import Point, Stroke
+from ..mvc import DispatchContext, EventHandler, EventPredicate, View
+
+__all__ = ["StrokeRecorder"]
+
+
+class StrokeRecorder(EventHandler):
+    """Captures each press-to-release interaction as a Stroke.
+
+    Attach to the view where examples are drawn; recorded strokes
+    accumulate in :attr:`strokes` and are handed to ``on_stroke`` (e.g.
+    ``lambda s: trainer.add_example(current_class, s)``).
+    """
+
+    def __init__(
+        self,
+        on_stroke: Callable[[Stroke], None] | None = None,
+        predicate: EventPredicate | None = None,
+        min_points: int = 2,
+    ):
+        super().__init__(predicate)
+        self.on_stroke = on_stroke
+        self.min_points = min_points
+        self.strokes: list[Stroke] = []
+        self._points: list[Point] | None = None
+
+    @property
+    def recording(self) -> bool:
+        return self._points is not None
+
+    def begin(
+        self, event: MouseEvent, view: View, context: DispatchContext
+    ) -> bool:
+        self._points = [event.point]
+        return True
+
+    def update(self, event: MouseEvent, context: DispatchContext) -> None:
+        if self._points is not None:
+            self._points.append(event.point)
+
+    def end(self, event: MouseEvent, context: DispatchContext) -> None:
+        points = self._points
+        self._points = None
+        if points is None or len(points) < self.min_points:
+            return  # a stray click, not an example
+        stroke = Stroke(points)
+        self.strokes.append(stroke)
+        if self.on_stroke is not None:
+            self.on_stroke(stroke)
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self.strokes.clear()

@@ -1,0 +1,133 @@
+"""Gesture semantics: the recog / manip / done triple.
+
+"The gesture semantics consist of three expressions: recog, evaluated
+when the gesture is recognized (i.e. at the phase transition), manip,
+evaluated for each mouse point that arrives during the manipulation
+phase, and done, evaluated when the interaction ends." (§3.2)
+
+GRANDMA evaluated Objective-C message expressions with lazily bound
+gestural attributes (``<startX>``, ``<currentX>``, ...).  Here the three
+expressions are Python callables receiving a :class:`GestureContext`
+exposing the same attributes; the value returned by ``recog`` is stored
+in :attr:`GestureContext.recog` for the later expressions — exactly how
+GDP's rectangle semantics pass the created rectangle from ``recog`` to
+``manip``.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..geometry import Point, Stroke
+
+if typing.TYPE_CHECKING:
+    from ..mvc import DispatchContext, View
+
+__all__ = ["GestureContext", "GestureSemantics"]
+
+
+@dataclass
+class GestureContext:
+    """Everything a semantics expression can see.
+
+    The names mirror the paper's attribute vocabulary: ``view`` is "the
+    object at which the gesture is directed", ``start_x``/``start_y``
+    are ``<startX>``/``<startY>``, ``current_x``/``current_y`` are
+    ``<currentX>``/``<currentY>`` (the mouse position at recognition
+    time, updated through the manipulation phase), and ``recog`` holds
+    the value produced by the recog expression.
+    """
+
+    view: "View"
+    dispatch: "DispatchContext"
+    gesture: Stroke  # the collected gesture, frozen at recognition
+    class_name: str | None = None
+    current: Point | None = None  # latest mouse point
+    recog: Any = None  # recog expression's result
+    eagerly_recognized: bool = False
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def start_x(self) -> float:
+        """``<startX>`` — x of the gesture's first point."""
+        return self.gesture.start.x
+
+    @property
+    def start_y(self) -> float:
+        """``<startY>`` — y of the gesture's first point."""
+        return self.gesture.start.y
+
+    @property
+    def current_x(self) -> float:
+        """``<currentX>`` — x of the most recent mouse point."""
+        point = self.current if self.current is not None else self.gesture.end
+        return point.x
+
+    @property
+    def current_y(self) -> float:
+        """``<currentY>`` — y of the most recent mouse point."""
+        point = self.current if self.current is not None else self.gesture.end
+        return point.y
+
+    @property
+    def enclosed_stroke(self) -> Stroke:
+        """The gesture as a closed region (for circling gestures)."""
+        return self.gesture
+
+    @property
+    def initial_angle(self) -> float:
+        """Direction of the gesture's first segment, in radians.
+
+        The §2 "modified version" of GDP maps this to the rectangle's
+        orientation ("the initial angle of the rectangle gesture
+        determines the orientation of the rectangle").  Smoothed over
+        the first three points like the f1/f2 features.
+        """
+        import math
+
+        points = list(self.gesture)
+        if len(points) < 2:
+            return 0.0
+        anchor = points[min(2, len(points) - 1)]
+        return math.atan2(anchor.y - points[0].y, anchor.x - points[0].x)
+
+    @property
+    def gesture_length(self) -> float:
+        """Arc length of the collected gesture.
+
+        The modified GDP maps this to line thickness ("the length of
+        the line gesture determines the thickness of the line").
+        """
+        return self.gesture.path_length()
+
+
+Expression = Callable[[GestureContext], Any]
+
+
+@dataclass
+class GestureSemantics:
+    """The recog/manip/done triple for one gesture class.
+
+    Any expression may be None (the paper's ``done = nil``).
+    """
+
+    recog: Expression | None = None
+    manip: Expression | None = None
+    done: Expression | None = None
+
+    def on_recognized(self, context: GestureContext) -> None:
+        """Evaluate recog at the phase transition; stash its result."""
+        if self.recog is not None:
+            context.recog = self.recog(context)
+
+    def on_manipulate(self, context: GestureContext) -> None:
+        """Evaluate manip for one manipulation-phase mouse point."""
+        if self.manip is not None:
+            self.manip(context)
+
+    def on_done(self, context: GestureContext) -> None:
+        """Evaluate done when the interaction ends."""
+        if self.done is not None:
+            self.done(context)

@@ -1,0 +1,16 @@
+"""Multi-path (multi-finger) gestures — the paper's §6 extension."""
+
+from .gesture import MultiPathGesture
+from .recognizer import MultiPathClassifier, multipath_features
+from .synth import MULTIPATH_CLASS_NAMES, MultiPathGenerator
+from .trs import TwoFingerTracker, similarity_from_pairs
+
+__all__ = [
+    "MULTIPATH_CLASS_NAMES",
+    "MultiPathClassifier",
+    "MultiPathGenerator",
+    "MultiPathGesture",
+    "TwoFingerTracker",
+    "multipath_features",
+    "similarity_from_pairs",
+]

@@ -1,0 +1,72 @@
+"""Multi-path gestures — strokes made with several fingers at once.
+
+"The two-phase interaction technique is also applicable to multi-path
+gestures.  Using the Sensor Frame as an input device, I have implemented
+a drawing program based on multiple finger gestures." (§6)
+
+The Sensor Frame is hardware we cannot have; a multi-path gesture here
+is simply a tuple of simultaneous :class:`~repro.geometry.Stroke`
+objects, produced synthetically.  Paths are kept in canonical order
+(leftmost starting point first) so feature concatenation is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..geometry import BoundingBox, Stroke
+
+__all__ = ["MultiPathGesture"]
+
+
+@dataclass(frozen=True)
+class MultiPathGesture:
+    """One or more simultaneous strokes."""
+
+    paths: tuple[Stroke, ...]
+
+    def __init__(self, paths: Iterable[Stroke]):
+        ordered = sorted(
+            (p for p in paths if len(p) > 0),
+            key=lambda s: (s.start.x, s.start.y),
+        )
+        if not ordered:
+            raise ValueError("a multi-path gesture needs at least one path")
+        object.__setattr__(self, "paths", tuple(ordered))
+
+    @property
+    def path_count(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[Stroke]:
+        return iter(self.paths)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time across all paths."""
+        start = min(p.start.t for p in self.paths)
+        end = max(p.end.t for p in self.paths)
+        return end - start
+
+    def bounding_box(self) -> BoundingBox:
+        box = BoundingBox()
+        for path in self.paths:
+            for point in path:
+                box.extend(point.x, point.y)
+        return box
+
+    def prefix_by_time(self, t: float) -> "MultiPathGesture":
+        """All points (across paths) with timestamp <= ``t``.
+
+        The multi-path analogue of a subgesture: what the recognizer has
+        seen ``t`` seconds into the interaction.  Paths with no points
+        yet are dropped.
+        """
+        clipped = [
+            Stroke([q for q in path if q.t <= t]) for path in self.paths
+        ]
+        clipped = [path for path in clipped if len(path) > 0]
+        if not clipped:
+            raise ValueError(f"no path has begun by t={t}")
+        return MultiPathGesture(clipped)

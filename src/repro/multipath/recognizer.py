@@ -1,0 +1,85 @@
+"""Multi-path gesture classification.
+
+Rubine's dissertation extends the single-stroke method to multiple paths
+by classifying on per-path feature vectors plus global features, gated by
+the number of paths.  This module follows that scheme:
+
+* examples are grouped by path count — a two-finger gesture never
+  competes with a one-finger gesture;
+* within a path-count group, the feature vector is the concatenation of
+  each path's 13 Rubine features (paths in canonical order) plus the
+  inter-path spread, trained with the same closed-form linear machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..features import features_of
+from ..recognizer import train_linear_classifier
+from ..recognizer.linear import LinearClassifier
+from .gesture import MultiPathGesture
+
+__all__ = ["MultiPathClassifier", "multipath_features"]
+
+
+def multipath_features(gesture: MultiPathGesture) -> np.ndarray:
+    """Concatenated per-path features plus global spread features."""
+    per_path = [features_of(path) for path in gesture.paths]
+    box = gesture.bounding_box()
+    global_features = np.array([box.diagonal, gesture.duration])
+    return np.concatenate(per_path + [global_features])
+
+
+class MultiPathClassifier:
+    """Path-count-gated linear classification of multi-path gestures."""
+
+    def __init__(self, by_path_count: dict[int, LinearClassifier]):
+        if not by_path_count:
+            raise ValueError("no sub-classifiers given")
+        self._by_path_count = by_path_count
+
+    @classmethod
+    def train(
+        cls, examples_by_class: Mapping[str, Sequence[MultiPathGesture]]
+    ) -> "MultiPathClassifier":
+        """Train one linear classifier per distinct path count.
+
+        Every example of a class must use the same number of paths (a
+        class is defined in part by its finger count).
+        """
+        grouped: dict[int, dict[str, list[np.ndarray]]] = {}
+        for class_name, gestures in examples_by_class.items():
+            gestures = list(gestures)
+            if not gestures:
+                raise ValueError(f"class {class_name!r} has no examples")
+            counts = {g.path_count for g in gestures}
+            if len(counts) != 1:
+                raise ValueError(
+                    f"class {class_name!r} mixes path counts {sorted(counts)}"
+                )
+            count = counts.pop()
+            grouped.setdefault(count, {})[class_name] = [
+                multipath_features(g) for g in gestures
+            ]
+        sub_classifiers = {
+            count: train_linear_classifier(classes).classifier
+            for count, classes in grouped.items()
+        }
+        return cls(sub_classifiers)
+
+    @property
+    def path_counts(self) -> list[int]:
+        return sorted(self._by_path_count.keys())
+
+    def classify(self, gesture: MultiPathGesture) -> str:
+        """Class of the gesture; unknown path counts raise KeyError."""
+        classifier = self._by_path_count.get(gesture.path_count)
+        if classifier is None:
+            raise KeyError(
+                f"no gesture class uses {gesture.path_count} paths "
+                f"(trained counts: {self.path_counts})"
+            )
+        return classifier.classify(multipath_features(gesture))

@@ -1,0 +1,121 @@
+"""Synthetic multi-finger gesture classes (the Sensor Frame substitute).
+
+Five classes exercise the path-count gating and per-path features:
+
+* ``tap`` — one finger, a short dab (1 path);
+* ``swipe`` — one finger, a long rightward stroke (1 path);
+* ``pinch`` — two fingers converging (2 paths);
+* ``spread`` — two fingers diverging (2 paths);
+* ``rotate`` — two fingers orbiting a common center (2 paths).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..geometry import Point, Stroke
+from .gesture import MultiPathGesture
+
+__all__ = ["MULTIPATH_CLASS_NAMES", "MultiPathGenerator"]
+
+MULTIPATH_CLASS_NAMES: tuple[str, ...] = (
+    "tap",
+    "swipe",
+    "pinch",
+    "spread",
+    "rotate",
+)
+
+
+class MultiPathGenerator:
+    """Draws noisy examples of the five multi-finger classes."""
+
+    def __init__(self, seed: int = 0, scale: float = 100.0, jitter: float = 1.5):
+        self._rng = np.random.default_rng(seed)
+        self.scale = scale
+        self.jitter = jitter
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return MULTIPATH_CLASS_NAMES
+
+    def generate(self, class_name: str, points_per_path: int = 20) -> MultiPathGesture:
+        maker = {
+            "tap": self._tap,
+            "swipe": self._swipe,
+            "pinch": self._pinch,
+            "spread": self._spread,
+            "rotate": self._rotate,
+        }.get(class_name)
+        if maker is None:
+            raise KeyError(f"unknown multipath class {class_name!r}")
+        return maker(points_per_path)
+
+    def generate_examples(
+        self, count_per_class: int
+    ) -> dict[str, list[MultiPathGesture]]:
+        return {
+            name: [self.generate(name) for _ in range(count_per_class)]
+            for name in MULTIPATH_CLASS_NAMES
+        }
+
+    # -- per-class constructions ------------------------------------------------
+
+    def _path(self, xs, ys, n: int) -> Stroke:
+        """Linear interpolation between waypoints with jitter, 100 Hz."""
+        ts = np.linspace(0.0, 1.0, n)
+        px = np.interp(ts, np.linspace(0, 1, len(xs)), xs)
+        py = np.interp(ts, np.linspace(0, 1, len(ys)), ys)
+        return Stroke(
+            Point(
+                float(x + self._rng.normal(0.0, self.jitter)),
+                float(y + self._rng.normal(0.0, self.jitter)),
+                float(i * 0.01),
+            )
+            for i, (x, y) in enumerate(zip(px, py))
+        )
+
+    def _tap(self, n: int) -> MultiPathGesture:
+        x = self._rng.uniform(0, self.scale)
+        y = self._rng.uniform(0, self.scale)
+        return MultiPathGesture([self._path([x, x], [y, y], max(n // 4, 3))])
+
+    def _swipe(self, n: int) -> MultiPathGesture:
+        y = self._rng.uniform(0, self.scale)
+        return MultiPathGesture(
+            [self._path([0.0, 1.6 * self.scale], [y, y], n)]
+        )
+
+    def _pinch(self, n: int) -> MultiPathGesture:
+        cx, cy = self.scale / 2, self.scale / 2
+        gap = self.scale * 0.5
+        left = self._path([cx - gap, cx - gap * 0.1], [cy, cy], n)
+        right = self._path([cx + gap, cx + gap * 0.1], [cy, cy], n)
+        return MultiPathGesture([left, right])
+
+    def _spread(self, n: int) -> MultiPathGesture:
+        cx, cy = self.scale / 2, self.scale / 2
+        gap = self.scale * 0.5
+        left = self._path([cx - gap * 0.1, cx - gap], [cy, cy], n)
+        right = self._path([cx + gap * 0.1, cx + gap], [cy, cy], n)
+        return MultiPathGesture([left, right])
+
+    def _rotate(self, n: int) -> MultiPathGesture:
+        cx, cy = self.scale / 2, self.scale / 2
+        radius = self.scale * 0.4
+        sweep = math.pi * 0.75
+        start = self._rng.uniform(0, 2 * math.pi)
+        angles = np.linspace(start, start + sweep, n)
+        finger1 = self._path(
+            list(cx + radius * np.cos(angles)),
+            list(cy + radius * np.sin(angles)),
+            n,
+        )
+        finger2 = self._path(
+            list(cx + radius * np.cos(angles + math.pi)),
+            list(cy + radius * np.sin(angles + math.pi)),
+            n,
+        )
+        return MultiPathGesture([finger1, finger2])

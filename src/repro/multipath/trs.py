@@ -1,0 +1,68 @@
+"""Two-finger translate-rotate-scale manipulation.
+
+"The translate-rotate-scale gesture is made with two fingers, which
+during the manipulation phase allow for simultaneous rotation,
+translation, and scaling of graphic objects." (§6)
+
+Given the two fingers' reference positions and their current positions,
+there is a unique similarity transform (rotation + uniform scale +
+translation) mapping the reference pair onto the current pair; graphics
+objects follow that transform.  :class:`TwoFingerTracker` applies it
+incrementally as new finger positions arrive.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..geometry import Affine, Point
+
+__all__ = ["similarity_from_pairs", "TwoFingerTracker"]
+
+
+def similarity_from_pairs(
+    a0: Point, b0: Point, a1: Point, b1: Point
+) -> Affine:
+    """The similarity mapping segment (a0, b0) onto (a1, b1).
+
+    Raises:
+        ValueError: if the reference fingers are coincident (no segment
+            to define rotation and scale).
+    """
+    ref_dx, ref_dy = b0.x - a0.x, b0.y - a0.y
+    cur_dx, cur_dy = b1.x - a1.x, b1.y - a1.y
+    ref_len = math.hypot(ref_dx, ref_dy)
+    if ref_len < 1e-9:
+        raise ValueError("reference fingers are coincident")
+    cur_len = math.hypot(cur_dx, cur_dy)
+    scale = cur_len / ref_len
+    angle = math.atan2(cur_dy, cur_dx) - math.atan2(ref_dy, ref_dx)
+    # Rotate-scale about a0, then translate a0 to a1.
+    rotate_scale = Affine.about(
+        a0, Affine.rotation(angle) @ Affine.scaling(scale)
+    )
+    return Affine.translation(a1.x - a0.x, a1.y - a0.y) @ rotate_scale
+
+
+class TwoFingerTracker:
+    """Feeds successive finger pairs; yields the incremental transform.
+
+    Use during a multi-path manipulation phase::
+
+        tracker = TwoFingerTracker(first_a, first_b)
+        for a, b in finger_updates:
+            shape.apply_transform(tracker.update(a, b))
+    """
+
+    def __init__(self, finger_a: Point, finger_b: Point):
+        if finger_a.distance_to(finger_b) < 1e-9:
+            raise ValueError("fingers must start apart")
+        self._a = finger_a
+        self._b = finger_b
+
+    def update(self, finger_a: Point, finger_b: Point) -> Affine:
+        """The transform from the previous pair to this pair."""
+        transform = similarity_from_pairs(self._a, self._b, finger_a, finger_b)
+        self._a = finger_a
+        self._b = finger_b
+        return transform

@@ -1,0 +1,15 @@
+"""Multi-stroke gestures — the §2/§6 future-work extension."""
+
+from .classifier import MultiStrokeClassifier
+from .collector import StrokeCollector
+from .gesture import MultiStrokeGesture, connect_strokes
+from .synth import MULTISTROKE_CLASS_NAMES, MultiStrokeGenerator
+
+__all__ = [
+    "MULTISTROKE_CLASS_NAMES",
+    "MultiStrokeClassifier",
+    "MultiStrokeGenerator",
+    "MultiStrokeGesture",
+    "StrokeCollector",
+    "connect_strokes",
+]

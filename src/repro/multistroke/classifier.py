@@ -1,0 +1,71 @@
+"""Stroke-count-gated classification of multi-stroke gestures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..recognizer import GestureClassifier
+from .gesture import MultiStrokeGesture
+
+__all__ = ["MultiStrokeClassifier"]
+
+
+class MultiStrokeClassifier:
+    """One connected-stroke Rubine classifier per stroke count.
+
+    Gating by stroke count mirrors the multi-path classifier's
+    path-count gating: the number of pen-downs is a hard, noise-free
+    discriminator, so classes with different counts never compete.
+    """
+
+    def __init__(self, by_stroke_count: dict[int, GestureClassifier]):
+        if not by_stroke_count:
+            raise ValueError("no sub-classifiers given")
+        self._by_stroke_count = by_stroke_count
+
+    @classmethod
+    def train(
+        cls, examples_by_class: Mapping[str, Sequence[MultiStrokeGesture]]
+    ) -> "MultiStrokeClassifier":
+        """Train from labelled multi-stroke gestures.
+
+        Every example of a class must use the same number of strokes (an
+        'X' is two strokes by definition).
+        """
+        grouped: dict[int, dict[str, list]] = {}
+        for class_name, gestures in examples_by_class.items():
+            gestures = list(gestures)
+            if not gestures:
+                raise ValueError(f"class {class_name!r} has no examples")
+            counts = {g.stroke_count for g in gestures}
+            if len(counts) != 1:
+                raise ValueError(
+                    f"class {class_name!r} mixes stroke counts {sorted(counts)}"
+                )
+            grouped.setdefault(counts.pop(), {})[class_name] = [
+                g.connected() for g in gestures
+            ]
+        return cls(
+            {
+                count: GestureClassifier.train(classes)
+                for count, classes in grouped.items()
+            }
+        )
+
+    @property
+    def stroke_counts(self) -> list[int]:
+        return sorted(self._by_stroke_count.keys())
+
+    def class_names_for(self, stroke_count: int) -> list[str]:
+        classifier = self._by_stroke_count.get(stroke_count)
+        return [] if classifier is None else list(classifier.class_names)
+
+    def classify(self, gesture: MultiStrokeGesture) -> str:
+        """Class of the gesture; unknown stroke counts raise KeyError."""
+        classifier = self._by_stroke_count.get(gesture.stroke_count)
+        if classifier is None:
+            raise KeyError(
+                f"no gesture class uses {gesture.stroke_count} strokes "
+                f"(trained counts: {self.stroke_counts})"
+            )
+        return classifier.classify(gesture.connected())

@@ -1,0 +1,79 @@
+"""Grouping pen-down strokes into multi-stroke gestures.
+
+With multi-stroke marks the system must decide when a *gesture* ends —
+the paper's single-stroke restriction exists partly because it "allows
+the use of short timeouts".  The standard multi-stroke answer is a
+segmentation timeout: a new stroke beginning within ``timeout`` seconds
+of (and not too far from) the previous stroke's end continues the same
+gesture; otherwise the previous gesture is complete.
+"""
+
+from __future__ import annotations
+
+from ..geometry import Stroke
+from .gesture import MultiStrokeGesture
+
+__all__ = ["StrokeCollector"]
+
+
+class StrokeCollector:
+    """Accumulates strokes into gestures by time (and optional space) gaps."""
+
+    def __init__(
+        self,
+        timeout: float = 0.5,
+        max_gap_distance: float | None = None,
+    ):
+        """
+        Args:
+            timeout: maximum pen-up duration within one gesture.
+            max_gap_distance: if given, a new stroke also must start
+                within this distance of the previous stroke's end.
+        """
+        if timeout <= 0.0:
+            raise ValueError("timeout must be positive")
+        self.timeout = timeout
+        self.max_gap_distance = max_gap_distance
+        self._pending: list[Stroke] = []
+
+    @property
+    def pending_strokes(self) -> int:
+        return len(self._pending)
+
+    def _continues_gesture(self, stroke: Stroke) -> bool:
+        last = self._pending[-1]
+        if stroke.start.t - last.end.t > self.timeout:
+            return False
+        if (
+            self.max_gap_distance is not None
+            and stroke.start.distance_to(last.end) > self.max_gap_distance
+        ):
+            return False
+        return True
+
+    def add_stroke(self, stroke: Stroke) -> MultiStrokeGesture | None:
+        """Feed one completed pen-down stroke.
+
+        Returns the *previous* gesture if this stroke starts a new one,
+        else None.  Call :meth:`flush` after input goes quiet to retrieve
+        the final gesture.
+        """
+        if len(stroke) == 0:
+            raise ValueError("cannot collect an empty stroke")
+        if not self._pending:
+            self._pending.append(stroke)
+            return None
+        if self._continues_gesture(stroke):
+            self._pending.append(stroke)
+            return None
+        finished = MultiStrokeGesture(self._pending)
+        self._pending = [stroke]
+        return finished
+
+    def flush(self) -> MultiStrokeGesture | None:
+        """The in-progress gesture, if any (input has gone quiet)."""
+        if not self._pending:
+            return None
+        finished = MultiStrokeGesture(self._pending)
+        self._pending = []
+        return finished

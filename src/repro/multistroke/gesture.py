@@ -1,0 +1,71 @@
+"""Multi-stroke gestures and the connect adaptation.
+
+GRANDMA only recognizes single strokes; the paper notes the cost ("many
+common marks (e.g. 'X' and '->') cannot be used as gestures") and the
+escape hatch: "a number of techniques exist for adapting single-stroke
+recognizers to multiple stroke recognition [8, 15], so perhaps
+GRANDMA's recognizer will be extended this way in the future" (§2).
+
+This module is that extension, following the Lipscomb-style *connect*
+technique: the strokes of a multi-stroke gesture are concatenated —
+each pen-up hop becomes an ordinary (fast) segment — yielding one
+synthetic stroke the unmodified Rubine recognizer handles, gated by the
+stroke count so an 'X' never competes with an 'O'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..geometry import Point, Stroke
+
+__all__ = ["MultiStrokeGesture", "connect_strokes"]
+
+
+@dataclass(frozen=True)
+class MultiStrokeGesture:
+    """An ordered sequence of pen-down strokes forming one mark."""
+
+    strokes: tuple[Stroke, ...]
+
+    def __init__(self, strokes: Iterable[Stroke]):
+        ordered = sorted(
+            (s for s in strokes if len(s) > 0), key=lambda s: s.start.t
+        )
+        if not ordered:
+            raise ValueError("a multi-stroke gesture needs at least one stroke")
+        object.__setattr__(self, "strokes", tuple(ordered))
+
+    @property
+    def stroke_count(self) -> int:
+        return len(self.strokes)
+
+    def __iter__(self) -> Iterator[Stroke]:
+        return iter(self.strokes)
+
+    def connected(self) -> Stroke:
+        """The connect adaptation: one synthetic single stroke."""
+        return connect_strokes(self.strokes)
+
+
+def connect_strokes(strokes: Iterable[Stroke]) -> Stroke:
+    """Concatenate strokes, bridging pen-up gaps as ordinary segments.
+
+    Timestamps must be globally non-decreasing across strokes (they are,
+    for strokes recorded in sequence); the inter-stroke hop then looks
+    like one fast mouse movement, which Rubine's features take in
+    stride — the hop contributes to path length and (heavily) to maximum
+    speed, both of which help distinguish multi-stroke classes.
+    """
+    points: list[Point] = []
+    for stroke in strokes:
+        for p in stroke:
+            if points and p.t < points[-1].t:
+                raise ValueError(
+                    "strokes overlap in time; record them sequentially"
+                )
+            points.append(p)
+    if not points:
+        raise ValueError("nothing to connect")
+    return Stroke(points)

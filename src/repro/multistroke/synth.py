@@ -1,0 +1,105 @@
+"""Synthetic multi-stroke gesture classes — the marks §2 says GRANDMA
+cannot do: 'X', '+', '=', '→', plus a single-stroke 'O' control."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Point, Stroke
+from ..synth import GenerationParams, GestureGenerator, GestureTemplate, arc_waypoints
+from .gesture import MultiStrokeGesture
+
+__all__ = ["MULTISTROKE_CLASS_NAMES", "MultiStrokeGenerator"]
+
+import math
+
+MULTISTROKE_CLASS_NAMES: tuple[str, ...] = ("X", "plus", "equals", "arrow", "O")
+
+# Component templates per class: each entry is one pen-down stroke,
+# in shared unit coordinates.
+_COMPONENTS: dict[str, list[GestureTemplate]] = {
+    "X": [
+        GestureTemplate(name="X/0", waypoints=((0.0, 0.0), (0.8, 0.8))),
+        GestureTemplate(name="X/1", waypoints=((0.8, 0.0), (0.0, 0.8))),
+    ],
+    "plus": [
+        GestureTemplate(name="plus/0", waypoints=((0.4, 0.0), (0.4, 0.8))),
+        GestureTemplate(name="plus/1", waypoints=((0.0, 0.4), (0.8, 0.4))),
+    ],
+    "equals": [
+        GestureTemplate(name="equals/0", waypoints=((0.0, 0.2), (0.8, 0.2))),
+        GestureTemplate(name="equals/1", waypoints=((0.0, 0.6), (0.8, 0.6))),
+    ],
+    "arrow": [  # the paper's '->': a shaft, then the head
+        GestureTemplate(name="arrow/0", waypoints=((0.0, 0.4), (0.9, 0.4))),
+        GestureTemplate(
+            name="arrow/1",
+            waypoints=((0.65, 0.15), (0.9, 0.4), (0.65, 0.65)),
+            corner_indices=(1,),
+        ),
+    ],
+    "O": [
+        GestureTemplate(
+            name="O/0",
+            waypoints=tuple(
+                arc_waypoints(0.4, 0.4, 0.4, -math.pi / 2, 2 * math.pi * 0.95, 24)
+            ),
+        ),
+    ],
+}
+
+
+class MultiStrokeGenerator:
+    """Draws noisy multi-stroke examples with realistic pen-up gaps."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        params: GenerationParams | None = None,
+        pen_up_gap: float = 0.25,
+    ):
+        self.params = params or GenerationParams()
+        self._rng = np.random.default_rng(seed)
+        self.pen_up_gap = pen_up_gap
+        # One sub-generator per component template, sharing noise params.
+        self._generators = {
+            name: [
+                GestureGenerator(
+                    {t.name: t},
+                    params=self.params,
+                    seed=int(self._rng.integers(0, 2**31)),
+                )
+                for t in components
+            ]
+            for name, components in _COMPONENTS.items()
+        }
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return MULTISTROKE_CLASS_NAMES
+
+    def generate(self, class_name: str) -> MultiStrokeGesture:
+        generators = self._generators.get(class_name)
+        if generators is None:
+            raise KeyError(f"unknown multistroke class {class_name!r}")
+        strokes: list[Stroke] = []
+        clock = 0.0
+        for i, generator in enumerate(generators):
+            template_name = _COMPONENTS[class_name][i].name
+            stroke = generator.generate(template_name).stroke
+            gap = self.pen_up_gap * float(self._rng.uniform(0.5, 1.5))
+            t0 = clock if not strokes else clock + gap
+            stroke = Stroke(
+                Point(p.x, p.y, t0 + (p.t - stroke.start.t)) for p in stroke
+            )
+            strokes.append(stroke)
+            clock = stroke.end.t
+        return MultiStrokeGesture(strokes)
+
+    def generate_examples(
+        self, count_per_class: int
+    ) -> dict[str, list[MultiStrokeGesture]]:
+        return {
+            name: [self.generate(name) for _ in range(count_per_class)]
+            for name in MULTISTROKE_CLASS_NAMES
+        }

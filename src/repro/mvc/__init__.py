@@ -1,0 +1,15 @@
+"""GRANDMA's Model/View/event-handler architecture (paper §3)."""
+
+from .dispatch import DispatchContext, Dispatcher
+from .handler import EventHandler, EventPredicate
+from .model import Model
+from .view import View
+
+__all__ = [
+    "DispatchContext",
+    "Dispatcher",
+    "EventHandler",
+    "EventPredicate",
+    "Model",
+    "View",
+]

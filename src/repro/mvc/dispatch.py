@@ -1,0 +1,72 @@
+"""The input dispatcher.
+
+Ties the pieces together: a press is offered to the handlers of the view
+under the cursor ("the handlers associated with a particular view are
+queried in order whenever input is initiated at the view"); if every
+handler at that view declines, the event propagates up the view tree to
+the parent's handlers.  Whichever handler accepts becomes the grab-holder
+and receives all moves and the release of that interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..events import EventQueue, MouseEvent
+from .handler import EventHandler
+from .view import View
+
+__all__ = ["DispatchContext", "Dispatcher"]
+
+
+@dataclass
+class DispatchContext:
+    """What a handler can reach while processing an interaction."""
+
+    dispatcher: "Dispatcher"
+    queue: EventQueue
+    view: View  # the view the interaction started at
+
+
+class Dispatcher:
+    """Routes mouse events from the queue into GRANDMA handlers."""
+
+    def __init__(self, root: View, queue: EventQueue | None = None):
+        self.root = root
+        self.queue = queue or EventQueue()
+        self._active: tuple[EventHandler, DispatchContext] | None = None
+
+    @property
+    def interaction_active(self) -> bool:
+        return self._active is not None
+
+    def dispatch(self, event: MouseEvent) -> bool:
+        """Deliver one event; returns True if some handler took it."""
+        if self._active is not None:
+            handler, context = self._active
+            if event.is_release():
+                self._active = None
+                handler.end(event, context)
+            else:
+                handler.update(event, context)
+            return True
+        if not event.is_press():
+            # Stray move/release with no interaction in progress.
+            return False
+        view = self.root.pick(event.x, event.y)
+        while view is not None:
+            for handler in view.handlers():
+                if not handler.wants(event, view):
+                    continue
+                context = DispatchContext(
+                    dispatcher=self, queue=self.queue, view=view
+                )
+                if handler.begin(event, view, context):
+                    self._active = (handler, context)
+                    return True
+            view = view.parent
+        return False
+
+    def run(self) -> int:
+        """Drain the event queue through this dispatcher."""
+        return self.queue.run(self.dispatch)

@@ -1,0 +1,42 @@
+"""Models — application objects.
+
+"In GRANDMA, models are application objects, views are objects responsible
+for displaying models, and event handlers deal with input directed at
+views." (§3)
+
+Models know nothing about input or display; they expose state and notify
+observers (typically views) when that state changes, in the
+Smalltalk-80 MVC tradition GRANDMA generalizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["Model"]
+
+
+class Model:
+    """Base class for application objects with change notification."""
+
+    def __init__(self) -> None:
+        self._observers: list[Callable[["Model"], None]] = []
+
+    def add_observer(self, observer: Callable[["Model"], None]) -> None:
+        """Register a callable invoked (with the model) on every change."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[["Model"], None]) -> None:
+        """Unregister an observer; unknown observers are ignored."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def changed(self) -> None:
+        """Notify observers that this model's state changed.
+
+        Subclasses call this at the end of every mutating method.
+        """
+        for observer in list(self._observers):
+            observer(self)

@@ -1,0 +1,150 @@
+"""Views — display objects with inheritable handler lists.
+
+"Event handlers may be associated with view classes as well [as view
+instances], and are inherited.  Associating a handler with an entire
+class greatly improves efficiency, as a single handler is automatically
+shared by many objects." (§3)
+
+Handler lookup therefore walks: the view instance's own handlers, then
+handlers registered on its class, then on each base class up the Python
+MRO — Python's class machinery stands in for Objective-C's.
+
+Views form a tree (a root window view containing shape views); picking
+finds the topmost, most deeply nested view under a screen point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..geometry import BoundingBox
+from .handler import EventHandler
+from .model import Model
+
+__all__ = ["View"]
+
+
+class View:
+    """Base class for display objects."""
+
+    # Per-class handler registry.  Deliberately NOT inherited via normal
+    # attribute lookup: each class owns its own list, and handlers_for()
+    # walks the MRO explicitly so subclasses both add to and see their
+    # bases' handlers, in nearest-class-first order.
+    _class_handlers: list[EventHandler] = []
+
+    def __init__(self, model: Model | None = None):
+        self.model = model
+        self.parent: "View | None" = None
+        self._children: list["View"] = []
+        self._instance_handlers: list[EventHandler] = []
+        self.visible = True
+        if model is not None:
+            model.add_observer(self.model_changed)
+
+    # -- handler registration ------------------------------------------------
+
+    @classmethod
+    def add_class_handler(cls, handler: EventHandler) -> None:
+        """Attach a handler to every (current and future) view of ``cls``."""
+        if "_class_handlers" not in cls.__dict__:
+            cls._class_handlers = []
+        cls._class_handlers.append(handler)
+
+    @classmethod
+    def remove_class_handler(cls, handler: EventHandler) -> bool:
+        """Detach a class handler; returns False if it was not attached
+        directly to this class (inherited handlers must be removed from
+        the class that owns them)."""
+        own = cls.__dict__.get("_class_handlers", [])
+        if handler in own:
+            own.remove(handler)
+            return True
+        return False
+
+    @classmethod
+    def clear_class_handlers(cls) -> None:
+        """Drop handlers attached directly to this class (not inherited ones)."""
+        if "_class_handlers" in cls.__dict__:
+            cls._class_handlers = []
+
+    def add_handler(self, handler: EventHandler) -> None:
+        """Attach a handler to this view instance only."""
+        self._instance_handlers.append(handler)
+
+    def remove_handler(self, handler: EventHandler) -> bool:
+        if handler in self._instance_handlers:
+            self._instance_handlers.remove(handler)
+            return True
+        return False
+
+    def handlers(self) -> Iterator[EventHandler]:
+        """All handlers that apply to this view, in query order.
+
+        Instance handlers first (most specific), then class handlers
+        walking the MRO from this class toward :class:`View`.
+        """
+        yield from self._instance_handlers
+        for klass in type(self).__mro__:
+            yield from klass.__dict__.get("_class_handlers", ())
+
+    # -- the view tree --------------------------------------------------------
+
+    def add_child(self, child: "View") -> None:
+        """Append a child (drawn on top of earlier children)."""
+        if child.parent is not None:
+            child.parent.remove_child(child)
+        child.parent = self
+        self._children.append(child)
+
+    def remove_child(self, child: "View") -> None:
+        if child in self._children:
+            self._children.remove(child)
+            child.parent = None
+
+    @property
+    def children(self) -> tuple["View", ...]:
+        return tuple(self._children)
+
+    def descendants(self) -> Iterator["View"]:
+        """Depth-first traversal of the subtree below this view."""
+        for child in self._children:
+            yield child
+            yield from child.descendants()
+
+    def bring_to_front(self, child: "View") -> None:
+        """Raise a child to the top of the z-order."""
+        if child in self._children:
+            self._children.remove(child)
+            self._children.append(child)
+
+    # -- geometry & picking ----------------------------------------------------
+
+    def bounds(self) -> BoundingBox:
+        """This view's own extent; the default view is unbounded-empty."""
+        return BoundingBox()
+
+    def contains(self, x: float, y: float) -> bool:
+        """Hit test.  Default: inside the bounding box."""
+        return self.bounds().contains(x, y)
+
+    def pick(self, x: float, y: float) -> "View | None":
+        """Topmost visible view under ``(x, y)`` in this subtree.
+
+        Children are scanned from front (last added) to back; a hit in a
+        child beats a hit in this view, making picking "most nested wins".
+        """
+        if not self.visible:
+            return None
+        for child in reversed(self._children):
+            hit = child.pick(x, y)
+            if hit is not None:
+                return hit
+        if self.contains(x, y):
+            return self
+        return None
+
+    # -- model coupling ----------------------------------------------------------
+
+    def model_changed(self, model: Model) -> None:
+        """Called when the observed model changes; default does nothing."""

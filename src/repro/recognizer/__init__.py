@@ -1,0 +1,20 @@
+"""Statistical single-stroke gesture recognition (Rubine's full classifier)."""
+
+from .classifier import GestureClassifier
+from .linear import LinearClassifier
+from .mahalanobis import MahalanobisMetric
+from .online import OnlineTrainer
+from .rejection import RejectionPolicy, RejectionResult
+from .training import TrainingResult, pooled_covariance, train_linear_classifier
+
+__all__ = [
+    "GestureClassifier",
+    "LinearClassifier",
+    "MahalanobisMetric",
+    "OnlineTrainer",
+    "RejectionPolicy",
+    "RejectionResult",
+    "TrainingResult",
+    "pooled_covariance",
+    "train_linear_classifier",
+]

@@ -1,0 +1,175 @@
+"""The user-facing full gesture classifier.
+
+"A classifier C is a function that attempts to map g to its class c.
+As C is trained on the full gestures, it is referred to here as a *full
+classifier*." (section 4.2)
+
+:class:`GestureClassifier` wraps the linear machinery with stroke-level
+convenience: train from labelled :class:`~repro.geometry.Stroke` objects,
+classify strokes or precomputed feature vectors, optionally reject, and
+round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..features import features_of
+from ..geometry import Stroke
+from .linear import LinearClassifier
+from .mahalanobis import MahalanobisMetric
+from .rejection import RejectionPolicy, RejectionResult
+from .training import TrainingResult, train_linear_classifier
+
+__all__ = ["GestureClassifier"]
+
+
+class GestureClassifier:
+    """A trained full classifier over single-stroke gestures.
+
+    The classifier may be trained on a *subset* of Rubine's thirteen
+    features (the USENIX paper says "currently twelve"; the speed and
+    duration features are the usual casualties): pass ``feature_indices``
+    at training time and the classifier masks incoming 13-vectors itself,
+    so every caller — including the eager machinery — keeps handing it
+    full vectors.
+    """
+
+    def __init__(
+        self,
+        training: TrainingResult,
+        feature_indices: Sequence[int] | None = None,
+    ):
+        self._training = training
+        self.feature_indices = (
+            None if feature_indices is None else list(feature_indices)
+        )
+
+    def _mask(self, features: np.ndarray) -> np.ndarray:
+        if self.feature_indices is None:
+            return features
+        return np.asarray(features, dtype=float)[self.feature_indices]
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        examples_by_class: Mapping[str, Sequence[Stroke]],
+        feature_indices: Sequence[int] | None = None,
+    ) -> "GestureClassifier":
+        """Train from example strokes grouped by class name.
+
+        The paper trains GDP with C = 11 classes and typically 15 examples
+        per class; any counts work as long as every class is non-empty.
+        ``feature_indices`` restricts training (and classification) to a
+        subset of the 13 features.
+        """
+        if feature_indices is not None:
+            indices = list(feature_indices)
+            if not indices:
+                raise ValueError("feature_indices must not be empty")
+            vectors = {
+                name: [features_of(s)[indices] for s in strokes]
+                for name, strokes in examples_by_class.items()
+            }
+            return cls(train_linear_classifier(vectors), indices)
+        vectors = {
+            name: [features_of(s) for s in strokes]
+            for name, strokes in examples_by_class.items()
+        }
+        return cls(train_linear_classifier(vectors))
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def class_names(self) -> list[str]:
+        return self._training.classifier.class_names
+
+    @property
+    def linear(self) -> LinearClassifier:
+        """The underlying evaluation functions (mutable constants)."""
+        return self._training.classifier
+
+    @property
+    def metric(self) -> MahalanobisMetric:
+        """The shared Mahalanobis metric (used by the eager trainer)."""
+        return self._training.metric
+
+    @property
+    def means(self) -> np.ndarray:
+        """Per-class mean feature vectors, one row per class."""
+        return self._training.means
+
+    def mean_of(self, class_name: str) -> np.ndarray:
+        return self._training.mean_of(class_name)
+
+    # -- classification --------------------------------------------------------
+
+    def classify(self, gesture: Stroke) -> str:
+        """Map a gesture to the name of its most likely class."""
+        return self._training.classifier.classify(
+            self._mask(features_of(gesture))
+        )
+
+    def classify_features(self, features: np.ndarray) -> str:
+        """Classify a precomputed (full 13-dim) feature vector.
+
+        This is the eager fast path; the classifier applies its own
+        feature mask, if any.
+        """
+        return self._training.classifier.classify(self._mask(features))
+
+    def classify_with_rejection(
+        self, gesture: Stroke, policy: RejectionPolicy | None = None
+    ) -> RejectionResult:
+        """Classify, refusing ambiguous or outlier gestures."""
+        if policy is None:
+            policy = RejectionPolicy.rubine_default(
+                self._training.classifier.num_features
+            )
+        return policy.apply(
+            self._training.classifier,
+            self._training.metric,
+            self._training.means,
+            self._mask(features_of(gesture)),
+        )
+
+    def evaluations(self, gesture: Stroke) -> dict[str, float]:
+        """Per-class evaluation scores, for inspection and debugging."""
+        v = self._training.classifier.evaluations(
+            self._mask(features_of(gesture))
+        )
+        return dict(zip(self.class_names, v.tolist()))
+
+    # -- persistence --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "classifier": self._training.classifier.to_dict(),
+            "means": self._training.means.tolist(),
+            "metric": self._training.metric.to_dict(),
+            "feature_indices": self.feature_indices,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GestureClassifier":
+        return cls(
+            TrainingResult(
+                classifier=LinearClassifier.from_dict(data["classifier"]),
+                means=np.array(data["means"], dtype=float),
+                metric=MahalanobisMetric.from_dict(data["metric"]),
+            ),
+            feature_indices=data.get("feature_indices"),
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GestureClassifier":
+        return cls.from_dict(json.loads(Path(path).read_text()))

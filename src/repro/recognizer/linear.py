@@ -1,0 +1,117 @@
+"""Linear evaluation functions over feature vectors.
+
+Classification in the paper is "done via linear discrimination: each class
+has a linear evaluation function (including a constant term) that is
+applied to the features, and the class with the maximum evaluation is
+chosen" (section 4.2).  :class:`LinearClassifier` is that object: a
+``(C, F)`` weight matrix plus a length-``C`` vector of constants.
+
+Two properties the eager-recognition trainer exploits live here:
+
+* constants are mutable, so the trainer can bias the classifier away from
+  classes whose misclassification is costly (section 4.6), and
+* evaluations double as (unnormalized) log-likelihoods, so a softmax over
+  them estimates the probability that the winner is correct — the basis
+  of rejection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearClassifier"]
+
+
+class LinearClassifier:
+    """Per-class linear evaluation functions ``v_c(f) = w_c . f + b_c``."""
+
+    def __init__(
+        self,
+        class_names: Sequence[str],
+        weights: np.ndarray,
+        constants: np.ndarray,
+    ):
+        """
+        Args:
+            class_names: label for each row of ``weights``.
+            weights: ``(C, F)`` array of per-class feature weights.
+            constants: length-``C`` array of constant terms ``b_c``.
+        """
+        weights = np.asarray(weights, dtype=float)
+        constants = np.asarray(constants, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a (C, F) matrix")
+        if constants.shape != (weights.shape[0],):
+            raise ValueError("constants must have one entry per class")
+        if len(class_names) != weights.shape[0]:
+            raise ValueError("class_names must have one entry per class")
+        if len(set(class_names)) != len(class_names):
+            raise ValueError("class names must be unique")
+        self.class_names = list(class_names)
+        self.weights = weights
+        self.constants = constants
+        self._index = {name: i for i, name in enumerate(self.class_names)}
+
+    @property
+    def num_classes(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.weights.shape[1]
+
+    def class_index(self, name: str) -> int:
+        """Row index of a class name."""
+        return self._index[name]
+
+    def evaluations(self, features: np.ndarray) -> np.ndarray:
+        """All class evaluations ``v_c(f)`` for one feature vector."""
+        features = np.asarray(features, dtype=float)
+        if features.shape != (self.num_features,):
+            raise ValueError(
+                f"expected {self.num_features} features, got {features.shape}"
+            )
+        return self.weights @ features + self.constants
+
+    def classify(self, features: np.ndarray) -> str:
+        """The class with the maximum evaluation."""
+        return self.class_names[int(np.argmax(self.evaluations(features)))]
+
+    def classify_with_scores(self, features: np.ndarray) -> tuple[str, np.ndarray]:
+        """Winner plus the full evaluation vector (for rejection logic)."""
+        v = self.evaluations(features)
+        return self.class_names[int(np.argmax(v))], v
+
+    def probability_correct(self, features: np.ndarray) -> float:
+        """Softmax estimate that the winning class is the right one.
+
+        Rubine's rejection rule: with evaluations ``v_j`` and winner ``i``,
+        the estimate is ``1 / sum_j exp(v_j - v_i)``.
+        """
+        v = self.evaluations(features)
+        vmax = float(np.max(v))
+        return float(1.0 / np.sum(np.exp(np.clip(v - vmax, -500.0, 0.0))))
+
+    def add_to_constant(self, class_name: str, delta: float) -> None:
+        """Shift one class's constant term — the paper's biasing knob."""
+        self.constants[self._index[class_name]] += delta
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "class_names": self.class_names,
+            "weights": self.weights.tolist(),
+            "constants": self.constants.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinearClassifier":
+        return cls(
+            class_names=data["class_names"],
+            weights=np.array(data["weights"], dtype=float),
+            constants=np.array(data["constants"], dtype=float),
+        )

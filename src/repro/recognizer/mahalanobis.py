@@ -1,0 +1,64 @@
+"""The Mahalanobis distance metric.
+
+"Theoretically, the computed classifier works by creating a distance
+metric (the Mahalanobis distance), and the chosen class of a feature
+vector is simply the class whose mean is closest to the given feature
+vector under this metric.  As will be seen, the distance metric is also
+used in the construction of eager recognizers." (section 4.2)
+
+The metric is shared: the same pooled inverse covariance that defines the
+linear classifier defines these distances, which is why the eager trainer
+can reuse it to decide when a subgesture is "sufficiently close" to an
+incomplete class (section 4.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MahalanobisMetric"]
+
+
+class MahalanobisMetric:
+    """Squared-distance computations under a fixed inverse covariance."""
+
+    def __init__(self, inverse_covariance: np.ndarray):
+        inv = np.asarray(inverse_covariance, dtype=float)
+        if inv.ndim != 2 or inv.shape[0] != inv.shape[1]:
+            raise ValueError("inverse covariance must be square")
+        # Symmetrize to wash out round-off from the matrix inversion.
+        self.inverse_covariance = (inv + inv.T) / 2.0
+
+    @property
+    def dim(self) -> int:
+        return self.inverse_covariance.shape[0]
+
+    def squared_distance(self, x: np.ndarray, y: np.ndarray) -> float:
+        """``(x - y)' S^-1 (x - y)``, clamped at zero against round-off."""
+        diff = np.asarray(x, dtype=float) - np.asarray(y, dtype=float)
+        if diff.shape != (self.dim,):
+            raise ValueError(f"expected vectors of dim {self.dim}")
+        value = float(diff @ self.inverse_covariance @ diff)
+        return max(value, 0.0)
+
+    def distance(self, x: np.ndarray, y: np.ndarray) -> float:
+        """The (non-squared) Mahalanobis distance."""
+        return float(np.sqrt(self.squared_distance(x, y)))
+
+    def nearest(self, x: np.ndarray, means: np.ndarray) -> tuple[int, float]:
+        """Index of, and squared distance to, the closest row of ``means``."""
+        means = np.asarray(means, dtype=float)
+        if means.ndim != 2 or means.shape[1] != self.dim:
+            raise ValueError("means must be a (k, dim) matrix")
+        if means.shape[0] == 0:
+            raise ValueError("no means to compare against")
+        dists = [self.squared_distance(x, m) for m in means]
+        best = int(np.argmin(dists))
+        return best, dists[best]
+
+    def to_dict(self) -> dict:
+        return {"inverse_covariance": self.inverse_covariance.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MahalanobisMetric":
+        return cls(np.array(data["inverse_covariance"], dtype=float))

@@ -1,0 +1,131 @@
+"""Incremental (interactive) training.
+
+GRANDMA was an interactive tool: a designer added example gestures — and
+whole new gesture classes — to a running application, and the classifier
+retrained instantly ("Training is also efficient, as there is a closed
+form expression ... for determining the evaluation functions").  The
+closed form needs only per-class sufficient statistics (count, feature
+sum, sum of outer products), so :class:`OnlineTrainer` maintains exactly
+those: adding an example is O(F^2), and building a fresh classifier is
+one covariance inversion, independent of how many examples have ever
+been added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..features import NUM_FEATURES, features_of
+from ..geometry import Stroke
+from .classifier import GestureClassifier
+from .linear import LinearClassifier
+from .mahalanobis import MahalanobisMetric
+from .training import TrainingResult, _regularized_inverse
+
+__all__ = ["OnlineTrainer"]
+
+
+@dataclass
+class _ClassStats:
+    """Sufficient statistics of one gesture class."""
+
+    count: int = 0
+    feature_sum: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_FEATURES)
+    )
+    outer_sum: np.ndarray = field(
+        default_factory=lambda: np.zeros((NUM_FEATURES, NUM_FEATURES))
+    )
+
+    def add(self, vector: np.ndarray) -> None:
+        self.count += 1
+        self.feature_sum += vector
+        self.outer_sum += np.outer(vector, vector)
+
+    @property
+    def mean(self) -> np.ndarray:
+        return self.feature_sum / self.count
+
+    @property
+    def scatter(self) -> np.ndarray:
+        mean = self.mean
+        return self.outer_sum - self.count * np.outer(mean, mean)
+
+
+class OnlineTrainer:
+    """Accumulates examples; builds classifiers on demand.
+
+    Usage, mirroring GRANDMA's add-a-gesture-at-runtime flow::
+
+        trainer = OnlineTrainer()
+        for stroke in recorded:            # designer draws examples
+            trainer.add_example("lasso", stroke)
+        handler.recognizer = trainer.build()   # live immediately
+    """
+
+    def __init__(self, num_features: int = NUM_FEATURES):
+        self.num_features = num_features
+        self._stats: dict[str, _ClassStats] = {}
+
+    # -- accumulating -------------------------------------------------------
+
+    def add_example(self, class_name: str, stroke: Stroke) -> None:
+        """Fold one example stroke into a class (creating it if new)."""
+        self.add_feature_vector(class_name, features_of(stroke))
+
+    def add_feature_vector(self, class_name: str, vector: np.ndarray) -> None:
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.num_features,):
+            raise ValueError(
+                f"expected {self.num_features} features, got {vector.shape}"
+            )
+        self._stats.setdefault(class_name, _ClassStats()).add(vector)
+
+    def remove_class(self, class_name: str) -> bool:
+        """Forget a class entirely; returns False if unknown."""
+        return self._stats.pop(class_name, None) is not None
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def class_names(self) -> list[str]:
+        return list(self._stats.keys())
+
+    def example_count(self, class_name: str) -> int:
+        stats = self._stats.get(class_name)
+        return 0 if stats is None else stats.count
+
+    @property
+    def total_examples(self) -> int:
+        return sum(s.count for s in self._stats.values())
+
+    # -- building ----------------------------------------------------------------
+
+    def build(self) -> GestureClassifier:
+        """A classifier over everything accumulated so far.
+
+        Produces the same classifier batch training on the same examples
+        would (sufficient statistics are lossless for LDA).
+
+        Raises:
+            ValueError: with fewer than two classes, or an empty class.
+        """
+        if len(self._stats) < 2:
+            raise ValueError("need at least two classes to discriminate")
+        names = list(self._stats.keys())
+        means = np.vstack([self._stats[n].mean for n in names])
+        scatter = sum(self._stats[n].scatter for n in names)
+        denominator = max(self.total_examples - len(names), 1)
+        covariance = scatter / denominator
+        inv_cov = _regularized_inverse(covariance)
+        weights = means @ inv_cov.T
+        constants = -0.5 * np.einsum("cf,cf->c", weights, means)
+        return GestureClassifier(
+            TrainingResult(
+                classifier=LinearClassifier(names, weights, constants),
+                means=means,
+                metric=MahalanobisMetric(inv_cov),
+            )
+        )

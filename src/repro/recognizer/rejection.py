@@ -1,0 +1,77 @@
+"""Rejection rules for the statistical recognizer.
+
+Rubine's recognizer can refuse to classify a gesture that is either
+*ambiguous* (two classes score nearly alike) or an *outlier* (far from
+every class mean).  Neither rule appears in the USENIX paper's evaluation
+— there every test gesture is classified — but GDP-style applications use
+rejection to avoid acting on garbage input, so the rules ship as part of
+the substrate:
+
+* ambiguity: reject when the softmax probability of the winner falls
+  below ``min_probability`` (Rubine used 0.95);
+* outlier: reject when the squared Mahalanobis distance to the winning
+  class mean exceeds ``max_squared_distance`` (Rubine used half the
+  squared feature count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .linear import LinearClassifier
+from .mahalanobis import MahalanobisMetric
+
+__all__ = ["RejectionPolicy", "RejectionResult"]
+
+
+@dataclass(frozen=True)
+class RejectionResult:
+    """Outcome of a classify-with-rejection call."""
+
+    class_name: str | None  # None when rejected
+    probability: float
+    squared_distance: float
+
+    @property
+    def rejected(self) -> bool:
+        return self.class_name is None
+
+
+@dataclass
+class RejectionPolicy:
+    """Thresholds for refusing a classification."""
+
+    min_probability: float = 0.95
+    max_squared_distance: float | None = None
+
+    @classmethod
+    def rubine_default(cls, num_features: int) -> "RejectionPolicy":
+        """Rubine's published thresholds: P >= 0.95, d^2 <= F^2 / 2."""
+        return cls(
+            min_probability=0.95,
+            max_squared_distance=num_features * num_features / 2.0,
+        )
+
+    def apply(
+        self,
+        classifier: LinearClassifier,
+        metric: MahalanobisMetric,
+        means: np.ndarray,
+        features: np.ndarray,
+    ) -> RejectionResult:
+        """Classify ``features``, rejecting per the thresholds."""
+        winner, _ = classifier.classify_with_scores(features)
+        probability = classifier.probability_correct(features)
+        mean = means[classifier.class_index(winner)]
+        squared = metric.squared_distance(features, mean)
+        accepted = probability >= self.min_probability and (
+            self.max_squared_distance is None
+            or squared <= self.max_squared_distance
+        )
+        return RejectionResult(
+            class_name=winner if accepted else None,
+            probability=probability,
+            squared_distance=squared,
+        )

@@ -1,0 +1,151 @@
+"""Closed-form training of the linear classifier.
+
+"Training is also efficient, as there is a closed form expression (optimal
+given some normality assumptions on the distribution of the feature
+vectors of a class) for determining the evaluation functions from the
+training data." (section 4.2)
+
+This is classical linear discriminant analysis with a pooled covariance
+matrix, exactly as in Rubine's dissertation:
+
+* per-class mean feature vectors ``mu_c``,
+* the *common* (pooled) covariance estimated from all classes' scatter,
+* weights ``w_c = S^-1 mu_c`` and constants ``b_c = -1/2 w_c . mu_c``.
+
+Real training sets produce singular pooled covariances whenever a feature
+is constant across the examples (e.g. duration when strokes are
+synthesized on a fixed clock), so the inversion is regularized by loading
+the diagonal until the matrix is comfortably conditioned — the same
+"fix the matrix" fallback Rubine's implementation used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .linear import LinearClassifier
+from .mahalanobis import MahalanobisMetric
+
+__all__ = ["TrainingResult", "train_linear_classifier", "pooled_covariance"]
+
+
+@dataclass
+class TrainingResult:
+    """Everything the closed-form trainer produces.
+
+    The eager-recognition trainer needs more than the classifier: it reuses
+    ``metric`` (the Mahalanobis metric under the pooled covariance) and the
+    per-class ``means`` to move accidentally complete subgestures.
+    """
+
+    classifier: LinearClassifier
+    means: np.ndarray  # (C, F) per-class mean feature vectors
+    metric: MahalanobisMetric
+
+    def mean_of(self, class_name: str) -> np.ndarray:
+        return self.means[self.classifier.class_index(class_name)]
+
+
+def pooled_covariance(
+    per_class_vectors: Sequence[np.ndarray],
+    means: np.ndarray,
+) -> np.ndarray:
+    """Average the per-class scatter matrices into the common covariance.
+
+    ``S_ij = sum_c scatter_c_ij / (sum_c E_c - C)`` — the unbiased pooled
+    estimate.  With fewer than ``C + 1`` total examples the denominator is
+    clamped to 1 so degenerate inputs degrade instead of dividing by zero.
+    """
+    num_features = means.shape[1]
+    scatter = np.zeros((num_features, num_features))
+    total = 0
+    for c, vectors in enumerate(per_class_vectors):
+        if len(vectors) == 0:
+            continue
+        centered = vectors - means[c]
+        scatter += centered.T @ centered
+        total += len(vectors)
+    denom = max(total - len(per_class_vectors), 1)
+    return scatter / denom
+
+
+def _regularized_inverse(cov: np.ndarray, ridge: float = 1e-6) -> np.ndarray:
+    """Invert the covariance, regularizing in correlation space.
+
+    Rubine's features live on wildly different scales (cosines near one,
+    squared speeds in the millions), so loading the raw diagonal uniformly
+    would crush the small features long before it conditioned the large
+    ones.  Instead the covariance is normalized to a correlation matrix,
+    ridge-loaded there (where the natural scale is 1), inverted, and
+    mapped back — a scale-equivariant version of the "fix the matrix"
+    fallback in Rubine's implementation.  Zero-variance features (e.g.
+    duration under a fixed synthetic clock) get a placeholder scale so
+    they simply carry no discriminative weight instead of exploding.
+    """
+    dim = cov.shape[0]
+    stddev = np.sqrt(np.clip(np.diag(cov), 0.0, None))
+    positive = stddev[stddev > 0.0]
+    typical = float(positive.mean()) if positive.size else 1.0
+    stddev = np.where(stddev > 1e-12 * typical, stddev, typical)
+    inv_std = 1.0 / stddev
+    correlation = cov * np.outer(inv_std, inv_std)
+    lam = ridge
+    for _ in range(20):
+        candidate = correlation + lam * np.eye(dim)
+        if np.linalg.cond(candidate) < 1e10:
+            inv_corr = np.linalg.inv(candidate)
+            return inv_corr * np.outer(inv_std, inv_std)
+        lam *= 10.0
+    # Last resort: pseudo-inverse of the heavily loaded correlation.
+    inv_corr = np.linalg.pinv(correlation + lam * np.eye(dim))
+    return inv_corr * np.outer(inv_std, inv_std)
+
+
+def train_linear_classifier(
+    examples_by_class: Mapping[str, Sequence[np.ndarray]],
+) -> TrainingResult:
+    """Train evaluation functions from labelled feature vectors.
+
+    Args:
+        examples_by_class: feature vectors grouped by class name.  Every
+            class needs at least one example; a class with a single
+            example contributes its mean but no scatter.
+
+    Returns:
+        The classifier together with the class means and the shared
+        Mahalanobis metric.
+
+    Raises:
+        ValueError: on an empty training set or an empty class.
+    """
+    if not examples_by_class:
+        raise ValueError("no training classes given")
+    class_names = list(examples_by_class.keys())
+    per_class: list[np.ndarray] = []
+    for name in class_names:
+        vectors = np.asarray(list(examples_by_class[name]), dtype=float)
+        if vectors.size == 0:
+            raise ValueError(f"class {name!r} has no training examples")
+        if vectors.ndim != 2:
+            raise ValueError(f"class {name!r}: expected a list of 1-D vectors")
+        per_class.append(vectors)
+    num_features = per_class[0].shape[1]
+    if any(v.shape[1] != num_features for v in per_class):
+        raise ValueError("inconsistent feature dimensionality across classes")
+
+    means = np.vstack([v.mean(axis=0) for v in per_class])
+    cov = pooled_covariance(per_class, means)
+    inv_cov = _regularized_inverse(cov)
+
+    weights = means @ inv_cov.T  # w_c = S^-1 mu_c   (row per class)
+    constants = -0.5 * np.einsum("cf,cf->c", weights, means)
+
+    classifier = LinearClassifier(class_names, weights, constants)
+    return TrainingResult(
+        classifier=classifier,
+        means=means,
+        metric=MahalanobisMetric(inv_cov),
+    )

@@ -1,0 +1,44 @@
+"""Synthetic gesture generation — the reproduction's stand-in for users.
+
+Four template families mirror the paper's four gesture sets:
+
+* :func:`eight_direction_templates` — figure 9's eight direction pairs,
+* :func:`ud_templates` — figures 5–7's U and D classes,
+* :func:`gdp_templates` — GDP's eleven classes (figures 3 and 10),
+* :func:`note_templates` — figure 8's nested note gestures.
+"""
+
+from .directions import (
+    DIRECTION_VECTORS,
+    EIGHT_DIRECTION_CLASSES,
+    direction_pair_template,
+    eight_direction_templates,
+    ud_templates,
+)
+from .gdp_classes import GDP_CLASS_NAMES, gdp_templates
+from .generator import (
+    GeneratedGesture,
+    GenerationParams,
+    GestureGenerator,
+    with_params,
+)
+from .notes import NOTE_CLASS_NAMES, note_templates
+from .templates import GestureTemplate, arc_waypoints
+
+__all__ = [
+    "DIRECTION_VECTORS",
+    "EIGHT_DIRECTION_CLASSES",
+    "GDP_CLASS_NAMES",
+    "NOTE_CLASS_NAMES",
+    "GeneratedGesture",
+    "GenerationParams",
+    "GestureGenerator",
+    "GestureTemplate",
+    "arc_waypoints",
+    "direction_pair_template",
+    "eight_direction_templates",
+    "gdp_templates",
+    "note_templates",
+    "ud_templates",
+    "with_params",
+]

@@ -1,0 +1,95 @@
+"""Two-segment direction-pair gesture classes (paper figures 5–7 and 9).
+
+Figure 9 evaluates eight classes, "each named for the direction of its two
+segments, e.g. 'ur' means 'up, right'".  Every gesture is ambiguous along
+its first segment — four classes share each initial direction with one
+other class at 90 degrees... strictly, each initial direction is shared by
+exactly two classes (e.g. ``ur`` and ``ul`` both start upward), so the
+gesture "becomes unambiguous once the corner is turned and the second
+segment begun".
+
+Figures 5–7 use the two-class subset the paper calls U and D: both start
+with a rightward segment; U turns up, D turns down.
+
+Screen coordinates: y grows downward, so "up" is (0, -1).
+"""
+
+from __future__ import annotations
+
+from .templates import GestureTemplate
+
+__all__ = [
+    "DIRECTION_VECTORS",
+    "EIGHT_DIRECTION_CLASSES",
+    "direction_pair_template",
+    "eight_direction_templates",
+    "ud_templates",
+]
+
+DIRECTION_VECTORS: dict[str, tuple[float, float]] = {
+    "u": (0.0, -1.0),
+    "d": (0.0, 1.0),
+    "l": (-1.0, 0.0),
+    "r": (1.0, 0.0),
+}
+
+# The eight classes of figure 9, in the figure's row order.
+EIGHT_DIRECTION_CLASSES: tuple[str, ...] = (
+    "dr",
+    "dl",
+    "rd",
+    "ld",
+    "ru",
+    "lu",
+    "ur",
+    "ul",
+)
+
+
+def direction_pair_template(
+    name: str, first_fraction: float = 0.5
+) -> GestureTemplate:
+    """A two-segment template from a two-letter direction name.
+
+    ``first_fraction`` sets how much of the unit path the first segment
+    occupies; the paper's examples are near half-and-half.
+    """
+    if len(name) != 2 or name[0] not in DIRECTION_VECTORS or name[1] not in DIRECTION_VECTORS:
+        raise ValueError(f"not a direction pair: {name!r}")
+    if not 0.0 < first_fraction < 1.0:
+        raise ValueError("first_fraction must be strictly between 0 and 1")
+    (dx1, dy1) = DIRECTION_VECTORS[name[0]]
+    (dx2, dy2) = DIRECTION_VECTORS[name[1]]
+    corner = (dx1 * first_fraction, dy1 * first_fraction)
+    end = (
+        corner[0] + dx2 * (1.0 - first_fraction),
+        corner[1] + dy2 * (1.0 - first_fraction),
+    )
+    return GestureTemplate(
+        name=name,
+        waypoints=((0.0, 0.0), corner, end),
+        corner_indices=(1,),
+    )
+
+
+def eight_direction_templates() -> dict[str, GestureTemplate]:
+    """The figure-9 gesture set."""
+    return {
+        name: direction_pair_template(name) for name in EIGHT_DIRECTION_CLASSES
+    }
+
+
+def ud_templates() -> dict[str, GestureTemplate]:
+    """The U and D classes of figures 5–7: right-then-up, right-then-down."""
+    return {
+        "U": GestureTemplate(
+            name="U",
+            waypoints=((0.0, 0.0), (0.6, 0.0), (0.6, -0.4)),
+            corner_indices=(1,),
+        ),
+        "D": GestureTemplate(
+            name="D",
+            waypoints=((0.0, 0.0), (0.6, 0.0), (0.6, 0.4)),
+            corner_indices=(1,),
+        ),
+    }

@@ -1,0 +1,178 @@
+"""Templates for GDP's eleven gesture classes (paper §2, figures 3 and 10).
+
+"In GDP, C = 11 (the classes are line, rectangle, ellipse, group, text,
+delete, edit, move, rotate-scale, copy, and dot)."
+
+The exact strokes Rubine's users drew are lost to history; these templates
+are reconstructed from the paper's figures and descriptions:
+
+* ``rect`` is the corner-hook of figure 3 — eagerly recognized after only
+  4 of ~20 points in figure 10, so its opening must be unique (we start
+  with the down-then-right hook).
+* ``group`` is a large circle, drawn **clockwise**: "the group gesture was
+  trained clockwise because when it was counterclockwise it prevented the
+  copy gesture from ever being eagerly recognized" (§5).  ``copy`` is the
+  open counterclockwise "C" of figure 10, which shares a prefix with a
+  counterclockwise circle — reproducing that interaction.
+* ``ellipse`` is a closed oval, smaller and counterclockwise so it remains
+  separable from ``group``.
+* ``edit`` "looks like '2'" (§2).
+* ``dot`` is a two-point tap.
+
+Under the y-down screen frame, positive arc sweep is clockwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .templates import GestureTemplate, arc_waypoints
+
+__all__ = ["GDP_CLASS_NAMES", "gdp_templates"]
+
+GDP_CLASS_NAMES: tuple[str, ...] = (
+    "line",
+    "rect",
+    "ellipse",
+    "group",
+    "text",
+    "delete",
+    "edit",
+    "move",
+    "rotate-scale",
+    "copy",
+    "dot",
+)
+
+
+def gdp_templates() -> dict[str, GestureTemplate]:
+    """Build the eleven GDP gesture templates."""
+    templates: list[GestureTemplate] = []
+
+    # line — a plain stroke down-right (figure 3 draws it as a diagonal).
+    templates.append(
+        GestureTemplate(
+            name="line",
+            waypoints=((0.0, 0.0), (0.8, 0.6)),
+        )
+    )
+
+    # rect — the figure-3 rectangle gesture: a sharp down-then-right hook.
+    # Its first segment is unlike any other class's opening, which is why
+    # figure 10 shows it recognized after ~4 points.
+    templates.append(
+        GestureTemplate(
+            name="rect",
+            waypoints=((0.0, 0.0), (0.0, 0.55), (0.6, 0.55)),
+            corner_indices=(1,),
+        )
+    )
+
+    # ellipse — a closed clockwise oval, starting at the right edge.
+    # Clockwise keeps its prefix apart from copy's counterclockwise arc,
+    # the same directional-separation trick §5 applies to group.
+    oval = [
+        (
+            0.3 + 0.3 * math.cos(2 * math.pi * k / 28),
+            0.2 + 0.2 * math.sin(2 * math.pi * k / 28),
+        )
+        for k in range(29)
+    ]
+    templates.append(
+        GestureTemplate(name="ellipse", waypoints=tuple(oval))
+    )
+
+    # group — a large clockwise circle starting at the top.
+    circle = arc_waypoints(
+        cx=0.5, cy=0.5, radius=0.5, start_angle=-math.pi / 2, sweep=2 * math.pi * 0.95, steps=30
+    )
+    templates.append(
+        GestureTemplate(name="group", waypoints=tuple(circle))
+    )
+
+    # text — a small horizontal squiggle (two bumps), like a scribbled word.
+    templates.append(
+        GestureTemplate(
+            name="text",
+            waypoints=(
+                (0.0, 0.0),
+                (0.15, -0.12),
+                (0.3, 0.0),
+                (0.45, -0.12),
+                (0.6, 0.0),
+            ),
+            corner_indices=(1, 2, 3),
+        )
+    )
+
+    # delete — a sharp zigzag slash: down-right, back up-right, down-right.
+    templates.append(
+        GestureTemplate(
+            name="delete",
+            waypoints=((0.0, 0.0), (0.35, 0.5), (0.5, 0.1), (0.85, 0.6)),
+            corner_indices=(1, 2),
+        )
+    )
+
+    # edit — "looks like '2'": a top arc, a diagonal down-left, a flat base.
+    top_arc = arc_waypoints(
+        cx=0.25, cy=0.15, radius=0.22, start_angle=math.pi, sweep=math.pi, steps=10
+    )
+    edit_points = top_arc + [(0.03, 0.62), (0.5, 0.62)]
+    templates.append(
+        GestureTemplate(
+            name="edit",
+            waypoints=tuple(edit_points),
+            corner_indices=(len(top_arc) - 1 + 1,),
+        )
+    )
+
+    # move — a caret: up-right then down-right.
+    templates.append(
+        GestureTemplate(
+            name="move",
+            waypoints=((0.0, 0.0), (0.3, -0.5), (0.6, 0.0)),
+            corner_indices=(1,),
+        )
+    )
+
+    # rotate-scale — a long clockwise hook sweeping about 300 degrees,
+    # starting at the center of rotation and spiralling out.
+    hook = arc_waypoints(
+        cx=0.35,
+        cy=0.35,
+        radius=0.35,
+        start_angle=math.pi,
+        sweep=2 * math.pi * 0.8,
+        steps=26,
+    )
+    rs_points = [(0.35, 0.35)] + hook
+    templates.append(
+        GestureTemplate(name="rotate-scale", waypoints=tuple(rs_points))
+    )
+
+    # copy — an open counterclockwise "C", starting at the top like the
+    # group circle.  Its entire path coincides with the prefix of a
+    # *counterclockwise* circle of the same size, which is exactly why §5
+    # reports that training group counterclockwise "prevented the copy
+    # gesture from ever being eagerly recognized"; with group trained
+    # clockwise (the paper's fix, and our default), copy diverges from
+    # group at the very first samples.
+    c_arc = arc_waypoints(
+        cx=0.5,
+        cy=0.5,
+        radius=0.5,
+        start_angle=-math.pi / 2,
+        sweep=-2 * math.pi * 0.65,
+        steps=20,
+    )
+    templates.append(GestureTemplate(name="copy", waypoints=tuple(c_arc)))
+
+    # dot — a tap: one waypoint, generated as two nearly coincident points.
+    templates.append(
+        GestureTemplate(name="dot", waypoints=((0.0, 0.0),))
+    )
+
+    by_name = {t.name: t for t in templates}
+    assert tuple(by_name.keys()) == GDP_CLASS_NAMES
+    return by_name

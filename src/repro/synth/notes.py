@@ -1,0 +1,49 @@
+"""Buxton's musical-note gestures (paper figure 8).
+
+"Because all but the last gesture is approximately a subgesture of the one
+to its right, these gestures would always be considered ambiguous by the
+eager recognizer, and thus would never be eagerly recognized."
+
+The set models Buxton's SSSP note-duration gestures: each shorter-duration
+note extends the previous one with one more flag stroke.  The nesting is
+what matters — class k's full template is a strict prefix of class k+1's —
+so the eager recognizer can never commit before the gesture ends.
+"""
+
+from __future__ import annotations
+
+from .templates import GestureTemplate
+
+__all__ = ["NOTE_CLASS_NAMES", "note_templates"]
+
+NOTE_CLASS_NAMES: tuple[str, ...] = (
+    "quarter",
+    "eighth",
+    "sixteenth",
+    "thirtysecond",
+    "sixtyfourth",
+)
+
+# The shared backbone: a down stem, then alternating flag strokes.  Note
+# class k uses the first k+2 waypoints, so each class is a prefix of the
+# next.
+_BACKBONE: tuple[tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (0.0, 0.8),  # quarter: the stem
+    (0.3, 0.55),  # eighth: first flag, up-right
+    (0.3, 0.3),  # sixteenth: second flag, straight up
+    (0.6, 0.1),  # thirtysecond: third flag, up-right
+    (0.6, -0.15),  # sixtyfourth: fourth flag, straight up
+)
+
+
+def note_templates() -> dict[str, GestureTemplate]:
+    """The five nested note classes."""
+    templates: dict[str, GestureTemplate] = {}
+    for k, name in enumerate(NOTE_CLASS_NAMES):
+        waypoints = _BACKBONE[: k + 2]
+        corners = tuple(range(1, len(waypoints) - 1))
+        templates[name] = GestureTemplate(
+            name=name, waypoints=waypoints, corner_indices=corners
+        )
+    return templates

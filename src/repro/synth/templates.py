@@ -1,0 +1,83 @@
+"""Gesture class templates.
+
+A template is the ideal, noise-free polyline of a gesture class, in unit
+coordinates with screen orientation (y grows downward, so "up" is
+negative y).  The generator perturbs templates into individual example
+strokes.  Interior waypoints that are true corners are flagged: they are
+the ground-truth unambiguity landmarks for two-segment gestures (figure
+9's "determined by hand" column) and the sites where the generator may
+inject the 270-degree corner-loop error mode the paper blames for most
+eager misclassifications.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["GestureTemplate", "arc_waypoints"]
+
+
+@dataclass(frozen=True)
+class GestureTemplate:
+    """The canonical shape of one gesture class."""
+
+    name: str
+    waypoints: tuple[tuple[float, float], ...]
+    # Indices into waypoints marking sharp interior corners.
+    corner_indices: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 1:
+            raise ValueError(f"template {self.name!r} has no waypoints")
+        for idx in self.corner_indices:
+            if not 0 < idx < len(self.waypoints) - 1:
+                raise ValueError(
+                    f"template {self.name!r}: corner index {idx} is not interior"
+                )
+
+    @property
+    def is_dot(self) -> bool:
+        """A degenerate template: a single position (GDP's dot gesture)."""
+        return len(self.waypoints) == 1
+
+    def path_length(self) -> float:
+        """Arc length of the ideal polyline."""
+        return sum(
+            math.hypot(bx - ax, by - ay)
+            for (ax, ay), (bx, by) in zip(self.waypoints, self.waypoints[1:])
+        )
+
+    def arc_length_at(self, waypoint_index: int) -> float:
+        """Arc length from the start to a given waypoint."""
+        if not 0 <= waypoint_index < len(self.waypoints):
+            raise ValueError(f"waypoint index {waypoint_index} out of range")
+        total = 0.0
+        for i in range(waypoint_index):
+            (ax, ay), (bx, by) = self.waypoints[i], self.waypoints[i + 1]
+            total += math.hypot(bx - ax, by - ay)
+        return total
+
+
+def arc_waypoints(
+    cx: float,
+    cy: float,
+    radius: float,
+    start_angle: float,
+    sweep: float,
+    steps: int = 24,
+) -> list[tuple[float, float]]:
+    """Waypoints along a circular arc (angles in radians, y-down screen frame).
+
+    Positive ``sweep`` runs clockwise on screen (the mathematically
+    positive direction under a y-down axis).
+    """
+    if steps < 1:
+        raise ValueError("need at least one step")
+    return [
+        (
+            cx + radius * math.cos(start_angle + sweep * k / steps),
+            cy + radius * math.sin(start_angle + sweep * k / steps),
+        )
+        for k in range(steps + 1)
+    ]

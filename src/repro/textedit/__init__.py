@@ -1,0 +1,16 @@
+"""The gesture-based text editor — the paper's figure-1 scenario."""
+
+from .app import TextEditApp, train_textedit_recognizer
+from .buffer import CHAR_WIDTH, LINE_HEIGHT, TextBuffer, TextPosition
+from .gestures import TailedGestureGenerator, editing_templates
+
+__all__ = [
+    "CHAR_WIDTH",
+    "LINE_HEIGHT",
+    "TailedGestureGenerator",
+    "TextBuffer",
+    "TextEditApp",
+    "TextPosition",
+    "editing_templates",
+    "train_textedit_recognizer",
+]

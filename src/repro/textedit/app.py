@@ -1,0 +1,180 @@
+"""The gesture-based text editor — the paper's motivating scenario.
+
+Figure 1's move-text gesture, realized as a two-phase interaction:
+
+* **collection**: the user circles characters.  The gesture is
+  recognized (eagerly, by timeout, or on mouse-up).
+* **manipulation**: a *snapping cursor* tracks the mouse, always sitting
+  on a legal destination — the §1 feedback that "confirms that the
+  gesture was indeed recognized correctly, and allows the user to be
+  sure of the text's destination before committing".
+* **done**: releasing the button moves the circled text to the snapped
+  destination.
+
+Delete strikes text out; insert places a caret marker.
+"""
+
+from __future__ import annotations
+
+from ..eager import EagerRecognizer, train_eager_recognizer
+from ..events import EventQueue, MouseEvent, VirtualClock
+from ..geometry import BoundingBox
+from ..interaction import (
+    DEFAULT_TIMEOUT,
+    GestureContext,
+    GestureHandler,
+    GestureSemantics,
+)
+from ..mvc import Dispatcher, View
+from ..recognizer import GestureClassifier
+from .buffer import TextBuffer, TextPosition
+from .gestures import TailedGestureGenerator, editing_templates
+
+__all__ = ["TextEditApp", "train_textedit_recognizer"]
+
+
+def train_textedit_recognizer(
+    examples_per_class: int = 12, seed: int = 9
+) -> EagerRecognizer:
+    """Train on prefix-only gestures — tails belong to manipulation.
+
+    This is §6's punchline applied: because the interaction is
+    two-phase, the recognizer never sees a tail, neither in training nor
+    at runtime.
+    """
+    generator = TailedGestureGenerator(editing_templates(), seed=seed)
+    strokes = generator.generate_strokes(examples_per_class, strip_tails=True)
+    return train_eager_recognizer(strokes).recognizer
+
+
+class TextView(View):
+    """The editor window; gestures land here."""
+
+    def __init__(self, buffer: TextBuffer, width: float, height: float):
+        super().__init__(model=buffer)
+        self.buffer = buffer
+        self._box = BoundingBox(0.0, 0.0, width, height)
+
+    def bounds(self) -> BoundingBox:
+        return self._box
+
+
+class TextEditApp:
+    """A headless, gesture-driven text editor."""
+
+    def __init__(
+        self,
+        text: str,
+        recognizer: EagerRecognizer | GestureClassifier | None = None,
+        width: float = 800.0,
+        height: float = 600.0,
+        use_eager: bool = True,
+        timeout: float = DEFAULT_TIMEOUT,
+    ):
+        if recognizer is None:
+            recognizer = train_textedit_recognizer()
+        self.buffer = TextBuffer(text, origin=(20.0, 20.0))
+        self.view = TextView(self.buffer, width, height)
+        self.queue = EventQueue(VirtualClock())
+        self.dispatcher = Dispatcher(self.view, self.queue)
+        # Observable interaction state (what a UI would draw):
+        self.snap_cursor: TextPosition | None = None
+        self.last_action: str | None = None
+        self.insert_marks: list[TextPosition] = []
+        self.gesture_handler = GestureHandler(
+            recognizer=recognizer,
+            semantics=self._build_semantics(),
+            use_eager=use_eager,
+            timeout=timeout,
+        )
+        self.view.add_handler(self.gesture_handler)
+
+    # -- driving ---------------------------------------------------------------
+
+    def post(self, events: list[MouseEvent]) -> None:
+        if events and events[0].t < self.queue.clock.now:
+            shift = self.queue.clock.now - events[0].t
+            events = [
+                MouseEvent(e.kind, e.x, e.y, e.t + shift, e.button)
+                for e in events
+            ]
+        self.queue.post_all(events)
+
+    def perform(self, events: list[MouseEvent]) -> None:
+        self.post(events)
+        self.dispatcher.run()
+
+    # -- the gesture semantics ----------------------------------------------------
+
+    def _build_semantics(self) -> dict[str, GestureSemantics]:
+        return {
+            "move-text": GestureSemantics(
+                recog=self._move_recog,
+                manip=self._move_manip,
+                done=self._move_done,
+            ),
+            "delete-text": GestureSemantics(recog=self._delete_recog),
+            "insert-text": GestureSemantics(recog=self._insert_recog),
+        }
+
+    def _move_recog(self, context: GestureContext):
+        """Fix the operand: the circled span of characters."""
+        span = self.buffer.span_enclosed_by(context.gesture)
+        self.snap_cursor = self.buffer.snap(
+            context.current_x, context.current_y
+        )
+        return span  # may be None: the circle caught nothing
+
+    def _move_manip(self, context: GestureContext) -> None:
+        """The snapping cursor: live feedback during manipulation."""
+        self.snap_cursor = self.buffer.snap(
+            context.current_x, context.current_y
+        )
+
+    def _move_done(self, context: GestureContext) -> None:
+        """Commit: move the circled text to the snapped destination."""
+        span = context.recog
+        cursor = self.snap_cursor
+        self.snap_cursor = None
+        if span is None or cursor is None:
+            self.last_action = "move-text: nothing circled"
+            return
+        line, col_start, col_end = span
+        moved_to = self.buffer.move_span(line, col_start, col_end, cursor)
+        self.last_action = (
+            f"move-text: moved line {line}[{col_start}:{col_end}] "
+            f"to line {moved_to.line} col {moved_to.col}"
+        )
+
+    def _delete_recog(self, context: GestureContext):
+        """Strike-through: delete the characters under the stroke."""
+        box = context.gesture.bounding_box()
+        # Characters whose centers the strike's bounding box covers.
+        victims = [
+            (line, col)
+            for line, content in enumerate(self.buffer.lines)
+            for col in range(len(content))
+            if box.contains(*self.buffer.char_center(line, col))
+        ]
+        if not victims:
+            self.last_action = "delete-text: nothing struck"
+            return None
+        by_line: dict[int, list[int]] = {}
+        for line, col in victims:
+            by_line.setdefault(line, []).append(col)
+        line = max(by_line, key=lambda l: len(by_line[l]))
+        cols = by_line[line]
+        removed = self.buffer.extract(line, min(cols), max(cols) + 1)
+        self.last_action = f"delete-text: removed {removed!r} from line {line}"
+        return removed
+
+    def _insert_recog(self, context: GestureContext):
+        """Caret: mark an insertion point at the apex of the gesture."""
+        apex_x = context.gesture.bounding_box().center.x
+        apex_y = context.gesture.bounding_box().min_y
+        position = self.buffer.snap(apex_x, apex_y)
+        self.insert_marks.append(position)
+        self.last_action = (
+            f"insert-text: caret at line {position.line} col {position.col}"
+        )
+        return position

@@ -1,0 +1,166 @@
+"""A text buffer with character-cell geometry.
+
+The paper's motivating example (figure 1) is a proofreader's *move text*
+gesture: circle some characters, and the tail of the gesture says where
+they go.  §1 argues the right feedback during the manipulation phase is
+"a text cursor, dragged by the mouse but snapping to legal destinations
+for the text".  This buffer provides the substrate: fixed-pitch
+character cells, position↔coordinate mapping, snapping, and the
+extract/insert operations the move gesture's semantics perform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import BoundingBox, Stroke, polygon_contains
+from ..mvc import Model
+
+__all__ = ["TextPosition", "TextBuffer", "CHAR_WIDTH", "LINE_HEIGHT"]
+
+CHAR_WIDTH = 8.0
+LINE_HEIGHT = 16.0
+
+
+@dataclass(frozen=True, order=True)
+class TextPosition:
+    """A caret position: between-characters slot ``col`` on ``line``."""
+
+    line: int
+    col: int
+
+
+class TextBuffer(Model):
+    """Lines of text laid out on a fixed character grid."""
+
+    def __init__(self, text: str = "", origin: tuple[float, float] = (0.0, 0.0)):
+        super().__init__()
+        self.lines: list[str] = text.split("\n") if text else [""]
+        self.origin = origin
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    # -- geometry ----------------------------------------------------------
+
+    def position_to_xy(self, pos: TextPosition) -> tuple[float, float]:
+        """Top-left corner of the caret slot at ``pos``."""
+        ox, oy = self.origin
+        return (ox + pos.col * CHAR_WIDTH, oy + pos.line * LINE_HEIGHT)
+
+    def char_center(self, line: int, col: int) -> tuple[float, float]:
+        """Center of the character cell at (line, col)."""
+        ox, oy = self.origin
+        return (
+            ox + (col + 0.5) * CHAR_WIDTH,
+            oy + (line + 0.5) * LINE_HEIGHT,
+        )
+
+    def bounds(self) -> BoundingBox:
+        ox, oy = self.origin
+        widest = max((len(line) for line in self.lines), default=0)
+        return BoundingBox(
+            ox,
+            oy,
+            ox + max(widest, 1) * CHAR_WIDTH,
+            oy + len(self.lines) * LINE_HEIGHT,
+        )
+
+    # -- snapping (the §1 cursor) ----------------------------------------------
+
+    def legal_positions(self) -> list[TextPosition]:
+        """Every caret slot in the buffer."""
+        return [
+            TextPosition(line, col)
+            for line, content in enumerate(self.lines)
+            for col in range(len(content) + 1)
+        ]
+
+    def snap(self, x: float, y: float) -> TextPosition:
+        """The legal caret slot nearest to ``(x, y)``.
+
+        This is what the paper's snapping text cursor displays during
+        the manipulation phase: however the mouse wanders, the cursor
+        sits on a legal destination.
+        """
+        ox, oy = self.origin
+        line = round((y - oy - LINE_HEIGHT / 2) / LINE_HEIGHT)
+        line = min(max(line, 0), len(self.lines) - 1)
+        col = round((x - ox) / CHAR_WIDTH)
+        col = min(max(col, 0), len(self.lines[line]))
+        return TextPosition(line, col)
+
+    # -- selection by circling gesture -------------------------------------------
+
+    def chars_enclosed_by(self, stroke: Stroke) -> list[tuple[int, int]]:
+        """(line, col) of every character whose cell center the circling
+        gesture encloses."""
+        enclosed = []
+        for line, content in enumerate(self.lines):
+            for col in range(len(content)):
+                cx, cy = self.char_center(line, col)
+                if polygon_contains(stroke, cx, cy):
+                    enclosed.append((line, col))
+        return enclosed
+
+    def span_enclosed_by(self, stroke: Stroke) -> tuple[int, int, int] | None:
+        """A contiguous single-line span (line, col_start, col_end_excl)
+        covering the enclosed characters, or None if nothing is circled.
+
+        The proofreader's mark circles a run of characters on one line;
+        if cells on several lines are caught, the line with the most
+        enclosed characters wins.
+        """
+        enclosed = self.chars_enclosed_by(stroke)
+        if not enclosed:
+            return None
+        by_line: dict[int, list[int]] = {}
+        for line, col in enclosed:
+            by_line.setdefault(line, []).append(col)
+        line = max(by_line, key=lambda l: len(by_line[l]))
+        cols = by_line[line]
+        return (line, min(cols), max(cols) + 1)
+
+    # -- editing operations -------------------------------------------------------
+
+    def extract(self, line: int, col_start: int, col_end: int) -> str:
+        """Remove and return ``lines[line][col_start:col_end]``."""
+        content = self.lines[line]
+        if not (0 <= col_start <= col_end <= len(content)):
+            raise ValueError(
+                f"span [{col_start}:{col_end}] out of range on line {line}"
+            )
+        removed = content[col_start:col_end]
+        self.lines[line] = content[:col_start] + content[col_end:]
+        self.changed()
+        return removed
+
+    def insert(self, pos: TextPosition, text: str) -> None:
+        """Insert ``text`` at a caret slot (single-line text only)."""
+        if "\n" in text:
+            raise ValueError("multi-line insertion is not supported")
+        content = self.lines[pos.line]
+        col = min(max(pos.col, 0), len(content))
+        self.lines[pos.line] = content[:col] + text + content[col:]
+        self.changed()
+
+    def move_span(
+        self, line: int, col_start: int, col_end: int, dest: TextPosition
+    ) -> TextPosition:
+        """The move-text operation: extract a span, insert at ``dest``.
+
+        Returns the (possibly shifted) insertion position actually used —
+        removing text before the destination on the same line shifts the
+        destination left.
+        """
+        text = self.lines[line][col_start:col_end]
+        dest_col = dest.col
+        if dest.line == line and dest_col >= col_end:
+            dest_col -= col_end - col_start
+        elif dest.line == line and col_start < dest_col < col_end:
+            dest_col = col_start  # destination inside the span: no-op move
+        self.extract(line, col_start, col_end)
+        target = TextPosition(dest.line, dest_col)
+        self.insert(target, text)
+        return target

@@ -1,0 +1,161 @@
+"""Gesture classes for the text editor — including the tailed move gesture.
+
+§6's closing insight: the move-text gesture is a circle plus a *tail*
+pointing at the destination, and "the size and shape of this tail will
+vary greatly with each instance ... this variation makes the gesture
+difficult to recognize in general".  In a two-phase interaction "the
+tail is no longer part of the gesture, but instead part of the
+manipulation", so "trainable recognition techniques will be much more
+successful on the remaining prefix."
+
+To measure that claim we need gestures whose tails genuinely vary:
+:class:`TailedGestureGenerator` wraps the base generator and appends a
+random-direction, random-length tail to designated classes, recording
+the prefix boundary as ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..geometry import Point, Stroke
+from ..synth import (
+    GeneratedGesture,
+    GenerationParams,
+    GestureGenerator,
+    GestureTemplate,
+    arc_waypoints,
+)
+
+__all__ = [
+    "editing_templates",
+    "extended_editing_templates",
+    "TailedGestureGenerator",
+]
+
+
+def editing_templates() -> dict[str, GestureTemplate]:
+    """Three proofreader-style classes: move (circle), delete (strike),
+    insert (caret)."""
+    circle = arc_waypoints(
+        cx=0.35, cy=0.35, radius=0.35, start_angle=-math.pi / 2,
+        sweep=2 * math.pi * 0.9, steps=22,
+    )
+    move = GestureTemplate(name="move-text", waypoints=tuple(circle))
+    delete = GestureTemplate(  # a strike-through with a hook back
+        name="delete-text",
+        waypoints=((0.0, 0.3), (0.9, 0.3), (0.7, 0.15)),
+        corner_indices=(1,),
+    )
+    insert = GestureTemplate(  # the caret
+        name="insert-text",
+        waypoints=((0.0, 0.5), (0.3, 0.0), (0.6, 0.5)),
+        corner_indices=(1,),
+    )
+    return {t.name: t for t in (move, delete, insert)}
+
+
+def extended_editing_templates() -> dict[str, GestureTemplate]:
+    """The editing set plus circle-with-fixed-stem classes.
+
+    These exist to measure §6's claim.  ``paragraph-mark`` (circle + a
+    fixed downward stem, pilcrow-style) and ``footnote-mark`` (circle +
+    a fixed up-right stem) have the same *shape family* as a move-text
+    gesture whose random tail happens to point their way — exactly the
+    collision that makes the tailed move gesture "difficult to recognize
+    in general" and that disappears when the tail becomes manipulation.
+    """
+    templates = editing_templates()
+    circle = arc_waypoints(
+        cx=0.35, cy=0.35, radius=0.35, start_angle=-math.pi / 2,
+        sweep=2 * math.pi * 0.9, steps=22,
+    )
+    end = circle[-1]
+    templates["paragraph-mark"] = GestureTemplate(
+        name="paragraph-mark",
+        waypoints=tuple(circle + [(end[0], end[1] + 0.9)]),
+    )
+    templates["footnote-mark"] = GestureTemplate(
+        name="footnote-mark",
+        waypoints=tuple(circle + [(end[0] + 0.65, end[1] - 0.65)]),
+    )
+    return templates
+
+
+class TailedGestureGenerator:
+    """Wraps a :class:`GestureGenerator`, appending variable tails.
+
+    A tail is a straight run from the base gesture's end toward a random
+    direction, with length drawn between 0.5x and 3x the base gesture's
+    size — "vary greatly with each instance".  The returned
+    :class:`GeneratedGesture` marks the prefix boundary in
+    ``corner_sample_indices`` so experiments can strip the tail.
+    """
+
+    def __init__(
+        self,
+        templates: dict[str, GestureTemplate],
+        tailed_classes: tuple[str, ...] = ("move-text",),
+        params: GenerationParams | None = None,
+        seed: int = 0,
+    ):
+        self._base = GestureGenerator(templates, params=params, seed=seed)
+        self._rng = np.random.default_rng(seed + 1)
+        self.tailed_classes = tailed_classes
+
+    @property
+    def class_names(self) -> list[str]:
+        return self._base.class_names
+
+    def generate(self, class_name: str) -> GeneratedGesture:
+        base = self._base.generate(class_name)
+        if class_name not in self.tailed_classes:
+            return base
+        stroke = base.stroke
+        size = max(stroke.bounding_box().diagonal, 1.0)
+        angle = self._rng.uniform(0.0, 2 * math.pi)
+        length = size * self._rng.uniform(0.5, 3.0)
+        spacing = self._base.params.spacing
+        dt = self._base.params.dt
+        steps = max(int(length / spacing), 2)
+        end = stroke.end
+        tail = [
+            Point(
+                end.x + math.cos(angle) * length * k / steps
+                + self._rng.normal(0.0, self._base.params.jitter),
+                end.y + math.sin(angle) * length * k / steps
+                + self._rng.normal(0.0, self._base.params.jitter),
+                end.t + dt * k,
+            )
+            for k in range(1, steps + 1)
+        ]
+        prefix_end = len(stroke) - 1
+        return GeneratedGesture(
+            stroke=Stroke(list(stroke) + tail),
+            class_name=class_name,
+            corner_sample_indices=(prefix_end,),
+        )
+
+    def generate_strokes(
+        self, count_per_class: int, strip_tails: bool = False
+    ) -> dict[str, list[Stroke]]:
+        """Training-shaped batches; ``strip_tails`` keeps only prefixes.
+
+        ``strip_tails=True`` models the two-phase interaction, where
+        everything after recognition belongs to the manipulation phase.
+        """
+        out: dict[str, list[Stroke]] = {}
+        for name in self.class_names:
+            strokes = []
+            for _ in range(count_per_class):
+                example = self.generate(name)
+                stroke = example.stroke
+                if strip_tails and example.corner_sample_indices:
+                    stroke = stroke.subgesture(
+                        example.corner_sample_indices[0] + 1
+                    )
+                strokes.append(stroke)
+            out[name] = strokes
+        return out

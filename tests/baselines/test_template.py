@@ -1,0 +1,83 @@
+"""Unit tests for the template-matcher baseline."""
+
+import pytest
+
+from repro.baselines import TemplateMatcher
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+@pytest.fixture(scope="module")
+def matcher(directions_train):
+    return TemplateMatcher.train(directions_train)
+
+
+class TestTraining:
+    def test_stores_one_template_per_example(self, directions_train, matcher):
+        total = sum(len(v) for v in directions_train.values())
+        assert matcher.template_count == total
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateMatcher.train({})
+
+    def test_too_few_resample_points_rejected(self):
+        with pytest.raises(ValueError):
+            TemplateMatcher(resample_points=1)
+
+
+class TestClassification:
+    def test_classifies_training_data(self, directions_train, matcher):
+        hits = total = 0
+        for name, strokes in directions_train.items():
+            for stroke in strokes:
+                total += 1
+                hits += matcher.classify(stroke) == name
+        assert hits == total  # nearest template of a training item is itself
+
+    def test_generalizes(self, matcher):
+        generator = GestureGenerator(eight_direction_templates(), seed=4141)
+        hits = total = 0
+        for name, strokes in generator.generate_strokes(5).items():
+            for stroke in strokes:
+                total += 1
+                hits += matcher.classify(stroke) == name
+        assert hits / total > 0.8
+
+    def test_untrained_classifier_raises(self):
+        with pytest.raises(ValueError):
+            TemplateMatcher().classify(Stroke.from_xy([(0, 0), (1, 1)]))
+
+    def test_translation_invariance(self, matcher, directions_train):
+        stroke = directions_train["ur"][0]
+        assert matcher.classify(stroke) == matcher.classify(
+            stroke.translated(500, -300)
+        )
+
+    def test_scale_invariance(self, matcher, directions_train):
+        from repro.geometry import Affine
+
+        stroke = directions_train["dr"][0]
+        scaled = stroke.transformed(Affine.scaling(2.5))
+        assert matcher.classify(stroke) == matcher.classify(scaled)
+
+    def test_degenerate_stroke_does_not_crash(self, matcher):
+        # A dot-like stroke is out of set but must classify to something.
+        result = matcher.classify(Stroke.from_xy([(5, 5), (5, 5)]))
+        assert isinstance(result, str)
+
+
+class TestRotationInvariantVariant:
+    def test_rotation_invariant_mode(self, directions_train):
+        import math
+
+        from repro.geometry import Affine
+
+        matcher = TemplateMatcher.train(
+            {"ur": directions_train["ur"]}, rotation_invariant=True
+        )
+        stroke = directions_train["ur"][0]
+        rotated = stroke.transformed(Affine.rotation(math.pi / 3))
+        # Single class: the score should survive rotation (smoke check
+        # that the rotate-to-zero path runs).
+        assert matcher.classify(rotated) == "ur"

@@ -1,0 +1,76 @@
+"""Unit tests for the chain-code baseline."""
+
+import pytest
+
+from repro.baselines import ChainCodeClassifier
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+@pytest.fixture(scope="module")
+def classifier(directions_train):
+    return ChainCodeClassifier.train(directions_train)
+
+
+class TestTraining:
+    def test_one_mean_per_class(self, classifier, directions_train):
+        assert set(classifier.class_names) == set(directions_train)
+        assert classifier.means.shape[0] == len(directions_train)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            ChainCodeClassifier.train({"a": []})
+
+    def test_mismatched_means_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            ChainCodeClassifier(["a", "b"], np.zeros((1, 24)))
+
+
+class TestClassification:
+    def test_direction_pairs_are_its_sweet_spot(self, classifier):
+        # Chain codes capture direction sequences, which is exactly what
+        # separates the 8 direction-pair classes.
+        generator = GestureGenerator(eight_direction_templates(), seed=2323)
+        hits = total = 0
+        for name, strokes in generator.generate_strokes(5).items():
+            for stroke in strokes:
+                total += 1
+                hits += classifier.classify(stroke) == name
+        assert hits / total > 0.8
+
+    def test_degenerate_stroke_classifies_to_something(self, classifier):
+        result = classifier.classify(Stroke.from_xy([(0, 0), (0.5, 0.5)]))
+        assert result in classifier.class_names
+
+    def test_translation_invariance(self, classifier, directions_train):
+        stroke = directions_train["lu"][0]
+        assert classifier.classify(stroke) == classifier.classify(
+            stroke.translated(1000, 1000)
+        )
+
+    def test_loses_to_rubine_on_curvature_classes(
+        self, directions_train
+    ):
+        # GDP separates classes by curvature and aspect, where the
+        # statistical recognizer should beat the crude chain code — the
+        # benchmark's expected "shape".  Smoke-tested here on a small
+        # sample so regressions in either side get caught early.
+        from repro.recognizer import GestureClassifier
+        from repro.synth import GestureGenerator, gdp_templates
+
+        train = GestureGenerator(gdp_templates(), seed=66).generate_strokes(10)
+        test = GestureGenerator(gdp_templates(), seed=67).generate_strokes(5)
+        chain = ChainCodeClassifier.train(train)
+        rubine = GestureClassifier.train(train)
+
+        def accuracy(classify):
+            hits = total = 0
+            for name, strokes in test.items():
+                for stroke in strokes:
+                    total += 1
+                    hits += classify(stroke) == name
+            return hits / total
+
+        assert accuracy(rubine.classify) > accuracy(chain.classify)

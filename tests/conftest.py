@@ -1,0 +1,74 @@
+"""Shared fixtures.
+
+Training a recognizer takes a noticeable fraction of a second, so the
+expensive trained artifacts are session-scoped: every test that needs
+"a trained eager recognizer on the 8-direction set" shares one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.eager import EagerTrainingReport, train_eager_recognizer
+from repro.recognizer import GestureClassifier
+from repro.synth import (
+    GenerationParams,
+    GestureGenerator,
+    eight_direction_templates,
+    gdp_templates,
+    ud_templates,
+)
+
+
+@pytest.fixture(scope="session")
+def directions_generator() -> GestureGenerator:
+    return GestureGenerator(eight_direction_templates(), seed=101)
+
+
+@pytest.fixture(scope="session")
+def directions_train(directions_generator) -> dict:
+    return directions_generator.generate_strokes(10)
+
+
+@pytest.fixture(scope="session")
+def directions_report(directions_train) -> EagerTrainingReport:
+    return train_eager_recognizer(directions_train)
+
+
+@pytest.fixture(scope="session")
+def directions_recognizer(directions_report):
+    return directions_report.recognizer
+
+
+@pytest.fixture(scope="session")
+def directions_test_set() -> GestureSet:
+    generator = GestureGenerator(eight_direction_templates(), seed=202)
+    return GestureSet.from_generator("directions-test", generator, 10)
+
+
+@pytest.fixture(scope="session")
+def directions_classifier(directions_train) -> GestureClassifier:
+    return GestureClassifier.train(directions_train)
+
+
+@pytest.fixture(scope="session")
+def gdp_generator() -> GestureGenerator:
+    return GestureGenerator(gdp_templates(), seed=303)
+
+
+@pytest.fixture(scope="session")
+def gdp_report(gdp_generator) -> EagerTrainingReport:
+    return train_eager_recognizer(gdp_generator.generate_strokes(10))
+
+
+@pytest.fixture(scope="session")
+def gdp_recognizer(gdp_report):
+    return gdp_report.recognizer
+
+
+@pytest.fixture(scope="session")
+def ud_generator() -> GestureGenerator:
+    # Slightly tamer noise so the U/D toy example stays textbook-clean.
+    params = GenerationParams(rotation_sigma=0.04, jitter=0.8)
+    return GestureGenerator(ud_templates(), params=params, seed=404)

@@ -1,0 +1,118 @@
+"""Unit tests for gesture datasets."""
+
+import pytest
+
+from repro.datasets import GestureExample, GestureSet
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, ud_templates
+
+
+@pytest.fixture
+def small_set() -> GestureSet:
+    generator = GestureGenerator(ud_templates(), seed=11)
+    return GestureSet.from_generator("ud", generator, 5)
+
+
+class TestGestureExample:
+    def test_from_generated_carries_ground_truth(self):
+        generator = GestureGenerator(ud_templates(), seed=12)
+        generated = generator.generate("U")
+        example = GestureExample.from_generated(generated)
+        assert example.class_name == "U"
+        assert example.corner_indices == generated.corner_sample_indices
+        assert example.oracle_points == generated.oracle_points
+
+    def test_oracle_none_without_corners(self):
+        example = GestureExample(
+            stroke=Stroke.from_xy([(0, 0), (1, 1)]), class_name="x"
+        )
+        assert example.oracle_points is None
+
+    def test_round_trip(self):
+        example = GestureExample(
+            stroke=Stroke.from_xy([(0, 0), (5, 5), (10, 0)], dt=0.02),
+            class_name="zig",
+            corner_indices=(1,),
+        )
+        clone = GestureExample.from_dict(example.to_dict())
+        assert clone == example
+
+
+class TestGestureSet:
+    def test_from_generator_counts(self, small_set):
+        assert len(small_set) == 10  # 2 classes x 5
+        assert set(small_set.class_names) == {"U", "D"}
+
+    def test_by_class(self, small_set):
+        grouped = small_set.by_class()
+        assert len(grouped["U"]) == 5
+        assert len(grouped["D"]) == 5
+
+    def test_strokes_by_class_shape(self, small_set):
+        strokes = small_set.strokes_by_class()
+        assert all(
+            isinstance(s, Stroke) for items in strokes.values() for s in items
+        )
+
+    def test_from_strokes(self):
+        gesture_set = GestureSet.from_strokes(
+            "manual", {"a": [Stroke.from_xy([(0, 0), (1, 1)])]}
+        )
+        assert len(gesture_set) == 1
+        assert gesture_set.examples[0].class_name == "a"
+
+    def test_add(self):
+        gesture_set = GestureSet("empty")
+        gesture_set.add(
+            GestureExample(Stroke.from_xy([(0, 0)]), class_name="x")
+        )
+        assert len(gesture_set) == 1
+
+
+class TestSplit:
+    def test_split_counts(self, small_set):
+        split = small_set.split(train_per_class=3)
+        assert len(split.train) == 6
+        assert len(split.test) == 4
+
+    def test_split_is_disjoint_and_complete(self, small_set):
+        split = small_set.split(train_per_class=3)
+        train_strokes = {id(e) for e in split.train}
+        test_strokes = {id(e) for e in split.test}
+        assert not train_strokes & test_strokes
+        assert len(train_strokes | test_strokes) == len(small_set)
+
+    def test_split_preserves_order(self, small_set):
+        split = small_set.split(train_per_class=2)
+        first_u = [e for e in small_set if e.class_name == "U"][:2]
+        train_u = [e for e in split.train if e.class_name == "U"]
+        assert train_u == first_u
+
+    def test_oversized_train_leaves_empty_test(self, small_set):
+        split = small_set.split(train_per_class=100)
+        assert len(split.test) == 0
+        assert len(split.train) == len(small_set)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, small_set, tmp_path):
+        path = tmp_path / "set.json"
+        small_set.save(path)
+        loaded = GestureSet.load(path)
+        assert loaded.name == small_set.name
+        assert len(loaded) == len(small_set)
+        for original, restored in zip(small_set, loaded):
+            assert restored == original
+
+    def test_round_trip_preserves_classifier_behaviour(
+        self, small_set, tmp_path
+    ):
+        from repro.recognizer import GestureClassifier
+
+        path = tmp_path / "set.json"
+        small_set.save(path)
+        loaded = GestureSet.load(path)
+        original = GestureClassifier.train(small_set.strokes_by_class())
+        restored = GestureClassifier.train(loaded.strokes_by_class())
+        probe = small_set.examples[0].stroke
+        assert original.classify(probe) == restored.classify(probe)

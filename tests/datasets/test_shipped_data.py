@@ -1,0 +1,42 @@
+"""Tests for the sample datasets shipped under data/."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.recognizer import GestureClassifier
+
+DATA_DIR = Path(__file__).resolve().parents[2] / "data"
+
+
+@pytest.mark.parametrize(
+    "filename,expected_classes,expected_count",
+    [
+        ("gdp_sample.json", 11, 55),
+        ("directions_sample.json", 8, 40),
+    ],
+)
+def test_shipped_dataset_loads(filename, expected_classes, expected_count):
+    dataset = GestureSet.load(DATA_DIR / filename)
+    assert len(dataset) == expected_count
+    assert len(dataset.class_names) == expected_classes
+    for example in dataset:
+        assert len(example.stroke) >= 2
+
+
+def test_shipped_gdp_dataset_trains():
+    dataset = GestureSet.load(DATA_DIR / "gdp_sample.json")
+    classifier = GestureClassifier.train(dataset.strokes_by_class())
+    hits = sum(
+        classifier.classify(example.stroke) == example.class_name
+        for example in dataset
+    )
+    assert hits / len(dataset) > 0.95
+
+
+def test_shipped_dataset_round_trips(tmp_path):
+    dataset = GestureSet.load(DATA_DIR / "directions_sample.json")
+    dataset.save(tmp_path / "copy.json")
+    clone = GestureSet.load(tmp_path / "copy.json")
+    assert clone.to_dict() == dataset.to_dict()

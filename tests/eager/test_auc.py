@@ -1,0 +1,118 @@
+"""Unit tests for the Ambiguous/Unambiguous Classifier (paper §4.3, §4.6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eager import AMBIGUITY_BIAS_RATIO, AmbiguityClassifier
+from repro.recognizer import LinearClassifier
+
+
+def make_auc(constants=(0.0, 0.0, 0.0, 0.0)) -> AmbiguityClassifier:
+    """A toy 2C=4 classifier over 2 features.
+
+    C:U fires on +y, C:D on -y, I:U on +x, I:D on -x (screen-free toy).
+    """
+    linear = LinearClassifier(
+        class_names=["C:U", "C:D", "I:U", "I:D"],
+        weights=np.array(
+            [[0.0, 1.0], [0.0, -1.0], [1.0, 0.0], [-1.0, 0.0]]
+        ),
+        constants=np.array(constants, dtype=float),
+    )
+    return AmbiguityClassifier(linear)
+
+
+class TestDecisionFunction:
+    def test_complete_class_means_unambiguous(self):
+        auc = make_auc()
+        assert auc.is_unambiguous(np.array([0.1, 5.0]))  # C:U wins
+
+    def test_incomplete_class_means_ambiguous(self):
+        auc = make_auc()
+        assert not auc.is_unambiguous(np.array([5.0, 0.1]))  # I:U wins
+
+    def test_classify_set_names(self):
+        auc = make_auc()
+        assert auc.classify_set(np.array([0.0, -5.0])) == "C:D"
+        assert auc.classify_set(np.array([-5.0, 0.0])) == "I:D"
+
+    def test_complete_and_incomplete_names(self):
+        auc = make_auc()
+        assert auc.complete_class_names == {"C:U", "C:D"}
+        assert auc.incomplete_class_names == {"I:U", "I:D"}
+
+    def test_all_incomplete_rejected_at_construction(self):
+        linear = LinearClassifier(
+            ["I:U", "I:D"], np.eye(2), np.zeros(2)
+        )
+        with pytest.raises(ValueError):
+            AmbiguityClassifier(linear)
+
+
+class TestAmbiguityBias:
+    def test_bias_shifts_borderline_to_ambiguous(self):
+        auc = make_auc()
+        borderline = np.array([1.0, 1.0 + 1e-6])  # C:U barely beats I:U
+        assert auc.is_unambiguous(borderline)
+        auc.apply_ambiguity_bias(AMBIGUITY_BIAS_RATIO)
+        assert not auc.is_unambiguous(borderline)
+
+    def test_bias_is_log_of_ratio(self):
+        auc = make_auc()
+        before = auc.linear.constants.copy()
+        auc.apply_ambiguity_bias(5.0)
+        after = auc.linear.constants
+        for i, name in enumerate(auc.linear.class_names):
+            expected = math.log(5.0) if name.startswith("I:") else 0.0
+            assert after[i] - before[i] == pytest.approx(expected)
+
+    def test_clearly_unambiguous_survives_bias(self):
+        auc = make_auc()
+        auc.apply_ambiguity_bias(5.0)
+        assert auc.is_unambiguous(np.array([0.0, 100.0]))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            make_auc().apply_ambiguity_bias(0.0)
+
+
+class TestTweak:
+    def test_tweak_fixes_misjudged_incomplete(self):
+        auc = make_auc()
+        # These "incomplete" training vectors currently classify complete.
+        offenders = [np.array([0.5, 2.0]), np.array([0.2, 3.0])]
+        assert all(auc.is_unambiguous(v) for v in offenders)
+        adjustments = auc.tweak_against(offenders)
+        assert adjustments >= len(offenders) - 1
+        assert all(not auc.is_unambiguous(v) for v in offenders)
+
+    def test_tweak_noop_when_clean(self):
+        auc = make_auc()
+        fine = [np.array([5.0, 0.0]), np.array([-4.0, 0.1])]
+        assert auc.tweak_against(fine) == 0
+
+    def test_tweak_lowers_only_complete_constants(self):
+        auc = make_auc()
+        before = dict(zip(auc.linear.class_names, auc.linear.constants.copy()))
+        auc.tweak_against([np.array([0.0, 2.0])])
+        after = dict(zip(auc.linear.class_names, auc.linear.constants))
+        for name in auc.incomplete_class_names:
+            assert after[name] == before[name]
+        assert after["C:U"] < before["C:U"]
+
+    def test_tweak_converges_within_rounds(self):
+        auc = make_auc()
+        offenders = [np.array([0.0, float(k)]) for k in range(1, 20)]
+        auc.tweak_against(offenders, max_rounds=50)
+        assert all(not auc.is_unambiguous(v) for v in offenders)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        auc = make_auc((0.1, 0.2, 0.3, 0.4))
+        clone = AmbiguityClassifier.from_dict(auc.to_dict())
+        assert clone.complete_class_names == auc.complete_class_names
+        probe = np.array([1.5, -0.5])
+        assert clone.classify_set(probe) == auc.classify_set(probe)

@@ -1,0 +1,220 @@
+"""Unit tests for complete/incomplete labelling and the 2C partition
+(paper §4.4-4.5, figures 5 and 6)."""
+
+import pytest
+
+from repro.eager import (
+    class_of_set,
+    complete_set_name,
+    compute_move_threshold,
+    incomplete_set_name,
+    is_complete_set,
+    label_examples,
+    move_accidentally_complete,
+    partition_subgestures,
+)
+from repro.recognizer import GestureClassifier
+
+
+@pytest.fixture(scope="module")
+def ud_setup(ud_generator):
+    """The figures 5-7 setting: U and D classes, labelled subgestures."""
+    train = ud_generator.generate_strokes(15)
+    classifier = GestureClassifier.train(train)
+    labelled = label_examples(classifier, train)
+    return classifier, train, labelled
+
+
+class TestSetNames:
+    def test_complete_set_name(self):
+        assert complete_set_name("rect") == "C:rect"
+
+    def test_incomplete_set_name(self):
+        assert incomplete_set_name("rect") == "I:rect"
+
+    def test_is_complete_set(self):
+        assert is_complete_set("C:rect")
+        assert not is_complete_set("I:rect")
+
+    def test_class_of_set(self):
+        assert class_of_set("C:rect") == "rect"
+        assert class_of_set("I:rotate-scale") == "rotate-scale"
+
+    def test_class_of_set_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            class_of_set("rect")
+        with pytest.raises(ValueError):
+            class_of_set("C:")
+
+
+class TestLabelling:
+    def test_every_example_labelled(self, ud_setup):
+        _, train, labelled = ud_setup
+        total_examples = sum(len(v) for v in train.values())
+        assert len(labelled) == total_examples
+
+    def test_subgesture_counts(self, ud_setup):
+        _, _, labelled = ud_setup
+        for example in labelled:
+            expected = len(example.stroke) - 3 + 1  # MIN_PREFIX_POINTS = 3
+            assert len(example.subgestures) == max(expected, 1)
+
+    def test_full_gesture_of_correct_example_is_complete(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        for example in labelled:
+            last = example.subgestures[-1]
+            if last.predicted == example.true_class:
+                assert last.complete
+
+    def test_completeness_is_suffix_closed(self, ud_setup):
+        # Once complete, all larger subgestures are complete (the §4.4
+        # definition quantifies over all larger prefixes).
+        _, _, labelled = ud_setup
+        for example in labelled:
+            seen_complete = False
+            for sub in example.subgestures:
+                if seen_complete:
+                    assert sub.complete, "completeness must be suffix-closed"
+                seen_complete = seen_complete or sub.complete
+
+    def test_complete_subgestures_are_classified_as_true_class(self, ud_setup):
+        _, _, labelled = ud_setup
+        for example in labelled:
+            for sub in example.subgestures:
+                if sub.complete:
+                    assert sub.predicted == example.true_class
+
+    def test_early_prefixes_of_u_and_d_agree(self, ud_setup):
+        # U and D share a rightward first segment, so their 3-point
+        # prefixes should be classified the same way (whichever way).
+        _, _, labelled = ud_setup
+        first_labels = {
+            example.true_class: example.subgestures[0].predicted
+            for example in labelled
+        }
+        # Both share a prefix; a single class should dominate early
+        # prefixes across both (can't assert which one).
+        assert len(set(first_labels.values())) == 1
+
+    def test_label_string_shape(self, ud_setup):
+        _, _, labelled = ud_setup
+        example = labelled[0]
+        s = example.label_string()
+        assert len(s) == len(example.subgestures)
+        assert s[-1].isupper() or s[-1].islower()
+
+
+class TestPartition:
+    def test_partition_has_2c_sets(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        assert set(partition.set_names) == {"C:U", "I:U", "C:D", "I:D"}
+
+    def test_every_subgesture_lands_in_one_set(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        total_subs = sum(len(e.subgestures) for e in labelled)
+        assert sum(partition.counts().values()) == total_subs
+
+    def test_complete_sets_contain_only_complete(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        for name, subs in partition.sets.items():
+            for sub in subs:
+                assert sub.complete == is_complete_set(name)
+
+    def test_incomplete_set_keyed_by_prediction(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        for name, subs in partition.sets.items():
+            if is_complete_set(name):
+                continue
+            for sub in subs:
+                assert sub.predicted == class_of_set(name)
+
+    def test_mean_of_empty_set_raises(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        partition.sets["C:empty"] = []
+        with pytest.raises(ValueError):
+            partition.mean_of("C:empty")
+
+
+class TestMoveAccidentallyComplete:
+    def test_threshold_is_positive_for_ud(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        threshold = compute_move_threshold(
+            classifier, partition, classifier.metric
+        )
+        assert threshold > 0.0
+
+    def test_moves_happen_in_the_ud_example(self, ud_setup):
+        # The paper's figure 6: the horizontal-run subgestures of D that
+        # happened to classify as D get moved to incomplete sets.
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        threshold = compute_move_threshold(
+            classifier, partition, classifier.metric
+        )
+        before = {
+            name: len(subs)
+            for name, subs in partition.sets.items()
+            if is_complete_set(name)
+        }
+        moved = move_accidentally_complete(
+            partition, classifier.metric, threshold
+        )
+        after = {
+            name: len(subs)
+            for name, subs in partition.sets.items()
+            if is_complete_set(name)
+        }
+        assert moved > 0
+        assert sum(after.values()) == sum(before.values()) - moved
+
+    def test_moved_subgestures_marked_incomplete(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        threshold = compute_move_threshold(
+            classifier, partition, classifier.metric
+        )
+        move_accidentally_complete(partition, classifier.metric, threshold)
+        for name, subs in partition.sets.items():
+            if not is_complete_set(name):
+                assert all(not sub.complete for sub in subs)
+
+    def test_prefix_closure_of_moves(self, ud_setup):
+        # If g[i] moved, every smaller complete prefix of g moved too:
+        # the remaining complete subgestures of each example form a
+        # contiguous tail.
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        threshold = compute_move_threshold(
+            classifier, partition, classifier.metric
+        )
+        move_accidentally_complete(partition, classifier.metric, threshold)
+        remaining: dict[int, list[int]] = {}
+        for name, subs in partition.sets.items():
+            if is_complete_set(name):
+                for sub in subs:
+                    remaining.setdefault(sub.example_id, []).append(sub.length)
+        for example in labelled:
+            lengths = sorted(remaining.get(example.example_id, []))
+            if lengths:
+                max_length = example.subgestures[-1].length
+                expected = list(range(lengths[0], max_length + 1))
+                assert lengths == expected
+
+    def test_zero_threshold_moves_nothing(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        assert move_accidentally_complete(partition, classifier.metric, 0.0) == 0
+
+    def test_huge_threshold_moves_everything(self, ud_setup):
+        classifier, _, labelled = ud_setup
+        partition = partition_subgestures(labelled, classifier.class_names)
+        move_accidentally_complete(partition, classifier.metric, 1e9)
+        for name, subs in partition.sets.items():
+            if is_complete_set(name):
+                assert subs == []

@@ -1,0 +1,136 @@
+"""Unit tests for the runtime eager recognizer (paper §4.3)."""
+
+import pytest
+
+from repro.eager import EagerRecognizer, EagerResult
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+@pytest.fixture(scope="module")
+def test_examples():
+    generator = GestureGenerator(eight_direction_templates(), seed=555)
+    return generator.generate_examples(5)
+
+
+class TestSession:
+    def test_undecided_before_enough_points(self, directions_recognizer):
+        session = directions_recognizer.session()
+        gesture = GestureGenerator(
+            eight_direction_templates(), seed=1
+        ).generate("ur").stroke
+        assert session.add_point(gesture[0]) is None
+        assert not session.decided
+
+    def test_decides_during_stroke(self, directions_recognizer, test_examples):
+        stroke = test_examples["ur"][0].stroke
+        session = directions_recognizer.session()
+        decided_at = None
+        for i, p in enumerate(stroke, start=1):
+            if session.add_point(p) is not None:
+                decided_at = i
+                break
+        assert decided_at is not None and decided_at < len(stroke)
+        assert session.class_name in directions_recognizer.class_names
+
+    def test_points_after_decision_are_ignored(
+        self, directions_recognizer, test_examples
+    ):
+        stroke = test_examples["dr"][0].stroke
+        session = directions_recognizer.session()
+        for p in stroke:
+            session.add_point(p)
+        decided = session.class_name
+        seen = session.points_seen
+        # Manipulation-phase points must not change the verdict.
+        session.add_point(stroke[-1].translated(500, 500))
+        assert session.class_name == decided
+        assert session.points_seen == seen
+
+    def test_finish_classifies_undecided_session(self, directions_recognizer):
+        session = directions_recognizer.session()
+        short = Stroke.from_xy([(0, 0), (10, 0), (20, 0)], dt=0.01)
+        for p in short:
+            session.add_point(p)
+        # A bare horizontal run is ambiguous; finish() must still decide.
+        name = session.finish()
+        assert name in directions_recognizer.class_names
+        assert session.decided
+
+    def test_finish_on_empty_session_raises(self, directions_recognizer):
+        with pytest.raises(ValueError):
+            directions_recognizer.session().finish()
+
+
+class TestRecognize:
+    def test_result_fields(self, directions_recognizer, test_examples):
+        result = directions_recognizer.recognize(test_examples["ul"][0].stroke)
+        assert isinstance(result, EagerResult)
+        assert 0 < result.points_seen <= result.total_points
+        assert 0.0 < result.fraction_seen <= 1.0
+
+    def test_eager_flag_iff_early(self, directions_recognizer, test_examples):
+        for examples in test_examples.values():
+            for example in examples:
+                result = directions_recognizer.recognize(example.stroke)
+                assert result.eager == (
+                    result.points_seen < result.total_points
+                )
+
+    def test_accuracy_on_held_out(self, directions_recognizer, test_examples):
+        hits = total = 0
+        for class_name, examples in test_examples.items():
+            for example in examples:
+                total += 1
+                hits += (
+                    directions_recognizer.recognize(example.stroke).class_name
+                    == class_name
+                )
+        assert hits / total > 0.85
+
+    def test_eagerness_beats_waiting_for_the_end(
+        self, directions_recognizer, test_examples
+    ):
+        fractions = [
+            directions_recognizer.recognize(ex.stroke).fraction_seen
+            for exs in test_examples.values()
+            for ex in exs
+        ]
+        assert sum(fractions) / len(fractions) < 0.95
+
+    def test_never_before_the_corner(
+        self, directions_recognizer, test_examples
+    ):
+        # The first segment is shared by two classes, so commitment
+        # strictly before the corner would be guessing.
+        for examples in test_examples.values():
+            for example in examples:
+                result = directions_recognizer.recognize(example.stroke)
+                if result.eager and result.class_name == example.class_name:
+                    assert result.points_seen >= example.oracle_points - 2
+
+    def test_classify_full_bypasses_eagerness(
+        self, directions_recognizer, test_examples
+    ):
+        stroke = test_examples["lu"][0].stroke
+        assert directions_recognizer.classify_full(stroke) in (
+            directions_recognizer.class_names
+        )
+
+
+class TestSerialization:
+    def test_round_trip(self, directions_recognizer, test_examples):
+        clone = EagerRecognizer.from_dict(directions_recognizer.to_dict())
+        for examples in list(test_examples.values())[:3]:
+            stroke = examples[0].stroke
+            original = directions_recognizer.recognize(stroke)
+            restored = clone.recognize(stroke)
+            assert restored.class_name == original.class_name
+            assert restored.points_seen == original.points_seen
+
+    def test_round_trip_is_json_compatible(self, directions_recognizer):
+        import json
+
+        blob = json.dumps(directions_recognizer.to_dict())
+        clone = EagerRecognizer.from_dict(json.loads(blob))
+        assert clone.class_names == directions_recognizer.class_names

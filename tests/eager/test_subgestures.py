@@ -1,0 +1,73 @@
+"""Unit tests for subgesture enumeration (paper §4.1, figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.eager import MIN_PREFIX_POINTS, prefix_feature_vectors
+from repro.features import features_of
+from repro.geometry import Stroke
+
+
+def sample_stroke(n: int = 12) -> Stroke:
+    return Stroke.from_xy([(i * 6.0, (i % 3) * 4.0) for i in range(n)], dt=0.01)
+
+
+class TestEnumeration:
+    def test_covers_all_prefixes_from_min(self):
+        stroke = sample_stroke(12)
+        result = prefix_feature_vectors(stroke)
+        assert list(result.lengths) == list(range(MIN_PREFIX_POINTS, 13))
+        assert len(result.vectors) == 12 - MIN_PREFIX_POINTS + 1
+
+    def test_vectors_match_batch_computation(self):
+        # The figure-4 invariant: the i-th stored vector is exactly the
+        # features of g[i].
+        stroke = sample_stroke(10)
+        result = prefix_feature_vectors(stroke)
+        for i in result.lengths:
+            np.testing.assert_allclose(
+                result.vector_for_length(i),
+                features_of(stroke.subgesture(i)),
+                atol=1e-9,
+            )
+
+    def test_last_vector_is_full_gesture(self):
+        stroke = sample_stroke(9)
+        result = prefix_feature_vectors(stroke)
+        np.testing.assert_allclose(
+            result.vectors[-1], features_of(stroke), atol=1e-9
+        )
+
+    def test_custom_min_points(self):
+        stroke = sample_stroke(10)
+        result = prefix_feature_vectors(stroke, min_points=5)
+        assert list(result.lengths) == [5, 6, 7, 8, 9, 10]
+
+    def test_short_stroke_still_enumerated(self):
+        # GDP's dot gesture has 2 points — below the default minimum.
+        stroke = sample_stroke(2)
+        result = prefix_feature_vectors(stroke)
+        assert len(result.vectors) == 1
+        np.testing.assert_allclose(
+            result.vectors[0], features_of(stroke), atol=1e-9
+        )
+
+    def test_empty_stroke_raises(self):
+        with pytest.raises(ValueError):
+            prefix_feature_vectors(Stroke())
+
+    def test_vector_for_length_out_of_range(self):
+        result = prefix_feature_vectors(sample_stroke(8))
+        with pytest.raises(ValueError):
+            result.vector_for_length(2)
+        with pytest.raises(ValueError):
+            result.vector_for_length(9)
+
+    def test_single_sweep_is_linear_work(self):
+        # 500 points should enumerate instantly; this is a smoke check
+        # that the implementation is the O(n) incremental sweep, not
+        # O(n^2) batch recomputation (which would take visibly long at
+        # tens of thousands of points).
+        stroke = sample_stroke(500)
+        result = prefix_feature_vectors(stroke)
+        assert len(result.vectors) == 500 - MIN_PREFIX_POINTS + 1

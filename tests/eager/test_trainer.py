@@ -1,0 +1,162 @@
+"""Unit tests for the eager-recognition training pipeline (paper §4.4–4.7)."""
+
+import pytest
+
+from repro.eager import (
+    EagerTrainingConfig,
+    is_complete_set,
+    train_eager_recognizer,
+)
+from repro.recognizer import GestureClassifier
+from repro.synth import GestureGenerator, note_templates, ud_templates
+
+
+class TestPipeline:
+    def test_report_carries_all_artifacts(self, directions_report):
+        report = directions_report
+        assert report.recognizer is not None
+        assert report.labelled
+        assert report.partition.sets
+        assert report.move_threshold > 0.0
+        assert report.set_counts
+
+    def test_training_produces_2c_sets(self, directions_report):
+        counts = directions_report.set_counts
+        # 8 classes -> 16 sets existed at partition time.
+        assert len(counts) == 16
+
+    def test_recognizer_class_names(self, directions_report):
+        assert len(directions_report.recognizer.class_names) == 8
+
+    def test_reuses_supplied_full_classifier(self, directions_train):
+        full = GestureClassifier.train(directions_train)
+        report = train_eager_recognizer(
+            directions_train, full_classifier=full
+        )
+        assert report.recognizer.full_classifier is full
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(ValueError):
+            train_eager_recognizer({})
+
+
+class TestTrainingSetGuarantees:
+    """§4.6's safety property: after bias + tweak, no training incomplete
+    subgesture is judged unambiguous."""
+
+    def test_no_incomplete_training_subgesture_judged_unambiguous(
+        self, directions_report
+    ):
+        auc = directions_report.recognizer.auc
+        for name, subs in directions_report.partition.sets.items():
+            if is_complete_set(name):
+                continue
+            for sub in subs:
+                assert not auc.is_unambiguous(sub.features), (
+                    f"incomplete subgesture of {sub.true_class} "
+                    f"(len {sub.length}) judged unambiguous"
+                )
+
+    def test_some_complete_subgestures_judged_unambiguous(
+        self, directions_report
+    ):
+        # Otherwise the recognizer would never be eager at all.
+        auc = directions_report.recognizer.auc
+        unambiguous = 0
+        for name, subs in directions_report.partition.sets.items():
+            if not is_complete_set(name):
+                continue
+            unambiguous += sum(
+                auc.is_unambiguous(sub.features) for sub in subs
+            )
+        assert unambiguous > 0
+
+
+class TestConfigKnobs:
+    def test_disabling_move_keeps_more_complete_examples(self, directions_train):
+        with_move = train_eager_recognizer(directions_train)
+        without_move = train_eager_recognizer(
+            directions_train, EagerTrainingConfig(move_accidental=False)
+        )
+        complete_with = sum(
+            len(s)
+            for n, s in with_move.partition.sets.items()
+            if is_complete_set(n)
+        )
+        complete_without = sum(
+            len(s)
+            for n, s in without_move.partition.sets.items()
+            if is_complete_set(n)
+        )
+        assert without_move.moved_count == 0
+        assert complete_without >= complete_with
+
+    def test_disabling_tweak_records_zero_adjustments(self, directions_train):
+        report = train_eager_recognizer(
+            directions_train, EagerTrainingConfig(tweak=False)
+        )
+        assert report.tweak_adjustments == 0
+
+    def test_two_class_only_mode(self, directions_train):
+        report = train_eager_recognizer(
+            directions_train, EagerTrainingConfig(two_class_only=True)
+        )
+        assert set(report.recognizer.auc.linear.class_names) <= {
+            "C:any",
+            "I:any",
+        }
+
+    def test_unbiased_configuration(self, directions_train):
+        report = train_eager_recognizer(
+            directions_train,
+            EagerTrainingConfig(ambiguity_bias_ratio=1.0, tweak=False),
+        )
+        assert report.recognizer is not None
+
+
+class TestUDScenario:
+    """The figures 5-7 walk-through."""
+
+    def test_ud_training_succeeds(self, ud_generator):
+        report = train_eager_recognizer(ud_generator.generate_strokes(15))
+        assert report.moved_count > 0  # figure 6: accidental completes move
+
+    def test_ud_eager_recognition_happens_after_the_corner(self, ud_generator):
+        report = train_eager_recognizer(ud_generator.generate_strokes(15))
+        test = GestureGenerator(
+            ud_templates(), params=ud_generator.params, seed=999
+        )
+        for class_name in ("U", "D"):
+            for _ in range(10):
+                example = test.generate(class_name)
+                result = report.recognizer.recognize(example.stroke)
+                if result.eager:
+                    # Never before the corner: the horizontal run is
+                    # genuinely ambiguous between U and D.
+                    assert result.points_seen >= example.oracle_points - 1
+
+
+class TestNotesScenario:
+    """Figure 8: nested note gestures are not amenable to eagerness."""
+
+    def test_notes_yield_little_or_no_eagerness(self):
+        generator = GestureGenerator(note_templates(), seed=31)
+        try:
+            report = train_eager_recognizer(generator.generate_strokes(10))
+        except ValueError:
+            # Acceptable outcome: no subgesture was unambiguous at all.
+            return
+        test = GestureGenerator(note_templates(), seed=32)
+        eager_on_prefix_classes = 0
+        total = 0
+        # All classes except the longest are prefixes of another class.
+        for class_name in ("quarter", "eighth", "sixteenth", "thirtysecond"):
+            for _ in range(10):
+                total += 1
+                result = report.recognizer.recognize(
+                    test.generate(class_name).stroke
+                )
+                eager_on_prefix_classes += result.eager
+        # The paper: these "would never be eagerly recognized".  Noise
+        # can produce stragglers; demand near-zero.
+        assert eager_on_prefix_classes / total < 0.15

@@ -1,0 +1,87 @@
+"""Unit tests for the experiment harness (the §5 protocol)."""
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.evaluate import evaluate_recognizer, run_experiment
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+class TestEvaluateRecognizer:
+    def test_outcome_per_example(self, directions_recognizer, directions_test_set):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        assert len(result.outcomes) == len(directions_test_set)
+
+    def test_confusion_totals_match(self, directions_recognizer, directions_test_set):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        assert result.eager_confusion.total == len(directions_test_set)
+        assert result.full_confusion.total == len(directions_test_set)
+
+    def test_accuracies_reasonable(self, directions_recognizer, directions_test_set):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        # The paper's shape: full >= eager, both high.
+        assert result.full_accuracy >= result.eager_accuracy - 0.02
+        assert result.eager_accuracy > 0.8
+        assert result.full_accuracy > 0.9
+
+    def test_eagerness_between_oracle_and_one(
+        self, directions_recognizer, directions_test_set
+    ):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        seen = result.eagerness.mean_fraction_seen
+        oracle = result.eagerness.mean_oracle_fraction
+        assert 0.0 < oracle < seen < 1.0
+
+    def test_outcome_flags(self, directions_recognizer, directions_test_set):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        for outcome in result.outcomes:
+            assert outcome.eager_wrong == (
+                outcome.eager_prediction != outcome.class_name
+            )
+            assert outcome.full_wrong == (
+                outcome.full_prediction != outcome.class_name
+            )
+
+    def test_caption_format(self, directions_recognizer, directions_test_set):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        outcome = result.outcomes[0]
+        caption = outcome.caption()
+        # "oracle,seen/total" like the paper's "7,8/11".
+        assert f"{outcome.oracle_points}," in caption
+        assert f"/{outcome.total_points}" in caption
+
+    def test_summary_text(self, directions_recognizer, directions_test_set):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        summary = result.summary()
+        assert "full classifier accuracy" in summary
+        assert "eager recognizer accuracy" in summary
+        assert "oracle" in summary
+
+
+class TestRunExperiment:
+    def test_protocol_end_to_end(self):
+        generator = GestureGenerator(eight_direction_templates(), seed=4242)
+        dataset = GestureSet.from_generator("dirs", generator, 15)
+        result, recognizer = run_experiment(dataset, train_per_class=10)
+        # 5 test examples per class remain.
+        assert result.eager_confusion.total == 8 * 5
+        assert recognizer.class_names
+        assert result.eager_accuracy > 0.7
+
+    def test_custom_config_passed_through(self):
+        from repro.eager import EagerTrainingConfig
+
+        generator = GestureGenerator(eight_direction_templates(), seed=777)
+        dataset = GestureSet.from_generator("dirs", generator, 12)
+        result, recognizer = run_experiment(
+            dataset,
+            train_per_class=10,
+            config=EagerTrainingConfig(ambiguity_bias_ratio=50.0),
+        )
+        # A huge ambiguity bias makes the recognizer very conservative:
+        # it examines more of each gesture.
+        baseline, _ = run_experiment(dataset, train_per_class=10)
+        assert (
+            result.eagerness.mean_fraction_seen
+            >= baseline.eagerness.mean_fraction_seen - 1e-9
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.evaluate import ConfusionMatrix, EagernessStats
+
+
+class TestConfusionMatrix:
+    def make(self) -> ConfusionMatrix:
+        cm = ConfusionMatrix(class_names=["a", "b"])
+        for _ in range(8):
+            cm.record("a", "a")
+        for _ in range(2):
+            cm.record("a", "b")
+        for _ in range(10):
+            cm.record("b", "b")
+        return cm
+
+    def test_totals(self):
+        cm = self.make()
+        assert cm.total == 20
+        assert cm.correct == 18
+
+    def test_accuracy(self):
+        assert self.make().accuracy == pytest.approx(0.9)
+
+    def test_empty_matrix_accuracy_zero(self):
+        assert ConfusionMatrix(class_names=[]).accuracy == 0.0
+
+    def test_per_class_accuracy(self):
+        per_class = self.make().per_class_accuracy()
+        assert per_class["a"] == pytest.approx(0.8)
+        assert per_class["b"] == pytest.approx(1.0)
+
+    def test_per_class_skips_absent_classes(self):
+        cm = ConfusionMatrix(class_names=["a", "b"])
+        cm.record("a", "a")
+        assert "b" not in cm.per_class_accuracy()
+
+    def test_errors_sorted_heaviest_first(self):
+        cm = ConfusionMatrix(class_names=["a", "b", "c"])
+        cm.record("a", "b")
+        for _ in range(3):
+            cm.record("b", "c")
+        errors = cm.errors()
+        assert errors[0] == ("b", "c", 3)
+        assert errors[1] == ("a", "b", 1)
+
+    def test_to_table_contains_counts(self):
+        table = self.make().to_table()
+        assert "8" in table
+        assert "10" in table
+        assert "a" in table and "b" in table
+
+
+class TestEagernessStats:
+    def test_mean_fraction(self):
+        stats = EagernessStats()
+        stats.record(0.5, eager=True)
+        stats.record(1.0, eager=False)
+        assert stats.mean_fraction_seen == pytest.approx(0.75)
+
+    def test_eager_rate(self):
+        stats = EagernessStats()
+        stats.record(0.5, eager=True)
+        stats.record(0.6, eager=True)
+        stats.record(1.0, eager=False)
+        assert stats.eager_rate == pytest.approx(2 / 3)
+
+    def test_oracle_fraction_optional(self):
+        stats = EagernessStats()
+        stats.record(0.5, eager=True)
+        stats.record(0.7, eager=True, oracle_fraction=0.4)
+        assert stats.mean_oracle_fraction == pytest.approx(0.4)
+        assert len(stats.oracle_fractions) == 1
+
+    def test_empty_stats(self):
+        stats = EagernessStats()
+        assert stats.mean_fraction_seen == 0.0
+        assert stats.mean_oracle_fraction == 0.0
+        assert stats.eager_rate == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the figure-style report printers."""
+
+from repro.evaluate import (
+    comparison_table,
+    evaluate_recognizer,
+    figure9_grid,
+    labelling_diagram,
+    summary_row,
+)
+
+
+class TestFigure9Grid:
+    def test_grid_lists_every_class(
+        self, directions_recognizer, directions_test_set
+    ):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        grid = figure9_grid(result)
+        for class_name in directions_recognizer.class_names:
+            assert f"{class_name}:" in grid
+
+    def test_cells_have_caption_shape(
+        self, directions_recognizer, directions_test_set
+    ):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        grid = figure9_grid(result)
+        assert "/" in grid  # seen/total separators
+
+
+class TestSummaryRow:
+    def test_contains_percentages(
+        self, directions_recognizer, directions_test_set
+    ):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        row = summary_row("fig9", result)
+        assert "fig9" in row
+        assert "%" in row
+        assert "oracle" in row
+
+
+class TestComparisonTable:
+    def test_stacks_rows(self, directions_recognizer, directions_test_set):
+        result = evaluate_recognizer(directions_recognizer, directions_test_set)
+        table = comparison_table([("one", result), ("two", result)])
+        assert "one" in table and "two" in table
+        assert table.count("\n") >= 3  # header + rule + 2 rows
+
+
+class TestLabellingDiagram:
+    def test_figures_5_7_shape(self, directions_report):
+        diagram = labelling_diagram(directions_report, max_examples=2)
+        lines = diagram.splitlines()
+        # 8 classes x 2 examples.
+        assert len(lines) == 16
+        for line in lines:
+            class_name, _, labels = line.partition(": ")
+            assert labels  # one character per subgesture
+            # Mixed case: lowercase = incomplete, uppercase = complete.
+            assert labels != labels.upper() or labels != labels.lower()

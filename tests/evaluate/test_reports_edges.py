@@ -1,0 +1,75 @@
+"""Edge cases for the evaluation reports and result types."""
+
+from repro.eager import EagerResult
+from repro.evaluate import ExampleOutcome, figure9_grid, summary_row
+from repro.evaluate.harness import EvaluationResult
+from repro.evaluate.metrics import ConfusionMatrix, EagernessStats
+
+
+def make_result_without_oracle() -> EvaluationResult:
+    result = EvaluationResult(
+        eager_confusion=ConfusionMatrix(class_names=["a", "b"]),
+        full_confusion=ConfusionMatrix(class_names=["a", "b"]),
+        eagerness=EagernessStats(),
+    )
+    for true, predicted, seen, total in [
+        ("a", "a", 5, 10),
+        ("a", "b", 10, 10),
+        ("b", "b", 7, 9),
+    ]:
+        result.outcomes.append(
+            ExampleOutcome(
+                class_name=true,
+                eager_prediction=predicted,
+                full_prediction=true,
+                points_seen=seen,
+                total_points=total,
+                oracle_points=None,
+                eager=seen < total,
+            )
+        )
+        result.eager_confusion.record(true, predicted)
+        result.full_confusion.record(true, true)
+        result.eagerness.record(seen / total, eager=seen < total)
+    return result
+
+
+class TestNoOracleReporting:
+    def test_caption_without_oracle(self):
+        outcome = ExampleOutcome(
+            class_name="a",
+            eager_prediction="b",
+            full_prediction="a",
+            points_seen=4,
+            total_points=9,
+            oracle_points=None,
+            eager=True,
+        )
+        assert outcome.caption() == "4/9 E"
+
+    def test_summary_row_prints_na(self):
+        row = summary_row("x", make_result_without_oracle())
+        assert "n/a" in row
+
+    def test_grid_renders_without_oracle(self):
+        grid = figure9_grid(make_result_without_oracle())
+        assert "5/10" in grid
+        assert "E" in grid  # the one eager error flagged
+
+    def test_summary_omits_oracle_line(self):
+        summary = make_result_without_oracle().summary()
+        assert "oracle" not in summary
+
+
+class TestEagerResultEdges:
+    def test_zero_total_fraction(self):
+        result = EagerResult(
+            class_name="x", points_seen=0, total_points=0, eager=False
+        )
+        assert result.fraction_seen == 0.0
+
+    def test_full_consumption_fraction(self):
+        result = EagerResult(
+            class_name="x", points_seen=20, total_points=20, eager=False
+        )
+        assert result.fraction_seen == 1.0

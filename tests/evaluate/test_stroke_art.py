@@ -1,0 +1,56 @@
+"""Tests for the figure-9 stroke-art renderer."""
+
+from repro.evaluate import render_eager_examples, render_eager_stroke
+from repro.geometry import Stroke
+
+
+def sample_stroke(n=20) -> Stroke:
+    return Stroke.from_xy([(i * 5.0, (i % 7) * 3.0) for i in range(n)], dt=0.01)
+
+
+class TestRenderEagerStroke:
+    def test_contains_all_line_weights(self):
+        art = render_eager_stroke(
+            sample_stroke(), points_seen=12, oracle_points=8
+        )
+        assert "." in art  # ambiguous part
+        assert "#" in art  # shortfall
+        assert "*" in art  # classification point
+        assert "o" in art  # manipulated tail
+
+    def test_no_oracle_means_no_shortfall(self):
+        art = render_eager_stroke(sample_stroke(), points_seen=12)
+        assert "#" not in art
+        assert "*" in art
+
+    def test_classification_at_end_means_no_tail(self):
+        stroke = sample_stroke()
+        art = render_eager_stroke(stroke, points_seen=len(stroke))
+        assert "o" not in art
+
+    def test_fits_requested_grid(self):
+        art = render_eager_stroke(
+            sample_stroke(), points_seen=10, cols=20, rows=6
+        )
+        lines = art.split("\n")
+        assert len(lines) <= 6
+        assert all(len(line) <= 20 for line in lines)
+
+    def test_degenerate_strokes(self):
+        assert render_eager_stroke(Stroke(), points_seen=0) == ""
+        dot = Stroke.from_xy([(5, 5), (5, 5)])
+        art = render_eager_stroke(dot, points_seen=2)
+        assert "*" in art
+
+
+class TestRenderEagerExamples:
+    def test_side_by_side_layout(self):
+        rows = [
+            ("a", sample_stroke(), 10, 7),
+            ("b", sample_stroke(15), 15, None),
+        ]
+        art = render_eager_examples(rows, cols=20, rows=6)
+        lines = art.split("\n")
+        assert len(lines) == 7  # caption + grid rows
+        assert "a (7,10/20)" in lines[0]
+        assert "b (15/15)" in lines[0]

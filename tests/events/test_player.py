@@ -1,0 +1,98 @@
+"""Unit tests for the stroke-to-event players."""
+
+import pytest
+
+from repro.events import (
+    EventKind,
+    MouseButton,
+    perform_gesture,
+    stroke_events,
+)
+from repro.geometry import Stroke
+
+
+def sample_stroke() -> Stroke:
+    return Stroke.from_xy([(0, 0), (10, 0), (20, 0), (30, 10)], dt=0.05)
+
+
+class TestStrokeEvents:
+    def test_structure(self):
+        events = stroke_events(sample_stroke())
+        kinds = [e.kind for e in events]
+        assert kinds[0] is EventKind.PRESS
+        assert kinds[-1] is EventKind.RELEASE
+        assert all(k is EventKind.MOVE for k in kinds[1:-1])
+
+    def test_one_event_per_point_plus_release(self):
+        stroke = sample_stroke()
+        assert len(stroke_events(stroke)) == len(stroke) + 1
+
+    def test_positions_match_stroke(self):
+        stroke = sample_stroke()
+        events = stroke_events(stroke)
+        for event, point in zip(events[:-1], stroke):
+            assert (event.x, event.y, event.t) == (point.x, point.y, point.t)
+
+    def test_release_at_last_position(self):
+        stroke = sample_stroke()
+        release = stroke_events(stroke)[-1]
+        assert (release.x, release.y) == (stroke.end.x, stroke.end.y)
+
+    def test_t0_shifts_all_times(self):
+        events = stroke_events(sample_stroke(), t0=10.0)
+        assert events[0].t == pytest.approx(10.0)
+        assert events[1].t == pytest.approx(10.05)
+
+    def test_button_propagates(self):
+        events = stroke_events(sample_stroke(), button=MouseButton.RIGHT)
+        assert all(e.button is MouseButton.RIGHT for e in events)
+
+    def test_empty_stroke_raises(self):
+        with pytest.raises(ValueError):
+            stroke_events(Stroke())
+
+
+class TestPerformGesture:
+    def test_no_dwell_no_manip_is_like_stroke_events(self):
+        stroke = sample_stroke()
+        assert perform_gesture(stroke) == stroke_events(stroke)
+
+    def test_dwell_delays_the_release(self):
+        stroke = sample_stroke()
+        events = perform_gesture(stroke, dwell=0.5)
+        last_move_t = events[-2].t
+        assert events[-1].t == pytest.approx(last_move_t + 0.5)
+
+    def test_manipulation_path_appended_as_moves(self):
+        stroke = sample_stroke()
+        manip = Stroke.from_xy([(40, 10), (50, 20)], dt=0.1)
+        events = perform_gesture(stroke, dwell=0.3, manipulation_path=manip)
+        move_positions = [(e.x, e.y) for e in events if e.is_move()]
+        assert (40, 10) in move_positions
+        assert (50, 20) in move_positions
+
+    def test_release_at_final_manipulation_point(self):
+        stroke = sample_stroke()
+        manip = Stroke.from_xy([(40, 10), (50, 20)], dt=0.1)
+        events = perform_gesture(stroke, dwell=0.3, manipulation_path=manip)
+        assert (events[-1].x, events[-1].y) == (50, 20)
+
+    def test_manipulation_times_follow_the_dwell(self):
+        stroke = sample_stroke()
+        manip = Stroke.from_xy([(40, 10), (50, 20)], dt=0.1)
+        events = perform_gesture(stroke, dwell=0.3, manipulation_path=manip)
+        gesture_end = stroke.end.t
+        manip_moves = [e for e in events if e.is_move() and e.x >= 40]
+        assert manip_moves[0].t == pytest.approx(gesture_end + 0.3)
+        assert manip_moves[1].t == pytest.approx(gesture_end + 0.4)
+
+    def test_times_strictly_non_decreasing(self):
+        stroke = sample_stroke()
+        manip = Stroke.from_xy([(40, 10), (50, 20)], dt=0.1)
+        events = perform_gesture(stroke, dwell=0.25, manipulation_path=manip)
+        times = [e.t for e in events]
+        assert times == sorted(times)
+
+    def test_empty_gesture_raises(self):
+        with pytest.raises(ValueError):
+            perform_gesture(Stroke())

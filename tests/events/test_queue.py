@@ -1,0 +1,168 @@
+"""Unit tests for the virtual clock and event queue."""
+
+import pytest
+
+from repro.events import (
+    EventKind,
+    EventQueue,
+    MouseEvent,
+    TimerEvent,
+    VirtualClock,
+)
+
+
+def ev(kind: EventKind, t: float, x: float = 0.0, y: float = 0.0) -> MouseEvent:
+    return MouseEvent(kind, x, y, t)
+
+
+class TestVirtualClock:
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+
+class TestEventDelivery:
+    def test_events_delivered_in_time_order(self):
+        queue = EventQueue()
+        queue.post(ev(EventKind.MOVE, 0.3))
+        queue.post(ev(EventKind.PRESS, 0.1))
+        queue.post(ev(EventKind.RELEASE, 0.2))
+        delivered = []
+        queue.run(lambda event: delivered.append(event.t))
+        assert delivered == [0.1, 0.2, 0.3]
+
+    def test_ties_break_by_posting_order(self):
+        queue = EventQueue()
+        a = ev(EventKind.MOVE, 1.0, x=1)
+        b = ev(EventKind.MOVE, 1.0, x=2)
+        queue.post(a)
+        queue.post(b)
+        delivered = []
+        queue.run(lambda event: delivered.append(event.x))
+        assert delivered == [1, 2]
+
+    def test_clock_advances_with_delivery(self):
+        queue = EventQueue()
+        queue.post(ev(EventKind.PRESS, 2.5))
+        seen = []
+        queue.run(lambda event: seen.append(queue.clock.now))
+        assert seen == [2.5]
+
+    def test_run_returns_mouse_event_count(self):
+        queue = EventQueue()
+        queue.post_all([ev(EventKind.PRESS, 0.0), ev(EventKind.RELEASE, 0.1)])
+        assert queue.run(lambda event: None) == 2
+
+    def test_posting_during_run_is_delivered(self):
+        queue = EventQueue()
+        queue.post(ev(EventKind.PRESS, 0.0))
+
+        def deliver(event):
+            if event.is_press():
+                queue.post(ev(EventKind.RELEASE, event.t + 1.0))
+            delivered.append(event.kind)
+
+        delivered = []
+        queue.run(deliver)
+        assert delivered == [EventKind.PRESS, EventKind.RELEASE]
+
+
+class TestTimers:
+    def test_timer_fires_at_scheduled_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_timer(0.2, lambda t: fired.append(t.t))
+        queue.run(lambda event: None)
+        assert fired == [pytest.approx(0.2)]
+
+    def test_timer_callback_receives_timer_event(self):
+        queue = EventQueue()
+        received = []
+        queue.schedule_timer(0.1, received.append)
+        queue.run(lambda event: None)
+        assert isinstance(received[0], TimerEvent)
+
+    def test_cancelled_timer_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        token = queue.schedule_timer(0.1, lambda t: fired.append(t))
+        assert queue.cancel_timer(token)
+        queue.run(lambda event: None)
+        assert fired == []
+
+    def test_cancel_unknown_token_returns_false(self):
+        assert not EventQueue().cancel_timer(12345)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_timer(-0.1, lambda t: None)
+
+    def test_timer_ordering_with_events(self):
+        # Timer at 0.15 fires between the events at 0.1 and 0.2.
+        queue = EventQueue()
+        order = []
+        queue.post(ev(EventKind.PRESS, 0.1))
+        queue.post(ev(EventKind.MOVE, 0.2))
+        queue.schedule_timer(0.15, lambda t: order.append("timer"))
+        queue.run(lambda event: order.append(event.kind.value))
+        assert order == ["press", "timer", "move"]
+
+    def test_timer_scheduled_during_delivery_is_relative_to_event_time(self):
+        queue = EventQueue()
+        fired_at = []
+
+        def deliver(event):
+            if event.is_press():
+                queue.schedule_timer(0.2, lambda t: fired_at.append(t.t))
+
+        queue.post(ev(EventKind.PRESS, 1.0))
+        queue.run(deliver)
+        assert fired_at == [pytest.approx(1.2)]
+
+    def test_timer_rescheduling_pattern(self):
+        # The gesture handler's arm/disarm pattern: each event cancels
+        # the previous timer; only the final one fires.
+        queue = EventQueue()
+        fired = []
+        state = {"token": None}
+
+        def deliver(event):
+            if state["token"] is not None:
+                queue.cancel_timer(state["token"])
+            state["token"] = queue.schedule_timer(
+                0.2, lambda t: fired.append(t.t)
+            )
+
+        queue.post_all(
+            [ev(EventKind.MOVE, 0.0), ev(EventKind.MOVE, 0.1), ev(EventKind.MOVE, 0.15)]
+        )
+        queue.run(deliver)
+        assert fired == [pytest.approx(0.35)]
+
+
+class TestMouseEvent:
+    def test_point_conversion(self):
+        event = ev(EventKind.MOVE, 1.5, x=3.0, y=4.0)
+        p = event.point
+        assert (p.x, p.y, p.t) == (3.0, 4.0, 1.5)
+
+    def test_kind_predicates(self):
+        assert ev(EventKind.PRESS, 0).is_press()
+        assert ev(EventKind.MOVE, 0).is_move()
+        assert ev(EventKind.RELEASE, 0).is_release()
+        assert not ev(EventKind.PRESS, 0).is_move()

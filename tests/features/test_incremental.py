@@ -1,0 +1,138 @@
+"""Unit tests for the incremental feature extractor.
+
+The central invariant — incremental equals batch on every prefix — is
+tested here against hand-built strokes and in
+tests/properties/test_feature_properties.py against generated ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features import IncrementalFeatures, NUM_FEATURES, features_of
+from repro.geometry import Point, Stroke
+from repro.synth import GestureGenerator, gdp_templates
+
+
+class TestBasics:
+    def test_empty_extractor_vector_is_zero(self):
+        inc = IncrementalFeatures()
+        assert inc.count == 0
+        assert not inc.vector.any()
+
+    def test_count_tracks_points(self):
+        inc = IncrementalFeatures()
+        inc.add_point(Point(0, 0, 0))
+        inc.add_point(Point(1, 0, 0.01))
+        assert inc.count == 2
+
+    def test_vector_is_fresh_array(self):
+        inc = IncrementalFeatures()
+        inc.add_point(Point(0, 0, 0))
+        v1 = inc.vector
+        v1[:] = 99.0
+        assert not (inc.vector == 99.0).any()
+
+    def test_reset(self):
+        inc = IncrementalFeatures()
+        inc.add_stroke(Stroke.from_xy([(0, 0), (5, 5), (10, 0)]))
+        inc.reset()
+        assert inc.count == 0
+        assert not inc.vector.any()
+
+    def test_add_stroke_equals_add_points(self):
+        s = Stroke.from_xy([(0, 0), (5, 5), (10, 0), (15, 5)])
+        a, b = IncrementalFeatures(), IncrementalFeatures()
+        a.add_stroke(s)
+        for p in s:
+            b.add_point(p)
+        np.testing.assert_array_equal(a.vector, b.vector)
+
+
+class TestMatchesBatch:
+    """inc.vector after p_0..p_{i-1} == features_of(g[i]) for every i."""
+
+    def assert_matches_on_all_prefixes(self, stroke: Stroke):
+        inc = IncrementalFeatures()
+        for i, p in enumerate(stroke, start=1):
+            inc.add_point(p)
+            batch = features_of(stroke.subgesture(i))
+            np.testing.assert_allclose(
+                inc.vector, batch, atol=1e-9,
+                err_msg=f"prefix length {i}",
+            )
+
+    def test_straight_line(self):
+        self.assert_matches_on_all_prefixes(
+            Stroke.from_xy([(i * 7.0, 0) for i in range(12)], dt=0.01)
+        )
+
+    def test_l_shape(self):
+        xs = [(i * 5.0, 0) for i in range(8)] + [(35.0, j * 5.0) for j in range(1, 8)]
+        self.assert_matches_on_all_prefixes(Stroke.from_xy(xs, dt=0.01))
+
+    def test_with_duplicate_points(self):
+        self.assert_matches_on_all_prefixes(
+            Stroke.from_xy([(0, 0), (0, 0), (5, 5), (5, 5), (10, 0)], dt=0.01)
+        )
+
+    def test_with_tiny_jitter_segments(self):
+        self.assert_matches_on_all_prefixes(
+            Stroke.from_xy(
+                [(0, 0), (0.5, 0.2), (10, 0), (10.4, 0.1), (20, 5)], dt=0.01
+            )
+        )
+
+    def test_generated_gdp_gestures(self):
+        generator = GestureGenerator(gdp_templates(), seed=9)
+        for class_name in ("rect", "ellipse", "delete", "dot", "rotate-scale"):
+            self.assert_matches_on_all_prefixes(
+                generator.generate(class_name).stroke
+            )
+
+    def test_irregular_timestamps(self):
+        pts = [
+            Point(0, 0, 0.0),
+            Point(8, 1, 0.03),
+            Point(15, 4, 0.035),
+            Point(20, 10, 0.2),
+            Point(22, 20, 0.21),
+        ]
+        self.assert_matches_on_all_prefixes(Stroke(pts))
+
+
+class TestConstantTimeBehaviour:
+    def test_vector_dimension_is_constant(self):
+        inc = IncrementalFeatures()
+        for i in range(100):
+            inc.add_point(Point(i * 3.0, (i % 7) * 2.0, i * 0.01))
+            assert inc.vector.shape == (NUM_FEATURES,)
+
+    def test_large_stroke_is_handled(self):
+        # "arbitrarily large gestures can be handled" (§4.2)
+        inc = IncrementalFeatures()
+        for i in range(10_000):
+            inc.add_point(Point(float(i), float(i % 50), i * 0.001))
+        v = inc.vector
+        assert np.isfinite(v).all()
+        assert v[7] > 0  # total length accumulated
+
+
+class TestDegenerate:
+    def test_single_point(self):
+        inc = IncrementalFeatures()
+        inc.add_point(Point(4, 4, 1.0))
+        np.testing.assert_allclose(
+            inc.vector, features_of(Stroke([Point(4, 4, 1.0)])), atol=1e-12
+        )
+
+    def test_two_identical_points(self):
+        inc = IncrementalFeatures()
+        s = Stroke([Point(4, 4, 0.0), Point(4, 4, 0.01)])
+        inc.add_stroke(s)
+        np.testing.assert_allclose(inc.vector, features_of(s), atol=1e-12)
+
+    def test_all_finite_under_zero_dt(self):
+        inc = IncrementalFeatures()
+        inc.add_point(Point(0, 0, 1.0))
+        inc.add_point(Point(100, 0, 1.0))  # dt == 0
+        assert np.isfinite(inc.vector).all()

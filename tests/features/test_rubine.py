@@ -1,0 +1,191 @@
+"""Unit tests for Rubine's batch feature computation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.features import FEATURE_NAMES, NUM_FEATURES, feature_matrix, features_of
+from repro.geometry import Stroke
+
+
+def rightward_line(n: int = 10, spacing: float = 10.0) -> Stroke:
+    return Stroke.from_xy([(i * spacing, 0) for i in range(n)], dt=0.01)
+
+
+IDX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+class TestShape:
+    def test_thirteen_features(self):
+        assert NUM_FEATURES == 13
+        assert len(FEATURE_NAMES) == 13
+
+    def test_vector_shape(self):
+        assert features_of(rightward_line()).shape == (NUM_FEATURES,)
+
+    def test_feature_matrix(self):
+        m = feature_matrix([rightward_line(), rightward_line(5)])
+        assert m.shape == (2, NUM_FEATURES)
+
+    def test_feature_matrix_empty(self):
+        assert feature_matrix([]).shape == (0, NUM_FEATURES)
+
+
+class TestInitialAngle:
+    def test_rightward_initial_angle(self):
+        f = features_of(rightward_line())
+        assert f[IDX["cos_initial"]] == pytest.approx(1.0)
+        assert f[IDX["sin_initial"]] == pytest.approx(0.0)
+
+    def test_downward_initial_angle(self):
+        down = Stroke.from_xy([(0, i * 10.0) for i in range(10)], dt=0.01)
+        f = features_of(down)
+        assert f[IDX["cos_initial"]] == pytest.approx(0.0)
+        assert f[IDX["sin_initial"]] == pytest.approx(1.0)
+
+    def test_initial_angle_uses_third_point(self):
+        # Jitter at point 1 must not dominate: the anchor is point 2.
+        s = Stroke.from_xy([(0, 0), (0.5, 3.0), (20, 0)], dt=0.01)
+        f = features_of(s)
+        assert f[IDX["cos_initial"]] == pytest.approx(1.0)
+
+    def test_initial_angle_of_two_points_uses_second(self):
+        s = Stroke.from_xy([(0, 0), (10, 0)])
+        assert features_of(s)[IDX["cos_initial"]] == pytest.approx(1.0)
+
+
+class TestBoundingBoxFeatures:
+    def test_diagonal_length(self):
+        s = Stroke.from_xy([(0, 0), (30, 40)])
+        assert features_of(s)[IDX["bbox_diagonal"]] == pytest.approx(50.0)
+
+    def test_diagonal_angle(self):
+        s = Stroke.from_xy([(0, 0), (10, 10)])
+        assert features_of(s)[IDX["bbox_angle"]] == pytest.approx(math.pi / 4)
+
+
+class TestEndpointFeatures:
+    def test_endpoint_distance(self):
+        f = features_of(rightward_line(n=11, spacing=10.0))
+        assert f[IDX["endpoint_distance"]] == pytest.approx(100.0)
+
+    def test_endpoint_angle(self):
+        s = Stroke.from_xy([(0, 0), (5, 5), (0, 10)])
+        f = features_of(s)
+        assert f[IDX["cos_endpoints"]] == pytest.approx(0.0)
+        assert f[IDX["sin_endpoints"]] == pytest.approx(1.0)
+
+    def test_closed_stroke_has_zero_endpoint_distance(self):
+        s = Stroke.from_xy([(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)])
+        f = features_of(s)
+        assert f[IDX["endpoint_distance"]] == pytest.approx(0.0)
+        assert f[IDX["cos_endpoints"]] == 0.0  # undefined -> 0, not NaN
+        assert f[IDX["sin_endpoints"]] == 0.0
+
+
+class TestAccumulatedFeatures:
+    def test_total_length(self):
+        f = features_of(rightward_line(n=11, spacing=10.0))
+        assert f[IDX["total_length"]] == pytest.approx(100.0)
+
+    def test_straight_line_has_no_turning(self):
+        f = features_of(rightward_line())
+        assert f[IDX["total_angle"]] == pytest.approx(0.0)
+        assert f[IDX["total_abs_angle"]] == pytest.approx(0.0)
+        assert f[IDX["sharpness"]] == pytest.approx(0.0)
+
+    def test_right_angle_turn_total_angle(self):
+        s = Stroke.from_xy([(0, 0), (10, 0), (20, 0), (20, 10), (20, 20)])
+        f = features_of(s)
+        assert abs(f[IDX["total_angle"]]) == pytest.approx(math.pi / 2)
+        assert f[IDX["total_abs_angle"]] == pytest.approx(math.pi / 2)
+        assert f[IDX["sharpness"]] == pytest.approx((math.pi / 2) ** 2)
+
+    def test_opposite_turns_cancel_in_signed_sum_only(self):
+        zigzag = Stroke.from_xy(
+            [(0, 0), (10, 0), (20, 10), (30, 0), (40, 0)]
+        )
+        f = features_of(zigzag)
+        assert abs(f[IDX["total_angle"]]) < 1e-9
+        assert f[IDX["total_abs_angle"]] > 1.0
+
+    def test_tiny_segments_do_not_contribute_angles(self):
+        # Sub-noise-floor jitter (under 3 px) is ignored for turn angles.
+        s = Stroke.from_xy(
+            [(0, 0), (10, 0), (10.5, 0.5), (20, 0), (30, 0)]
+        )
+        f = features_of(s)
+        assert f[IDX["total_abs_angle"]] < 0.3
+
+
+class TestTimingFeatures:
+    def test_duration(self):
+        s = Stroke.from_xy([(0, 0), (1, 0), (2, 0)], dt=0.5)
+        assert features_of(s)[IDX["duration"]] == pytest.approx(1.0)
+
+    def test_max_speed(self):
+        # 10 px per 0.1 s -> speed 100 px/s -> squared 1e4.
+        s = Stroke.from_xy([(0, 0), (10, 0), (20, 0)], dt=0.1)
+        assert features_of(s)[IDX["max_speed_sq"]] == pytest.approx(1e4)
+
+    def test_max_speed_takes_the_fastest_segment(self):
+        pts = [(0.0, 0.0, 0.0), (1.0, 0.0, 0.1), (50.0, 0.0, 0.2)]
+        from repro.geometry import Point
+
+        s = Stroke([Point(*p) for p in pts])
+        assert features_of(s)[IDX["max_speed_sq"]] == pytest.approx(490.0**2)
+
+    def test_zero_dt_does_not_divide_by_zero(self):
+        from repro.geometry import Point
+
+        s = Stroke([Point(0, 0, 0.0), Point(10, 0, 0.0)])
+        f = features_of(s)
+        assert np.isfinite(f).all()
+
+
+class TestDegenerateStrokes:
+    def test_empty_stroke_is_all_zero(self):
+        assert not features_of(Stroke()).any()
+
+    def test_single_point(self):
+        f = features_of(Stroke.from_xy([(5, 5)]))
+        assert np.isfinite(f).all()
+        assert f[IDX["total_length"]] == 0.0
+
+    def test_repeated_point(self):
+        f = features_of(Stroke.from_xy([(5, 5)] * 10))
+        assert np.isfinite(f).all()
+        assert f[IDX["endpoint_distance"]] == 0.0
+
+    def test_features_never_nan_on_collinear_input(self):
+        f = features_of(Stroke.from_xy([(0, 0), (0, 0), (1, 0), (1, 0)]))
+        assert np.isfinite(f).all()
+
+
+class TestInvariances:
+    def test_translation_invariance(self):
+        s = Stroke.from_xy([(0, 0), (13, 5), (20, 9), (31, 17)], dt=0.02)
+        f1 = features_of(s)
+        f2 = features_of(s.translated(100, -250))
+        np.testing.assert_allclose(f1, f2, atol=1e-9)
+
+    def test_time_shift_invariance(self):
+        s = Stroke.from_xy([(0, 0), (13, 5), (20, 9)], dt=0.02)
+        shifted = Stroke.from_xy([(0, 0), (13, 5), (20, 9)], dt=0.02, t0=55.5)
+        np.testing.assert_allclose(features_of(s), features_of(shifted), atol=1e-9)
+
+    def test_rotation_changes_initial_angle_only_in_trig_features(self):
+        s = Stroke.from_xy([(i * 10.0, 0) for i in range(8)], dt=0.01)
+        rotated = Stroke(
+            p.rotated(math.pi / 2) for p in s
+        )
+        f1, f2 = features_of(s), features_of(rotated)
+        # Length-type features are rotation invariant.
+        assert f1[IDX["total_length"]] == pytest.approx(f2[IDX["total_length"]])
+        assert f1[IDX["endpoint_distance"]] == pytest.approx(
+            f2[IDX["endpoint_distance"]]
+        )
+        # The initial direction rotates with the stroke.
+        assert f2[IDX["cos_initial"]] == pytest.approx(0.0, abs=1e-9)
+        assert f2[IDX["sin_initial"]] == pytest.approx(1.0)

@@ -1,0 +1,240 @@
+"""Integration-style unit tests: GDP driven by performed gestures.
+
+Each test performs a synthetic gesture (press, moves, dwell/eager
+transition, manipulation, release) against a live GDP app and asserts
+the figure-3 semantics: which parameters were fixed at recognition and
+which were manipulated.
+"""
+
+import pytest
+
+from repro.events import perform_gesture
+from repro.gdp import (
+    EllipseShape,
+    GDPApp,
+    GroupShape,
+    LineShape,
+    RectShape,
+    TextShape,
+)
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, gdp_templates
+
+
+@pytest.fixture(scope="module")
+def app_factory(gdp_recognizer):
+    def make(**kwargs):
+        return GDPApp(recognizer=gdp_recognizer, **kwargs)
+
+    return make
+
+
+@pytest.fixture(scope="module")
+def gestures():
+    return GestureGenerator(gdp_templates(), seed=123)
+
+
+def do(app, stroke, manip_xy=None, dwell=0.3):
+    manip = (
+        Stroke.from_xy(manip_xy, dt=0.03) if manip_xy is not None else None
+    )
+    app.perform(perform_gesture(stroke, dwell=dwell, manipulation_path=manip))
+
+
+def anchored(stroke, x, y):
+    """Translate a stroke so its first point lands on (x, y)."""
+    return stroke.translated(x - stroke.start.x, y - stroke.start.y)
+
+
+class TestCreationGestures:
+    def test_rect_gesture_creates_rect(self, app_factory, gestures):
+        app = app_factory()
+        stroke = gestures.generate("rect").stroke.translated(100, 100)
+        do(app, stroke, manip_xy=[(400, 350)])
+        assert len(app.shapes) == 1
+        rect = app.shapes[0]
+        assert isinstance(rect, RectShape)
+        # Corner 1 fixed at the gesture start (figure 3)...
+        assert rect.corners[0][0] == pytest.approx(stroke.start.x)
+        assert rect.corners[0][1] == pytest.approx(stroke.start.y)
+        # ...corner 2 rubberbanded to the final mouse position.
+        assert rect.corners[1] == (400, 350)
+
+    def test_line_gesture_creates_line(self, app_factory, gestures):
+        app = app_factory()
+        stroke = gestures.generate("line").stroke.translated(50, 50)
+        do(app, stroke, manip_xy=[(500, 80)])
+        line = app.shapes[0]
+        assert isinstance(line, LineShape)
+        assert line.endpoints[0][0] == pytest.approx(stroke.start.x)
+        assert line.endpoints[1] == (500, 80)
+
+    def test_ellipse_gesture_center_fixed(self, app_factory, gestures):
+        app = app_factory()
+        stroke = gestures.generate("ellipse").stroke.translated(200, 200)
+        do(app, stroke, manip_xy=[(300, 260)])
+        ellipse = app.shapes[0]
+        assert isinstance(ellipse, EllipseShape)
+        assert ellipse.center[0] == pytest.approx(stroke.start.x)
+        assert ellipse.center[1] == pytest.approx(stroke.start.y)
+        assert ellipse.rx == pytest.approx(abs(300 - stroke.start.x))
+        assert ellipse.ry == pytest.approx(abs(260 - stroke.start.y))
+
+    def test_text_gesture_places_text(self, app_factory, gestures):
+        app = app_factory()
+        stroke = gestures.generate("text").stroke.translated(150, 400)
+        do(app, stroke)
+        assert isinstance(app.shapes[0], TextShape)
+
+    def test_rubberbanding_tracks_every_manip_point(
+        self, app_factory, gestures
+    ):
+        app = app_factory()
+        stroke = gestures.generate("rect").stroke.translated(100, 100)
+        do(app, stroke, manip_xy=[(300, 300), (320, 340), (350, 310)])
+        # The final manipulation point wins.
+        assert app.shapes[0].corners[1] == (350, 310)
+
+
+class TestObjectGestures:
+    """Semantics of gestures directed at existing objects.
+
+    These assert exact post-conditions (figure 3's parameter table), so
+    they disable eager recognition: an eager transition reclassifies on a
+    prefix and turns the stroke's tail into manipulation, which is
+    correct behaviour but makes expected coordinates gesture-dependent.
+    The timeout and mouse-up transitions classify the full stroke.
+    """
+
+    def make_app_with_rect(self, app_factory, gestures):
+        app = app_factory(use_eager=False)
+        stroke = gestures.generate("rect").stroke.translated(100, 100)
+        do(app, stroke, manip_xy=[(250, 250)])
+        return app, app.shapes[0]
+
+    def test_delete_gesture_removes_object_at_start(
+        self, app_factory, gestures
+    ):
+        app, rect = self.make_app_with_rect(app_factory, gestures)
+        corner = rect.corners[0]
+        stroke = anchored(gestures.generate("delete").stroke, *corner)
+        do(app, stroke)
+        assert rect not in app.canvas
+
+    def test_delete_on_empty_space_is_harmless(self, app_factory, gestures):
+        app, rect = self.make_app_with_rect(app_factory, gestures)
+        stroke = gestures.generate("delete").stroke.translated(600, 500)
+        do(app, stroke)
+        assert rect in app.canvas
+
+    def test_move_gesture_repositions_object(self, app_factory, gestures):
+        app, rect = self.make_app_with_rect(app_factory, gestures)
+        corner = rect.corners[0]
+        before = tuple(rect.corners[0])
+        stroke = anchored(gestures.generate("move").stroke, *corner)
+        do(app, stroke, manip_xy=[(stroke.end.x + 100, stroke.end.y + 50)])
+        after = rect.corners[0]
+        assert after[0] == pytest.approx(before[0] + 100)
+        assert after[1] == pytest.approx(before[1] + 50)
+
+    def test_copy_gesture_duplicates_and_positions(
+        self, app_factory, gestures
+    ):
+        app, rect = self.make_app_with_rect(app_factory, gestures)
+        corner = rect.corners[0]
+        stroke = anchored(gestures.generate("copy").stroke, *corner)
+        do(app, stroke, manip_xy=[(stroke.end.x + 150, stroke.end.y)])
+        assert len(app.shapes) == 2
+        original, duplicate = app.shapes
+        assert original is rect
+        assert isinstance(duplicate, RectShape)
+        # The original did not move.
+        assert original.corners[0] == corner
+
+    def test_rotate_scale_gesture_scales_object(self, app_factory, gestures):
+        app, rect = self.make_app_with_rect(app_factory, gestures)
+        corner = rect.corners[0]
+        width_before = abs(rect.corners[1][0] - rect.corners[0][0])
+        stroke = anchored(gestures.generate("rotate-scale").stroke, *corner)
+        # Drag the handle to twice its distance from the center.
+        cx, cy = stroke.start.x, stroke.start.y
+        hx, hy = stroke.end.x, stroke.end.y
+        far = (cx + (hx - cx) * 2.0, cy + (hy - cy) * 2.0)
+        do(app, stroke, manip_xy=[far])
+        width_after = abs(rect.corners[1][0] - rect.corners[0][0])
+        assert width_after == pytest.approx(width_before * 2.0, rel=0.05)
+
+    def test_dot_gesture_selects(self, app_factory, gestures):
+        app, rect = self.make_app_with_rect(app_factory, gestures)
+        corner = rect.corners[0]
+        dot = anchored(gestures.generate("dot").stroke, *corner)
+        do(app, dot, dwell=0.0)
+        assert app.canvas.selection == {rect}
+
+
+class TestGroupGesture:
+    def test_group_encloses_objects(self, app_factory, gestures):
+        app = app_factory(use_eager=False)
+        # The group circle at training scale spans roughly 100x100 px;
+        # translated to (260, 180) it encloses (260..360, 180..280).
+        r1 = app.canvas.create_rect(290, 210, 310, 230)
+        r2 = app.canvas.create_rect(320, 240, 335, 255)
+        outside = app.canvas.create_rect(700, 60, 730, 90)
+        stroke = gestures.generate("group").stroke.translated(260, 180)
+        do(app, stroke)
+        groups = [s for s in app.shapes if isinstance(s, GroupShape)]
+        assert len(groups) == 1
+        assert r1 in groups[0].members
+        assert r2 in groups[0].members
+        assert outside not in groups[0].members
+
+    def test_touching_during_manipulation_adds_to_group(
+        self, app_factory, gestures
+    ):
+        app = app_factory(use_eager=False)
+        r1 = app.canvas.create_rect(290, 210, 310, 230)
+        extra = app.canvas.create_rect(650, 420, 680, 450)
+        stroke = gestures.generate("group").stroke.translated(260, 180)
+        # During manipulation, touch the extra rect's edge.
+        do(app, stroke, manip_xy=[(665, 420)])
+        groups = [s for s in app.shapes if isinstance(s, GroupShape)]
+        assert len(groups) == 1
+        assert r1 in groups[0].members
+        assert extra in groups[0].members
+
+
+class TestEditGesture:
+    def test_edit_brings_up_control_points(self, app_factory, gestures):
+        app = app_factory(use_eager=False)
+        stroke = gestures.generate("rect").stroke.translated(150, 150)
+        do(app, stroke, manip_xy=[(350, 300)])
+        rect = app.shapes[0]
+        edit = anchored(gestures.generate("edit").stroke, *rect.corners[0])
+        do(app, edit)
+        shape_view = app.view.view_for(rect)
+        assert shape_view.editing
+        assert len(shape_view.children) == 2  # two corner handles
+
+    def test_control_points_respond_to_drag(self, app_factory, gestures):
+        # "The control points do not themselves respond to gesture, but
+        # can be dragged around directly" — gesture and direct
+        # manipulation in one interface.
+        from repro.events import EventKind, MouseEvent
+
+        app = app_factory(use_eager=False)
+        stroke = gestures.generate("rect").stroke.translated(150, 150)
+        do(app, stroke, manip_xy=[(350, 300)])
+        rect = app.shapes[0]
+        edit = anchored(gestures.generate("edit").stroke, *rect.corners[0])
+        do(app, edit)
+        # Drag the corner-1 handle.
+        x, y = rect.corners[1]
+        app.perform(
+            [
+                MouseEvent(EventKind.PRESS, x, y, 100.0),
+                MouseEvent(EventKind.MOVE, x + 30, y + 20, 100.1),
+                MouseEvent(EventKind.RELEASE, x + 30, y + 20, 100.2),
+            ]
+        )
+        assert rect.corners[1][0] == pytest.approx(x + 30)
+        assert rect.corners[1][1] == pytest.approx(y + 20)

@@ -1,0 +1,147 @@
+"""Unit tests for the GDP canvas model."""
+
+import pytest
+
+from repro.gdp import Canvas, GroupShape, LineShape
+from repro.geometry import Stroke
+
+
+@pytest.fixture
+def canvas():
+    return Canvas(width=400, height=300)
+
+
+class TestCreation:
+    def test_create_shapes(self, canvas):
+        rect = canvas.create_rect(0, 0, 10, 10)
+        line = canvas.create_line(20, 20, 30, 30)
+        ellipse = canvas.create_ellipse(50, 50, 5, 5)
+        text = canvas.create_text(70, 70, "hi")
+        assert list(canvas) == [rect, line, ellipse, text]
+
+    def test_later_shapes_are_on_top(self, canvas):
+        below = canvas.create_rect(0, 0, 50, 50)
+        above = canvas.create_rect(0, 0, 50, 50)
+        assert canvas.top_shape_at(0, 0) is above
+
+    def test_creation_notifies(self, canvas):
+        seen = []
+        canvas.add_observer(seen.append)
+        canvas.create_line(0, 0, 1, 1)
+        assert seen == [canvas]
+
+
+class TestDeletion:
+    def test_delete(self, canvas):
+        shape = canvas.create_line(0, 0, 1, 1)
+        assert canvas.delete(shape)
+        assert shape not in canvas
+        assert not canvas.delete(shape)
+
+    def test_delete_clears_from_selection(self, canvas):
+        shape = canvas.create_line(0, 0, 1, 1)
+        canvas.select(shape)
+        canvas.delete(shape)
+        assert shape not in canvas.selection
+
+    def test_clear(self, canvas):
+        canvas.create_line(0, 0, 1, 1)
+        canvas.create_rect(0, 0, 1, 1)
+        canvas.clear()
+        assert len(canvas) == 0
+
+
+class TestQueries:
+    def test_top_shape_at_miss(self, canvas):
+        canvas.create_rect(0, 0, 10, 10)
+        assert canvas.top_shape_at(200, 200) is None
+
+    def test_shapes_enclosed_by(self, canvas):
+        inside = canvas.create_rect(40, 40, 60, 60)
+        outside = canvas.create_rect(300, 200, 320, 220)
+        loop = Stroke.from_xy(
+            [(0, 0), (100, 0), (100, 100), (0, 100)]
+        )
+        enclosed = canvas.shapes_enclosed_by(loop)
+        assert inside in enclosed
+        assert outside not in enclosed
+
+    def test_enclosure_uses_reference_point(self, canvas):
+        # A shape straddling the loop counts iff its center is inside.
+        straddling = canvas.create_rect(90, 40, 150, 60)  # center x=120
+        loop = Stroke.from_xy([(0, 0), (100, 0), (100, 100), (0, 100)])
+        assert straddling not in canvas.shapes_enclosed_by(loop)
+
+
+class TestGrouping:
+    def test_group_replaces_members(self, canvas):
+        a = canvas.create_line(0, 0, 1, 1)
+        b = canvas.create_rect(5, 5, 6, 6)
+        c = canvas.create_text(50, 50)
+        group = canvas.group([a, b])
+        assert isinstance(group, GroupShape)
+        assert a not in canvas and b not in canvas
+        assert group in canvas and c in canvas
+        assert set(group.members) == {a, b}
+
+    def test_group_ignores_foreign_shapes(self, canvas):
+        foreign = LineShape(0, 0, 1, 1)  # never added to the canvas
+        group = canvas.group([foreign])
+        assert group.members == []
+
+    def test_add_to_group_moves_top_level_shape(self, canvas):
+        a = canvas.create_line(0, 0, 1, 1)
+        group = canvas.group([a])
+        b = canvas.create_rect(5, 5, 6, 6)
+        assert canvas.add_to_group(group, b)
+        assert b not in canvas
+        assert b in group.members
+
+    def test_add_to_group_rejects_group_itself(self, canvas):
+        a = canvas.create_line(0, 0, 1, 1)
+        group = canvas.group([a])
+        assert not canvas.add_to_group(group, group)
+
+    def test_ungroup_restores_members(self, canvas):
+        a = canvas.create_line(0, 0, 1, 1)
+        b = canvas.create_rect(5, 5, 6, 6)
+        group = canvas.group([a, b])
+        restored = canvas.ungroup(group)
+        assert set(restored) == {a, b}
+        assert group not in canvas
+        assert a in canvas and b in canvas
+
+    def test_ungroup_foreign_group_is_noop(self, canvas):
+        assert canvas.ungroup(GroupShape()) == []
+
+    def test_grouped_shape_found_by_hit(self, canvas):
+        a = canvas.create_rect(0, 0, 20, 20)
+        group = canvas.group([a])
+        assert canvas.top_shape_at(10, 0) is group
+
+
+class TestSelection:
+    def test_select_replaces(self, canvas):
+        a = canvas.create_line(0, 0, 1, 1)
+        b = canvas.create_line(2, 2, 3, 3)
+        canvas.select(a)
+        canvas.select(b)
+        assert canvas.selection == {b}
+
+    def test_select_extend(self, canvas):
+        a = canvas.create_line(0, 0, 1, 1)
+        b = canvas.create_line(2, 2, 3, 3)
+        canvas.select(a)
+        canvas.select(b, extend=True)
+        assert canvas.selection == {a, b}
+
+    def test_select_foreign_shape_ignored(self, canvas):
+        foreign = LineShape(0, 0, 1, 1)
+        canvas.select(foreign)
+        assert canvas.selection == set()
+
+    def test_clear_selection(self, canvas):
+        a = canvas.create_line(0, 0, 1, 1)
+        canvas.select(a)
+        canvas.clear_selection()
+        assert canvas.selection == set()

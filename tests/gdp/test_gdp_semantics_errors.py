@@ -1,0 +1,73 @@
+"""Edge-case tests for GDP semantics: wrong views, empty targets."""
+
+import pytest
+
+from repro.gdp import build_gdp_semantics
+from repro.geometry import Stroke
+from repro.interaction import GestureContext
+from repro.mvc import View
+
+
+class NotACanvasView(View):
+    pass
+
+
+class FakeDispatch:
+    pass
+
+
+def make_context(class_name, view):
+    return GestureContext(
+        view=view,
+        dispatch=FakeDispatch(),
+        gesture=Stroke.from_xy([(10, 10), (20, 20), (30, 10)], dt=0.01),
+        class_name=class_name,
+    )
+
+
+class TestWrongView:
+    @pytest.mark.parametrize(
+        "class_name", ["rect", "line", "ellipse", "group", "delete", "move"]
+    )
+    def test_non_canvas_view_raises_type_error(self, class_name):
+        semantics = build_gdp_semantics()[class_name]
+        context = make_context(class_name, NotACanvasView())
+        with pytest.raises(TypeError, match="canvas view"):
+            semantics.on_recognized(context)
+
+
+class TestEmptyTargets:
+    """Object gestures aimed at empty space must not crash."""
+
+    @pytest.fixture
+    def app(self, gdp_recognizer):
+        from repro.gdp import GDPApp
+
+        return GDPApp(recognizer=gdp_recognizer, use_eager=False)
+
+    @pytest.mark.parametrize(
+        "class_name", ["move", "copy", "rotate-scale", "edit", "dot"]
+    )
+    def test_object_gesture_on_empty_canvas(self, app, class_name):
+        semantics = build_gdp_semantics()[class_name]
+        context = make_context(class_name, app.view)
+        semantics.on_recognized(context)  # no exception
+        # manip on a None recog result must be a no-op, not a crash.
+        semantics.on_manipulate(context)
+        semantics.on_done(context)
+        assert len(app.shapes) == 0
+
+    def test_group_on_empty_canvas_creates_empty_group(self, app):
+        semantics = build_gdp_semantics()["group"]
+        context = make_context("group", app.view)
+        semantics.on_recognized(context)
+        assert len(app.shapes) == 1  # an empty composite
+        semantics.on_manipulate(context)  # touching nothing: no-op
+
+    def test_dot_on_empty_canvas_clears_selection(self, app):
+        rect = app.canvas.create_rect(600, 500, 650, 550)
+        app.canvas.select(rect)
+        semantics = build_gdp_semantics()["dot"]
+        context = make_context("dot", app.view)
+        semantics.on_recognized(context)
+        assert app.canvas.selection == set()

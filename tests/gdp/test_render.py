@@ -1,0 +1,71 @@
+"""Unit tests for the ASCII canvas renderer."""
+
+from repro.gdp import Canvas, render_canvas
+
+
+def make_canvas() -> Canvas:
+    return Canvas(width=160, height=96)
+
+
+class TestRendering:
+    def test_empty_canvas_is_blank(self):
+        out = render_canvas(make_canvas(), cols=20, rows=6, border=False)
+        assert out.strip() == ""
+
+    def test_border_framing(self):
+        out = render_canvas(make_canvas(), cols=10, rows=4, border=True)
+        lines = out.splitlines()
+        assert lines[0] == "+" + "-" * 10 + "+"
+        assert lines[-1] == lines[0]
+        assert len(lines) == 6
+        assert all(line.startswith("|") and line.endswith("|") for line in lines[1:-1])
+
+    def test_horizontal_line_renders_dashes(self):
+        canvas = make_canvas()
+        canvas.create_line(8, 48, 150, 48)
+        out = render_canvas(canvas, cols=40, rows=12, border=False)
+        assert "-" * 10 in out
+
+    def test_vertical_line_renders_pipes(self):
+        canvas = make_canvas()
+        canvas.create_line(80, 8, 80, 90)
+        out = render_canvas(canvas, cols=40, rows=12, border=False)
+        assert out.count("|") >= 5
+
+    def test_rect_outline_renders(self):
+        canvas = make_canvas()
+        canvas.create_rect(16, 16, 140, 80)
+        out = render_canvas(canvas, cols=40, rows=12, border=False)
+        assert "-" in out and "|" in out
+
+    def test_ellipse_renders_os(self):
+        canvas = make_canvas()
+        canvas.create_ellipse(80, 48, 40, 24)
+        out = render_canvas(canvas, cols=40, rows=12, border=False)
+        assert out.count("o") >= 6
+
+    def test_text_renders_content(self):
+        canvas = make_canvas()
+        canvas.create_text(16, 48, "hello")
+        out = render_canvas(canvas, cols=40, rows=12, border=False)
+        assert "hello" in out
+
+    def test_selection_renders_stars(self):
+        canvas = make_canvas()
+        line = canvas.create_line(8, 48, 150, 48)
+        canvas.select(line)
+        out = render_canvas(canvas, cols=40, rows=12, border=False)
+        assert "*" in out
+
+    def test_group_renders_members(self):
+        canvas = make_canvas()
+        a = canvas.create_text(16, 30, "inside")
+        canvas.group([a])
+        out = render_canvas(canvas, cols=40, rows=12, border=False)
+        assert "inside" in out
+
+    def test_shapes_outside_viewport_are_clipped(self):
+        canvas = Canvas(width=100, height=100)
+        canvas.create_text(-500, -500, "far")
+        out = render_canvas(canvas, cols=20, rows=6, border=False)
+        assert "far" not in out

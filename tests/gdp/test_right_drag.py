@@ -1,0 +1,116 @@
+"""Tests for §3.1: gesture and direct manipulation in one interface,
+separated by mouse button."""
+
+import pytest
+
+from repro.events import EventKind, MouseButton, MouseEvent, perform_gesture
+from repro.gdp import GDPApp
+from repro.geometry import Stroke
+from repro.synth import GestureGenerator, gdp_templates
+
+
+@pytest.fixture
+def app(gdp_recognizer):
+    app = GDPApp(
+        recognizer=gdp_recognizer, use_eager=False, right_button_drag=True
+    )
+    stroke = (
+        GestureGenerator(gdp_templates(), seed=77)
+        .generate("rect")
+        .stroke.translated(150, 150)
+    )
+    app.perform(
+        perform_gesture(
+            stroke, dwell=0.3, manipulation_path=Stroke.from_xy([(350, 300)])
+        )
+    )
+    return app
+
+
+def right(kind, x, y, t):
+    return MouseEvent(kind, x, y, t, MouseButton.RIGHT)
+
+
+class TestRightButtonDrag:
+    def test_right_drag_moves_shape(self, app):
+        rect = app.shapes[0]
+        x, y = rect.corners[0]
+        before = tuple(rect.corners[0])
+        t = app.queue.clock.now + 1.0
+        app.perform(
+            [
+                right(EventKind.PRESS, x, y, t),
+                right(EventKind.MOVE, x + 40, y + 30, t + 0.1),
+                right(EventKind.RELEASE, x + 40, y + 30, t + 0.2),
+            ]
+        )
+        after = rect.corners[0]
+        assert after[0] == pytest.approx(before[0] + 40)
+        assert after[1] == pytest.approx(before[1] + 30)
+        # No new shape appeared: the right button never gestures.
+        assert len(app.shapes) == 1
+
+    def test_left_button_still_gestures_over_shapes(self, app, gdp_recognizer):
+        rect = app.shapes[0]
+        corner = rect.corners[0]
+        stroke = GestureGenerator(gdp_templates(), seed=78).generate(
+            "delete"
+        ).stroke
+        stroke = stroke.translated(
+            corner[0] - stroke.start.x, corner[1] - stroke.start.y
+        )
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        assert rect not in app.canvas  # the delete gesture ran
+
+    def test_right_press_on_background_is_inert(self, app):
+        before = len(app.shapes)
+        t = app.queue.clock.now + 1.0
+        app.perform(
+            [
+                right(EventKind.PRESS, 700, 500, t),
+                right(EventKind.RELEASE, 700, 500, t + 0.1),
+            ]
+        )
+        assert len(app.shapes) == before
+
+    def test_newly_created_shapes_are_draggable(self, app, gdp_recognizer):
+        # Draw a line after construction; it must also respond to drag.
+        stroke = (
+            GestureGenerator(gdp_templates(), seed=79)
+            .generate("line")
+            .stroke.translated(500, 100)
+        )
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        line = app.shapes[-1]
+        x, y = line.endpoints[0]
+        before = tuple(line.endpoints[0])
+        t = app.queue.clock.now + 1.0
+        app.perform(
+            [
+                right(EventKind.PRESS, x, y, t),
+                right(EventKind.MOVE, x + 25, y, t + 0.1),
+                right(EventKind.RELEASE, x + 25, y, t + 0.2),
+            ]
+        )
+        assert line.endpoints[0][0] == pytest.approx(before[0] + 25)
+
+    def test_flag_off_by_default(self, gdp_recognizer):
+        app = GDPApp(recognizer=gdp_recognizer, use_eager=False)
+        stroke = (
+            GestureGenerator(gdp_templates(), seed=80)
+            .generate("rect")
+            .stroke.translated(150, 150)
+        )
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        rect = app.shapes[0]
+        x, y = rect.corners[0]
+        before = tuple(rect.corners[0])
+        t = app.queue.clock.now + 1.0
+        app.perform(
+            [
+                right(EventKind.PRESS, x, y, t),
+                right(EventKind.MOVE, x + 40, y, t + 0.1),
+                right(EventKind.RELEASE, x + 40, y, t + 0.2),
+            ]
+        )
+        assert rect.corners[0] == before  # nothing handles right-drag

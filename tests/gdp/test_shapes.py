@@ -1,0 +1,213 @@
+"""Unit tests for GDP's shape models."""
+
+import math
+
+import pytest
+
+from repro.gdp import (
+    EllipseShape,
+    GroupShape,
+    LineShape,
+    RectShape,
+    TextShape,
+)
+from repro.geometry import Affine
+
+
+class TestLineShape:
+    def test_endpoints(self):
+        line = LineShape(0, 0, 10, 10)
+        assert line.endpoints == [(0, 0), (10, 10)]
+
+    def test_set_endpoint(self):
+        line = LineShape(0, 0, 10, 10)
+        line.set_endpoint(1, 20, 30)
+        assert line.endpoints[1] == (20, 30)
+
+    def test_bounds(self):
+        box = LineShape(1, 2, 5, 8).bounds()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (1, 2, 5, 8)
+
+    def test_hit_on_segment(self):
+        assert LineShape(0, 0, 100, 0).hit(50, 2, tolerance=4)
+
+    def test_miss_off_segment(self):
+        assert not LineShape(0, 0, 100, 0).hit(50, 30, tolerance=4)
+
+    def test_thickness_widens_hit(self):
+        thin = LineShape(0, 0, 100, 0, thickness=1)
+        thick = LineShape(0, 0, 100, 0, thickness=20)
+        assert not thin.hit(50, 12, tolerance=4)
+        assert thick.hit(50, 12, tolerance=4)
+
+    def test_move_by(self):
+        line = LineShape(0, 0, 10, 0)
+        line.move_by(5, 5)
+        assert line.endpoints == [(5, 5), (15, 5)]
+
+    def test_clone_is_independent(self):
+        line = LineShape(0, 0, 10, 0)
+        clone = line.clone()
+        clone.set_endpoint(0, 99, 99)
+        assert line.endpoints[0] == (0, 0)
+        assert clone.id != line.id
+
+    def test_control_points_drag_endpoints(self):
+        line = LineShape(0, 0, 10, 0)
+        cps = line.control_points()
+        assert len(cps) == 2
+        cps[1].move_by(5, 5)
+        assert line.endpoints[1] == (15, 5)
+
+    def test_change_notification(self):
+        line = LineShape(0, 0, 1, 1)
+        seen = []
+        line.add_observer(seen.append)
+        line.set_endpoint(0, 2, 2)
+        assert seen == [line]
+
+
+class TestRectShape:
+    def test_corner_points_axis_aligned(self):
+        rect = RectShape(0, 0, 10, 20)
+        assert set(rect.corner_points()) == {(0, 0), (10, 0), (10, 20), (0, 20)}
+
+    def test_set_corner_rubberbands(self):
+        rect = RectShape(0, 0, 1, 1)
+        rect.set_corner(1, 50, 60)
+        assert rect.corners[1] == (50, 60)
+
+    def test_hit_on_outline_not_interior(self):
+        rect = RectShape(0, 0, 100, 100)
+        assert rect.hit(50, 0, tolerance=3)  # on an edge
+        assert not rect.hit(50, 50, tolerance=3)  # interior is hollow
+
+    def test_rotation_moves_corners(self):
+        rect = RectShape(0, 0, 10, 10)
+        rect.apply_transform(
+            Affine.about(rect.bounds().center, Affine.rotation(math.pi / 4))
+        )
+        assert rect.angle == pytest.approx(math.pi / 4)
+        xs = [x for x, _ in rect.corner_points()]
+        # Rotated square's width along x grows to 10*sqrt(2).
+        assert max(xs) - min(xs) == pytest.approx(10 * math.sqrt(2), rel=1e-6)
+
+    def test_rotate_scale_about(self):
+        rect = RectShape(0, 0, 10, 10)
+        rect.rotate_scale_about(0, 0, 0.0, 2.0)
+        assert rect.corners[1] == (pytest.approx(20.0), pytest.approx(20.0))
+
+    def test_clone_preserves_angle(self):
+        rect = RectShape(0, 0, 10, 10, angle=0.5)
+        assert rect.clone().angle == 0.5
+
+
+class TestEllipseShape:
+    def test_radii_clamped_positive(self):
+        ellipse = EllipseShape(0, 0, rx=0.0, ry=-1.0)
+        assert ellipse.rx > 0
+        ellipse.set_radii(0.0, 0.0)
+        assert ellipse.rx > 0 and ellipse.ry > 0
+
+    def test_bounds(self):
+        box = EllipseShape(10, 10, rx=5, ry=3).bounds()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (5, 7, 15, 13)
+
+    def test_hit_on_outline(self):
+        ellipse = EllipseShape(0, 0, rx=50, ry=30)
+        assert ellipse.hit(50, 0, tolerance=4)
+        assert ellipse.hit(0, 30, tolerance=4)
+
+    def test_miss_center_and_far(self):
+        ellipse = EllipseShape(0, 0, rx=50, ry=30)
+        assert not ellipse.hit(0, 0, tolerance=4)
+        assert not ellipse.hit(100, 100, tolerance=4)
+
+    def test_transform_scales_radii(self):
+        ellipse = EllipseShape(0, 0, rx=10, ry=10)
+        ellipse.apply_transform(Affine.scaling(2.0, 3.0))
+        assert ellipse.rx == pytest.approx(20)
+        assert ellipse.ry == pytest.approx(30)
+
+    def test_control_points_adjust_radii(self):
+        ellipse = EllipseShape(0, 0, rx=10, ry=10)
+        rx_handle, ry_handle = ellipse.control_points()
+        rx_handle.move_by(5, 0)
+        assert ellipse.rx == pytest.approx(15)
+        ry_handle.move_by(0, -3)
+        assert ellipse.ry == pytest.approx(7)
+
+
+class TestTextShape:
+    def test_bounds_scale_with_text(self):
+        short = TextShape(0, 0, "ab")
+        long = TextShape(0, 0, "abcdefgh")
+        assert long.bounds().width > short.bounds().width
+
+    def test_hit_within_inflated_bounds(self):
+        text = TextShape(0, 0, "hello")
+        assert text.hit(10, -5)
+        assert not text.hit(500, 500)
+
+    def test_set_position(self):
+        text = TextShape(0, 0)
+        text.set_position(30, 40)
+        assert text.position == (30, 40)
+
+    def test_clone(self):
+        text = TextShape(1, 2, "hi")
+        clone = text.clone()
+        assert clone.text == "hi"
+        assert clone.position == (1, 2)
+        assert clone.id != text.id
+
+
+class TestGroupShape:
+    def make_group(self):
+        a = LineShape(0, 0, 10, 0)
+        b = RectShape(20, 20, 30, 30)
+        return GroupShape([a, b]), a, b
+
+    def test_bounds_union(self):
+        group, a, b = self.make_group()
+        box = group.bounds()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 30, 30)
+
+    def test_hit_any_member(self):
+        group, a, b = self.make_group()
+        assert group.hit(5, 0, tolerance=3)
+        assert group.hit(25, 20, tolerance=3)
+        assert not group.hit(15, 10, tolerance=3)
+
+    def test_move_moves_members(self):
+        group, a, b = self.make_group()
+        group.move_by(5, 5)
+        assert a.endpoints[0] == (5, 5)
+        assert b.corners[0] == (25, 25)
+
+    def test_add_member_ignores_duplicates_and_self(self):
+        group, a, b = self.make_group()
+        group.add_member(a)
+        assert group.members.count(a) == 1
+        group.add_member(group)
+        assert group not in group.members
+
+    def test_remove_member(self):
+        group, a, b = self.make_group()
+        group.remove_member(a)
+        assert a not in group.members
+
+    def test_flattened_recurses(self):
+        inner, a, b = self.make_group()
+        c = TextShape(0, 0)
+        outer = GroupShape([inner, c])
+        assert set(outer.flattened()) == {a, b, c}
+
+    def test_clone_deep_copies(self):
+        group, a, b = self.make_group()
+        clone = group.clone()
+        clone.members[0].move_by(100, 100)
+        assert a.endpoints[0] == (0, 0)
+
+    def test_empty_group_bounds(self):
+        assert GroupShape().bounds().is_empty

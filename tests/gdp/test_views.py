@@ -1,0 +1,106 @@
+"""Unit tests for GDP's view layer."""
+
+from repro.gdp import Canvas
+from repro.gdp.views import CanvasView, ControlPointView, ShapeView
+
+
+class TestCanvasViewSync:
+    def test_views_created_for_existing_shapes(self):
+        canvas = Canvas()
+        shape = canvas.create_rect(0, 0, 10, 10)
+        view = CanvasView(canvas)
+        assert view.view_for(shape) is not None
+
+    def test_views_track_creation(self):
+        canvas = Canvas()
+        view = CanvasView(canvas)
+        shape = canvas.create_line(0, 0, 5, 5)
+        assert view.view_for(shape) is not None
+        assert view.view_for(shape) in view.children
+
+    def test_views_track_deletion(self):
+        canvas = Canvas()
+        view = CanvasView(canvas)
+        shape = canvas.create_line(0, 0, 5, 5)
+        shape_view = view.view_for(shape)
+        canvas.delete(shape)
+        assert view.view_for(shape) is None
+        assert shape_view not in view.children
+
+    def test_grouping_replaces_views(self):
+        canvas = Canvas()
+        view = CanvasView(canvas)
+        a = canvas.create_rect(0, 0, 10, 10)
+        group = canvas.group([a])
+        assert view.view_for(a) is None  # a is no longer top-level
+        assert view.view_for(group) is not None
+
+    def test_contains_covers_window(self):
+        view = CanvasView(Canvas(width=200, height=100))
+        assert view.contains(0, 0)
+        assert view.contains(199, 99)
+        assert not view.contains(201, 50)
+        assert not view.contains(-1, 50)
+
+
+class TestShapeViewPicking:
+    def test_pick_prefers_shape_over_window(self):
+        canvas = Canvas()
+        shape = canvas.create_rect(10, 10, 50, 50)
+        view = CanvasView(canvas)
+        hit = view.pick(30, 10)  # on the rect outline
+        assert isinstance(hit, ShapeView)
+        assert hit.shape is shape
+
+    def test_pick_falls_back_to_window(self):
+        canvas = Canvas()
+        canvas.create_rect(10, 10, 50, 50)
+        view = CanvasView(canvas)
+        assert view.pick(300, 300) is view
+
+
+class TestControlPoints:
+    def test_show_hide_control_points(self):
+        canvas = Canvas()
+        shape = canvas.create_line(0, 0, 100, 0)
+        view = CanvasView(canvas)
+        shape_view = view.view_for(shape)
+        shape_view.show_control_points()
+        assert shape_view.editing
+        handles = [
+            c for c in shape_view.children if isinstance(c, ControlPointView)
+        ]
+        assert len(handles) == 2
+        shape_view.hide_control_points()
+        assert not shape_view.editing
+        assert not shape_view.children
+
+    def test_show_is_idempotent(self):
+        canvas = Canvas()
+        shape = canvas.create_line(0, 0, 100, 0)
+        view = CanvasView(canvas)
+        shape_view = view.view_for(shape)
+        shape_view.show_control_points()
+        shape_view.show_control_points()
+        assert len(shape_view.children) == 2
+
+    def test_control_point_view_bounds_follow_position(self):
+        canvas = Canvas()
+        shape = canvas.create_line(0, 0, 100, 0)
+        view = CanvasView(canvas)
+        shape_view = view.view_for(shape)
+        shape_view.show_control_points()
+        handle = shape_view.children[1]
+        assert handle.contains(100, 0)
+        shape.set_endpoint(1, 200, 50)
+        assert handle.contains(200, 50)
+        assert not handle.contains(100, 0)
+
+    def test_control_point_views_carry_class_drag_handler(self):
+        canvas = Canvas()
+        shape = canvas.create_line(0, 0, 100, 0)
+        view = CanvasView(canvas)
+        shape_view = view.view_for(shape)
+        shape_view.show_control_points()
+        handle = shape_view.children[0]
+        assert any(True for _ in handle.handlers())

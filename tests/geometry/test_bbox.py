@@ -1,0 +1,116 @@
+"""Unit tests for repro.geometry.bbox."""
+
+import math
+
+import pytest
+
+from repro.geometry import BoundingBox, Point
+
+
+class TestConstruction:
+    def test_new_box_is_empty(self):
+        assert BoundingBox().is_empty
+
+    def test_extend_makes_non_empty(self):
+        box = BoundingBox()
+        box.extend(1.0, 2.0)
+        assert not box.is_empty
+
+    def test_of_points(self):
+        box = BoundingBox.of([Point(0, 0), Point(4, 2), Point(-1, 5)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, 0, 4, 5)
+
+    def test_of_empty_iterable(self):
+        assert BoundingBox.of([]).is_empty
+
+
+class TestDerivedQuantities:
+    def test_width_height(self):
+        box = BoundingBox.of([Point(1, 2), Point(4, 8)])
+        assert box.width == 3.0
+        assert box.height == 6.0
+
+    def test_empty_box_has_zero_extent(self):
+        assert BoundingBox().width == 0.0
+        assert BoundingBox().height == 0.0
+
+    def test_diagonal(self):
+        box = BoundingBox.of([Point(0, 0), Point(3, 4)])
+        assert box.diagonal == pytest.approx(5.0)
+
+    def test_diagonal_angle(self):
+        box = BoundingBox.of([Point(0, 0), Point(1, 1)])
+        assert box.diagonal_angle == pytest.approx(math.pi / 4)
+
+    def test_degenerate_diagonal_angle_is_zero(self):
+        box = BoundingBox.of([Point(2, 2)])
+        assert box.diagonal_angle == 0.0
+
+    def test_center(self):
+        box = BoundingBox.of([Point(0, 0), Point(4, 6)])
+        assert box.center == Point(2.0, 3.0)
+
+
+class TestPredicates:
+    def test_contains_inside(self):
+        box = BoundingBox.of([Point(0, 0), Point(10, 10)])
+        assert box.contains(5, 5)
+
+    def test_contains_boundary(self):
+        box = BoundingBox.of([Point(0, 0), Point(10, 10)])
+        assert box.contains(0, 10)
+
+    def test_contains_outside(self):
+        box = BoundingBox.of([Point(0, 0), Point(10, 10)])
+        assert not box.contains(11, 5)
+
+    def test_empty_contains_nothing(self):
+        assert not BoundingBox().contains(0, 0)
+
+    def test_intersects_overlapping(self):
+        a = BoundingBox.of([Point(0, 0), Point(5, 5)])
+        b = BoundingBox.of([Point(4, 4), Point(9, 9)])
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_intersects_disjoint(self):
+        a = BoundingBox.of([Point(0, 0), Point(1, 1)])
+        b = BoundingBox.of([Point(2, 2), Point(3, 3)])
+        assert not a.intersects(b)
+
+    def test_intersects_shared_edge(self):
+        a = BoundingBox.of([Point(0, 0), Point(1, 1)])
+        b = BoundingBox.of([Point(1, 0), Point(2, 1)])
+        assert a.intersects(b)
+
+    def test_empty_never_intersects(self):
+        a = BoundingBox.of([Point(0, 0), Point(1, 1)])
+        assert not a.intersects(BoundingBox())
+        assert not BoundingBox().intersects(a)
+
+
+class TestCombinators:
+    def test_union(self):
+        a = BoundingBox.of([Point(0, 0), Point(1, 1)])
+        b = BoundingBox.of([Point(5, 5), Point(6, 6)])
+        u = a.union(b)
+        assert (u.min_x, u.min_y, u.max_x, u.max_y) == (0, 0, 6, 6)
+
+    def test_union_with_empty_is_identity(self):
+        a = BoundingBox.of([Point(0, 0), Point(1, 1)])
+        u = a.union(BoundingBox())
+        assert (u.min_x, u.max_x) == (0, 1)
+
+    def test_union_does_not_mutate(self):
+        a = BoundingBox.of([Point(0, 0), Point(1, 1)])
+        a.union(BoundingBox.of([Point(9, 9)]))
+        assert a.max_x == 1
+
+    def test_inflated(self):
+        box = BoundingBox.of([Point(2, 2), Point(4, 4)]).inflated(1.0)
+        assert box.contains(1.5, 1.5)
+        assert box.contains(4.5, 4.5)
+        assert not box.contains(0.5, 0.5)
+
+    def test_inflated_empty_stays_empty(self):
+        assert BoundingBox().inflated(10.0).is_empty

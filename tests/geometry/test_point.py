@@ -1,0 +1,81 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, angle_between, distance, midpoint
+
+
+class TestPoint:
+    def test_fields(self):
+        p = Point(1.0, 2.0, 3.0)
+        assert (p.x, p.y, p.t) == (1.0, 2.0, 3.0)
+
+    def test_time_defaults_to_zero(self):
+        assert Point(1.0, 2.0).t == 0.0
+
+    def test_points_are_immutable(self):
+        p = Point(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0
+
+    def test_equality_by_value(self):
+        assert Point(1.0, 2.0, 3.0) == Point(1.0, 2.0, 3.0)
+        assert Point(1.0, 2.0, 3.0) != Point(1.0, 2.0, 4.0)
+
+    def test_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0, 3.0).as_tuple() == (1.0, 2.0, 3.0)
+
+
+class TestPointOperations:
+    def test_translated(self):
+        p = Point(1.0, 2.0, 9.0).translated(3.0, -1.0)
+        assert p == Point(4.0, 1.0, 9.0)
+
+    def test_translated_preserves_time(self):
+        assert Point(0, 0, 7.5).translated(1, 1).t == 7.5
+
+    def test_scaled_uniform(self):
+        assert Point(2.0, 3.0).scaled(2.0) == Point(4.0, 6.0)
+
+    def test_scaled_anisotropic(self):
+        assert Point(2.0, 3.0).scaled(2.0, 10.0) == Point(4.0, 30.0)
+
+    def test_rotated_quarter_turn_about_origin(self):
+        p = Point(1.0, 0.0).rotated(math.pi / 2)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_rotated_about_center(self):
+        p = Point(2.0, 1.0).rotated(math.pi, cx=1.0, cy=1.0)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_ignores_time(self):
+        assert Point(0, 0, 0).distance_to(Point(0, 0, 99)) == 0.0
+
+
+class TestModuleFunctions:
+    def test_distance_function(self):
+        assert distance(Point(0, 0), Point(0, 2)) == pytest.approx(2.0)
+
+    def test_midpoint_averages_time(self):
+        m = midpoint(Point(0, 0, 0), Point(2, 4, 6))
+        assert (m.x, m.y, m.t) == (1.0, 2.0, 3.0)
+
+    def test_angle_between_cardinal_directions(self):
+        origin = Point(0, 0)
+        assert angle_between(origin, Point(1, 0)) == pytest.approx(0.0)
+        assert angle_between(origin, Point(0, 1)) == pytest.approx(math.pi / 2)
+        assert angle_between(origin, Point(-1, 0)) == pytest.approx(math.pi)
+
+    def test_angle_between_coincident_points_is_zero(self):
+        # Degenerate segments occur in real traces; must not raise.
+        assert angle_between(Point(5, 5), Point(5, 5)) == 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for repro.geometry.polyline."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Stroke,
+    find_corner_indices,
+    point_segment_distance,
+    polygon_contains,
+    stroke_hits_point,
+    stroke_self_closes,
+)
+
+
+def l_shaped(n: int = 10) -> Stroke:
+    """An L: right n steps, then down n steps, unit spacing."""
+    xs = [(i, 0) for i in range(n + 1)]
+    ys = [(n, j) for j in range(1, n + 1)]
+    return Stroke.from_xy(xs + ys)
+
+
+class TestCornerDetection:
+    def test_finds_the_l_corner(self):
+        corners = find_corner_indices(l_shaped())
+        assert len(corners) == 1
+        assert corners[0] == 10  # the corner sample
+
+    def test_straight_line_has_no_corners(self):
+        line = Stroke.from_xy([(i, 0) for i in range(20)])
+        assert find_corner_indices(line) == []
+
+    def test_gentle_arc_has_no_sharp_corners(self):
+        arc = Stroke.from_xy(
+            [
+                (math.cos(a) * 50, math.sin(a) * 50)
+                for a in [i * 0.05 for i in range(40)]
+            ]
+        )
+        assert find_corner_indices(arc, min_turn=math.pi / 3) == []
+
+    def test_zigzag_finds_multiple_corners(self):
+        zig = Stroke.from_xy(
+            [(i, 0) for i in range(8)]
+            + [(7, j) for j in range(1, 8)]
+            + [(7 + i, 7) for i in range(1, 8)]
+        )
+        assert len(find_corner_indices(zig)) == 2
+
+    def test_too_short_stroke(self):
+        assert find_corner_indices(Stroke.from_xy([(0, 0), (1, 1)])) == []
+
+    def test_duplicate_points_do_not_create_corners(self):
+        pts = [(i // 2, 0) for i in range(20)]  # each point doubled
+        assert find_corner_indices(Stroke.from_xy(pts)) == []
+
+
+class TestPointSegmentDistance:
+    def test_perpendicular_distance(self):
+        assert point_segment_distance(5, 3, 0, 0, 10, 0) == pytest.approx(3.0)
+
+    def test_point_on_segment(self):
+        assert point_segment_distance(5, 0, 0, 0, 10, 0) == pytest.approx(0.0)
+
+    def test_beyond_endpoint_clamps(self):
+        assert point_segment_distance(13, 4, 0, 0, 10, 0) == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(3, 4, 0, 0, 0, 0) == pytest.approx(5.0)
+
+
+class TestStrokeHitsPoint:
+    def test_hit_on_path(self):
+        assert stroke_hits_point(l_shaped(), 5.0, 0.5, tolerance=1.0)
+
+    def test_miss_far_from_path(self):
+        assert not stroke_hits_point(l_shaped(), 0.0, 9.0, tolerance=1.0)
+
+    def test_single_point_stroke(self):
+        s = Stroke.from_xy([(5, 5)])
+        assert stroke_hits_point(s, 5.5, 5.0, tolerance=1.0)
+        assert not stroke_hits_point(s, 8.0, 5.0, tolerance=1.0)
+
+    def test_empty_stroke_hits_nothing(self):
+        assert not stroke_hits_point(Stroke(), 0, 0, tolerance=100.0)
+
+
+class TestPolygonContains:
+    def square(self) -> Stroke:
+        return Stroke.from_xy([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+    def test_inside(self):
+        assert polygon_contains(self.square(), 5, 5)
+
+    def test_outside(self):
+        assert not polygon_contains(self.square(), 15, 5)
+
+    def test_implicit_closure(self):
+        # The polygon closes from last point back to first, like a
+        # circling group gesture that does not quite complete the loop.
+        almost_closed = Stroke.from_xy(
+            [(0, 0), (10, 0), (10, 10), (0, 10), (0, 2)]
+        )
+        assert polygon_contains(almost_closed, 5, 5)
+
+    def test_degenerate_polygon(self):
+        assert not polygon_contains(Stroke.from_xy([(0, 0), (1, 1)]), 0.5, 0.5)
+
+
+class TestSelfCloses:
+    def test_circle_closes(self):
+        circle = Stroke.from_xy(
+            [
+                (math.cos(a) * 50, math.sin(a) * 50)
+                for a in [2 * math.pi * i / 30 for i in range(30)]
+            ]
+        )
+        assert stroke_self_closes(circle)
+
+    def test_line_does_not_close(self):
+        line = Stroke.from_xy([(i * 10, 0) for i in range(10)])
+        assert not stroke_self_closes(line)
+
+    def test_short_stroke_does_not_close(self):
+        assert not stroke_self_closes(Stroke.from_xy([(0, 0), (1, 1)]))
+
+    def test_zero_length_stroke(self):
+        s = Stroke.from_xy([(3, 3), (3, 3), (3, 3)])
+        assert not stroke_self_closes(s)

@@ -1,0 +1,205 @@
+"""Unit tests for repro.geometry.stroke — including the subgesture algebra."""
+
+import math
+
+import pytest
+
+from repro.geometry import Affine, Point, Stroke
+
+
+def square_stroke() -> Stroke:
+    return Stroke.from_xy([(0, 0), (10, 0), (10, 10), (0, 10)], dt=0.1)
+
+
+class TestConstruction:
+    def test_from_points(self):
+        s = Stroke([Point(0, 0, 0), Point(1, 1, 1)])
+        assert len(s) == 2
+
+    def test_from_xy_assigns_times(self):
+        s = Stroke.from_xy([(0, 0), (1, 0), (2, 0)], dt=0.5, t0=1.0)
+        assert [p.t for p in s] == [1.0, 1.5, 2.0]
+
+    def test_empty_stroke(self):
+        assert len(Stroke()) == 0
+
+    def test_equality_and_hash(self):
+        a = Stroke.from_xy([(0, 0), (1, 1)])
+        b = Stroke.from_xy([(0, 0), (1, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_indexing_returns_point(self):
+        s = square_stroke()
+        assert isinstance(s[0], Point)
+        assert s[0] == Point(0, 0, 0)
+
+    def test_slicing_returns_stroke(self):
+        s = square_stroke()[1:3]
+        assert isinstance(s, Stroke)
+        assert len(s) == 2
+
+
+class TestSubgestureAlgebra:
+    """The paper's g[i] definition (§4.1, figure 4)."""
+
+    def test_subgesture_is_prefix(self):
+        g = square_stroke()
+        sub = g.subgesture(2)
+        assert list(sub) == list(g)[:2]
+
+    def test_subgesture_size_equals_i(self):
+        # |g[i]| = i
+        g = square_stroke()
+        for i in range(len(g) + 1):
+            assert len(g.subgesture(i)) == i
+
+    def test_subgesture_points_match(self):
+        # g[i]_p = g_p
+        g = square_stroke()
+        sub = g.subgesture(3)
+        for p in range(3):
+            assert sub[p] == g[p]
+
+    def test_subgesture_beyond_length_is_undefined(self):
+        g = square_stroke()
+        with pytest.raises(ValueError):
+            g.subgesture(len(g) + 1)
+
+    def test_negative_subgesture_is_undefined(self):
+        with pytest.raises(ValueError):
+            square_stroke().subgesture(-1)
+
+    def test_full_subgesture_equals_gesture(self):
+        g = square_stroke()
+        assert g.subgesture(len(g)) == g
+
+    def test_subgestures_iterator_covers_all_prefixes(self):
+        g = square_stroke()
+        subs = list(g.subgestures())
+        assert len(subs) == len(g)
+        assert subs[0] == g.subgesture(1)
+        assert subs[-1] == g
+
+    def test_subgestures_start_parameter(self):
+        g = square_stroke()
+        subs = list(g.subgestures(start=3))
+        assert len(subs) == len(g) - 2
+        assert len(subs[0]) == 3
+
+    def test_is_prefix_of(self):
+        g = square_stroke()
+        assert g.subgesture(2).is_prefix_of(g)
+        assert g.is_prefix_of(g)
+        assert not g.is_prefix_of(g.subgesture(2))
+
+    def test_different_stroke_is_not_prefix(self):
+        assert not Stroke.from_xy([(5, 5), (6, 6)]).is_prefix_of(square_stroke())
+
+
+class TestDerivedQuantities:
+    def test_start_end(self):
+        g = square_stroke()
+        assert g.start == Point(0, 0, 0.0)
+        assert (g.end.x, g.end.y) == (0, 10)
+
+    def test_duration(self):
+        assert square_stroke().duration == pytest.approx(0.3)
+
+    def test_duration_of_single_point_is_zero(self):
+        assert Stroke([Point(1, 1, 5.0)]).duration == 0.0
+
+    def test_path_length_of_square_sides(self):
+        assert square_stroke().path_length() == pytest.approx(30.0)
+
+    def test_path_length_empty(self):
+        assert Stroke().path_length() == 0.0
+
+    def test_bounding_box(self):
+        box = square_stroke().bounding_box()
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 10, 10)
+
+    def test_centroid(self):
+        c = Stroke.from_xy([(0, 0), (2, 0), (2, 2), (0, 2)]).centroid()
+        assert (c.x, c.y) == (1.0, 1.0)
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Stroke().centroid()
+
+
+class TestRewrites:
+    def test_translated(self):
+        s = square_stroke().translated(5, -5)
+        assert s.start == Point(5, -5, 0.0)
+
+    def test_transformed(self):
+        s = Stroke.from_xy([(1, 0)]).transformed(Affine.rotation(math.pi))
+        assert s[0].x == pytest.approx(-1.0)
+
+    def test_retimed(self):
+        s = square_stroke().retimed(dt=1.0, t0=10.0)
+        assert [p.t for p in s] == [10.0, 11.0, 12.0, 13.0]
+
+    def test_deduplicated(self):
+        s = Stroke.from_xy([(0, 0), (0, 0), (1, 1), (1, 1), (1, 1), (2, 2)])
+        assert len(s.deduplicated()) == 3
+
+    def test_deduplicated_keeps_order(self):
+        s = Stroke.from_xy([(0, 0), (1, 1), (0, 0)]).deduplicated()
+        assert [(p.x, p.y) for p in s] == [(0, 0), (1, 1), (0, 0)]
+
+
+class TestResample:
+    def test_resample_count(self):
+        s = square_stroke().resampled(16)
+        assert len(s) == 16
+
+    def test_resample_preserves_endpoints(self):
+        s = square_stroke().resampled(8)
+        assert (s.start.x, s.start.y) == (0, 0)
+        assert (s.end.x, s.end.y) == (0, 10)
+
+    def test_resample_is_equally_spaced(self):
+        line = Stroke.from_xy([(0, 0), (100, 0)])
+        s = line.resampled(11)
+        xs = [p.x for p in s]
+        for a, b in zip(xs, xs[1:]):
+            assert b - a == pytest.approx(10.0, abs=1e-6)
+
+    def test_resample_single_point_stroke(self):
+        s = Stroke([Point(3, 3, 0)]).resampled(5)
+        assert len(s) == 5
+        assert all((p.x, p.y) == (3, 3) for p in s)
+
+    def test_resample_to_zero_raises(self):
+        with pytest.raises(ValueError):
+            square_stroke().resampled(0)
+
+    def test_resample_empty_raises(self):
+        with pytest.raises(ValueError):
+            Stroke().resampled(4)
+
+
+class TestTurnAngles:
+    def test_straight_line_has_zero_turns(self):
+        s = Stroke.from_xy([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert all(abs(a) < 1e-12 for a in s.turn_angles())
+
+    def test_right_angle_turn(self):
+        s = Stroke.from_xy([(0, 0), (10, 0), (10, 10)])
+        angles = s.turn_angles()
+        assert len(angles) == 1
+        assert abs(angles[0]) == pytest.approx(math.pi / 2)
+
+    def test_turn_sign_is_consistent(self):
+        left = Stroke.from_xy([(0, 0), (10, 0), (10, -10)]).turn_angles()[0]
+        right = Stroke.from_xy([(0, 0), (10, 0), (10, 10)]).turn_angles()[0]
+        assert left == pytest.approx(-right)
+
+    def test_zero_length_segment_contributes_zero(self):
+        s = Stroke.from_xy([(0, 0), (10, 0), (10, 0), (20, 0)])
+        assert all(a == 0.0 for a in s.turn_angles())
+
+    def test_too_short_stroke_has_no_angles(self):
+        assert Stroke.from_xy([(0, 0), (1, 1)]).turn_angles() == []

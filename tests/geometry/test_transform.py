@@ -1,0 +1,99 @@
+"""Unit tests for repro.geometry.transform."""
+
+import math
+
+import pytest
+
+from repro.geometry import Affine, Point
+
+
+class TestConstructors:
+    def test_identity_maps_points_to_themselves(self):
+        p = Point(3.0, -2.0, 1.0)
+        assert Affine.identity().apply(p) == p
+
+    def test_translation(self):
+        p = Affine.translation(2.0, 3.0).apply(Point(1.0, 1.0))
+        assert p == Point(3.0, 4.0)
+
+    def test_scaling_uniform(self):
+        p = Affine.scaling(2.0).apply(Point(1.0, 2.0))
+        assert p == Point(2.0, 4.0)
+
+    def test_scaling_anisotropic(self):
+        p = Affine.scaling(2.0, 0.5).apply(Point(4.0, 4.0))
+        assert p == Point(8.0, 2.0)
+
+    def test_rotation_quarter_turn(self):
+        p = Affine.rotation(math.pi / 2).apply(Point(1.0, 0.0))
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_about_fixes_the_center(self):
+        center = Point(5.0, 5.0)
+        t = Affine.about(center, Affine.rotation(1.234) @ Affine.scaling(3.0))
+        moved = t.apply(center)
+        assert moved.x == pytest.approx(5.0)
+        assert moved.y == pytest.approx(5.0)
+
+    def test_apply_preserves_time(self):
+        assert Affine.translation(1, 1).apply(Point(0, 0, 42.0)).t == 42.0
+
+
+class TestComposition:
+    def test_matmul_order(self):
+        # (self @ other)(p) == self(other(p))
+        t = Affine.translation(1.0, 0.0)
+        s = Affine.scaling(2.0)
+        p = Point(1.0, 1.0)
+        assert (t @ s).apply(p) == t.apply(s.apply(p))
+        assert (s @ t).apply(p) == s.apply(t.apply(p))
+
+    def test_translation_composition_commutes(self):
+        a = Affine.translation(1, 2)
+        b = Affine.translation(3, 4)
+        p = Point(0, 0)
+        assert (a @ b).apply(p) == (b @ a).apply(p)
+
+    def test_rotation_composition_adds_angles(self):
+        r1 = Affine.rotation(0.3)
+        r2 = Affine.rotation(0.4)
+        combined = r1 @ r2
+        expected = Affine.rotation(0.7)
+        p = Point(2.0, 1.0)
+        got, want = combined.apply(p), expected.apply(p)
+        assert got.x == pytest.approx(want.x)
+        assert got.y == pytest.approx(want.y)
+
+
+class TestInverse:
+    def test_inverse_of_translation(self):
+        t = Affine.translation(5.0, -3.0)
+        p = Point(1.0, 1.0)
+        back = t.inverse().apply(t.apply(p))
+        assert back.x == pytest.approx(1.0)
+        assert back.y == pytest.approx(1.0)
+
+    def test_inverse_of_rotate_scale(self):
+        t = Affine.rotation(0.8) @ Affine.scaling(2.5)
+        p = Point(3.0, 4.0)
+        back = t.inverse().apply(t.apply(p))
+        assert back.x == pytest.approx(3.0)
+        assert back.y == pytest.approx(4.0)
+
+    def test_singular_transform_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Affine.scaling(0.0).inverse()
+
+    def test_determinant(self):
+        assert Affine.scaling(2.0, 3.0).determinant == pytest.approx(6.0)
+        assert Affine.rotation(1.0).determinant == pytest.approx(1.0)
+
+
+class TestApplyXY:
+    def test_apply_xy_matches_apply(self):
+        t = Affine.rotation(0.5) @ Affine.translation(2.0, 1.0)
+        p = Point(1.5, -0.5)
+        x, y = t.apply_xy(p.x, p.y)
+        q = t.apply(p)
+        assert (x, y) == (q.x, q.y)

@@ -1,0 +1,117 @@
+"""Integration tests for the gesture-driven score editor."""
+
+import pytest
+
+from repro.events import perform_gesture
+from repro.geometry import Stroke
+from repro.gscore import ScoreApp, score_templates, train_score_recognizer
+from repro.synth import GestureGenerator
+
+
+@pytest.fixture(scope="module")
+def recognizer():
+    return train_score_recognizer(examples_per_class=12, seed=13)
+
+
+@pytest.fixture
+def app(recognizer):
+    return ScoreApp(recognizer=recognizer)
+
+
+@pytest.fixture(scope="module")
+def gestures():
+    return GestureGenerator(score_templates(), seed=99)
+
+
+def place(app, gestures, duration, beat, step, manip_xy=None, seed_stroke=None):
+    stroke = (seed_stroke or gestures.generate(duration)).stroke
+    x, y = app.staff.beat_to_x(beat), app.staff.step_to_y(step)
+    stroke = stroke.translated(x - stroke.start.x, y - stroke.start.y)
+    manip = Stroke.from_xy(manip_xy, dt=0.03) if manip_xy else None
+    app.perform(perform_gesture(stroke, dwell=0.3, manipulation_path=manip))
+
+
+class TestNoteEntry:
+    def test_quarter_note_placed_with_snapping(self, app, gestures):
+        place(app, gestures, "quarter", beat=2.0, step=2)
+        notes = app.staff.notes
+        assert len(notes) == 1
+        assert notes[0].duration == "quarter"
+        assert notes[0].beat == 2.0
+        assert notes[0].pitch_name == "G4"
+
+    def test_each_duration_class_enters_its_note(self, app, gestures):
+        for i, duration in enumerate(
+            ("quarter", "eighth", "sixteenth", "thirtysecond", "sixtyfourth")
+        ):
+            place(app, gestures, duration, beat=float(i), step=4)
+        assert [n.duration for n in app.staff.notes] == [
+            "quarter",
+            "eighth",
+            "sixteenth",
+            "thirtysecond",
+            "sixtyfourth",
+        ]
+
+    def test_manipulation_drags_pitch_and_onset(self, app, gestures):
+        target_x = app.staff.beat_to_x(5.0)
+        target_y = app.staff.step_to_y(9)
+        place(
+            app,
+            gestures,
+            "eighth",
+            beat=1.0,
+            step=1,
+            manip_xy=[(target_x, target_y)],
+        )
+        note = app.staff.notes[0]
+        assert note.beat == 5.0
+        assert note.step == 9
+
+    def test_nearby_gesture_start_snaps_to_grid(self, app, gestures):
+        # Start slightly off a line/beat: the note lands on the grid.
+        stroke = gestures.generate("quarter").stroke
+        x = app.staff.beat_to_x(3.0) + 4.0
+        y = app.staff.step_to_y(6) + 2.5
+        stroke = stroke.translated(x - stroke.start.x, y - stroke.start.y)
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        note = app.staff.notes[0]
+        assert note.beat == 3.0
+        assert note.step == 6
+
+
+class TestErase:
+    def test_erase_removes_note_under_gesture(self, app, gestures):
+        place(app, gestures, "quarter", beat=2.0, step=4)
+        note = app.staff.notes[0]
+        erase = gestures.generate("erase").stroke
+        x, y = app.staff.beat_to_x(note.beat), app.staff.step_to_y(note.step)
+        erase = erase.translated(x - erase.start.x, y - erase.start.y)
+        app.perform(perform_gesture(erase, dwell=0.3))
+        assert app.staff.notes == ()
+        assert app.last_action.startswith("erase: removed")
+
+    def test_erase_on_empty_staff(self, app, gestures):
+        erase = gestures.generate("erase").stroke.translated(300, 100)
+        app.perform(perform_gesture(erase, dwell=0.3))
+        assert app.last_action == "erase: no note there"
+
+
+class TestRendering:
+    def test_staff_lines_rendered(self, app):
+        art = app.render()
+        assert art.count("----") >= 5
+
+    def test_notes_rendered_as_marks(self, app, gestures):
+        place(app, gestures, "quarter", beat=2.0, step=2)
+        place(app, gestures, "sixteenth", beat=4.0, step=7)
+        art = app.render()
+        assert "Q" in art
+        assert "S" in art
+
+
+class TestFigure8Consequence:
+    def test_eager_mode_is_disabled(self, app):
+        # The nested note gestures make eager recognition pointless
+        # (figure 8); the app must rely on timeout/mouse-up transitions.
+        assert not app.gesture_handler.use_eager

@@ -1,0 +1,96 @@
+"""Unit tests for the staff model."""
+
+import pytest
+
+from repro.gscore import DURATION_BEATS, DURATIONS, Note, Staff
+
+
+@pytest.fixture
+def staff():
+    return Staff(origin_x=40.0, origin_y=60.0, line_gap=16.0, beat_width=60.0)
+
+
+class TestNote:
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            Note(step=0, beat=0.0, duration="whole")
+
+    def test_beats(self):
+        assert Note(0, 0.0, "quarter").beats == 1.0
+        assert Note(0, 0.0, "sixtyfourth").beats == 0.0625
+
+    def test_pitch_names(self):
+        assert Note(0, 0.0, "quarter").pitch_name == "E4"
+        assert Note(4, 0.0, "quarter").pitch_name == "B4"
+        assert Note(11, 0.0, "quarter").pitch_name == "B5"
+
+    def test_durations_cover_figure8(self):
+        assert set(DURATIONS) == set(DURATION_BEATS)
+        assert len(DURATIONS) == 5
+
+
+class TestGeometry:
+    def test_bottom_line_is_step_zero(self, staff):
+        assert staff.step_to_y(0) == pytest.approx(60.0 + 4 * 16.0)
+
+    def test_steps_are_half_gaps(self, staff):
+        assert staff.step_to_y(0) - staff.step_to_y(2) == pytest.approx(16.0)
+        assert staff.step_to_y(0) - staff.step_to_y(1) == pytest.approx(8.0)
+
+    def test_beat_to_x(self, staff):
+        assert staff.beat_to_x(0.0) == 40.0
+        assert staff.beat_to_x(2.0) == 160.0
+
+
+class TestSnapping:
+    def test_snap_step_round_trip(self, staff):
+        for step in range(12):
+            assert staff.snap_step(staff.step_to_y(step)) == step
+
+    def test_snap_step_clamps(self, staff):
+        assert staff.snap_step(1e6) == 0
+        assert staff.snap_step(-1e6) == 11
+
+    def test_snap_beat_grid(self, staff):
+        assert staff.snap_beat(staff.beat_to_x(1.13)) == pytest.approx(1.25)
+        assert staff.snap_beat(staff.beat_to_x(1.1)) == pytest.approx(1.0)
+
+    def test_snap_beat_clamps(self, staff):
+        assert staff.snap_beat(-1e6) == 0.0
+        assert staff.snap_beat(1e6) == staff.beats
+
+
+class TestNotesCollection:
+    def test_add_and_order(self, staff):
+        late = staff.add_note(Note(3, 4.0, "quarter"))
+        early = staff.add_note(Note(5, 1.0, "eighth"))
+        assert staff.notes == (early, late)
+
+    def test_remove(self, staff):
+        note = staff.add_note(Note(0, 0.0, "quarter"))
+        assert staff.remove_note(note)
+        assert not staff.remove_note(note)
+        assert staff.notes == ()
+
+    def test_note_at_hit(self, staff):
+        note = staff.add_note(Note(4, 2.0, "quarter"))
+        x, y = staff.beat_to_x(2.0), staff.step_to_y(4)
+        assert staff.note_at(x + 3, y - 3) is note
+
+    def test_note_at_miss(self, staff):
+        staff.add_note(Note(4, 2.0, "quarter"))
+        assert staff.note_at(staff.beat_to_x(6.0), staff.step_to_y(4)) is None
+
+    def test_note_at_picks_nearest(self, staff):
+        near = staff.add_note(Note(4, 2.0, "quarter"))
+        staff.add_note(Note(4, 2.25, "eighth"))
+        x = staff.beat_to_x(2.02)
+        assert staff.note_at(x, staff.step_to_y(4)) is near
+
+    def test_mutations_notify(self, staff):
+        seen = []
+        staff.add_observer(seen.append)
+        note = staff.add_note(Note(0, 0.0, "quarter"))
+        staff.remove_note(note)
+        staff.clear()
+        assert len(seen) == 3

@@ -1,0 +1,125 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import GestureSet
+from repro.synth import GestureGenerator, ud_templates
+
+
+class TestTrain:
+    def test_train_writes_recognizer(self, tmp_path, capsys):
+        out = tmp_path / "rec.json"
+        code = main(
+            [
+                "train",
+                "--family",
+                "ud",
+                "--examples",
+                "8",
+                "--seed",
+                "3",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert "full_classifier" in data and "auc" in data
+        assert "trained on 16 examples" in capsys.readouterr().out
+
+    def test_train_from_dataset_file(self, tmp_path, capsys):
+        dataset = GestureSet.from_generator(
+            "ud", GestureGenerator(ud_templates(), seed=4), 8
+        )
+        dataset_path = tmp_path / "set.json"
+        dataset.save(dataset_path)
+        out = tmp_path / "rec.json"
+        code = main(
+            ["train", "--dataset", str(dataset_path), "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_unknown_family_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--family", "nope", "--output", str(tmp_path / "x")])
+
+
+class TestClassify:
+    def test_classify_reports_accuracy(self, tmp_path, capsys):
+        rec_path = tmp_path / "rec.json"
+        main(
+            [
+                "train",
+                "--family",
+                "ud",
+                "--examples",
+                "10",
+                "--seed",
+                "5",
+                "--output",
+                str(rec_path),
+            ]
+        )
+        capsys.readouterr()
+        dataset = GestureSet.from_generator(
+            "ud-test", GestureGenerator(ud_templates(), seed=99), 5
+        )
+        dataset_path = tmp_path / "test.json"
+        dataset.save(dataset_path)
+        code = main(["classify", str(rec_path), str(dataset_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/10 correct" in out
+
+
+class TestEvaluate:
+    def test_evaluate_prints_summary(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--family",
+                "ud",
+                "--train",
+                "8",
+                "--test",
+                "5",
+                "--seed",
+                "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full classifier accuracy" in out
+        assert "eager recognizer accuracy" in out
+
+    def test_evaluate_with_grid(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--family",
+                "ud",
+                "--train",
+                "8",
+                "--test",
+                "3",
+                "--seed",
+                "6",
+                "--grid",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "U:" in out and "D:" in out
+
+
+class TestDemo:
+    def test_demo_renders_canvas(self, capsys):
+        code = main(["demo", "--seed", "42"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shapes on the canvas" in out
+        assert "+---" in out  # the rendered border

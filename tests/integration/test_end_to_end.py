@@ -1,0 +1,133 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.eager import EagerRecognizer, train_eager_recognizer
+from repro.evaluate import evaluate_recognizer
+from repro.events import perform_gesture
+from repro.gdp import GDPApp
+from repro.geometry import Stroke
+from repro.synth import (
+    GestureGenerator,
+    eight_direction_templates,
+    gdp_templates,
+)
+
+
+class TestPaperProtocolEndToEnd:
+    """The full §5 protocol: generate, split, train, evaluate, report."""
+
+    def test_directions_experiment_shape(self):
+        generator = GestureGenerator(eight_direction_templates(), seed=2026)
+        dataset = GestureSet.from_generator("fig9", generator, 14)
+        split = dataset.split(10)
+        report = train_eager_recognizer(split.train.strokes_by_class())
+        result = evaluate_recognizer(report.recognizer, split.test)
+        # The paper's qualitative claims:
+        assert result.full_accuracy >= result.eager_accuracy  # full wins
+        assert result.eager_accuracy > 0.85  # eager still good
+        assert 0.4 < result.eagerness.mean_fraction_seen < 0.95
+        assert (
+            result.eagerness.mean_oracle_fraction
+            <= result.eagerness.mean_fraction_seen
+        )
+
+    def test_gdp_experiment_shape(self):
+        generator = GestureGenerator(gdp_templates(), seed=2027)
+        dataset = GestureSet.from_generator("fig10", generator, 13)
+        split = dataset.split(10)
+        report = train_eager_recognizer(split.train.strokes_by_class())
+        result = evaluate_recognizer(report.recognizer, split.test)
+        assert result.full_accuracy >= result.eager_accuracy
+        assert result.eager_accuracy > 0.8
+        assert result.eagerness.mean_fraction_seen < 1.0
+
+
+class TestSerializationPipeline:
+    def test_save_recognizer_drive_gdp(self, gdp_recognizer, tmp_path):
+        import json
+
+        path = tmp_path / "recognizer.json"
+        path.write_text(json.dumps(gdp_recognizer.to_dict()))
+        restored = EagerRecognizer.from_dict(json.loads(path.read_text()))
+        app = GDPApp(recognizer=restored, use_eager=False)
+        stroke = (
+            GestureGenerator(gdp_templates(), seed=31)
+            .generate("rect")
+            .stroke.translated(200, 200)
+        )
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        assert len(app.shapes) == 1
+
+
+class TestScriptedGdpSession:
+    """A full drawing session exercising many gestures in sequence."""
+
+    def test_session(self, gdp_recognizer):
+        app = GDPApp(recognizer=gdp_recognizer, use_eager=False)
+        generator = GestureGenerator(gdp_templates(), seed=55)
+
+        def anchored(stroke, x, y):
+            return stroke.translated(x - stroke.start.x, y - stroke.start.y)
+
+        # 1. Draw a rectangle, rubberbanded out to (400, 300).
+        rect_stroke = generator.generate("rect").stroke.translated(120, 120)
+        app.perform(
+            perform_gesture(
+                rect_stroke,
+                dwell=0.3,
+                manipulation_path=Stroke.from_xy([(400, 300)], dt=0.02),
+            )
+        )
+        assert len(app.shapes) == 1
+        rect = app.shapes[0]
+
+        # 2. Draw a line elsewhere.
+        line_stroke = generator.generate("line").stroke.translated(500, 100)
+        app.perform(perform_gesture(line_stroke, dwell=0.3))
+        assert len(app.shapes) == 2
+
+        # 3. Copy the rectangle and drop the copy to the right.
+        copy_stroke = anchored(
+            generator.generate("copy").stroke, *rect.corners[0]
+        )
+        app.perform(
+            perform_gesture(
+                copy_stroke,
+                dwell=0.3,
+                manipulation_path=Stroke.from_xy(
+                    [(copy_stroke.end.x + 200, copy_stroke.end.y)], dt=0.02
+                ),
+            )
+        )
+        assert len(app.shapes) == 3
+
+        # 4. Delete the original rectangle.
+        delete_stroke = anchored(
+            generator.generate("delete").stroke, *rect.corners[0]
+        )
+        app.perform(perform_gesture(delete_stroke, dwell=0.3))
+        assert rect not in app.canvas
+        assert len(app.shapes) == 2
+
+        # 5. The rendered canvas shows what remains.
+        rendering = app.render(cols=60, rows=20)
+        assert rendering.count("\n") == 21
+
+
+class TestTimeoutVsEagerConsistency:
+    def test_same_gesture_same_class_via_both_transitions(
+        self, directions_recognizer
+    ):
+        generator = GestureGenerator(eight_direction_templates(), seed=77)
+        agreements = 0
+        trials = 20
+        for i in range(trials):
+            stroke = generator.generate("dr").stroke
+            eager_class = directions_recognizer.recognize(stroke).class_name
+            full_class = directions_recognizer.classify_full(stroke)
+            agreements += eager_class == full_class
+        # Eager commits on a prefix, so occasional disagreement is
+        # expected — but the two must agree overwhelmingly.
+        assert agreements / trials >= 0.9

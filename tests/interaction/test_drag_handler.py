@@ -1,0 +1,133 @@
+"""Unit tests for the direct-manipulation handlers."""
+
+from repro.events import EventKind, MouseEvent
+from repro.geometry import BoundingBox
+from repro.interaction import ClickHandler, DragHandler
+from repro.mvc import Dispatcher, Model, View
+
+
+class Block(Model):
+    """A draggable model."""
+
+    def __init__(self, x=0.0, y=0.0):
+        super().__init__()
+        self.x, self.y = x, y
+
+    def move_by(self, dx, dy):
+        self.x += dx
+        self.y += dy
+        self.changed()
+
+
+class BlockView(View):
+    def __init__(self, block: Block, size: float = 10.0):
+        super().__init__(model=block)
+        self.block = block
+        self.size = size
+
+    def bounds(self):
+        return BoundingBox(
+            self.block.x, self.block.y,
+            self.block.x + self.size, self.block.y + self.size,
+        )
+
+
+def press(x, y, t=0.0):
+    return MouseEvent(EventKind.PRESS, x, y, t)
+
+
+def move(x, y, t):
+    return MouseEvent(EventKind.MOVE, x, y, t)
+
+
+def release(x, y, t):
+    return MouseEvent(EventKind.RELEASE, x, y, t)
+
+
+class TestDragHandler:
+    def make(self):
+        block = Block(0, 0)
+        view = BlockView(block)
+        view.add_handler(DragHandler())
+        return block, Dispatcher(view)
+
+    def test_drag_moves_the_model(self):
+        block, dispatcher = self.make()
+        dispatcher.dispatch(press(5, 5))
+        dispatcher.dispatch(move(15, 8, 0.1))
+        dispatcher.dispatch(release(15, 8, 0.2))
+        assert (block.x, block.y) == (10, 3)
+
+    def test_drag_accumulates_across_moves(self):
+        block, dispatcher = self.make()
+        dispatcher.dispatch(press(5, 5))
+        dispatcher.dispatch(move(10, 5, 0.1))
+        dispatcher.dispatch(move(10, 10, 0.2))
+        dispatcher.dispatch(release(12, 10, 0.3))
+        assert (block.x, block.y) == (7, 5)
+
+    def test_view_follows_model(self):
+        block, dispatcher = self.make()
+        dispatcher.dispatch(press(5, 5))
+        dispatcher.dispatch(move(25, 25, 0.1))
+        dispatcher.dispatch(release(25, 25, 0.2))
+        # The view's bounds track the model, so a new press at the new
+        # location hits.
+        assert (block.x, block.y) == (20, 20)
+
+    def test_target_of_redirection(self):
+        block = Block(0, 0)
+        other = Block(100, 100)
+        view = BlockView(block)
+        view.add_handler(DragHandler(target_of=lambda v: other))
+        dispatcher = Dispatcher(view)
+        dispatcher.dispatch(press(5, 5))
+        dispatcher.dispatch(release(8, 5, 0.1))
+        assert (block.x, block.y) == (0, 0)
+        assert (other.x, other.y) == (103, 100)
+
+    def test_declines_when_no_target(self):
+        view = BlockView(Block())
+        view.add_handler(DragHandler(target_of=lambda v: None))
+        dispatcher = Dispatcher(view)
+        assert not dispatcher.dispatch(press(5, 5))
+
+
+class TestClickHandler:
+    def make(self, slop=4.0):
+        clicks = []
+        block = Block(0, 0)
+        view = BlockView(block)
+        view.add_handler(
+            ClickHandler(
+                on_click=lambda v, e: clicks.append((e.x, e.y)), slop=slop
+            )
+        )
+        return clicks, Dispatcher(view)
+
+    def test_click_fires_on_press_release(self):
+        clicks, dispatcher = self.make()
+        dispatcher.dispatch(press(5, 5))
+        dispatcher.dispatch(release(5, 5, 0.1))
+        assert clicks == [(5, 5)]
+
+    def test_small_wiggle_still_clicks(self):
+        clicks, dispatcher = self.make()
+        dispatcher.dispatch(press(5, 5))
+        dispatcher.dispatch(move(6, 6, 0.05))
+        dispatcher.dispatch(release(6, 6, 0.1))
+        assert len(clicks) == 1
+
+    def test_large_motion_cancels_click(self):
+        clicks, dispatcher = self.make()
+        dispatcher.dispatch(press(5, 5))
+        dispatcher.dispatch(move(50, 50, 0.05))
+        dispatcher.dispatch(release(5, 5, 0.1))  # returns, but too late
+        assert clicks == []
+
+    def test_two_clicks_in_sequence(self):
+        clicks, dispatcher = self.make()
+        for t in (0.0, 1.0):
+            dispatcher.dispatch(press(5, 5, t))
+            dispatcher.dispatch(release(5, 5, t + 0.1))
+        assert len(clicks) == 2

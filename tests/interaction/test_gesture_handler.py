@@ -1,0 +1,270 @@
+"""Unit tests for the two-phase gesture handler (paper §3.2, §1).
+
+These drive the handler through a real dispatcher + event queue, with
+gestures from the synthetic generator, and verify all three phase
+transition modes:
+
+1. mouse-up (manipulation omitted),
+2. the 200 ms motionless timeout,
+3. eager recognition.
+"""
+
+import pytest
+
+from repro.events import EventQueue, VirtualClock, perform_gesture, stroke_events
+from repro.geometry import BoundingBox, Stroke
+from repro.interaction import GestureHandler, GestureSemantics, Phase
+from repro.mvc import Dispatcher, View
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+class WindowView(View):
+    def __init__(self):
+        super().__init__()
+        self._box = BoundingBox(-10_000, -10_000, 10_000, 10_000)
+
+    def bounds(self):
+        return self._box
+
+
+class Trace:
+    """Records semantics evaluations for assertions."""
+
+    def __init__(self):
+        self.recognized = []  # (class_name, eagerly, point_count)
+        self.manips = []  # (x, y)
+        self.dones = []  # class_name
+
+    def semantics_for(self, class_names):
+        def recog(ctx):
+            self.recognized.append(
+                (ctx.class_name, ctx.eagerly_recognized, len(ctx.gesture))
+            )
+            return ctx.class_name
+
+        def manip(ctx):
+            self.manips.append((ctx.current_x, ctx.current_y))
+
+        def done(ctx):
+            self.dones.append(ctx.class_name)
+
+        return {
+            name: GestureSemantics(recog=recog, manip=manip, done=done)
+            for name in class_names
+        }
+
+
+@pytest.fixture
+def generator():
+    return GestureGenerator(eight_direction_templates(), seed=888)
+
+
+def make_app(recognizer, trace, use_eager=True, use_timeout=True):
+    view = WindowView()
+    handler = GestureHandler(
+        recognizer=recognizer,
+        semantics=trace.semantics_for(recognizer.class_names),
+        use_eager=use_eager,
+        use_timeout=use_timeout,
+    )
+    view.add_handler(handler)
+    queue = EventQueue(VirtualClock())
+    dispatcher = Dispatcher(view, queue)
+    return handler, queue, dispatcher
+
+
+class TestMouseUpTransition:
+    def test_release_classifies_and_skips_manipulation(
+        self, directions_recognizer, generator
+    ):
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_recognizer, trace, use_eager=False, use_timeout=False
+        )
+        gesture = generator.generate("ur").stroke
+        queue.post_all(stroke_events(gesture))
+        dispatcher.run()
+        assert len(trace.recognized) == 1
+        class_name, eagerly, _ = trace.recognized[0]
+        assert class_name == "ur"
+        assert not eagerly
+        assert trace.manips == []  # manipulation omitted
+        assert trace.dones == ["ur"]
+
+    def test_handler_idle_after_interaction(
+        self, directions_recognizer, generator
+    ):
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_recognizer, trace, use_eager=False, use_timeout=False
+        )
+        queue.post_all(stroke_events(generator.generate("dl").stroke))
+        dispatcher.run()
+        assert handler.phase is Phase.IDLE
+
+
+class TestTimeoutTransition:
+    def test_dwell_triggers_recognition_before_release(
+        self, directions_recognizer, generator
+    ):
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_recognizer, trace, use_eager=False, use_timeout=True
+        )
+        gesture = generator.generate("rd").stroke
+        manip = Stroke.from_xy([(300, 300), (400, 400)], dt=0.05)
+        queue.post_all(
+            perform_gesture(gesture, dwell=0.5, manipulation_path=manip)
+        )
+        dispatcher.run()
+        assert len(trace.recognized) == 1
+        class_name, eagerly, points = trace.recognized[0]
+        assert class_name == "rd"
+        assert not eagerly
+        assert points == len(gesture)  # classified on the full stroke
+        # The two manipulation moves were evaluated with app feedback.
+        assert (300, 300) in trace.manips
+        assert (400, 400) in trace.manips
+
+    def test_no_timeout_while_mouse_keeps_moving(
+        self, directions_recognizer, generator
+    ):
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_recognizer, trace, use_eager=False, use_timeout=True
+        )
+        # Continuous motion with 10 ms between samples never dwells 200 ms.
+        gesture = generator.generate("lu").stroke
+        queue.post_all(stroke_events(gesture))
+        dispatcher.run()
+        _, _, points = trace.recognized[0]
+        assert points == len(gesture)
+
+    def test_custom_timeout_value(self, directions_recognizer, generator):
+        trace = Trace()
+        view = WindowView()
+        handler = GestureHandler(
+            recognizer=directions_recognizer,
+            semantics=trace.semantics_for(directions_recognizer.class_names),
+            use_eager=False,
+            use_timeout=True,
+            timeout=0.05,
+        )
+        view.add_handler(handler)
+        queue = EventQueue(VirtualClock())
+        dispatcher = Dispatcher(view, queue)
+        gesture = generator.generate("ur").stroke
+        # Dwell 0.1 s: over the custom 50 ms timeout.
+        queue.post_all(perform_gesture(gesture, dwell=0.1))
+        dispatcher.run()
+        assert trace.recognized[0][0] == "ur"
+
+
+class TestEagerTransition:
+    def test_eager_recognition_fires_mid_stroke(
+        self, directions_recognizer, generator
+    ):
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_recognizer, trace, use_eager=True, use_timeout=False
+        )
+        gesture = generator.generate("ur").stroke
+        queue.post_all(stroke_events(gesture))
+        dispatcher.run()
+        class_name, eagerly, points = trace.recognized[0]
+        assert class_name == "ur"
+        assert eagerly
+        assert points < len(gesture)
+
+    def test_tail_of_stroke_becomes_manipulation(
+        self, directions_recognizer, generator
+    ):
+        # After eager recognition, the rest of the physical stroke is
+        # manipulation: §6's insight that "the tail is no longer part of
+        # the gesture, but instead part of the manipulation".
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_recognizer, trace, use_eager=True, use_timeout=False
+        )
+        gesture = generator.generate("dr").stroke
+        queue.post_all(stroke_events(gesture))
+        dispatcher.run()
+        _, _, points_at_recog = trace.recognized[0]
+        expected_manip_moves = len(gesture) - points_at_recog
+        assert len(trace.manips) == expected_manip_moves
+
+    def test_eager_flag_false_for_plain_classifier(
+        self, directions_classifier, generator
+    ):
+        # A non-eager recognizer silently disables eager mode.
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_classifier, trace, use_eager=True, use_timeout=False
+        )
+        assert not handler.use_eager
+        queue.post_all(stroke_events(generator.generate("ul").stroke))
+        dispatcher.run()
+        assert trace.recognized[0][0] == "ul"
+
+
+class TestInkAndState:
+    def test_ink_grows_during_collection(self, directions_recognizer, generator):
+        trace = Trace()
+        handler, queue, dispatcher = make_app(
+            directions_recognizer, trace, use_eager=False, use_timeout=False
+        )
+        gesture = generator.generate("ur").stroke
+        events = stroke_events(gesture)
+        dispatcher.dispatch(events[0])
+        assert handler.phase is Phase.COLLECTING
+        assert len(handler.ink) == 1
+        dispatcher.dispatch(events[1])
+        assert len(handler.ink) == 2
+
+    def test_unknown_gesture_class_runs_empty_semantics(
+        self, directions_recognizer, generator
+    ):
+        # A gesture whose class has no registered semantics must not crash.
+        view = WindowView()
+        handler = GestureHandler(recognizer=directions_recognizer, semantics={})
+        view.add_handler(handler)
+        queue = EventQueue(VirtualClock())
+        dispatcher = Dispatcher(view, queue)
+        queue.post_all(stroke_events(generator.generate("ur").stroke))
+        dispatcher.run()  # no exception
+        assert handler.phase is Phase.IDLE
+
+    def test_set_semantics(self, directions_recognizer):
+        handler = GestureHandler(recognizer=directions_recognizer)
+        semantics = GestureSemantics()
+        handler.set_semantics("ur", semantics)
+        assert handler.semantics["ur"] is semantics
+
+    def test_recog_result_available_to_manip(self, directions_recognizer, generator):
+        seen = []
+
+        def recog(ctx):
+            return "the-created-object"
+
+        def manip(ctx):
+            seen.append(ctx.recog)
+
+        view = WindowView()
+        handler = GestureHandler(
+            recognizer=directions_recognizer,
+            semantics={
+                name: GestureSemantics(recog=recog, manip=manip)
+                for name in directions_recognizer.class_names
+            },
+            use_eager=False,
+        )
+        view.add_handler(handler)
+        queue = EventQueue(VirtualClock())
+        dispatcher = Dispatcher(view, queue)
+        gesture = generator.generate("ur").stroke
+        manip_path = Stroke.from_xy([(10, 10)], dt=0.05)
+        queue.post_all(
+            perform_gesture(gesture, dwell=0.5, manipulation_path=manip_path)
+        )
+        dispatcher.run()
+        assert seen == ["the-created-object"]

@@ -1,0 +1,108 @@
+"""Tests for the stroke recorder (the training-interface input path)."""
+
+import pytest
+
+from repro.events import EventKind, EventQueue, MouseEvent, stroke_events
+from repro.geometry import BoundingBox, Stroke
+from repro.interaction import StrokeRecorder
+from repro.mvc import Dispatcher, View
+from repro.recognizer import OnlineTrainer
+from repro.synth import GestureGenerator, ud_templates
+
+
+class PadView(View):
+    def bounds(self):
+        return BoundingBox(0, 0, 1000, 1000)
+
+
+def make_pad(recorder):
+    view = PadView()
+    view.add_handler(recorder)
+    return Dispatcher(view, EventQueue())
+
+
+class TestRecording:
+    def test_one_interaction_one_stroke(self):
+        recorder = StrokeRecorder()
+        dispatcher = make_pad(recorder)
+        stroke = Stroke.from_xy([(10, 10), (20, 20), (30, 10)], dt=0.01)
+        for event in stroke_events(stroke):
+            dispatcher.dispatch(event)
+        assert len(recorder.strokes) == 1
+        # The release event repeats the last position, so the recorded
+        # stroke has one extra point at the end.
+        assert recorder.strokes[0].subgesture(len(stroke)) == stroke
+
+    def test_on_stroke_callback(self):
+        collected = []
+        recorder = StrokeRecorder(on_stroke=collected.append)
+        dispatcher = make_pad(recorder)
+        stroke = Stroke.from_xy([(10, 10), (40, 40)], dt=0.01)
+        for event in stroke_events(stroke):
+            dispatcher.dispatch(event)
+        assert len(collected) == 1
+
+    def test_stray_click_is_not_an_example(self):
+        recorder = StrokeRecorder(min_points=3)
+        dispatcher = make_pad(recorder)
+        dispatcher.dispatch(MouseEvent(EventKind.PRESS, 5, 5, 0.0))
+        dispatcher.dispatch(MouseEvent(EventKind.RELEASE, 5, 5, 0.1))
+        assert recorder.strokes == []
+
+    def test_multiple_examples_accumulate(self):
+        recorder = StrokeRecorder()
+        dispatcher = make_pad(recorder)
+        for i in range(5):
+            stroke = Stroke.from_xy(
+                [(10, 10 + i), (50, 10 + i), (90, 40 + i)], dt=0.01
+            ).retimed(0.01, t0=float(i))
+            for event in stroke_events(stroke):
+                dispatcher.dispatch(event)
+        assert len(recorder.strokes) == 5
+
+    def test_clear(self):
+        recorder = StrokeRecorder()
+        dispatcher = make_pad(recorder)
+        stroke = Stroke.from_xy([(10, 10), (50, 50)], dt=0.01)
+        for event in stroke_events(stroke):
+            dispatcher.dispatch(event)
+        recorder.clear()
+        assert recorder.strokes == []
+
+    def test_recording_flag(self):
+        recorder = StrokeRecorder()
+        dispatcher = make_pad(recorder)
+        assert not recorder.recording
+        dispatcher.dispatch(MouseEvent(EventKind.PRESS, 5, 5, 0.0))
+        assert recorder.recording
+        dispatcher.dispatch(MouseEvent(EventKind.RELEASE, 6, 6, 0.1))
+        assert not recorder.recording
+
+
+class TestTrainingLoop:
+    def test_record_then_train_then_recognize(self):
+        """GRANDMA's full interactive loop: draw examples, train, use."""
+        generator = GestureGenerator(ud_templates(), seed=31)
+        trainer = OnlineTrainer()
+        current_class = {"name": None}
+        recorder = StrokeRecorder(
+            on_stroke=lambda s: trainer.add_example(current_class["name"], s)
+        )
+        dispatcher = make_pad(recorder)
+        # The designer draws ten examples of each class.
+        for class_name in ("U", "D"):
+            current_class["name"] = class_name
+            for i, stroke in enumerate(
+                generator.generate_strokes(10)[class_name]
+            ):
+                centered = stroke.translated(300, 300)
+                for event in stroke_events(centered, t0=100.0 * i + 1):
+                    dispatcher.dispatch(event)
+        classifier = trainer.build()
+        probe = GestureGenerator(ud_templates(), seed=32)
+        hits = total = 0
+        for name, strokes in probe.generate_strokes(10).items():
+            for stroke in strokes:
+                total += 1
+                hits += classifier.classify(stroke) == name
+        assert hits / total > 0.9

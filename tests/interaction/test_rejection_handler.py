@@ -1,0 +1,141 @@
+"""Tests for rejection inside the gesture handler."""
+
+import math
+
+import pytest
+
+from repro.events import EventQueue, VirtualClock, perform_gesture, stroke_events
+from repro.geometry import BoundingBox, Stroke
+from repro.interaction import GestureHandler, GestureSemantics
+from repro.mvc import Dispatcher, View
+from repro.recognizer import RejectionPolicy
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+class WindowView(View):
+    def bounds(self):
+        return BoundingBox(-10_000, -10_000, 10_000, 10_000)
+
+
+def garbage_stroke() -> Stroke:
+    """A large spiral: far from every direction-pair class."""
+    return Stroke.from_xy(
+        [
+            (math.cos(a) * a * 40, math.sin(a) * a * 40)
+            for a in [i * 0.3 for i in range(60)]
+        ],
+        dt=0.01,
+    )
+
+
+@pytest.fixture
+def harness(directions_recognizer):
+    recognized = []
+    rejected = []
+
+    def recog(ctx):
+        recognized.append(ctx.class_name)
+
+    handler = GestureHandler(
+        recognizer=directions_recognizer,
+        semantics={
+            name: GestureSemantics(recog=recog)
+            for name in directions_recognizer.class_names
+        },
+        use_eager=False,
+        rejection_policy=RejectionPolicy(
+            min_probability=0.0, max_squared_distance=13 * 13 / 2
+        ),
+        on_rejected=lambda gesture, result: rejected.append(result),
+    )
+    view = WindowView()
+    view.add_handler(handler)
+    queue = EventQueue(VirtualClock())
+    return handler, Dispatcher(view, queue), queue, recognized, rejected
+
+
+class TestRejectionAtMouseUp:
+    def test_clean_gesture_accepted(self, harness):
+        handler, dispatcher, queue, recognized, rejected = harness
+        stroke = GestureGenerator(
+            eight_direction_templates(), seed=3
+        ).generate("ur").stroke
+        queue.post_all(stroke_events(stroke))
+        dispatcher.run()
+        assert recognized == ["ur"]
+        assert rejected == []
+
+    def test_garbage_rejected_no_semantics(self, harness):
+        handler, dispatcher, queue, recognized, rejected = harness
+        queue.post_all(stroke_events(garbage_stroke()))
+        dispatcher.run()
+        assert recognized == []
+        assert len(rejected) == 1
+        assert rejected[0].rejected
+
+    def test_handler_reusable_after_rejection(self, harness):
+        handler, dispatcher, queue, recognized, rejected = harness
+        queue.post_all(stroke_events(garbage_stroke()))
+        dispatcher.run()
+        stroke = GestureGenerator(
+            eight_direction_templates(), seed=4
+        ).generate("dl").stroke.retimed(0.01, t0=100.0)
+        queue.post_all(stroke_events(stroke))
+        dispatcher.run()
+        assert recognized == ["dl"]
+
+
+class TestRejectionAtTimeout:
+    def test_timeout_rejection_keeps_collecting(self, harness):
+        handler, dispatcher, queue, recognized, rejected = harness
+        # Dwell mid-garbage: the timeout fires, rejects, and collection
+        # continues; the mouse-up then rejects again.
+        garbage = garbage_stroke()
+        events = perform_gesture(garbage, dwell=0.5)
+        queue.post_all(events)
+        dispatcher.run()
+        assert recognized == []
+        assert len(rejected) == 2  # once at timeout, once at release
+
+    def test_timeout_rejection_then_valid_completion(
+        self, directions_recognizer
+    ):
+        # Start with just the first segment (a bare prefix is a wild
+        # Mahalanobis outlier — no full gesture looks like it), dwell so
+        # the timeout fires and rejects, then complete the corner and
+        # release: accepted at mouse-up.  The distance threshold is
+        # loose enough to absorb the dwell's distortion of the duration
+        # feature but far below the prefix's outlier distance.
+        recognized = []
+        rejected = []
+        handler = GestureHandler(
+            recognizer=directions_recognizer,
+            semantics={
+                name: GestureSemantics(
+                    recog=lambda ctx: recognized.append(ctx.class_name)
+                )
+                for name in directions_recognizer.class_names
+            },
+            use_eager=False,
+            rejection_policy=RejectionPolicy(
+                min_probability=0.0, max_squared_distance=300.0
+            ),
+            on_rejected=lambda gesture, result: rejected.append(result),
+        )
+        view = WindowView()
+        view.add_handler(handler)
+        queue = EventQueue(VirtualClock())
+        dispatcher = Dispatcher(view, queue)
+
+        example = GestureGenerator(
+            eight_direction_templates(), seed=5
+        ).generate("ur")
+        stroke = example.stroke
+        cut = max(example.oracle_points - 3, 2)  # inside the ambiguous run
+        prefix = stroke.subgesture(cut)
+        rest = Stroke(list(stroke)[cut:])
+        events = perform_gesture(prefix, dwell=0.25, manipulation_path=rest)
+        queue.post_all(events)
+        dispatcher.run()
+        assert recognized == ["ur"]
+        assert len(rejected) >= 1  # the dwell-time rejection happened

@@ -1,0 +1,126 @@
+"""Unit tests for the semantics expression layer."""
+
+import pytest
+
+from repro.geometry import Point, Stroke
+from repro.interaction import GestureContext, GestureSemantics
+
+
+class FakeView:
+    pass
+
+
+class FakeDispatch:
+    pass
+
+
+def make_context(**overrides) -> GestureContext:
+    defaults = dict(
+        view=FakeView(),
+        dispatch=FakeDispatch(),
+        gesture=Stroke.from_xy([(10, 20), (30, 40), (50, 60)], dt=0.01),
+        class_name="rect",
+    )
+    defaults.update(overrides)
+    return GestureContext(**defaults)
+
+
+class TestGestureContext:
+    def test_start_attributes(self):
+        ctx = make_context()
+        assert ctx.start_x == 10
+        assert ctx.start_y == 20
+
+    def test_current_defaults_to_gesture_end(self):
+        ctx = make_context()
+        assert ctx.current_x == 50
+        assert ctx.current_y == 60
+
+    def test_current_overrides_end(self):
+        ctx = make_context(current=Point(99, 98, 1.0))
+        assert ctx.current_x == 99
+        assert ctx.current_y == 98
+
+    def test_attributes_dict_for_extra_state(self):
+        ctx = make_context()
+        ctx.attributes["drag"] = (1, 2)
+        assert ctx.attributes["drag"] == (1, 2)
+
+    def test_enclosed_stroke_is_the_gesture(self):
+        ctx = make_context()
+        assert ctx.enclosed_stroke == ctx.gesture
+
+
+class TestGestureSemantics:
+    def test_recog_result_is_stashed(self):
+        semantics = GestureSemantics(recog=lambda ctx: "created")
+        ctx = make_context()
+        semantics.on_recognized(ctx)
+        assert ctx.recog == "created"
+
+    def test_manip_sees_recog_result(self):
+        seen = []
+        semantics = GestureSemantics(
+            recog=lambda ctx: 42,
+            manip=lambda ctx: seen.append(ctx.recog),
+        )
+        ctx = make_context()
+        semantics.on_recognized(ctx)
+        semantics.on_manipulate(ctx)
+        assert seen == [42]
+
+    def test_nil_expressions_are_no_ops(self):
+        # The paper's `done = nil`.
+        semantics = GestureSemantics()
+        ctx = make_context()
+        semantics.on_recognized(ctx)
+        semantics.on_manipulate(ctx)
+        semantics.on_done(ctx)
+        assert ctx.recog is None
+
+    def test_done_called_with_final_current(self):
+        finals = []
+        semantics = GestureSemantics(
+            done=lambda ctx: finals.append((ctx.current_x, ctx.current_y))
+        )
+        ctx = make_context(current=Point(7, 8, 2.0))
+        semantics.on_done(ctx)
+        assert finals == [(7, 8)]
+
+    def test_rectangle_semantics_transliteration(self):
+        """The §3.2 example as it appears in this library."""
+        created = {}
+
+        class FakeRect:
+            def __init__(self):
+                self.endpoints = {}
+
+            def set_endpoint(self, i, x, y):
+                self.endpoints[i] = (x, y)
+
+        class FakeCanvasView(FakeView):
+            def create_rect(self):
+                created["rect"] = FakeRect()
+                return created["rect"]
+
+        semantics = GestureSemantics(
+            recog=lambda ctx: _created_with_endpoint0(ctx),
+            manip=lambda ctx: ctx.recog.set_endpoint(
+                1, ctx.current_x, ctx.current_y
+            ),
+            done=None,
+        )
+
+        def _created_with_endpoint0(ctx):
+            rect = ctx.view.create_rect()
+            rect.set_endpoint(0, ctx.start_x, ctx.start_y)
+            return rect
+
+        ctx = make_context(view=FakeCanvasView())
+        semantics.on_recognized(ctx)
+        ctx.current = Point(100, 200, 1.0)
+        semantics.on_manipulate(ctx)
+        semantics.on_done(ctx)
+        rect = created["rect"]
+        assert rect.endpoints[0] == (10, 20)  # <startX>, <startY>
+        assert rect.endpoints[1] == (100, 200)  # <currentX>, <currentY>

@@ -1,0 +1,205 @@
+"""Unit tests for the multi-path extension (paper §6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Stroke
+from repro.multipath import (
+    MULTIPATH_CLASS_NAMES,
+    MultiPathClassifier,
+    MultiPathGenerator,
+    MultiPathGesture,
+    TwoFingerTracker,
+    multipath_features,
+    similarity_from_pairs,
+)
+
+
+def stroke_at(x0, y0, dx=10.0, n=5):
+    return Stroke.from_xy(
+        [(x0 + i * dx, y0) for i in range(n)], dt=0.01
+    )
+
+
+class TestMultiPathGesture:
+    def test_paths_sorted_by_start(self):
+        right = stroke_at(100, 0)
+        left = stroke_at(0, 0)
+        gesture = MultiPathGesture([right, left])
+        assert gesture.paths[0].start.x == 0
+
+    def test_path_count(self):
+        assert MultiPathGesture([stroke_at(0, 0)]).path_count == 1
+        assert (
+            MultiPathGesture([stroke_at(0, 0), stroke_at(50, 0)]).path_count
+            == 2
+        )
+
+    def test_empty_paths_dropped(self):
+        gesture = MultiPathGesture([stroke_at(0, 0), Stroke()])
+        assert gesture.path_count == 1
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPathGesture([])
+        with pytest.raises(ValueError):
+            MultiPathGesture([Stroke()])
+
+    def test_duration_spans_paths(self):
+        a = Stroke([Point(0, 0, 0.0), Point(1, 0, 0.5)])
+        b = Stroke([Point(5, 0, 0.2), Point(6, 0, 1.5)])
+        assert MultiPathGesture([a, b]).duration == pytest.approx(1.5)
+
+    def test_bounding_box_spans_paths(self):
+        gesture = MultiPathGesture([stroke_at(0, 0), stroke_at(0, 100)])
+        box = gesture.bounding_box()
+        assert box.height == pytest.approx(100)
+
+    def test_prefix_by_time(self):
+        gesture = MultiPathGesture([stroke_at(0, 0, n=10), stroke_at(0, 50, n=10)])
+        prefix = gesture.prefix_by_time(0.045)
+        assert all(len(path) == 5 for path in prefix.paths)
+
+    def test_prefix_before_any_point_raises(self):
+        gesture = MultiPathGesture(
+            [Stroke([Point(0, 0, 1.0), Point(1, 0, 2.0)])]
+        )
+        with pytest.raises(ValueError):
+            gesture.prefix_by_time(0.5)
+
+
+class TestFeatures:
+    def test_dimension_scales_with_paths(self):
+        one = multipath_features(MultiPathGesture([stroke_at(0, 0)]))
+        two = multipath_features(
+            MultiPathGesture([stroke_at(0, 0), stroke_at(0, 50)])
+        )
+        assert len(two) == len(one) + 13
+
+    def test_features_finite(self):
+        gesture = MultiPathGesture([stroke_at(0, 0), stroke_at(0, 50)])
+        assert np.isfinite(multipath_features(gesture)).all()
+
+
+class TestGeneratorAndClassifier:
+    def test_generator_classes(self):
+        generator = MultiPathGenerator(seed=1)
+        assert set(generator.class_names) == set(MULTIPATH_CLASS_NAMES)
+
+    def test_path_counts_per_class(self):
+        generator = MultiPathGenerator(seed=2)
+        assert generator.generate("tap").path_count == 1
+        assert generator.generate("swipe").path_count == 1
+        assert generator.generate("pinch").path_count == 2
+        assert generator.generate("spread").path_count == 2
+        assert generator.generate("rotate").path_count == 2
+
+    def test_classifier_end_to_end(self):
+        train = MultiPathGenerator(seed=3).generate_examples(10)
+        classifier = MultiPathClassifier.train(train)
+        test = MultiPathGenerator(seed=4).generate_examples(10)
+        hits = total = 0
+        for name, gestures in test.items():
+            for gesture in gestures:
+                total += 1
+                hits += classifier.classify(gesture) == name
+        assert hits / total > 0.9
+
+    def test_path_count_gating(self):
+        train = MultiPathGenerator(seed=5).generate_examples(8)
+        classifier = MultiPathClassifier.train(train)
+        assert classifier.path_counts == [1, 2]
+        three_fingers = MultiPathGesture(
+            [stroke_at(0, 0), stroke_at(0, 50), stroke_at(0, 100)]
+        )
+        with pytest.raises(KeyError):
+            classifier.classify(three_fingers)
+
+    def test_one_finger_never_classified_as_two(self):
+        train = MultiPathGenerator(seed=6).generate_examples(8)
+        classifier = MultiPathClassifier.train(train)
+        tap = MultiPathGenerator(seed=7).generate("tap")
+        assert classifier.classify(tap) in ("tap", "swipe")
+
+    def test_mixed_path_count_class_rejected(self):
+        generator = MultiPathGenerator(seed=8)
+        with pytest.raises(ValueError):
+            MultiPathClassifier.train(
+                {"bad": [generator.generate("tap"), generator.generate("pinch")]}
+            )
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            MultiPathGenerator(seed=9).generate("wiggle")
+
+
+class TestSimilarity:
+    def test_pure_translation(self):
+        t = similarity_from_pairs(
+            Point(0, 0), Point(10, 0), Point(5, 5), Point(15, 5)
+        )
+        moved = t.apply(Point(3, 3))
+        assert moved.x == pytest.approx(8)
+        assert moved.y == pytest.approx(8)
+
+    def test_pure_scale(self):
+        t = similarity_from_pairs(
+            Point(0, 0), Point(10, 0), Point(0, 0), Point(20, 0)
+        )
+        assert t.apply(Point(5, 0)).x == pytest.approx(10)
+
+    def test_pure_rotation(self):
+        t = similarity_from_pairs(
+            Point(0, 0), Point(10, 0), Point(0, 0), Point(0, 10)
+        )
+        moved = t.apply(Point(10, 0))
+        assert moved.x == pytest.approx(0, abs=1e-9)
+        assert moved.y == pytest.approx(10)
+
+    def test_maps_the_defining_pairs(self):
+        a0, b0 = Point(1, 2), Point(4, 6)
+        a1, b1 = Point(-3, 5), Point(10, -2)
+        t = similarity_from_pairs(a0, b0, a1, b1)
+        for src, dst in ((a0, a1), (b0, b1)):
+            moved = t.apply(src)
+            assert moved.x == pytest.approx(dst.x)
+            assert moved.y == pytest.approx(dst.y)
+
+    def test_coincident_reference_rejected(self):
+        with pytest.raises(ValueError):
+            similarity_from_pairs(
+                Point(0, 0), Point(0, 0), Point(1, 1), Point(2, 2)
+            )
+
+
+class TestTwoFingerTracker:
+    def test_incremental_updates_compose(self):
+        tracker = TwoFingerTracker(Point(0, 0), Point(10, 0))
+        # Rotate the pair 90 degrees in two 45-degree steps.
+        theta1 = math.pi / 4
+        step1 = tracker.update(
+            Point(0, 0),
+            Point(10 * math.cos(theta1), 10 * math.sin(theta1)),
+        )
+        step2 = tracker.update(Point(0, 0), Point(0, 10))
+        combined = step2 @ step1
+        moved = combined.apply(Point(10, 0))
+        assert moved.x == pytest.approx(0, abs=1e-9)
+        assert moved.y == pytest.approx(10)
+
+    def test_fingers_must_start_apart(self):
+        with pytest.raises(ValueError):
+            TwoFingerTracker(Point(5, 5), Point(5, 5))
+
+    def test_drives_shape_transform(self):
+        # The §6 drawing-program scenario: a rectangle follows two fingers.
+        from repro.gdp import RectShape
+
+        rect = RectShape(0, 0, 10, 10)
+        tracker = TwoFingerTracker(Point(0, 0), Point(10, 0))
+        transform = tracker.update(Point(0, 0), Point(20, 0))  # spread x2
+        rect.apply_transform(transform)
+        width = abs(rect.corners[1][0] - rect.corners[0][0])
+        assert width == pytest.approx(20, rel=1e-6)

@@ -1,0 +1,193 @@
+"""Unit tests for the multi-stroke extension."""
+
+import pytest
+
+from repro.geometry import Point, Stroke
+from repro.multistroke import (
+    MULTISTROKE_CLASS_NAMES,
+    MultiStrokeClassifier,
+    MultiStrokeGenerator,
+    MultiStrokeGesture,
+    StrokeCollector,
+    connect_strokes,
+)
+
+
+def stroke_at(t0: float, x0: float = 0.0, n: int = 5) -> Stroke:
+    return Stroke(
+        Point(x0 + i * 10.0, 0.0, t0 + i * 0.01) for i in range(n)
+    )
+
+
+class TestMultiStrokeGesture:
+    def test_strokes_ordered_by_time(self):
+        late, early = stroke_at(5.0), stroke_at(1.0)
+        gesture = MultiStrokeGesture([late, early])
+        assert gesture.strokes[0].start.t == 1.0
+
+    def test_stroke_count(self):
+        assert MultiStrokeGesture([stroke_at(0.0)]).stroke_count == 1
+        assert (
+            MultiStrokeGesture([stroke_at(0.0), stroke_at(1.0)]).stroke_count
+            == 2
+        )
+
+    def test_empty_strokes_dropped(self):
+        gesture = MultiStrokeGesture([stroke_at(0.0), Stroke()])
+        assert gesture.stroke_count == 1
+
+    def test_no_strokes_rejected(self):
+        with pytest.raises(ValueError):
+            MultiStrokeGesture([])
+
+
+class TestConnect:
+    def test_connected_preserves_all_points(self):
+        a, b = stroke_at(0.0), stroke_at(1.0, x0=100.0)
+        connected = connect_strokes([a, b])
+        assert len(connected) == len(a) + len(b)
+
+    def test_connected_timestamps_monotone(self):
+        a, b = stroke_at(0.0), stroke_at(1.0, x0=100.0)
+        times = [p.t for p in connect_strokes([a, b])]
+        assert times == sorted(times)
+
+    def test_overlapping_strokes_rejected(self):
+        a, b = stroke_at(0.0, n=10), stroke_at(0.02, x0=100.0)
+        with pytest.raises(ValueError, match="overlap"):
+            connect_strokes([a, b])
+
+    def test_nothing_to_connect(self):
+        with pytest.raises(ValueError):
+            connect_strokes([])
+
+    def test_gesture_connected_method(self):
+        gesture = MultiStrokeGesture([stroke_at(0.0), stroke_at(1.0, 50.0)])
+        assert gesture.connected() == connect_strokes(gesture.strokes)
+
+
+class TestCollector:
+    def test_strokes_within_timeout_group(self):
+        collector = StrokeCollector(timeout=0.5)
+        assert collector.add_stroke(stroke_at(0.0)) is None
+        # Previous stroke ends at 0.04; this starts at 0.3 — same gesture.
+        assert collector.add_stroke(stroke_at(0.3)) is None
+        gesture = collector.flush()
+        assert gesture.stroke_count == 2
+
+    def test_timeout_splits_gestures(self):
+        collector = StrokeCollector(timeout=0.5)
+        collector.add_stroke(stroke_at(0.0))
+        finished = collector.add_stroke(stroke_at(5.0))
+        assert finished is not None
+        assert finished.stroke_count == 1
+        assert collector.flush().stroke_count == 1
+
+    def test_spatial_gap_splits_gestures(self):
+        collector = StrokeCollector(timeout=10.0, max_gap_distance=50.0)
+        collector.add_stroke(stroke_at(0.0))
+        finished = collector.add_stroke(stroke_at(0.1, x0=1000.0))
+        assert finished is not None
+
+    def test_flush_empty_returns_none(self):
+        assert StrokeCollector().flush() is None
+
+    def test_empty_stroke_rejected(self):
+        with pytest.raises(ValueError):
+            StrokeCollector().add_stroke(Stroke())
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            StrokeCollector(timeout=0.0)
+
+    def test_three_stroke_sequence(self):
+        collector = StrokeCollector(timeout=0.5)
+        for t0 in (0.0, 0.3, 0.6):
+            assert collector.add_stroke(stroke_at(t0)) is None
+        assert collector.flush().stroke_count == 3
+
+
+class TestGeneratorAndClassifier:
+    def test_stroke_counts_per_class(self):
+        generator = MultiStrokeGenerator(seed=1)
+        assert generator.generate("X").stroke_count == 2
+        assert generator.generate("plus").stroke_count == 2
+        assert generator.generate("arrow").stroke_count == 2
+        assert generator.generate("O").stroke_count == 1
+
+    def test_pen_up_gaps_exist(self):
+        generator = MultiStrokeGenerator(seed=2)
+        gesture = generator.generate("X")
+        first, second = gesture.strokes
+        assert second.start.t > first.end.t
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            MultiStrokeGenerator(seed=3).generate("Y")
+
+    def test_classifier_end_to_end(self):
+        train = MultiStrokeGenerator(seed=4).generate_examples(10)
+        classifier = MultiStrokeClassifier.train(train)
+        test = MultiStrokeGenerator(seed=5).generate_examples(10)
+        hits = total = 0
+        for name, gestures in test.items():
+            for gesture in gestures:
+                total += 1
+                hits += classifier.classify(gesture) == name
+        assert hits / total > 0.9
+
+    def test_stroke_count_gating(self):
+        train = MultiStrokeGenerator(seed=6).generate_examples(8)
+        classifier = MultiStrokeClassifier.train(train)
+        assert classifier.stroke_counts == [1, 2]
+        assert set(classifier.class_names_for(2)) == {
+            "X",
+            "plus",
+            "equals",
+            "arrow",
+        }
+        three = MultiStrokeGesture(
+            [stroke_at(0.0), stroke_at(1.0), stroke_at(2.0)]
+        )
+        with pytest.raises(KeyError):
+            classifier.classify(three)
+
+    def test_single_stroke_never_competes_with_x(self):
+        train = MultiStrokeGenerator(seed=7).generate_examples(8)
+        classifier = MultiStrokeClassifier.train(train)
+        o = MultiStrokeGenerator(seed=8).generate("O")
+        assert classifier.classify(o) == "O"
+
+    def test_mixed_count_class_rejected(self):
+        generator = MultiStrokeGenerator(seed=9)
+        with pytest.raises(ValueError, match="mixes"):
+            MultiStrokeClassifier.train(
+                {"bad": [generator.generate("O"), generator.generate("X")]}
+            )
+
+    def test_collector_feeds_classifier(self):
+        """End to end: raw stroke sequence -> segmentation -> classes."""
+        generator = MultiStrokeGenerator(seed=10)
+        classifier = MultiStrokeClassifier.train(
+            MultiStrokeGenerator(seed=11).generate_examples(10)
+        )
+        # Two gestures drawn in sequence, 2 seconds apart.
+        x = generator.generate("X")
+        o = generator.generate("O")
+        shift = x.strokes[-1].end.t + 2.0
+        o_shifted = MultiStrokeGesture(
+            [
+                Stroke(Point(p.x, p.y, p.t + shift) for p in s)
+                for s in o.strokes
+            ]
+        )
+        collector = StrokeCollector(timeout=0.8)
+        results = []
+        for stroke in list(x.strokes) + list(o_shifted.strokes):
+            finished = collector.add_stroke(stroke)
+            if finished is not None:
+                results.append(classifier.classify(finished))
+        finished = collector.flush()
+        if finished is not None:
+            results.append(classifier.classify(finished))
+        assert results == ["X", "O"]

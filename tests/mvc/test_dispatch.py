@@ -1,0 +1,184 @@
+"""Unit tests for the dispatcher: handler querying, propagation, grabs."""
+
+from repro.events import EventKind, EventQueue, MouseButton, MouseEvent
+from repro.geometry import BoundingBox
+from repro.mvc import Dispatcher, EventHandler, EventPredicate, View
+
+
+def press(x=5.0, y=5.0, t=0.0, button=MouseButton.LEFT):
+    return MouseEvent(EventKind.PRESS, x, y, t, button)
+
+
+def move(x, y, t):
+    return MouseEvent(EventKind.MOVE, x, y, t)
+
+
+def release(x, y, t):
+    return MouseEvent(EventKind.RELEASE, x, y, t)
+
+
+class BoxView(View):
+    def __init__(self, x1, y1, x2, y2):
+        super().__init__()
+        self._box = BoundingBox(x1, y1, x2, y2)
+
+    def bounds(self):
+        return self._box
+
+
+class RecordingHandler(EventHandler):
+    def __init__(self, accept=True, predicate=None):
+        super().__init__(predicate)
+        self.accept = accept
+        self.begins = []
+        self.updates = []
+        self.ends = []
+
+    def begin(self, event, view, context):
+        self.begins.append((event, view))
+        return self.accept
+
+    def update(self, event, context):
+        self.updates.append(event)
+
+    def end(self, event, context):
+        self.ends.append(event)
+
+
+class TestDispatch:
+    def test_press_goes_to_picked_views_handler(self):
+        root = BoxView(0, 0, 100, 100)
+        handler = RecordingHandler()
+        root.add_handler(handler)
+        dispatcher = Dispatcher(root)
+        assert dispatcher.dispatch(press())
+        assert len(handler.begins) == 1
+        assert handler.begins[0][1] is root
+
+    def test_press_outside_every_view_is_unhandled(self):
+        dispatcher = Dispatcher(BoxView(0, 0, 10, 10))
+        assert not dispatcher.dispatch(press(50, 50))
+
+    def test_stray_move_without_interaction_ignored(self):
+        root = BoxView(0, 0, 100, 100)
+        handler = RecordingHandler()
+        root.add_handler(handler)
+        dispatcher = Dispatcher(root)
+        assert not dispatcher.dispatch(move(5, 5, 0.0))
+        assert handler.updates == []
+
+    def test_handlers_queried_in_order_until_accept(self):
+        root = BoxView(0, 0, 100, 100)
+        refusing = RecordingHandler(accept=False)
+        accepting = RecordingHandler(accept=True)
+        root.add_handler(refusing)
+        root.add_handler(accepting)
+        Dispatcher(root).dispatch(press())
+        assert len(refusing.begins) == 1  # offered, declined
+        assert len(accepting.begins) == 1  # then accepted
+
+    def test_predicate_filters_before_begin(self):
+        root = BoxView(0, 0, 100, 100)
+        right_only = RecordingHandler(
+            predicate=EventPredicate.for_button(MouseButton.RIGHT)
+        )
+        fallback = RecordingHandler()
+        root.add_handler(right_only)
+        root.add_handler(fallback)
+        Dispatcher(root).dispatch(press(button=MouseButton.LEFT))
+        assert right_only.begins == []
+        assert len(fallback.begins) == 1
+
+    def test_per_button_handlers_coexist(self):
+        # §3.1: gesture on one button, direct manipulation on another.
+        root = BoxView(0, 0, 100, 100)
+        left = RecordingHandler(
+            predicate=EventPredicate.for_button(MouseButton.LEFT)
+        )
+        right = RecordingHandler(
+            predicate=EventPredicate.for_button(MouseButton.RIGHT)
+        )
+        root.add_handler(left)
+        root.add_handler(right)
+        dispatcher = Dispatcher(root)
+        dispatcher.dispatch(press(button=MouseButton.RIGHT))
+        dispatcher.dispatch(release(5, 5, 0.1))
+        dispatcher.dispatch(press(button=MouseButton.LEFT))
+        assert len(right.begins) == 1
+        assert len(left.begins) == 1
+
+
+class TestPropagation:
+    def test_unclaimed_input_propagates_to_parent(self):
+        # "any input ignored by one handler is propagated to the next"
+        # — and past the view entirely, up the tree.
+        parent = BoxView(0, 0, 100, 100)
+        child = BoxView(0, 0, 50, 50)
+        parent.add_child(child)
+        child_handler = RecordingHandler(accept=False)
+        parent_handler = RecordingHandler(accept=True)
+        child.add_handler(child_handler)
+        parent.add_handler(parent_handler)
+        Dispatcher(parent).dispatch(press(10, 10))
+        assert len(child_handler.begins) == 1
+        assert len(parent_handler.begins) == 1
+        assert parent_handler.begins[0][1] is parent
+
+    def test_handlerless_child_propagates(self):
+        parent = BoxView(0, 0, 100, 100)
+        child = BoxView(0, 0, 50, 50)  # no handlers (like a ShapeView)
+        parent.add_child(child)
+        handler = RecordingHandler()
+        parent.add_handler(handler)
+        assert Dispatcher(parent).dispatch(press(10, 10))
+        assert len(handler.begins) == 1
+
+
+class TestGrabSemantics:
+    def test_accepting_handler_receives_rest_of_interaction(self):
+        root = BoxView(0, 0, 100, 100)
+        handler = RecordingHandler()
+        root.add_handler(handler)
+        dispatcher = Dispatcher(root)
+        dispatcher.dispatch(press(5, 5, 0.0))
+        dispatcher.dispatch(move(500, 500, 0.1))  # far outside the view
+        dispatcher.dispatch(release(500, 500, 0.2))
+        assert len(handler.updates) == 1
+        assert len(handler.ends) == 1
+
+    def test_interaction_active_flag(self):
+        root = BoxView(0, 0, 100, 100)
+        root.add_handler(RecordingHandler())
+        dispatcher = Dispatcher(root)
+        assert not dispatcher.interaction_active
+        dispatcher.dispatch(press())
+        assert dispatcher.interaction_active
+        dispatcher.dispatch(release(5, 5, 0.1))
+        assert not dispatcher.interaction_active
+
+    def test_new_interaction_after_release(self):
+        root = BoxView(0, 0, 100, 100)
+        handler = RecordingHandler()
+        root.add_handler(handler)
+        dispatcher = Dispatcher(root)
+        for t in (0.0, 1.0):
+            dispatcher.dispatch(press(5, 5, t))
+            dispatcher.dispatch(release(5, 5, t + 0.5))
+        assert len(handler.begins) == 2
+        assert len(handler.ends) == 2
+
+
+class TestRunLoop:
+    def test_run_drains_queue_through_dispatch(self):
+        root = BoxView(0, 0, 100, 100)
+        handler = RecordingHandler()
+        root.add_handler(handler)
+        queue = EventQueue()
+        dispatcher = Dispatcher(root, queue)
+        queue.post_all(
+            [press(5, 5, 0.0), move(6, 6, 0.1), release(6, 6, 0.2)]
+        )
+        assert dispatcher.run() == 3
+        assert len(handler.begins) == 1
+        assert len(handler.updates) == 1
+        assert len(handler.ends) == 1

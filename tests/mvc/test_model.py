@@ -1,0 +1,87 @@
+"""Dedicated tests for the Model observer protocol."""
+
+from repro.mvc import Model
+
+
+class Counter(Model):
+    """A tiny concrete model."""
+
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    def increment(self):
+        self.value += 1
+        self.changed()
+
+
+class TestObservers:
+    def test_changed_notifies_all_observers(self):
+        model = Counter()
+        seen_a, seen_b = [], []
+        model.add_observer(seen_a.append)
+        model.add_observer(seen_b.append)
+        model.increment()
+        assert seen_a == [model]
+        assert seen_b == [model]
+
+    def test_notification_order_is_registration_order(self):
+        model = Counter()
+        order = []
+        model.add_observer(lambda m: order.append("first"))
+        model.add_observer(lambda m: order.append("second"))
+        model.increment()
+        assert order == ["first", "second"]
+
+    def test_observer_sees_updated_state(self):
+        model = Counter()
+        values = []
+        model.add_observer(lambda m: values.append(m.value))
+        model.increment()
+        model.increment()
+        assert values == [1, 2]
+
+    def test_observer_added_during_notification_not_called_this_round(self):
+        model = Counter()
+        late = []
+
+        def adder(m):
+            m.add_observer(late.append)
+
+        model.add_observer(adder)
+        model.increment()
+        assert late == []  # snapshot semantics
+        model.increment()
+        assert late == [model]
+
+    def test_observer_removed_during_notification_still_gets_this_round(self):
+        model = Counter()
+        calls = []
+
+        def self_removing(m):
+            calls.append("removed-one")
+            m.remove_observer(self_removing)
+
+        model.add_observer(self_removing)
+        model.add_observer(lambda m: calls.append("stable"))
+        model.increment()
+        assert calls == ["removed-one", "stable"]
+        model.increment()
+        assert calls == ["removed-one", "stable", "stable"]
+
+    def test_same_observer_registered_twice_fires_twice(self):
+        model = Counter()
+        seen = []
+        model.add_observer(seen.append)
+        model.add_observer(seen.append)
+        model.increment()
+        assert len(seen) == 2
+
+    def test_remove_one_of_duplicate_registrations(self):
+        model = Counter()
+        seen = []
+        model.add_observer(seen.append)
+        model.add_observer(seen.append)
+        model.remove_observer(seen.append)
+        model.increment()
+        assert len(seen) == 1

@@ -1,0 +1,193 @@
+"""Unit tests for views: handler lists, inheritance, the view tree, picking."""
+
+from repro.geometry import BoundingBox
+from repro.mvc import EventHandler, Model, View
+
+
+class BoxView(View):
+    """A view with explicit rectangular bounds for picking tests."""
+
+    def __init__(self, x1, y1, x2, y2, model=None):
+        super().__init__(model)
+        self._box = BoundingBox(x1, y1, x2, y2)
+
+    def bounds(self):
+        return self._box
+
+
+class SubBoxView(BoxView):
+    pass
+
+
+class DummyHandler(EventHandler):
+    def begin(self, event, view, context):
+        return True
+
+
+class TestHandlerRegistration:
+    def teardown_method(self):
+        BoxView.clear_class_handlers()
+        SubBoxView.clear_class_handlers()
+        View.clear_class_handlers()
+
+    def test_instance_handlers(self):
+        view = BoxView(0, 0, 10, 10)
+        handler = DummyHandler()
+        view.add_handler(handler)
+        assert handler in list(view.handlers())
+
+    def test_remove_instance_handler(self):
+        view = BoxView(0, 0, 10, 10)
+        handler = DummyHandler()
+        view.add_handler(handler)
+        assert view.remove_handler(handler)
+        assert handler not in list(view.handlers())
+        assert not view.remove_handler(handler)
+
+    def test_class_handlers_shared_by_instances(self):
+        handler = DummyHandler()
+        BoxView.add_class_handler(handler)
+        a, b = BoxView(0, 0, 1, 1), BoxView(2, 2, 3, 3)
+        assert handler in list(a.handlers())
+        assert handler in list(b.handlers())
+
+    def test_class_handlers_inherited_by_subclasses(self):
+        # "Event handlers may be associated with view classes as well,
+        # and are inherited." (§3)
+        handler = DummyHandler()
+        BoxView.add_class_handler(handler)
+        sub = SubBoxView(0, 0, 1, 1)
+        assert handler in list(sub.handlers())
+
+    def test_subclass_handlers_do_not_leak_to_base(self):
+        handler = DummyHandler()
+        SubBoxView.add_class_handler(handler)
+        base = BoxView(0, 0, 1, 1)
+        assert handler not in list(base.handlers())
+
+    def test_handler_query_order(self):
+        # Instance first, then own class, then bases.
+        instance_h = DummyHandler()
+        own_h = DummyHandler()
+        base_h = DummyHandler()
+        BoxView.add_class_handler(base_h)
+        SubBoxView.add_class_handler(own_h)
+        view = SubBoxView(0, 0, 1, 1)
+        view.add_handler(instance_h)
+        handlers = list(view.handlers())
+        assert handlers.index(instance_h) < handlers.index(own_h)
+        assert handlers.index(own_h) < handlers.index(base_h)
+
+    def test_remove_class_handler(self):
+        handler = DummyHandler()
+        BoxView.add_class_handler(handler)
+        assert BoxView.remove_class_handler(handler)
+        assert handler not in list(BoxView(0, 0, 1, 1).handlers())
+
+    def test_remove_inherited_handler_from_subclass_fails(self):
+        handler = DummyHandler()
+        BoxView.add_class_handler(handler)
+        assert not SubBoxView.remove_class_handler(handler)
+
+
+class TestViewTree:
+    def test_add_child_sets_parent(self):
+        parent = BoxView(0, 0, 100, 100)
+        child = BoxView(10, 10, 20, 20)
+        parent.add_child(child)
+        assert child.parent is parent
+        assert child in parent.children
+
+    def test_reparenting(self):
+        a = BoxView(0, 0, 100, 100)
+        b = BoxView(0, 0, 100, 100)
+        child = BoxView(1, 1, 2, 2)
+        a.add_child(child)
+        b.add_child(child)
+        assert child.parent is b
+        assert child not in a.children
+
+    def test_remove_child(self):
+        parent = BoxView(0, 0, 100, 100)
+        child = BoxView(10, 10, 20, 20)
+        parent.add_child(child)
+        parent.remove_child(child)
+        assert child.parent is None
+        assert child not in parent.children
+
+    def test_descendants(self):
+        root = BoxView(0, 0, 100, 100)
+        child = BoxView(0, 0, 50, 50)
+        grandchild = BoxView(0, 0, 10, 10)
+        root.add_child(child)
+        child.add_child(grandchild)
+        assert list(root.descendants()) == [child, grandchild]
+
+    def test_bring_to_front(self):
+        root = BoxView(0, 0, 100, 100)
+        a, b = BoxView(0, 0, 1, 1), BoxView(0, 0, 1, 1)
+        root.add_child(a)
+        root.add_child(b)
+        root.bring_to_front(a)
+        assert root.children == (b, a)
+
+
+class TestPicking:
+    def test_hit_in_bounds(self):
+        view = BoxView(0, 0, 10, 10)
+        assert view.pick(5, 5) is view
+
+    def test_miss_outside_bounds(self):
+        assert BoxView(0, 0, 10, 10).pick(20, 20) is None
+
+    def test_child_wins_over_parent(self):
+        parent = BoxView(0, 0, 100, 100)
+        child = BoxView(10, 10, 20, 20)
+        parent.add_child(child)
+        assert parent.pick(15, 15) is child
+        assert parent.pick(50, 50) is parent
+
+    def test_topmost_of_overlapping_children(self):
+        parent = BoxView(0, 0, 100, 100)
+        below = BoxView(0, 0, 50, 50)
+        above = BoxView(0, 0, 50, 50)
+        parent.add_child(below)
+        parent.add_child(above)  # added later = on top
+        assert parent.pick(25, 25) is above
+
+    def test_invisible_view_not_picked(self):
+        view = BoxView(0, 0, 10, 10)
+        view.visible = False
+        assert view.pick(5, 5) is None
+
+    def test_invisible_subtree_skipped(self):
+        parent = BoxView(0, 0, 100, 100)
+        child = BoxView(10, 10, 20, 20)
+        parent.add_child(child)
+        child.visible = False
+        assert parent.pick(15, 15) is parent
+
+
+class TestModelCoupling:
+    def test_view_observes_model(self):
+        changes = []
+
+        class RecordingView(View):
+            def model_changed(self, model):
+                changes.append(model)
+
+        model = Model()
+        RecordingView(model)
+        model.changed()
+        assert changes == [model]
+
+    def test_observer_removal(self):
+        model = Model()
+        seen = []
+        model.add_observer(seen.append)
+        model.remove_observer(seen.append)
+        model.changed()
+        assert seen == []
+
+    def test_remove_unknown_observer_is_harmless(self):
+        Model().remove_observer(lambda m: None)

@@ -1,0 +1,135 @@
+"""Property-based tests on classifier invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.recognizer import (
+    LinearClassifier,
+    MahalanobisMetric,
+    train_linear_classifier,
+)
+
+finite = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def linear_classifiers(draw, num_classes=3, num_features=4):
+    weights = np.array(
+        [
+            [draw(finite) for _ in range(num_features)]
+            for _ in range(num_classes)
+        ]
+    )
+    constants = np.array([draw(finite) for _ in range(num_classes)])
+    names = [f"c{i}" for i in range(num_classes)]
+    return LinearClassifier(names, weights, constants)
+
+
+@st.composite
+def feature_vectors(draw, num_features=4):
+    return np.array([draw(finite) for _ in range(num_features)])
+
+
+class TestArgmaxConsistency:
+    @given(linear_classifiers(), feature_vectors())
+    @settings(max_examples=150, deadline=None)
+    def test_classify_is_argmax_of_evaluations(self, classifier, features):
+        winner, scores = classifier.classify_with_scores(features)
+        assert scores[classifier.class_index(winner)] == max(scores)
+
+    @given(linear_classifiers(), feature_vectors(), finite)
+    @settings(max_examples=100, deadline=None)
+    def test_uniform_constant_shift_never_changes_winner(
+        self, classifier, features, shift
+    ):
+        before = classifier.classify(features)
+        for name in classifier.class_names:
+            classifier.add_to_constant(name, shift)
+        assert classifier.classify(features) == before
+
+    @given(linear_classifiers(), feature_vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_probability_in_unit_interval(self, classifier, features):
+        p = classifier.probability_correct(features)
+        assert 0.0 < p <= 1.0 + 1e-12
+
+    @given(linear_classifiers(), feature_vectors())
+    @settings(max_examples=100, deadline=None)
+    def test_serialization_preserves_decision(self, classifier, features):
+        clone = LinearClassifier.from_dict(classifier.to_dict())
+        assert clone.classify(features) == classifier.classify(features)
+
+
+@st.composite
+def spd_metrics(draw, dim=3):
+    # Build a symmetric positive-definite matrix A'A + eps*I.
+    a = np.array([[draw(finite) for _ in range(dim)] for _ in range(dim)])
+    return MahalanobisMetric(a.T @ a / 100.0 + np.eye(dim) * 0.1)
+
+
+class TestMetricProperties:
+    @given(spd_metrics(), feature_vectors(3), feature_vectors(3))
+    @settings(max_examples=150, deadline=None)
+    def test_symmetry_and_nonnegativity(self, metric, x, y):
+        d_xy = metric.squared_distance(x, y)
+        d_yx = metric.squared_distance(y, x)
+        assert d_xy >= 0.0
+        assert abs(d_xy - d_yx) <= 1e-6 * max(1.0, d_xy)
+
+    @given(spd_metrics(), feature_vectors(3))
+    @settings(max_examples=100, deadline=None)
+    def test_identity_of_indiscernibles(self, metric, x):
+        assert metric.squared_distance(x, x) == 0.0
+
+    @given(spd_metrics(), feature_vectors(3), feature_vectors(3))
+    @settings(max_examples=100, deadline=None)
+    def test_translation_invariance(self, metric, x, y):
+        shift = np.ones(3) * 17.0
+        d1 = metric.squared_distance(x, y)
+        d2 = metric.squared_distance(x + shift, y + shift)
+        assert abs(d1 - d2) <= 1e-6 * max(1.0, d1)
+
+
+class TestTrainerProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_training_examples_mostly_classified_correctly(self, seed):
+        rng = np.random.default_rng(seed)
+        centers = rng.uniform(-50, 50, size=(3, 5))
+        # Force separation.
+        centers[1] += 100.0
+        centers[2] -= 100.0
+        examples = {
+            f"c{i}": [
+                centers[i] + rng.normal(0, 1.0, size=5) for _ in range(12)
+            ]
+            for i in range(3)
+        }
+        result = train_linear_classifier(examples)
+        hits = sum(
+            result.classifier.classify(v) == name
+            for name, vectors in examples.items()
+            for v in vectors
+        )
+        assert hits / 36 > 0.9
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_classification_matches_nearest_mahalanobis_mean(self, seed):
+        # §4.2: the linear classifier equals nearest-class-mean under the
+        # shared Mahalanobis metric (equal priors).
+        rng = np.random.default_rng(seed)
+        examples = {
+            "a": [rng.normal(0, 1, size=4) for _ in range(20)],
+            "b": [rng.normal(6, 1, size=4) for _ in range(20)],
+        }
+        result = train_linear_classifier(examples)
+        for _ in range(10):
+            probe = rng.normal(3, 3, size=4)
+            by_linear = result.classifier.classify(probe)
+            index, _ = result.metric.nearest(probe, result.means)
+            by_metric = result.classifier.class_names[index]
+            assert by_linear == by_metric

@@ -1,0 +1,106 @@
+"""Property-based tests on eager-recognition invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import GenerationParams, GestureGenerator, eight_direction_templates
+
+
+class TestSessionInvariants:
+    @given(
+        st.sampled_from(list(eight_direction_templates().keys())),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decision_is_sticky(self, directions_recognizer, class_name, seed):
+        """Once the session decides, nothing changes its mind."""
+        stroke = GestureGenerator(
+            eight_direction_templates(), seed=seed
+        ).generate(class_name).stroke
+        session = directions_recognizer.session()
+        decided_class = None
+        decided_at = None
+        for i, p in enumerate(stroke, start=1):
+            result = session.add_point(p)
+            if decided_class is None and result is not None:
+                decided_class, decided_at = result, i
+            elif decided_class is not None:
+                assert result == decided_class
+        final = session.finish()
+        assert final == (decided_class or final)
+        if decided_at is not None:
+            assert session.points_seen == decided_at
+
+    @given(
+        st.sampled_from(list(eight_direction_templates().keys())),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recognize_matches_manual_session(
+        self, directions_recognizer, class_name, seed
+    ):
+        """The batch API is exactly the point-at-a-time loop."""
+        stroke = GestureGenerator(
+            eight_direction_templates(), seed=seed
+        ).generate(class_name).stroke
+        batch = directions_recognizer.recognize(stroke)
+        session = directions_recognizer.session()
+        manual_class = None
+        manual_seen = len(stroke)
+        for i, p in enumerate(stroke, start=1):
+            if session.add_point(p) is not None:
+                manual_class, manual_seen = session.class_name, i
+                break
+        if manual_class is None:
+            manual_class = session.finish()
+        assert batch.class_name == manual_class
+        assert batch.points_seen == manual_seen
+
+    @given(
+        st.sampled_from(list(eight_direction_templates().keys())),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_points_seen_bounds(self, directions_recognizer, class_name, seed):
+        stroke = GestureGenerator(
+            eight_direction_templates(), seed=seed
+        ).generate(class_name).stroke
+        result = directions_recognizer.recognize(stroke)
+        assert 1 <= result.points_seen <= len(stroke)
+        assert result.total_points == len(stroke)
+        assert result.eager == (result.points_seen < len(stroke))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_eager_agrees_with_full_on_commitment_prefix(
+        self, directions_recognizer, seed
+    ):
+        """At the moment of eager commitment, the verdict IS the full
+        classifier's verdict on the prefix seen so far."""
+        generator = GestureGenerator(eight_direction_templates(), seed=seed)
+        for class_name in ("ur", "dl"):
+            stroke = generator.generate(class_name).stroke
+            result = directions_recognizer.recognize(stroke)
+            if result.eager:
+                prefix = stroke.subgesture(result.points_seen)
+                assert directions_recognizer.classify_full(prefix) == (
+                    result.class_name
+                )
+
+
+class TestTrainingInvariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_training_is_deterministic(self, seed):
+        """Same data, same recognizer — byte-for-byte."""
+        from repro.eager import train_eager_recognizer
+
+        params = GenerationParams()
+        train = GestureGenerator(
+            eight_direction_templates(), params=params, seed=seed
+        ).generate_strokes(5)
+        a = train_eager_recognizer(train)
+        b = train_eager_recognizer(train)
+        assert a.recognizer.to_dict() == b.recognizer.to_dict()
+        assert a.moved_count == b.moved_count
+        assert a.set_counts == b.set_counts

@@ -1,0 +1,140 @@
+"""Property-based tests on the feature extractors.
+
+The invariants here are what the recognizer's correctness rests on:
+batch/incremental agreement on every prefix, translation and time-shift
+invariance, and numeric sanity on arbitrary inputs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import IncrementalFeatures, NUM_FEATURES, features_of
+from repro.geometry import Point, Stroke
+
+coordinates = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def strokes(draw, min_points=1, max_points=40):
+    """Strokes with arbitrary positions but realistic timestamps.
+
+    Positions are adversarial floats; timestamps sit on a millisecond
+    grid (what real input devices deliver), with occasional zero gaps.
+    Sub-microsecond gaps are excluded by construction: they sit exactly
+    on the extractor's documented simultaneity threshold, where a time
+    shift can flip a sample across the threshold — a discretization
+    artifact, not an algorithm property.
+    """
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    xs = draw(st.lists(coordinates, min_size=n, max_size=n))
+    ys = draw(st.lists(coordinates, min_size=n, max_size=n))
+    gaps_ms = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=500), min_size=n, max_size=n
+        )
+    )
+    t = 0.0
+    points = []
+    for x, y, gap_ms in zip(xs, ys, gaps_ms):
+        t += gap_ms / 1000.0
+        points.append(Point(x, y, t))
+    return Stroke(points)
+
+
+def assert_features_equivalent(a, b, rtol=1e-6, atol=1e-6):
+    """Feature equality up to the inherent +-pi ambiguity of f9.
+
+    A path segment that exactly reverses direction turns by exactly pi;
+    the sign of that turn is decided by the sign of a zero cross product,
+    which float rounding can flip under translation.  The signed total
+    angle (f9) is therefore compared modulo 2*pi; every other feature is
+    compared directly.
+    """
+    import math
+
+    mask = np.ones(NUM_FEATURES, dtype=bool)
+    mask[8] = False
+    np.testing.assert_allclose(a[mask], b[mask], rtol=rtol, atol=atol)
+    diff = abs(a[8] - b[8]) % (2 * math.pi)
+    assert min(diff, 2 * math.pi - diff) < 1e-4
+
+
+class TestNumericSanity:
+    @given(strokes())
+    @settings(max_examples=150, deadline=None)
+    def test_features_always_finite(self, stroke):
+        f = features_of(stroke)
+        assert f.shape == (NUM_FEATURES,)
+        assert np.isfinite(f).all()
+
+    @given(strokes())
+    @settings(max_examples=100, deadline=None)
+    def test_nonnegative_features(self, stroke):
+        f = features_of(stroke)
+        # Lengths, absolute angle, sharpness, speeds, durations are >= 0.
+        for idx in (2, 4, 7, 9, 10, 11, 12):
+            assert f[idx] >= 0.0
+
+    @given(strokes())
+    @settings(max_examples=100, deadline=None)
+    def test_trig_features_bounded(self, stroke):
+        f = features_of(stroke)
+        for idx in (0, 1, 5, 6):
+            assert -1.0 - 1e-9 <= f[idx] <= 1.0 + 1e-9
+
+    @given(strokes(min_points=2))
+    @settings(max_examples=100, deadline=None)
+    def test_endpoint_distance_at_most_path_length(self, stroke):
+        f = features_of(stroke)
+        assert f[4] <= f[7] + 1e-6
+
+
+class TestIncrementalEquivalence:
+    @given(strokes(min_points=1, max_points=30))
+    @settings(max_examples=150, deadline=None)
+    def test_incremental_matches_batch_on_every_prefix(self, stroke):
+        inc = IncrementalFeatures()
+        for i, p in enumerate(stroke, start=1):
+            inc.add_point(p)
+            batch = features_of(stroke.subgesture(i))
+            np.testing.assert_allclose(
+                inc.vector, batch, rtol=1e-9, atol=1e-9
+            )
+
+
+class TestInvariances:
+    # Quarter-pixel grid: positions and offsets are exactly representable
+    # in binary floating point, so translating never perturbs coordinate
+    # differences.  (With fully adversarial floats, rounding can push a
+    # segment across the extractor's documented 3-px turn-angle noise
+    # floor — a discretization artifact, not a property of the features.)
+    grid_coordinates = st.integers(min_value=-40_000, max_value=40_000).map(
+        lambda q: q / 4.0
+    )
+
+    @given(
+        strokes(min_points=2),
+        grid_coordinates,
+        grid_coordinates,
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_translation_invariance(self, stroke, dx, dy, data):
+        snapped = Stroke(
+            Point(round(p.x * 4) / 4.0, round(p.y * 4) / 4.0, p.t)
+            for p in stroke
+        )
+        a = features_of(snapped)
+        b = features_of(snapped.translated(dx, dy))
+        assert_features_equivalent(a, b, rtol=1e-5, atol=1e-5)
+
+    @given(strokes(min_points=2), st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=100, deadline=None)
+    def test_time_shift_invariance(self, stroke, shift):
+        shifted = Stroke(Point(p.x, p.y, p.t + shift) for p in stroke)
+        assert_features_equivalent(
+            features_of(stroke), features_of(shifted), rtol=1e-5, atol=1e-5
+        )

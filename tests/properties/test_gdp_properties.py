@@ -1,0 +1,117 @@
+"""Property-based tests on GDP canvas invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gdp import Canvas, GroupShape
+
+
+@st.composite
+def canvas_operations(draw):
+    """A random sequence of structural canvas operations."""
+    ops = []
+    n = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(n):
+        ops.append(
+            draw(
+                st.sampled_from(
+                    ["create_rect", "create_line", "create_ellipse",
+                     "create_text", "delete", "group", "ungroup", "select"]
+                )
+            )
+        )
+    return ops
+
+
+def apply_operations(canvas: Canvas, ops, rng_ints):
+    created = []
+    for op in ops:
+        if op == "create_rect":
+            created.append(canvas.create_rect(0, 0, 10, 10))
+        elif op == "create_line":
+            created.append(canvas.create_line(0, 0, 10, 10))
+        elif op == "create_ellipse":
+            created.append(canvas.create_ellipse(5, 5, 3, 3))
+        elif op == "create_text":
+            created.append(canvas.create_text(0, 0))
+        elif op == "delete" and len(canvas):
+            canvas.delete(canvas.shapes[next(rng_ints) % len(canvas)])
+        elif op == "group" and len(canvas) >= 2:
+            members = list(canvas.shapes[:2])
+            canvas.group(members)
+        elif op == "ungroup":
+            groups = [s for s in canvas if isinstance(s, GroupShape)]
+            if groups:
+                canvas.ungroup(groups[0])
+        elif op == "select" and len(canvas):
+            canvas.select(canvas.shapes[next(rng_ints) % len(canvas)])
+
+
+class TestCanvasInvariants:
+    @given(canvas_operations(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_selection_is_subset_of_shapes(self, ops, seed):
+        canvas = Canvas()
+        counter = iter(range(seed % 1000, seed % 1000 + 10_000))
+        apply_operations(canvas, ops, counter)
+        assert canvas.selection <= set(canvas.shapes)
+
+    @given(canvas_operations(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_shape_ids_unique_at_top_level(self, ops, seed):
+        canvas = Canvas()
+        counter = iter(range(seed % 1000, seed % 1000 + 10_000))
+        apply_operations(canvas, ops, counter)
+        ids = [shape.id for shape in canvas]
+        assert len(ids) == len(set(ids))
+
+    @given(canvas_operations(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_views_mirror_canvas(self, ops, seed):
+        from repro.gdp.views import CanvasView
+
+        canvas = Canvas()
+        view = CanvasView(canvas)
+        counter = iter(range(seed % 1000, seed % 1000 + 10_000))
+        apply_operations(canvas, ops, counter)
+        # One shape view per top-level shape, no strays.
+        assert {c.shape.id for c in view.children} == {
+            shape.id for shape in canvas
+        }
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_group_ungroup_round_trip(self, count):
+        canvas = Canvas()
+        shapes = [canvas.create_rect(i * 20, 0, i * 20 + 10, 10) for i in range(count)]
+        group = canvas.group(shapes)
+        restored = canvas.ungroup(group)
+        assert set(restored) == set(shapes)
+        assert set(canvas.shapes) == set(shapes)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_moves_compose(self, deltas):
+        canvas = Canvas()
+        rect = canvas.create_rect(0, 0, 10, 10)
+        for dx, dy in deltas:
+            rect.move_by(dx, dy)
+        total_dx = sum(dx for dx, _ in deltas)
+        total_dy = sum(dy for _, dy in deltas)
+        assert rect.corners[0][0] == pytest_approx(total_dx)
+        assert rect.corners[0][1] == pytest_approx(total_dy)
+
+
+def pytest_approx(value, tol=1e-6):
+    import pytest
+
+    return pytest.approx(value, abs=tol)

@@ -1,0 +1,84 @@
+"""Property-based tests on the event queue's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventKind, EventQueue, MouseEvent
+
+
+@st.composite
+def event_batches(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return [
+        MouseEvent(EventKind.MOVE, float(i), 0.0, t)
+        for i, t in enumerate(times)
+    ]
+
+
+class TestOrdering:
+    @given(event_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_delivery_is_time_sorted(self, events):
+        queue = EventQueue()
+        queue.post_all(events)
+        delivered = []
+        queue.run(lambda e: delivered.append(e.t))
+        assert delivered == sorted(delivered)
+
+    @given(event_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_every_event_delivered_exactly_once(self, events):
+        queue = EventQueue()
+        queue.post_all(events)
+        delivered = []
+        count = queue.run(lambda e: delivered.append(e.x))
+        assert count == len(events)
+        assert sorted(delivered) == sorted(e.x for e in events)
+
+    @given(event_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_equal_times_keep_posting_order(self, events):
+        queue = EventQueue()
+        queue.post_all(events)
+        delivered = []
+        queue.run(lambda e: delivered.append((e.t, e.x)))
+        # Among equal timestamps, x (the posting index) must ascend.
+        for (t1, x1), (t2, x2) in zip(delivered, delivered[1:]):
+            if t1 == t2:
+                assert x1 < x2
+
+    @given(event_batches())
+    @settings(max_examples=50, deadline=None)
+    def test_clock_never_runs_backwards(self, events):
+        queue = EventQueue()
+        queue.post_all(events)
+        observed = []
+        queue.run(lambda e: observed.append(queue.clock.now))
+        assert observed == sorted(observed)
+
+    @given(
+        event_batches(),
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_timers_interleave_correctly(self, events, delays):
+        queue = EventQueue()
+        queue.post_all(events)
+        order = []
+        for delay in delays:
+            queue.schedule_timer(delay, lambda t: order.append(("timer", t.t)))
+        queue.run(lambda e: order.append(("event", e.t)))
+        times = [t for _, t in order]
+        assert times == sorted(times)
+        assert sum(1 for kind, _ in order if kind == "timer") == len(delays)

@@ -1,0 +1,121 @@
+"""Property-based tests on the stroke algebra and transforms."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Affine, Point, Stroke
+
+coordinates = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def strokes(draw, min_points=1, max_points=30):
+    n = draw(st.integers(min_value=min_points, max_value=max_points))
+    return Stroke(
+        Point(draw(coordinates), draw(coordinates), i * 0.01)
+        for i in range(n)
+    )
+
+
+@st.composite
+def similarities(draw):
+    angle = draw(st.floats(min_value=-math.pi, max_value=math.pi))
+    scale = draw(st.floats(min_value=0.1, max_value=10.0))
+    dx = draw(st.floats(min_value=-100, max_value=100))
+    dy = draw(st.floats(min_value=-100, max_value=100))
+    return (
+        Affine.translation(dx, dy)
+        @ Affine.rotation(angle)
+        @ Affine.scaling(scale)
+    )
+
+
+class TestSubgestureLaws:
+    @given(strokes(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_prefix_law(self, stroke, data):
+        # g[i][j] == g[j] for j <= i.
+        i = data.draw(st.integers(min_value=0, max_value=len(stroke)))
+        j = data.draw(st.integers(min_value=0, max_value=i))
+        assert stroke.subgesture(i).subgesture(j) == stroke.subgesture(j)
+
+    @given(strokes(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_subgesture_is_always_prefix(self, stroke, data):
+        i = data.draw(st.integers(min_value=0, max_value=len(stroke)))
+        assert stroke.subgesture(i).is_prefix_of(stroke)
+
+    @given(strokes(min_points=2), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_path_length_monotone_in_prefix(self, stroke, data):
+        i = data.draw(st.integers(min_value=1, max_value=len(stroke)))
+        assert (
+            stroke.subgesture(i).path_length() <= stroke.path_length() + 1e-9
+        )
+
+    @given(strokes(min_points=1))
+    @settings(max_examples=50, deadline=None)
+    def test_path_length_at_least_endpoint_distance(self, stroke):
+        assert (
+            stroke.path_length()
+            >= stroke.start.distance_to(stroke.end) - 1e-9
+        )
+
+
+class TestTransformLaws:
+    @given(similarities(), similarities())
+    @settings(max_examples=100, deadline=None)
+    def test_composition_associativity_on_points(self, t1, t2):
+        p = Point(3.0, -7.0)
+        via_compose = (t1 @ t2).apply(p)
+        via_sequence = t1.apply(t2.apply(p))
+        assert via_compose.x == round(via_compose.x, 10) or True
+        assert math.isclose(via_compose.x, via_sequence.x, abs_tol=1e-6)
+        assert math.isclose(via_compose.y, via_sequence.y, abs_tol=1e-6)
+
+    @given(similarities())
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_round_trip(self, transform):
+        p = Point(11.0, -4.0)
+        back = transform.inverse().apply(transform.apply(p))
+        assert math.isclose(back.x, p.x, abs_tol=1e-6)
+        assert math.isclose(back.y, p.y, abs_tol=1e-6)
+
+    @given(strokes(min_points=2), similarities())
+    @settings(max_examples=50, deadline=None)
+    def test_similarity_scales_path_length(self, stroke, transform):
+        scale = math.sqrt(abs(transform.determinant))
+        before = stroke.path_length()
+        after = stroke.transformed(transform).path_length()
+        assert math.isclose(after, before * scale, rel_tol=1e-6, abs_tol=1e-6)
+
+
+class TestResampleLaws:
+    @given(strokes(min_points=2), st.integers(min_value=2, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_resample_count_and_endpoints(self, stroke, n):
+        resampled = stroke.resampled(n)
+        assert len(resampled) == n
+        assert math.isclose(resampled.start.x, stroke.start.x, abs_tol=1e-6)
+        assert math.isclose(resampled.end.x, stroke.end.x, abs_tol=1e-6)
+
+    @given(strokes(min_points=2), st.integers(min_value=2, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_resample_does_not_stretch(self, stroke, n):
+        resampled = stroke.resampled(n)
+        assert resampled.path_length() <= stroke.path_length() + 1e-6
+
+
+class TestDatasetRoundTrip:
+    @given(strokes(min_points=1))
+    @settings(max_examples=100, deadline=None)
+    def test_example_json_round_trip(self, stroke):
+        from repro.datasets import GestureExample
+
+        example = GestureExample(stroke=stroke, class_name="x", corner_indices=())
+        clone = GestureExample.from_dict(example.to_dict())
+        assert clone == example

@@ -1,0 +1,118 @@
+"""Unit tests for the stroke-level GestureClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.features import features_of
+from repro.recognizer import GestureClassifier
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+class TestTrainClassify:
+    def test_class_names_preserved(self, directions_classifier):
+        assert set(directions_classifier.class_names) == set(
+            eight_direction_templates().keys()
+        )
+
+    def test_classifies_training_data_correctly(
+        self, directions_classifier, directions_train
+    ):
+        hits = total = 0
+        for name, strokes in directions_train.items():
+            for stroke in strokes:
+                total += 1
+                hits += directions_classifier.classify(stroke) == name
+        assert hits / total > 0.95
+
+    def test_generalizes_to_held_out_data(self, directions_classifier):
+        generator = GestureGenerator(eight_direction_templates(), seed=777)
+        hits = total = 0
+        for name, strokes in generator.generate_strokes(10).items():
+            for stroke in strokes:
+                total += 1
+                hits += directions_classifier.classify(stroke) == name
+        assert hits / total > 0.9
+
+    def test_classify_features_matches_classify(
+        self, directions_classifier, directions_train
+    ):
+        stroke = directions_train["ur"][0]
+        assert directions_classifier.classify(
+            stroke
+        ) == directions_classifier.classify_features(features_of(stroke))
+
+    def test_evaluations_exposes_all_classes(
+        self, directions_classifier, directions_train
+    ):
+        scores = directions_classifier.evaluations(directions_train["ur"][0])
+        assert set(scores) == set(directions_classifier.class_names)
+        winner = max(scores, key=scores.get)
+        assert winner == directions_classifier.classify(directions_train["ur"][0])
+
+
+class TestRejection:
+    def test_clean_gesture_is_accepted(
+        self, directions_classifier, directions_train
+    ):
+        result = directions_classifier.classify_with_rejection(
+            directions_train["ur"][0]
+        )
+        assert not result.rejected
+        assert result.class_name == "ur"
+
+    def test_garbage_is_rejected_as_outlier(self, directions_classifier):
+        from repro.geometry import Stroke
+
+        # A gesture far outside the training distribution: a huge spiral.
+        import math
+
+        spiral = Stroke.from_xy(
+            [
+                (math.cos(a) * a * 40, math.sin(a) * a * 40)
+                for a in [i * 0.3 for i in range(60)]
+            ],
+            dt=0.01,
+        )
+        result = directions_classifier.classify_with_rejection(spiral)
+        assert result.rejected
+
+    def test_rejection_reports_probability_and_distance(
+        self, directions_classifier, directions_train
+    ):
+        result = directions_classifier.classify_with_rejection(
+            directions_train["dr"][0]
+        )
+        assert 0.0 < result.probability <= 1.0
+        assert result.squared_distance >= 0.0
+
+
+class TestPersistence:
+    def test_round_trip_preserves_decisions(
+        self, directions_classifier, directions_train, tmp_path
+    ):
+        path = tmp_path / "clf.json"
+        directions_classifier.save(path)
+        clone = GestureClassifier.load(path)
+        for name, strokes in directions_train.items():
+            for stroke in strokes[:3]:
+                assert clone.classify(stroke) == directions_classifier.classify(
+                    stroke
+                )
+
+    def test_round_trip_preserves_means_and_metric(
+        self, directions_classifier, tmp_path
+    ):
+        path = tmp_path / "clf.json"
+        directions_classifier.save(path)
+        clone = GestureClassifier.load(path)
+        np.testing.assert_allclose(clone.means, directions_classifier.means)
+        np.testing.assert_allclose(
+            clone.metric.inverse_covariance,
+            directions_classifier.metric.inverse_covariance,
+        )
+
+
+class TestErrors:
+    def test_training_with_empty_class_raises(self):
+        with pytest.raises(ValueError):
+            GestureClassifier.train({"a": []})

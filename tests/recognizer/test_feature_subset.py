@@ -1,0 +1,69 @@
+"""Tests for feature-subset ("currently twelve") classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.features import FEATURE_NAMES, NUM_FEATURES, features_of
+from repro.recognizer import GestureClassifier
+
+
+def twelve_indices():
+    return [i for i in range(NUM_FEATURES) if FEATURE_NAMES[i] != "duration"]
+
+
+class TestFeatureSubset:
+    def test_masked_training_still_accurate(self, directions_train):
+        classifier = GestureClassifier.train(directions_train, twelve_indices())
+        hits = total = 0
+        for name, strokes in directions_train.items():
+            for stroke in strokes:
+                total += 1
+                hits += classifier.classify(stroke) == name
+        assert hits / total > 0.95
+
+    def test_classify_features_takes_full_vectors(self, directions_train):
+        # Callers always pass 13-dim vectors; the classifier masks.
+        classifier = GestureClassifier.train(directions_train, twelve_indices())
+        stroke = directions_train["ur"][0]
+        assert classifier.classify_features(
+            features_of(stroke)
+        ) == classifier.classify(stroke)
+
+    def test_internal_dimensionality_is_reduced(self, directions_train):
+        classifier = GestureClassifier.train(directions_train, twelve_indices())
+        assert classifier.linear.num_features == 12
+        assert classifier.means.shape[1] == 12
+
+    def test_mask_survives_serialization(self, directions_train, tmp_path):
+        classifier = GestureClassifier.train(directions_train, twelve_indices())
+        path = tmp_path / "masked.json"
+        classifier.save(path)
+        restored = GestureClassifier.load(path)
+        assert restored.feature_indices == twelve_indices()
+        stroke = directions_train["dl"][0]
+        assert restored.classify(stroke) == classifier.classify(stroke)
+
+    def test_rejection_works_with_mask(self, directions_train):
+        classifier = GestureClassifier.train(directions_train, twelve_indices())
+        result = classifier.classify_with_rejection(directions_train["ur"][0])
+        assert result.class_name == "ur"
+
+    def test_empty_subset_rejected(self, directions_train):
+        with pytest.raises(ValueError):
+            GestureClassifier.train(directions_train, [])
+
+    def test_single_feature_classifier(self, directions_train):
+        # Degenerate but legal: classify on the initial-angle cosine only.
+        classifier = GestureClassifier.train(directions_train, [0])
+        assert classifier.linear.num_features == 1
+        stroke = directions_train["ru"][0]
+        assert classifier.classify(stroke) in classifier.class_names
+
+    def test_eager_training_rejects_masked_full_classifier(
+        self, directions_train
+    ):
+        from repro.eager import train_eager_recognizer
+
+        masked = GestureClassifier.train(directions_train, twelve_indices())
+        with pytest.raises(ValueError, match="full-feature"):
+            train_eager_recognizer(directions_train, full_classifier=masked)

@@ -1,0 +1,112 @@
+"""Unit tests for the linear evaluation functions."""
+
+import numpy as np
+import pytest
+
+from repro.recognizer import LinearClassifier
+
+
+@pytest.fixture
+def two_class() -> LinearClassifier:
+    # Class "a" prefers feature 0, class "b" prefers feature 1.
+    return LinearClassifier(
+        class_names=["a", "b"],
+        weights=np.array([[1.0, 0.0], [0.0, 1.0]]),
+        constants=np.array([0.0, 0.0]),
+    )
+
+
+class TestConstruction:
+    def test_dimensions(self, two_class):
+        assert two_class.num_classes == 2
+        assert two_class.num_features == 2
+
+    def test_rejects_mismatched_constants(self):
+        with pytest.raises(ValueError):
+            LinearClassifier(["a"], np.eye(2), np.zeros(2))
+
+    def test_rejects_mismatched_names(self):
+        with pytest.raises(ValueError):
+            LinearClassifier(["a"], np.eye(2), np.zeros(2))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            LinearClassifier(["a", "a"], np.eye(2), np.zeros(2))
+
+    def test_rejects_1d_weights(self):
+        with pytest.raises(ValueError):
+            LinearClassifier(["a"], np.ones(3), np.zeros(1))
+
+    def test_class_index(self, two_class):
+        assert two_class.class_index("a") == 0
+        assert two_class.class_index("b") == 1
+
+
+class TestEvaluation:
+    def test_evaluations(self, two_class):
+        v = two_class.evaluations(np.array([2.0, 5.0]))
+        np.testing.assert_allclose(v, [2.0, 5.0])
+
+    def test_constant_term_added(self):
+        clf = LinearClassifier(
+            ["a"], np.array([[1.0]]), np.array([10.0])
+        )
+        assert clf.evaluations(np.array([5.0]))[0] == pytest.approx(15.0)
+
+    def test_wrong_feature_count_raises(self, two_class):
+        with pytest.raises(ValueError):
+            two_class.evaluations(np.zeros(3))
+
+    def test_classify_argmax(self, two_class):
+        assert two_class.classify(np.array([3.0, 1.0])) == "a"
+        assert two_class.classify(np.array([1.0, 3.0])) == "b"
+
+    def test_classify_with_scores(self, two_class):
+        winner, scores = two_class.classify_with_scores(np.array([0.0, 1.0]))
+        assert winner == "b"
+        assert scores.shape == (2,)
+
+
+class TestProbability:
+    def test_confident_when_gap_is_large(self, two_class):
+        p = two_class.probability_correct(np.array([100.0, 0.0]))
+        assert p == pytest.approx(1.0)
+
+    def test_half_when_tied(self, two_class):
+        p = two_class.probability_correct(np.array([1.0, 1.0]))
+        assert p == pytest.approx(0.5)
+
+    def test_no_overflow_on_huge_scores(self, two_class):
+        p = two_class.probability_correct(np.array([1e6, -1e6]))
+        assert 0.0 < p <= 1.0
+
+
+class TestBiasing:
+    def test_add_to_constant_changes_outcome(self, two_class):
+        f = np.array([1.0, 1.0 - 1e-9])
+        assert two_class.classify(f) == "a"
+        two_class.add_to_constant("b", 1.0)
+        assert two_class.classify(f) == "b"
+
+    def test_add_to_constant_unknown_class(self, two_class):
+        with pytest.raises(KeyError):
+            two_class.add_to_constant("zzz", 1.0)
+
+
+class TestSerialization:
+    def test_round_trip(self, two_class):
+        two_class.add_to_constant("a", 0.25)
+        clone = LinearClassifier.from_dict(two_class.to_dict())
+        assert clone.class_names == two_class.class_names
+        np.testing.assert_array_equal(clone.weights, two_class.weights)
+        np.testing.assert_array_equal(clone.constants, two_class.constants)
+
+    def test_round_trip_preserves_decisions(self, two_class):
+        clone = LinearClassifier.from_dict(two_class.to_dict())
+        for f in (np.array([1.0, 2.0]), np.array([-3.0, 1.0])):
+            assert clone.classify(f) == two_class.classify(f)
+
+    def test_dict_is_json_serializable(self, two_class):
+        import json
+
+        json.dumps(two_class.to_dict())

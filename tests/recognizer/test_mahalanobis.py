@@ -1,0 +1,103 @@
+"""Unit tests for the Mahalanobis metric."""
+
+import numpy as np
+import pytest
+
+from repro.recognizer import MahalanobisMetric
+
+
+class TestBasics:
+    def test_identity_covariance_is_euclidean(self):
+        metric = MahalanobisMetric(np.eye(2))
+        assert metric.squared_distance(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(25.0)
+
+    def test_distance_is_sqrt_of_squared(self):
+        metric = MahalanobisMetric(np.eye(2))
+        assert metric.distance(
+            np.array([0.0, 0.0]), np.array([3.0, 4.0])
+        ) == pytest.approx(5.0)
+
+    def test_zero_distance_to_self(self):
+        metric = MahalanobisMetric(np.eye(3))
+        v = np.array([1.0, 2.0, 3.0])
+        assert metric.squared_distance(v, v) == 0.0
+
+    def test_symmetry(self):
+        inv = np.array([[2.0, 0.5], [0.5, 1.0]])
+        metric = MahalanobisMetric(inv)
+        a, b = np.array([1.0, 0.0]), np.array([0.0, 2.0])
+        assert metric.squared_distance(a, b) == pytest.approx(
+            metric.squared_distance(b, a)
+        )
+
+    def test_scaling_by_precision(self):
+        # Higher precision (lower variance) in a dimension stretches it.
+        metric = MahalanobisMetric(np.diag([100.0, 1.0]))
+        along_precise = metric.squared_distance(
+            np.zeros(2), np.array([1.0, 0.0])
+        )
+        along_loose = metric.squared_distance(
+            np.zeros(2), np.array([0.0, 1.0])
+        )
+        assert along_precise == pytest.approx(100.0)
+        assert along_loose == pytest.approx(1.0)
+
+    def test_asymmetric_matrix_is_symmetrized(self):
+        lopsided = np.array([[1.0, 0.3], [0.1, 1.0]])
+        metric = MahalanobisMetric(lopsided)
+        np.testing.assert_allclose(
+            metric.inverse_covariance, metric.inverse_covariance.T
+        )
+
+    def test_round_off_clamped_at_zero(self):
+        metric = MahalanobisMetric(np.eye(2) * 1e-30)
+        v = np.array([1e-8, 1e-8])
+        assert metric.squared_distance(v, v) >= 0.0
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            MahalanobisMetric(np.zeros((2, 3)))
+
+    def test_dim_mismatch_rejected(self):
+        metric = MahalanobisMetric(np.eye(2))
+        with pytest.raises(ValueError):
+            metric.squared_distance(np.zeros(3), np.zeros(3))
+
+
+class TestNearest:
+    def test_nearest_picks_closest_mean(self):
+        metric = MahalanobisMetric(np.eye(2))
+        means = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        index, squared = metric.nearest(np.array([9.0, 1.0]), means)
+        assert index == 1
+        assert squared == pytest.approx(2.0)
+
+    def test_nearest_respects_the_metric(self):
+        # Under this precision, y-displacement is 100x costlier.
+        metric = MahalanobisMetric(np.diag([1.0, 100.0]))
+        means = np.array([[3.0, 0.0], [0.0, 1.0]])
+        index, _ = metric.nearest(np.zeros(2), means)
+        assert index == 0
+
+    def test_nearest_with_no_means_raises(self):
+        metric = MahalanobisMetric(np.eye(2))
+        with pytest.raises(ValueError):
+            metric.nearest(np.zeros(2), np.zeros((0, 2)))
+
+    def test_nearest_wrong_dim_raises(self):
+        metric = MahalanobisMetric(np.eye(2))
+        with pytest.raises(ValueError):
+            metric.nearest(np.zeros(2), np.zeros((3, 5)))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        metric = MahalanobisMetric(np.array([[2.0, 0.1], [0.1, 3.0]]))
+        clone = MahalanobisMetric.from_dict(metric.to_dict())
+        np.testing.assert_allclose(
+            clone.inverse_covariance, metric.inverse_covariance
+        )

@@ -1,0 +1,124 @@
+"""Tests for incremental (interactive) training."""
+
+import numpy as np
+import pytest
+
+from repro.recognizer import GestureClassifier, OnlineTrainer
+from repro.synth import GestureGenerator, eight_direction_templates, ud_templates
+
+
+class TestAccumulation:
+    def test_class_bookkeeping(self, directions_train):
+        trainer = OnlineTrainer()
+        for name, strokes in directions_train.items():
+            for stroke in strokes:
+                trainer.add_example(name, stroke)
+        assert set(trainer.class_names) == set(directions_train)
+        assert trainer.example_count("ur") == len(directions_train["ur"])
+        assert trainer.total_examples == sum(
+            len(v) for v in directions_train.values()
+        )
+
+    def test_remove_class(self, directions_train):
+        trainer = OnlineTrainer()
+        trainer.add_example("ur", directions_train["ur"][0])
+        assert trainer.remove_class("ur")
+        assert not trainer.remove_class("ur")
+        assert trainer.example_count("ur") == 0
+
+    def test_wrong_dimension_rejected(self):
+        trainer = OnlineTrainer()
+        with pytest.raises(ValueError):
+            trainer.add_feature_vector("x", np.zeros(4))
+
+    def test_build_requires_two_classes(self, directions_train):
+        trainer = OnlineTrainer()
+        trainer.add_example("ur", directions_train["ur"][0])
+        with pytest.raises(ValueError):
+            trainer.build()
+
+
+class TestEquivalenceWithBatch:
+    def test_online_equals_batch_training(self, directions_train):
+        """Sufficient statistics are lossless: same data, same classifier."""
+        trainer = OnlineTrainer()
+        for name, strokes in directions_train.items():
+            for stroke in strokes:
+                trainer.add_example(name, stroke)
+        online = trainer.build()
+        batch = GestureClassifier.train(directions_train)
+        # Same class set, same decisions on fresh data.
+        assert set(online.class_names) == set(batch.class_names)
+        probe_gen = GestureGenerator(eight_direction_templates(), seed=4321)
+        for name, strokes in probe_gen.generate_strokes(3).items():
+            for stroke in strokes:
+                assert online.classify(stroke) == batch.classify(stroke)
+
+    def test_online_weights_match_batch(self, directions_train):
+        trainer = OnlineTrainer()
+        for name, strokes in directions_train.items():
+            for stroke in strokes:
+                trainer.add_example(name, stroke)
+        online = trainer.build()
+        batch = GestureClassifier.train(directions_train)
+        batch_order = [
+            batch.linear.class_index(name) for name in online.class_names
+        ]
+        np.testing.assert_allclose(
+            online.linear.weights,
+            batch.linear.weights[batch_order],
+            rtol=1e-6,
+            atol=1e-8,
+        )
+
+
+class TestRuntimeClassAddition:
+    """The GRANDMA story: add a gesture class to a live application."""
+
+    def test_new_class_recognized_after_retrain(self):
+        generator = GestureGenerator(ud_templates(), seed=21)
+        trainer = OnlineTrainer()
+        for name, strokes in generator.generate_strokes(10).items():
+            for stroke in strokes:
+                trainer.add_example(name, stroke)
+        classifier = trainer.build()
+        assert set(classifier.class_names) == {"U", "D"}
+
+        # The designer now draws examples of a brand-new class: a plain
+        # rightward flick.
+        from repro.synth import GestureTemplate
+
+        flick = GestureTemplate(
+            name="flick", waypoints=((0.0, 0.0), (0.8, 0.0))
+        )
+        flick_gen = GestureGenerator({"flick": flick}, seed=22)
+        for stroke in flick_gen.generate_strokes(10)["flick"]:
+            trainer.add_example("flick", stroke)
+        retrained = trainer.build()
+        assert set(retrained.class_names) == {"U", "D", "flick"}
+
+        probe = GestureGenerator({"flick": flick}, seed=23)
+        hits = sum(
+            retrained.classify(s) == "flick"
+            for s in probe.generate_strokes(10)["flick"]
+        )
+        assert hits >= 8
+        # The old classes still work.
+        ud_probe = GestureGenerator(ud_templates(), seed=24)
+        for name, strokes in ud_probe.generate_strokes(5).items():
+            correct = sum(retrained.classify(s) == name for s in strokes)
+            assert correct >= 4
+
+    def test_live_handler_swap(self, directions_train):
+        """Swapping a gesture handler's recognizer mid-session."""
+        from repro.interaction import GestureHandler
+
+        trainer = OnlineTrainer()
+        for name, strokes in directions_train.items():
+            for stroke in strokes:
+                trainer.add_example(name, stroke)
+        handler = GestureHandler(recognizer=trainer.build(), use_eager=False)
+        assert "ur" in handler.recognizer.class_names
+        # More training data arrives; rebuild and swap in place.
+        handler.recognizer = trainer.build()
+        assert handler.phase.name == "IDLE"

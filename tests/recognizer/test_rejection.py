@@ -1,0 +1,81 @@
+"""Unit tests for the rejection policy."""
+
+import numpy as np
+import pytest
+
+from repro.recognizer import (
+    LinearClassifier,
+    MahalanobisMetric,
+    RejectionPolicy,
+    RejectionResult,
+)
+
+
+@pytest.fixture
+def setup():
+    classifier = LinearClassifier(
+        class_names=["a", "b"],
+        weights=np.array([[1.0, 0.0], [0.0, 1.0]]),
+        constants=np.zeros(2),
+    )
+    metric = MahalanobisMetric(np.eye(2))
+    means = np.array([[10.0, 0.0], [0.0, 10.0]])
+    return classifier, metric, means
+
+
+class TestAmbiguityRejection:
+    def test_confident_input_accepted(self, setup):
+        classifier, metric, means = setup
+        policy = RejectionPolicy(min_probability=0.9)
+        result = policy.apply(classifier, metric, means, np.array([10.0, 0.0]))
+        assert result.class_name == "a"
+        assert not result.rejected
+
+    def test_ambiguous_input_rejected(self, setup):
+        classifier, metric, means = setup
+        policy = RejectionPolicy(min_probability=0.9)
+        result = policy.apply(classifier, metric, means, np.array([5.0, 5.0]))
+        assert result.rejected
+        assert result.probability == pytest.approx(0.5)
+
+    def test_threshold_zero_accepts_everything(self, setup):
+        classifier, metric, means = setup
+        policy = RejectionPolicy(min_probability=0.0, max_squared_distance=None)
+        result = policy.apply(classifier, metric, means, np.array([5.0, 5.0]))
+        assert not result.rejected
+
+
+class TestOutlierRejection:
+    def test_far_input_rejected(self, setup):
+        classifier, metric, means = setup
+        policy = RejectionPolicy(min_probability=0.0, max_squared_distance=4.0)
+        result = policy.apply(
+            classifier, metric, means, np.array([100.0, 0.0])
+        )
+        assert result.rejected
+        assert result.squared_distance > 4.0
+
+    def test_near_input_accepted(self, setup):
+        classifier, metric, means = setup
+        policy = RejectionPolicy(min_probability=0.0, max_squared_distance=4.0)
+        result = policy.apply(classifier, metric, means, np.array([10.5, 0.0]))
+        assert not result.rejected
+
+    def test_none_disables_distance_check(self, setup):
+        classifier, metric, means = setup
+        policy = RejectionPolicy(min_probability=0.0, max_squared_distance=None)
+        result = policy.apply(classifier, metric, means, np.array([1e6, 0.0]))
+        assert not result.rejected
+
+
+class TestDefaults:
+    def test_rubine_default_thresholds(self):
+        policy = RejectionPolicy.rubine_default(num_features=13)
+        assert policy.min_probability == 0.95
+        assert policy.max_squared_distance == pytest.approx(13 * 13 / 2)
+
+    def test_result_dataclass(self):
+        accepted = RejectionResult("x", 0.99, 1.0)
+        rejected = RejectionResult(None, 0.5, 1.0)
+        assert not accepted.rejected
+        assert rejected.rejected

@@ -1,0 +1,153 @@
+"""Unit tests for the closed-form trainer."""
+
+import numpy as np
+import pytest
+
+from repro.recognizer import pooled_covariance, train_linear_classifier
+
+
+def gaussian_class(rng, mean, cov, n):
+    return list(rng.multivariate_normal(mean, cov, size=n))
+
+
+class TestPooledCovariance:
+    def test_single_class_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 3))
+        mean = data.mean(axis=0, keepdims=True)
+        pooled = pooled_covariance([data], mean)
+        np.testing.assert_allclose(pooled, np.cov(data.T, bias=False), atol=1e-9)
+
+    def test_two_identical_classes(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(40, 2))
+        means = np.vstack([data.mean(axis=0), data.mean(axis=0)])
+        pooled = pooled_covariance([data, data], means)
+        # Pooled scatter doubles, denominator ~doubles.
+        np.testing.assert_allclose(
+            pooled, np.cov(data.T) * (39 * 2) / (80 - 2), atol=1e-9
+        )
+
+    def test_empty_class_contributes_nothing(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(30, 2))
+        means = np.vstack([data.mean(axis=0), np.zeros(2)])
+        pooled = pooled_covariance([data, np.zeros((0, 2))], means)
+        assert np.isfinite(pooled).all()
+
+    def test_degenerate_denominator_clamped(self):
+        data = np.array([[1.0, 2.0]])
+        means = data.copy()
+        pooled = pooled_covariance([data], means)
+        assert np.isfinite(pooled).all()
+
+
+class TestTrainer:
+    def test_separates_well_separated_gaussians(self):
+        rng = np.random.default_rng(3)
+        cov = np.eye(2) * 0.1
+        examples = {
+            "left": gaussian_class(rng, [-5.0, 0.0], cov, 30),
+            "right": gaussian_class(rng, [5.0, 0.0], cov, 30),
+        }
+        result = train_linear_classifier(examples)
+        assert result.classifier.classify(np.array([-4.0, 0.3])) == "left"
+        assert result.classifier.classify(np.array([4.0, -0.3])) == "right"
+
+    def test_training_accuracy_on_separable_data(self):
+        rng = np.random.default_rng(4)
+        cov = np.eye(3) * 0.2
+        examples = {
+            "a": gaussian_class(rng, [0, 0, 0], cov, 25),
+            "b": gaussian_class(rng, [4, 0, 0], cov, 25),
+            "c": gaussian_class(rng, [0, 4, 0], cov, 25),
+        }
+        result = train_linear_classifier(examples)
+        hits = sum(
+            result.classifier.classify(np.asarray(v)) == name
+            for name, vectors in examples.items()
+            for v in vectors
+        )
+        assert hits / 75 > 0.95
+
+    def test_means_recorded_per_class(self):
+        examples = {
+            "a": [np.array([1.0, 1.0]), np.array([3.0, 3.0])],
+            "b": [np.array([10.0, 0.0])],
+        }
+        result = train_linear_classifier(examples)
+        np.testing.assert_allclose(result.mean_of("a"), [2.0, 2.0])
+        np.testing.assert_allclose(result.mean_of("b"), [10.0, 0.0])
+
+    def test_handles_wildly_different_feature_scales(self):
+        # The regression that broke the first build: one feature in the
+        # millions must not wash out the others.
+        rng = np.random.default_rng(5)
+        def cls(mean_small, mean_big):
+            return [
+                np.array(
+                    [mean_small + rng.normal(0, 0.05),
+                     mean_big + rng.normal(0, 1e5)]
+                )
+                for _ in range(20)
+            ]
+
+        examples = {"a": cls(-1.0, 1e6), "b": cls(1.0, 1e6)}
+        result = train_linear_classifier(examples)
+        hits = sum(
+            result.classifier.classify(v) == name
+            for name, vectors in examples.items()
+            for v in vectors
+        )
+        assert hits / 40 > 0.9
+
+    def test_handles_constant_feature(self):
+        # Zero-variance feature (e.g. fixed duration) must not blow up.
+        rng = np.random.default_rng(6)
+        examples = {
+            "a": [np.array([rng.normal(-3, 0.1), 7.0]) for _ in range(15)],
+            "b": [np.array([rng.normal(3, 0.1), 7.0]) for _ in range(15)],
+        }
+        result = train_linear_classifier(examples)
+        assert result.classifier.classify(np.array([-3.0, 7.0])) == "a"
+        assert np.isfinite(result.classifier.weights).all()
+
+    def test_single_example_per_class(self):
+        examples = {
+            "a": [np.array([0.0, 0.0])],
+            "b": [np.array([1.0, 1.0])],
+        }
+        result = train_linear_classifier(examples)
+        assert result.classifier.classify(np.array([0.1, -0.1])) == "a"
+
+    def test_metric_shares_inverse_covariance(self):
+        rng = np.random.default_rng(7)
+        examples = {
+            "a": gaussian_class(rng, [0, 0], np.eye(2), 20),
+            "b": gaussian_class(rng, [5, 5], np.eye(2), 20),
+        }
+        result = train_linear_classifier(examples)
+        d_aa = result.metric.squared_distance(
+            result.mean_of("a"), result.mean_of("a")
+        )
+        d_ab = result.metric.squared_distance(
+            result.mean_of("a"), result.mean_of("b")
+        )
+        assert d_aa == 0.0
+        assert d_ab > 1.0
+
+
+class TestTrainerErrors:
+    def test_empty_training_set(self):
+        with pytest.raises(ValueError):
+            train_linear_classifier({})
+
+    def test_empty_class(self):
+        with pytest.raises(ValueError, match="no training examples"):
+            train_linear_classifier({"a": [np.zeros(2)], "b": []})
+
+    def test_inconsistent_dimensions(self):
+        with pytest.raises(ValueError):
+            train_linear_classifier(
+                {"a": [np.zeros(2)], "b": [np.zeros(3)]}
+            )

@@ -1,0 +1,149 @@
+"""Unit tests for the parametric gesture generator."""
+
+import math
+
+import pytest
+
+from repro.synth import (
+    GenerationParams,
+    GestureGenerator,
+    eight_direction_templates,
+    gdp_templates,
+    with_params,
+)
+
+
+@pytest.fixture
+def generator():
+    return GestureGenerator(eight_direction_templates(), seed=7)
+
+
+class TestDeterminism:
+    def test_same_seed_same_gestures(self):
+        a = GestureGenerator(eight_direction_templates(), seed=42)
+        b = GestureGenerator(eight_direction_templates(), seed=42)
+        ga, gb = a.generate("ur"), b.generate("ur")
+        assert ga.stroke == gb.stroke
+        assert ga.corner_sample_indices == gb.corner_sample_indices
+
+    def test_different_seed_different_gestures(self):
+        a = GestureGenerator(eight_direction_templates(), seed=1)
+        b = GestureGenerator(eight_direction_templates(), seed=2)
+        assert a.generate("ur").stroke != b.generate("ur").stroke
+
+    def test_successive_draws_vary(self, generator):
+        assert generator.generate("ur").stroke != generator.generate("ur").stroke
+
+
+class TestGeneratedGeometry:
+    def test_roughly_at_nominal_scale(self, generator):
+        stroke = generator.generate("dr").stroke
+        diag = stroke.bounding_box().diagonal
+        # Scale 100 with +-3 sigma of log-scale wobble.
+        assert 40 < diag < 250
+
+    def test_point_count_reflects_spacing(self, generator):
+        stroke = generator.generate("dr").stroke
+        expected = stroke.path_length() / generator.params.spacing
+        assert len(stroke) == pytest.approx(expected, rel=0.5)
+
+    def test_timestamps_monotonic(self, generator):
+        stroke = generator.generate("lu").stroke
+        times = [p.t for p in stroke]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+
+    def test_unknown_class_raises(self, generator):
+        with pytest.raises(KeyError):
+            generator.generate("nope")
+
+
+class TestGroundTruth:
+    def test_corner_index_recorded(self, generator):
+        example = generator.generate("ur")
+        assert len(example.corner_sample_indices) == 1
+        assert 0 < example.corner_sample_indices[0] < len(example.stroke)
+
+    def test_oracle_points(self, generator):
+        example = generator.generate("ur")
+        assert example.oracle_points == example.corner_sample_indices[0] + 1
+
+    def test_corner_is_near_the_geometric_corner(self, generator):
+        # The recorded corner sample should be close to where the path
+        # actually turns: for "ur" (up then right) the corner is the
+        # minimum-y region of the stroke.
+        example = generator.generate("ur")
+        stroke = example.stroke
+        corner_point = stroke[example.corner_sample_indices[0]]
+        min_y = min(p.y for p in stroke)
+        assert corner_point.y - min_y < 20.0
+
+    def test_cornerless_class_has_no_oracle(self):
+        generator = GestureGenerator(gdp_templates(), seed=3)
+        example = generator.generate("ellipse")
+        assert example.corner_sample_indices == ()
+        assert example.oracle_points is None
+
+
+class TestDotGeneration:
+    def test_dot_has_two_points(self):
+        generator = GestureGenerator(gdp_templates(), seed=4)
+        stroke = generator.generate("dot").stroke
+        assert len(stroke) == 2
+        assert stroke.path_length() < 5.0
+
+
+class TestCornerLoops:
+    def test_loops_appear_with_probability_one(self):
+        params = GenerationParams(corner_loop_probability=1.0)
+        generator = GestureGenerator(
+            eight_direction_templates(), params=params, seed=5
+        )
+        example = generator.generate("ur")
+        assert example.looped_corner
+
+    def test_loop_increases_turning(self):
+        clean_gen = GestureGenerator(eight_direction_templates(), seed=6)
+        loop_gen = GestureGenerator(
+            eight_direction_templates(),
+            params=GenerationParams(corner_loop_probability=1.0),
+            seed=6,
+        )
+        from repro.features import features_of
+
+        clean_abs = features_of(clean_gen.generate("ur").stroke)[9]
+        looped_abs = features_of(loop_gen.generate("ur").stroke)[9]
+        # A 270-degree loop adds far more absolute turning than a sharp
+        # 90-degree corner.
+        assert looped_abs > clean_abs + math.pi / 2
+
+    def test_no_loops_by_default(self, generator):
+        assert not any(
+            generator.generate("ur").looped_corner for _ in range(10)
+        )
+
+
+class TestBatchGeneration:
+    def test_generate_examples_counts(self, generator):
+        batch = generator.generate_examples(4)
+        assert set(batch) == set(eight_direction_templates())
+        assert all(len(v) == 4 for v in batch.values())
+
+    def test_generate_strokes_shape(self, generator):
+        strokes = generator.generate_strokes(3)
+        for class_name, items in strokes.items():
+            assert len(items) == 3
+            for stroke in items:
+                assert len(stroke) > 0
+
+
+class TestWithParams:
+    def test_overrides_parameters(self, generator):
+        louder = with_params(generator, jitter=50.0)
+        assert louder.params.jitter == 50.0
+        assert louder.params.scale == generator.params.scale
+        assert louder.templates == generator.templates
+
+    def test_empty_templates_rejected(self):
+        with pytest.raises(ValueError):
+            GestureGenerator({}, seed=0)

@@ -1,0 +1,169 @@
+"""Unit tests for gesture templates and the template families."""
+
+import math
+
+import pytest
+
+from repro.synth import (
+    EIGHT_DIRECTION_CLASSES,
+    GDP_CLASS_NAMES,
+    NOTE_CLASS_NAMES,
+    GestureTemplate,
+    arc_waypoints,
+    direction_pair_template,
+    eight_direction_templates,
+    gdp_templates,
+    note_templates,
+    ud_templates,
+)
+
+
+class TestGestureTemplate:
+    def test_rejects_empty_waypoints(self):
+        with pytest.raises(ValueError):
+            GestureTemplate(name="x", waypoints=())
+
+    def test_rejects_non_interior_corner(self):
+        with pytest.raises(ValueError):
+            GestureTemplate(
+                name="x", waypoints=((0, 0), (1, 0)), corner_indices=(0,)
+            )
+        with pytest.raises(ValueError):
+            GestureTemplate(
+                name="x", waypoints=((0, 0), (1, 0), (1, 1)), corner_indices=(2,)
+            )
+
+    def test_is_dot(self):
+        assert GestureTemplate(name="dot", waypoints=((0, 0),)).is_dot
+        assert not GestureTemplate(name="l", waypoints=((0, 0), (1, 1))).is_dot
+
+    def test_path_length(self):
+        t = GestureTemplate(name="L", waypoints=((0, 0), (3, 0), (3, 4)))
+        assert t.path_length() == pytest.approx(7.0)
+
+    def test_arc_length_at(self):
+        t = GestureTemplate(name="L", waypoints=((0, 0), (3, 0), (3, 4)))
+        assert t.arc_length_at(0) == 0.0
+        assert t.arc_length_at(1) == pytest.approx(3.0)
+        assert t.arc_length_at(2) == pytest.approx(7.0)
+
+    def test_arc_length_out_of_range(self):
+        t = GestureTemplate(name="l", waypoints=((0, 0), (1, 1)))
+        with pytest.raises(ValueError):
+            t.arc_length_at(5)
+
+
+class TestArcWaypoints:
+    def test_point_count(self):
+        assert len(arc_waypoints(0, 0, 1, 0, math.pi, steps=10)) == 11
+
+    def test_points_on_circle(self):
+        for x, y in arc_waypoints(5, 5, 2, 0, 2 * math.pi, steps=16):
+            assert math.hypot(x - 5, y - 5) == pytest.approx(2.0)
+
+    def test_start_angle_respected(self):
+        first = arc_waypoints(0, 0, 1, math.pi / 2, math.pi, steps=4)[0]
+        assert first[0] == pytest.approx(0.0, abs=1e-12)
+        assert first[1] == pytest.approx(1.0)
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ValueError):
+            arc_waypoints(0, 0, 1, 0, 1, steps=0)
+
+
+class TestDirectionFamilies:
+    def test_eight_classes(self):
+        templates = eight_direction_templates()
+        assert set(templates) == set(EIGHT_DIRECTION_CLASSES)
+        assert len(templates) == 8
+
+    def test_each_has_one_corner(self):
+        for template in eight_direction_templates().values():
+            assert template.corner_indices == (1,)
+            assert len(template.waypoints) == 3
+
+    def test_direction_semantics(self):
+        # "ur" = up then right, under y-down screen coordinates.
+        t = direction_pair_template("ur")
+        (x0, y0), (x1, y1), (x2, y2) = t.waypoints
+        assert y1 < y0  # first segment goes up (negative y)
+        assert x2 > x1  # second segment goes right
+
+    def test_shared_prefixes(self):
+        # ur and ul share their initial upward segment — the ambiguity
+        # eager recognition must respect.
+        ur = direction_pair_template("ur")
+        ul = direction_pair_template("ul")
+        assert ur.waypoints[1] == ul.waypoints[1]
+
+    def test_first_fraction(self):
+        t = direction_pair_template("ru", first_fraction=0.8)
+        assert t.arc_length_at(1) == pytest.approx(0.8)
+
+    def test_invalid_names(self):
+        with pytest.raises(ValueError):
+            direction_pair_template("xx")
+        with pytest.raises(ValueError):
+            direction_pair_template("u")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            direction_pair_template("ur", first_fraction=1.0)
+
+    def test_ud_family(self):
+        templates = ud_templates()
+        assert set(templates) == {"U", "D"}
+        # Both start rightward; they diverge at the corner.
+        assert templates["U"].waypoints[1] == templates["D"].waypoints[1]
+        assert templates["U"].waypoints[2][1] < templates["D"].waypoints[2][1]
+
+
+class TestGdpFamily:
+    def test_eleven_classes(self):
+        templates = gdp_templates()
+        assert set(templates) == set(GDP_CLASS_NAMES)
+        assert len(templates) == 11
+
+    def test_dot_is_degenerate(self):
+        assert gdp_templates()["dot"].is_dot
+
+    def test_group_is_nearly_closed(self):
+        group = gdp_templates()["group"]
+        (x0, y0), (xn, yn) = group.waypoints[0], group.waypoints[-1]
+        assert math.hypot(xn - x0, yn - y0) < 0.5 * group.path_length()
+
+    def test_group_is_clockwise(self):
+        # §5: "the group gesture was trained clockwise".  Under y-down
+        # coordinates, clockwise paths have positive signed area sum.
+        group = gdp_templates()["group"]
+        pts = group.waypoints
+        signed = sum(
+            (bx - ax) * (by + ay) / 2.0
+            for (ax, ay), (bx, by) in zip(pts, pts[1:])
+        )
+        assert signed < 0  # shoelace under y-down: clockwise is negative
+
+    def test_all_names_match_keys(self):
+        for name, template in gdp_templates().items():
+            assert template.name == name
+
+
+class TestNoteFamily:
+    def test_five_classes(self):
+        assert set(note_templates()) == set(NOTE_CLASS_NAMES)
+
+    def test_nesting(self):
+        # Figure 8's defining property: each note is a strict prefix of
+        # the next shorter note's gesture.
+        templates = note_templates()
+        ordered = [templates[name] for name in NOTE_CLASS_NAMES]
+        for shorter, longer in zip(ordered, ordered[1:]):
+            assert (
+                longer.waypoints[: len(shorter.waypoints)] == shorter.waypoints
+            )
+
+    def test_lengths_strictly_increase(self):
+        templates = note_templates()
+        lengths = [templates[name].path_length() for name in NOTE_CLASS_NAMES]
+        assert lengths == sorted(lengths)
+        assert len(set(lengths)) == len(lengths)

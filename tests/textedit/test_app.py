@@ -1,0 +1,135 @@
+"""Integration tests for the gesture-driven text editor."""
+
+import pytest
+
+from repro.events import perform_gesture
+from repro.geometry import Stroke
+from repro.synth import GenerationParams, GestureGenerator
+from repro.textedit import (
+    CHAR_WIDTH,
+    LINE_HEIGHT,
+    TailedGestureGenerator,
+    TextEditApp,
+    TextPosition,
+    editing_templates,
+    train_textedit_recognizer,
+)
+
+
+@pytest.fixture(scope="module")
+def recognizer():
+    return train_textedit_recognizer(examples_per_class=12, seed=9)
+
+
+@pytest.fixture
+def app(recognizer):
+    return TextEditApp(
+        "the quick brown fox\njumps over the lazy dog",
+        recognizer=recognizer,
+        use_eager=False,
+    )
+
+
+def circle_over(app, col_start, col_end, line=0, seed=3):
+    """A move-text circle whose box covers [col_start, col_end) of a line."""
+    width_px = (col_end - col_start) * CHAR_WIDTH
+    generator = GestureGenerator(
+        {"move-text": editing_templates()["move-text"]},
+        params=GenerationParams(scale=max(width_px * 1.6, 60.0)),
+        seed=seed,
+    )
+    stroke = generator.generate("move-text").stroke
+    box = stroke.bounding_box()
+    target_cx = 20.0 + (col_start + col_end) / 2 * CHAR_WIDTH
+    target_cy = 20.0 + (line + 0.5) * LINE_HEIGHT
+    return stroke.translated(target_cx - box.center.x, target_cy - box.center.y)
+
+
+def slot_xy(app, line, col):
+    x, y = app.buffer.position_to_xy(TextPosition(line, col))
+    return (x, y + LINE_HEIGHT / 2)
+
+
+class TestMoveText:
+    def test_move_word_to_another_line(self, app):
+        stroke = circle_over(app, 4, 9)  # around "quick"
+        dest = slot_xy(app, 1, len("jumps over the lazy dog"))
+        events = perform_gesture(
+            stroke, dwell=0.3, manipulation_path=Stroke.from_xy([dest], dt=0.03)
+        )
+        app.perform(events)
+        assert "quick" not in app.buffer.lines[0]
+        assert "quick" in app.buffer.lines[1]
+        assert app.last_action.startswith("move-text: moved")
+
+    def test_snap_cursor_live_during_manipulation(self, app):
+        stroke = circle_over(app, 4, 9)
+        # Wander to a nonsense position; the cursor must snap to legal.
+        events = perform_gesture(
+            stroke,
+            dwell=0.3,
+            manipulation_path=Stroke.from_xy([(10_000.0, -500.0)], dt=0.03),
+        )
+        # Peek mid-interaction: drive events except the final release.
+        app.post(events[:-1])
+        app.dispatcher.run()
+        assert app.snap_cursor is not None
+        assert app.snap_cursor.line == 0  # clamped
+        assert app.snap_cursor.col <= len(app.buffer.lines[0])
+        # Finish the interaction.
+        app.post([events[-1]])
+        app.dispatcher.run()
+        assert app.snap_cursor is None  # cleared after done
+
+    def test_empty_circle_moves_nothing(self, app):
+        before = app.buffer.text
+        stroke = circle_over(app, 4, 9).translated(400, 300)  # empty space
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        assert app.buffer.text == before
+        assert app.last_action == "move-text: nothing circled"
+
+
+class TestDeleteAndInsert:
+    def test_delete_strikes_text(self, app, recognizer):
+        generator = TailedGestureGenerator(editing_templates(), seed=4)
+        example = generator.generate("delete-text")
+        # The strike spans ~90px; place it over "brown" (cols 10-15).
+        stroke = example.stroke
+        box = stroke.bounding_box()
+        target_cx = 20.0 + 12.5 * CHAR_WIDTH
+        target_cy = 20.0 + 0.5 * LINE_HEIGHT
+        stroke = stroke.translated(
+            target_cx - box.center.x, target_cy - box.center.y
+        )
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        assert app.last_action.startswith("delete-text: removed")
+        assert "brown" not in app.buffer.lines[0]
+
+    def test_insert_marks_caret(self, app):
+        generator = TailedGestureGenerator(editing_templates(), seed=5)
+        stroke = generator.generate("insert-text").stroke
+        box = stroke.bounding_box()
+        # Apex over line 1, around column 5.
+        target_x = 20.0 + 5 * CHAR_WIDTH
+        stroke = stroke.translated(
+            target_x - box.center.x, (20.0 + 1.2 * LINE_HEIGHT) - box.min_y
+        )
+        app.perform(perform_gesture(stroke, dwell=0.3))
+        assert app.insert_marks
+        assert app.insert_marks[-1].line == 1
+        assert app.last_action.startswith("insert-text: caret")
+
+
+class TestTrainedOnPrefixes:
+    def test_recognizer_classes(self, recognizer):
+        assert set(recognizer.class_names) == {
+            "move-text",
+            "delete-text",
+            "insert-text",
+        }
+
+    def test_circle_prefix_classifies_as_move(self, recognizer):
+        generator = TailedGestureGenerator(editing_templates(), seed=6)
+        example = generator.generate("move-text")
+        prefix = example.stroke.subgesture(example.corner_sample_indices[0] + 1)
+        assert recognizer.classify_full(prefix) == "move-text"

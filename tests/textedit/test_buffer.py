@@ -1,0 +1,139 @@
+"""Unit tests for the text buffer substrate."""
+
+import pytest
+
+from repro.geometry import Stroke
+from repro.textedit import CHAR_WIDTH, LINE_HEIGHT, TextBuffer, TextPosition
+
+
+@pytest.fixture
+def buffer():
+    return TextBuffer("hello world\nsecond line", origin=(0.0, 0.0))
+
+
+class TestGeometry:
+    def test_lines_split(self, buffer):
+        assert buffer.lines == ["hello world", "second line"]
+
+    def test_empty_buffer_has_one_line(self):
+        assert TextBuffer("").lines == [""]
+
+    def test_position_to_xy(self, buffer):
+        x, y = buffer.position_to_xy(TextPosition(1, 3))
+        assert x == pytest.approx(3 * CHAR_WIDTH)
+        assert y == pytest.approx(1 * LINE_HEIGHT)
+
+    def test_char_center(self, buffer):
+        cx, cy = buffer.char_center(0, 0)
+        assert cx == pytest.approx(CHAR_WIDTH / 2)
+        assert cy == pytest.approx(LINE_HEIGHT / 2)
+
+    def test_origin_offsets_geometry(self):
+        buffer = TextBuffer("x", origin=(100.0, 50.0))
+        cx, cy = buffer.char_center(0, 0)
+        assert cx == pytest.approx(100 + CHAR_WIDTH / 2)
+        assert cy == pytest.approx(50 + LINE_HEIGHT / 2)
+
+    def test_bounds_cover_widest_line(self, buffer):
+        box = buffer.bounds()
+        assert box.width == pytest.approx(11 * CHAR_WIDTH)
+        assert box.height == pytest.approx(2 * LINE_HEIGHT)
+
+
+class TestSnapping:
+    def test_snap_to_exact_slot(self, buffer):
+        x, y = buffer.position_to_xy(TextPosition(0, 5))
+        assert buffer.snap(x, y + LINE_HEIGHT / 2) == TextPosition(0, 5)
+
+    def test_snap_clamps_line(self, buffer):
+        assert buffer.snap(0, -100).line == 0
+        assert buffer.snap(0, 1e6).line == 1
+
+    def test_snap_clamps_column_to_line_length(self, buffer):
+        pos = buffer.snap(1e6, LINE_HEIGHT * 1.5)
+        assert pos == TextPosition(1, len("second line"))
+
+    def test_snap_is_always_legal(self, buffer):
+        legal = set(buffer.legal_positions())
+        for x in (-50, 0, 37, 91, 500):
+            for y in (-10, 5, 20, 40, 300):
+                assert buffer.snap(x, y) in legal
+
+    def test_legal_positions_count(self):
+        buffer = TextBuffer("ab\nc")
+        # line 0: cols 0..2 (3 slots); line 1: cols 0..1 (2 slots).
+        assert len(buffer.legal_positions()) == 5
+
+
+class TestEnclosure:
+    def circle_around(self, buffer, line, col_start, col_end):
+        x1, y1 = buffer.position_to_xy(TextPosition(line, col_start))
+        x2 = col_end * CHAR_WIDTH
+        y2 = y1 + LINE_HEIGHT
+        return Stroke.from_xy(
+            [(x1 - 2, y1 - 2), (x2 + 2, y1 - 2), (x2 + 2, y2 + 2), (x1 - 2, y2 + 2)]
+        )
+
+    def test_chars_enclosed(self, buffer):
+        loop = self.circle_around(buffer, 0, 0, 5)  # around "hello"
+        enclosed = buffer.chars_enclosed_by(loop)
+        assert set(enclosed) == {(0, c) for c in range(5)}
+
+    def test_span_enclosed(self, buffer):
+        loop = self.circle_around(buffer, 0, 6, 11)  # around "world"
+        assert buffer.span_enclosed_by(loop) == (0, 6, 11)
+
+    def test_empty_enclosure(self, buffer):
+        loop = Stroke.from_xy([(500, 500), (510, 500), (510, 510), (500, 510)])
+        assert buffer.span_enclosed_by(loop) is None
+
+    def test_majority_line_wins(self, buffer):
+        # A loop catching all of "hello" plus one char of line 1.
+        loop = Stroke.from_xy(
+            [(-2, -2), (5 * CHAR_WIDTH + 2, -2),
+             (5 * CHAR_WIDTH + 2, LINE_HEIGHT + 10), (-2, LINE_HEIGHT + 10)]
+        )
+        span = buffer.span_enclosed_by(loop)
+        assert span is not None and span[0] == 0
+
+
+class TestEditing:
+    def test_extract(self, buffer):
+        removed = buffer.extract(0, 0, 5)
+        assert removed == "hello"
+        assert buffer.lines[0] == " world"
+
+    def test_extract_bad_span(self, buffer):
+        with pytest.raises(ValueError):
+            buffer.extract(0, 5, 99)
+
+    def test_insert(self, buffer):
+        buffer.insert(TextPosition(1, 7), "XYZ ")
+        assert buffer.lines[1] == "second XYZ line"
+
+    def test_insert_rejects_newline(self, buffer):
+        with pytest.raises(ValueError):
+            buffer.insert(TextPosition(0, 0), "a\nb")
+
+    def test_move_span_to_other_line(self, buffer):
+        buffer.move_span(0, 0, 5, TextPosition(1, 0))
+        assert buffer.lines[0] == " world"
+        assert buffer.lines[1] == "hellosecond line"
+
+    def test_move_span_right_on_same_line_adjusts_destination(self, buffer):
+        # Move "hello" after "world": destination col shifts left by the
+        # removed span's width.
+        buffer.move_span(0, 0, 5, TextPosition(0, 11))
+        assert buffer.lines[0] == " worldhello"
+
+    def test_move_span_into_itself_is_noop_ish(self, buffer):
+        before = buffer.lines[0]
+        buffer.move_span(0, 0, 5, TextPosition(0, 3))
+        assert sorted(buffer.lines[0]) == sorted(before)
+
+    def test_mutations_notify(self, buffer):
+        seen = []
+        buffer.add_observer(seen.append)
+        buffer.extract(0, 0, 1)
+        buffer.insert(TextPosition(0, 0), "z")
+        assert len(seen) == 2

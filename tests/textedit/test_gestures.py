@@ -1,0 +1,86 @@
+"""Unit tests for the tailed gesture generator."""
+
+import pytest
+
+from repro.textedit import TailedGestureGenerator, editing_templates
+from repro.textedit.gestures import extended_editing_templates
+
+
+@pytest.fixture
+def generator():
+    return TailedGestureGenerator(editing_templates(), seed=11)
+
+
+class TestTemplates:
+    def test_editing_classes(self):
+        assert set(editing_templates()) == {
+            "move-text",
+            "delete-text",
+            "insert-text",
+        }
+
+    def test_extended_adds_stem_classes(self):
+        extended = extended_editing_templates()
+        assert "paragraph-mark" in extended
+        assert "footnote-mark" in extended
+        assert set(editing_templates()) <= set(extended)
+
+    def test_stem_classes_share_circle_prefix(self):
+        extended = extended_editing_templates()
+        move = extended["move-text"].waypoints
+        pilcrow = extended["paragraph-mark"].waypoints
+        assert pilcrow[: len(move)] == move
+
+
+class TestTailGeneration:
+    def test_move_gets_a_tail(self, generator):
+        example = generator.generate("move-text")
+        assert example.corner_sample_indices  # prefix boundary recorded
+        prefix_end = example.corner_sample_indices[0]
+        assert prefix_end < len(example.stroke) - 1  # points after it
+
+    def test_untailed_classes_pass_through(self, generator):
+        example = generator.generate("insert-text")
+        # Insert keeps whatever ground truth the base generator gave.
+        assert example.class_name == "insert-text"
+
+    def test_tail_lengths_vary(self, generator):
+        lengths = []
+        for _ in range(15):
+            example = generator.generate("move-text")
+            prefix_end = example.corner_sample_indices[0]
+            prefix = example.stroke.subgesture(prefix_end + 1)
+            tail_length = example.stroke.path_length() - prefix.path_length()
+            lengths.append(tail_length)
+        assert max(lengths) > 2 * min(lengths)  # "vary greatly"
+
+    def test_tail_directions_vary(self, generator):
+        import math
+
+        angles = []
+        for _ in range(15):
+            example = generator.generate("move-text")
+            prefix_end = example.corner_sample_indices[0]
+            a = example.stroke[prefix_end]
+            b = example.stroke[-1]
+            angles.append(math.atan2(b.y - a.y, b.x - a.x))
+        spread = max(angles) - min(angles)
+        assert spread > math.pi / 2
+
+    def test_strip_tails_yields_prefixes(self, generator):
+        with_tails = TailedGestureGenerator(
+            editing_templates(), seed=12
+        ).generate_strokes(5, strip_tails=False)
+        prefixes = TailedGestureGenerator(
+            editing_templates(), seed=12
+        ).generate_strokes(5, strip_tails=True)
+        for tailed, prefix in zip(
+            with_tails["move-text"], prefixes["move-text"]
+        ):
+            assert len(prefix) < len(tailed)
+            assert prefix.is_prefix_of(tailed)
+
+    def test_tail_timestamps_continue(self, generator):
+        example = generator.generate("move-text")
+        times = [p.t for p in example.stroke]
+        assert times == sorted(times)
