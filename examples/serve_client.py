@@ -1,0 +1,104 @@
+"""Talk to the recognition service over TCP, stroke by stroke.
+
+Starts a :class:`repro.serve.GestureServer` on an ephemeral port, then
+plays two clients against it concurrently over real sockets, speaking
+the NDJSON protocol (``docs/SERVING.md``):
+
+* client A draws an up-right gesture and releases — the server answers
+  with a ``recog`` (often *eager*, before the release) and a ``commit``;
+* client B draws two points and then goes motionless, sending only
+  ``tick`` — the 200 ms *virtual* timeout classifies the prefix.
+
+Everything is driven by the timestamps the clients send, so the output
+is identical on every run, no matter how fast the machine is.
+
+Run:  python examples/serve_client.py
+"""
+
+import asyncio
+import json
+
+from repro import GestureGenerator, eight_direction_templates, train_eager_recognizer
+from repro.serve import GestureServer
+
+
+WAIT = object()  # sentinel: wait for the gate before the next line
+
+
+def _encode(op, t, stroke=None, x=0.0, y=0.0):
+    payload = {"op": op, "t": round(t, 4)}
+    if op != "tick":
+        payload.update(stroke=stroke, x=x, y=y)
+    return json.dumps(payload) + "\n"
+
+
+async def client(name, host, port, lines, until="commit", gate=None, done=None):
+    """Send request lines, then read replies until one of kind ``until``.
+
+    All clients share one virtual timeline, so ``gate``/``done`` events
+    order the big time jumps deterministically: B waits for A's stroke
+    to be fully sent before announcing that time has moved on.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    for line in lines:
+        if line is WAIT:
+            await gate.wait()
+            continue
+        writer.write(line.encode())
+        await writer.drain()
+        await asyncio.sleep(0)  # let the other client interleave
+    if done is not None:
+        done.set()
+    replies = []
+    while True:
+        reply = json.loads(await reader.readline())
+        print(f"  {name} <- {reply['kind']:>6}"
+              + (f" {reply['class']!r}" if reply.get("class") else "")
+              + (f" ({reply['reason']})" if reply.get("reason") else ""))
+        replies.append(reply)
+        if reply["kind"] == until:
+            break
+    writer.close()
+    await writer.wait_closed()
+    return replies
+
+
+async def main() -> None:
+    generator = GestureGenerator(eight_direction_templates(), seed=1)
+    recognizer = train_eager_recognizer(generator.generate_strokes(10)).recognizer
+    server = GestureServer(recognizer, port=0)  # ephemeral port
+    await server.start()
+    host, port = server.address
+    print(f"server up on {host}:{port}, classes: {recognizer.class_names}\n")
+
+    # Client A: a full up-right gesture, point every 10 virtual ms.
+    stroke = generator.generate("ur").stroke
+    lines_a = [_encode("down", stroke[0].t, "a1", stroke[0].x, stroke[0].y)]
+    lines_a += [_encode("move", p.t, "a1", p.x, p.y) for p in stroke[1:]]
+    lines_a.append(_encode("up", stroke[-1].t, "a1", stroke[-1].x, stroke[-1].y))
+
+    # Client B: two points, then silence — a tick carries time forward
+    # until the 200 ms motionless timeout fires.  The tick waits for A's
+    # stroke to be fully sent: one shared timeline, deterministic order.
+    t_end = stroke[-1].t
+    lines_b = [
+        _encode("down", 0.00, "b1", 0.0, 0.0),
+        _encode("move", 0.01, "b1", 8.0, 8.0),
+        WAIT,
+        _encode("tick", t_end + 0.30),
+    ]
+
+    a_done = asyncio.Event()
+    try:
+        await asyncio.gather(
+            client("A", host, port, lines_a, until="commit", done=a_done),
+            client("B", host, port, lines_b, until="recog", gate=a_done),
+        )
+    finally:
+        await server.stop()
+    print("\nboth clients served concurrently; decisions came from the "
+          "clients' own timestamps, not the wall clock")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -8,7 +8,12 @@ Subcommands:
   recognizer;
 * ``evaluate`` — run the paper's §5 protocol on a gesture family and
   print the summary and figure-9-style grid;
-* ``demo`` — run a scripted GDP session and print the canvas.
+* ``demo`` — run a scripted GDP session and print the canvas;
+* ``serve`` — run the NDJSON-over-TCP recognition service
+  (:mod:`repro.serve`) on a saved recognizer, a registry model, or a
+  freshly trained synthetic family;
+* ``loadgen`` — drive the session pool with a synthetic workload and
+  print throughput/latency for the batched and/or sequential mode.
 """
 
 from __future__ import annotations
@@ -62,21 +67,23 @@ def _cmd_train(args: argparse.Namespace) -> int:
             args.examples
         )
     report = train_eager_recognizer(strokes)
-    import json
-
-    with open(args.output, "w") as f:
-        json.dump(report.recognizer.to_dict(), f)
+    report.recognizer.save(args.output)
     print(f"trained on {sum(len(v) for v in strokes.values())} examples "
           f"across {len(strokes)} classes")
     print(f"recognizer written to {args.output}")
+    if args.registry:
+        from .serve import ModelRegistry
+
+        name = args.name or args.family
+        version = ModelRegistry(args.registry).publish(
+            name, report.recognizer, metadata={"source": "repro-gestures train"}
+        )
+        print(f"published to {args.registry} as {name}@{version.version}")
     return 0
 
 
 def _cmd_classify(args: argparse.Namespace) -> int:
-    import json
-
-    with open(args.recognizer) as f:
-        recognizer = EagerRecognizer.from_dict(json.load(f))
+    recognizer = EagerRecognizer.load(args.recognizer)
     gesture_set = GestureSet.load(args.dataset)
     correct = 0
     for example in gesture_set:
@@ -136,6 +143,99 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_recognizer(args: argparse.Namespace) -> EagerRecognizer:
+    """One recognizer from ``--recognizer`` / ``--registry`` / ``--family``."""
+    sources = [
+        s for s in (args.recognizer, args.registry, args.family) if s
+    ]
+    if len(sources) != 1:
+        raise SystemExit(
+            "choose exactly one of --recognizer, --registry, --family"
+        )
+    if args.recognizer:
+        return EagerRecognizer.load(args.recognizer)
+    if args.registry:
+        from .serve import ModelRegistry
+
+        if not args.model:
+            raise SystemExit("--registry requires --model NAME[@VERSION]")
+        name, _, version = args.model.partition("@")
+        try:
+            return ModelRegistry(args.registry).load(name, version or None)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0]) from None
+    strokes = _generator(args.family, args.seed).generate_strokes(
+        args.examples
+    )
+    return train_eager_recognizer(strokes).recognizer
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import GestureServer
+
+    recognizer = _resolve_recognizer(args)
+
+    async def run() -> None:
+        server = GestureServer(
+            recognizer,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+            max_sessions=args.max_sessions,
+        )
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving {len(recognizer.class_names)} gesture classes "
+            f"on {host}:{port} (NDJSON; ops: down/move/up/tick)"
+        )
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import compare_modes, family_templates, generate_workload, run_load
+
+    try:
+        templates = family_templates(args.family)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    strokes = GestureGenerator(templates, seed=args.seed).generate_strokes(
+        args.examples
+    )
+    recognizer = train_eager_recognizer(strokes).recognizer
+    workload = generate_workload(
+        templates,
+        clients=args.clients,
+        gestures_per_client=args.gestures,
+        seed=args.seed + 1,
+    )
+    if args.mode == "both":
+        batched, sequential = compare_modes(recognizer, workload)
+        print(batched.summary())
+        print(sequential.summary())
+        print(
+            f"speedup: {batched.points_per_sec / sequential.points_per_sec:.2f}x "
+            "(decision streams identical)"
+        )
+    else:
+        result = run_load(
+            recognizer, workload, batched=args.mode == "batched"
+        )
+        print(result.summary())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gestures",
@@ -150,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--examples", type=int, default=15, help="examples per class")
     train.add_argument("--seed", type=int, default=7)
     train.add_argument("--output", default="recognizer.json")
+    train.add_argument(
+        "--registry", help="also publish into this model-registry directory"
+    )
+    train.add_argument(
+        "--name", help="registry model name (defaults to the family name)"
+    )
     train.set_defaults(func=_cmd_train)
 
     classify = sub.add_parser("classify", help="classify a dataset")
@@ -168,6 +274,40 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="scripted GDP session")
     demo.add_argument("--seed", type=int, default=42)
     demo.set_defaults(func=_cmd_demo)
+
+    serve = sub.add_parser("serve", help="run the recognition service")
+    serve.add_argument("--recognizer", help="saved recognizer JSON")
+    serve.add_argument("--registry", help="model-registry directory")
+    serve.add_argument("--model", help="registry model as NAME[@VERSION]")
+    serve.add_argument(
+        "--family", help="train on a synthetic family at startup"
+    )
+    serve.add_argument("--examples", type=int, default=15)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7391)
+    serve.add_argument(
+        "--timeout", type=float, default=0.2,
+        help="motionless timeout in (virtual) seconds",
+    )
+    serve.add_argument("--max-sessions", type=int, default=4096)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="synthetic load through the session pool"
+    )
+    loadgen.add_argument("--family", default="notes")
+    loadgen.add_argument("--clients", type=int, default=64)
+    loadgen.add_argument("--gestures", type=int, default=4)
+    loadgen.add_argument("--examples", type=int, default=12)
+    loadgen.add_argument("--seed", type=int, default=3)
+    loadgen.add_argument(
+        "--mode",
+        choices=["batched", "sequential", "both"],
+        default="both",
+        help="'both' also verifies the decision streams are identical",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     return parser
 

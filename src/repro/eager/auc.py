@@ -12,7 +12,9 @@ complete ("C-c") sets.
 
 from __future__ import annotations
 
+import json
 import math
+from pathlib import Path
 
 import numpy as np
 
@@ -37,6 +39,9 @@ class AmbiguityClassifier:
         }
         if not self._complete:
             raise ValueError("AUC has no complete classes; D would be constant")
+        self._complete_row_mask = np.array(
+            [name in self._complete for name in linear.class_names]
+        )
 
     @property
     def complete_class_names(self) -> set[str]:
@@ -53,6 +58,30 @@ class AmbiguityClassifier:
     def is_unambiguous(self, features: np.ndarray) -> bool:
         """The paper's D: true iff the winner is a complete set."""
         return self.classify_set(features) in self._complete
+
+    # -- batched evaluation --------------------------------------------------
+
+    def classify_set_many(
+        self, features: np.ndarray, extra_tolerance: np.ndarray | None = None
+    ) -> list[str]:
+        """Winning set per row of an ``(n, F)`` matrix.
+
+        Bit-identical to ``[classify_set(f) for f in features]`` — see
+        :meth:`~repro.recognizer.LinearClassifier.classify_many`.
+        """
+        return self.linear.classify_many(features, extra_tolerance)
+
+    def is_unambiguous_many(
+        self, features: np.ndarray, extra_tolerance: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The decision function D over a stack of feature vectors.
+
+        Returns a boolean array, bit-identical to
+        ``[is_unambiguous(f) for f in features]``, evaluated with one
+        matrix product instead of a per-row Python loop.
+        """
+        winners = self.linear.classify_many_indices(features, extra_tolerance)
+        return self._complete_row_mask[winners]
 
     def apply_ambiguity_bias(self, ratio: float = AMBIGUITY_BIAS_RATIO) -> None:
         """Raise every incomplete class's constant by ``ln(ratio)``.
@@ -116,3 +145,11 @@ class AmbiguityClassifier:
     @classmethod
     def from_dict(cls, data: dict) -> "AmbiguityClassifier":
         return cls(LinearClassifier.from_dict(data["linear"]))
+
+    def save(self, path: str | Path) -> None:
+        """Write the AUC to a JSON file (cf. ``GestureClassifier.save``)."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AmbiguityClassifier":
+        return cls.from_dict(json.loads(Path(path).read_text()))

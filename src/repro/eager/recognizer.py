@@ -14,7 +14,9 @@ whole-stroke convenience API (used by the evaluation harness).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..features import IncrementalFeatures
 from ..geometry import Point, Stroke
@@ -159,3 +161,16 @@ class EagerRecognizer:
             auc=AmbiguityClassifier.from_dict(data["auc"]),
             min_points=data["min_points"],
         )
+
+    def save(self, path: str | Path) -> None:
+        """Write the recognizer to a JSON file.
+
+        Parity with :meth:`GestureClassifier.save`: the CLI, the
+        :class:`~repro.serve.ModelRegistry`, and user code all round-trip
+        trained recognizers through this one pair of methods.
+        """
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EagerRecognizer":
+        return cls.from_dict(json.loads(Path(path).read_text()))

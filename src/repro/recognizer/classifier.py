@@ -124,6 +124,24 @@ class GestureClassifier:
         """
         return self._training.classifier.classify(self._mask(features))
 
+    def classify_features_many(
+        self, features: np.ndarray, extra_tolerance: np.ndarray | None = None
+    ) -> list[str]:
+        """Classify a stack of precomputed full 13-dim feature vectors.
+
+        Bit-identical to ``[classify_features(f) for f in features]``
+        (see :meth:`~repro.recognizer.LinearClassifier.classify_many`)
+        but evaluated with one matrix product — the batched hot path of
+        :mod:`repro.serve`.  The classifier applies its own feature
+        mask, if any, as a column selection.
+        """
+        features = np.asarray(features, dtype=float)
+        if self.feature_indices is not None:
+            features = features[:, self.feature_indices]
+        return self._training.classifier.classify_many(
+            features, extra_tolerance
+        )
+
     def classify_with_rejection(
         self, gesture: Stroke, policy: RejectionPolicy | None = None
     ) -> RejectionResult:

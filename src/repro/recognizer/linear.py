@@ -23,6 +23,14 @@ import numpy as np
 
 __all__ = ["LinearClassifier"]
 
+# Relative score-margin slack under which a batched (matrix-matrix)
+# evaluation is not trusted to agree with the sequential (matrix-vector)
+# one.  BLAS is free to accumulate the two in different orders, so the
+# results can differ in the last few ulps; 2^11 * F * eps is orders of
+# magnitude above any such difference while still being vanishingly rare
+# as an actual margin between trained classes.
+_MARGIN_SLACK_FACTOR = 2048.0 * np.finfo(float).eps
+
 
 class LinearClassifier:
     """Per-class linear evaluation functions ``v_c(f) = w_c . f + b_c``."""
@@ -83,6 +91,79 @@ class LinearClassifier:
         """Winner plus the full evaluation vector (for rejection logic)."""
         v = self.evaluations(features)
         return self.class_names[int(np.argmax(v))], v
+
+    # -- batched evaluation --------------------------------------------------
+
+    def evaluations_many(self, features: np.ndarray) -> np.ndarray:
+        """All class evaluations for a stack of feature vectors.
+
+        Args:
+            features: ``(n, F)`` matrix, one feature vector per row.
+
+        Returns:
+            ``(n, C)`` matrix of evaluations; row ``i`` is (up to BLAS
+            accumulation order) :meth:`evaluations` of ``features[i]``.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or features.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected an (n, {self.num_features}) matrix, "
+                f"got {features.shape}"
+            )
+        return features @ self.weights.T + self.constants
+
+    def classify_many_indices(
+        self, features: np.ndarray, extra_tolerance: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Winning class *row index* for each feature vector in a stack.
+
+        Guaranteed identical to ``[argmax(evaluations(f)) for f in
+        features]``: the scores come from one matrix-matrix product, but
+        any row whose winning margin is within floating-point slack of
+        the runner-up (where a different BLAS accumulation order could
+        change the argmax, or an exact tie could break differently) is
+        re-evaluated through the sequential :meth:`evaluations` path.
+
+        Args:
+            features: ``(n, F)`` matrix.
+            extra_tolerance: optional per-row additional margin slack, in
+                score units, below which a row is also re-evaluated
+                sequentially.  Callers whose *feature rows* are inexact
+                (e.g. vectorized incremental features) pass the score
+                error bound of that inexactness here; rows with margins
+                above it are then provably unaffected by it.
+        """
+        scores = self.evaluations_many(features)
+        winners = np.argmax(scores, axis=1)
+        if self.num_classes == 1:
+            return winners
+        top2 = np.partition(scores, -2, axis=1)[:, -2:]
+        margin = top2[:, 1] - top2[:, 0]
+        # Scale the slack by the largest absolute term that entered each
+        # row's accumulation: |f| . |w|^T + |b| bounds every partial sum.
+        magnitude = np.abs(features) @ np.abs(self.weights).T + np.abs(
+            self.constants
+        )
+        tolerance = _MARGIN_SLACK_FACTOR * self.num_features * np.max(
+            magnitude, axis=1
+        )
+        if extra_tolerance is not None:
+            tolerance = tolerance + extra_tolerance
+        for row in np.flatnonzero(margin <= tolerance):
+            winners[row] = int(np.argmax(self.evaluations(features[row])))
+        return winners
+
+    def classify_many(
+        self, features: np.ndarray, extra_tolerance: np.ndarray | None = None
+    ) -> list[str]:
+        """Winning class name per row; see :meth:`classify_many_indices`.
+
+        Bit-identical to ``[classify(f) for f in features]``.
+        """
+        return [
+            self.class_names[i]
+            for i in self.classify_many_indices(features, extra_tolerance)
+        ]
 
     def probability_correct(self, features: np.ndarray) -> float:
         """Softmax estimate that the winning class is the right one.

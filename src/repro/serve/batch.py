@@ -1,0 +1,240 @@
+"""Batched linear discrimination with an exact sequential fallback.
+
+The hot path of the serving layer: stack the feature rows of every
+in-flight stroke into an ``(n, 13)`` matrix and evaluate *all* per-class
+linear evaluation functions — the full classifier's and the AUC's — with
+one matrix product per tick, instead of one gemv plus Python overhead
+per session per point.
+
+Equivalence guarantee
+---------------------
+
+The batched path must emit *exactly* the decisions the per-session
+sequential path (:class:`~repro.eager.EagerSession`) would.  Two things
+could break bit-identity:
+
+1. BLAS may accumulate a matrix-matrix product in a different order
+   than a matrix-vector product, shifting scores by a few ulps.
+2. The :class:`~repro.serve.bank.FeatureBank` computes ``arctan2`` and
+   ``hypot`` through numpy's libm entry points, which may differ from
+   ``math.atan2`` / ``math.hypot`` by an ulp, so its feature rows can
+   drift from the scalar ones — by at most a few ulps per feature for
+   the direction/bbox features, and linearly in the point count for the
+   accumulated turn-angle features (f9–f11).
+
+Both error sources are *bounded*, and the bounds are cheap to evaluate
+in batch: per row, ``|f| . |w|^T + |b|`` bounds every partial sum of the
+product (source 1), and a per-classifier drift coefficient times the
+row's point count bounds source 2.  Any row whose winning margin falls
+inside the combined bound is flagged ``risky`` and re-decided by the
+caller through the exact sequential path (replaying the stroke through
+:class:`~repro.features.IncrementalFeatures`); every other row's argmax
+is provably unaffected, hence identical.  In practice trained-class
+margins sit ten-plus orders of magnitude above the bound, so the
+fallback triggers essentially never — it exists to turn "almost surely
+identical" into "identical".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..eager import EagerRecognizer
+from ..features.rubine import NUM_FEATURES
+
+__all__ = ["BatchEvaluator"]
+
+_EPS = float(np.finfo(float).eps)
+
+# Score-margin slack per unit of accumulated magnitude (error source 1).
+_MARGIN_SLACK = 2048.0 * _EPS
+
+# One vectorized-vs-scalar atan2 disagreement moves a turn angle by at
+# most a few ulps of pi; 4 eps pi is a generous per-point bound.
+_THETA_ULP = 4.0 * _EPS * math.pi
+
+# Feature indices, in the full 13-feature space, of the unit-magnitude
+# direction cosines (hypot-then-divide: absolute error O(eps)) and of
+# the accumulated turn-angle features (error linear in point count).
+_DIRECTION_FEATURES = (0, 1, 5, 6)
+_ANGLE_SUM_FEATURES = (8, 9)
+_ANGLE_SQ_FEATURE = 10
+
+
+class _CheckedLinear:
+    """One classifier's batched scores plus its row-level risk bound."""
+
+    def __init__(self, linear, feature_indices):
+        self.linear = linear
+        self.columns = (
+            None if feature_indices is None else list(feature_indices)
+        )
+        self.weights_t = np.ascontiguousarray(linear.weights.T)
+        self.constants = linear.constants
+        self.abs_weights_t = np.abs(self.weights_t)
+        self.abs_constants = np.abs(self.constants)
+
+        # Map full-space feature indices into this classifier's columns
+        # (a masked classifier may not see all of them).
+        cols = self.columns if self.columns is not None else list(
+            range(NUM_FEATURES)
+        )
+        position = {orig: i for i, orig in enumerate(cols)}
+        absw = np.abs(linear.weights)
+
+        def weight_of(orig_feature: int) -> np.ndarray:
+            i = position.get(orig_feature)
+            return absw[:, i] if i is not None else 0.0
+
+        # Drift bound (error source 2), split into a static part (the
+        # direction cosines' O(eps) absolute error) and a per-point part
+        # (the accumulated angle features).  |theta| <= pi bounds the
+        # derivative of theta^2.
+        static = sum(weight_of(i) for i in _DIRECTION_FEATURES) * 4.0 * _EPS
+        per_point = (
+            sum(weight_of(i) for i in _ANGLE_SUM_FEATURES)
+            + weight_of(_ANGLE_SQ_FEATURE) * 2.0 * math.pi
+        ) * _THETA_ULP
+        self.static_drift = float(np.max(static)) if linear.num_classes else 0.0
+        self.per_point_drift = (
+            float(np.max(per_point)) if linear.num_classes else 0.0
+        )
+
+    def decide(
+        self, features: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Winning class indices plus a per-row ``risky`` flag.
+
+        ``features`` is always in the full 13-feature space; the
+        classifier's own column mask is applied here, exactly as
+        ``GestureClassifier.classify_features`` does per vector.
+        """
+        if self.columns is not None:
+            features = features[:, self.columns]
+        scores = features @ self.weights_t + self.constants
+        winners = np.argmax(scores, axis=1)
+        if scores.shape[1] == 1:
+            return winners, np.zeros(len(features), dtype=bool)
+        top2 = np.partition(scores, -2, axis=1)[:, -2:]
+        margin = top2[:, 1] - top2[:, 0]
+        magnitude = np.abs(features) @ self.abs_weights_t + self.abs_constants
+        tolerance = (
+            _MARGIN_SLACK * features.shape[1] * np.max(magnitude, axis=1)
+            + self.static_drift
+            + self.per_point_drift * counts
+        )
+        return winners, margin <= tolerance
+
+
+class BatchEvaluator:
+    """Batched AUC + full-classifier decisions for one recognizer."""
+
+    def __init__(self, recognizer: EagerRecognizer):
+        self.recognizer = recognizer
+        self._auc = _CheckedLinear(recognizer.auc.linear, None)
+        full = recognizer.full_classifier
+        self._full = _CheckedLinear(full.linear, full.feature_indices)
+        self._complete = recognizer.auc._complete_row_mask
+        self._full_names = full.class_names
+
+        # For the per-round hot path, both classifiers share one matrix
+        # product: the full classifier's (possibly column-masked) weights
+        # are zero-embedded into the 13-feature space and stacked next to
+        # the AUC's.  Multiplying a feature by an exactly-zero weight and
+        # adding it to a partial sum is an exact no-op, so the embedded
+        # scores equal the masked ones bit for bit, and the same margin
+        # bound applies (with the conservative 13-column slack factor).
+        full_w = full.linear.weights
+        if full.feature_indices is None:
+            embedded = full_w
+        else:
+            embedded = np.zeros((full_w.shape[0], NUM_FEATURES))
+            embedded[:, list(full.feature_indices)] = full_w
+        self._n_auc = recognizer.auc.linear.num_classes
+        self._comb_wt = np.ascontiguousarray(
+            np.concatenate([recognizer.auc.linear.weights, embedded]).T
+        )
+        self._comb_const = np.concatenate(
+            [recognizer.auc.linear.constants, full.linear.constants]
+        )
+        self._comb_abs_wt = np.abs(self._comb_wt)
+        self._comb_abs_const = np.abs(self._comb_const)
+
+    @property
+    def full_names(self) -> list:
+        return self._full_names
+
+    def combined_decisions(
+        self,
+        features: np.ndarray,
+        counts: np.ndarray,
+        guard_risk: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """AUC and full-classifier verdicts from one matrix product.
+
+        Returns ``(unambiguous, auc_risky, full_winners, full_risky)``,
+        all per row.  Semantics per block match :meth:`auc_decisions` /
+        :meth:`full_decisions`; only the evaluation is fused.
+        """
+        scores = features @ self._comb_wt + self._comb_const
+        # Cheap row bound on any partial sum: ||f||_1 max|w| + max|b|
+        # — looser than the per-class |f|.|w|^T bound the unfused
+        # methods use, but a second matrix product dearer; real margins
+        # sit ten-plus orders of magnitude above either bound.
+        row_l1 = np.abs(features).sum(axis=1)
+        base = _MARGIN_SLACK * NUM_FEATURES
+        n_auc = self._n_auc
+        results = []
+        for lo, hi, checked in (
+            (0, n_auc, self._auc),
+            (n_auc, scores.shape[1], self._full),
+        ):
+            block = scores[:, lo:hi]
+            winners = np.argmax(block, axis=1)
+            if hi - lo == 1:
+                risky = guard_risk.copy()
+            else:
+                top2 = np.partition(block, -2, axis=1)[:, -2:]
+                margin = top2[:, 1] - top2[:, 0]
+                magnitude = (
+                    row_l1 * np.max(self._comb_abs_wt[:, lo:hi])
+                    + np.max(self._comb_abs_const[lo:hi])
+                )
+                tolerance = (
+                    base * magnitude
+                    + checked.static_drift
+                    + checked.per_point_drift * counts
+                )
+                risky = (margin <= tolerance) | guard_risk
+            results.append((winners, risky))
+        (auc_winners, auc_risky), (full_winners, full_risky) = results
+        return self._complete[auc_winners], auc_risky, full_winners, full_risky
+
+    def auc_decisions(
+        self,
+        features: np.ndarray,
+        counts: np.ndarray,
+        guard_risk: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The paper's D per row: ``(unambiguous, risky)`` boolean arrays.
+
+        Where ``risky`` is False, ``unambiguous`` is guaranteed to equal
+        what ``AmbiguityClassifier.is_unambiguous`` would return for the
+        scalar path's feature vector; risky rows must be re-decided
+        sequentially by the caller.
+        """
+        winners, risky = self._auc.decide(features, counts)
+        return self._complete[winners], risky | guard_risk
+
+    def full_decisions(
+        self,
+        features: np.ndarray,
+        counts: np.ndarray,
+        guard_risk: np.ndarray,
+    ) -> tuple[list[str], np.ndarray]:
+        """Full-classifier verdict per row: ``(class_names, risky)``."""
+        winners, risky = self._full.decide(features, counts)
+        names = [self._full_names[i] for i in winners]
+        return names, risky | guard_risk

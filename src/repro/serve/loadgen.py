@@ -1,0 +1,239 @@
+"""Synthetic load for the serving layer, and the harness that drives it.
+
+A *workload* is one script per client: a list of per-tick operations
+(``down``/``move``/``up`` with coordinates, or ``idle``).  The driver
+advances every client one operation per tick on a shared virtual
+timeline (tick ``k`` is ``t = k * dt``), which is exactly the shape of
+traffic the batched evaluator is built for: n sessions each receiving
+one point per tick.
+
+Gestures come from the synthetic families used everywhere else in the
+reproduction (:mod:`repro.synth`), so the load is seeded and fully
+deterministic: the same arguments produce the same event streams, and —
+because the pool is virtual-time-driven — the same decision streams, in
+both execution modes.  :func:`compare_modes` turns that into a check;
+``benchmarks/bench_serve_throughput.py`` turns it into numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..eager import EagerRecognizer
+from ..interaction import DEFAULT_TIMEOUT
+from ..synth import (
+    GestureGenerator,
+    eight_direction_templates,
+    gdp_templates,
+    note_templates,
+    ud_templates,
+)
+from .pool import Decision, SessionPool
+
+__all__ = [
+    "LoadResult",
+    "compare_modes",
+    "family_templates",
+    "generate_workload",
+    "run_load",
+]
+
+
+def family_templates(family: str) -> dict:
+    """Templates of one synthetic gesture family, by CLI-facing name."""
+    if family == "editing":
+        from ..textedit import editing_templates
+
+        return editing_templates()
+    families = {
+        "directions": eight_direction_templates,
+        "gdp": gdp_templates,
+        "notes": note_templates,
+        "ud": ud_templates,
+    }
+    if family not in families:
+        raise KeyError(
+            f"unknown gesture family {family!r}; "
+            f"choose from {sorted(families) + ['editing']}"
+        )
+    return families[family]()
+
+
+def generate_workload(
+    templates: dict,
+    clients: int = 64,
+    gestures_per_client: int = 4,
+    seed: int = 7,
+    dwell_every: int = 4,
+    dwell_ticks: int = 25,
+) -> list[list[tuple]]:
+    """One deterministic op script per client.
+
+    Each client draws ``gestures_per_client`` gestures back to back,
+    cycling through the family's classes.  Every ``dwell_every``-th
+    gesture holds the mouse still for ``dwell_ticks`` ticks a third of
+    the way through the stroke, so (with ``dwell_ticks * dt >= timeout``)
+    the motionless-timeout path gets exercised alongside eager and
+    mouse-up decisions — a pause that early usually lands before eager
+    recognition has fired.  Client starts are staggered a few ticks so
+    downs don't all land on tick zero.
+    """
+    generator = GestureGenerator(templates, seed=seed)
+    names = generator.class_names
+    workload: list[list[tuple]] = []
+    for ci in range(clients):
+        ops: list[tuple] = [("idle",)] * (ci % 5)
+        for gi in range(gestures_per_client):
+            name = names[(ci + gi) % len(names)]
+            points = list(generator.generate(name).stroke)
+            key = f"c{ci}g{gi}"
+            dwell_after = (
+                max(2, len(points) // 3)
+                if dwell_every and gi % dwell_every == dwell_every - 1
+                else None
+            )
+            ops.append(("down", key, points[0].x, points[0].y))
+            for i, p in enumerate(points[1:], start=1):
+                ops.append(("move", key, p.x, p.y))
+                if i == dwell_after:
+                    ops.extend([("idle",)] * dwell_ticks)
+            ops.append(("up", key, points[-1].x, points[-1].y))
+            ops.append(("idle",))
+        workload.append(ops)
+    return workload
+
+
+@dataclass
+class LoadResult:
+    """What one load run did and how fast it did it."""
+
+    mode: str
+    clients: int
+    points: int
+    decisions: int
+    commits: int
+    errors: int
+    elapsed: float
+    points_per_sec: float
+    p50_us: float
+    p99_us: float
+    decision_log: list[Decision] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"{self.mode:>10}: {self.clients} clients, "
+            f"{self.points} points in {self.elapsed:.3f}s = "
+            f"{self.points_per_sec:,.0f} points/sec  "
+            f"(latency p50 {self.p50_us:.1f}us, p99 {self.p99_us:.1f}us; "
+            f"{self.decisions} decisions, {self.commits} commits, "
+            f"{self.errors} errors)"
+        )
+
+
+def run_load(
+    recognizer: EagerRecognizer,
+    workload: list[list[tuple]],
+    *,
+    batched: bool = True,
+    timeout: float = DEFAULT_TIMEOUT,
+    dt: float = 0.01,
+    collect: bool = False,
+) -> LoadResult:
+    """Drive a workload through a :class:`SessionPool`; measure it."""
+    pool = SessionPool(
+        recognizer,
+        batched=batched,
+        timeout=timeout,
+        max_sessions=len(workload) + 1,
+    )
+    # Pivot the per-client scripts into per-tick op lists once, so the
+    # measured loop is the service work, not script bookkeeping.
+    n_ticks = max((len(ops) for ops in workload), default=0)
+    ticks: list[list[tuple]] = [[] for _ in range(n_ticks)]
+    for ops in workload:
+        for k, op in enumerate(ops):
+            if op[0] != "idle":
+                ticks[k].append(op)
+    points = decisions = commits = errors = 0
+    log: list[Decision] = []
+    tick_elapsed: list[float] = []
+    tick_events: list[int] = []
+    wall_start = time.perf_counter()
+    for tick, tick_ops in enumerate(ticks):
+        t = tick * dt
+        start = time.perf_counter()
+        if tick_ops:
+            pool.submit(tick_ops, t)
+        decided = pool.advance_to(t)
+        elapsed = time.perf_counter() - start
+        events = len(tick_ops)
+        points += events
+        decisions += len(decided)
+        for d in decided:
+            if d.kind == "commit":
+                commits += 1
+            elif d.kind == "error":
+                errors += 1
+        if collect:
+            log.extend(decided)
+        if events:
+            tick_elapsed.append(elapsed)
+            tick_events.append(events)
+    total = time.perf_counter() - wall_start
+    if tick_events:
+        per_point = np.repeat(
+            np.array(tick_elapsed) / np.array(tick_events), tick_events
+        )
+        p50, p99 = np.percentile(per_point * 1e6, [50, 99])
+    else:
+        p50 = p99 = 0.0
+    return LoadResult(
+        mode="batched" if batched else "sequential",
+        clients=len(workload),
+        points=points,
+        decisions=decisions,
+        commits=commits,
+        errors=errors,
+        elapsed=total,
+        points_per_sec=points / total if total > 0 else 0.0,
+        p50_us=float(p50),
+        p99_us=float(p99),
+        decision_log=log,
+    )
+
+
+def compare_modes(
+    recognizer: EagerRecognizer,
+    workload: list[list[tuple]],
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    dt: float = 0.01,
+) -> tuple[LoadResult, LoadResult]:
+    """Run both modes over one workload; insist the decisions match.
+
+    Returns ``(batched, sequential)`` results.  Raises ``AssertionError``
+    if the two decision streams differ anywhere — same decisions, same
+    order, same timestamps — which is the serving layer's core claim.
+    """
+    batched = run_load(
+        recognizer, workload, batched=True, timeout=timeout, dt=dt, collect=True
+    )
+    sequential = run_load(
+        recognizer, workload, batched=False, timeout=timeout, dt=dt, collect=True
+    )
+    if batched.decision_log != sequential.decision_log:
+        for i, (b, s) in enumerate(
+            zip(batched.decision_log, sequential.decision_log)
+        ):
+            if b != s:
+                raise AssertionError(
+                    f"decision {i} differs: batched={b} sequential={s}"
+                )
+        raise AssertionError(
+            f"decision counts differ: batched={len(batched.decision_log)} "
+            f"sequential={len(sequential.decision_log)}"
+        )
+    return batched, sequential

@@ -1,0 +1,551 @@
+"""A pool of concurrent eager-recognition sessions.
+
+The reproduction's interactive layer runs *one* two-phase interaction at
+a time — one mouse, one :class:`~repro.interaction.GestureHandler`.  The
+:class:`SessionPool` runs thousands, keyed by an arbitrary stroke id,
+with the same semantics per session:
+
+* ``down`` starts a session and contributes the first gesture point
+  (exactly as ``GestureHandler.begin`` does);
+* ``move`` while undecided contributes a point and may trigger eager
+  recognition (the paper's D, then C);
+* holding still for ``timeout`` seconds of virtual time classifies the
+  prefix collected so far (the paper's 200 ms motionless timeout);
+* ``up`` while undecided classifies the full gesture (no point is
+  appended for the release, matching ``GestureHandler.end``), and always
+  commits — the session ends and its resources are reclaimed;
+* input after the decision is the manipulation phase: it refreshes the
+  session's activity but emits nothing — the client received the class
+  in the ``recog`` decision and applies its gesture semantics locally,
+  so echoing every manipulation point back would be pure chatter.
+
+Recognition outcomes are reported as :class:`Decision` values (kinds
+``recog``, ``commit``, ``evict``, ``error``); malformed operations
+(duplicate ``down``, unknown key, pool exhaustion) produce per-session
+``error`` decisions and never disturb other sessions.
+
+Time is virtual throughout (:class:`~repro.events.VirtualClock`):
+operations carry timestamps, and :meth:`SessionPool.advance_to` both
+applies buffered input and fires motionless timeouts, so identical input
+produces identical decision streams on every run.  Timeouts are
+evaluated when time advances: buffered operations are applied first,
+then any undecided session whose last point is at least ``timeout`` old
+fires, its decision stamped at ``last_t + timeout``.
+
+Two execution modes, one contract.  ``batched=False`` advances each
+session through its own :class:`~repro.eager.EagerSession` — the
+reference path.  ``batched=True`` keeps all feature state in a
+:class:`~repro.serve.bank.FeatureBank` and decides every session with
+one matrix product per round via
+:class:`~repro.serve.batch.BatchEvaluator`; rows the evaluator cannot
+*prove* unaffected by vectorization are re-decided here by replaying the
+stored gesture prefix through the scalar path.  The decision streams of
+the two modes are identical, element for element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eager import EagerRecognizer, EagerSession
+from ..events import VirtualClock
+from ..features import IncrementalFeatures
+from ..geometry import Point
+from ..interaction import DEFAULT_TIMEOUT
+from .bank import FeatureBank
+from .batch import BatchEvaluator
+
+__all__ = ["DEFAULT_IDLE_TIMEOUT", "Decision", "SessionPool"]
+
+# Sessions that have gone this long without any input are presumed
+# abandoned by their client and may be evicted.
+DEFAULT_IDLE_TIMEOUT = 30.0
+
+# Entry tags used inside a processing round (see _run_round).
+_ERROR, _DECIDED, _FINISH, _COMMIT = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One event on a session's output stream."""
+
+    key: str
+    kind: str  # "recog" | "commit" | "evict" | "error"
+    t: float
+    class_name: str | None = None
+    eager: bool = False
+    points_seen: int = 0
+    total_points: int = 0
+    reason: str = ""
+
+
+class _Session:
+    """Mutable per-stroke state; gesture points stop at the decision."""
+
+    __slots__ = (
+        "key",
+        "slot",
+        "points",
+        "eseq",
+        "decided",
+        "class_name",
+        "eager",
+        "decided_points",
+        "count",
+        "last_t",
+        "stamp",
+    )
+
+    def __init__(self, key: str, t: float):
+        self.key = key
+        self.stamp = 0
+        self.slot: int | None = None
+        self.points: list = []  # Point (sequential) or (x, y, t) (batched)
+        self.eseq: EagerSession | None = None
+        self.decided = False
+        self.class_name: str | None = None
+        self.eager = False
+        self.decided_points = 0
+        self.count = 0
+        self.last_t = t
+
+
+class SessionPool:
+    """Thousands of concurrent eager recognitions over one recognizer."""
+
+    def __init__(
+        self,
+        recognizer: EagerRecognizer,
+        *,
+        clock: VirtualClock | None = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_sessions: int = 4096,
+        batched: bool = True,
+    ):
+        self.recognizer = recognizer
+        self.clock = clock if clock is not None else VirtualClock()
+        self.timeout = timeout
+        self.max_sessions = max_sessions
+        self.batched = batched
+        self._sessions: dict[str, _Session] = {}
+        # Insertion-ordered view of sessions still collecting a gesture:
+        # the motionless-timeout scan never visits decided sessions.
+        self._undecided: dict[str, _Session] = {}
+        self._bank = FeatureBank(max_sessions) if batched else None
+        self._evaluator = BatchEvaluator(recognizer) if batched else None
+        # Slot -> session table, so the candidate scan after a batched
+        # tick recovers sessions without any per-operation bookkeeping.
+        self._slot_session: list = [None] * max_sessions if batched else []
+        self._ops: list[tuple] = []  # (t, ops-chunk) pairs
+        self._round_id = 0
+        # Lower bound on any undecided session's last activity: the
+        # motionless-timeout scan can be skipped entirely while
+        # ``now - timeout`` has not reached it (it may be stale-low,
+        # which only costs a scan, never misses one).
+        self._scan_floor = float("inf")
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._sessions
+
+    # -- buffered input ------------------------------------------------------
+
+    def down(self, key: str, x: float, y: float, t: float) -> None:
+        """Button press: start the session keyed ``key``."""
+        self._ops.append((t, (("down", key, x, y),)))
+
+    def move(self, key: str, x: float, y: float, t: float) -> None:
+        """Mouse sample for an existing session."""
+        self._ops.append((t, (("move", key, x, y),)))
+
+    def up(self, key: str, x: float, y: float, t: float) -> None:
+        """Button release: decide if needed, then commit and end."""
+        self._ops.append((t, (("up", key, x, y),)))
+
+    def submit(self, ops, t: float) -> None:
+        """Bulk-submit one tick of ``(kind, key, x, y)`` operations at ``t``.
+
+        Equivalent to calling :meth:`down`/:meth:`move`/:meth:`up` once
+        per element, without the per-operation overhead — the shape load
+        generators and replay drivers want.
+        """
+        self._ops.append((t, ops))
+
+    # -- processing ----------------------------------------------------------
+
+    def flush(self) -> list[Decision]:
+        """Apply all buffered operations; return the decisions they caused.
+
+        Input is consumed in *rounds* of at most one operation per
+        session, in arrival order — the batched tick feeds each feature
+        slot at most one point, exactly like the per-session loop; a
+        session's second operation waits for the next round — and
+        decisions are emitted in that same order in both modes.
+        """
+        out: list[Decision] = []
+        chunks = self._ops
+        self._ops = []
+        while chunks:
+            chunks = self._run_round(chunks, out)
+        return out
+
+    def advance_to(self, t: float) -> list[Decision]:
+        """Apply buffered input, move virtual time to ``t``, fire timeouts."""
+        out = self.flush()
+        self.clock.advance_to(t)
+        now = self.clock.now
+        horizon = now - self.timeout
+        if horizon < self._scan_floor:
+            return out
+        expired = []
+        floor = float("inf")
+        for s in self._undecided.values():
+            if s.last_t <= horizon:
+                expired.append(s)
+            elif s.last_t < floor:
+                floor = s.last_t
+        self._scan_floor = floor
+        if expired:
+            names = self._classify_full(expired)
+            for session, name in zip(expired, names):
+                self._decide(session, name, eager=False)
+                out.append(
+                    Decision(
+                        key=session.key,
+                        kind="recog",
+                        t=session.last_t + self.timeout,
+                        class_name=name,
+                        eager=False,
+                        points_seen=session.count,
+                        total_points=session.count,
+                        reason="timeout",
+                    )
+                )
+        return out
+
+    def evict_idle(self, max_idle: float = DEFAULT_IDLE_TIMEOUT) -> list[Decision]:
+        """Drop sessions with no input for ``max_idle`` seconds of virtual time."""
+        out = self.flush()
+        now = self.clock.now
+        stale = [
+            s for s in self._sessions.values() if now - s.last_t >= max_idle
+        ]
+        for session in stale:
+            if self.batched and not session.decided:
+                session.count = self._bank.count_of(session.slot)
+            self._remove(session)
+            out.append(
+                Decision(
+                    key=session.key,
+                    kind="evict",
+                    t=now,
+                    class_name=session.class_name,
+                    eager=session.eager,
+                    points_seen=session.decided_points,
+                    total_points=session.count,
+                    reason="idle",
+                )
+            )
+        return out
+
+    # -- one round -----------------------------------------------------------
+
+    def _run_round(self, chunks: list[tuple], out: list[Decision]) -> list[tuple]:
+        """Process one round of chunked input; return the deferred chunks.
+
+        First pass, in arrival order: lifecycle + feeds.  The hot path
+        (a move on an undecided session) is kept as lean as possible;
+        anything that will emit a decision is recorded with its round
+        position so the emission pass can interleave eager decisions
+        with ups/errors in exact arrival order.  A session that already
+        consumed an operation this round (its ``stamp`` matches) has the
+        rest of its operations deferred to the next round.
+        """
+        sessions = self._sessions
+        batched = self.batched
+        min_points = self.recognizer.min_points
+        stamp = self._round_id = self._round_id + 1
+        sget = sessions.get
+        # Entries interleave with feeds in arrival order; each records
+        # how many feeds preceded it, which is all the emission pass
+        # needs to restore exact arrival order (an operation is either
+        # a feed or an entry, never both).
+        entries: list[tuple] = []  # (feeds-before, tag, ...)
+        fed_slots: list[int] = []
+        fed_points: list[tuple] = []  # shared with session.points
+        finish_sessions: list[_Session] = []
+        deferred: list[tuple] = []
+
+        for t, chunk in chunks:
+            later: list | None = None
+            for op in chunk:
+                kind, key, x, y = op
+                session = sget(key)
+                if session is None:
+                    if kind != "down":
+                        entries.append(
+                            (len(fed_slots), _ERROR, key, t, "unknown stroke")
+                        )
+                        continue
+                    if len(sessions) >= self.max_sessions:
+                        entries.append(
+                            (len(fed_slots), _ERROR, key, t, "pool full")
+                        )
+                        continue
+                    session = _Session(key, t)
+                    session.stamp = stamp
+                    if batched:
+                        session.slot = self._bank.open_slot()
+                        self._slot_session[session.slot] = session
+                    else:
+                        session.eseq = self.recognizer.session()
+                    sessions[key] = session
+                    self._undecided[key] = session
+                    if t < self._scan_floor:
+                        self._scan_floor = t
+                elif session.stamp != stamp:
+                    session.stamp = stamp
+                    if session.decided:
+                        if kind == "up":
+                            entries.append(
+                                (len(fed_slots), _COMMIT, session, t)
+                            )
+                        else:
+                            # Manipulation phase: refresh activity only.
+                            session.last_t = t
+                        continue
+                    if kind != "move":
+                        if kind == "up":
+                            finish_sessions.append(session)
+                            entries.append(
+                                (len(fed_slots), _FINISH, session, t)
+                            )
+                        else:
+                            entries.append(
+                                (
+                                    len(fed_slots),
+                                    _ERROR,
+                                    key,
+                                    t,
+                                    "duplicate down",
+                                )
+                            )
+                        continue
+                else:
+                    if later is None:
+                        later = []
+                        deferred.append((t, later))
+                    later.append(op)
+                    continue
+
+                # A gesture point: a down's press point or an undecided move.
+                session.last_t = t
+                if batched:
+                    pt = (x, y, t)
+                    session.points.append(pt)
+                    fed_slots.append(session.slot)
+                    fed_points.append(pt)
+                else:
+                    session.count = session.count + 1
+                    point = Point(x, y, t)
+                    session.points.append(point)
+                    decided = session.eseq.add_point(point)
+                    if decided is not None:
+                        entries.append(
+                            (len(fed_slots), _DECIDED, session, t, decided)
+                        )
+
+        # Batched math: one vectorized tick, then one feature gather and
+        # one fused matrix product over every eager candidate (a fed
+        # session with enough points — found from the bank's counts, not
+        # per-operation bookkeeping) and every finishing session.
+        unamb_rows: list[int] = []
+        eval_sessions: list[_Session] = []
+        cand = None  # candidates' indices into the fed arrays
+        names: list[str] = []
+        n_unambiguous = 0
+        if batched:
+            n_eval = 0
+            if fed_slots:
+                slot_arr = np.array(fed_slots)
+                fed_x, fed_y, fed_t = zip(*fed_points)
+                new_counts = self._bank.add_points(
+                    slot_arr, np.array(fed_x), np.array(fed_y), np.array(fed_t)
+                )
+                cand = np.flatnonzero(new_counts >= min_points)
+                n_eval = len(cand)
+                if n_eval:
+                    cand_slots = slot_arr[cand]
+                    table = self._slot_session
+                    eval_sessions = [table[s] for s in cand_slots.tolist()]
+            if n_eval or finish_sessions:
+                if finish_sessions:
+                    finish_slots = np.array([s.slot for s in finish_sessions])
+                    row_slots = (
+                        np.concatenate([cand_slots, finish_slots])
+                        if n_eval
+                        else finish_slots
+                    )
+                else:
+                    row_slots = cand_slots
+                features, counts, guard_risk = self._bank.features(row_slots)
+                (
+                    unambiguous,
+                    auc_risky,
+                    full_winners,
+                    full_risky,
+                ) = self._evaluator.combined_decisions(
+                    features, counts, guard_risk
+                )
+                if n_eval:
+                    eager_unambiguous = unambiguous[:n_eval]
+                    for i in np.flatnonzero(auc_risky[:n_eval]):
+                        eager_unambiguous[i] = self.recognizer.auc.is_unambiguous(
+                            self._replay_vector(eval_sessions[i])
+                        )
+                    unamb_rows = np.flatnonzero(eager_unambiguous).tolist()
+                # Full classification: unambiguous candidates (in row
+                # order), then finishers — `names` keeps that layout.
+                n_unambiguous = len(unamb_rows)
+                full_names = self._evaluator.full_names
+                rows = eval_sessions + finish_sessions
+                for r_i in unamb_rows + list(range(n_eval, len(rows))):
+                    if full_risky[r_i]:
+                        names.append(
+                            self.recognizer.full_classifier.classify_features(
+                                self._replay_vector(rows[r_i])
+                            )
+                        )
+                    else:
+                        names.append(full_names[full_winners[r_i]])
+
+        # Emission pass: merge eager decisions with the recorded entries
+        # back into exact arrival order.  Candidate j's feed index is
+        # cand[j]; an entry recorded after f feeds precedes feed f.
+        entry_i = 0
+        n_entries = len(entries)
+        next_finish = iter(names[n_unambiguous:])
+        for k, j in enumerate(unamb_rows):
+            p = cand[j]
+            while entry_i < n_entries and entries[entry_i][0] <= p:
+                self._emit(entries[entry_i], out, next_finish)
+                entry_i += 1
+            session = eval_sessions[j]
+            self._decide(session, names[k], eager=True)
+            out.append(self._recog(session, session.last_t, "eager"))
+        while entry_i < n_entries:
+            self._emit(entries[entry_i], out, next_finish)
+            entry_i += 1
+        return deferred
+
+    def _emit(self, entry: tuple, out: list[Decision], next_finish) -> None:
+        """Emit one recorded round entry in arrival-order position."""
+        tag = entry[1]
+        if tag == _ERROR:
+            _, _, key, t, reason = entry
+            out.append(Decision(key=key, kind="error", t=t, reason=reason))
+        elif tag == _DECIDED:
+            _, _, session, t, name = entry
+            self._decide(session, name, eager=True)
+            out.append(self._recog(session, t, "eager"))
+        elif tag == _FINISH:
+            _, _, session, t = entry
+            if self.batched:
+                name = next(next_finish)
+            else:
+                name = session.eseq.finish()
+            self._decide(session, name, eager=False)
+            out.append(self._recog(session, t, "up"))
+            self._remove(session)
+            out.append(self._commit(session, t))
+        else:  # _COMMIT
+            _, _, session, t = entry
+            self._remove(session)
+            out.append(self._commit(session, t))
+
+    # -- helpers -------------------------------------------------------------
+
+    def _decide(self, session: _Session, name: str, eager: bool) -> None:
+        if self.batched:
+            # Batched feeds don't maintain the per-session counter; the
+            # bank's count (points fed so far) is materialized into the
+            # session at decision time, after which it never changes —
+            # manipulation-phase input is not counted in either mode.
+            session.count = self._bank.count_of(session.slot)
+        session.decided = True
+        session.class_name = name
+        session.eager = eager
+        session.decided_points = session.count
+        self._undecided.pop(session.key, None)
+
+    def _recog(self, session: _Session, t: float, reason: str) -> Decision:
+        return Decision(
+            key=session.key,
+            kind="recog",
+            t=t,
+            class_name=session.class_name,
+            eager=session.eager,
+            points_seen=session.decided_points,
+            total_points=session.count,
+            reason=reason,
+        )
+
+    def _commit(self, session: _Session, t: float) -> Decision:
+        return Decision(
+            key=session.key,
+            kind="commit",
+            t=t,
+            class_name=session.class_name,
+            eager=session.eager,
+            points_seen=session.decided_points,
+            total_points=session.count,
+        )
+
+    def _remove(self, session: _Session) -> None:
+        del self._sessions[session.key]
+        self._undecided.pop(session.key, None)
+        if session.slot is not None:
+            self._slot_session[session.slot] = None
+            self._bank.close_slot(session.slot)
+            session.slot = None
+
+    def _replay_vector(self, session: _Session) -> np.ndarray:
+        """The scalar path's exact feature vector for a session's prefix.
+
+        This is the arbiter behind the batched mode's equivalence
+        guarantee: rows the :class:`BatchEvaluator` flags as risky are
+        re-decided from features computed precisely as
+        :class:`~repro.eager.EagerSession` computes them.
+        """
+        inc = IncrementalFeatures()
+        for p in session.points:
+            if type(p) is tuple:
+                p = Point(p[0], p[1], p[2])
+            inc.add_point(p)
+        return inc.vector
+
+    def _classify_full(self, sessions: list[_Session]) -> list[str]:
+        """Full-classifier verdicts on current prefixes (timeout path)."""
+        if not self.batched:
+            return [
+                self.recognizer.full_classifier.classify_features(
+                    self._replay_vector(s)
+                )
+                for s in sessions
+            ]
+        slots = np.array([s.slot for s in sessions])
+        features, counts, guard_risk = self._bank.features(slots)
+        names, risky = self._evaluator.full_decisions(
+            features, counts, guard_risk
+        )
+        for i in np.flatnonzero(risky):
+            names[i] = self.recognizer.full_classifier.classify_features(
+                self._replay_vector(sessions[i])
+            )
+        return names

@@ -1,0 +1,110 @@
+"""The NDJSON wire protocol spoken by :class:`~repro.serve.GestureServer`.
+
+One JSON object per line, in both directions.
+
+Requests (client → server)::
+
+    {"op": "down", "stroke": "s1", "x": 10, "y": 20, "t": 0.00}
+    {"op": "move", "stroke": "s1", "x": 14, "y": 21, "t": 0.01}
+    {"op": "up",   "stroke": "s1", "x": 30, "y": 40, "t": 0.25}
+    {"op": "tick", "t": 0.50}
+
+``down``/``move``/``up`` mirror :class:`~repro.serve.SessionPool`
+operations; ``stroke`` is the client's id for one gesture (the server
+namespaces it per connection, so clients cannot collide).  ``tick``
+advances the server's virtual clock — timeouts fire from the
+timestamps clients supply, never from the server's wall clock, so a
+recorded interaction replays identically.
+
+Replies (server → client)::
+
+    {"kind": "recog", "stroke": "s1", "class": "delete", "eager": true,
+     "points_seen": 12, "total_points": 12, "t": 0.11, "reason": "eager"}
+    {"kind": "error", "stroke": "s1", "reason": "duplicate down", "t": 0.0}
+
+``kind`` is one of ``recog`` / ``manip`` / ``commit`` / ``evict`` /
+``error`` (see :class:`~repro.serve.Decision`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .pool import Decision
+
+__all__ = [
+    "ProtocolError",
+    "Request",
+    "decode_request",
+    "encode_decision",
+    "encode_error",
+]
+
+_OPS = ("down", "move", "up", "tick")
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be understood."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded client request."""
+
+    op: str  # "down" | "move" | "up" | "tick"
+    t: float
+    stroke: str = ""
+    x: float = 0.0
+    y: float = 0.0
+
+
+def decode_request(line: str | bytes) -> Request:
+    """Parse one NDJSON request line, validating shape and types."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad json: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a json object")
+    op = payload.get("op")
+    if op not in _OPS:
+        raise ProtocolError(f"unknown op: {op!r}")
+    try:
+        t = float(payload["t"])
+    except (KeyError, TypeError, ValueError):
+        raise ProtocolError("missing or non-numeric t") from None
+    if op == "tick":
+        return Request(op="tick", t=t)
+    stroke = payload.get("stroke")
+    if not isinstance(stroke, str) or not stroke:
+        raise ProtocolError("missing stroke id")
+    try:
+        x = float(payload["x"])
+        y = float(payload["y"])
+    except (KeyError, TypeError, ValueError):
+        raise ProtocolError("missing or non-numeric x/y") from None
+    return Request(op=op, t=t, stroke=stroke, x=x, y=y)
+
+
+def encode_decision(decision: Decision, stroke: str) -> str:
+    """Encode one pool decision as a reply line (without the newline)."""
+    return json.dumps(
+        {
+            "kind": decision.kind,
+            "stroke": stroke,
+            "class": decision.class_name,
+            "eager": decision.eager,
+            "points_seen": decision.points_seen,
+            "total_points": decision.total_points,
+            "t": decision.t,
+            "reason": decision.reason,
+        }
+    )
+
+
+def encode_error(reason: str, stroke: str = "", t: float = 0.0) -> str:
+    """Encode a protocol-level error reply (without the newline)."""
+    return json.dumps(
+        {"kind": "error", "stroke": stroke, "reason": reason, "t": t}
+    )

@@ -1,0 +1,138 @@
+"""Versioned, content-addressed storage for trained recognizers.
+
+A model's version *is* its content: the SHA-256 of the canonical JSON
+serialization, truncated to twelve hex digits.  Publishing the same
+trained recognizer twice is a no-op; publishing a retrained one appends
+a new version and moves ``latest``.  Nothing in the layout depends on
+wall-clock time, so a registry built twice from the same training data
+is byte-identical.
+
+On-disk layout, under the registry root::
+
+    <root>/<name>/index.json         {"latest": ..., "versions": [...]}
+    <root>/<name>/<version>.json     EagerRecognizer.to_dict() + metadata
+
+Loads are served from a warm in-memory cache keyed by ``(name, version)``
+so a server swapping between models never re-reads or re-parses JSON on
+the hot path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..eager import EagerRecognizer
+
+__all__ = ["ModelRegistry", "ModelVersion"]
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One published version of one named model."""
+
+    name: str
+    version: str
+    path: Path
+    metadata: dict = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """A directory of named, versioned recognizers."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._cache: dict[tuple[str, str], EagerRecognizer] = {}
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(
+        self,
+        name: str,
+        recognizer: EagerRecognizer,
+        metadata: dict | None = None,
+    ) -> ModelVersion:
+        """Store a recognizer; returns its (content-derived) version.
+
+        Idempotent: re-publishing identical weights returns the existing
+        version without rewriting anything.
+        """
+        model = recognizer.to_dict()
+        version = hashlib.sha256(_canonical(model).encode()).hexdigest()[:12]
+        directory = self.root / name
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{version}.json"
+        if not path.exists():
+            path.write_text(
+                _canonical(
+                    {"model": model, "metadata": metadata or {}}
+                )
+            )
+        index = self._read_index(name)
+        if version not in index["versions"]:
+            index["versions"].append(version)
+        index["latest"] = version
+        (directory / "index.json").write_text(_canonical(index))
+        self._cache[(name, version)] = recognizer
+        return ModelVersion(
+            name=name, version=version, path=path, metadata=metadata or {}
+        )
+
+    # -- loading -------------------------------------------------------------
+
+    def load(
+        self, name: str, version: str | None = None, cached: bool = True
+    ) -> EagerRecognizer:
+        """Load a model by name, at ``version`` or at ``latest``."""
+        if version is None:
+            version = self.latest_version(name)
+        key = (name, version)
+        if cached and key in self._cache:
+            return self._cache[key]
+        payload = json.loads(self.path_of(name, version).read_text())
+        recognizer = EagerRecognizer.from_dict(payload["model"])
+        if cached:
+            self._cache[key] = recognizer
+        return recognizer
+
+    def metadata_of(self, name: str, version: str | None = None) -> dict:
+        if version is None:
+            version = self.latest_version(name)
+        return json.loads(self.path_of(name, version).read_text())["metadata"]
+
+    # -- enumeration ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(
+            p.name for p in self.root.iterdir() if (p / "index.json").exists()
+        )
+
+    def versions(self, name: str) -> list[str]:
+        return list(self._read_index(name)["versions"])
+
+    def latest_version(self, name: str) -> str:
+        latest = self._read_index(name)["latest"]
+        if latest is None:
+            raise KeyError(f"no model named {name!r} in {self.root}")
+        return latest
+
+    def path_of(self, name: str, version: str) -> Path:
+        path = self.root / name / f"{version}.json"
+        if not path.exists():
+            raise KeyError(f"no version {version!r} of model {name!r}")
+        return path
+
+    # -- internals -----------------------------------------------------------
+
+    def _read_index(self, name: str) -> dict:
+        path = self.root / name / "index.json"
+        if not path.exists():
+            return {"latest": None, "versions": []}
+        return json.loads(path.read_text())

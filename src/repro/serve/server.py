@@ -1,0 +1,255 @@
+"""An asyncio front end over the session pool.
+
+:class:`GestureServer` accepts newline-delimited JSON event streams
+(see :mod:`repro.serve.protocol`) over TCP, and offers the identical
+interface in-process through :meth:`GestureServer.open_channel` — tests
+and embedders talk to the same pump the sockets do.
+
+Concurrency model
+-----------------
+
+All recognition runs on one *pump* task.  Every connection (and every
+in-process channel) pushes decoded requests into one bounded inbox; the
+pump drains whatever has accumulated, applies it to the
+:class:`~repro.serve.SessionPool` as one batch — which is exactly what
+makes the batched evaluator pay off — and routes the resulting decisions
+to per-channel bounded outboxes.  Backpressure is explicit at both ends:
+
+* a full inbox suspends the producing connection's reader coroutine
+  (TCP flow control does the rest upstream);
+* a full outbox means the consumer is not reading its replies; rather
+  than buffer without bound or stall every other client, the server
+  closes that channel.  Each closure only ever affects its own client.
+
+Time is virtual: the pool's clock advances to the largest timestamp seen
+in client input (``down``/``move``/``up`` carry ``t``; ``tick`` carries
+only ``t``), so motionless timeouts fire deterministically from the
+recorded timeline, never from the server's wall clock.  All clients of
+one server therefore share a single timeline.
+
+Per-session errors (duplicate ``down``, pool exhaustion) come back as
+``error`` replies on the offending stroke; malformed lines come back as
+protocol ``error`` replies; neither disturbs other strokes or clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import suppress
+
+from ..eager import EagerRecognizer
+from ..interaction import DEFAULT_TIMEOUT
+from .pool import Decision, SessionPool
+from .protocol import (
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_decision,
+    encode_error,
+)
+
+__all__ = ["Channel", "GestureServer"]
+
+_CLOSE = object()  # outbox sentinel
+
+
+class Channel:
+    """One client's two-way lane to the server, TCP-backed or in-process."""
+
+    def __init__(self, server: "GestureServer", channel_id: str, queue_size: int):
+        self._server = server
+        self.id = channel_id
+        self.closed = False
+        self._outbox: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+
+    async def send(self, request: Request) -> None:
+        """Submit one request; suspends while the server inbox is full."""
+        if self.closed:
+            raise ConnectionError("channel is closed")
+        await self._server._inbox.put((self, request))
+
+    async def recv(self) -> str | None:
+        """Next reply line, or None once the channel is closed and drained."""
+        item = await self._outbox.get()
+        if item is _CLOSE:
+            return None
+        return item
+
+    def close(self) -> None:
+        self._server._close_channel(self)
+
+    # -- server side ---------------------------------------------------------
+
+    def _push(self, line: str) -> bool:
+        """Queue a reply; False means the outbox overflowed (slow consumer)."""
+        try:
+            self._outbox.put_nowait(line)
+            return True
+        except asyncio.QueueFull:
+            return False
+
+    def _push_close(self) -> None:
+        if self._outbox.full():  # make room: the consumer is gone anyway
+            with suppress(asyncio.QueueEmpty):
+                self._outbox.get_nowait()
+        with suppress(asyncio.QueueFull):
+            self._outbox.put_nowait(_CLOSE)
+
+
+class GestureServer:
+    """Serve one recognizer to many concurrent clients."""
+
+    def __init__(
+        self,
+        recognizer: EagerRecognizer,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = DEFAULT_TIMEOUT,
+        max_sessions: int = 4096,
+        queue_size: int = 1024,
+        batched: bool = True,
+    ):
+        self.pool = SessionPool(
+            recognizer,
+            timeout=timeout,
+            max_sessions=max_sessions,
+            batched=batched,
+        )
+        self.host = host
+        self.port = port
+        self.queue_size = queue_size
+        self._inbox: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self._channels: dict[str, Channel] = {}
+        self._next_channel = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._pump_task: asyncio.Task | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._pump_task = asyncio.get_running_loop().create_task(self._pump())
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for channel in list(self._channels.values()):
+            self._close_channel(channel)
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._pump_task
+            self._pump_task = None
+
+    # -- the in-process API ---------------------------------------------------
+
+    async def open_channel(self) -> Channel:
+        """A client lane without a socket: same pump, same protocol."""
+        self._next_channel += 1
+        channel = Channel(self, f"c{self._next_channel}", self.queue_size)
+        self._channels[channel.id] = channel
+        return channel
+
+    # -- the pump -------------------------------------------------------------
+
+    async def _pump(self) -> None:
+        while True:
+            batch = [await self._inbox.get()]
+            while True:
+                try:
+                    batch.append(self._inbox.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            self._apply(batch)
+
+    def _apply(self, batch: list[tuple[Channel, Request]]) -> None:
+        latest: float | None = None
+        for channel, request in batch:
+            if channel.closed:
+                continue
+            if request.op != "tick":
+                key = f"{channel.id}/{request.stroke}"
+                if request.op == "down":
+                    self.pool.down(key, request.x, request.y, request.t)
+                elif request.op == "move":
+                    self.pool.move(key, request.x, request.y, request.t)
+                else:
+                    self.pool.up(key, request.x, request.y, request.t)
+            if latest is None or request.t > latest:
+                latest = request.t
+        if latest is None:
+            decisions = self.pool.flush()
+        else:
+            decisions = self.pool.advance_to(latest)
+        for decision in decisions:
+            self._route(decision)
+
+    def _route(self, decision: Decision) -> None:
+        channel_id, _, stroke = decision.key.partition("/")
+        channel = self._channels.get(channel_id)
+        if channel is None or channel.closed:
+            return
+        if not channel._push(encode_decision(decision, stroke)):
+            # Documented backpressure policy: a consumer that stops
+            # reading loses its channel, not the whole server.
+            self._close_channel(channel)
+
+    def _close_channel(self, channel: Channel) -> None:
+        if channel.closed:
+            return
+        channel.closed = True
+        self._channels.pop(channel.id, None)
+        channel._push_close()
+
+    # -- TCP ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        channel = await self.open_channel()
+        drain_task = asyncio.get_running_loop().create_task(
+            self._drain_replies(channel, writer)
+        )
+        try:
+            while not channel.closed:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = decode_request(line)
+                except ProtocolError as exc:
+                    if not channel._push(encode_error(str(exc))):
+                        break
+                    continue
+                await channel.send(request)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._close_channel(channel)
+            with suppress(asyncio.CancelledError):
+                await drain_task
+            writer.close()
+            with suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _drain_replies(self, channel: Channel, writer) -> None:
+        with suppress(ConnectionError):
+            while True:
+                line = await channel.recv()
+                if line is None:
+                    break
+                writer.write(line.encode() + b"\n")
+                await writer.drain()

@@ -72,3 +72,23 @@ def ud_generator() -> GestureGenerator:
     # Slightly tamer noise so the U/D toy example stays textbook-clean.
     params = GenerationParams(rotation_sigma=0.04, jitter=0.8)
     return GestureGenerator(ud_templates(), params=params, seed=404)
+
+
+@pytest.fixture(scope="session")
+def masked_recognizer(directions_train, directions_report):
+    """An eager recognizer whose *full* classifier is feature-masked.
+
+    Features 8-10 (the accumulated turn angles) dropped: a realistic
+    mask (the paper suggests pruning features per application) that
+    exercises the serving layer's masked-weight embedding.
+    ``train_eager_recognizer`` insists on a full-feature classifier, so
+    the masked variant is assembled directly: same AUC, same training
+    data, but the final verdict comes from a masked classifier.
+    """
+    from repro.eager import EagerRecognizer
+
+    masked = GestureClassifier.train(
+        directions_train, feature_indices=[0, 1, 2, 3, 4, 5, 6, 7, 11, 12]
+    )
+    base = directions_report.recognizer
+    return EagerRecognizer(masked, base.auc, min_points=base.min_points)

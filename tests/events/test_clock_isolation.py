@@ -1,0 +1,105 @@
+"""No wall-clock anywhere in the event/serving machinery.
+
+The paper's 200 ms motionless timeout is behavioural, not real-time:
+the reproduction drives it from :class:`~repro.events.VirtualClock` so
+a recorded interaction replays bit-identically.  These tests enforce
+that discipline two ways — a source audit (no module in the event or
+serving layers may read the wall clock) and behavioural replay checks.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro.events
+import repro.serve
+from repro.events import EventQueue, VirtualClock, stroke_events
+from repro.geometry import Point
+from repro.serve import SessionPool
+
+_WALL_CLOCK = re.compile(
+    r"time\.(time|monotonic|perf_counter|process_time)\b"
+    r"|datetime\.(now|today|utcnow)\b"
+    r"|\btime\.sleep\b"
+)
+
+# The load generator *measures* wall time — that is its job — but it
+# must be the only place; recognition and timeouts never consult it.
+_MEASUREMENT_ONLY = {"loadgen.py"}
+
+
+def _package_sources(package):
+    root = Path(package.__file__).parent
+    return sorted(root.glob("*.py"))
+
+
+class TestSourceAudit:
+    def test_event_layer_never_reads_the_wall_clock(self):
+        for path in _package_sources(repro.events):
+            hits = _WALL_CLOCK.findall(path.read_text())
+            assert not hits, f"{path.name} reads the wall clock: {hits}"
+
+    def test_serving_layer_never_reads_the_wall_clock(self):
+        for path in _package_sources(repro.serve):
+            if path.name in _MEASUREMENT_ONLY:
+                continue
+            hits = _WALL_CLOCK.findall(path.read_text())
+            assert not hits, f"{path.name} reads the wall clock: {hits}"
+
+
+class TestInjectedClockDeadlines:
+    def test_timer_fires_relative_to_injected_clock(self):
+        clock = VirtualClock(start=100.0)
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule_timer(0.2, lambda e: fired.append(e.t))
+        queue.run(lambda e: None)
+        assert fired == [100.2]
+        assert clock.now == 100.2
+
+    def test_pool_timeout_uses_injected_clock(self, directions_recognizer):
+        clock = VirtualClock(start=50.0)
+        pool = SessionPool(directions_recognizer, clock=clock, timeout=0.2)
+        pool.down("s", 0.0, 0.0, 50.0)
+        pool.move("s", 4.0, 4.0, 50.01)
+        assert pool.advance_to(50.2) == []
+        (decision,) = pool.advance_to(50.21)
+        assert decision.reason == "timeout"
+        assert decision.t == 50.01 + 0.2
+
+
+class TestDeterministicReplay:
+    def _events(self):
+        stroke = [Point(3.0 * i, 2.0 * i, 0.02 * i) for i in range(12)]
+        return stroke_events(stroke)
+
+    def test_event_queue_replay_is_bit_identical(self):
+        def run_once():
+            queue = EventQueue(VirtualClock())
+            seen = []
+            queue.post_all(self._events())
+            queue.schedule_timer(0.05, lambda e: seen.append(("timer", e.t)))
+            queue.run(lambda e: seen.append((e.kind, e.t, e.x, e.y)))
+            return seen, queue.clock.now
+
+        assert run_once() == run_once()
+
+    def test_pool_replay_is_bit_identical(self, directions_recognizer):
+        def run_once(batched):
+            pool = SessionPool(directions_recognizer, batched=batched)
+            log = []
+            for i in range(10):
+                t = i * 0.01
+                if i == 0:
+                    pool.down("s", 0.0, 0.0, t)
+                else:
+                    pool.move("s", 6.0 * i, 1.0 * i, t)
+                log.extend(pool.advance_to(t))
+            pool.up("s", 54.0, 9.0, 0.1)
+            log.extend(pool.advance_to(0.4))
+            return log
+
+        for batched in (True, False):
+            assert run_once(batched) == run_once(batched)
+        assert run_once(True) == run_once(False)

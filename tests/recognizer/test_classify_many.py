@@ -1,0 +1,90 @@
+"""Batched classification must be bit-identical to the per-vector loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+finite = st.floats(
+    min_value=-200.0, max_value=200.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def feature_stacks(draw, num_features=13, max_rows=12):
+    n = draw(st.integers(min_value=1, max_value=max_rows))
+    return np.array(
+        [[draw(finite) for _ in range(num_features)] for _ in range(n)]
+    )
+
+
+class TestLinearClassifyMany:
+    @given(feature_stacks())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_to_sequential(self, directions_classifier, stack):
+        linear = directions_classifier.linear
+        batched = linear.classify_many(stack)
+        assert batched == [linear.classify(row) for row in stack]
+
+    def test_exact_ties_break_identically(self, directions_classifier):
+        """Rows engineered onto decision boundaries still agree exactly."""
+        linear = directions_classifier.linear
+        # A zero row scores exactly the constants; duplicate weights
+        # elsewhere would tie — argmax tie-breaking must match.
+        stack = np.zeros((4, linear.num_features))
+        assert linear.classify_many(stack) == [
+            linear.classify(row) for row in stack
+        ]
+
+    def test_evaluations_many_shape_and_values(self, directions_classifier):
+        linear = directions_classifier.linear
+        rng = np.random.default_rng(3)
+        stack = rng.normal(size=(7, linear.num_features)) * 40.0
+        scores = linear.evaluations_many(stack)
+        assert scores.shape == (7, linear.num_classes)
+        np.testing.assert_allclose(
+            scores, [linear.evaluations(row) for row in stack], rtol=1e-12
+        )
+
+    def test_rejects_wrong_width(self, directions_classifier):
+        linear = directions_classifier.linear
+        with pytest.raises(ValueError):
+            linear.evaluations_many(np.zeros((3, linear.num_features + 1)))
+
+    def test_extra_tolerance_forces_sequential_agreement(
+        self, directions_classifier
+    ):
+        """A huge extra tolerance re-routes every row; results still match."""
+        linear = directions_classifier.linear
+        rng = np.random.default_rng(5)
+        stack = rng.normal(size=(9, linear.num_features)) * 40.0
+        everything = np.full(9, 1e30)
+        assert linear.classify_many(stack, everything) == [
+            linear.classify(row) for row in stack
+        ]
+
+
+class TestClassifierAndAucMany:
+    @given(feature_stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_full_classifier_matches(self, directions_classifier, stack):
+        batched = directions_classifier.classify_features_many(stack)
+        assert batched == [
+            directions_classifier.classify_features(row) for row in stack
+        ]
+
+    @given(feature_stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_masked_classifier_matches(self, masked_recognizer, stack):
+        masked = masked_recognizer.full_classifier
+        batched = masked.classify_features_many(stack)
+        assert batched == [masked.classify_features(row) for row in stack]
+
+    @given(feature_stacks())
+    @settings(max_examples=40, deadline=None)
+    def test_auc_decision_matches(self, directions_recognizer, stack):
+        auc = directions_recognizer.auc
+        batched = auc.is_unambiguous_many(stack)
+        assert batched.tolist() == [auc.is_unambiguous(row) for row in stack]

@@ -1,0 +1,109 @@
+"""ModelRegistry: content-addressed versions, idempotent publish, cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eager import EagerRecognizer, train_eager_recognizer
+from repro.geometry import Point
+from repro.serve import ModelRegistry
+from repro.synth import GestureGenerator, eight_direction_templates
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "models")
+
+
+def _retrained(seed):
+    generator = GestureGenerator(eight_direction_templates(), seed=seed)
+    return train_eager_recognizer(generator.generate_strokes(8)).recognizer
+
+
+def _probe(recognizer):
+    """A recognizer's verdict on a fixed probe stroke."""
+    session = recognizer.session()
+    for i in range(10):
+        session.add_point(Point(4.0 * i, 3.0 * i, 0.01 * i))
+    return session.finish()
+
+
+class TestRoundTrip:
+    def test_publish_load_identical_behavior(self, registry, directions_recognizer):
+        version = registry.publish("directions", directions_recognizer)
+        loaded = registry.load("directions")
+        assert _probe(loaded) == _probe(directions_recognizer)
+        np.testing.assert_array_equal(
+            loaded.full_classifier.linear.weights,
+            directions_recognizer.full_classifier.linear.weights,
+        )
+        assert loaded.class_names == directions_recognizer.class_names
+        assert registry.latest_version("directions") == version.version
+
+    def test_uncached_load_reparses_from_disk(self, registry, directions_recognizer):
+        registry.publish("m", directions_recognizer)
+        cached = registry.load("m")
+        fresh = registry.load("m", cached=False)
+        assert fresh is not cached  # parsed anew
+        np.testing.assert_array_equal(
+            fresh.auc.linear.weights, cached.auc.linear.weights
+        )
+
+    def test_save_load_and_registry_share_serialization(
+        self, registry, directions_recognizer, tmp_path
+    ):
+        """file save/load and registry publish/load use one code path."""
+        path = tmp_path / "standalone.json"
+        directions_recognizer.save(path)
+        standalone = EagerRecognizer.load(path)
+        registry.publish("m", directions_recognizer)
+        via_registry = registry.load("m", cached=False)
+        assert standalone.to_dict() == via_registry.to_dict()
+
+
+class TestVersioning:
+    def test_publish_is_idempotent(self, registry, directions_recognizer):
+        first = registry.publish("m", directions_recognizer)
+        second = registry.publish("m", directions_recognizer)
+        assert first.version == second.version
+        assert registry.versions("m") == [first.version]
+
+    def test_retraining_appends_version_and_moves_latest(self, registry):
+        old, new = _retrained(1), _retrained(2)
+        v_old = registry.publish("m", old)
+        v_new = registry.publish("m", new)
+        assert v_old.version != v_new.version
+        assert registry.versions("m") == [v_old.version, v_new.version]
+        assert registry.latest_version("m") == v_new.version
+        # Old versions stay loadable by explicit version.
+        rollback = registry.load("m", version=v_old.version, cached=False)
+        assert rollback.to_dict() == old.to_dict()
+
+    def test_version_is_deterministic_content_hash(self, tmp_path):
+        recognizer = _retrained(5)
+        a = ModelRegistry(tmp_path / "a").publish("m", recognizer)
+        b = ModelRegistry(tmp_path / "b").publish("m", recognizer)
+        assert a.version == b.version
+
+    def test_metadata_round_trip(self, registry, directions_recognizer):
+        registry.publish(
+            "m", directions_recognizer, metadata={"family": "directions"}
+        )
+        assert registry.metadata_of("m") == {"family": "directions"}
+
+
+class TestWarmCache:
+    def test_load_hits_cache_after_publish(self, registry, directions_recognizer):
+        version = registry.publish("m", directions_recognizer)
+        # Corrupt the file on disk: a cached load must not read it.
+        version.path.write_text("{not json")
+        assert registry.load("m") is directions_recognizer
+        with pytest.raises(ValueError):
+            registry.load("m", cached=False)
+
+    def test_unknown_lookups_raise_key_error(self, registry):
+        with pytest.raises(KeyError):
+            registry.latest_version("absent")
+        with pytest.raises(KeyError):
+            registry.path_of("absent", "deadbeef0000")

@@ -1,0 +1,246 @@
+"""End-to-end asyncio server tests: TCP clients, channels, error isolation.
+
+Driven with ``asyncio.run`` from synchronous tests (no pytest-asyncio in
+the environment).  All time is virtual — requests carry timestamps and
+``tick`` advances the shared clock — so every test is deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve import GestureServer, Request, decode_request
+
+
+def _stroke_requests(stroke, n=10, step=5.0, t0=0.0, dt=0.01):
+    reqs = [Request(op="down", stroke=stroke, x=0.0, y=0.0, t=t0)]
+    for i in range(1, n):
+        reqs.append(
+            Request(
+                op="move", stroke=stroke, x=i * step, y=i * step, t=t0 + i * dt
+            )
+        )
+    reqs.append(
+        Request(
+            op="up",
+            stroke=stroke,
+            x=(n - 1) * step,
+            y=(n - 1) * step,
+            t=t0 + n * dt,
+        )
+    )
+    return reqs
+
+
+async def _recv_until(channel, kind, limit=50):
+    """Collect decoded replies until one of ``kind`` arrives."""
+    replies = []
+    for _ in range(limit):
+        line = await asyncio.wait_for(channel.recv(), timeout=5.0)
+        assert line is not None, f"channel closed while waiting for {kind}"
+        reply = json.loads(line)
+        replies.append(reply)
+        if reply["kind"] == kind:
+            return replies
+    raise AssertionError(f"no {kind!r} reply within {limit} messages")
+
+
+class TestInProcessChannels:
+    def test_full_gesture_recognized_and_committed(self, directions_recognizer):
+        async def scenario():
+            server = GestureServer(directions_recognizer)
+            await server.start()
+            try:
+                channel = await server.open_channel()
+                for request in _stroke_requests("s1"):
+                    await channel.send(request)
+                replies = await _recv_until(channel, "commit")
+            finally:
+                await server.stop()
+            return replies
+
+        replies = asyncio.run(scenario())
+        kinds = [r["kind"] for r in replies]
+        assert kinds.count("recog") == 1
+        assert kinds[-1] == "commit"
+        recog = replies[kinds.index("recog")]
+        assert recog["stroke"] == "s1"
+        assert recog["class"] in directions_recognizer.class_names
+
+    def test_two_channels_interleaved_are_isolated(self, directions_recognizer):
+        """Two clients, same stroke id, interleaved point by point."""
+
+        async def scenario():
+            server = GestureServer(directions_recognizer)
+            await server.start()
+            try:
+                a = await server.open_channel()
+                b = await server.open_channel()
+                reqs_a = _stroke_requests("s", n=8, step=5.0)
+                reqs_b = _stroke_requests("s", n=8, step=-5.0)
+                for ra, rb in zip(reqs_a, reqs_b):
+                    await a.send(ra)
+                    await b.send(rb)
+                got_a = await _recv_until(a, "commit")
+                got_b = await _recv_until(b, "commit")
+            finally:
+                await server.stop()
+            return got_a, got_b
+
+        got_a, got_b = asyncio.run(scenario())
+        for replies in (got_a, got_b):
+            assert [r["kind"] for r in replies].count("recog") == 1
+            assert all(r["stroke"] == "s" for r in replies)
+        name_a = next(r["class"] for r in got_a if r["kind"] == "recog")
+        name_b = next(r["class"] for r in got_b if r["kind"] == "recog")
+        # Opposite strokes under one key: namespacing kept them apart.
+        assert name_a != name_b
+
+    def test_tick_drives_motionless_timeout(self, directions_recognizer):
+        async def scenario():
+            server = GestureServer(directions_recognizer)
+            await server.start()
+            try:
+                channel = await server.open_channel()
+                # Two points (below min_points), then a long silence.
+                await channel.send(Request("down", 0.0, "s1", 0.0, 0.0))
+                await channel.send(Request("move", 0.01, "s1", 5.0, 5.0))
+                await channel.send(Request("tick", 1.0))
+                replies = await _recv_until(channel, "recog")
+            finally:
+                await server.stop()
+            return replies
+
+        replies = asyncio.run(scenario())
+        recog = replies[-1]
+        assert recog["reason"] == "timeout"
+        assert recog["eager"] is False
+        assert recog["t"] == 0.01 + 0.2  # last point + DEFAULT_TIMEOUT
+
+    def test_session_errors_do_not_close_channel(self, directions_recognizer):
+        async def scenario():
+            server = GestureServer(directions_recognizer)
+            await server.start()
+            try:
+                channel = await server.open_channel()
+                await channel.send(Request("move", 0.0, "ghost", 1.0, 1.0))
+                errors = await _recv_until(channel, "error")
+                # The channel still works after the per-session error.
+                for request in _stroke_requests("ok", t0=1.0):
+                    await channel.send(request)
+                replies = await _recv_until(channel, "commit")
+            finally:
+                await server.stop()
+            return errors, replies
+
+        errors, replies = asyncio.run(scenario())
+        assert errors[-1]["reason"] == "unknown stroke"
+        assert replies[-1]["kind"] == "commit"
+
+
+class TestTcp:
+    @staticmethod
+    async def _client(host, port, lines, until_kind, limit=80):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for line in lines:
+                writer.write(line.encode() + b"\n")
+            await writer.drain()
+            replies = []
+            for _ in range(limit):
+                raw = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                assert raw, f"connection closed while waiting for {until_kind}"
+                reply = json.loads(raw)
+                replies.append(reply)
+                if reply["kind"] == until_kind:
+                    return replies
+            raise AssertionError(f"no {until_kind!r} within {limit} replies")
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    def test_two_tcp_clients_interleaved(self, directions_recognizer):
+        def encode(req):
+            payload = {"op": req.op, "t": req.t}
+            if req.op != "tick":
+                payload.update(stroke=req.stroke, x=req.x, y=req.y)
+            return json.dumps(payload)
+
+        async def scenario():
+            server = GestureServer(directions_recognizer)
+            await server.start()
+            host, port = server.address
+            try:
+                lines_a = [encode(r) for r in _stroke_requests("s", step=5.0)]
+                lines_b = [encode(r) for r in _stroke_requests("s", step=-5.0)]
+                got_a, got_b = await asyncio.gather(
+                    self._client(host, port, lines_a, "commit"),
+                    self._client(host, port, lines_b, "commit"),
+                )
+            finally:
+                await server.stop()
+            return got_a, got_b
+
+        got_a, got_b = asyncio.run(scenario())
+        for replies in (got_a, got_b):
+            kinds = [r["kind"] for r in replies]
+            assert kinds.count("recog") == 1 and kinds[-1] == "commit"
+        assert (
+            next(r["class"] for r in got_a if r["kind"] == "recog")
+            != next(r["class"] for r in got_b if r["kind"] == "recog")
+        )
+
+    def test_malformed_line_gets_protocol_error_connection_survives(
+        self, directions_recognizer
+    ):
+        async def scenario():
+            server = GestureServer(directions_recognizer)
+            await server.start()
+            host, port = server.address
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"this is not json\n")
+                writer.write(b'{"op": "frobnicate", "t": 0}\n')
+                await writer.drain()
+                bad1 = json.loads(await reader.readline())
+                bad2 = json.loads(await reader.readline())
+                # Then a well-formed gesture on the same connection.
+                for req in _stroke_requests("ok"):
+                    payload = {
+                        "op": req.op,
+                        "t": req.t,
+                        "stroke": req.stroke,
+                        "x": req.x,
+                        "y": req.y,
+                    }
+                    writer.write((json.dumps(payload) + "\n").encode())
+                await writer.drain()
+                replies = []
+                while True:
+                    reply = json.loads(
+                        await asyncio.wait_for(reader.readline(), timeout=5.0)
+                    )
+                    replies.append(reply)
+                    if reply["kind"] == "commit":
+                        break
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+            return bad1, bad2, replies
+
+        bad1, bad2, replies = asyncio.run(scenario())
+        assert bad1["kind"] == "error" and "bad json" in bad1["reason"]
+        assert bad2["kind"] == "error" and "unknown op" in bad2["reason"]
+        assert replies[-1]["kind"] == "commit"
+
+
+class TestProtocol:
+    def test_decode_round_trips_encoded_requests(self):
+        request = decode_request(
+            '{"op": "down", "stroke": "s1", "x": 1.5, "y": -2.0, "t": 0.25}'
+        )
+        assert request == Request(op="down", t=0.25, stroke="s1", x=1.5, y=-2.0)
+        tick = decode_request(b'{"op": "tick", "t": 3.5}')
+        assert tick == Request(op="tick", t=3.5)
