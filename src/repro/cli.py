@@ -11,9 +11,15 @@ Subcommands:
 * ``demo`` — run a scripted GDP session and print the canvas;
 * ``serve`` — run the NDJSON-over-TCP recognition service
   (:mod:`repro.serve`) on a saved recognizer, a registry model, or a
-  freshly trained synthetic family;
+  freshly trained synthetic family (metrics on by default; ``--trace``
+  streams NDJSON spans to a file, ``--no-metrics`` turns the registry
+  off);
+* ``stats`` — query a running server's ``stats`` protocol message and
+  print its metrics snapshot;
 * ``loadgen`` — drive the session pool with a synthetic workload and
-  print throughput/latency for the batched and/or sequential mode.
+  print throughput/latency for the batched and/or sequential mode;
+  ``--fault-seed`` runs the same workload under a seeded chaos schedule
+  (drop/duplicate/delay/reorder/kill at ``--fault-rate``).
 """
 
 from __future__ import annotations
@@ -172,34 +178,100 @@ def _resolve_recognizer(args: argparse.Namespace) -> EagerRecognizer:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    from contextlib import ExitStack
 
+    from .obs import MetricsRegistry, PoolObserver, Tracer
     from .serve import GestureServer
 
     recognizer = _resolve_recognizer(args)
+    with ExitStack() as stack:
+        metrics = None if args.no_metrics else MetricsRegistry()
+        tracer = None
+        if args.trace:
+            tracer = Tracer(stream=stack.enter_context(open(args.trace, "w")))
+        observer = (
+            PoolObserver(metrics=metrics, tracer=tracer)
+            if metrics is not None or tracer is not None
+            else None
+        )
 
-    async def run() -> None:
-        server = GestureServer(
-            recognizer,
-            host=args.host,
-            port=args.port,
-            timeout=args.timeout,
-            max_sessions=args.max_sessions,
-        )
-        await server.start()
-        host, port = server.address
-        print(
-            f"serving {len(recognizer.class_names)} gesture classes "
-            f"on {host}:{port} (NDJSON; ops: down/move/up/tick)"
-        )
+        async def run() -> None:
+            server = GestureServer(
+                recognizer,
+                host=args.host,
+                port=args.port,
+                timeout=args.timeout,
+                max_sessions=args.max_sessions,
+                observer=observer,
+            )
+            await server.start()
+            host, port = server.address
+            print(
+                f"serving {len(recognizer.class_names)} gesture classes "
+                f"on {host}:{port} (NDJSON; ops: down/move/up/tick/stats)"
+            )
+            try:
+                await asyncio.Event().wait()  # until interrupted
+            finally:
+                await server.stop()
+
         try:
-            await asyncio.Event().wait()  # until interrupted
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("\nstopped")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    async def fetch() -> dict:
+        reader, writer = await asyncio.open_connection(args.host, args.port)
+        try:
+            writer.write(b'{"op": "stats"}\n')
+            await writer.drain()
+            line = await reader.readline()
         finally:
-            await server.stop()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+        if not line:
+            raise SystemExit("server closed the connection without a reply")
+        return json.loads(line)
 
     try:
-        asyncio.run(run())
-    except KeyboardInterrupt:
-        print("\nstopped")
+        payload = asyncio.run(fetch())
+    except OSError as exc:
+        raise SystemExit(
+            f"cannot reach server at {args.host}:{args.port}: {exc}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"malformed stats reply: {exc}") from None
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"t={payload.get('t')}  sessions={payload.get('sessions')}  "
+        f"channels={payload.get('channels')}"
+    )
+    metrics = payload.get("metrics")
+    if not metrics:
+        print("metrics: disabled on this server")
+        return 0
+    print("\ncounters:")
+    for name, value in metrics.get("counters", {}).items():
+        print(f"  {name:<28} {value}")
+    print("\nhistograms:")
+    for name, h in metrics.get("histograms", {}).items():
+        count = h["count"]
+        mean = h["sum"] / count if count else 0.0
+        print(
+            f"  {name:<28} count={count} mean={mean:.2f} "
+            f"min={h['min']} max={h['max']}"
+        )
     return 0
 
 
@@ -220,19 +292,50 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         gestures_per_client=args.gestures,
         seed=args.seed + 1,
     )
+    fault_plan = None
+    if args.fault_seed is not None:
+        from .obs import FaultPlan
+
+        fault_plan = FaultPlan.mixed(args.fault_rate)
+    observer = None
+    if args.metrics:
+        if args.mode == "both":
+            raise SystemExit(
+                "--metrics needs a single pool to observe; "
+                "use --mode batched or --mode sequential"
+            )
+        from .obs import MetricsRegistry, PoolObserver
+
+        observer = PoolObserver(metrics=MetricsRegistry())
     if args.mode == "both":
-        batched, sequential = compare_modes(recognizer, workload)
+        batched, sequential = compare_modes(
+            recognizer,
+            workload,
+            fault_plan=fault_plan,
+            fault_seed=args.fault_seed or 0,
+        )
         print(batched.summary())
         print(sequential.summary())
         print(
             f"speedup: {batched.points_per_sec / sequential.points_per_sec:.2f}x "
-            "(decision streams identical)"
+            "(decision streams identical"
+            + (", same fault schedule)" if fault_plan is not None else ")")
         )
     else:
         result = run_load(
-            recognizer, workload, batched=args.mode == "batched"
+            recognizer,
+            workload,
+            batched=args.mode == "batched",
+            observer=observer,
+            fault_plan=fault_plan,
+            fault_seed=args.fault_seed or 0,
         )
         print(result.summary())
+        if result.metrics is not None:
+            import json
+
+            print("\nmetrics counters:")
+            print(json.dumps(result.metrics["counters"], indent=2, sort_keys=True))
     return 0
 
 
@@ -291,7 +394,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="motionless timeout in (virtual) seconds",
     )
     serve.add_argument("--max-sessions", type=int, default=4096)
+    serve.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable the metrics registry (stats replies carry null)",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH",
+        help="stream NDJSON trace records (spans/events) to this file",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="query a running server's metrics snapshot"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=7391)
+    stats.add_argument(
+        "--json", action="store_true", help="print the raw stats reply"
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     loadgen = sub.add_parser(
         "loadgen", help="synthetic load through the session pool"
@@ -306,6 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["batched", "sequential", "both"],
         default="both",
         help="'both' also verifies the decision streams are identical",
+    )
+    loadgen.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="inject seeded faults (drop/duplicate/delay/reorder/kill)",
+    )
+    loadgen.add_argument(
+        "--fault-rate", type=float, default=0.02,
+        help="per-op probability for each fault type (default 0.02)",
+    )
+    loadgen.add_argument(
+        "--metrics", action="store_true",
+        help="attach a metrics registry and print its counters "
+        "(single-mode runs only)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 

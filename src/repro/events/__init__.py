@@ -1,6 +1,6 @@
 """Synthetic input events, virtual time, and the event loop."""
 
-from .clock import VirtualClock
+from .clock import InstrumentedClock, VirtualClock
 from .event import EventKind, MouseButton, MouseEvent, TimerEvent
 from .player import perform_gesture, stroke_events
 from .queue import EventQueue
@@ -8,6 +8,7 @@ from .queue import EventQueue
 __all__ = [
     "EventKind",
     "EventQueue",
+    "InstrumentedClock",
     "MouseButton",
     "MouseEvent",
     "TimerEvent",

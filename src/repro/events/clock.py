@@ -8,7 +8,7 @@ real time.
 
 from __future__ import annotations
 
-__all__ = ["VirtualClock"]
+__all__ = ["InstrumentedClock", "VirtualClock"]
 
 
 class VirtualClock:
@@ -33,3 +33,34 @@ class VirtualClock:
         if t > self._now:
             self._now = t
         return self._now
+
+
+class InstrumentedClock(VirtualClock):
+    """A :class:`VirtualClock` that counts how often it is consulted.
+
+    Time-driven components are expected to read the clock *once* per
+    tick and judge everything in that tick against the single value
+    (re-reads can observe a shared clock mid-advance and tear a tick's
+    notion of "now").  This subclass makes the discipline testable:
+    ``reads`` counts ``now`` property accesses, ``advances`` counts
+    ``advance``/``advance_to`` calls — an advance's return value is
+    deliberately *not* counted as a read.
+    """
+
+    def __init__(self, start: float = 0.0):
+        super().__init__(start)
+        self.reads = 0
+        self.advances = 0
+
+    @property
+    def now(self) -> float:
+        self.reads += 1
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        self.advances += 1
+        return super().advance(dt)
+
+    def advance_to(self, t: float) -> float:
+        self.advances += 1
+        return super().advance_to(t)

@@ -1,0 +1,36 @@
+"""Observability for the serving stack: tracing, metrics, fault injection.
+
+Three independent pieces, all injected into :mod:`repro.serve` rather
+than imported by it — the recognizer hot path contains no observability
+code beyond ``if observer is not None`` guards, so with observability
+off it stays exactly as fast (and as allocation-free) as before:
+
+* :class:`MetricsRegistry` — named counters and streaming histograms
+  with a deterministic :meth:`~MetricsRegistry.snapshot`;
+* :class:`Tracer` — per-session spans (collect / classify / timeout /
+  manipulate) and events, virtual-clock timestamped, emitted as
+  canonical NDJSON so traces diff byte-for-byte;
+* :class:`PoolObserver` — the adapter the pool and server call into,
+  binding a tracer and a metrics registry to the hook points;
+* :class:`FaultInjector` — a seeded, deterministic event mangler
+  (drop / duplicate / delay / reorder / kill) for chaos testing.
+
+See ``docs/OBSERVABILITY.md`` for the trace record schema, the metric
+name catalogue, and the fault-injection knobs.
+"""
+
+from .faults import FaultInjector, FaultPlan
+from .metrics import Counter, Histogram, MetricsRegistry
+from .observer import PoolObserver
+from .trace import Tracer, encode_record
+
+__all__ = [
+    "Counter",
+    "FaultInjector",
+    "FaultPlan",
+    "Histogram",
+    "MetricsRegistry",
+    "PoolObserver",
+    "Tracer",
+    "encode_record",
+]

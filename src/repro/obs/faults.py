@@ -1,0 +1,135 @@
+"""Seeded, deterministic fault injection for event streams.
+
+A :class:`FaultInjector` sits between an event source and the pool (or
+server) and mangles one tick's worth of operations at a time: it can
+**drop** an operation, **duplicate** it, **delay** it a bounded number
+of ticks, **reorder** the tick, and **kill** the session an operation
+belongs to right after delivering it.  Every choice comes from one
+``random.Random(seed)``, so a given ``(plan, seed)`` produces the same
+fault schedule on every run — chaos tests replay exactly.
+
+The injector never invents operations and never changes an operation's
+payload; delayed operations are re-delivered on a later tick (and thus
+pick up that tick's timestamp from whoever submits them), which keeps
+the virtual timeline monotone.  What the injector *delivered* is the
+ground truth a chaos test replays against — drive it, record the
+delivered stream, and compare the system under faults to a fault-free
+replay of that same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["FaultInjector", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-operation fault probabilities (all default off).
+
+    ``drop``, ``duplicate``, ``delay`` and ``kill`` are evaluated per
+    operation, in that order (drop and delay are exclusive; a delivered
+    operation may be both duplicated and followed by a kill).
+    ``reorder`` is evaluated once per tick and shuffles that tick's
+    delivered operations.  ``delay_ticks`` bounds how far a delayed
+    operation can slip.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_ticks: int = 3
+    reorder: float = 0.0
+    kill: float = 0.0
+
+    @classmethod
+    def mixed(cls, rate: float, kill: float | None = None) -> "FaultPlan":
+        """Every fault type at ``rate`` (kills at ``rate / 4`` unless given)."""
+        return cls(
+            drop=rate,
+            duplicate=rate,
+            delay=rate,
+            reorder=rate,
+            kill=rate / 4.0 if kill is None else kill,
+        )
+
+
+def _default_key(op) -> str:
+    return op[1]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to successive ticks of operations."""
+
+    def __init__(self, plan: FaultPlan, seed: int = 0):
+        self.plan = plan
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._delayed: dict[int, list] = {}
+        self.counts = {
+            "delivered": 0,
+            "dropped": 0,
+            "duplicated": 0,
+            "delayed": 0,
+            "reordered": 0,
+            "killed": 0,
+        }
+
+    @property
+    def pending(self) -> bool:
+        """True while delayed operations await a future tick."""
+        return bool(self._delayed)
+
+    def apply(self, tick: int, ops, *, key=None) -> tuple[list, list]:
+        """Mangle one tick.  Returns ``(delivered_ops, killed_keys)``.
+
+        ``ops`` are opaque items; ``key(op)`` names the session an item
+        belongs to (default: ``op[1]``, the pool's tuple layout).  Items
+        whose key is ``None`` are exempt — delivered untouched, never
+        killed — which is how a server shields clock ticks and stats
+        requests from the chaos.  Kills take effect *after* the
+        operation that drew them.
+        """
+        plan = self.plan
+        rng = self._rng
+        counts = self.counts
+        key_of = _default_key if key is None else key
+        pending = self._delayed.pop(tick, [])
+        delivered: list = []
+        kills: list = []
+        for op in list(pending) + list(ops):
+            session = key_of(op)
+            if session is None:
+                delivered.append(op)
+                continue
+            if plan.drop > 0.0 and rng.random() < plan.drop:
+                counts["dropped"] += 1
+                continue
+            if plan.delay > 0.0 and rng.random() < plan.delay:
+                slip = rng.randint(1, max(1, plan.delay_ticks))
+                self._delayed.setdefault(tick + slip, []).append(op)
+                counts["delayed"] += 1
+                continue
+            delivered.append(op)
+            counts["delivered"] += 1
+            if plan.duplicate > 0.0 and rng.random() < plan.duplicate:
+                delivered.append(op)
+                counts["delivered"] += 1
+                counts["duplicated"] += 1
+            if plan.kill > 0.0 and rng.random() < plan.kill:
+                kills.append(session)
+                counts["killed"] += 1
+        if (
+            plan.reorder > 0.0
+            and len(delivered) > 1
+            and rng.random() < plan.reorder
+        ):
+            rng.shuffle(delivered)
+            counts["reordered"] += 1
+        return delivered, kills
+
+    def summary(self) -> dict:
+        """Deterministic account of everything the injector did."""
+        return {"seed": self.seed, **self.counts}

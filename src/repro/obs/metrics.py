@@ -1,0 +1,128 @@
+"""Counters and streaming histograms with a deterministic snapshot.
+
+The registry is deliberately tiny: a metric is a name and a mutable
+cell, observation is one attribute bump (no locks — the serving layer
+is single-pump by design), and :meth:`MetricsRegistry.snapshot` renders
+everything into plain sorted dicts ready for ``json.dumps``.
+
+Invariants the property tests pin down:
+
+* a histogram's ``count`` equals the number of ``observe`` calls, and
+  its bucket counts sum to ``count`` (the last bucket is an implicit
+  ``+inf`` overflow);
+* counters and histogram counts are monotone: a later snapshot never
+  shows a smaller value than an earlier one.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+
+# A decade ladder wide enough for batch sizes (1..4096) and
+# microsecond-scale latencies alike; callers with tighter needs pass
+# their own bounds.
+DEFAULT_BUCKETS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Histogram:
+    """A streaming histogram over fixed, sorted bucket bounds.
+
+    Each bound is an inclusive upper edge (``x <= bound``); values above
+    the last bound land in an implicit ``+inf`` overflow bucket.  Count,
+    sum, min and max are tracked exactly; no samples are retained.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, bounds=DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be non-empty and increasing")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +inf overflow
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # leftmost bound with value <= bound
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def snapshot(self) -> dict:
+        """Everything, as plain sorted dicts (stable across identical runs).
+
+        Histogram buckets are ``[upper_bound, count]`` pairs; the final
+        pair's bound is ``null`` (the ``+inf`` overflow).  ``min`` and
+        ``max`` are ``null`` while a histogram is empty.
+        """
+        counters = {
+            name: c.value for name, c in sorted(self._counters.items())
+        }
+        histograms = {}
+        for name, h in sorted(self._histograms.items()):
+            edges = list(h.bounds) + [None]
+            histograms[name] = {
+                "count": h.count,
+                "sum": h.total,
+                "min": h.vmin if h.count else None,
+                "max": h.vmax if h.count else None,
+                "buckets": [
+                    [edge, n] for edge, n in zip(edges, h.bucket_counts)
+                ],
+            }
+        return {"counters": counters, "histograms": histograms}

@@ -1,0 +1,190 @@
+"""The adapter between the serving hot path and tracing/metrics.
+
+:class:`~repro.serve.SessionPool` and
+:class:`~repro.serve.GestureServer` accept an optional observer and call
+the hook methods below at a handful of points.  With no observer the
+pool pays one ``is not None`` test per hook site; with one, this class
+pays the bookkeeping — pre-bound counters, one small dict of in-flight
+sessions — so the hooks stay cheap even fully enabled.
+
+Everything here is duck-typed against :class:`~repro.serve.Decision`
+(``kind`` / ``reason`` / timestamps); the observer deliberately imports
+nothing from :mod:`repro.serve`, keeping the dependency one-way:
+observability is injected into the serving layer, never required by it.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["PoolObserver"]
+
+# Bucket bounds tuned to what each histogram actually sees.
+_OPS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+_LATENCY_US_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0,
+)
+
+
+class PoolObserver:
+    """Routes pool/server hook calls into a tracer and a metrics registry.
+
+    Either half may be ``None``: metrics without tracing is the cheap
+    always-on configuration; tracing without metrics is what the golden
+    trace tests use.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.metrics = metrics
+        self.tracer = tracer
+        # key -> [first_point_t, decided_t | None]
+        self._live: dict[str, list] = {}
+        if metrics is not None:
+            self._c_ticks = metrics.counter("pool.ticks")
+            self._c_ops = metrics.counter("pool.ops")
+            self._c_opened = metrics.counter("pool.sessions_opened")
+            self._c_eager = metrics.counter("pool.decisions.eager")
+            self._c_timeout = metrics.counter("pool.decisions.timeout")
+            self._c_up = metrics.counter("pool.decisions.up")
+            self._c_commits = metrics.counter("pool.commits")
+            self._c_evicts = metrics.counter("pool.evicts")
+            self._c_errors = metrics.counter("pool.errors")
+            self._c_rows = metrics.counter("batch.rows")
+            self._c_fallbacks = metrics.counter("batch.fallbacks")
+            self._h_tick_ops = metrics.histogram("pool.tick_ops", _OPS_BUCKETS)
+            self._h_queue = metrics.histogram("pool.queue_depth", _OPS_BUCKETS)
+            self._h_sessions = metrics.histogram(
+                "pool.sessions_in_flight", _OPS_BUCKETS
+            )
+            self._h_eval = metrics.histogram(
+                "batch.eval_us_per_point", _LATENCY_US_BUCKETS
+            )
+            self._h_inbox = metrics.histogram("server.inbox_batch", _OPS_BUCKETS)
+
+    # -- pool hooks ----------------------------------------------------------
+
+    def session_started(self, key: str, t: float) -> None:
+        """A ``down`` opened a session at virtual time ``t``."""
+        self._live[key] = [t, None]
+        if self.metrics is not None:
+            self._c_opened.inc()
+
+    def tick(self, ops: int, queue: int, sessions: int) -> None:
+        """One pool drain: ``ops`` applied, ``queue`` chunks were buffered."""
+        if self.metrics is not None:
+            self._c_ticks.inc()
+            self._c_ops.inc(ops)
+            self._h_tick_ops.observe(ops)
+            self._h_queue.observe(queue)
+            self._h_sessions.observe(sessions)
+
+    def batch_round(
+        self, points: int, rows: int, fallbacks: int, seconds: float
+    ) -> None:
+        """One batched evaluation round: the fused-matmul hot path."""
+        if self.metrics is not None:
+            self._c_rows.inc(rows)
+            self._c_fallbacks.inc(fallbacks)
+            if points:
+                self._h_eval.observe(seconds * 1e6 / points)
+
+    def timeout_round(self, rows: int, fallbacks: int) -> None:
+        """One batched timeout-classification round."""
+        if self.metrics is not None:
+            self._c_rows.inc(rows)
+            self._c_fallbacks.inc(fallbacks)
+
+    def decisions(self, decisions) -> None:
+        """Newly emitted pool decisions, in emission order."""
+        metrics = self.metrics is not None
+        tracer = self.tracer
+        live = self._live
+        for d in decisions:
+            kind = d.kind
+            if kind == "recog":
+                state = live.get(d.key)
+                if metrics:
+                    (
+                        self._c_eager
+                        if d.reason == "eager"
+                        else self._c_timeout
+                        if d.reason == "timeout"
+                        else self._c_up
+                    ).inc()
+                if state is not None:
+                    state[1] = d.t
+                    if tracer is not None:
+                        if d.reason == "timeout":
+                            # t is last_point_t + timeout: the span covers
+                            # the motionless dwell that fired it.
+                            tracer.span(
+                                d.key,
+                                "collect",
+                                state[0],
+                                d.t,
+                                points=d.points_seen,
+                            )
+                            tracer.span(
+                                d.key,
+                                "timeout",
+                                d.t,
+                                d.t,
+                                **{"class": d.class_name, "points": d.points_seen},
+                            )
+                        else:
+                            tracer.span(
+                                d.key,
+                                "collect",
+                                state[0],
+                                d.t,
+                                points=d.points_seen,
+                            )
+                            tracer.span(
+                                d.key,
+                                "classify",
+                                d.t,
+                                d.t,
+                                eager=d.eager,
+                                reason=d.reason,
+                                **{"class": d.class_name, "points": d.points_seen},
+                            )
+            elif kind == "commit":
+                state = live.pop(d.key, None)
+                if metrics:
+                    self._c_commits.inc()
+                if (
+                    tracer is not None
+                    and state is not None
+                    and state[1] is not None
+                ):
+                    tracer.span(d.key, "manipulate", state[1], d.t)
+            elif kind == "evict":
+                live.pop(d.key, None)
+                if metrics:
+                    self._c_evicts.inc()
+                if tracer is not None:
+                    tracer.event(
+                        d.key,
+                        "evict",
+                        d.t,
+                        reason=d.reason,
+                        **{"class": d.class_name},
+                    )
+            else:  # error
+                if metrics:
+                    self._c_errors.inc()
+                if tracer is not None:
+                    tracer.event(d.key, "error", d.t, reason=d.reason)
+
+    # -- server hooks --------------------------------------------------------
+
+    def server_batch(self, requests: int) -> None:
+        """One pump batch drained from the server inbox."""
+        if self.metrics is not None:
+            self._h_inbox.observe(requests)

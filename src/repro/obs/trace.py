@@ -1,0 +1,87 @@
+"""Structured tracing: per-session spans as canonical NDJSON.
+
+A trace is a stream of records, one JSON object per line.  Two record
+shapes:
+
+Spans — a phase of one session's life on the virtual timeline::
+
+    {"phase":"collect","points":12,"rec":"span","session":"c0g1",
+     "t0":0.03,"t1":0.14}
+    {"class":"delete","eager":true,"phase":"classify","points":12,
+     "rec":"span","reason":"eager","session":"c0g1","t0":0.14,"t1":0.14}
+    {"phase":"manipulate","rec":"span","session":"c0g1","t0":0.14,"t1":0.3}
+
+``phase`` is ``collect`` (first point to decision), ``classify`` (an
+eager or mouse-up decision; instantaneous on the virtual timeline),
+``timeout`` (a motionless-timeout decision, ``t0`` the last point,
+``t1`` when the timeout fired), or ``manipulate`` (decision to commit).
+
+Events — instantaneous happenings outside the phase structure::
+
+    {"kind":"error","reason":"duplicate down","rec":"event",
+     "session":"c7g0","t":0.4}
+    {"kind":"evict","reason":"killed","rec":"event","session":"c2g1","t":1.1}
+
+All timestamps are virtual-clock seconds, so identical input yields a
+byte-identical trace: records are encoded with sorted keys and compact
+separators (:func:`encode_record`), which is also the normal form the
+golden-trace tests diff against.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["Tracer", "encode_record"]
+
+
+def encode_record(record: dict) -> str:
+    """One trace record in canonical NDJSON form (without the newline)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class Tracer:
+    """Collects (or streams) trace records.
+
+    With no ``stream``, records buffer in :attr:`records` and
+    :meth:`lines` renders them; with a ``stream`` (anything with a
+    ``write`` method), each record is encoded and written immediately
+    and nothing is retained — the shape a long-running server wants.
+    """
+
+    def __init__(self, stream=None):
+        self._stream = stream
+        self.records: list[dict] = []
+
+    def span(
+        self, session: str, phase: str, t0: float, t1: float, **attrs
+    ) -> None:
+        record = {
+            "rec": "span",
+            "session": session,
+            "phase": phase,
+            "t0": t0,
+            "t1": t1,
+        }
+        if attrs:
+            record.update(attrs)
+        self._emit(record)
+
+    def event(self, session: str, kind: str, t: float, **attrs) -> None:
+        record = {"rec": "event", "session": session, "kind": kind, "t": t}
+        if attrs:
+            record.update(attrs)
+        self._emit(record)
+
+    def _emit(self, record: dict) -> None:
+        if self._stream is not None:
+            self._stream.write(encode_record(record) + "\n")
+        else:
+            self.records.append(record)
+
+    def lines(self) -> list[str]:
+        """The buffered trace in canonical NDJSON, one string per record."""
+        return [encode_record(r) for r in self.records]
+
+    def clear(self) -> None:
+        self.records.clear()

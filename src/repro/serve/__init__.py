@@ -37,6 +37,7 @@ from .protocol import (
     decode_request,
     encode_decision,
     encode_error,
+    encode_stats,
 )
 from .registry import ModelRegistry, ModelVersion
 from .server import Channel, GestureServer
@@ -58,6 +59,7 @@ __all__ = [
     "decode_request",
     "encode_decision",
     "encode_error",
+    "encode_stats",
     "family_templates",
     "generate_workload",
     "run_load",

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..eager import EagerRecognizer
 from ..interaction import DEFAULT_TIMEOUT
+from ..obs import FaultInjector
 from ..synth import (
     GestureGenerator,
     eight_direction_templates,
@@ -121,9 +122,15 @@ class LoadResult:
     p50_us: float
     p99_us: float
     decision_log: list[Decision] = field(default_factory=list)
+    # When observability / fault injection were attached:
+    metrics: dict | None = None
+    fault_summary: dict | None = None
+    end_t: float = 0.0
+    delivered_log: list | None = None  # (t, op) actually applied, post-fault
+    kill_log: list | None = None  # (t, key) sessions killed by the injector
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.mode:>10}: {self.clients} clients, "
             f"{self.points} points in {self.elapsed:.3f}s = "
             f"{self.points_per_sec:,.0f} points/sec  "
@@ -131,6 +138,15 @@ class LoadResult:
             f"{self.decisions} decisions, {self.commits} commits, "
             f"{self.errors} errors)"
         )
+        if self.fault_summary is not None:
+            f = self.fault_summary
+            text += (
+                f"\n{'faults':>10}: seed {f['seed']}: "
+                f"{f['delivered']} delivered, {f['dropped']} dropped, "
+                f"{f['duplicated']} duplicated, {f['delayed']} delayed, "
+                f"{f['reordered']} ticks reordered, {f['killed']} killed"
+            )
+        return text
 
 
 def run_load(
@@ -141,14 +157,32 @@ def run_load(
     timeout: float = DEFAULT_TIMEOUT,
     dt: float = 0.01,
     collect: bool = False,
+    observer=None,
+    fault_plan=None,
+    fault_seed: int = 0,
 ) -> LoadResult:
-    """Drive a workload through a :class:`SessionPool`; measure it."""
+    """Drive a workload through a :class:`SessionPool`; measure it.
+
+    ``observer`` is handed to the pool (see
+    :class:`~repro.obs.PoolObserver`); if it carries a metrics registry,
+    the result's ``metrics`` field is its final snapshot.  ``fault_plan``
+    (a :class:`~repro.obs.FaultPlan`) routes every tick through a fresh
+    ``FaultInjector(fault_plan, fault_seed)`` — fresh per call, so two
+    runs (e.g. batched and sequential) see the *identical* fault
+    schedule.  With faults on, the run appends a drain phase (advance
+    past the last possible motionless timeout, then evict everything
+    idle) so sessions whose ``up`` was dropped still reach a terminal
+    decision, and — with ``collect`` — records the post-fault
+    ``delivered_log`` / ``kill_log`` ground truth for replay checks.
+    """
     pool = SessionPool(
         recognizer,
         batched=batched,
         timeout=timeout,
         max_sessions=len(workload) + 1,
+        observer=observer,
     )
+    injector = None if fault_plan is None else FaultInjector(fault_plan, fault_seed)
     # Pivot the per-client scripts into per-tick op lists once, so the
     # measured loop is the service work, not script bookkeeping.
     n_ticks = max((len(ops) for ops in workload), default=0)
@@ -159,14 +193,29 @@ def run_load(
                 ticks[k].append(op)
     points = decisions = commits = errors = 0
     log: list[Decision] = []
+    delivered_log: list | None = [] if collect and injector is not None else None
+    kill_log: list | None = [] if collect and injector is not None else None
     tick_elapsed: list[float] = []
     tick_events: list[int] = []
+    # With delays in play, ops can slip past the scripted end; a hard
+    # bound keeps a pathological all-delay plan from looping forever.
+    max_tick = n_ticks + (0 if injector is None else 64 * n_ticks + 64)
+    t = 0.0
+    tick = 0
     wall_start = time.perf_counter()
-    for tick, tick_ops in enumerate(ticks):
+    while tick < n_ticks or (
+        injector is not None and injector.pending and tick < max_tick
+    ):
         t = tick * dt
+        tick_ops = ticks[tick] if tick < n_ticks else []
+        kills: list = []
+        if injector is not None:
+            tick_ops, kills = injector.apply(tick, tick_ops)
         start = time.perf_counter()
         if tick_ops:
             pool.submit(tick_ops, t)
+        for key in kills:
+            pool.kill(key, t)
         decided = pool.advance_to(t)
         elapsed = time.perf_counter() - start
         events = len(tick_ops)
@@ -179,9 +228,26 @@ def run_load(
                 errors += 1
         if collect:
             log.extend(decided)
+            if delivered_log is not None:
+                delivered_log.extend((t, op) for op in tick_ops)
+                kill_log.extend((t, key) for key in kills)
         if events:
             tick_elapsed.append(elapsed)
             tick_events.append(events)
+        tick += 1
+    if injector is not None:
+        # Drain: fire any still-pending motionless timeouts, then evict
+        # whatever faults left behind (e.g. sessions whose up was lost).
+        t = tick * dt + timeout + dt
+        for batch in (pool.advance_to(t), pool.evict_idle(0.0)):
+            decisions += len(batch)
+            for d in batch:
+                if d.kind == "commit":
+                    commits += 1
+                elif d.kind == "error":
+                    errors += 1
+            if collect:
+                log.extend(batch)
     total = time.perf_counter() - wall_start
     if tick_events:
         per_point = np.repeat(
@@ -202,6 +268,15 @@ def run_load(
         p50_us=float(p50),
         p99_us=float(p99),
         decision_log=log,
+        metrics=(
+            observer.metrics.snapshot()
+            if observer is not None and getattr(observer, "metrics", None) is not None
+            else None
+        ),
+        fault_summary=None if injector is None else injector.summary(),
+        end_t=t,
+        delivered_log=delivered_log,
+        kill_log=kill_log,
     )
 
 
@@ -211,18 +286,24 @@ def compare_modes(
     *,
     timeout: float = DEFAULT_TIMEOUT,
     dt: float = 0.01,
+    fault_plan=None,
+    fault_seed: int = 0,
 ) -> tuple[LoadResult, LoadResult]:
     """Run both modes over one workload; insist the decisions match.
 
     Returns ``(batched, sequential)`` results.  Raises ``AssertionError``
     if the two decision streams differ anywhere — same decisions, same
     order, same timestamps — which is the serving layer's core claim.
+    With a ``fault_plan``, both modes are run under the *same* seeded
+    fault schedule, so the claim is asserted under chaos too.
     """
     batched = run_load(
-        recognizer, workload, batched=True, timeout=timeout, dt=dt, collect=True
+        recognizer, workload, batched=True, timeout=timeout, dt=dt,
+        collect=True, fault_plan=fault_plan, fault_seed=fault_seed,
     )
     sequential = run_load(
-        recognizer, workload, batched=False, timeout=timeout, dt=dt, collect=True
+        recognizer, workload, batched=False, timeout=timeout, dt=dt,
+        collect=True, fault_plan=fault_plan, fault_seed=fault_seed,
     )
     if batched.decision_log != sequential.decision_log:
         for i, (b, s) in enumerate(

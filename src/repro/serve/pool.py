@@ -22,7 +22,17 @@ with the same semantics per session:
 Recognition outcomes are reported as :class:`Decision` values (kinds
 ``recog``, ``commit``, ``evict``, ``error``); malformed operations
 (duplicate ``down``, unknown key, pool exhaustion) produce per-session
-``error`` decisions and never disturb other sessions.
+``error`` decisions and never disturb other sessions.  :meth:`kill`
+force-terminates one session (fault injection's hammer) with an
+``evict`` decision, again without touching its neighbours.
+
+The pool is observable but never observes itself: pass an
+:class:`~repro.obs.PoolObserver` (or anything with the same hook
+methods) as ``observer`` and the pool reports ticks, decisions, session
+opens, and batched-evaluation rounds to it.  With ``observer=None`` —
+the default — every hook site is a single ``is not None`` test on the
+cold side of the branch, so the hot path allocates nothing and runs at
+full speed.
 
 Time is virtual throughout (:class:`~repro.events.VirtualClock`):
 operations carry timestamps, and :meth:`SessionPool.advance_to` both
@@ -46,6 +56,7 @@ the two modes are identical, element for element.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -64,7 +75,7 @@ __all__ = ["DEFAULT_IDLE_TIMEOUT", "Decision", "SessionPool"]
 DEFAULT_IDLE_TIMEOUT = 30.0
 
 # Entry tags used inside a processing round (see _run_round).
-_ERROR, _DECIDED, _FINISH, _COMMIT = 0, 1, 2, 3
+_ERROR, _DECIDED, _FINISH, _COMMIT, _KILL = 0, 1, 2, 3, 4
 
 
 @dataclass(frozen=True)
@@ -123,12 +134,14 @@ class SessionPool:
         timeout: float = DEFAULT_TIMEOUT,
         max_sessions: int = 4096,
         batched: bool = True,
+        observer=None,
     ):
         self.recognizer = recognizer
         self.clock = clock if clock is not None else VirtualClock()
         self.timeout = timeout
         self.max_sessions = max_sessions
         self.batched = batched
+        self.observer = observer
         self._sessions: dict[str, _Session] = {}
         # Insertion-ordered view of sessions still collecting a gesture:
         # the motionless-timeout scan never visits decided sessions.
@@ -168,6 +181,17 @@ class SessionPool:
         """Button release: decide if needed, then commit and end."""
         self._ops.append((t, (("up", key, x, y),)))
 
+    def kill(self, key: str, t: float) -> None:
+        """Force-terminate session ``key`` at ``t`` (fault injection).
+
+        The session is dropped with an ``evict`` decision (reason
+        ``"killed"``); killing a key with no session is a silent no-op,
+        so fault schedules need not know which strokes are still alive.
+        Ordered with the other buffered operations: input for the key
+        already buffered ahead of the kill is still applied first.
+        """
+        self._ops.append((t, (("kill", key, 0.0, 0.0),)))
+
     def submit(self, ops, t: float) -> None:
         """Bulk-submit one tick of ``(kind, key, x, y)`` operations at ``t``.
 
@@ -188,20 +212,42 @@ class SessionPool:
         session's second operation waits for the next round — and
         decisions are emitted in that same order in both modes.
         """
+        out = self._drain()
+        obs = self.observer
+        if obs is not None and out:
+            obs.decisions(out)
+        return out
+
+    def _drain(self) -> list[Decision]:
+        """Run buffered operations to completion (no observer callout)."""
         out: list[Decision] = []
         chunks = self._ops
         self._ops = []
+        obs = self.observer
+        if obs is not None:
+            obs.tick(
+                sum(len(chunk) for _, chunk in chunks),
+                len(chunks),
+                len(self._sessions),
+            )
         while chunks:
             chunks = self._run_round(chunks, out)
         return out
 
     def advance_to(self, t: float) -> list[Decision]:
         """Apply buffered input, move virtual time to ``t``, fire timeouts."""
-        out = self.flush()
-        self.clock.advance_to(t)
-        now = self.clock.now
+        out = self._drain()
+        # One clock read per tick: the advance's return value is the
+        # `now` every timeout below is judged against.  Re-reading the
+        # clock here could observe a later time (a shared clock advanced
+        # between the two reads) and fire timeouts for sessions created
+        # within this very tick before their dwell has elapsed.
+        now = self.clock.advance_to(t)
         horizon = now - self.timeout
         if horizon < self._scan_floor:
+            obs = self.observer
+            if obs is not None and out:
+                obs.decisions(out)
             return out
         expired = []
         floor = float("inf")
@@ -227,11 +273,14 @@ class SessionPool:
                         reason="timeout",
                     )
                 )
+        obs = self.observer
+        if obs is not None and out:
+            obs.decisions(out)
         return out
 
     def evict_idle(self, max_idle: float = DEFAULT_IDLE_TIMEOUT) -> list[Decision]:
         """Drop sessions with no input for ``max_idle`` seconds of virtual time."""
-        out = self.flush()
+        out = self._drain()
         now = self.clock.now
         stale = [
             s for s in self._sessions.values() if now - s.last_t >= max_idle
@@ -252,6 +301,9 @@ class SessionPool:
                     reason="idle",
                 )
             )
+        obs = self.observer
+        if obs is not None and out:
+            obs.decisions(out)
         return out
 
     # -- one round -----------------------------------------------------------
@@ -272,6 +324,7 @@ class SessionPool:
         min_points = self.recognizer.min_points
         stamp = self._round_id = self._round_id + 1
         sget = sessions.get
+        obs = self.observer
         # Entries interleave with feeds in arrival order; each records
         # how many feeds preceded it, which is all the emission pass
         # needs to restore exact arrival order (an operation is either
@@ -289,9 +342,10 @@ class SessionPool:
                 session = sget(key)
                 if session is None:
                     if kind != "down":
-                        entries.append(
-                            (len(fed_slots), _ERROR, key, t, "unknown stroke")
-                        )
+                        if kind != "kill":  # killing a dead key: no-op
+                            entries.append(
+                                (len(fed_slots), _ERROR, key, t, "unknown stroke")
+                            )
                         continue
                     if len(sessions) >= self.max_sessions:
                         entries.append(
@@ -309,12 +363,18 @@ class SessionPool:
                     self._undecided[key] = session
                     if t < self._scan_floor:
                         self._scan_floor = t
+                    if obs is not None:
+                        obs.session_started(key, t)
                 elif session.stamp != stamp:
                     session.stamp = stamp
                     if session.decided:
                         if kind == "up":
                             entries.append(
                                 (len(fed_slots), _COMMIT, session, t)
+                            )
+                        elif kind == "kill":
+                            entries.append(
+                                (len(fed_slots), _KILL, session, t)
                             )
                         else:
                             # Manipulation phase: refresh activity only.
@@ -325,6 +385,10 @@ class SessionPool:
                             finish_sessions.append(session)
                             entries.append(
                                 (len(fed_slots), _FINISH, session, t)
+                            )
+                        elif kind == "kill":
+                            entries.append(
+                                (len(fed_slots), _KILL, session, t)
                             )
                         else:
                             entries.append(
@@ -371,6 +435,10 @@ class SessionPool:
         names: list[str] = []
         n_unambiguous = 0
         if batched:
+            timing = obs is not None
+            t_start = perf_counter() if timing else 0.0
+            n_fallbacks = 0
+            n_rows = 0
             n_eval = 0
             if fed_slots:
                 slot_arr = np.array(fed_slots)
@@ -405,7 +473,9 @@ class SessionPool:
                 )
                 if n_eval:
                     eager_unambiguous = unambiguous[:n_eval]
-                    for i in np.flatnonzero(auc_risky[:n_eval]):
+                    auc_replays = np.flatnonzero(auc_risky[:n_eval])
+                    n_fallbacks += len(auc_replays)
+                    for i in auc_replays:
                         eager_unambiguous[i] = self.recognizer.auc.is_unambiguous(
                             self._replay_vector(eval_sessions[i])
                         )
@@ -415,8 +485,10 @@ class SessionPool:
                 n_unambiguous = len(unamb_rows)
                 full_names = self._evaluator.full_names
                 rows = eval_sessions + finish_sessions
+                n_rows = len(rows)
                 for r_i in unamb_rows + list(range(n_eval, len(rows))):
                     if full_risky[r_i]:
+                        n_fallbacks += 1
                         names.append(
                             self.recognizer.full_classifier.classify_features(
                                 self._replay_vector(rows[r_i])
@@ -424,6 +496,10 @@ class SessionPool:
                         )
                     else:
                         names.append(full_names[full_winners[r_i]])
+            if timing and (fed_slots or n_rows):
+                obs.batch_round(
+                    len(fed_slots), n_rows, n_fallbacks, perf_counter() - t_start
+                )
 
         # Emission pass: merge eager decisions with the recorded entries
         # back into exact arrival order.  Candidate j's feed index is
@@ -464,10 +540,27 @@ class SessionPool:
             out.append(self._recog(session, t, "up"))
             self._remove(session)
             out.append(self._commit(session, t))
-        else:  # _COMMIT
+        elif tag == _COMMIT:
             _, _, session, t = entry
             self._remove(session)
             out.append(self._commit(session, t))
+        else:  # _KILL
+            _, _, session, t = entry
+            if self.batched and not session.decided:
+                session.count = self._bank.count_of(session.slot)
+            self._remove(session)
+            out.append(
+                Decision(
+                    key=session.key,
+                    kind="evict",
+                    t=t,
+                    class_name=session.class_name,
+                    eager=session.eager,
+                    points_seen=session.decided_points,
+                    total_points=session.count,
+                    reason="killed",
+                )
+            )
 
     # -- helpers -------------------------------------------------------------
 
@@ -544,8 +637,12 @@ class SessionPool:
         names, risky = self._evaluator.full_decisions(
             features, counts, guard_risk
         )
-        for i in np.flatnonzero(risky):
+        replays = np.flatnonzero(risky)
+        for i in replays:
             names[i] = self.recognizer.full_classifier.classify_features(
                 self._replay_vector(sessions[i])
             )
+        obs = self.observer
+        if obs is not None:
+            obs.timeout_round(len(sessions), len(replays))
         return names

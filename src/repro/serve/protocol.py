@@ -8,22 +8,30 @@ Requests (client → server)::
     {"op": "move", "stroke": "s1", "x": 14, "y": 21, "t": 0.01}
     {"op": "up",   "stroke": "s1", "x": 30, "y": 40, "t": 0.25}
     {"op": "tick", "t": 0.50}
+    {"op": "stats"}
 
 ``down``/``move``/``up`` mirror :class:`~repro.serve.SessionPool`
 operations; ``stroke`` is the client's id for one gesture (the server
 namespaces it per connection, so clients cannot collide).  ``tick``
 advances the server's virtual clock — timeouts fire from the
 timestamps clients supply, never from the server's wall clock, so a
-recorded interaction replays identically.
+recorded interaction replays identically.  ``stats`` asks for a
+metrics snapshot; its ``t`` is optional and defaults to ``0.0`` (a
+no-op for the monotone virtual clock), so polling stats never moves
+time.
 
 Replies (server → client)::
 
     {"kind": "recog", "stroke": "s1", "class": "delete", "eager": true,
      "points_seen": 12, "total_points": 12, "t": 0.11, "reason": "eager"}
     {"kind": "error", "stroke": "s1", "reason": "duplicate down", "t": 0.0}
+    {"kind": "stats", "t": 0.5, "sessions": 3, "channels": 2,
+     "metrics": {"counters": {...}, "histograms": {...}}}
 
 ``kind`` is one of ``recog`` / ``manip`` / ``commit`` / ``evict`` /
-``error`` (see :class:`~repro.serve.Decision`).
+``error`` / ``stats`` (see :class:`~repro.serve.Decision` and
+:meth:`repro.obs.MetricsRegistry.snapshot`); ``metrics`` is ``null``
+when the server runs without a metrics registry.
 """
 
 from __future__ import annotations
@@ -39,9 +47,10 @@ __all__ = [
     "decode_request",
     "encode_decision",
     "encode_error",
+    "encode_stats",
 ]
 
-_OPS = ("down", "move", "up", "tick")
+_OPS = ("down", "move", "up", "tick", "stats")
 
 
 class ProtocolError(ValueError):
@@ -72,10 +81,14 @@ def decode_request(line: str | bytes) -> Request:
         raise ProtocolError(f"unknown op: {op!r}")
     try:
         t = float(payload["t"])
-    except (KeyError, TypeError, ValueError):
+    except KeyError:
+        if op != "stats":  # stats may omit t; nothing else may
+            raise ProtocolError("missing or non-numeric t") from None
+        t = 0.0
+    except (TypeError, ValueError):
         raise ProtocolError("missing or non-numeric t") from None
-    if op == "tick":
-        return Request(op="tick", t=t)
+    if op in ("tick", "stats"):
+        return Request(op=op, t=t)
     stroke = payload.get("stroke")
     if not isinstance(stroke, str) or not stroke:
         raise ProtocolError("missing stroke id")
@@ -107,4 +120,23 @@ def encode_error(reason: str, stroke: str = "", t: float = 0.0) -> str:
     """Encode a protocol-level error reply (without the newline)."""
     return json.dumps(
         {"kind": "error", "stroke": stroke, "reason": reason, "t": t}
+    )
+
+
+def encode_stats(
+    metrics: dict | None, *, t: float, sessions: int, channels: int
+) -> str:
+    """Encode a metrics-snapshot reply (without the newline).
+
+    ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict, or
+    ``None`` when the server runs unobserved.
+    """
+    return json.dumps(
+        {
+            "kind": "stats",
+            "t": t,
+            "sessions": sessions,
+            "channels": channels,
+            "metrics": metrics,
+        }
     )

@@ -30,6 +30,15 @@ one server therefore share a single timeline.
 Per-session errors (duplicate ``down``, pool exhaustion) come back as
 ``error`` replies on the offending stroke; malformed lines come back as
 protocol ``error`` replies; neither disturbs other strokes or clients.
+
+Observability and chaos are injected, never built in.  Pass an
+``observer`` (:class:`~repro.obs.PoolObserver`) and the pool reports
+spans and metrics through it, a ``stats`` request returns the metrics
+snapshot, and the pump records its inbox batch sizes; pass a
+``fault_injector`` (:class:`~repro.obs.FaultInjector`) and each pump
+batch is run through it — drops, duplicates, delays (to a later pump
+batch), reorders, and session kills — with ``tick``/``stats`` requests
+exempt.  With neither, the pump path is exactly as before.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from .protocol import (
     decode_request,
     encode_decision,
     encode_error,
+    encode_stats,
 )
 
 __all__ = ["Channel", "GestureServer"]
@@ -109,16 +119,22 @@ class GestureServer:
         max_sessions: int = 4096,
         queue_size: int = 1024,
         batched: bool = True,
+        observer=None,
+        fault_injector=None,
     ):
         self.pool = SessionPool(
             recognizer,
             timeout=timeout,
             max_sessions=max_sessions,
             batched=batched,
+            observer=observer,
         )
         self.host = host
         self.port = port
         self.queue_size = queue_size
+        self.observer = observer
+        self.fault_injector = fault_injector
+        self._batch_no = 0
         self._inbox: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
         self._channels: dict[str, Channel] = {}
         self._next_channel = 0
@@ -174,27 +190,65 @@ class GestureServer:
                     break
             self._apply(batch)
 
+    @staticmethod
+    def _fault_key(item: tuple[Channel, Request]) -> str | None:
+        """Session key of one pump item; None exempts it from faults."""
+        channel, request = item
+        if request.op in ("tick", "stats"):
+            return None
+        return f"{channel.id}/{request.stroke}"
+
     def _apply(self, batch: list[tuple[Channel, Request]]) -> None:
+        if self.observer is not None:
+            self.observer.server_batch(len(batch))
+        live = [item for item in batch if not item[0].closed]
+        kills: list = []
+        if self.fault_injector is not None:
+            self._batch_no += 1
+            live, kills = self.fault_injector.apply(
+                self._batch_no, live, key=self._fault_key
+            )
         latest: float | None = None
-        for channel, request in batch:
-            if channel.closed:
+        stats_requests: list[Channel] = []
+        for channel, request in live:
+            op = request.op
+            if op == "stats":
+                stats_requests.append(channel)
                 continue
-            if request.op != "tick":
+            if op != "tick":
                 key = f"{channel.id}/{request.stroke}"
-                if request.op == "down":
+                if op == "down":
                     self.pool.down(key, request.x, request.y, request.t)
-                elif request.op == "move":
+                elif op == "move":
                     self.pool.move(key, request.x, request.y, request.t)
                 else:
                     self.pool.up(key, request.x, request.y, request.t)
             if latest is None or request.t > latest:
                 latest = request.t
+        for key in kills:
+            self.pool.kill(key, latest if latest is not None else self.pool.clock.now)
         if latest is None:
             decisions = self.pool.flush()
         else:
             decisions = self.pool.advance_to(latest)
         for decision in decisions:
             self._route(decision)
+        if stats_requests:
+            observer = self.observer
+            snapshot = (
+                observer.metrics.snapshot()
+                if observer is not None and observer.metrics is not None
+                else None
+            )
+            line = encode_stats(
+                snapshot,
+                t=self.pool.clock.now,
+                sessions=len(self.pool),
+                channels=len(self._channels),
+            )
+            for channel in stats_requests:
+                if not channel.closed and not channel._push(line):
+                    self._close_channel(channel)
 
     def _route(self, decision: Decision) -> None:
         channel_id, _, stroke = decision.key.partition("/")

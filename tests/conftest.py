@@ -9,6 +9,21 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace/metrics files instead of diffing "
+        "against them (tests/obs/test_golden_traces.py)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request) -> bool:
+    return request.config.getoption("--regen-golden")
+
 from repro.datasets import GestureSet
 from repro.eager import EagerTrainingReport, train_eager_recognizer
 from repro.recognizer import GestureClassifier

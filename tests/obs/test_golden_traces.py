@@ -1,0 +1,131 @@
+"""Golden-trace regression tests.
+
+Checked-in GDP strokes (``tests/obs/data/gdp_strokes.json``) are
+replayed through a :class:`SessionPool` with tracing and metrics on,
+and the resulting span stream (canonical NDJSON) plus the deterministic
+counter snapshot are diffed byte-for-byte against committed golden
+files.  Because the whole pipeline runs on virtual time and a seeded
+dataset, the trace is a pure function of the checked-in bytes — any
+diff is a behaviour change, not noise.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_golden_traces.py --regen-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.eager import train_eager_recognizer
+from repro.obs import MetricsRegistry, PoolObserver, Tracer
+from repro.serve import SessionPool
+
+DATA = Path(__file__).parent / "data" / "gdp_strokes.json"
+GOLDEN_TRACE = Path(__file__).parent / "golden" / "gdp_trace.ndjson"
+GOLDEN_COUNTERS = Path(__file__).parent / "golden" / "gdp_counters.json"
+
+DT = 0.01
+TIMEOUT = 0.2
+# Every 4th stroke dwells mid-gesture long enough to fire the
+# motionless timeout, so the golden trace pins all three decision paths
+# (eager, timeout, mouse-up) and the manipulate phase after each.
+DWELL_EVERY = 4
+DWELL_TICKS = 25
+
+
+@pytest.fixture(scope="module")
+def golden_setup():
+    gesture_set = GestureSet.load(DATA)
+    recognizer = train_eager_recognizer(gesture_set.strokes_by_class()).recognizer
+    # One replay script per stroke: staggered starts, one point per
+    # tick, a dwell for every DWELL_EVERY-th stroke, and a short
+    # manipulation drag after half the ups.
+    scripts = []
+    for i, example in enumerate(gesture_set.examples[:24]):
+        points = list(example.stroke)
+        key = f"s{i}"
+        ops: list = [("idle",)] * (i % 7)
+        ops.append(("down", key, points[0].x, points[0].y))
+        dwell_after = max(2, len(points) // 3) if i % DWELL_EVERY == 3 else None
+        for j, p in enumerate(points[1:], start=1):
+            ops.append(("move", key, p.x, p.y))
+            if j == dwell_after:
+                ops.extend([("idle",)] * DWELL_TICKS)
+        if i % 2 == 0:  # manipulation drag before release
+            last = points[-1]
+            for k in range(3):
+                ops.append(("move", key, last.x + 5.0 * (k + 1), last.y))
+        ops.append(("up", key, points[-1].x, points[-1].y))
+        scripts.append(ops)
+    return recognizer, scripts
+
+
+def _replay(recognizer, scripts, batched: bool):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    pool = SessionPool(
+        recognizer,
+        batched=batched,
+        timeout=TIMEOUT,
+        max_sessions=len(scripts) + 1,
+        observer=PoolObserver(metrics=metrics, tracer=tracer),
+    )
+    n_ticks = max(len(ops) for ops in scripts)
+    for tick in range(n_ticks + 1):
+        ops = [
+            script[tick]
+            for script in scripts
+            if tick < len(script) and script[tick][0] != "idle"
+        ]
+        if ops:
+            pool.submit(ops, tick * DT)
+        pool.advance_to(tick * DT)
+    pool.advance_to((n_ticks + 1) * DT + TIMEOUT)
+    trace = "\n".join(tracer.lines()) + "\n"
+    counters = (
+        json.dumps(metrics.snapshot()["counters"], indent=2, sort_keys=True)
+        + "\n"
+    )
+    return trace, counters
+
+
+def test_golden_trace_matches(golden_setup, regen_golden):
+    recognizer, scripts = golden_setup
+    trace, counters = _replay(recognizer, scripts, batched=True)
+    if regen_golden:
+        GOLDEN_TRACE.write_text(trace)
+        GOLDEN_COUNTERS.write_text(counters)
+    assert trace == GOLDEN_TRACE.read_text()
+    assert counters == GOLDEN_COUNTERS.read_text()
+
+
+def test_trace_byte_stable_across_runs(golden_setup):
+    """Two consecutive instrumented replays emit identical bytes."""
+    recognizer, scripts = golden_setup
+    first = _replay(recognizer, scripts, batched=True)
+    second = _replay(recognizer, scripts, batched=True)
+    assert first == second
+
+
+def test_sequential_mode_emits_the_same_trace(golden_setup):
+    """The span stream is mode-independent, like the decisions it mirrors."""
+    recognizer, scripts = golden_setup
+    batched_trace, _ = _replay(recognizer, scripts, batched=True)
+    sequential_trace, _ = _replay(recognizer, scripts, batched=False)
+    assert sequential_trace == batched_trace
+
+
+def test_golden_trace_covers_every_phase(golden_setup):
+    recognizer, scripts = golden_setup
+    trace, _ = _replay(recognizer, scripts, batched=True)
+    phases = {
+        json.loads(line).get("phase")
+        for line in trace.splitlines()
+        if '"span"' in line
+    }
+    assert {"collect", "classify", "timeout", "manipulate"} <= phases

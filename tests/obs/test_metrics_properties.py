@@ -1,0 +1,171 @@
+"""Property tests for the metrics registry's invariants.
+
+Hypothesis drives random observation streams and interleaved snapshot
+points at the invariants the serving layer relies on:
+
+* a histogram's ``count`` equals the number of ``observe`` calls, its
+  bucket counts sum to ``count``, and ``sum``/``min``/``max`` agree
+  with the exact stream;
+* every value lands in exactly the bucket its edges describe;
+* snapshots are monotone — a later snapshot never shows a smaller
+  counter or histogram count than an earlier one;
+* attaching a full observer (metrics + tracing) to the pool never
+  changes a single classification decision, in either execution mode.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Counter, Histogram, MetricsRegistry, PoolObserver, Tracer
+from repro.serve import generate_workload, run_load
+from repro.synth import eight_direction_templates
+
+finite_values = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+bounds_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=12,
+    unique=True,
+).map(sorted)
+
+
+@given(bounds=bounds_lists, values=st.lists(finite_values, max_size=200))
+def test_histogram_totals_match_the_stream(bounds, values):
+    h = Histogram("h", bounds)
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert sum(h.bucket_counts) == len(values)
+    assert h.total == pytest.approx(math.fsum(values))
+    if values:
+        assert h.vmin == min(values)
+        assert h.vmax == max(values)
+    else:
+        assert h.vmin == math.inf and h.vmax == -math.inf
+
+
+@given(bounds=bounds_lists, values=st.lists(finite_values, max_size=200))
+def test_every_value_lands_in_its_own_bucket(bounds, values):
+    h = Histogram("h", bounds)
+    for v in values:
+        h.observe(v)
+    edges = list(h.bounds) + [math.inf]
+    expected = [0] * len(edges)
+    for v in values:
+        for i, edge in enumerate(edges):
+            if v <= edge:
+                expected[i] += 1
+                break
+    assert h.bucket_counts == expected
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("inc"),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=100),
+            ),
+            st.tuples(
+                st.just("obs"),
+                st.sampled_from(["x", "y"]),
+                finite_values,
+            ),
+            st.tuples(st.just("snap"), st.none(), st.none()),
+        ),
+        max_size=60,
+    )
+)
+def test_snapshots_are_monotone(ops):
+    registry = MetricsRegistry()
+    previous = registry.snapshot()
+    for op, name, arg in ops + [("snap", None, None)]:
+        if op == "inc":
+            registry.counter(name).inc(arg)
+        elif op == "obs":
+            registry.histogram(name).observe(arg)
+        else:
+            current = registry.snapshot()
+            for cname, value in previous["counters"].items():
+                assert current["counters"][cname] >= value
+            for hname, hist in previous["histograms"].items():
+                assert current["histograms"][hname]["count"] >= hist["count"]
+            previous = current
+
+
+def test_counter_rejects_negative_steps():
+    c = Counter("c")
+    c.inc()
+    c.inc(0)
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 1
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", [])
+    with pytest.raises(ValueError):
+        Histogram("h", [2.0, 1.0])
+    with pytest.raises(ValueError):
+        Histogram("h", [1.0, 1.0])
+
+
+def test_registry_returns_the_same_cell_per_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+    registry.counter("a").inc(3)
+    assert registry.snapshot()["counters"] == {"a": 3}
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_snapshot_is_pure_json(seed):
+    """Whatever lands in a snapshot must survive a JSON round trip."""
+    import json
+    import random
+
+    rng = random.Random(seed)
+    registry = MetricsRegistry()
+    for _ in range(50):
+        if rng.random() < 0.5:
+            registry.counter(rng.choice("abc")).inc(rng.randrange(5))
+        else:
+            registry.histogram(rng.choice("xy")).observe(rng.uniform(-10, 1e5))
+    snap = registry.snapshot()
+    assert json.loads(json.dumps(snap, sort_keys=True)) == snap
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_observability_never_changes_decisions(directions_recognizer, batched):
+    """Tracing + metrics on vs off: bit-identical decision streams."""
+    workload = generate_workload(
+        eight_direction_templates(), clients=6, gestures_per_client=2, seed=55
+    )
+    plain = run_load(
+        directions_recognizer, workload, batched=batched, collect=True
+    )
+    observer = PoolObserver(metrics=MetricsRegistry(), tracer=Tracer())
+    observed = run_load(
+        directions_recognizer,
+        workload,
+        batched=batched,
+        collect=True,
+        observer=observer,
+    )
+    assert observed.decision_log == plain.decision_log
+    assert observed.decisions == plain.decisions
+    # ... and the observer really was live, not silently detached.
+    counters = observed.metrics["counters"]
+    assert counters["pool.sessions_opened"] == 12
+    assert counters["pool.commits"] > 0

@@ -1,0 +1,238 @@
+"""Chaos tests: the pool under seeded drop/delay/duplicate/reorder/kill.
+
+Three layers of guarantee, each asserted under at least three distinct
+fault-schedule seeds:
+
+* **liveness** — the drive loop terminates and every session reaches a
+  terminal state (commit, evict, or never-existed); nothing wedges;
+* **isolation** — faulted strokes produce per-session ``error`` /
+  ``evict`` decisions only; they never corrupt a neighbour;
+* **equivalence** — every surviving (never-killed) session's decision
+  stream matches a fault-free sequential replay of exactly the events
+  the injector delivered for it, on the same virtual timeline; and the
+  batched and sequential modes agree decision-for-decision under the
+  identical fault schedule.
+
+Keys whose ``down`` was rejected with ``pool full`` are excluded from
+the per-key checks: delay faults can keep a finished stroke's session
+alive while its client starts the next one, so momentary concurrency
+may exceed the pool's capacity.  Admission is a property of the *whole*
+pool's load, not of one session's event stream, so a solo replay cannot
+reproduce it — every other error (e.g. ``unknown stroke`` after a
+dropped down) replays identically and stays in scope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FaultInjector, FaultPlan
+from repro.serve import (
+    SessionPool,
+    compare_modes,
+    generate_workload,
+    run_load,
+)
+from repro.synth import eight_direction_templates
+
+SEEDS = [11, 23, 47]
+
+PLAN = FaultPlan(
+    drop=0.04,
+    duplicate=0.04,
+    delay=0.05,
+    delay_ticks=5,
+    reorder=0.1,
+    kill=0.015,
+)
+
+DT = 0.01
+TIMEOUT = 0.2
+
+
+@pytest.fixture(scope="module")
+def chaos_workload():
+    return generate_workload(
+        eight_direction_templates(),
+        clients=12,
+        gestures_per_client=3,
+        seed=77,
+    )
+
+
+def _chaos_run(recognizer, workload, seed, batched=True):
+    return run_load(
+        recognizer,
+        workload,
+        batched=batched,
+        timeout=TIMEOUT,
+        dt=DT,
+        collect=True,
+        fault_plan=PLAN,
+        fault_seed=seed,
+    )
+
+
+def _rejected(result) -> set:
+    """Keys whose down was turned away at admission (pool full)."""
+    return {
+        d.key
+        for d in result.decision_log
+        if d.kind == "error" and d.reason == "pool full"
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_every_session_reaches_a_terminal_state(
+    directions_recognizer, chaos_workload, seed
+):
+    """No deadlock, no leak: each delivered down ends in commit or evict."""
+    result = _chaos_run(directions_recognizer, chaos_workload, seed)
+    terminal: dict[str, str] = {}
+    open_keys: set[str] = set()
+    for t, (kind, key, _x, _y) in result.delivered_log:
+        if kind == "down" and key not in terminal:
+            open_keys.add(key)
+    for d in result.decision_log:
+        if d.kind in ("commit", "evict"):
+            terminal[d.key] = d.kind
+            open_keys.discard(d.key)
+    # Every delivered down either opens a session — which the drain
+    # phase inside run_load commits or evicts — or is rejected at
+    # admission ("pool full") and never exists to leak.
+    leaked = {
+        key
+        for key in open_keys
+        if key not in terminal and key not in _rejected(result)
+    }
+    assert not leaked, f"sessions with no terminal decision: {sorted(leaked)}"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_errors_stay_on_their_own_stroke(
+    directions_recognizer, chaos_workload, seed
+):
+    """Faulted keys error; keys with a clean delivery never do."""
+    result = _chaos_run(directions_recognizer, chaos_workload, seed)
+    # Reconstruct, per key, whether its delivered stream was lifecycle-
+    # clean: exactly one down first, then moves, at most one up, and the
+    # key was never killed.
+    per_key: dict[str, list[str]] = {}
+    for _t, (kind, key, _x, _y) in result.delivered_log:
+        per_key.setdefault(key, []).append(kind)
+    killed = {key for _t, key in result.kill_log}
+    rejected = _rejected(result)
+    clean = set()
+    for key, kinds in per_key.items():
+        if key in killed or key in rejected:
+            continue
+        if kinds[0] != "down" or kinds.count("down") != 1 or kinds.count("up") > 1:
+            continue
+        if "up" in kinds and kinds.index("up") != len(kinds) - 1:
+            continue
+        clean.add(key)
+    errored = {d.key for d in result.decision_log if d.kind == "error"}
+    assert not errored & clean, (
+        f"clean sessions saw errors: {sorted(errored & clean)}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_surviving_sessions_match_fault_free_replay(
+    directions_recognizer, chaos_workload, seed
+):
+    """Per surviving key: chaos decisions == sequential replay of its
+    delivered events on the same tick cadence."""
+    result = _chaos_run(directions_recognizer, chaos_workload, seed)
+    killed = {key for _t, key in result.kill_log}
+    by_tick: dict[int, dict[str, list]] = {}
+    keys = set()
+    for t, op in result.delivered_log:
+        tick = round(t / DT)
+        by_tick.setdefault(tick, {}).setdefault(op[1], []).append(op)
+        keys.add(op[1])
+    survivors = sorted(keys - killed - _rejected(result))
+    assert survivors, "fault schedule killed everything; tune the plan down"
+    last_tick = max(by_tick)
+    checked = 0
+    for key in survivors:
+        replay_pool = SessionPool(
+            directions_recognizer, batched=False, timeout=TIMEOUT, max_sessions=4
+        )
+        replayed = []
+        for tick in range(last_tick + 1):
+            ops = by_tick.get(tick, {}).get(key)
+            if ops:
+                replay_pool.submit(ops, tick * DT)
+            replayed.extend(replay_pool.advance_to(tick * DT))
+        replayed.extend(replay_pool.advance_to(result.end_t))
+        replayed.extend(replay_pool.evict_idle(0.0))
+        live = [d for d in result.decision_log if d.key == key]
+        assert live == replayed, (
+            f"seed {seed}, key {key}: chaos run and fault-free replay "
+            f"diverge\nlive:   {live}\nreplay: {replayed}"
+        )
+        checked += 1
+    assert checked >= 5  # the plan must leave a meaningful population
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batched_equals_sequential_under_chaos(
+    directions_recognizer, chaos_workload, seed
+):
+    batched, sequential = compare_modes(
+        directions_recognizer,
+        chaos_workload,
+        timeout=TIMEOUT,
+        dt=DT,
+        fault_plan=PLAN,
+        fault_seed=seed,
+    )
+    assert batched.decision_log == sequential.decision_log
+    assert batched.fault_summary == sequential.fault_summary
+    assert batched.fault_summary["seed"] == seed
+
+
+def test_fault_schedule_is_deterministic():
+    """Same (plan, seed) -> the same mangling of the same stream."""
+    ops = [("move", f"k{i}", float(i), 0.0) for i in range(40)]
+    runs = []
+    for _ in range(2):
+        injector = FaultInjector(PLAN, seed=5)
+        delivered = []
+        kills = []
+        for tick in range(10):
+            d, k = injector.apply(tick, ops[tick * 4 : tick * 4 + 4])
+            delivered.append(d)
+            kills.append(k)
+        while injector.pending:
+            tick += 1
+            d, k = injector.apply(tick, [])
+            delivered.append(d)
+            kills.append(k)
+        runs.append((delivered, kills, injector.summary()))
+    assert runs[0] == runs[1]
+
+
+def test_kill_is_isolated_and_idempotent(directions_recognizer):
+    """Killing one mid-stroke session evicts it and only it."""
+    pool = SessionPool(directions_recognizer, batched=True, max_sessions=8)
+    pool.down("a", 0.0, 0.0, 0.0)
+    pool.down("b", 10.0, 10.0, 0.0)
+    pool.move("a", 1.0, 0.0, 0.01)
+    pool.move("b", 11.0, 10.0, 0.01)
+    pool.kill("a", 0.02)
+    pool.kill("ghost", 0.02)  # unknown key: silent no-op
+    out = pool.advance_to(0.02)
+    evicts = [d for d in out if d.kind == "evict"]
+    assert [d.key for d in evicts] == ["a"]
+    assert evicts[0].reason == "killed"
+    assert evicts[0].total_points == 2
+    assert "a" not in pool and "b" in pool
+    # b is untouched and still recognizes normally.
+    pool.kill("a", 0.03)  # double-kill: silent no-op
+    pool.up("b", 11.0, 10.0, 0.03)
+    out = pool.advance_to(0.03)
+    kinds = [(d.key, d.kind) for d in out]
+    assert ("b", "recog") in kinds and ("b", "commit") in kinds
+    assert all(key == "b" for key, _ in kinds)

@@ -189,3 +189,62 @@ class TestModeEquivalence:
                 batched_log = log
             else:
                 assert log == batched_log
+
+
+class TestClockDiscipline:
+    """The pool takes exactly one clock reading per tick.
+
+    ``advance_to`` must judge every timeout against the time its own
+    advance returned — re-reading ``clock.now`` afterwards could observe
+    a later time (a shared clock advanced between the reads) and fire
+    the motionless timeout for a stroke created within this very tick.
+    """
+
+    def test_advance_never_rereads_the_clock(self, directions_recognizer):
+        from repro.events import InstrumentedClock
+
+        clock = InstrumentedClock()
+        pool = SessionPool(directions_recognizer, batched=True, clock=clock)
+        for tick in range(30):
+            t = tick * 0.01
+            if tick == 0:
+                pool.down("k", 0.0, 0.0, t)
+            elif tick < 8:
+                pool.move("k", 6.0 * tick, 6.0 * tick, t)
+            pool.advance_to(t)
+        assert clock.advances == 30
+        assert clock.reads == 0, (
+            "advance_to read clock.now instead of using its own advance"
+        )
+
+    def test_jumpy_clock_cannot_fire_timeouts_early(self, directions_recognizer):
+        """A clock whose ``now`` property races ahead between reads.
+
+        Before the single-read fix, the timeout scan re-read ``now`` and
+        a fresh same-tick stroke would appear 10 s old — classified by
+        timeout with one point.  With the fix, only the advance's return
+        value counts, so the stroke lives out its dwell normally.
+        """
+        from repro.events import VirtualClock
+
+        class JumpyClock(VirtualClock):
+            @property
+            def now(self) -> float:
+                return self._now + 10.0
+
+        pool = SessionPool(
+            directions_recognizer, batched=True, clock=JumpyClock()
+        )
+        decisions = []
+        pool.down("k", 0.0, 0.0, 0.0)
+        decisions.extend(pool.advance_to(0.0))
+        for tick in range(1, 6):
+            t = tick * 0.01
+            pool.move("k", 6.0 * tick, 6.0 * tick, t)
+            decisions.extend(pool.advance_to(t))
+        premature = [d for d in decisions if d.kind == "recog"]
+        assert not premature, f"timeout fired early: {premature}"
+        # The real dwell still fires once virtual time genuinely passes.
+        decisions = pool.advance_to(1.0)
+        assert [d.kind for d in decisions] == ["recog"]
+        assert decisions[0].reason == "timeout"
