@@ -1,0 +1,164 @@
+"""Observer overhead — what does watching the serving layer cost?
+
+PR 2's contract is that observability is *injected*: with no observer
+the pool's hot path pays one ``is not None`` test per hook site, and
+with one attached the bookkeeping is pre-bound counters and histogram
+inserts.  This benchmark prices that contract at the serving layer's
+reference scale (256 concurrent sessions, the throughput benchmark's
+workload): the metrics-observed batched run must stay within 10 % of
+the bare run.
+
+Beyond the asserted metrics ratio, the run records informational ratios
+for the heavier configurations — tracer attached (per-decision record
+building) and quality telemetry attached (per-decision scalar replay) —
+and one profiled run's per-section timings.  Everything lands in
+``BENCH_obs.json`` at the repo root so the overhead trajectory is
+diffable across PRs.
+
+Measurements interleave configurations within each repeat (bare, then
+each observed flavour) and keep the best repeat per configuration, so a
+machine-load hiccup hits all configurations alike rather than biasing
+one side of the ratio.
+"""
+
+from __future__ import annotations
+
+import gc
+
+from conftest import write_bench_json, write_report
+
+from repro.eager import train_eager_recognizer
+from repro.obs import (
+    MetricsRegistry,
+    PerfProfiler,
+    PoolObserver,
+    QualityMonitor,
+    Tracer,
+)
+from repro.serve import family_templates, generate_workload, run_load
+from repro.synth import GestureGenerator
+
+CLIENTS = 256
+GESTURES_PER_CLIENT = 4
+REPEATS = 5
+MAX_METRICS_OVERHEAD = 1.10
+
+
+def _setup():
+    templates = family_templates("notes")
+    generator = GestureGenerator(templates, seed=3)
+    recognizer = train_eager_recognizer(
+        generator.generate_strokes(12)
+    ).recognizer
+    workload = generate_workload(
+        templates,
+        clients=CLIENTS,
+        gestures_per_client=GESTURES_PER_CLIENT,
+        seed=5,
+        dwell_every=0,
+    )
+    return recognizer, workload
+
+
+def _timed(recognizer, workload, observer_factory):
+    gc.collect()
+    gc.disable()
+    try:
+        result = run_load(
+            recognizer, workload, batched=True, observer=observer_factory()
+        )
+    finally:
+        gc.enable()
+    return result.points_per_sec
+
+
+def test_observer_overhead_256_sessions():
+    """Metrics-observed hot path within 10% of bare at 256 sessions."""
+    recognizer, workload = _setup()
+
+    configs = {
+        "bare": lambda: None,
+        "metrics": lambda: PoolObserver(metrics=MetricsRegistry()),
+        "tracer": lambda: PoolObserver(
+            metrics=MetricsRegistry(), tracer=Tracer()
+        ),
+        "quality": lambda: (
+            lambda m: PoolObserver(
+                metrics=m, quality=QualityMonitor(recognizer, metrics=m)
+            )
+        )(MetricsRegistry()),
+    }
+    # Warm numpy, the allocator, and every configuration's code paths.
+    for factory in configs.values():
+        run_load(recognizer, workload, batched=True, observer=factory())
+
+    best = {name: 0.0 for name in configs}
+    for _ in range(REPEATS):
+        for name, factory in configs.items():
+            pps = _timed(recognizer, workload, factory)
+            if pps > best[name]:
+                best[name] = pps
+
+    ratios = {
+        name: best["bare"] / best[name] for name in configs if name != "bare"
+    }
+    if ratios["metrics"] > MAX_METRICS_OVERHEAD:
+        # One retry for the asserted pair: absorb a throttled repeat.
+        for _ in range(REPEATS):
+            for name in ("bare", "metrics"):
+                pps = _timed(recognizer, workload, configs[name])
+                if pps > best[name]:
+                    best[name] = pps
+        ratios = {
+            name: best["bare"] / best[name]
+            for name in configs
+            if name != "bare"
+        }
+
+    # One profiled run for the per-section cost breakdown (wall-clock,
+    # informational — not part of the asserted ratio).
+    profiler = PerfProfiler()
+    run_load(
+        recognizer,
+        workload,
+        batched=True,
+        observer=PoolObserver(metrics=MetricsRegistry(), profiler=profiler),
+    )
+
+    lines = [
+        "Observer overhead, 256 concurrent sessions "
+        f"(notes family, best of {REPEATS}, batched)",
+        f"bare:    {best['bare']:,.0f} points/sec",
+    ]
+    for name in ("metrics", "tracer", "quality"):
+        lines.append(
+            f"{name:<8} {best[name]:,.0f} points/sec "
+            f"(overhead {ratios[name]:.3f}x)"
+        )
+    write_report("obs_overhead", "\n".join(lines))
+    write_bench_json(
+        "obs",
+        params={
+            "family": "notes",
+            "clients": CLIENTS,
+            "gestures_per_client": GESTURES_PER_CLIENT,
+            "repeats": REPEATS,
+            "dwell_every": 0,
+            "seed": 5,
+            "max_metrics_overhead": MAX_METRICS_OVERHEAD,
+        },
+        results={
+            "points_per_sec": {
+                name: round(pps, 1) for name, pps in best.items()
+            },
+            "overhead_ratio": {
+                name: round(ratio, 4) for name, ratio in ratios.items()
+            },
+            "profile": profiler.snapshot(),
+        },
+    )
+    assert ratios["metrics"] <= MAX_METRICS_OVERHEAD, (
+        f"metrics observer costs {ratios['metrics']:.3f}x "
+        f"(bare {best['bare']:,.0f} vs observed {best['metrics']:,.0f} "
+        f"points/sec), expected <= {MAX_METRICS_OVERHEAD}x"
+    )

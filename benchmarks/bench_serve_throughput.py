@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import gc
 
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 from repro.eager import train_eager_recognizer
 from repro.serve import (
@@ -117,6 +117,28 @@ def test_throughput_256_sessions():
         f"{batched.summary()}\n"
         f"{sequential.summary()}\n"
         f"speedup: {speedup:.2f}x (decision streams identical)",
+    )
+    write_bench_json(
+        "serve",
+        params={
+            "family": "notes",
+            "clients": CLIENTS,
+            "gestures_per_client": GESTURES_PER_CLIENT,
+            "repeats": REPEATS,
+            "dwell_every": 0,
+            "seed": 5,
+        },
+        results={
+            "batched_points_per_sec": round(batched.points_per_sec, 1),
+            "sequential_points_per_sec": round(sequential.points_per_sec, 1),
+            "speedup": round(speedup, 3),
+            "batched_p50_us": round(batched.p50_us, 3),
+            "batched_p99_us": round(batched.p99_us, 3),
+            "sequential_p50_us": round(sequential.p50_us, 3),
+            "sequential_p99_us": round(sequential.p99_us, 3),
+            "points": batched.points,
+            "decisions": batched.decisions,
+        },
     )
     assert batched.decisions == sequential.decisions
     assert batched.errors == sequential.errors == 0

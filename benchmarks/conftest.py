@@ -5,10 +5,17 @@ regenerated artifact (a text table in the shape of the paper's) is
 written to ``benchmarks/results/<experiment>.txt`` so it can be compared
 with the paper after the run, and the experiment's hot path is measured
 with pytest-benchmark.
+
+Perf-trajectory benchmarks additionally publish machine-readable
+results at the repo root (``BENCH_<name>.json``, via
+:func:`write_bench_json`) so successive PRs can diff throughput and
+overhead numbers instead of re-reading prose reports.
 """
 
 from __future__ import annotations
 
+import json
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -36,10 +43,45 @@ TEST_PER_CLASS = 30
 TEST_PARAMS = GenerationParams(corner_loop_probability=0.08)
 
 
+REPO_ROOT = Path(__file__).parent.parent
+
+
 def write_report(name: str, content: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(content + "\n")
+    return path
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def write_bench_json(bench: str, params: dict, results: dict) -> Path:
+    """Publish one benchmark's numbers as ``BENCH_<bench>.json``.
+
+    The schema is ``{bench, commit, params, results}``: ``params`` pins
+    what was run (so a future PR changing the workload is visible as a
+    params diff, not a silent regression) and ``results`` carries the
+    measured numbers.
+    """
+    path = REPO_ROOT / f"BENCH_{bench}.json"
+    payload = {
+        "bench": bench,
+        "commit": _git_commit(),
+        "params": params,
+        "results": results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

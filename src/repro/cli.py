@@ -19,7 +19,12 @@ Subcommands:
 * ``loadgen`` — drive the session pool with a synthetic workload and
   print throughput/latency for the batched and/or sequential mode;
   ``--fault-seed`` runs the same workload under a seeded chaos schedule
-  (drop/duplicate/delay/reorder/kill at ``--fault-rate``).
+  (drop/duplicate/delay/reorder/kill at ``--fault-rate``);
+  ``--trace``/``--quality``/``--profile`` attach the observability
+  stack and ``--metrics-out`` saves the snapshot for ``analyze``;
+* ``analyze`` — turn an NDJSON trace (plus an optional metrics
+  snapshot) into a deterministic JSON or markdown report: decision
+  paths, per-class eagerness curves, latency tables, drift summaries.
 """
 
 from __future__ import annotations
@@ -180,7 +185,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     from contextlib import ExitStack
 
-    from .obs import MetricsRegistry, PoolObserver, Tracer
+    from .obs import (
+        MetricsRegistry,
+        PerfProfiler,
+        PoolObserver,
+        QualityMonitor,
+        Tracer,
+    )
     from .serve import GestureServer
 
     recognizer = _resolve_recognizer(args)
@@ -189,9 +200,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracer = None
         if args.trace:
             tracer = Tracer(stream=stack.enter_context(open(args.trace, "w")))
+        quality = (
+            QualityMonitor(recognizer, metrics=metrics, tracer=tracer)
+            if args.quality
+            else None
+        )
+        profiler = PerfProfiler() if args.profile else None
         observer = (
-            PoolObserver(metrics=metrics, tracer=tracer)
-            if metrics is not None or tracer is not None
+            PoolObserver(
+                metrics=metrics,
+                tracer=tracer,
+                quality=quality,
+                profiler=profiler,
+            )
+            if any(x is not None for x in (metrics, tracer, quality, profiler))
             else None
         )
 
@@ -272,7 +294,38 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"  {name:<28} count={count} mean={mean:.2f} "
             f"min={h['min']} max={h['max']}"
         )
+    profile = payload.get("profile")
+    if profile:
+        print("\nprofile (wall-clock):")
+        for name, p in profile.items():
+            per_unit = (
+                f" {p['us_per_unit']:.2f}us/unit"
+                if p.get("us_per_unit") is not None
+                else ""
+            )
+            print(
+                f"  {name:<28} calls={p['count']} "
+                f"mean={p['mean_us']:.1f}us{per_unit}"
+            )
     return 0
+
+
+def _print_snapshot(snapshot: dict) -> None:
+    """Pretty-print a metrics snapshot; safe on a fully empty one."""
+    import json
+
+    print("\nmetrics counters:")
+    print(json.dumps(snapshot.get("counters", {}), indent=2, sort_keys=True))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        print("\nmetrics histograms:")
+        for name, h in sorted(histograms.items()):
+            count = h["count"]
+            mean = h["sum"] / count if count else 0.0
+            print(
+                f"  {name:<28} count={count} mean={mean:.2f} "
+                f"min={h['min']} max={h['max']}"
+            )
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -297,16 +350,39 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         from .obs import FaultPlan
 
         fault_plan = FaultPlan.mixed(args.fault_rate)
+    wants_observer = (
+        args.metrics or args.trace or args.quality or args.profile
+        or args.metrics_out
+    )
     observer = None
-    if args.metrics:
+    if wants_observer:
         if args.mode == "both":
             raise SystemExit(
-                "--metrics needs a single pool to observe; "
-                "use --mode batched or --mode sequential"
+                "--metrics/--trace/--quality/--profile need a single pool "
+                "to observe; use --mode batched or --mode sequential"
             )
-        from .obs import MetricsRegistry, PoolObserver
+        from .obs import (
+            MetricsRegistry,
+            PerfProfiler,
+            PoolObserver,
+            QualityMonitor,
+            Tracer,
+        )
 
-        observer = PoolObserver(metrics=MetricsRegistry())
+        metrics = (
+            MetricsRegistry() if args.metrics or args.metrics_out else None
+        )
+        tracer = Tracer() if args.trace else None
+        observer = PoolObserver(
+            metrics=metrics,
+            tracer=tracer,
+            quality=(
+                QualityMonitor(recognizer, metrics=metrics, tracer=tracer)
+                if args.quality
+                else None
+            ),
+            profiler=PerfProfiler() if args.profile else None,
+        )
     if args.mode == "both":
         batched, sequential = compare_modes(
             recognizer,
@@ -316,9 +392,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         print(batched.summary())
         print(sequential.summary())
+        if sequential.points_per_sec > 0:
+            speedup = f"{batched.points_per_sec / sequential.points_per_sec:.2f}x"
+        else:
+            speedup = "n/a (no points delivered)"
         print(
-            f"speedup: {batched.points_per_sec / sequential.points_per_sec:.2f}x "
-            "(decision streams identical"
+            f"speedup: {speedup} (decision streams identical"
             + (", same fault schedule)" if fault_plan is not None else ")")
         )
     else:
@@ -331,11 +410,72 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed or 0,
         )
         print(result.summary())
-        if result.metrics is not None:
+        if args.trace:
+            with open(args.trace, "w") as f:
+                for line in observer.tracer.lines():
+                    f.write(line + "\n")
+            print(f"trace written to {args.trace}")
+        if args.metrics_out:
             import json
 
-            print("\nmetrics counters:")
-            print(json.dumps(result.metrics["counters"], indent=2, sort_keys=True))
+            with open(args.metrics_out, "w") as f:
+                json.dump(result.metrics, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"metrics snapshot written to {args.metrics_out}")
+        if args.metrics and result.metrics is not None:
+            _print_snapshot(result.metrics)
+        if result.profile is not None:
+            print("\nprofile (wall-clock):")
+            for name, p in result.profile.items():
+                per_unit = (
+                    f" {p['us_per_unit']:.2f}us/unit"
+                    if p.get("us_per_unit") is not None
+                    else ""
+                )
+                print(
+                    f"  {name:<28} calls={p['count']} "
+                    f"mean={p['mean_us']:.1f}us{per_unit}"
+                )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.analyze import (
+        analyze_records,
+        load_trace,
+        render_json,
+        render_markdown,
+        validate_report,
+    )
+
+    try:
+        records = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    metrics = None
+    if args.metrics:
+        try:
+            with open(args.metrics) as f:
+                metrics = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read {args.metrics}: {exc}") from None
+        # Accept either a raw snapshot or a full `stats` reply.
+        if "counters" not in metrics and isinstance(
+            metrics.get("metrics"), dict
+        ):
+            metrics = metrics["metrics"]
+    report = validate_report(analyze_records(records, metrics=metrics))
+    text = (
+        render_json(report) if args.format == "json" else render_markdown(report)
+    )
+    if args.out and args.out != "-":
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"report written to {args.out}")
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -402,6 +542,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="stream NDJSON trace records (spans/events) to this file",
     )
+    serve.add_argument(
+        "--quality", action="store_true",
+        help="attach recognition-quality telemetry (margins, rejection "
+        "distances, eagerness, drift)",
+    )
+    serve.add_argument(
+        "--profile", action="store_true",
+        help="time the serving hot path with perf counters "
+        "(reported in stats replies)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser(
@@ -438,10 +588,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--metrics", action="store_true",
-        help="attach a metrics registry and print its counters "
+        help="attach a metrics registry and print its snapshot "
         "(single-mode runs only)",
     )
+    loadgen.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the metrics snapshot as JSON (for `analyze --metrics`)",
+    )
+    loadgen.add_argument(
+        "--trace", metavar="PATH",
+        help="record an NDJSON trace of the run (single-mode runs only)",
+    )
+    loadgen.add_argument(
+        "--quality", action="store_true",
+        help="attach recognition-quality telemetry (adds quality records "
+        "to the trace and quality.* metrics)",
+    )
+    loadgen.add_argument(
+        "--profile", action="store_true",
+        help="time the serving hot path and print the section summary",
+    )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    analyze = sub.add_parser(
+        "analyze", help="report on an NDJSON trace (+ metrics snapshot)"
+    )
+    analyze.add_argument("trace", help="NDJSON trace file to analyze")
+    analyze.add_argument(
+        "--metrics", metavar="PATH",
+        help="metrics snapshot JSON (from loadgen --metrics-out or a "
+        "stats --json reply)",
+    )
+    analyze.add_argument(
+        "--format", choices=["markdown", "json"], default="markdown",
+    )
+    analyze.add_argument(
+        "--out", metavar="PATH", default="-",
+        help="write the report here instead of stdout",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     return parser
 

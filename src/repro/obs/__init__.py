@@ -13,7 +13,14 @@ off it stays exactly as fast (and as allocation-free) as before:
 * :class:`PoolObserver` — the adapter the pool and server call into,
   binding a tracer and a metrics registry to the hook points;
 * :class:`FaultInjector` — a seeded, deterministic event mangler
-  (drop / duplicate / delay / reorder / kill) for chaos testing.
+  (drop / duplicate / delay / reorder / kill) for chaos testing;
+* :class:`QualityMonitor` — recognition-quality telemetry (margins,
+  Mahalanobis rejection distances, eagerness, dwell, feature drift)
+  computed from decided gesture prefixes;
+* :class:`PerfProfiler` — opt-in wall-clock section timers around the
+  serving hot path, reported through ``stats`` and ``BENCH_*.json``;
+* :mod:`repro.obs.analyze` — offline trace analytics behind the
+  ``repro-gestures analyze`` subcommand.
 
 See ``docs/OBSERVABILITY.md`` for the trace record schema, the metric
 name catalogue, and the fault-injection knobs.
@@ -22,6 +29,8 @@ name catalogue, and the fault-injection knobs.
 from .faults import FaultInjector, FaultPlan
 from .metrics import Counter, Histogram, MetricsRegistry
 from .observer import PoolObserver
+from .profile import PerfProfiler
+from .quality import QualityMonitor
 from .trace import Tracer, encode_record
 
 __all__ = [
@@ -30,7 +39,9 @@ __all__ = [
     "FaultPlan",
     "Histogram",
     "MetricsRegistry",
+    "PerfProfiler",
     "PoolObserver",
+    "QualityMonitor",
     "Tracer",
     "encode_record",
 ]

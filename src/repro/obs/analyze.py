@@ -1,0 +1,444 @@
+"""Offline trace analytics: turn an NDJSON trace into a report.
+
+``repro-gestures analyze`` (and this module's API) ingests the canonical
+trace the :class:`~repro.obs.Tracer` writes — span/event records, plus
+the :class:`~repro.obs.QualityMonitor`'s per-gesture ``quality`` records
+when one was attached — and renders the questions the paper's evaluation
+asks as a deterministic report:
+
+* **decision-path breakdown** — how gestures got decided: eagerly
+  mid-stroke, by the 200 ms motionless timeout, or by button release;
+* **per-class eagerness curves** — for each class, the cumulative
+  fraction of gestures recognized by each tenth of the stroke, the
+  shape of the paper's figures 9 and 10 (the paper reports an average
+  of 67.9 % of the gesture consumed before recognition);
+* **tail latency** — percentiles of the virtual-time spans: first point
+  to decision (``collect``) and decision to commit (``manipulate``);
+* **drift summaries** — per-class mean drift score and Rubine-rule
+  outlier counts from the quality records.
+
+Everything is computed from virtual-clock quantities, so the same trace
+always produces byte-identical output (the golden-report tests pin
+this).  A metrics snapshot may be supplied alongside; it contributes a
+counters section and derived rates but is *not* required — and because
+it contains one wall-clock histogram it is excluded from golden diffs.
+
+Like the rest of :mod:`repro.obs`, nothing here imports from
+:mod:`repro.serve`: the trace file is the interface.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "SCHEMA",
+    "analyze_records",
+    "load_trace",
+    "render_json",
+    "render_markdown",
+    "validate_report",
+]
+
+SCHEMA = "repro.obs.analyze/1"
+
+# Nearest-rank percentiles reported in the latency tables.
+_PERCENTILES = (50, 90, 99)
+
+# Eagerness-curve resolution: cumulative fraction recognized by each
+# tenth of the stroke (the x axis of the paper's figures 9/10).
+_CURVE_STEPS = 10
+
+
+def load_trace(path: str) -> list:
+    """Parse an NDJSON trace file into a list of records.
+
+    Blank lines are tolerated (a crashed writer may leave one);
+    anything else that fails to parse raises ``ValueError`` with the
+    line number.
+    """
+    records = []
+    with open(path) as stream:
+        for i, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{i}: not a JSON record: {exc}") from None
+    return records
+
+
+def _round(value, places: int = 6):
+    """Round floats (recursively) so reports don't carry 17-digit noise."""
+    if isinstance(value, float):
+        return round(value, places)
+    if isinstance(value, dict):
+        return {k: _round(v, places) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_round(v, places) for v in value]
+    return value
+
+
+def _percentile(sorted_values: list, q: int) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    n = len(sorted_values)
+    rank = max(1, -(-q * n // 100))  # ceil(q*n/100), clamped to >= 1
+    return sorted_values[rank - 1]
+
+
+def _span_stats(durations: list) -> dict:
+    if not durations:
+        return {"count": 0, "mean": None, "p50": None, "p90": None,
+                "p99": None, "max": None}
+    ordered = sorted(durations)
+    stats = {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+    for q in _PERCENTILES:
+        stats[f"p{q}"] = _percentile(ordered, q)
+    return stats
+
+
+def _mean(values: list):
+    return sum(values) / len(values) if values else None
+
+
+def analyze_records(records: list, metrics: dict | None = None) -> dict:
+    """One report dict from parsed trace records (+ optional snapshot)."""
+    sessions = set()
+    paths = {"eager": 0, "timeout": 0, "up": 0}
+    per_class: dict = {}
+    collect_s: list = []
+    manipulate_s: list = []
+    evicts = {"idle": 0, "killed": 0}
+    errors = 0
+    committed = 0
+    quality: list = []
+
+    for r in records:
+        session = r.get("session")
+        if session is not None:
+            sessions.add(session)
+        rec = r.get("rec")
+        if rec == "span":
+            phase = r["phase"]
+            if phase == "collect":
+                collect_s.append(r["t1"] - r["t0"])
+            elif phase == "manipulate":
+                manipulate_s.append(r["t1"] - r["t0"])
+                committed += 1
+            elif phase in ("classify", "timeout"):
+                reason = r.get("reason", "timeout")
+                paths[reason] = paths.get(reason, 0) + 1
+                cell = per_class.setdefault(
+                    r["class"],
+                    {"decisions": 0, "eager": 0, "timeout": 0, "up": 0,
+                     "points": []},
+                )
+                cell["decisions"] += 1
+                cell[reason] = cell.get(reason, 0) + 1
+                cell["points"].append(r["points"])
+        elif rec == "event":
+            kind = r.get("kind")
+            if kind == "error":
+                errors += 1
+            elif kind == "evict":
+                reason = r.get("reason", "idle")
+                evicts[reason] = evicts.get(reason, 0) + 1
+        elif rec == "quality":
+            quality.append(r)
+
+    class_table = {
+        name: {
+            "decisions": cell["decisions"],
+            "eager": cell["eager"],
+            "timeout": cell["timeout"],
+            "up": cell["up"],
+            "mean_points": _mean(cell["points"]),
+        }
+        for name, cell in sorted(per_class.items())
+    }
+
+    report = {
+        "schema": SCHEMA,
+        "sessions": {
+            "seen": len(sessions),
+            "decided": sum(paths.values()),
+            "committed": committed,
+            "evicted": evicts,
+            "errors": errors,
+        },
+        "decision_paths": paths,
+        "per_class": class_table,
+        "latency": {
+            "collect_s": _span_stats(collect_s),
+            "manipulate_s": _span_stats(manipulate_s),
+        },
+        "quality": _quality_section(quality),
+        "eagerness_curve": _eagerness_curves(quality),
+        "metrics": _metrics_section(metrics),
+    }
+    return _round(report)
+
+
+def _quality_section(quality: list):
+    if not quality:
+        return None
+    per_class: dict = {}
+    outliers = 0
+    for r in quality:
+        cell = per_class.setdefault(
+            r["class"],
+            {"count": 0, "margins": [], "drifts": [], "dwells": [],
+             "eagerness": [], "outliers": 0},
+        )
+        cell["count"] += 1
+        cell["margins"].append(r["margin"])
+        cell["drifts"].append(r["drift"])
+        cell["dwells"].append(r["dwell"])
+        cell["eagerness"].append(r["eagerness"])
+        if r.get("outlier"):
+            cell["outliers"] += 1
+            outliers += 1
+    return {
+        "gestures": len(quality),
+        "outliers": outliers,
+        "per_class": {
+            name: {
+                "count": cell["count"],
+                "margin_mean": _mean(cell["margins"]),
+                "margin_min": min(cell["margins"]),
+                "drift": _mean(cell["drifts"]),
+                "dwell_mean": _mean(cell["dwells"]),
+                "eagerness_mean": _mean(cell["eagerness"]),
+                "outliers": cell["outliers"],
+            }
+            for name, cell in sorted(per_class.items())
+        },
+    }
+
+
+def _eagerness_curves(quality: list):
+    """Cumulative per-class recognition progress, figures 9/10 style.
+
+    ``curve[i]`` is the fraction of the class's gestures already
+    recognized once ``(i + 1) / 10`` of the stroke had been consumed.
+    The last entry is 1.0 by construction (every recorded gesture was
+    recognized by its end).
+    """
+    if not quality:
+        return None
+    per_class: dict = {}
+    for r in quality:
+        per_class.setdefault(r["class"], []).append(r["eagerness"])
+    curves = {}
+    for name, values in sorted(per_class.items()):
+        counts = [0] * _CURVE_STEPS
+        for e in values:
+            # Bin i covers (i/10, (i+1)/10]; eagerness is in (0, 1].
+            slot = min(_CURVE_STEPS - 1, max(0, -(-e * _CURVE_STEPS // 1) - 1))
+            counts[int(slot)] += 1
+        total = len(values)
+        cumulative = []
+        running = 0
+        for c in counts:
+            running += c
+            cumulative.append(running / total)
+        curves[name] = {
+            "count": total,
+            "mean": _mean(values),
+            "cumulative": cumulative,
+        }
+    return curves
+
+
+def _metrics_section(metrics):
+    if metrics is None:
+        return None
+    counters = metrics.get("counters", {})
+    rows = counters.get("batch.rows", 0)
+    derived = {
+        "fallback_rate": (
+            counters.get("batch.fallbacks", 0) / rows if rows else None
+        ),
+        "decisions_per_session": (
+            (
+                counters.get("pool.decisions.eager", 0)
+                + counters.get("pool.decisions.timeout", 0)
+                + counters.get("pool.decisions.up", 0)
+            )
+            / counters.get("pool.sessions_opened", 1)
+            if counters.get("pool.sessions_opened", 0)
+            else None
+        ),
+    }
+    return {"counters": dict(sorted(counters.items())), "derived": derived}
+
+
+def render_json(report: dict) -> str:
+    """The report as canonical JSON (sorted keys, trailing newline)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _table(headers: list, rows: list) -> list:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return lines
+
+
+def render_markdown(report: dict) -> str:
+    """The report as a deterministic markdown document."""
+    s = report["sessions"]
+    p = report["decision_paths"]
+    lines = [
+        "# Trace analysis",
+        "",
+        f"Schema `{report['schema']}`.",
+        "",
+        "## Sessions",
+        "",
+        f"- seen: {s['seen']}",
+        f"- decided: {s['decided']}",
+        f"- committed: {s['committed']}",
+        f"- evicted: {s['evicted']['idle']} idle, {s['evicted']['killed']} killed",
+        f"- errors: {s['errors']}",
+        "",
+        "## Decision paths",
+        "",
+    ]
+    lines += _table(
+        ["path", "decisions"],
+        [["eager", p["eager"]], ["timeout", p["timeout"]], ["up", p["up"]]],
+    )
+    lines += ["", "## Per-class decisions", ""]
+    lines += _table(
+        ["class", "decisions", "eager", "timeout", "up", "mean points"],
+        [
+            [name, c["decisions"], c["eager"], c["timeout"], c["up"],
+             c["mean_points"]]
+            for name, c in report["per_class"].items()
+        ],
+    )
+    lines += ["", "## Latency (virtual seconds)", ""]
+    lines += _table(
+        ["span", "count", "mean", "p50", "p90", "p99", "max"],
+        [
+            [label, st["count"], st["mean"], st["p50"], st["p90"],
+             st["p99"], st["max"]]
+            for label, st in (
+                ("collect", report["latency"]["collect_s"]),
+                ("manipulate", report["latency"]["manipulate_s"]),
+            )
+        ],
+    )
+    quality = report["quality"]
+    if quality is not None:
+        lines += [
+            "",
+            "## Recognition quality",
+            "",
+            f"{quality['gestures']} gestures with quality records; "
+            f"{quality['outliers']} past Rubine's rejection threshold.",
+            "",
+        ]
+        lines += _table(
+            ["class", "count", "margin mean", "margin min", "drift",
+             "dwell mean", "eagerness mean", "outliers"],
+            [
+                [name, c["count"], c["margin_mean"], c["margin_min"],
+                 c["drift"], c["dwell_mean"], c["eagerness_mean"],
+                 c["outliers"]]
+                for name, c in quality["per_class"].items()
+            ],
+        )
+    curves = report["eagerness_curve"]
+    if curves is not None:
+        lines += [
+            "",
+            "## Eagerness curves",
+            "",
+            "Cumulative fraction of each class recognized by each tenth "
+            "of the stroke (figures 9/10 in the paper).",
+            "",
+        ]
+        headers = ["class", "count", "mean"] + [
+            f"{10 * (i + 1)}%" for i in range(_CURVE_STEPS)
+        ]
+        lines += _table(
+            headers,
+            [
+                [name, c["count"], c["mean"]] + list(c["cumulative"])
+                for name, c in curves.items()
+            ],
+        )
+    metrics = report["metrics"]
+    if metrics is not None:
+        lines += ["", "## Metrics", ""]
+        lines += _table(
+            ["counter", "value"],
+            [[name, value] for name, value in metrics["counters"].items()],
+        )
+        lines += ["", "Derived:", ""]
+        for name, value in sorted(metrics["derived"].items()):
+            lines.append(f"- {name}: {_fmt(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_report(report: dict) -> dict:
+    """Raise ``ValueError`` unless ``report`` matches the schema; return it."""
+    if not isinstance(report, dict):
+        raise ValueError("report is not an object")
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unknown schema {report.get('schema')!r}; expected {SCHEMA!r}"
+        )
+    required = {
+        "sessions": dict,
+        "decision_paths": dict,
+        "per_class": dict,
+        "latency": dict,
+    }
+    for key, kind in required.items():
+        if not isinstance(report.get(key), kind):
+            raise ValueError(f"missing or malformed section {key!r}")
+    for key in ("seen", "decided", "committed", "errors"):
+        if not isinstance(report["sessions"].get(key), int):
+            raise ValueError(f"sessions.{key} is not an integer")
+    for key in ("eager", "timeout", "up"):
+        if not isinstance(report["decision_paths"].get(key), int):
+            raise ValueError(f"decision_paths.{key} is not an integer")
+    for key in ("collect_s", "manipulate_s"):
+        if not isinstance(report["latency"].get(key), dict):
+            raise ValueError(f"latency.{key} is not an object")
+    for key in ("quality", "eagerness_curve", "metrics"):
+        if key not in report:
+            raise ValueError(f"missing section {key!r}")
+    curves = report["eagerness_curve"]
+    if curves is not None:
+        for name, curve in curves.items():
+            cum = curve.get("cumulative")
+            if not isinstance(cum, list) or len(cum) != _CURVE_STEPS:
+                raise ValueError(
+                    f"eagerness_curve[{name!r}] lacks {_CURVE_STEPS} bins"
+                )
+            if cum and cum[-1] != 1.0:
+                raise ValueError(
+                    f"eagerness_curve[{name!r}] does not end at 1.0"
+                )
+    return report

@@ -40,9 +40,17 @@ class PoolObserver:
         self,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        quality=None,
+        profiler=None,
     ):
         self.metrics = metrics
         self.tracer = tracer
+        # Optional QualityMonitor / PerfProfiler.  The pool reads these
+        # attributes once at attach time and calls them directly — the
+        # observer just carries them, so PR 2's hook bodies (and the
+        # golden traces they produce) are untouched when they are None.
+        self.quality = quality
+        self.profiler = profiler
         # key -> [first_point_t, decided_t | None]
         self._live: dict[str, list] = {}
         if metrics is not None:

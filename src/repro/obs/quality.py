@@ -1,0 +1,232 @@
+"""Recognition-quality telemetry: is the *recognizer* healthy?
+
+PR 2's observer answers mechanical questions (how many decisions, how
+big the batches).  :class:`QualityMonitor` answers the questions the
+paper's evaluation reasons about:
+
+* **classification margin** — how far the winning class's linear
+  evaluation sits above the runner-up's.  Shrinking margins mean the
+  classifier is being asked to make closer calls than it was trained
+  for (the quantity the §4.6 bias-tweak procedure manipulates).
+* **Mahalanobis rejection distance** — the squared distance from the
+  decided feature vector to the winning class's training mean under the
+  pooled covariance.  Rubine rejects gestures with ``d^2 > 0.5 F^2``;
+  the monitor counts those as ``quality.outliers``.
+* **feature drift** — per class, the running mean of ``d^2 / F``.  A
+  *complete* in-distribution gesture has expectation ≈ 1 (``E[d^2] = F``
+  under the training Gaussian); an eager decision measures a truncated
+  prefix against the full-gesture mean, which inflates the level (there
+  is no observable "rest of the gesture" — post-decision motion is
+  manipulation, not gesture).  The score is therefore a *relative*
+  signal: compare a class against its own history or against its peers
+  under the same traffic mix, not against an absolute 1.0.
+* **eager-trigger progress** — the fraction of the stroke consumed
+  before the AUC judged it unambiguous (the paper's eagerness measure,
+  figures 9–10).  Known only once the stroke *ends*, so it is recorded
+  when the session commits, not when it decides.
+* **ambiguous dwell** — virtual seconds from the first point to the
+  decision: how long the user waited for an answer.
+
+Everything is computed from the decided gesture prefix by replaying it
+through the scalar :class:`~repro.features.IncrementalFeatures` path —
+the same arbiter the batched evaluator's exact-fallback uses — so the
+numbers are bit-identical across the pool's batched and sequential
+modes and independent of any attached tracer.  The monitor is pure
+read-only observation: it never touches the recognizer's state and is
+only ever *called*, never consulted, by the serving layer.
+
+Like the rest of :mod:`repro.obs`, this module imports nothing from
+:mod:`repro.serve`; the pool hands it plain point sequences and
+duck-typed decision records.
+"""
+
+from __future__ import annotations
+
+from ..features import IncrementalFeatures
+from ..geometry import Point
+
+__all__ = ["QualityMonitor"]
+
+import numpy as np
+
+# Bucket ladders sized to what each quantity actually spans.
+_MARGIN_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+# Squared Mahalanobis distances concentrate around F (= 13); Rubine's
+# rejection threshold 0.5 F^2 sits at 84.5.
+_MAHAL_BUCKETS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+# Ambiguous dwell in virtual seconds; the motionless timeout is 0.2 s.
+_DWELL_BUCKETS = (
+    0.01, 0.025, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0, 2.5,
+)
+_EAGERNESS_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def _replay_vector(points) -> np.ndarray:
+    """The scalar feature vector of a decided prefix.
+
+    Accepts both point shapes the pool stores: ``(x, y, t)`` tuples
+    (batched mode) and :class:`~repro.geometry.Point` (sequential mode).
+    Replaying through :class:`IncrementalFeatures` makes the result the
+    *reference* vector — identical bits in either execution mode.
+    """
+    inc = IncrementalFeatures()
+    for p in points:
+        if type(p) is tuple:
+            p = Point(p[0], p[1], p[2])
+        inc.add_point(p)
+    return inc.vector
+
+
+class QualityMonitor:
+    """Per-decision recognition-quality metrics, trace records, drift.
+
+    Attach through :class:`~repro.obs.PoolObserver` (``quality=``).  The
+    pool calls two hooks:
+
+    * :meth:`decided` with the decided prefix and the ``recog`` decision
+      — margins, distance, and dwell are computed here;
+    * :meth:`closed` when the session reaches a terminal event, with the
+      stroke's total point count — eagerness needs the whole stroke.
+
+    ``metrics`` and ``tracer`` are both optional: metrics-only is the
+    always-on configuration, tracer-only is what the golden analyze
+    tests use, and neither still accumulates :meth:`drift_scores`.
+    """
+
+    def __init__(self, recognizer, metrics=None, tracer=None):
+        full = recognizer.full_classifier
+        self._linear = full.linear
+        self._columns = full.feature_indices  # None = all 13
+        self._metric = full.metric
+        self._means = full.means
+        self._dim = self._metric.dim
+        # Rubine's rejection rule, applied to what the serving layer
+        # actually classified (the decided prefix): an input further
+        # than 0.5 F^2 from its winner's mean "probably looks nothing
+        # like" that class and would be rejected in the paper's
+        # click-and-classify mode.
+        self._outlier_sq = 0.5 * self._dim * self._dim
+        self.metrics = metrics
+        self.tracer = tracer
+        # key -> staged record, completed (and emitted) at close time.
+        self._pending: dict[str, dict] = {}
+        # class -> [decisions, sum of d^2] for drift_scores().
+        self._drift: dict[str, list] = {}
+        self._h_margin: dict[str, object] = {}
+        self._h_mahal: dict[str, object] = {}
+        self._h_eager: dict[str, object] = {}
+        self._h_dwell: dict[str, object] = {}
+        if metrics is not None:
+            self._c_decisions = metrics.counter("quality.decisions")
+            self._c_outliers = metrics.counter("quality.outliers")
+
+    # -- hooks (called by the pool) ------------------------------------------
+
+    def decided(self, points, decision) -> None:
+        """A session decided: compute margin, distance, and dwell."""
+        features = _replay_vector(points)
+        if self._columns is not None:
+            features = features[self._columns]
+        scores = self._linear.evaluations(features)
+        if len(scores) > 1:
+            top2 = np.partition(scores, -2)[-2:]
+            margin = float(top2[1] - top2[0])
+        else:
+            margin = 0.0
+        winner = int(np.argmax(scores))
+        d_sq = self._metric.squared_distance(features, self._means[winner])
+        first_t = points[0][2] if type(points[0]) is tuple else points[0].t
+        dwell = decision.t - first_t
+        name = decision.class_name
+        cell = self._drift.get(name)
+        if cell is None:
+            cell = self._drift[name] = [0, 0.0]
+        cell[0] += 1
+        cell[1] += d_sq
+        metrics = self.metrics
+        if metrics is not None:
+            self._c_decisions.inc()
+            if d_sq > self._outlier_sq:
+                self._c_outliers.inc()
+            self._class_hist(
+                self._h_margin, "quality.margin", name, _MARGIN_BUCKETS
+            ).observe(margin)
+            self._class_hist(
+                self._h_mahal, "quality.mahal_sq", name, _MAHAL_BUCKETS
+            ).observe(d_sq)
+            self._class_hist(
+                self._h_dwell, "quality.dwell", decision.reason, _DWELL_BUCKETS
+            ).observe(dwell)
+        self._pending[decision.key] = {
+            "class": name,
+            "reason": decision.reason,
+            "eager": decision.eager,
+            "points": decision.points_seen,
+            "margin": margin,
+            "d2": d_sq,
+            "drift": d_sq / self._dim,
+            "outlier": bool(d_sq > self._outlier_sq),
+            "dwell": dwell,
+            "t": decision.t,
+        }
+
+    def closed(self, key: str, total_points: int) -> None:
+        """The session ended; ``total_points`` covers the whole stroke.
+
+        ``total_points`` counts the gesture prefix *plus* any
+        manipulation-phase motion after the decision — the denominator
+        of the paper's eagerness measure.  Sessions that never decided
+        (killed or evicted mid-collection) have nothing staged and are
+        a no-op here.
+        """
+        record = self._pending.pop(key, None)
+        if record is None:
+            return
+        eagerness = (
+            record["points"] / total_points if total_points > 0 else 0.0
+        )
+        record["total"] = total_points
+        record["eagerness"] = eagerness
+        if self.metrics is not None:
+            self._class_hist(
+                self._h_eager,
+                "quality.eagerness",
+                record["class"],
+                _EAGERNESS_BUCKETS,
+            ).observe(eagerness)
+        if self.tracer is not None:
+            record["rec"] = "quality"
+            record["session"] = key
+            self.tracer.record(record)
+
+    # -- read-outs -----------------------------------------------------------
+
+    def drift_scores(self) -> dict:
+        """Per-class drift: mean ``d^2 / F`` over the decisions seen.
+
+        ≈ 1.0 for *complete* gestures matching the training
+        distribution; eager-truncated prefixes raise the baseline (see
+        the module docstring), so read this per class against its own
+        history under a comparable traffic mix — a class whose score
+        moves while its neighbours hold still has drifted.
+        """
+        return {
+            name: (total / count) / self._dim
+            for name, (count, total) in sorted(self._drift.items())
+            if count
+        }
+
+    # -- internal ------------------------------------------------------------
+
+    def _class_hist(self, cache: dict, prefix: str, label: str, bounds):
+        hist = cache.get(label)
+        if hist is None:
+            hist = cache[label] = self.metrics.histogram(
+                f"{prefix}.{label}", bounds
+            )
+        return hist

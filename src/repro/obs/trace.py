@@ -73,6 +73,11 @@ class Tracer:
             record.update(attrs)
         self._emit(record)
 
+    def record(self, record: dict) -> None:
+        """Emit an arbitrary record (e.g. the quality monitor's
+        ``"rec":"quality"`` lines) through the same buffer-or-stream path."""
+        self._emit(record)
+
     def _emit(self, record: dict) -> None:
         if self._stream is not None:
             self._stream.write(encode_record(record) + "\n")

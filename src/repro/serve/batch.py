@@ -38,6 +38,7 @@ identical" into "identical".
 from __future__ import annotations
 
 import math
+from time import perf_counter
 
 import numpy as np
 
@@ -133,6 +134,9 @@ class BatchEvaluator:
 
     def __init__(self, recognizer: EagerRecognizer):
         self.recognizer = recognizer
+        # Optional repro.obs.PerfProfiler, attached by the pool when its
+        # observer carries one; None keeps the hot path clock-free.
+        self.profiler = None
         self._auc = _CheckedLinear(recognizer.auc.linear, None)
         full = recognizer.full_classifier
         self._full = _CheckedLinear(full.linear, full.feature_indices)
@@ -178,6 +182,8 @@ class BatchEvaluator:
         all per row.  Semantics per block match :meth:`auc_decisions` /
         :meth:`full_decisions`; only the evaluation is fused.
         """
+        prof = self.profiler
+        t_start = perf_counter() if prof is not None else 0.0
         scores = features @ self._comb_wt + self._comb_const
         # Cheap row bound on any partial sum: ||f||_1 max|w| + max|b|
         # — looser than the per-class |f|.|w|^T bound the unfused
@@ -210,6 +216,8 @@ class BatchEvaluator:
                 risky = (margin <= tolerance) | guard_risk
             results.append((winners, risky))
         (auc_winners, auc_risky), (full_winners, full_risky) = results
+        if prof is not None:
+            prof.add("fused_eval", perf_counter() - t_start, len(features))
         return self._complete[auc_winners], auc_risky, full_winners, full_risky
 
     def auc_decisions(
@@ -225,8 +233,13 @@ class BatchEvaluator:
         scalar path's feature vector; risky rows must be re-decided
         sequentially by the caller.
         """
+        prof = self.profiler
+        t_start = perf_counter() if prof is not None else 0.0
         winners, risky = self._auc.decide(features, counts)
-        return self._complete[winners], risky | guard_risk
+        out = self._complete[winners], risky | guard_risk
+        if prof is not None:
+            prof.add("auc_eval", perf_counter() - t_start, len(features))
+        return out
 
     def full_decisions(
         self,
@@ -235,6 +248,10 @@ class BatchEvaluator:
         guard_risk: np.ndarray,
     ) -> tuple[list[str], np.ndarray]:
         """Full-classifier verdict per row: ``(class_names, risky)``."""
+        prof = self.profiler
+        t_start = perf_counter() if prof is not None else 0.0
         winners, risky = self._full.decide(features, counts)
         names = [self._full_names[i] for i in winners]
+        if prof is not None:
+            prof.add("full_eval", perf_counter() - t_start, len(features))
         return names, risky | guard_risk

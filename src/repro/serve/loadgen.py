@@ -124,6 +124,7 @@ class LoadResult:
     decision_log: list[Decision] = field(default_factory=list)
     # When observability / fault injection were attached:
     metrics: dict | None = None
+    profile: dict | None = None
     fault_summary: dict | None = None
     end_t: float = 0.0
     delivered_log: list | None = None  # (t, op) actually applied, post-fault
@@ -271,6 +272,12 @@ def run_load(
         metrics=(
             observer.metrics.snapshot()
             if observer is not None and getattr(observer, "metrics", None) is not None
+            else None
+        ),
+        profile=(
+            observer.profiler.snapshot()
+            if observer is not None
+            and getattr(observer, "profiler", None) is not None
             else None
         ),
         fault_summary=None if injector is None else injector.summary(),

@@ -105,6 +105,7 @@ class _Session:
         "eager",
         "decided_points",
         "count",
+        "manip",
         "last_t",
         "stamp",
     )
@@ -120,6 +121,11 @@ class _Session:
         self.eager = False
         self.decided_points = 0
         self.count = 0
+        # Manipulation-phase samples after the decision: together with
+        # decided_points this is the whole stroke — the denominator of
+        # the paper's eagerness measure (quality telemetry only; the
+        # Decision stream still reports gesture points).
+        self.manip = 0
         self.last_t = t
 
 
@@ -142,12 +148,20 @@ class SessionPool:
         self.max_sessions = max_sessions
         self.batched = batched
         self.observer = observer
+        # Optional extensions carried by the observer (duck-typed, both
+        # default-off): a QualityMonitor fed decided prefixes, and a
+        # PerfProfiler timing the hot sections.  Cached here so the hook
+        # sites stay one `is not None` test each.
+        self._quality = getattr(observer, "quality", None)
+        self._profiler = getattr(observer, "profiler", None)
         self._sessions: dict[str, _Session] = {}
         # Insertion-ordered view of sessions still collecting a gesture:
         # the motionless-timeout scan never visits decided sessions.
         self._undecided: dict[str, _Session] = {}
         self._bank = FeatureBank(max_sessions) if batched else None
         self._evaluator = BatchEvaluator(recognizer) if batched else None
+        if self._evaluator is not None:
+            self._evaluator.profiler = self._profiler
         # Slot -> session table, so the candidate scan after a batched
         # tick recovers sessions without any per-operation bookkeeping.
         self._slot_session: list = [None] * max_sessions if batched else []
@@ -258,21 +272,23 @@ class SessionPool:
                 floor = s.last_t
         self._scan_floor = floor
         if expired:
+            quality = self._quality
             names = self._classify_full(expired)
             for session, name in zip(expired, names):
                 self._decide(session, name, eager=False)
-                out.append(
-                    Decision(
-                        key=session.key,
-                        kind="recog",
-                        t=session.last_t + self.timeout,
-                        class_name=name,
-                        eager=False,
-                        points_seen=session.count,
-                        total_points=session.count,
-                        reason="timeout",
-                    )
+                decision = Decision(
+                    key=session.key,
+                    kind="recog",
+                    t=session.last_t + self.timeout,
+                    class_name=name,
+                    eager=False,
+                    points_seen=session.count,
+                    total_points=session.count,
+                    reason="timeout",
                 )
+                out.append(decision)
+                if quality is not None:
+                    quality.decided(session.points, decision)
         obs = self.observer
         if obs is not None and out:
             obs.decisions(out)
@@ -285,6 +301,7 @@ class SessionPool:
         stale = [
             s for s in self._sessions.values() if now - s.last_t >= max_idle
         ]
+        quality = self._quality
         for session in stale:
             if self.batched and not session.decided:
                 session.count = self._bank.count_of(session.slot)
@@ -301,6 +318,10 @@ class SessionPool:
                     reason="idle",
                 )
             )
+            if quality is not None:
+                quality.closed(
+                    session.key, session.decided_points + session.manip
+                )
         obs = self.observer
         if obs is not None and out:
             obs.decisions(out)
@@ -377,8 +398,10 @@ class SessionPool:
                                 (len(fed_slots), _KILL, session, t)
                             )
                         else:
-                            # Manipulation phase: refresh activity only.
+                            # Manipulation phase: refresh activity and
+                            # count the sample toward the whole stroke.
                             session.last_t = t
+                            session.manip += 1
                         continue
                     if kind != "move":
                         if kind == "up":
@@ -436,6 +459,7 @@ class SessionPool:
         n_unambiguous = 0
         if batched:
             timing = obs is not None
+            prof = self._profiler
             t_start = perf_counter() if timing else 0.0
             n_fallbacks = 0
             n_rows = 0
@@ -443,9 +467,16 @@ class SessionPool:
             if fed_slots:
                 slot_arr = np.array(fed_slots)
                 fed_x, fed_y, fed_t = zip(*fed_points)
+                t_feed = perf_counter() if prof is not None else 0.0
                 new_counts = self._bank.add_points(
                     slot_arr, np.array(fed_x), np.array(fed_y), np.array(fed_t)
                 )
+                if prof is not None:
+                    prof.add(
+                        "feature_update",
+                        perf_counter() - t_feed,
+                        len(fed_slots),
+                    )
                 cand = np.flatnonzero(new_counts >= min_points)
                 n_eval = len(cand)
                 if n_eval:
@@ -475,10 +506,20 @@ class SessionPool:
                     eager_unambiguous = unambiguous[:n_eval]
                     auc_replays = np.flatnonzero(auc_risky[:n_eval])
                     n_fallbacks += len(auc_replays)
-                    for i in auc_replays:
-                        eager_unambiguous[i] = self.recognizer.auc.is_unambiguous(
-                            self._replay_vector(eval_sessions[i])
-                        )
+                    if len(auc_replays):
+                        t_fb = perf_counter() if prof is not None else 0.0
+                        for i in auc_replays:
+                            eager_unambiguous[i] = (
+                                self.recognizer.auc.is_unambiguous(
+                                    self._replay_vector(eval_sessions[i])
+                                )
+                            )
+                        if prof is not None:
+                            prof.add(
+                                "exact_fallback",
+                                perf_counter() - t_fb,
+                                len(auc_replays),
+                            )
                     unamb_rows = np.flatnonzero(eager_unambiguous).tolist()
                 # Full classification: unambiguous candidates (in row
                 # order), then finishers — `names` keeps that layout.
@@ -489,11 +530,7 @@ class SessionPool:
                 for r_i in unamb_rows + list(range(n_eval, len(rows))):
                     if full_risky[r_i]:
                         n_fallbacks += 1
-                        names.append(
-                            self.recognizer.full_classifier.classify_features(
-                                self._replay_vector(rows[r_i])
-                            )
-                        )
+                        names.append(self._fallback_full(rows[r_i]))
                     else:
                         names.append(full_names[full_winners[r_i]])
             if timing and (fed_slots or n_rows):
@@ -507,6 +544,7 @@ class SessionPool:
         entry_i = 0
         n_entries = len(entries)
         next_finish = iter(names[n_unambiguous:])
+        quality = self._quality
         for k, j in enumerate(unamb_rows):
             p = cand[j]
             while entry_i < n_entries and entries[entry_i][0] <= p:
@@ -514,7 +552,10 @@ class SessionPool:
                 entry_i += 1
             session = eval_sessions[j]
             self._decide(session, names[k], eager=True)
-            out.append(self._recog(session, session.last_t, "eager"))
+            decision = self._recog(session, session.last_t, "eager")
+            out.append(decision)
+            if quality is not None:
+                quality.decided(session.points, decision)
         while entry_i < n_entries:
             self._emit(entries[entry_i], out, next_finish)
             entry_i += 1
@@ -523,13 +564,17 @@ class SessionPool:
     def _emit(self, entry: tuple, out: list[Decision], next_finish) -> None:
         """Emit one recorded round entry in arrival-order position."""
         tag = entry[1]
+        quality = self._quality
         if tag == _ERROR:
             _, _, key, t, reason = entry
             out.append(Decision(key=key, kind="error", t=t, reason=reason))
         elif tag == _DECIDED:
             _, _, session, t, name = entry
             self._decide(session, name, eager=True)
-            out.append(self._recog(session, t, "eager"))
+            decision = self._recog(session, t, "eager")
+            out.append(decision)
+            if quality is not None:
+                quality.decided(session.points, decision)
         elif tag == _FINISH:
             _, _, session, t = entry
             if self.batched:
@@ -537,13 +582,24 @@ class SessionPool:
             else:
                 name = session.eseq.finish()
             self._decide(session, name, eager=False)
-            out.append(self._recog(session, t, "up"))
+            decision = self._recog(session, t, "up")
+            out.append(decision)
+            if quality is not None:
+                quality.decided(session.points, decision)
             self._remove(session)
             out.append(self._commit(session, t))
+            if quality is not None:
+                quality.closed(
+                    session.key, session.decided_points + session.manip
+                )
         elif tag == _COMMIT:
             _, _, session, t = entry
             self._remove(session)
             out.append(self._commit(session, t))
+            if quality is not None:
+                quality.closed(
+                    session.key, session.decided_points + session.manip
+                )
         else:  # _KILL
             _, _, session, t = entry
             if self.batched and not session.decided:
@@ -561,6 +617,10 @@ class SessionPool:
                     reason="killed",
                 )
             )
+            if quality is not None:
+                quality.closed(
+                    session.key, session.decided_points + session.manip
+                )
 
     # -- helpers -------------------------------------------------------------
 
@@ -623,6 +683,17 @@ class SessionPool:
             inc.add_point(p)
         return inc.vector
 
+    def _fallback_full(self, session: _Session) -> str:
+        """One exact-fallback full classification, profiled when attached."""
+        prof = self._profiler
+        t_start = perf_counter() if prof is not None else 0.0
+        name = self.recognizer.full_classifier.classify_features(
+            self._replay_vector(session)
+        )
+        if prof is not None:
+            prof.add("exact_fallback", perf_counter() - t_start)
+        return name
+
     def _classify_full(self, sessions: list[_Session]) -> list[str]:
         """Full-classifier verdicts on current prefixes (timeout path)."""
         if not self.batched:
@@ -639,9 +710,7 @@ class SessionPool:
         )
         replays = np.flatnonzero(risky)
         for i in replays:
-            names[i] = self.recognizer.full_classifier.classify_features(
-                self._replay_vector(sessions[i])
-            )
+            names[i] = self._fallback_full(sessions[i])
         obs = self.observer
         if obs is not None:
             obs.timeout_round(len(sessions), len(replays))

@@ -124,19 +124,28 @@ def encode_error(reason: str, stroke: str = "", t: float = 0.0) -> str:
 
 
 def encode_stats(
-    metrics: dict | None, *, t: float, sessions: int, channels: int
+    metrics: dict | None,
+    *,
+    t: float,
+    sessions: int,
+    channels: int,
+    profile: dict | None = None,
 ) -> str:
     """Encode a metrics-snapshot reply (without the newline).
 
     ``metrics`` is a :meth:`repro.obs.MetricsRegistry.snapshot` dict, or
-    ``None`` when the server runs unobserved.
+    ``None`` when the server runs unobserved.  ``profile`` is a
+    :meth:`repro.obs.PerfProfiler.snapshot` dict; the key is only
+    present when a profiler is attached (``serve --profile``), keeping
+    the reply unchanged for existing clients otherwise.
     """
-    return json.dumps(
-        {
-            "kind": "stats",
-            "t": t,
-            "sessions": sessions,
-            "channels": channels,
-            "metrics": metrics,
-        }
-    )
+    payload = {
+        "kind": "stats",
+        "t": t,
+        "sessions": sessions,
+        "channels": channels,
+        "metrics": metrics,
+    }
+    if profile is not None:
+        payload["profile"] = profile
+    return json.dumps(payload)

@@ -240,11 +240,17 @@ class GestureServer:
                 if observer is not None and observer.metrics is not None
                 else None
             )
+            profiler = (
+                getattr(observer, "profiler", None)
+                if observer is not None
+                else None
+            )
             line = encode_stats(
                 snapshot,
                 t=self.pool.clock.now,
                 sessions=len(self.pool),
                 channels=len(self._channels),
+                profile=profiler.snapshot() if profiler is not None else None,
             )
             for channel in stats_requests:
                 if not channel.closed and not channel._push(line):

@@ -1,0 +1,289 @@
+"""Golden-report tests for the offline trace analytics.
+
+The same checked-in GDP strokes that pin the PR 2 golden trace are
+replayed here with the :class:`~repro.obs.QualityMonitor` attached
+(tracer only — no metrics, so every byte of the trace is a function of
+virtual time and the checked-in dataset).  Three goldens fall out:
+
+* ``golden/gdp_quality_trace.ndjson`` — the trace including the
+  per-gesture ``quality`` records;
+* ``golden/gdp_analyze.json`` / ``golden/gdp_analyze.md`` — the
+  analyzer's two renderings of that trace, byte-for-byte.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python -m pytest tests/obs/test_analyze.py --regen-golden
+
+The eagerness acceptance test closes the loop against the recognizer
+itself: the curve the analyzer draws from pool-served traffic must
+match the curve computed from :meth:`EagerRecognizer.recognize` replay
+of the same strokes, per class and per trigger point.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.eager import train_eager_recognizer
+from repro.obs import PoolObserver, QualityMonitor, Tracer
+from repro.obs.analyze import (
+    SCHEMA,
+    analyze_records,
+    load_trace,
+    render_json,
+    render_markdown,
+    validate_report,
+)
+from repro.serve import SessionPool
+
+DATA = Path(__file__).parent / "data" / "gdp_strokes.json"
+GOLDEN_TRACE = Path(__file__).parent / "golden" / "gdp_quality_trace.ndjson"
+GOLDEN_JSON = Path(__file__).parent / "golden" / "gdp_analyze.json"
+GOLDEN_MD = Path(__file__).parent / "golden" / "gdp_analyze.md"
+
+DT = 0.01
+TIMEOUT = 0.2
+DWELL_EVERY = 4
+DWELL_TICKS = 25
+
+
+@pytest.fixture(scope="module")
+def analyze_setup():
+    gesture_set = GestureSet.load(DATA)
+    recognizer = train_eager_recognizer(gesture_set.strokes_by_class()).recognizer
+    # The same replay scripts as test_golden_traces.py: staggered
+    # starts, a dwell for every 4th stroke (timeout path), and a
+    # manipulation drag after half the ups.
+    scripts = []
+    for i, example in enumerate(gesture_set.examples[:24]):
+        points = list(example.stroke)
+        key = f"s{i}"
+        ops: list = [("idle",)] * (i % 7)
+        ops.append(("down", key, points[0].x, points[0].y))
+        dwell_after = max(2, len(points) // 3) if i % DWELL_EVERY == 3 else None
+        for j, p in enumerate(points[1:], start=1):
+            ops.append(("move", key, p.x, p.y))
+            if j == dwell_after:
+                ops.extend([("idle",)] * DWELL_TICKS)
+        if i % 2 == 0:
+            last = points[-1]
+            for k in range(3):
+                ops.append(("move", key, last.x + 5.0 * (k + 1), last.y))
+        ops.append(("up", key, points[-1].x, points[-1].y))
+        scripts.append(ops)
+    return recognizer, scripts, [list(e.stroke) for e in gesture_set.examples[:24]]
+
+
+def _replay(recognizer, scripts, batched: bool) -> str:
+    tracer = Tracer()
+    pool = SessionPool(
+        recognizer,
+        batched=batched,
+        timeout=TIMEOUT,
+        max_sessions=len(scripts) + 1,
+        observer=PoolObserver(
+            tracer=tracer,
+            quality=QualityMonitor(recognizer, tracer=tracer),
+        ),
+    )
+    n_ticks = max(len(ops) for ops in scripts)
+    for tick in range(n_ticks + 1):
+        ops = [
+            script[tick]
+            for script in scripts
+            if tick < len(script) and script[tick][0] != "idle"
+        ]
+        if ops:
+            pool.submit(ops, tick * DT)
+        pool.advance_to(tick * DT)
+    pool.advance_to((n_ticks + 1) * DT + TIMEOUT)
+    return "\n".join(tracer.lines()) + "\n"
+
+
+def test_golden_quality_trace_matches(analyze_setup, regen_golden):
+    recognizer, scripts, _ = analyze_setup
+    trace = _replay(recognizer, scripts, batched=True)
+    if regen_golden:
+        GOLDEN_TRACE.write_text(trace)
+    assert trace == GOLDEN_TRACE.read_text()
+    # The new records ride alongside, not instead of, the PR 2 stream.
+    kinds = {json.loads(line)["rec"] for line in trace.splitlines()}
+    assert {"span", "quality"} <= kinds
+
+
+def test_quality_trace_mode_independent(analyze_setup):
+    recognizer, scripts, _ = analyze_setup
+    assert _replay(recognizer, scripts, batched=True) == _replay(
+        recognizer, scripts, batched=False
+    )
+
+
+def test_golden_analyze_report_matches(analyze_setup, regen_golden):
+    """Both renderings of the golden trace are byte-reproducible."""
+    report = validate_report(
+        analyze_records(load_trace(str(GOLDEN_TRACE)))
+    )
+    as_json = render_json(report)
+    as_md = render_markdown(report)
+    if regen_golden:
+        GOLDEN_JSON.write_text(as_json)
+        GOLDEN_MD.write_text(as_md)
+    assert as_json == GOLDEN_JSON.read_text()
+    assert as_md == GOLDEN_MD.read_text()
+    # The golden workload exercises the eager and timeout paths (its
+    # dwells decide every straggler before release; the up path is
+    # covered by the direct-replay test below).
+    paths = report["decision_paths"]
+    assert paths["eager"] > 0 and paths["timeout"] > 0
+    assert report["sessions"]["seen"] == 24
+    assert report["quality"]["gestures"] == 24
+
+
+def test_cli_analyze_reproduces_golden_report(capsys):
+    """``repro-gestures analyze`` emits the golden JSON byte-for-byte."""
+    from repro.cli import main
+
+    assert main(["analyze", str(GOLDEN_TRACE), "--format", "json"]) == 0
+    assert capsys.readouterr().out == GOLDEN_JSON.read_text()
+
+
+def test_eagerness_curve_matches_direct_recognizer_replay(analyze_setup):
+    """Pool-served eagerness equals the recognizer's own eager loop.
+
+    Each stroke runs through a fresh pool at its native timestamps with
+    an unreachable timeout, so the only decision paths are eager and
+    mouse-up — exactly :meth:`EagerRecognizer.recognize` semantics.  The
+    trigger points must agree stroke by stroke, and the analyzer's
+    per-class curve must equal the one computed from the direct replay.
+    """
+    recognizer, _, strokes = analyze_setup
+    tracer = Tracer()
+    direct = []
+    for i, stroke in enumerate(strokes):
+        result = recognizer.recognize(stroke)
+        direct.append(result)
+        pool = SessionPool(
+            recognizer,
+            batched=True,
+            timeout=1e9,
+            observer=PoolObserver(
+                tracer=tracer, quality=QualityMonitor(recognizer, tracer=tracer)
+            ),
+        )
+        key = f"g{i}"
+        pool.down(key, stroke[0].x, stroke[0].y, stroke[0].t)
+        decisions = []
+        for p in stroke[1:]:
+            pool.move(key, p.x, p.y, p.t)
+            decisions += pool.advance_to(p.t)
+        pool.up(key, stroke[-1].x, stroke[-1].y, stroke[-1].t)
+        decisions += pool.flush()
+        recogs = [d for d in decisions if d.kind == "recog"]
+        assert len(recogs) == 1
+        assert recogs[0].class_name == result.class_name
+        assert recogs[0].points_seen == result.points_seen
+        assert recogs[0].eager == result.eager
+    # Now the analyzer's curve vs one computed from the direct results.
+    records = [json.loads(line) for line in tracer.lines()]
+    report = validate_report(analyze_records(records))
+    curves = report["eagerness_curve"]
+    expected: dict = {}
+    for result in direct:
+        expected.setdefault(result.class_name, []).append(
+            result.fraction_seen
+        )
+    assert set(curves) == set(expected)
+    for name, fractions in expected.items():
+        counts = [0] * 10
+        for e in fractions:
+            slot = min(9, max(0, -(-e * 10 // 1) - 1))
+            counts[int(slot)] += 1
+        cumulative, running = [], 0
+        for c in counts:
+            running += c
+            cumulative.append(round(running / len(fractions), 6))
+        assert curves[name]["cumulative"] == cumulative
+        assert curves[name]["count"] == len(fractions)
+        assert curves[name]["mean"] == round(
+            sum(fractions) / len(fractions), 6
+        )
+
+
+def test_load_trace_tolerates_blanks_and_flags_garbage(tmp_path):
+    good = tmp_path / "ok.ndjson"
+    good.write_text('{"rec": "event"}\n\n{"rec": "span"}\n')
+    assert [r["rec"] for r in load_trace(str(good))] == ["event", "span"]
+    bad = tmp_path / "bad.ndjson"
+    bad.write_text('{"rec": "event"}\nnot json\n')
+    with pytest.raises(ValueError, match=r"bad\.ndjson:2"):
+        load_trace(str(bad))
+
+
+def test_empty_trace_yields_a_valid_empty_report():
+    report = validate_report(analyze_records([]))
+    assert report["schema"] == SCHEMA
+    assert report["sessions"] == {
+        "seen": 0,
+        "decided": 0,
+        "committed": 0,
+        "evicted": {"idle": 0, "killed": 0},
+        "errors": 0,
+    }
+    assert report["quality"] is None
+    assert report["eagerness_curve"] is None
+    assert report["metrics"] is None
+    assert report["latency"]["collect_s"]["count"] == 0
+    # And both renderers accept it.
+    assert render_json(report)
+    assert "# Trace analysis" in render_markdown(report)
+
+
+def test_metrics_section_derivations():
+    snapshot = {
+        "counters": {
+            "batch.rows": 200,
+            "batch.fallbacks": 10,
+            "pool.sessions_opened": 8,
+            "pool.decisions.eager": 5,
+            "pool.decisions.timeout": 1,
+            "pool.decisions.up": 2,
+        },
+        "histograms": {},
+    }
+    report = analyze_records([], metrics=snapshot)
+    derived = report["metrics"]["derived"]
+    assert derived["fallback_rate"] == 0.05
+    assert derived["decisions_per_session"] == 1.0
+    # Zero-traffic snapshots don't divide by zero.
+    empty = analyze_records([], metrics={"counters": {}, "histograms": {}})
+    assert empty["metrics"]["derived"] == {
+        "fallback_rate": None,
+        "decisions_per_session": None,
+    }
+
+
+def test_validate_report_rejects_malformed_reports():
+    good = analyze_records([])
+    with pytest.raises(ValueError, match="schema"):
+        validate_report({**good, "schema": "bogus/9"})
+    with pytest.raises(ValueError, match="sessions"):
+        validate_report({k: v for k, v in good.items() if k != "sessions"})
+    with pytest.raises(ValueError, match="missing section 'quality'"):
+        validate_report({k: v for k, v in good.items() if k != "quality"})
+    broken_curve = dict(good)
+    broken_curve["eagerness_curve"] = {
+        "x": {"count": 1, "mean": 0.5, "cumulative": [0.5] * 9}
+    }
+    with pytest.raises(ValueError, match="10 bins"):
+        validate_report(broken_curve)
+    stuck_curve = dict(good)
+    stuck_curve["eagerness_curve"] = {
+        "x": {"count": 1, "mean": 0.5, "cumulative": [0.9] * 10}
+    }
+    with pytest.raises(ValueError, match="end at 1.0"):
+        validate_report(stuck_curve)
+    assert validate_report(good) is good

@@ -1,0 +1,259 @@
+"""Property tests for the recognition-quality telemetry.
+
+The :class:`~repro.obs.QualityMonitor` claims its numbers are *mode
+independent* — computed by replaying the decided prefix through the
+scalar feature path, so the batched and sequential pools report
+bit-identical margins, distances, eagerness and drift — and *inert*:
+attaching it (or a tracer next to it, or a profiler) never changes a
+decision.  Hypothesis drives randomized workloads at both claims, plus
+the bookkeeping invariants (records complete only at close, outliers
+follow Rubine's 0.5 F^2 rule, masked classifiers measured in their own
+feature space).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    MetricsRegistry,
+    PerfProfiler,
+    PoolObserver,
+    QualityMonitor,
+    Tracer,
+)
+from repro.serve import SessionPool, generate_workload, run_load
+from repro.synth import GestureGenerator, eight_direction_templates
+
+workload_params = st.tuples(
+    st.integers(min_value=1, max_value=8),   # clients
+    st.integers(min_value=1, max_value=3),   # gestures per client
+    st.integers(min_value=0, max_value=2**16),  # seed
+)
+
+
+def _quality_run(recognizer, workload, *, batched, tracer=None, metrics=None):
+    if metrics is None:
+        metrics = MetricsRegistry()
+    quality = QualityMonitor(recognizer, metrics=metrics, tracer=tracer)
+    observer = PoolObserver(metrics=metrics, tracer=tracer, quality=quality)
+    result = run_load(
+        recognizer, workload, batched=batched, collect=True, observer=observer
+    )
+    return result, quality, metrics
+
+
+def _quality_view(quality, metrics):
+    """Everything the monitor reports, in comparable plain-data form."""
+    snap = metrics.snapshot()
+    return {
+        "counters": {
+            k: v
+            for k, v in snap["counters"].items()
+            if k.startswith("quality.")
+        },
+        "histograms": {
+            k: v
+            for k, v in snap["histograms"].items()
+            if k.startswith("quality.")
+        },
+        "drift": quality.drift_scores(),
+    }
+
+
+@settings(deadline=None, max_examples=8)
+@given(params=workload_params)
+def test_quality_metrics_identical_across_modes(
+    directions_recognizer, params
+):
+    """Batched and sequential runs report bit-identical quality data."""
+    clients, gestures, seed = params
+    workload = generate_workload(
+        eight_direction_templates(),
+        clients=clients,
+        gestures_per_client=gestures,
+        seed=seed,
+    )
+    views = {}
+    traces = {}
+    for batched in (True, False):
+        tracer = Tracer()
+        _, quality, metrics = _quality_run(
+            directions_recognizer, workload, batched=batched, tracer=tracer
+        )
+        views[batched] = _quality_view(quality, metrics)
+        traces[batched] = [
+            line for line in tracer.lines() if '"quality"' in line
+        ]
+    assert views[True] == views[False]
+    assert traces[True] == traces[False]
+    assert traces[True], "workload produced no quality records"
+
+
+@settings(deadline=None, max_examples=8)
+@given(params=workload_params)
+def test_quality_metrics_invariant_under_attached_tracer(
+    directions_recognizer, params
+):
+    """A tracer beside the monitor changes nothing in the metrics."""
+    clients, gestures, seed = params
+    workload = generate_workload(
+        eight_direction_templates(),
+        clients=clients,
+        gestures_per_client=gestures,
+        seed=seed,
+    )
+    _, q_bare, m_bare = _quality_run(
+        directions_recognizer, workload, batched=True, tracer=None
+    )
+    _, q_traced, m_traced = _quality_run(
+        directions_recognizer, workload, batched=True, tracer=Tracer()
+    )
+    assert _quality_view(q_bare, m_bare) == _quality_view(q_traced, m_traced)
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_quality_and_profiler_never_change_decisions(
+    directions_recognizer, batched
+):
+    """The full insight stack attached vs bare: identical decisions."""
+    workload = generate_workload(
+        eight_direction_templates(), clients=6, gestures_per_client=2, seed=55
+    )
+    plain = run_load(
+        directions_recognizer, workload, batched=batched, collect=True
+    )
+    metrics = MetricsRegistry()
+    observer = PoolObserver(
+        metrics=metrics,
+        tracer=Tracer(),
+        quality=QualityMonitor(directions_recognizer, metrics=metrics),
+        profiler=PerfProfiler(),
+    )
+    observed = run_load(
+        directions_recognizer,
+        workload,
+        batched=batched,
+        collect=True,
+        observer=observer,
+    )
+    assert observed.decision_log == plain.decision_log
+    counters = observed.metrics["counters"]
+    assert counters["quality.decisions"] == 12
+    if batched:
+        assert observed.profile  # the profiler really ran
+        assert "feature_update" in observed.profile
+
+
+def test_quality_records_complete_only_at_close(directions_recognizer):
+    """Eagerness needs the whole stroke: records surface on commit."""
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    quality = QualityMonitor(
+        directions_recognizer, metrics=metrics, tracer=tracer
+    )
+    pool = SessionPool(
+        directions_recognizer,
+        batched=True,
+        observer=PoolObserver(metrics=metrics, tracer=tracer, quality=quality),
+    )
+    generator = GestureGenerator(eight_direction_templates(), seed=9)
+    stroke = list(generator.generate("ur").stroke)
+    pool.down("k", stroke[0].x, stroke[0].y, stroke[0].t)
+    for p in stroke[1:]:
+        pool.move("k", p.x, p.y, p.t)
+    decisions = pool.advance_to(stroke[-1].t)
+    recogs = [d for d in decisions if d.kind == "recog"]
+    assert len(recogs) == 1 and recogs[0].eager
+    # Decided but not committed: metrics updated, no trace record yet.
+    assert metrics.snapshot()["counters"]["quality.decisions"] == 1
+    assert not [r for r in tracer.records if r.get("rec") == "quality"]
+    # Manipulation-phase moves extend the stroke, then the up commits.
+    t = stroke[-1].t
+    for i in range(3):
+        t += 0.01
+        pool.move("k", stroke[-1].x + i, stroke[-1].y, t)
+    pool.up("k", stroke[-1].x, stroke[-1].y, t)
+    pool.flush()
+    records = [r for r in tracer.records if r.get("rec") == "quality"]
+    assert len(records) == 1
+    record = records[0]
+    # Denominator counts every sample in the physical stroke: the
+    # decided prefix, the stroke's own post-decision tail, and the 3
+    # manipulation-phase drags.
+    assert record["total"] == len(stroke) + 3
+    assert record["eagerness"] == recogs[0].points_seen / record["total"]
+    assert record["points"] == recogs[0].points_seen
+    assert 0.0 < record["eagerness"] < 1.0
+    # The record round-trips through canonical NDJSON encoding.
+    assert json.loads(json.dumps(record, sort_keys=True)) == record
+
+
+def test_outliers_follow_rubines_rejection_rule(directions_recognizer):
+    """A garbage stroke lands past 0.5 F^2; training-like input stays in."""
+    metrics = MetricsRegistry()
+    quality = QualityMonitor(directions_recognizer, metrics=metrics)
+    pool = SessionPool(
+        directions_recognizer,
+        batched=False,
+        observer=PoolObserver(metrics=metrics, quality=quality),
+    )
+    # A tight zigzag scribble: nothing like any straight-line class.
+    t = 0.0
+    pool.down("junk", 0.0, 0.0, t)
+    for i in range(1, 40):
+        t = i * 0.01
+        pool.move("junk", 30.0 * (i % 2), 7.0 * i, t)
+    pool.up("junk", 0.0, 0.0, t)
+    pool.flush()
+    counters = metrics.snapshot()["counters"]
+    assert counters["quality.decisions"] == 1
+    assert counters["quality.outliers"] == 1
+
+
+def test_masked_recognizer_measured_in_its_own_space(masked_recognizer):
+    """Feature-masked classifiers get margins/distances in masked space."""
+    workload = generate_workload(
+        eight_direction_templates(), clients=4, gestures_per_client=2, seed=21
+    )
+    tracer = Tracer()
+    _, quality, metrics = _quality_run(
+        masked_recognizer, workload, batched=True, tracer=tracer
+    )
+    records = [r for r in tracer.records if r.get("rec") == "quality"]
+    assert records
+    dim = masked_recognizer.full_classifier.metric.dim
+    assert dim == 10  # the mask dropped three features
+    for r in records:
+        assert r["margin"] >= 0.0
+        assert r["d2"] >= 0.0
+        assert r["drift"] == r["d2"] / dim
+        assert r["outlier"] == (r["d2"] > 0.5 * dim * dim)
+    # And the batched/sequential equivalence holds under the mask too.
+    tracer_seq = Tracer()
+    _, quality_seq, metrics_seq = _quality_run(
+        masked_recognizer, workload, batched=False, tracer=tracer_seq
+    )
+    assert _quality_view(quality, metrics) == _quality_view(
+        quality_seq, metrics_seq
+    )
+
+
+def test_drift_scores_cover_only_seen_classes(directions_recognizer):
+    quality = QualityMonitor(directions_recognizer)
+    assert quality.drift_scores() == {}
+    workload = generate_workload(
+        eight_direction_templates(), clients=2, gestures_per_client=1, seed=3
+    )
+    _, quality, _ = _quality_run(
+        directions_recognizer, workload, batched=True
+    )
+    drift = quality.drift_scores()
+    assert drift
+    assert set(drift) <= set(directions_recognizer.class_names)
+    assert all(v > 0.0 for v in drift.values())
+    assert list(drift) == sorted(drift)

@@ -1,0 +1,94 @@
+"""Regression tests for ``loadgen`` observability under empty traffic.
+
+A zero-client (or otherwise decisionless) run used to crash twice over:
+the ``--mode both`` speedup line divided by a zero sequential
+throughput, and ``--metrics`` printing assumed every histogram had
+samples.  These tests pin the fixed behaviour — a clean exit, a
+speedup of "n/a", and the exact shape of an empty metrics snapshot
+(count 0, ``min``/``max`` null, all bucket counts zero).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, PoolObserver
+from repro.serve import generate_workload, run_load
+from repro.synth import eight_direction_templates
+
+
+def test_loadgen_both_mode_survives_zero_clients(capsys):
+    assert main(["loadgen", "--clients", "0", "--gestures", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup: n/a (no points delivered)" in out
+
+
+def test_loadgen_metrics_survives_zero_clients(capsys):
+    assert (
+        main(
+            [
+                "loadgen",
+                "--clients", "0",
+                "--gestures", "0",
+                "--mode", "batched",
+                "--metrics",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "metrics counters:" in out
+    assert "Traceback" not in out
+
+
+def test_loadgen_metrics_out_round_trips_empty_snapshot(capsys, tmp_path):
+    """The written snapshot of an idle run parses and keeps its shape."""
+    path = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "loadgen",
+                "--clients", "0",
+                "--gestures", "0",
+                "--mode", "batched",
+                "--metrics-out", str(path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    snapshot = json.loads(path.read_text())
+    assert set(snapshot) == {"counters", "histograms"}
+    for h in snapshot["histograms"].values():
+        assert h["count"] == 0
+        assert h["min"] is None and h["max"] is None
+        assert all(n == 0 for _, n in h["buckets"])
+
+
+def test_empty_snapshot_shape_is_pinned():
+    """An observed run with no traffic yields the canonical empty shape."""
+    workload = generate_workload(
+        eight_direction_templates(), clients=0, gestures_per_client=0, seed=1
+    )
+    from repro.eager import train_eager_recognizer
+    from repro.synth import GestureGenerator
+
+    generator = GestureGenerator(eight_direction_templates(), seed=2)
+    recognizer = train_eager_recognizer(
+        generator.generate_strokes(10)
+    ).recognizer
+    metrics = MetricsRegistry()
+    result = run_load(
+        recognizer,
+        workload,
+        batched=True,
+        observer=PoolObserver(metrics=metrics),
+    )
+    assert result.points == 0
+    snapshot = result.metrics
+    assert snapshot == metrics.snapshot()  # loadgen returns the final one
+    assert all(v == 0 for v in snapshot["counters"].values())
+    for h in snapshot["histograms"].values():
+        assert h["count"] == 0 and h["sum"] == 0.0
+        assert h["min"] is None and h["max"] is None
