@@ -1,0 +1,132 @@
+"""Training-pipeline benchmark: determinism, cache replay, fan-out.
+
+The staged trainer's claims, measured:
+
+* **bit-identity** — the packaged model's content hash is the same for
+  any ``jobs`` count, for a killed-and-resumed run, and matches the
+  in-memory :func:`~repro.eager.train_eager_recognizer` exactly;
+* **cache replay** — re-running an identical job computes no stage and
+  is much faster than training;
+* **fan-out speedup** — with real cores available, ``jobs=4`` beats
+  ``jobs=1`` by >= 2x on the per-example stages.  The speedup assertion
+  is skipped on boxes with fewer than four CPUs (a 1-core container
+  cannot demonstrate parallelism); the measured wall times and the CPU
+  count are published regardless, so the numbers are honest either way.
+
+Results go to ``BENCH_train.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+from conftest import write_bench_json, write_report
+
+from repro.eager import train_eager_recognizer
+from repro.hashing import content_hash
+from repro.synth import GestureGenerator, family_templates
+from repro.train import TrainJobSpec, TrainingKilled, TrainingPipeline
+
+FAMILY = "gdp"
+EXAMPLES = 15
+SEED = 7
+PARALLEL_JOBS = 4
+
+SPEC = TrainJobSpec(family=FAMILY, examples=EXAMPLES, seed=SEED)
+
+
+def _timed_run(cache_dir: Path, jobs: int):
+    pipeline = TrainingPipeline(SPEC, cache_dir=cache_dir, jobs=jobs)
+    start = time.perf_counter()
+    result = pipeline.run()
+    return result, time.perf_counter() - start
+
+
+def test_model_bit_identical_across_jobs_and_in_memory(tmp_path):
+    """jobs=1, jobs=2, and the in-memory trainer agree bit for bit."""
+    serial, _ = _timed_run(tmp_path / "serial", jobs=1)
+    parallel, _ = _timed_run(tmp_path / "parallel", jobs=2)
+    assert serial.model_hash == parallel.model_hash
+    assert serial.model == parallel.model
+
+    generator = GestureGenerator(family_templates(FAMILY), seed=SEED)
+    report = train_eager_recognizer(generator.generate_strokes(EXAMPLES))
+    assert content_hash(report.recognizer.to_dict()) == serial.model_hash
+
+
+def test_killed_run_resumes_to_identical_model(tmp_path):
+    """Kill after every stage in turn; each resume completes identically."""
+    reference, _ = _timed_run(tmp_path / "ref", jobs=1)
+    for stage in ("manifest", "classifier", "subgestures", "auc"):
+        cache = tmp_path / f"killed-{stage}"
+        with pytest.raises(TrainingKilled):
+            TrainingPipeline(
+                SPEC, cache_dir=cache, jobs=2, kill_after=stage
+            ).run()
+        resumed = TrainingPipeline(
+            SPEC, cache_dir=cache, jobs=1, resume=True
+        ).run()
+        assert resumed.model_hash == reference.model_hash
+        assert stage in resumed.stages_cached
+
+
+def test_train_pipeline_numbers(tmp_path):
+    """Measure serial, parallel, and cached-replay wall times."""
+    serial, serial_s = _timed_run(tmp_path / "serial", jobs=1)
+    assert serial.stages_run == list(
+        ("manifest", "features", "classifier", "subgestures", "auc", "package")
+    )
+
+    parallel, parallel_s = _timed_run(tmp_path / "parallel", jobs=PARALLEL_JOBS)
+    assert parallel.model_hash == serial.model_hash
+
+    replay, replay_s = _timed_run(tmp_path / "serial", jobs=1)
+    assert replay.stages_run == []
+    assert replay.model_hash == serial.model_hash
+    assert replay_s < serial_s, "cache replay should beat training"
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    cpus = os.cpu_count() or 1
+    write_report(
+        "train_pipeline",
+        f"Staged training pipeline ({FAMILY}, {EXAMPLES}/class, seed {SEED})\n"
+        f"serial   (jobs=1): {serial_s * 1000:.1f} ms\n"
+        f"parallel (jobs={PARALLEL_JOBS}): {parallel_s * 1000:.1f} ms "
+        f"({speedup:.2f}x, {cpus} cpus)\n"
+        f"cached replay:     {replay_s * 1000:.1f} ms\n"
+        f"model hash: {serial.model_hash} (identical at every jobs count)",
+    )
+    write_bench_json(
+        "train",
+        params={
+            "family": FAMILY,
+            "examples_per_class": EXAMPLES,
+            "seed": SEED,
+            "parallel_jobs": PARALLEL_JOBS,
+            "cpus": cpus,
+        },
+        results={
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "replay_s": round(replay_s, 4),
+            "parallel_speedup": round(speedup, 3),
+            "replay_speedup": round(serial_s / replay_s, 1) if replay_s else None,
+            "model_hash": serial.model_hash,
+            "examples": serial.example_count,
+            "classes": serial.class_count,
+            "subgestures": serial.stats["set_counts"]
+            and sum(serial.stats["set_counts"].values()),
+        },
+    )
+    if cpus < 4:
+        pytest.skip(
+            f"only {cpus} CPU(s): hash identity asserted above, but a "
+            "parallel speedup cannot be demonstrated on this machine"
+        )
+    assert speedup >= 2.0, (
+        f"jobs={PARALLEL_JOBS} took {parallel_s:.3f}s vs jobs=1 "
+        f"{serial_s:.3f}s = {speedup:.2f}x, expected >= 2x"
+    )

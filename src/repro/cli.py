@@ -2,8 +2,13 @@
 
 Subcommands:
 
-* ``train`` — train an eager recognizer on a synthetic gesture family
-  (or a saved dataset) and write it to JSON;
+* ``train`` — train an eager recognizer through the staged pipeline
+  (:mod:`repro.train`): synthetic family or saved dataset, ``--jobs N``
+  process fan-out, a content-addressed ``--cache-dir`` stage cache,
+  ``--resume`` after a kill, and ``--publish`` into a model registry
+  with full lineage;
+* ``models`` — ``list`` the models in a registry or ``show`` one
+  version's lineage (dataset hash, stage keys, seed, wall time);
 * ``classify`` — classify gestures from a dataset file with a saved
   recognizer;
 * ``evaluate`` — run the paper's §5 protocol on a gesture family and
@@ -35,61 +40,130 @@ import sys
 from .datasets import GestureSet
 from .eager import EagerRecognizer, train_eager_recognizer
 from .evaluate import figure9_grid, run_experiment
-from .synth import (
-    GestureGenerator,
-    eight_direction_templates,
-    gdp_templates,
-    note_templates,
-    ud_templates,
-)
+from .synth import FAMILY_NAMES, GestureGenerator, family_templates, gdp_templates
 
 __all__ = ["main"]
 
-def _editing_templates():
-    from .textedit import editing_templates
-
-    return editing_templates()
-
-
-_FAMILIES = {
-    "directions": eight_direction_templates,
-    "gdp": gdp_templates,
-    "notes": note_templates,
-    "ud": ud_templates,
-    "editing": _editing_templates,
-}
+# Exit code of a --kill-after run: EX_TEMPFAIL, "try again" — rerunning
+# with --resume completes the job.
+EXIT_KILLED = 75
 
 
 def _generator(family: str, seed: int) -> GestureGenerator:
-    maker = _FAMILIES.get(family)
-    if maker is None:
-        raise SystemExit(
-            f"unknown gesture family {family!r}; choose from {sorted(_FAMILIES)}"
-        )
-    return GestureGenerator(maker(), seed=seed)
+    try:
+        templates = family_templates(family)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    return GestureGenerator(templates, seed=seed)
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    if args.dataset:
-        gesture_set = GestureSet.load(args.dataset)
-        strokes = gesture_set.strokes_by_class()
-    else:
-        strokes = _generator(args.family, args.seed).generate_strokes(
-            args.examples
+    import json
+
+    from .train import TrainJobSpec, TrainingKilled, TrainingPipeline
+
+    try:
+        if args.spec:
+            spec = TrainJobSpec.from_file(args.spec)
+        else:
+            spec = TrainJobSpec(
+                family=None if args.dataset else args.family,
+                dataset=args.dataset,
+                examples=args.examples,
+                seed=args.seed,
+                name=args.name,
+            )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    if spec.family and spec.family not in FAMILY_NAMES:
+        raise SystemExit(
+            f"unknown gesture family {spec.family!r}; "
+            f"choose from {sorted(FAMILY_NAMES)}"
         )
-    report = train_eager_recognizer(strokes)
-    report.recognizer.save(args.output)
-    print(f"trained on {sum(len(v) for v in strokes.values())} examples "
-          f"across {len(strokes)} classes")
+
+    metrics = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    pipeline = TrainingPipeline(
+        spec,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        metrics=metrics,
+        kill_after=args.kill_after,
+        resume=args.resume,
+    )
+    try:
+        result = pipeline.run()
+    except TrainingKilled as exc:
+        print(f"{exc}; checkpoint saved — rerun with --resume to finish")
+        return EXIT_KILLED
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+    with open(args.output, "w") as f:
+        json.dump(result.model, f)
+    print(
+        f"trained on {result.example_count} examples "
+        f"across {result.class_count} classes"
+    )
+    print(
+        f"stages run: {', '.join(result.stages_run) or 'none'}; "
+        f"cached: {', '.join(result.stages_cached) or 'none'}"
+    )
+    print(f"model version {result.version} (hash {result.model_hash})")
     print(f"recognizer written to {args.output}")
     if args.registry:
-        from .serve import ModelRegistry
-
-        name = args.name or args.family
-        version = ModelRegistry(args.registry).publish(
-            name, report.recognizer, metadata={"source": "repro-gestures train"}
+        published = pipeline.publish(args.registry, result)
+        print(
+            f"published to {args.registry} as "
+            f"{published.name}@{published.version}"
         )
-        print(f"published to {args.registry} as {name}@{version.version}")
+    if metrics is not None:
+        _print_snapshot(metrics.snapshot())
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from .serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.models_command == "list":
+        names = registry.names()
+        if not names:
+            print(f"no models in {args.registry}")
+            return 0
+        for name in names:
+            versions = registry.versions(name)
+            latest = registry.latest_version(name)
+            print(f"{name}  latest={latest}  versions={len(versions)}")
+        return 0
+
+    name, _, version = args.model.partition("@")
+    try:
+        resolved = version or registry.latest_version(name)
+        metadata = registry.metadata_of(name, resolved)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0])) from None
+    print(f"{name}@{resolved}")
+    print(f"  source: {metadata.get('source', 'unknown')}")
+    lineage = metadata.get("lineage")
+    if not lineage:
+        print("  no lineage recorded for this version")
+        return 0
+    spec = lineage.get("spec", {})
+    data_source = spec.get("family") or spec.get("dataset") or "?"
+    print(f"  trained from: {data_source}")
+    print(f"  dataset hash: {lineage.get('dataset')}")
+    print(f"  model hash:   {lineage.get('model_hash')}")
+    print(
+        f"  seed: {lineage.get('seed')}  jobs: {lineage.get('jobs')}  "
+        f"wall: {lineage.get('wall_time_s')}s"
+    )
+    print("  stage keys:")
+    for stage, key in lineage.get("stages", {}).items():
+        print(f"    {stage:<12} {key}")
     return 0
 
 
@@ -487,19 +561,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    train = sub.add_parser("train", help="train an eager recognizer")
+    train = sub.add_parser(
+        "train", help="train an eager recognizer (staged pipeline)"
+    )
+    train.add_argument(
+        "--spec", metavar="PATH",
+        help="train from a TrainJobSpec JSON file (overrides the data flags)",
+    )
     train.add_argument("--family", default="gdp", help="synthetic gesture family")
     train.add_argument("--dataset", help="train from a saved GestureSet JSON")
     train.add_argument("--examples", type=int, default=15, help="examples per class")
     train.add_argument("--seed", type=int, default=7)
     train.add_argument("--output", default="recognizer.json")
     train.add_argument(
-        "--registry", help="also publish into this model-registry directory"
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan training stages out over N processes "
+        "(the model is bit-identical for any N)",
+    )
+    train.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="content-addressed stage cache; re-runs and sweeps skip "
+        "unchanged stages, and --resume restarts killed runs",
+    )
+    train.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed run from its checkpoint (needs --cache-dir)",
+    )
+    train.add_argument(
+        "--kill-after", metavar="STAGE",
+        help="die after the named stage completes (testing aid; exits 75)",
+    )
+    train.add_argument(
+        "--metrics", action="store_true",
+        help="attach a metrics registry and print its snapshot",
+    )
+    train.add_argument(
+        "--registry", "--publish", dest="registry", metavar="DIR",
+        help="publish into this model-registry directory with lineage",
     )
     train.add_argument(
         "--name", help="registry model name (defaults to the family name)"
     )
     train.set_defaults(func=_cmd_train)
+
+    models = sub.add_parser("models", help="inspect a model registry")
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+    models_list = models_sub.add_parser("list", help="list models and versions")
+    models_list.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="model-registry directory",
+    )
+    models_list.set_defaults(func=_cmd_models)
+    models_show = models_sub.add_parser(
+        "show", help="show one version's lineage"
+    )
+    models_show.add_argument("model", help="model as NAME[@VERSION]")
+    models_show.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="model-registry directory",
+    )
+    models_show.set_defaults(func=_cmd_models)
 
     classify = sub.add_parser("classify", help="classify a dataset")
     classify.add_argument("recognizer", help="saved recognizer JSON")

@@ -10,6 +10,7 @@ from .partition import (
     compute_move_threshold,
     incomplete_set_name,
     is_complete_set,
+    label_example,
     label_examples,
     move_accidentally_complete,
     partition_subgestures,
@@ -21,8 +22,10 @@ from .subgestures import (
     prefix_feature_vectors,
 )
 from .trainer import (
+    AucBuildStats,
     EagerTrainingConfig,
     EagerTrainingReport,
+    build_auc,
     train_eager_recognizer,
 )
 
@@ -30,6 +33,7 @@ __all__ = [
     "AMBIGUITY_BIAS_RATIO",
     "MIN_PREFIX_POINTS",
     "AmbiguityClassifier",
+    "AucBuildStats",
     "EagerRecognizer",
     "EagerResult",
     "EagerSession",
@@ -39,11 +43,13 @@ __all__ = [
     "LabelledSubgesture",
     "SubgestureFeatures",
     "SubgesturePartition",
+    "build_auc",
     "class_of_set",
     "complete_set_name",
     "compute_move_threshold",
     "incomplete_set_name",
     "is_complete_set",
+    "label_example",
     "label_examples",
     "move_accidentally_complete",
     "partition_subgestures",

@@ -37,6 +37,7 @@ __all__ = [
     "LabelledSubgesture",
     "ExampleLabelling",
     "SubgesturePartition",
+    "label_example",
     "label_examples",
     "partition_subgestures",
     "move_accidentally_complete",
@@ -110,6 +111,54 @@ class ExampleLabelling:
         )
 
 
+def label_example(
+    full_classifier: GestureClassifier,
+    stroke: Stroke,
+    true_class: str,
+    example_id: int,
+    min_points: int = MIN_PREFIX_POINTS,
+) -> ExampleLabelling:
+    """Label every subgesture of one training example.
+
+    Completeness is computed by scanning the example's prefixes from the
+    largest down: a prefix is complete iff it and all larger prefixes
+    were classified as the true class.  This is the per-example unit of
+    work the :mod:`repro.train` pipeline fans out across processes —
+    :func:`label_examples` and the pipeline's workers call this one
+    function, so staged and in-memory training label identically.
+    """
+    prefixes = prefix_feature_vectors(stroke, min_points)
+    predictions = [
+        full_classifier.classify_features(v) for v in prefixes.vectors
+    ]
+    complete_flags = [False] * len(predictions)
+    all_correct_above = True
+    for idx in range(len(predictions) - 1, -1, -1):
+        all_correct_above = (
+            all_correct_above and predictions[idx] == true_class
+        )
+        complete_flags[idx] = all_correct_above
+    subs = [
+        LabelledSubgesture(
+            example_id=example_id,
+            true_class=true_class,
+            length=length,
+            features=vector,
+            predicted=predicted,
+            complete=complete,
+        )
+        for length, vector, predicted, complete in zip(
+            prefixes.lengths, prefixes.vectors, predictions, complete_flags
+        )
+    ]
+    return ExampleLabelling(
+        example_id=example_id,
+        true_class=true_class,
+        stroke=stroke,
+        subgestures=subs,
+    )
+
+
 def label_examples(
     full_classifier: GestureClassifier,
     examples_by_class: dict[str, Sequence[Stroke]],
@@ -117,44 +166,17 @@ def label_examples(
 ) -> list[ExampleLabelling]:
     """Run the full classifier over every subgesture of every example.
 
-    Completeness is computed by scanning each example's prefixes from the
-    largest down: a prefix is complete iff it and all larger prefixes
-    were classified as the true class.
+    Examples are numbered in class-major order — the same order the
+    training pipeline's dataset manifest freezes — so ``example_id``
+    means the same thing everywhere.
     """
     labelled: list[ExampleLabelling] = []
     example_id = 0
     for true_class, strokes in examples_by_class.items():
         for stroke in strokes:
-            prefixes = prefix_feature_vectors(stroke, min_points)
-            predictions = [
-                full_classifier.classify_features(v) for v in prefixes.vectors
-            ]
-            complete_flags = [False] * len(predictions)
-            all_correct_above = True
-            for idx in range(len(predictions) - 1, -1, -1):
-                all_correct_above = (
-                    all_correct_above and predictions[idx] == true_class
-                )
-                complete_flags[idx] = all_correct_above
-            subs = [
-                LabelledSubgesture(
-                    example_id=example_id,
-                    true_class=true_class,
-                    length=length,
-                    features=vector,
-                    predicted=predicted,
-                    complete=complete,
-                )
-                for length, vector, predicted, complete in zip(
-                    prefixes.lengths, prefixes.vectors, predictions, complete_flags
-                )
-            ]
             labelled.append(
-                ExampleLabelling(
-                    example_id=example_id,
-                    true_class=true_class,
-                    stroke=stroke,
-                    subgestures=subs,
+                label_example(
+                    full_classifier, stroke, true_class, example_id, min_points
                 )
             )
             example_id += 1

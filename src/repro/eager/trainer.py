@@ -19,6 +19,7 @@ values as defaults, so the ablation benchmarks can switch steps off.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -37,7 +38,13 @@ from .partition import (
 from .recognizer import EagerRecognizer
 from .subgestures import MIN_PREFIX_POINTS
 
-__all__ = ["EagerTrainingConfig", "EagerTrainingReport", "train_eager_recognizer"]
+__all__ = [
+    "AucBuildStats",
+    "EagerTrainingConfig",
+    "EagerTrainingReport",
+    "build_auc",
+    "train_eager_recognizer",
+]
 
 
 @dataclass
@@ -63,6 +70,15 @@ class EagerTrainingConfig:
 
 
 @dataclass
+class AucBuildStats:
+    """What the partition-to-AUC steps (§4.5–4.6) did to the data."""
+
+    move_threshold: float
+    moved_count: int
+    tweak_adjustments: int
+
+
+@dataclass
 class EagerTrainingReport:
     """Artifacts of one training run, kept for inspection and figures 5–7."""
 
@@ -79,6 +95,7 @@ def train_eager_recognizer(
     examples_by_class: Mapping[str, Sequence[Stroke]],
     config: EagerTrainingConfig | None = None,
     full_classifier: GestureClassifier | None = None,
+    rng: random.Random | None = None,
 ) -> EagerTrainingReport:
     """Build an eager recognizer from example gestures.
 
@@ -88,11 +105,20 @@ def train_eager_recognizer(
         full_classifier: reuse an already-trained full classifier (it must
             have been trained on compatible classes); trained here when
             omitted.
+        rng: the seeded :class:`random.Random` that generated the training
+            data, when the caller wants one source of randomness threaded
+            through generation *and* training.  Every step of this
+            algorithm is closed-form deterministic, so the trainer never
+            draws from it today — the parameter exists so any future
+            stochastic step (subsampling, restarts) must use this stream
+            instead of silently seeding a second one, keeping the packaged
+            model's content hash a pure function of (dataset, config).
 
     Returns:
         The trained recognizer plus the intermediate artifacts the
         evaluation figures need.
     """
+    del rng  # accepted for seed-threading; see docstring
     if config is None:
         config = EagerTrainingConfig()
     examples = {name: list(strokes) for name, strokes in examples_by_class.items()}
@@ -118,6 +144,42 @@ def train_eager_recognizer(
 
     # Step 3 — the 2C-way partition.
     partition = partition_subgestures(labelled, full_classifier.class_names)
+
+    # Steps 4–6 — the shared partition-to-AUC path.
+    auc, stats = build_auc(full_classifier, partition, config)
+
+    recognizer = EagerRecognizer(
+        full_classifier=full_classifier,
+        auc=auc,
+        min_points=config.min_prefix_points,
+    )
+    return EagerTrainingReport(
+        recognizer=recognizer,
+        labelled=labelled,
+        partition=partition,
+        move_threshold=stats.move_threshold,
+        moved_count=stats.moved_count,
+        tweak_adjustments=stats.tweak_adjustments,
+        set_counts=partition.counts(),
+    )
+
+
+def build_auc(
+    full_classifier: GestureClassifier,
+    partition: SubgesturePartition,
+    config: EagerTrainingConfig | None = None,
+) -> tuple[AmbiguityClassifier, AucBuildStats]:
+    """Steps 4–6: partition in, trained-and-tweaked AUC out.
+
+    Mutates ``partition`` (the accidental-complete move reassigns
+    subgestures in place).  Factored out of
+    :func:`train_eager_recognizer` so the staged training pipeline
+    (:mod:`repro.train`) runs the exact same code on a partition
+    reconstructed from cached stage artifacts — one implementation,
+    bit-identical models.
+    """
+    if config is None:
+        config = EagerTrainingConfig()
 
     # Step 4 — move accidentally complete subgestures.
     move_threshold = 0.0
@@ -174,17 +236,8 @@ def train_eager_recognizer(
             max_rounds=config.tweak_max_rounds,
         )
 
-    recognizer = EagerRecognizer(
-        full_classifier=full_classifier,
-        auc=auc,
-        min_points=config.min_prefix_points,
-    )
-    return EagerTrainingReport(
-        recognizer=recognizer,
-        labelled=labelled,
-        partition=partition,
+    return auc, AucBuildStats(
         move_threshold=move_threshold,
         moved_count=moved,
         tweak_adjustments=adjustments,
-        set_counts=partition.counts(),
     )

@@ -1,0 +1,43 @@
+"""Canonical JSON and content hashing.
+
+One serialization, one hash, shared by everything that names artifacts
+by their content: the model registry's versions, the training
+pipeline's stage cache keys, and the packaged-model hashes the
+determinism tests and CI compare.  Python's ``repr``-based float
+serialization round-trips IEEE doubles exactly, so a payload that
+passes through ``canonical_json`` → ``json.loads`` → ``canonical_json``
+produces the same bytes — which is what lets cached training stages be
+bit-identical to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical_json", "content_hash", "short_hash", "model_version"]
+
+
+def canonical_json(payload) -> str:
+    """The one canonical rendering: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload) -> str:
+    """SHA-256 of the canonical JSON, as 64 hex digits."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def short_hash(payload, digits: int = 16) -> str:
+    """A truncated :func:`content_hash` for cache keys and filenames."""
+    return content_hash(payload)[:digits]
+
+
+def model_version(model: dict) -> str:
+    """A model's registry version: its content hash, 12 hex digits.
+
+    This is the historical :class:`~repro.serve.ModelRegistry` scheme;
+    kept as its own function so the registry's on-disk layout never
+    changes out from under existing registries.
+    """
+    return content_hash(model)[:12]

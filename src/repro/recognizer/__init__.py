@@ -5,7 +5,12 @@ from .linear import LinearClassifier
 from .mahalanobis import MahalanobisMetric
 from .online import OnlineTrainer
 from .rejection import RejectionPolicy, RejectionResult
-from .training import TrainingResult, pooled_covariance, train_linear_classifier
+from .training import (
+    TrainingResult,
+    pooled_covariance,
+    regularized_inverse,
+    train_linear_classifier,
+)
 
 __all__ = [
     "GestureClassifier",
@@ -16,5 +21,6 @@ __all__ = [
     "RejectionResult",
     "TrainingResult",
     "pooled_covariance",
+    "regularized_inverse",
     "train_linear_classifier",
 ]

@@ -22,7 +22,7 @@ from ..geometry import Stroke
 from .classifier import GestureClassifier
 from .linear import LinearClassifier
 from .mahalanobis import MahalanobisMetric
-from .training import TrainingResult, _regularized_inverse
+from .training import TrainingResult, regularized_inverse
 
 __all__ = ["OnlineTrainer"]
 
@@ -119,7 +119,7 @@ class OnlineTrainer:
         scatter = sum(self._stats[n].scatter for n in names)
         denominator = max(self.total_examples - len(names), 1)
         covariance = scatter / denominator
-        inv_cov = _regularized_inverse(covariance)
+        inv_cov = regularized_inverse(covariance)
         weights = means @ inv_cov.T
         constants = -0.5 * np.einsum("cf,cf->c", weights, means)
         return GestureClassifier(

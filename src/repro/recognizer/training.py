@@ -29,7 +29,12 @@ import numpy as np
 from .linear import LinearClassifier
 from .mahalanobis import MahalanobisMetric
 
-__all__ = ["TrainingResult", "train_linear_classifier", "pooled_covariance"]
+__all__ = [
+    "TrainingResult",
+    "pooled_covariance",
+    "regularized_inverse",
+    "train_linear_classifier",
+]
 
 
 @dataclass
@@ -72,7 +77,7 @@ def pooled_covariance(
     return scatter / denom
 
 
-def _regularized_inverse(cov: np.ndarray, ridge: float = 1e-6) -> np.ndarray:
+def regularized_inverse(cov: np.ndarray, ridge: float = 1e-6) -> np.ndarray:
     """Invert the covariance, regularizing in correlation space.
 
     Rubine's features live on wildly different scales (cosines near one,
@@ -138,7 +143,7 @@ def train_linear_classifier(
 
     means = np.vstack([v.mean(axis=0) for v in per_class])
     cov = pooled_covariance(per_class, means)
-    inv_cov = _regularized_inverse(cov)
+    inv_cov = regularized_inverse(cov)
 
     weights = means @ inv_cov.T  # w_c = S^-1 mu_c   (row per class)
     constants = -0.5 * np.einsum("cf,cf->c", weights, means)

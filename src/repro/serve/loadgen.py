@@ -25,42 +25,16 @@ import numpy as np
 from ..eager import EagerRecognizer
 from ..interaction import DEFAULT_TIMEOUT
 from ..obs import FaultInjector
-from ..synth import (
-    GestureGenerator,
-    eight_direction_templates,
-    gdp_templates,
-    note_templates,
-    ud_templates,
-)
+from ..synth import GestureGenerator, family_templates
 from .pool import Decision, SessionPool
 
 __all__ = [
     "LoadResult",
     "compare_modes",
-    "family_templates",
+    "family_templates",  # re-exported from repro.synth
     "generate_workload",
     "run_load",
 ]
-
-
-def family_templates(family: str) -> dict:
-    """Templates of one synthetic gesture family, by CLI-facing name."""
-    if family == "editing":
-        from ..textedit import editing_templates
-
-        return editing_templates()
-    families = {
-        "directions": eight_direction_templates,
-        "gdp": gdp_templates,
-        "notes": note_templates,
-        "ud": ud_templates,
-    }
-    if family not in families:
-        raise KeyError(
-            f"unknown gesture family {family!r}; "
-            f"choose from {sorted(families) + ['editing']}"
-        )
-    return families[family]()
 
 
 def generate_workload(

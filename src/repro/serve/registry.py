@@ -19,18 +19,15 @@ the hot path.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..eager import EagerRecognizer
+from ..hashing import canonical_json as _canonical
+from ..hashing import model_version
 
 __all__ = ["ModelRegistry", "ModelVersion"]
-
-
-def _canonical(payload: dict) -> str:
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 @dataclass(frozen=True)
@@ -65,7 +62,7 @@ class ModelRegistry:
         version without rewriting anything.
         """
         model = recognizer.to_dict()
-        version = hashlib.sha256(_canonical(model).encode()).hexdigest()[:12]
+        version = model_version(model)
         directory = self.root / name
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{version}.json"

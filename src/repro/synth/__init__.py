@@ -25,9 +25,40 @@ from .generator import (
 from .notes import NOTE_CLASS_NAMES, note_templates
 from .templates import GestureTemplate, arc_waypoints
 
+# The CLI-facing family names, in one place so the CLI, the load
+# generator, and the training pipeline agree on what a "--family" is.
+FAMILY_NAMES = ("directions", "editing", "gdp", "notes", "ud")
+
+
+def family_templates(family: str) -> dict:
+    """Templates of one synthetic gesture family, by CLI-facing name.
+
+    Raises:
+        KeyError: for a name not in :data:`FAMILY_NAMES`.
+    """
+    if family == "editing":
+        # Lazy: textedit builds on synth, so the import must live here.
+        from ..textedit import editing_templates
+
+        return editing_templates()
+    families = {
+        "directions": eight_direction_templates,
+        "gdp": gdp_templates,
+        "notes": note_templates,
+        "ud": ud_templates,
+    }
+    if family not in families:
+        raise KeyError(
+            f"unknown gesture family {family!r}; "
+            f"choose from {sorted(FAMILY_NAMES)}"
+        )
+    return families[family]()
+
+
 __all__ = [
     "DIRECTION_VECTORS",
     "EIGHT_DIRECTION_CLASSES",
+    "FAMILY_NAMES",
     "GDP_CLASS_NAMES",
     "NOTE_CLASS_NAMES",
     "GeneratedGesture",
@@ -37,6 +68,7 @@ __all__ = [
     "arc_waypoints",
     "direction_pair_template",
     "eight_direction_templates",
+    "family_templates",
     "gdp_templates",
     "note_templates",
     "ud_templates",

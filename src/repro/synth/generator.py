@@ -21,10 +21,9 @@ template corner, which gives the oracle unambiguity point figure 9's
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field, replace
 from typing import Mapping, Sequence
-
-import numpy as np
 
 from ..geometry import Point, Stroke
 from .templates import GestureTemplate
@@ -80,7 +79,14 @@ class GestureGenerator:
     """Draws example strokes for a family of gesture classes.
 
     The generator is deterministic given its seed, so every benchmark and
-    test reproduces the paper's experiment with identical data.
+    test reproduces the paper's experiment with identical data.  All
+    randomness comes from one stdlib :class:`random.Random` — whose
+    output streams are stable across platforms and Python releases,
+    unlike numpy's distribution methods, which only promise stability
+    within a numpy version — so a dataset (and everything trained from
+    it, see :mod:`repro.train`) hashes identically everywhere.  Pass
+    ``rng`` to share a single seeded source across generation and
+    training; otherwise the generator seeds its own from ``seed``.
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class GestureGenerator:
         templates: Mapping[str, GestureTemplate] | Sequence[GestureTemplate],
         params: GenerationParams | None = None,
         seed: int = 0,
+        rng: random.Random | None = None,
     ):
         if not isinstance(templates, Mapping):
             templates = {t.name: t for t in templates}
@@ -95,7 +102,7 @@ class GestureGenerator:
             raise ValueError("no templates given")
         self.templates: dict[str, GestureTemplate] = dict(templates)
         self.params = params or GenerationParams()
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else random.Random(seed)
 
     @property
     def class_names(self) -> list[str]:
@@ -133,8 +140,8 @@ class GestureGenerator:
         samples, sample_arcs = self._sample_polyline(waypoints)
 
         # Whole-gesture wobble: rotate and scale about the first point.
-        theta = rng.normal(0.0, p.rotation_sigma)
-        scale = math.exp(rng.normal(0.0, p.scale_sigma))
+        theta = rng.gauss(0.0, p.rotation_sigma)
+        scale = math.exp(rng.gauss(0.0, p.scale_sigma))
         ox, oy = samples[0]
         cos_t, sin_t = math.cos(theta), math.sin(theta)
         transformed = []
@@ -147,15 +154,15 @@ class GestureGenerator:
         # Per-sample jitter.
         jittered = [
             (
-                x + rng.normal(0.0, p.jitter),
-                y + rng.normal(0.0, p.jitter),
+                x + rng.gauss(0.0, p.jitter),
+                y + rng.gauss(0.0, p.jitter),
             )
             for x, y in transformed
         ]
 
         # Timing: a constant mouse clock, with the whole gesture drawn
         # faster or slower run to run.
-        dt = p.dt * math.exp(rng.normal(0.0, p.speed_sigma))
+        dt = p.dt * math.exp(rng.gauss(0.0, p.speed_sigma))
         points = [
             Point(x, y, i * dt) for i, (x, y) in enumerate(jittered)
         ]
@@ -177,8 +184,8 @@ class GestureGenerator:
         x0, y0 = x0 * p.scale, y0 * p.scale
         points = [
             Point(
-                x0 + self._rng.normal(0.0, p.jitter / 2.0),
-                y0 + self._rng.normal(0.0, p.jitter / 2.0),
+                x0 + self._rng.gauss(0.0, p.jitter / 2.0),
+                y0 + self._rng.gauss(0.0, p.jitter / 2.0),
                 i * p.dt,
             )
             for i in range(2)
@@ -248,7 +255,7 @@ class GestureGenerator:
         position = 0.0
         while position < total:
             step = p.spacing * max(
-                0.2, 1.0 + self._rng.normal(0.0, p.spacing_sigma)
+                0.2, 1.0 + self._rng.gauss(0.0, p.spacing_sigma)
             )
             position = min(position + step, total)
             samples.append(_point_at_arc(waypoints, cumulative, position))
@@ -333,5 +340,5 @@ def with_params(
     return GestureGenerator(
         generator.templates,
         replace(generator.params, **overrides),
-        seed=int(generator._rng.integers(0, 2**31)),
+        seed=generator._rng.randrange(2**31),
     )

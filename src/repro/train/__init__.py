@@ -1,0 +1,38 @@
+"""Staged, cacheable, parallel training of eager recognizers.
+
+The in-memory trainer (:func:`repro.eager.train_eager_recognizer`) is
+one closed-form pass; this package decomposes that pass into six
+content-addressed stages (manifest → features → classifier →
+subgestures → auc → package) so that
+
+* re-running an identical job replays from cache,
+* a hyperparameter sweep recomputes only the stages downstream of the
+  changed knob,
+* a killed run resumes from its last completed stage, and
+* the per-example/per-class stages fan out across processes —
+
+all while producing a packaged model whose content hash is bit-identical
+to the in-memory trainer's, for any jobs count, interrupted or not.
+"""
+
+from .cache import StageCache, checkpoint_path, load_checkpoint, write_checkpoint
+from .parallel import fan_out, split_chunks
+from .pipeline import TrainingKilled, TrainingPipeline, TrainingRunResult
+from .spec import CONFIG_FIELD_NAMES, TrainJobSpec
+from .stages import STAGES, stage_key
+
+__all__ = [
+    "CONFIG_FIELD_NAMES",
+    "STAGES",
+    "StageCache",
+    "TrainJobSpec",
+    "TrainingKilled",
+    "TrainingPipeline",
+    "TrainingRunResult",
+    "checkpoint_path",
+    "fan_out",
+    "load_checkpoint",
+    "split_chunks",
+    "stage_key",
+    "write_checkpoint",
+]

@@ -1,0 +1,119 @@
+"""The content-addressed stage cache and run checkpoints.
+
+Every pipeline stage's output is a JSON-serializable dict stored under
+a key derived from the stage's code version, its parameters, and the
+content hashes of its inputs (:func:`repro.train.stages.stage_key`).
+Because the key is pure content, the cache doubles as three features:
+
+* **re-run skipping** — an identical job finds every stage already
+  present;
+* **sweep sharing** — a hyperparameter sweep re-keys only the stages
+  downstream of the changed knob (changing ``tweak_margin`` misses the
+  AUC stage but hits manifest/features/classifier/subgestures);
+* **crash resume** — a killed run left completed stages on disk, so the
+  restart recomputes nothing that finished.
+
+Writes are atomic (temp file + :func:`os.replace`), and a corrupt or
+truncated object — a kill mid-write — reads as a miss, never as bad
+data.  Cached payloads are normalized through canonical JSON on ``put``
+so a stage's consumers see byte-identical values whether the stage ran
+just now or last week.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..hashing import canonical_json
+
+__all__ = ["StageCache", "load_checkpoint", "write_checkpoint", "checkpoint_path"]
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class StageCache:
+    """Keyed JSON blobs, on disk under ``root`` or in memory when rootless.
+
+    A rootless cache still deduplicates within one pipeline run (and
+    normalizes payloads identically), so the no-``--cache-dir`` path
+    exercises the same code as the persistent one.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else None
+        self._mem: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        payload = self._mem.get(key)
+        if payload is None and self.root is not None:
+            path = self._object_path(key)
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                payload = None  # absent or torn write: recompute
+            else:
+                self._mem[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> dict:
+        """Store and return the payload in its canonical (JSON) form.
+
+        The returned normalized dict — not the original — is what the
+        pipeline hands to downstream stages, so fresh and cached runs
+        flow bit-identical values.
+        """
+        text = canonical_json(payload)
+        normalized = json.loads(text)
+        self._mem[key] = normalized
+        if self.root is not None:
+            _atomic_write(self._object_path(key), text)
+        return normalized
+
+
+# -- checkpoints --------------------------------------------------------------
+
+
+def checkpoint_path(root: str | Path, job_key: str) -> Path:
+    return Path(root) / "runs" / f"{job_key}.json"
+
+
+def load_checkpoint(root: str | Path, job_key: str) -> dict | None:
+    try:
+        return json.loads(checkpoint_path(root, job_key).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_checkpoint(root: str | Path, job_key: str, data: dict) -> None:
+    # Insertion order is kept: the "stages" dict reads as the completion
+    # sequence, which is exactly what a human debugging a killed run wants.
+    _atomic_write(
+        checkpoint_path(root, job_key), json.dumps(data, indent=2) + "\n"
+    )

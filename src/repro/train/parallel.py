@@ -1,0 +1,73 @@
+"""Multiprocess fan-out with a deterministic merge.
+
+The pipeline's parallel stages all have the same shape: a list of
+independent items, a pure worker, and a merge that must not depend on
+the jobs count.  :func:`fan_out` delivers that by construction —
+contiguous chunks, ``ProcessPoolExecutor.map`` (which returns results
+in submission order regardless of completion order), and a flatten that
+preserves item order.  ``jobs=1`` runs the same worker inline in this
+process, so the parallel path can never drift from the serial one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+__all__ = ["fan_out", "split_chunks"]
+
+
+def split_chunks(items: Sequence, jobs: int) -> list[list]:
+    """Contiguous, near-even, non-empty chunks of ``items``.
+
+    At most ``jobs`` chunks; order within and across chunks follows the
+    input, so ``[x for chunk in split_chunks(v, j) for x in chunk] == v``
+    for every ``j``.
+    """
+    items = list(items)
+    n = len(items)
+    parts = max(1, min(jobs, n))
+    base, extra = divmod(n, parts)
+    chunks = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def _pool_context():
+    # fork keeps worker startup cheap (no re-import, no re-pickle of the
+    # interpreter state); fall back to the platform default elsewhere.
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def fan_out(
+    worker: Callable[[list], list],
+    chunks: list[list],
+    jobs: int,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
+) -> list[list]:
+    """Run ``worker`` over every chunk; results in chunk order.
+
+    With ``jobs <= 1`` (or a single chunk) everything runs inline —
+    including ``initializer``, so workers may rely on it
+    unconditionally.  ``worker``, ``initializer``, and the chunk
+    payloads must be picklable for the multiprocess path.
+    """
+    if jobs <= 1 or len(chunks) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [worker(chunk) for chunk in chunks]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)),
+        mp_context=_pool_context(),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(worker, chunks))

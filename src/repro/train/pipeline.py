@@ -1,0 +1,288 @@
+"""Orchestration: stage keys, caching, checkpoints, publish.
+
+:class:`TrainingPipeline` wires the six stages of :mod:`repro.train.
+stages` through the content-addressed :class:`~repro.train.cache.
+StageCache`.  Each stage's key is computed from the content hashes of
+its inputs, looked up, and only computed on a miss; a checkpoint is
+written after every completed stage.  Because keys are pure content,
+*resume is just re-running*: a killed run's restart hits the cache for
+every stage that finished and recomputes nothing else, and the final
+artifact is bit-identical to an uninterrupted run at any ``jobs`` count.
+
+Observability follows the repo's duck-typed observer convention: the
+pipeline accepts any object with ``counter(name).inc(n)`` and
+``histogram(name).observe(v)`` — e.g. :class:`repro.obs.MetricsRegistry`
+— and imports nothing from :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..hashing import content_hash
+from . import stages
+from .cache import StageCache, load_checkpoint, write_checkpoint
+from .spec import TrainJobSpec
+
+__all__ = ["TrainingKilled", "TrainingPipeline", "TrainingRunResult"]
+
+# Stage-duration histogram bounds: sub-millisecond cache hits up to
+# multi-second subgesture enumeration on large sets.
+STAGE_MS_BUCKETS = (
+    0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0,
+    1000.0, 5000.0, 10000.0, 60000.0,
+)
+
+
+class TrainingKilled(RuntimeError):
+    """Raised by ``kill_after``: the run stopped after a named stage.
+
+    The deterministic stand-in for SIGKILL mid-run — the named stage's
+    output and the checkpoint are already on disk, exactly as after a
+    real crash between stages.  CI's kill/resume smoke and the training
+    benchmark both use it.
+    """
+
+    def __init__(self, stage: str):
+        super().__init__(f"training killed after stage {stage!r}")
+        self.stage = stage
+
+
+@dataclass
+class TrainingRunResult:
+    """Everything one pipeline run produced."""
+
+    spec: TrainJobSpec
+    model: dict  # EagerRecognizer.to_dict()
+    model_hash: str  # sha256 of the model's canonical JSON
+    lineage: dict  # dataset/stage hashes, seed, jobs, wall time
+    stages_run: list[str] = field(default_factory=list)
+    stages_cached: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)  # §4.5–4.6 build stats
+    example_count: int = 0
+    class_count: int = 0
+    wall_time_s: float = 0.0
+    published: dict | None = None  # {"name", "version", "path"} if published
+
+    @property
+    def version(self) -> str:
+        """The registry version this model has (or would get)."""
+        return self.model_hash[:12]
+
+
+class TrainingPipeline:
+    """Run one :class:`TrainJobSpec` through the staged trainer.
+
+    Args:
+        spec: what to train.
+        cache_dir: stage-cache root; ``None`` keeps the cache in memory
+            (one run still deduplicates, nothing persists).
+        jobs: process fan-out for the per-example/per-class stages; the
+            output is bit-identical for every value.
+        metrics: optional observer (``counter``/``histogram`` protocol).
+        kill_after: name of a stage to die after — see :class:`TrainingKilled`.
+        resume: require an existing checkpoint for this spec in
+            ``cache_dir`` and continue from it.  Purely a guard: the
+            content-addressed cache is what actually skips finished work.
+    """
+
+    def __init__(
+        self,
+        spec: TrainJobSpec,
+        cache_dir: str | Path | None = None,
+        jobs: int = 1,
+        metrics=None,
+        kill_after: str | None = None,
+        resume: bool = False,
+    ):
+        if kill_after is not None and kill_after not in stages.STAGES:
+            raise ValueError(
+                f"unknown stage {kill_after!r}; choose from {list(stages.STAGES)}"
+            )
+        if resume and cache_dir is None:
+            raise ValueError("resume requires a cache directory")
+        self.spec = spec
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache = StageCache(self.cache_dir)
+        self.jobs = max(1, int(jobs))
+        self.metrics = metrics
+        self.kill_after = kill_after
+        self.resume = resume
+
+    # -- observer helpers ----------------------------------------------------
+
+    def _count(self, name: str, n: int) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
+
+    def _observe_ms(self, name: str, ms: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name, STAGE_MS_BUCKETS).observe(ms)
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self) -> TrainingRunResult:
+        """Execute (or replay) every stage; returns the packaged model.
+
+        Raises:
+            TrainingKilled: when ``kill_after`` fired.
+            ValueError: on ``resume`` without a matching checkpoint.
+        """
+        started = time.perf_counter()
+        spec = self.spec
+        if self.resume:
+            checkpoint = load_checkpoint(self.cache_dir, spec.job_key)
+            if checkpoint is None:
+                raise ValueError(
+                    f"no checkpoint for job {spec.job_key} under {self.cache_dir}"
+                )
+            if checkpoint.get("spec") != spec.identity():
+                raise ValueError(
+                    "checkpoint spec does not match this job; refusing to resume"
+                )
+        config = spec.training_config()
+
+        result = TrainingRunResult(
+            spec=spec, model={}, model_hash="", lineage={}
+        )
+        completed: dict[str, str] = {}
+
+        def run_stage(name: str, key: str, compute):
+            t0 = time.perf_counter()
+            payload = self.cache.get(key)
+            if payload is None:
+                payload = self.cache.put(key, compute())
+                result.stages_run.append(name)
+                self._count("train.stages_run", 1)
+            else:
+                result.stages_cached.append(name)
+                self._count("train.stages_cached", 1)
+            self._observe_ms("train.stage_ms", (time.perf_counter() - t0) * 1000.0)
+            completed[name] = key
+            if self.cache_dir is not None:
+                write_checkpoint(
+                    self.cache_dir,
+                    spec.job_key,
+                    {"spec": spec.identity(), "stages": dict(completed)},
+                )
+            if self.kill_after == name:
+                raise TrainingKilled(name)
+            return payload
+
+        manifest_key = stages.stage_key(
+            "manifest", {}, stages.manifest_params(spec)
+        )
+        manifest = run_stage(
+            "manifest", manifest_key, lambda: stages.build_manifest(spec)
+        )
+        manifest_hash = content_hash(manifest)
+
+        features_key = stages.stage_key(
+            "features", {"manifest": manifest_hash}, {}
+        )
+        features = run_stage(
+            "features",
+            features_key,
+            lambda: stages.run_features(manifest, self.jobs),
+        )
+        features_hash = content_hash(features)
+
+        classifier_key = stages.stage_key(
+            "classifier", {"features": features_hash}, {}
+        )
+        classifier = run_stage(
+            "classifier",
+            classifier_key,
+            lambda: stages.run_classifier(features, self.jobs),
+        )
+        classifier_hash = content_hash(classifier)
+
+        subgestures_key = stages.stage_key(
+            "subgestures",
+            {"manifest": manifest_hash, "classifier": classifier_hash},
+            {"min_prefix_points": config.min_prefix_points},
+        )
+        subgestures = run_stage(
+            "subgestures",
+            subgestures_key,
+            lambda: stages.run_subgestures(
+                manifest, classifier, config.min_prefix_points, self.jobs
+            ),
+        )
+        subgestures_hash = content_hash(subgestures)
+
+        auc_key = stages.stage_key(
+            "auc",
+            {"subgestures": subgestures_hash, "classifier": classifier_hash},
+            {name: getattr(config, name) for name in stages.AUC_PARAM_FIELDS},
+        )
+        auc = run_stage(
+            "auc", auc_key, lambda: stages.run_auc(subgestures, classifier, config)
+        )
+        auc_hash = content_hash(auc)
+
+        package_key = stages.stage_key(
+            "package",
+            {"classifier": classifier_hash, "auc": auc_hash},
+            {"min_points": config.min_prefix_points},
+        )
+        package = run_stage(
+            "package",
+            package_key,
+            lambda: stages.run_package(classifier, auc, config.min_prefix_points),
+        )
+
+        wall = time.perf_counter() - started
+        self._count("train.examples", len(manifest["examples"]))
+        self._count("train.classes", len(manifest["classes"]))
+        self._count("train.subgestures", auc["subgesture_count"])
+        self._count("train.moved_subgestures", auc["stats"]["moved_count"])
+        self._count("train.tweak_adjustments", auc["stats"]["tweak_adjustments"])
+
+        result.model = package["model"]
+        result.model_hash = package["model_hash"]
+        result.example_count = len(manifest["examples"])
+        result.class_count = len(manifest["classes"])
+        result.stats = dict(auc["stats"], set_counts=auc["set_counts"])
+        result.wall_time_s = wall
+        result.lineage = {
+            "spec": spec.identity(),
+            "dataset": manifest_hash,
+            "stages": dict(completed),
+            "seed": spec.seed if spec.family else None,
+            "jobs": self.jobs,
+            "wall_time_s": round(wall, 6),
+            "model_hash": package["model_hash"],
+            "cache": {"hits": self.cache.hits, "misses": self.cache.misses},
+        }
+        return result
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, registry_root: str | Path, result: TrainingRunResult):
+        """Publish a finished run into a :class:`~repro.serve.ModelRegistry`.
+
+        The registry's content-derived version necessarily equals
+        ``result.version`` — both hash the same canonical model JSON.
+        Returns the :class:`~repro.serve.registry.ModelVersion`.
+        """
+        # Imported here so training never pulls in the serving stack
+        # unless a publish actually happens.
+        from ..eager import EagerRecognizer
+        from ..serve import ModelRegistry
+
+        registry = ModelRegistry(registry_root)
+        published = registry.publish(
+            result.spec.model_name(),
+            EagerRecognizer.from_dict(result.model),
+            metadata={"source": "repro.train", "lineage": result.lineage},
+        )
+        result.published = {
+            "name": published.name,
+            "version": published.version,
+            "path": str(published.path),
+        }
+        self._count("train.published", 1)
+        return published

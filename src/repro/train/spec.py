@@ -1,0 +1,126 @@
+"""The training job specification.
+
+A :class:`TrainJobSpec` pins everything that determines the packaged
+model's content: the data source (a synthetic family + seed + count, or
+a saved :class:`~repro.datasets.GestureSet` file), and the
+:class:`~repro.eager.EagerTrainingConfig` knobs.  Deliberately *not* in
+the spec: the jobs count, cache directory, and publish destination —
+those change how fast the artifact is produced and where it goes, never
+what it is, so two runs of one spec hash identically at any ``--jobs``.
+
+Specs round-trip through JSON (``repro-gestures train --spec job.json``)
+and hash to a short ``job_key`` that names checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Mapping
+
+from ..eager import EagerTrainingConfig
+from ..hashing import short_hash
+
+__all__ = ["TrainJobSpec", "CONFIG_FIELD_NAMES"]
+
+# The EagerTrainingConfig knobs a spec may override, by name.
+CONFIG_FIELD_NAMES = tuple(f.name for f in fields(EagerTrainingConfig))
+
+
+@dataclass(frozen=True)
+class TrainJobSpec:
+    """One training job: data source + training knobs."""
+
+    family: str | None = None  # synthetic gesture family name...
+    dataset: str | None = None  # ...or a GestureSet JSON file
+    examples: int = 15  # per-class count for synthetic data
+    seed: int = 7  # seeds the single random.Random behind generation
+    name: str | None = None  # publish name (not part of job identity)
+    config: dict = field(default_factory=dict)  # EagerTrainingConfig overrides
+
+    def __post_init__(self):
+        if bool(self.family) == bool(self.dataset):
+            raise ValueError(
+                "a train spec needs exactly one data source: "
+                "'family' or 'dataset'"
+            )
+        if self.family is not None and self.examples < 1:
+            raise ValueError("examples must be >= 1")
+        unknown = set(self.config) - set(CONFIG_FIELD_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown training config keys {sorted(unknown)}; "
+                f"choose from {sorted(CONFIG_FIELD_NAMES)}"
+            )
+
+    # -- identity ------------------------------------------------------------
+
+    def identity(self) -> dict:
+        """The job-identity dict: everything that shapes the artifact.
+
+        ``name`` is excluded — publishing the same model under two names
+        is the same training job twice.
+        """
+        return {
+            "family": self.family,
+            "dataset": self.dataset,
+            "examples": self.examples if self.family else None,
+            "seed": self.seed if self.family else None,
+            "config": {k: self.config[k] for k in sorted(self.config)},
+        }
+
+    @property
+    def job_key(self) -> str:
+        """Short content hash naming this job's checkpoint."""
+        return short_hash(self.identity())
+
+    # -- derived -------------------------------------------------------------
+
+    def training_config(self) -> EagerTrainingConfig:
+        return EagerTrainingConfig(**self.config)
+
+    def model_name(self) -> str:
+        """The registry name to publish under."""
+        if self.name:
+            return self.name
+        if self.family:
+            return self.family
+        return Path(self.dataset).stem
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "dataset": self.dataset,
+            "examples": self.examples,
+            "seed": self.seed,
+            "name": self.name,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TrainJobSpec":
+        known = {"family", "dataset", "examples", "seed", "name", "config"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown spec keys {sorted(unknown)}")
+        return cls(
+            family=data.get("family"),
+            dataset=data.get("dataset"),
+            examples=data.get("examples", 15),
+            seed=data.get("seed", 7),
+            name=data.get("name"),
+            config=dict(data.get("config", {})),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TrainJobSpec":
+        try:
+            data = json.loads(Path(path).read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed spec file {path}: {exc}") from None
+        if not isinstance(data, dict):
+            raise ValueError(f"spec file {path} must hold a JSON object")
+        return cls.from_dict(data)

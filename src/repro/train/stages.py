@@ -1,0 +1,382 @@
+"""The six training stages, as pure payload-to-payload functions.
+
+Each stage maps JSON-serializable inputs to a JSON-serializable output:
+
+1. **manifest** — freeze the dataset: class order + every stroke's points.
+2. **features** — the full-gesture feature vector of every example.
+3. **classifier** — per-class statistics, merged into the full classifier.
+4. **subgestures** — label every prefix of every example (§4.4).
+5. **auc** — partition, move accidental completes, train + tweak (§4.5–4.6).
+6. **package** — assemble the :class:`~repro.eager.EagerRecognizer` dict.
+
+Stages 2–4 fan out over examples/classes via :func:`repro.train.parallel.
+fan_out`; their merges are fixed in manifest order, so the output — and
+therefore the packaged model's content hash — is bit-identical for any
+jobs count.  Bit-identity with the in-memory
+:func:`~repro.eager.train_eager_recognizer` holds too, because each stage
+runs the *same* functions on the same floats: JSON round-trips IEEE
+doubles exactly (``repr``-based serialization), the per-class scatter is
+accumulated in class order from zeros exactly as
+:func:`~repro.recognizer.pooled_covariance` does, and labelling/AUC
+construction call :func:`~repro.eager.label_example` and
+:func:`~repro.eager.build_auc` directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..datasets import GestureSet
+from ..eager import (
+    AmbiguityClassifier,
+    EagerRecognizer,
+    EagerTrainingConfig,
+    ExampleLabelling,
+    LabelledSubgesture,
+    build_auc,
+    label_example,
+    partition_subgestures,
+)
+from ..features import features_of
+from ..geometry import Point, Stroke
+from ..hashing import content_hash, short_hash
+from ..recognizer import (
+    GestureClassifier,
+    LinearClassifier,
+    MahalanobisMetric,
+    TrainingResult,
+    regularized_inverse,
+)
+from ..synth import GestureGenerator, family_templates
+from .parallel import fan_out, split_chunks
+from .spec import TrainJobSpec
+
+__all__ = [
+    "STAGES",
+    "stage_key",
+    "manifest_params",
+    "build_manifest",
+    "run_features",
+    "run_classifier",
+    "run_subgestures",
+    "run_auc",
+    "run_package",
+]
+
+STAGES = ("manifest", "features", "classifier", "subgestures", "auc", "package")
+
+# Bump a stage's version whenever its computation changes meaning, so
+# stale cached objects from older code can never be replayed into new runs.
+_STAGE_VERSIONS = {
+    "manifest": 1,
+    "features": 1,
+    "classifier": 1,
+    "subgestures": 1,
+    "auc": 1,
+    "package": 1,
+}
+
+
+def stage_key(stage: str, inputs: dict, params: dict) -> str:
+    """Cache key of one stage invocation.
+
+    ``inputs`` maps input names to *content hashes of upstream outputs*
+    (not stage keys), so two specs that happen to produce an identical
+    intermediate share everything downstream of it.  The jobs count is
+    deliberately absent: parallelism changes how fast a stage runs,
+    never what it produces.
+    """
+    return short_hash(
+        {
+            "stage": stage,
+            "v": _STAGE_VERSIONS[stage],
+            "inputs": inputs,
+            "params": params,
+        }
+    )
+
+
+# -- stage 1: manifest ---------------------------------------------------------
+
+
+def manifest_params(spec: TrainJobSpec) -> dict:
+    """The manifest stage's key parameters.
+
+    A dataset file is keyed by its parsed *content*, so reformatting or
+    moving the file does not re-key the pipeline, while editing a stroke
+    does.
+    """
+    if spec.family:
+        return {
+            "source": "family",
+            "family": spec.family,
+            "examples": spec.examples,
+            "seed": spec.seed,
+        }
+    return {
+        "source": "dataset",
+        "content": content_hash(json.loads(Path(spec.dataset).read_text())),
+    }
+
+
+def build_manifest(spec: TrainJobSpec) -> dict:
+    """Freeze the training data: class order plus every stroke's points.
+
+    Examples are listed in class-major order — the order
+    :func:`~repro.eager.label_examples` numbers them — so ``example_id``
+    is simply the index into this list everywhere downstream.
+    """
+    if spec.family:
+        generator = GestureGenerator(family_templates(spec.family), seed=spec.seed)
+        strokes_by_class = generator.generate_strokes(spec.examples)
+    else:
+        strokes_by_class = GestureSet.load(spec.dataset).strokes_by_class()
+    classes = list(strokes_by_class.keys())
+    examples = [
+        {"class": name, "points": [[p.x, p.y, p.t] for p in stroke]}
+        for name in classes
+        for stroke in strokes_by_class[name]
+    ]
+    return {"classes": classes, "examples": examples}
+
+
+def _stroke_from_points(points: list) -> Stroke:
+    return Stroke(Point(x, y, t) for x, y, t in points)
+
+
+# -- stage 2: features ---------------------------------------------------------
+
+
+def _featurize_chunk(chunk: list) -> list:
+    """Worker: ``(index, points)`` pairs to ``(index, vector)`` pairs."""
+    return [
+        (index, features_of(_stroke_from_points(points)).tolist())
+        for index, points in chunk
+    ]
+
+
+def run_features(manifest: dict, jobs: int = 1) -> dict:
+    """Full-gesture feature vector of every manifest example."""
+    items = [(i, ex["points"]) for i, ex in enumerate(manifest["examples"])]
+    vectors: list = [None] * len(items)
+    for chunk in fan_out(_featurize_chunk, split_chunks(items, jobs), jobs):
+        for index, vector in chunk:
+            vectors[index] = vector
+    return {
+        "classes": list(manifest["classes"]),
+        "examples": [
+            {"class": ex["class"], "vector": vectors[i]}
+            for i, ex in enumerate(manifest["examples"])
+        ],
+    }
+
+
+# -- stage 3: classifier -------------------------------------------------------
+
+
+def _class_stats_chunk(chunk: list) -> list:
+    """Worker: per-class mean / scatter / count.
+
+    The mean and centered scatter use the exact expressions of
+    :func:`~repro.recognizer.train_linear_classifier` and
+    :func:`~repro.recognizer.pooled_covariance`, so the merged classifier
+    matches the in-memory one bit for bit.
+    """
+    out = []
+    for name, vectors in chunk:
+        arr = np.asarray(vectors, dtype=float)
+        mean = arr.mean(axis=0)
+        centered = arr - mean
+        scatter = centered.T @ centered
+        out.append(
+            {
+                "class": name,
+                "mean": mean.tolist(),
+                "scatter": scatter.tolist(),
+                "count": len(vectors),
+            }
+        )
+    return out
+
+
+def run_classifier(features: dict, jobs: int = 1) -> dict:
+    """Merge per-class statistics into the full classifier's dict.
+
+    The merge is fixed in manifest class order: means are stacked and the
+    scatter accumulated from zeros class by class — the same reduction
+    order as :func:`~repro.recognizer.pooled_covariance` — so any jobs
+    count reproduces the serial result exactly.
+    """
+    classes = list(features["classes"])
+    by_class: dict[str, list] = {name: [] for name in classes}
+    for ex in features["examples"]:
+        by_class[ex["class"]].append(ex["vector"])
+    items = [(name, by_class[name]) for name in classes]
+    stats: dict[str, dict] = {}
+    for chunk in fan_out(_class_stats_chunk, split_chunks(items, jobs), jobs):
+        for entry in chunk:
+            stats[entry["class"]] = entry
+
+    means = np.vstack(
+        [np.asarray(stats[name]["mean"], dtype=float) for name in classes]
+    )
+    num_features = means.shape[1]
+    scatter = np.zeros((num_features, num_features))
+    total = 0
+    for name in classes:
+        scatter += np.asarray(stats[name]["scatter"], dtype=float)
+        total += stats[name]["count"]
+    denom = max(total - len(classes), 1)
+    inv_cov = regularized_inverse(scatter / denom)
+
+    weights = means @ inv_cov.T
+    constants = -0.5 * np.einsum("cf,cf->c", weights, means)
+    classifier = GestureClassifier(
+        TrainingResult(
+            classifier=LinearClassifier(classes, weights, constants),
+            means=means,
+            metric=MahalanobisMetric(inv_cov),
+        )
+    )
+    return classifier.to_dict()
+
+
+# -- stage 4: subgestures ------------------------------------------------------
+
+# Per-process worker state, shipped once via the fan_out initializer
+# instead of once per chunk.
+_WORKER: dict = {}
+
+
+def _init_labeller(classifier_payload: dict, min_points: int) -> None:
+    _WORKER["classifier"] = GestureClassifier.from_dict(classifier_payload)
+    _WORKER["min_points"] = min_points
+
+
+def _label_chunk(chunk: list) -> list:
+    """Worker: label every prefix of each ``(id, class, points)`` example."""
+    out = []
+    for example_id, true_class, points in chunk:
+        labelling = label_example(
+            _WORKER["classifier"],
+            _stroke_from_points(points),
+            true_class,
+            example_id,
+            _WORKER["min_points"],
+        )
+        subs = labelling.subgestures
+        out.append(
+            {
+                "id": example_id,
+                "class": true_class,
+                "lengths": [sub.length for sub in subs],
+                "vectors": [sub.features.tolist() for sub in subs],
+                "predicted": [sub.predicted for sub in subs],
+                "complete": [sub.complete for sub in subs],
+            }
+        )
+    return out
+
+
+def run_subgestures(
+    manifest: dict, classifier_payload: dict, min_points: int, jobs: int = 1
+) -> dict:
+    """Label every subgesture of every example (§4.4), fanned out by example."""
+    items = [
+        (i, ex["class"], ex["points"])
+        for i, ex in enumerate(manifest["examples"])
+    ]
+    chunks = split_chunks(items, jobs)
+    results = fan_out(
+        _label_chunk,
+        chunks,
+        jobs,
+        initializer=_init_labeller,
+        initargs=(classifier_payload, min_points),
+    )
+    return {"examples": [ex for chunk in results for ex in chunk]}
+
+
+# -- stage 5: auc --------------------------------------------------------------
+
+# The EagerTrainingConfig knobs that shape this stage (min_prefix_points
+# already shaped the subgestures stage upstream).
+AUC_PARAM_FIELDS = (
+    "move_accidental",
+    "move_threshold_fraction",
+    "move_exclusion_distance",
+    "ambiguity_bias_ratio",
+    "tweak",
+    "tweak_margin",
+    "tweak_max_rounds",
+    "two_class_only",
+)
+
+
+def run_auc(
+    subgestures: dict, classifier_payload: dict, config: EagerTrainingConfig
+) -> dict:
+    """Partition the labelled subgestures and build the tweaked AUC.
+
+    Reconstructs the :class:`~repro.eager.ExampleLabelling` list from the
+    cached stage payload (strokes are not needed past labelling) and runs
+    the shared :func:`~repro.eager.build_auc` — the identical §4.5–4.6
+    code path the in-memory trainer uses.
+    """
+    full_classifier = GestureClassifier.from_dict(classifier_payload)
+    labelled = []
+    for ex in subgestures["examples"]:
+        subs = [
+            LabelledSubgesture(
+                example_id=ex["id"],
+                true_class=ex["class"],
+                length=length,
+                features=np.asarray(vector, dtype=float),
+                predicted=predicted,
+                complete=complete,
+            )
+            for length, vector, predicted, complete in zip(
+                ex["lengths"], ex["vectors"], ex["predicted"], ex["complete"]
+            )
+        ]
+        labelled.append(
+            ExampleLabelling(
+                example_id=ex["id"],
+                true_class=ex["class"],
+                stroke=None,  # partitioning never touches the raw stroke
+                subgestures=subs,
+            )
+        )
+    partition = partition_subgestures(labelled, full_classifier.class_names)
+    auc, stats = build_auc(full_classifier, partition, config)
+    return {
+        "auc": auc.to_dict(),
+        "stats": {
+            "move_threshold": stats.move_threshold,
+            "moved_count": stats.moved_count,
+            "tweak_adjustments": stats.tweak_adjustments,
+        },
+        "set_counts": partition.counts(),
+        "subgesture_count": sum(
+            len(ex["lengths"]) for ex in subgestures["examples"]
+        ),
+    }
+
+
+# -- stage 6: package ----------------------------------------------------------
+
+
+def run_package(
+    classifier_payload: dict, auc_payload: dict, min_points: int
+) -> dict:
+    """Assemble the final recognizer dict and stamp its content hash."""
+    recognizer = EagerRecognizer(
+        full_classifier=GestureClassifier.from_dict(classifier_payload),
+        auc=AmbiguityClassifier.from_dict(auc_payload["auc"]),
+        min_points=min_points,
+    )
+    model = recognizer.to_dict()
+    return {"model": model, "model_hash": content_hash(model)}

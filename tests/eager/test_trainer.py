@@ -140,13 +140,13 @@ class TestNotesScenario:
     """Figure 8: nested note gestures are not amenable to eagerness."""
 
     def test_notes_yield_little_or_no_eagerness(self):
-        generator = GestureGenerator(note_templates(), seed=31)
+        generator = GestureGenerator(note_templates(), seed=131)
         try:
             report = train_eager_recognizer(generator.generate_strokes(10))
         except ValueError:
             # Acceptable outcome: no subgesture was unambiguous at all.
             return
-        test = GestureGenerator(note_templates(), seed=32)
+        test = GestureGenerator(note_templates(), seed=132)
         eager_on_prefix_classes = 0
         total = 0
         # All classes except the longest are prefixes of another class.

@@ -1,0 +1,117 @@
+"""The reworked ``train`` command and the ``models`` subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_KILLED, main
+
+
+def _train(tmp_path, *extra):
+    out = tmp_path / "rec.json"
+    args = [
+        "train", "--family", "ud", "--examples", "5", "--seed", "9",
+        "--output", str(out), *map(str, extra),
+    ]
+    return main(args), out
+
+
+class TestTrainCommand:
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        code, out = _train(tmp_path, "--jobs", "2", "--cache-dir", cache)
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "trained on 10 examples across 2 classes" in text
+        assert "model version" in text
+        assert (cache / "objects").is_dir()
+        model = json.loads(out.read_text())
+        assert "full_classifier" in model and "auc" in model
+
+        code, _ = _train(tmp_path, "--cache-dir", cache)
+        assert code == 0
+        assert "cached: manifest" in capsys.readouterr().out
+
+    def test_kill_and_resume_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        code, _ = _train(
+            tmp_path, "--cache-dir", cache, "--kill-after", "subgestures"
+        )
+        assert code == EXIT_KILLED
+        assert "rerun with --resume" in capsys.readouterr().out
+        code, _ = _train(tmp_path, "--cache-dir", cache, "--resume")
+        assert code == 0
+        assert "trained on 10 examples" in capsys.readouterr().out
+
+    def test_resume_without_checkpoint_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            _train(tmp_path, "--cache-dir", tmp_path / "empty", "--resume")
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "job.json"
+        spec_path.write_text(
+            json.dumps({"family": "ud", "examples": 4, "seed": 2})
+        )
+        out = tmp_path / "rec.json"
+        code = main(["train", "--spec", str(spec_path), "--output", str(out)])
+        assert code == 0
+        assert "trained on 8 examples" in capsys.readouterr().out
+
+    def test_malformed_spec_exits(self, tmp_path):
+        spec_path = tmp_path / "job.json"
+        spec_path.write_text('{"family": "ud", "optimizer": "adam"}')
+        with pytest.raises(SystemExit, match="unknown spec keys"):
+            main(["train", "--spec", str(spec_path)])
+
+    def test_publish_alias_and_metrics(self, tmp_path, capsys):
+        registry = tmp_path / "reg"
+        code, _ = _train(tmp_path, "--publish", registry, "--metrics")
+        assert code == 0
+        text = capsys.readouterr().out
+        assert f"published to {registry} as ud@" in text
+        assert "train.stages_run" in text
+
+
+class TestModelsCommands:
+    @pytest.fixture()
+    def registry(self, tmp_path):
+        root = tmp_path / "reg"
+        code, _ = _train(tmp_path, "--registry", root, "--name", "udm")
+        assert code == 0
+        return root
+
+    def test_list(self, registry, capsys):
+        assert main(["models", "list", "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "udm" in out and "latest=" in out and "versions=1" in out
+
+    def test_list_empty(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        assert main(["models", "list", "--registry", str(empty)]) == 0
+        assert "no models" in capsys.readouterr().out
+
+    def test_show_prints_lineage(self, registry, capsys):
+        assert main(["models", "show", "udm", "--registry", str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "source: repro.train" in out
+        assert "trained from: ud" in out
+        assert "dataset hash:" in out
+        assert "stage keys:" in out
+        for stage in ("manifest", "subgestures", "package"):
+            assert stage in out
+
+    def test_show_unknown_model_exits(self, registry):
+        with pytest.raises(SystemExit):
+            main(["models", "show", "ghost", "--registry", str(registry)])
+
+    def test_show_at_version(self, registry, capsys):
+        main(["models", "list", "--registry", str(registry)])
+        listed = capsys.readouterr().out
+        version = listed.split("latest=")[1].split()[0]
+        code = main(
+            ["models", "show", f"udm@{version}", "--registry", str(registry)]
+        )
+        assert code == 0
+        assert f"udm@{version}" in capsys.readouterr().out

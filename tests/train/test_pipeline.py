@@ -1,0 +1,210 @@
+"""The staged training pipeline: determinism, caching, resume, fan-out."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eager import train_eager_recognizer
+from repro.hashing import content_hash
+from repro.obs import MetricsRegistry
+from repro.synth import GestureGenerator, family_templates
+from repro.train import (
+    STAGES,
+    TrainJobSpec,
+    TrainingKilled,
+    TrainingPipeline,
+    checkpoint_path,
+    fan_out,
+    split_chunks,
+)
+
+SPEC = TrainJobSpec(family="ud", examples=6, seed=3)
+
+
+def run(spec=SPEC, **kwargs) -> object:
+    return TrainingPipeline(spec, **kwargs).run()
+
+
+class TestSpec:
+    def test_requires_exactly_one_data_source(self):
+        with pytest.raises(ValueError, match="exactly one data source"):
+            TrainJobSpec()
+        with pytest.raises(ValueError, match="exactly one data source"):
+            TrainJobSpec(family="ud", dataset="x.json")
+
+    def test_rejects_unknown_config_keys(self):
+        with pytest.raises(ValueError, match="unknown training config keys"):
+            TrainJobSpec(family="ud", config={"learning_rate": 0.1})
+
+    def test_name_not_part_of_identity(self):
+        a = TrainJobSpec(family="ud", name="alpha")
+        b = TrainJobSpec(family="ud", name="beta")
+        assert a.job_key == b.job_key
+
+    def test_round_trips_through_file(self, tmp_path):
+        path = tmp_path / "job.json"
+        path.write_text(json.dumps(SPEC.to_dict()))
+        assert TrainJobSpec.from_file(path) == SPEC
+
+    def test_model_name_falls_back_to_source(self, tmp_path):
+        assert TrainJobSpec(family="ud").model_name() == "ud"
+        assert TrainJobSpec(dataset="/x/gdp_sample.json").model_name() == "gdp_sample"
+        assert TrainJobSpec(family="ud", name="mine").model_name() == "mine"
+
+
+class TestDeterminism:
+    def test_two_runs_hash_identically(self):
+        """The seeded-RNG pin: one spec, two full runs, one model hash.
+
+        All synthesis randomness flows from a single stdlib
+        ``random.Random(seed)``, so the packaged model is a pure
+        function of the spec.
+        """
+        assert run().model_hash == run().model_hash
+
+    def test_jobs_count_does_not_change_the_model(self, tmp_path):
+        serial = run(cache_dir=tmp_path / "a", jobs=1)
+        parallel = run(cache_dir=tmp_path / "b", jobs=3)
+        assert serial.model_hash == parallel.model_hash
+        assert serial.model == parallel.model
+
+    def test_pipeline_matches_in_memory_trainer(self):
+        generator = GestureGenerator(family_templates("ud"), seed=3)
+        report = train_eager_recognizer(generator.generate_strokes(6))
+        reference = report.recognizer.to_dict()
+        result = run()
+        assert result.model == reference
+        assert result.model_hash == content_hash(reference)
+
+    def test_dataset_spec_matches_family_spec_data(self, tmp_path):
+        """A saved dataset of the same strokes trains the same model."""
+        from repro.datasets import GestureSet
+
+        generator = GestureGenerator(family_templates("ud"), seed=3)
+        strokes = generator.generate_strokes(6)
+        path = tmp_path / "ud.json"
+        GestureSet.from_strokes("ud", strokes).save(path)
+        from_dataset = run(TrainJobSpec(dataset=str(path)))
+        assert from_dataset.model_hash == run().model_hash
+
+
+class TestCache:
+    def test_second_run_is_fully_cached(self, tmp_path):
+        first = run(cache_dir=tmp_path)
+        second = run(cache_dir=tmp_path)
+        assert first.stages_run == list(STAGES)
+        assert second.stages_run == []
+        assert second.stages_cached == list(STAGES)
+        assert second.model_hash == first.model_hash
+
+    def test_sweep_shares_upstream_stages(self, tmp_path):
+        run(cache_dir=tmp_path)
+        swept = run(
+            TrainJobSpec(family="ud", examples=6, seed=3,
+                         config={"tweak_margin": 0.25}),
+            cache_dir=tmp_path,
+        )
+        assert swept.stages_cached == [
+            "manifest", "features", "classifier", "subgestures"
+        ]
+        assert swept.stages_run == ["auc", "package"]
+
+    def test_changed_seed_rekeys_everything(self, tmp_path):
+        run(cache_dir=tmp_path)
+        other = run(TrainJobSpec(family="ud", examples=6, seed=4),
+                    cache_dir=tmp_path)
+        assert other.stages_run == list(STAGES)
+
+    def test_corrupt_cache_object_is_recomputed(self, tmp_path):
+        first = run(cache_dir=tmp_path)
+        for path in (tmp_path / "objects").iterdir():
+            path.write_text("{not json")  # a torn write
+        again = run(cache_dir=tmp_path)
+        assert again.stages_run == list(STAGES)
+        assert again.model_hash == first.model_hash
+
+    def test_memory_only_cache_works(self):
+        result = run(cache_dir=None)
+        assert result.stages_run == list(STAGES)
+
+
+class TestKillResume:
+    def test_kill_after_stage_raises_and_checkpoints(self, tmp_path):
+        with pytest.raises(TrainingKilled) as exc:
+            run(cache_dir=tmp_path, kill_after="classifier")
+        assert exc.value.stage == "classifier"
+        checkpoint = json.loads(
+            checkpoint_path(tmp_path, SPEC.job_key).read_text()
+        )
+        assert checkpoint["spec"] == SPEC.identity()
+        assert list(checkpoint["stages"]) == ["manifest", "features", "classifier"]
+
+    def test_resume_completes_bit_identically(self, tmp_path):
+        reference = run()
+        with pytest.raises(TrainingKilled):
+            run(cache_dir=tmp_path, jobs=2, kill_after="subgestures")
+        resumed = run(cache_dir=tmp_path, jobs=1, resume=True)
+        assert resumed.model_hash == reference.model_hash
+        assert resumed.stages_cached == [
+            "manifest", "features", "classifier", "subgestures"
+        ]
+        assert resumed.stages_run == ["auc", "package"]
+
+    def test_resume_without_checkpoint_refuses(self, tmp_path):
+        with pytest.raises(ValueError, match="no checkpoint"):
+            run(cache_dir=tmp_path, resume=True)
+
+    def test_resume_without_cache_dir_refuses(self):
+        with pytest.raises(ValueError, match="requires a cache directory"):
+            TrainingPipeline(SPEC, resume=True)
+
+    def test_unknown_kill_stage_refuses(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            TrainingPipeline(SPEC, kill_after="warmup")
+
+
+class TestObservability:
+    def test_metrics_counters_and_lineage(self, tmp_path):
+        metrics = MetricsRegistry()
+        result = run(cache_dir=tmp_path, jobs=2, metrics=metrics)
+        counters = metrics.snapshot()["counters"]
+        assert counters["train.stages_run"] == len(STAGES)
+        assert counters["train.examples"] == 12
+        assert counters["train.classes"] == 2
+        assert counters["train.subgestures"] > 0
+        histogram = metrics.snapshot()["histograms"]["train.stage_ms"]
+        assert histogram["count"] == len(STAGES)
+
+        lineage = result.lineage
+        assert lineage["spec"] == SPEC.identity()
+        assert set(lineage["stages"]) == set(STAGES)
+        assert lineage["jobs"] == 2
+        assert lineage["model_hash"] == result.model_hash
+
+    def test_runs_without_metrics(self):
+        assert run(metrics=None).model_hash  # no observer, no crash
+
+
+class TestParallelPrimitives:
+    def test_split_chunks_preserves_order_and_covers(self):
+        items = list(range(13))
+        for jobs in (1, 2, 3, 5, 13, 20):
+            chunks = split_chunks(items, jobs)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert len(chunks) <= max(1, jobs)
+            assert all(chunks)
+
+    def test_fan_out_inline_runs_initializer(self):
+        state = {}
+
+        def init(value):
+            state["v"] = value
+
+        def worker(chunk):
+            return [x * state["v"] for x in chunk]
+
+        out = fan_out(worker, [[1, 2], [3]], jobs=1, initializer=init,
+                      initargs=(10,))
+        assert out == [[10, 20], [30]]

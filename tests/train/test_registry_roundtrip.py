@@ -1,0 +1,69 @@
+"""End-to-end: pipeline-train, publish, reload, classify — identically.
+
+The checked-in GDP sample strokes are the paper-shaped workload; a model
+trained by the staged pipeline, published into the registry, and loaded
+back must classify every one of them exactly as the in-memory trainer's
+recognizer does — eagerness point included.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.eager import train_eager_recognizer
+from repro.serve import ModelRegistry
+from repro.synth import GestureGenerator, family_templates
+from repro.train import TrainJobSpec, TrainingPipeline
+
+GDP_SAMPLE = Path(__file__).parent.parent.parent / "data" / "gdp_sample.json"
+
+SPEC = TrainJobSpec(family="gdp", examples=8, seed=21, name="gdp-rt")
+
+
+@pytest.fixture(scope="module")
+def published(tmp_path_factory):
+    root = tmp_path_factory.mktemp("registry")
+    pipeline = TrainingPipeline(SPEC, jobs=2)
+    result = pipeline.run()
+    version = pipeline.publish(root, result)
+    return root, version, result
+
+
+class TestRegistryRoundTrip:
+    def test_registry_version_is_the_model_hash_prefix(self, published):
+        _, version, result = published
+        assert version.version == result.model_hash[:12]
+        assert version.name == "gdp-rt"
+
+    def test_lineage_stored_in_registry_metadata(self, published):
+        root, version, result = published
+        metadata = ModelRegistry(root).metadata_of("gdp-rt", version.version)
+        assert metadata["source"] == "repro.train"
+        assert metadata["lineage"]["model_hash"] == result.model_hash
+        assert metadata["lineage"]["spec"] == SPEC.identity()
+
+    def test_reloaded_model_classifies_gdp_samples_identically(self, published):
+        root, version, _ = published
+        reloaded = ModelRegistry(root).load("gdp-rt", version.version)
+
+        generator = GestureGenerator(family_templates("gdp"), seed=21)
+        reference = train_eager_recognizer(
+            generator.generate_strokes(8)
+        ).recognizer
+
+        sample = GestureSet.load(GDP_SAMPLE)
+        assert len(sample) > 0
+        for example in sample:
+            ours = reloaded.recognize(example.stroke)
+            theirs = reference.recognize(example.stroke)
+            assert ours == theirs  # class, points seen, eagerness — all of it
+
+    def test_republish_is_idempotent(self, published):
+        root, version, result = published
+        pipeline = TrainingPipeline(SPEC)
+        again = pipeline.publish(root, pipeline.run())
+        assert again.version == version.version
+        assert ModelRegistry(root).versions("gdp-rt") == [version.version]
