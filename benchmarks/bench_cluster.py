@@ -1,0 +1,160 @@
+"""Cluster benchmark: scaling, crash recovery, and the invariance check.
+
+The sharded service's claims, measured:
+
+* **byte-identity** — the per-stroke reply lines of the 1/2/4-worker
+  cluster are string-equal to both a single :class:`GestureServer` and
+  the in-process reference pool, for the identical tick cadence;
+* **throughput** — ops/sec through the router at 1, 2 and 4 workers
+  against the single-process TCP baseline.  The >= 1.8x-at-4-workers
+  assertion is skipped on boxes with fewer than four CPUs (a 1-core
+  container cannot demonstrate parallelism); the measured numbers and
+  the CPU count are published regardless, so they are honest either way;
+* **crash recovery** — wall time from SIGKILLing a worker to the
+  supervisor's replacement being respawned, reconnected, and replayed.
+
+Results go to ``BENCH_cluster.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+from conftest import write_bench_json, write_report
+
+from repro.cluster import Cluster, drive_cluster, reference_lines, workload_ticks
+from repro.eager import train_eager_recognizer
+from repro.interaction import DEFAULT_TIMEOUT
+from repro.serve import GestureServer, generate_workload
+from repro.synth import GestureGenerator, gdp_templates
+
+CLIENTS = 24
+GESTURES_PER_CLIENT = 2
+EXAMPLES = 12
+SEED = 9
+DT = 0.01
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def cluster_bench(tmp_path_factory):
+    templates = gdp_templates()
+    strokes = GestureGenerator(templates, seed=SEED).generate_strokes(EXAMPLES)
+    recognizer = train_eager_recognizer(strokes).recognizer
+    path = tmp_path_factory.mktemp("bench_cluster") / "recognizer.json"
+    recognizer.save(path)
+    workload = generate_workload(
+        templates,
+        clients=CLIENTS,
+        gestures_per_client=GESTURES_PER_CLIENT,
+        seed=SEED + 1,
+    )
+    ticks = workload_ticks(workload, dt=DT)
+    end_t = len(ticks) * DT + DEFAULT_TIMEOUT + DT
+    return recognizer, str(path), ticks, end_t
+
+
+async def _timed_drive(host: str, port: int, ticks, end_t: float):
+    start = time.perf_counter()
+    replies, _ = await drive_cluster(host, port, ticks, end_t=end_t)
+    return replies, time.perf_counter() - start
+
+
+def test_cluster_numbers(cluster_bench):
+    recognizer, path, ticks, end_t = cluster_bench
+    reference = reference_lines(
+        recognizer, ticks, end_t=end_t, timeout=DEFAULT_TIMEOUT
+    )
+    points = sum(len(group) for _, group in ticks)
+
+    # Single-process TCP baseline: the same driver, the same wire
+    # format, no router in between.
+    async def baseline():
+        server = GestureServer(recognizer, timeout=DEFAULT_TIMEOUT)
+        await server.start()
+        try:
+            host, port = server.address
+            return await _timed_drive(host, port, ticks, end_t)
+        finally:
+            await server.stop()
+
+    replies, baseline_s = asyncio.run(baseline())
+    assert replies == reference
+
+    cluster_s: dict = {}
+    for n in WORKER_COUNTS:
+
+        async def run(workers=n):
+            async with Cluster(
+                path, workers=workers, timeout=DEFAULT_TIMEOUT
+            ) as cluster:
+                await cluster.wait_all_up()
+                host, port = cluster.address
+                return await _timed_drive(host, port, ticks, end_t)
+
+        replies, elapsed = asyncio.run(run())
+        assert replies == reference, f"{n}-worker replies not byte-identical"
+        cluster_s[n] = elapsed
+
+    # Crash recovery: SIGKILL one of two workers, time until the
+    # replacement is respawned, reconnected, and its replay enqueued.
+    async def recovery():
+        async with Cluster(path, workers=2, timeout=DEFAULT_TIMEOUT) as cluster:
+            await cluster.wait_all_up()
+            ups = cluster.router.links["w0"].ups
+            start = time.perf_counter()
+            assert cluster.kill("w0") is not None
+            await cluster.wait_recovered("w0", ups)
+            return time.perf_counter() - start
+
+    recovery_s = asyncio.run(recovery())
+
+    cpus = os.cpu_count() or 1
+    baseline_pps = points / baseline_s if baseline_s else 0.0
+    pps = {n: points / s if s else 0.0 for n, s in cluster_s.items()}
+    speedup = pps[4] / baseline_pps if baseline_pps else 0.0
+    write_report(
+        "cluster",
+        f"Sharded cluster ({CLIENTS} clients, {points} ops, {cpus} cpus)\n"
+        f"baseline (1 process): {baseline_pps:,.0f} ops/s\n"
+        + "".join(
+            f"{n} worker(s): {pps[n]:,.0f} ops/s "
+            f"({pps[n] / baseline_pps:.2f}x)\n"
+            for n in WORKER_COUNTS
+        )
+        + f"crash recovery: {recovery_s * 1000:.0f} ms\n"
+        "replies byte-identical to the single pool at every worker count",
+    )
+    write_bench_json(
+        "cluster",
+        params={
+            "clients": CLIENTS,
+            "gestures_per_client": GESTURES_PER_CLIENT,
+            "examples_per_class": EXAMPLES,
+            "seed": SEED,
+            "ops": points,
+            "worker_counts": list(WORKER_COUNTS),
+            "cpus": cpus,
+        },
+        results={
+            "baseline_ops_per_sec": round(baseline_pps, 1),
+            "cluster_ops_per_sec": {
+                str(n): round(pps[n], 1) for n in WORKER_COUNTS
+            },
+            "speedup_4_workers": round(speedup, 3),
+            "crash_recovery_s": round(recovery_s, 4),
+            "byte_identical": True,
+        },
+    )
+    if cpus < 4:
+        pytest.skip(
+            f"only {cpus} CPU(s): byte-identity asserted above, but a "
+            "parallel speedup cannot be demonstrated on this machine"
+        )
+    assert speedup >= 1.8, (
+        f"4 workers reached {pps[4]:,.0f} ops/s vs baseline "
+        f"{baseline_pps:,.0f} = {speedup:.2f}x, expected >= 1.8x"
+    )

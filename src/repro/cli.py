@@ -19,12 +19,19 @@ Subcommands:
   freshly trained synthetic family (metrics on by default; ``--trace``
   streams NDJSON spans to a file, ``--no-metrics`` turns the registry
   off);
-* ``stats`` — query a running server's ``stats`` protocol message and
-  print its metrics snapshot;
+* ``cluster`` — run the sharded service (:mod:`repro.cluster`): a
+  router on one address, N recognizer worker processes behind it, a
+  supervisor restarting crashed workers; the protocol (and the
+  decision bytes) are identical to ``serve``;
+* ``stats`` — query a running server's (or router's — the reply is
+  then the fleet-wide merge) ``stats`` protocol message and print its
+  metrics snapshot;
 * ``loadgen`` — drive the session pool with a synthetic workload and
   print throughput/latency for the batched and/or sequential mode;
   ``--fault-seed`` runs the same workload under a seeded chaos schedule
   (drop/duplicate/delay/reorder/kill at ``--fault-rate``);
+  ``--cluster N`` routes the workload through a real N-worker cluster
+  over TCP and verifies the replies are byte-identical to one pool;
   ``--trace``/``--quality``/``--profile`` attach the observability
   stack and ``--metrics-out`` saves the snapshot for ``analyze``;
 * ``analyze`` — turn an NDJSON trace (plus an optional metrics
@@ -318,6 +325,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import tempfile
+    from contextlib import ExitStack
+
+    from .cluster import Cluster
+
+    # Workers are subprocesses: they load the model from a file.  A
+    # --recognizer path is handed straight to them; any other source is
+    # resolved here and saved to a temp file for the workers to share.
+    recognizer = _resolve_recognizer(args)
+    with ExitStack() as stack:
+        if args.recognizer:
+            path = args.recognizer
+        else:
+            tmp = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            )
+            path = os.path.join(tmp, "recognizer.json")
+            recognizer.save(path)
+
+        async def run() -> None:
+            async with Cluster(
+                path,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                timeout=args.timeout,
+                max_sessions=args.max_sessions,
+                metrics=not args.no_metrics,
+            ) as cluster:
+                await cluster.wait_all_up()
+                host, port = cluster.address
+                shards = ", ".join(cluster.router.links)
+                print(
+                    f"cluster: {len(recognizer.class_names)} gesture classes "
+                    f"on {host}:{port} across {args.workers} workers "
+                    f"({shards})"
+                )
+                print(
+                    "  same NDJSON protocol as `serve`; admin ops: "
+                    '{"op": "cluster"}, {"op": "drain", "shard": "..."}'
+                )
+                await asyncio.Event().wait()  # until interrupted
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            print("\nstopped")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import asyncio
     import json
@@ -402,6 +462,99 @@ def _print_snapshot(snapshot: dict) -> None:
             )
 
 
+def _loadgen_cluster(args: argparse.Namespace, recognizer, workload) -> int:
+    """Route the loadgen workload through a real worker cluster.
+
+    The run doubles as a correctness check: the per-stroke reply lines
+    coming back over TCP are compared *as strings* against what one
+    in-process :class:`~repro.serve.SessionPool` produces for the same
+    tick cadence.
+    """
+    import asyncio
+    import os
+    import tempfile
+    import time
+
+    from .cluster import Cluster, drive_cluster, reference_lines, workload_ticks
+    from .interaction import DEFAULT_TIMEOUT
+
+    if args.trace or args.quality or args.profile or args.metrics_out:
+        raise SystemExit(
+            "--trace/--quality/--profile/--metrics-out observe one "
+            "in-process pool; with --cluster the workers keep their own "
+            "metrics and the final stats reply is the fleet-wide merge "
+            "(print it with --metrics)"
+        )
+    dt = 0.01
+    if args.fault_seed is not None:
+        # Ground truth comes from the fault machinery itself: run the
+        # schedule once in-process and replay the post-fault delivered
+        # stream through the cluster.  Kills are off — there is
+        # deliberately no remote kill op.
+        from .obs import FaultPlan
+        from .serve import run_load
+
+        base = run_load(
+            recognizer,
+            workload,
+            collect=True,
+            fault_plan=FaultPlan.mixed(args.fault_rate, kill=0.0),
+            fault_seed=args.fault_seed,
+        )
+        ticks = workload_ticks(base.delivered_log)
+        end_t = base.end_t
+        print(
+            "fault schedule (kills off): "
+            + ", ".join(f"{k}={v}" for k, v in base.fault_summary.items())
+        )
+    else:
+        ticks = workload_ticks(workload, dt=dt)
+        end_t = len(ticks) * dt + DEFAULT_TIMEOUT + dt
+    reference = reference_lines(
+        recognizer, ticks, end_t=end_t, timeout=DEFAULT_TIMEOUT
+    )
+    points = sum(len(group) for _, group in ticks)
+
+    async def run():
+        with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+            path = os.path.join(tmp, "recognizer.json")
+            recognizer.save(path)
+            async with Cluster(
+                path, workers=args.cluster, timeout=DEFAULT_TIMEOUT
+            ) as cluster:
+                await cluster.wait_all_up()
+                host, port = cluster.address
+                t0 = time.perf_counter()
+                replies, stats = await drive_cluster(
+                    host, port, ticks, end_t=end_t
+                )
+                return replies, stats, time.perf_counter() - t0
+
+    replies, stats, elapsed = asyncio.run(run())
+    decisions = sum(len(lines) for lines in replies.values())
+    rate = points / elapsed if elapsed > 0 else 0.0
+    print(
+        f"cluster: {args.cluster} workers, {args.clients} clients, "
+        f"{points} ops in {elapsed:.3f}s = {rate:,.0f} ops/sec "
+        f"({decisions} decisions)"
+    )
+    mismatched = sorted(
+        stroke
+        for stroke in set(reference) | set(replies)
+        if replies.get(stroke) != reference.get(stroke)
+    )
+    if mismatched:
+        print(
+            f"MISMATCH: {len(mismatched)} stroke(s) differ from the "
+            f"single-pool reference, e.g. {mismatched[:5]}"
+        )
+        return 1
+    print("decision streams byte-identical to a single pool")
+    if args.metrics and stats and stats.get("metrics"):
+        _print_snapshot(stats["metrics"])
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .serve import compare_modes, family_templates, generate_workload, run_load
 
@@ -419,6 +572,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         gestures_per_client=args.gestures,
         seed=args.seed + 1,
     )
+    if args.cluster:
+        return _loadgen_cluster(args, recognizer, workload)
     fault_plan = None
     if args.fault_seed is not None:
         from .obs import FaultPlan
@@ -675,8 +830,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve)
 
+    cluster = sub.add_parser(
+        "cluster",
+        help="run the sharded service: router + N supervised workers",
+    )
+    cluster.add_argument("--recognizer", help="saved recognizer JSON")
+    cluster.add_argument("--registry", help="model-registry directory")
+    cluster.add_argument("--model", help="registry model as NAME[@VERSION]")
+    cluster.add_argument(
+        "--family", help="train on a synthetic family at startup"
+    )
+    cluster.add_argument("--examples", type=int, default=15)
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes; sessions are consistent-hashed across "
+        "them and replies are byte-identical for any N",
+    )
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=7392)
+    cluster.add_argument(
+        "--timeout", type=float, default=0.2,
+        help="motionless timeout in (virtual) seconds",
+    )
+    cluster.add_argument("--max-sessions", type=int, default=4096)
+    cluster.add_argument(
+        "--no-metrics", action="store_true",
+        help="disable worker metrics (fleet stats replies carry null)",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
+
     stats = sub.add_parser(
-        "stats", help="query a running server's metrics snapshot"
+        "stats", help="query a running server's (or router's) metrics snapshot"
     )
     stats.add_argument("--host", default="127.0.0.1")
     stats.add_argument("--port", type=int, default=7391)
@@ -698,6 +883,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["batched", "sequential", "both"],
         default="both",
         help="'both' also verifies the decision streams are identical",
+    )
+    loadgen.add_argument(
+        "--cluster", type=int, default=None, metavar="N",
+        help="route the workload through an N-worker cluster "
+        "(real subprocesses) and verify the replies are byte-identical "
+        "to a single pool",
     )
     loadgen.add_argument(
         "--fault-seed", type=int, default=None, metavar="SEED",

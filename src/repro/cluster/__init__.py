@@ -1,0 +1,44 @@
+"""Scale-out serving: a router, a supervisor, and N worker processes.
+
+The single-process :class:`~repro.serve.GestureServer` is CPU-bound on
+one core.  This package shards it without changing its meaning:
+
+* :mod:`~repro.cluster.ring` — consistent hashing of session keys onto
+  shards, stable across processes and restarts;
+* :mod:`~repro.cluster.worker` — one ``GestureServer`` subprocess per
+  shard, speaking the unmodified serve protocol;
+* :mod:`~repro.cluster.supervisor` — spawn, heartbeat-watch, restart
+  with exponential backoff, retire;
+* :mod:`~repro.cluster.journal` — per-session op journals with lazy
+  clock markers, the router's crash-recovery ground truth;
+* :mod:`~repro.cluster.router` — the single client-facing address:
+  sticky routing, tick/sweep broadcast, journal replay on worker
+  restart, fleet-wide ``stats`` merging;
+* :mod:`~repro.cluster.harness` — :class:`Cluster` (all of the above as
+  one object) and the deterministic driver/reference pair behind the
+  invariance tests and ``benchmarks/bench_cluster.py``.
+
+The load-bearing claim, pinned by ``tests/cluster/``: for any worker
+count, with or without a worker crash mid-run, the per-session reply
+streams are byte-identical to a single :class:`~repro.serve.SessionPool`
+run over the same input order.
+"""
+
+from .harness import Cluster, drive_cluster, reference_lines, workload_ticks
+from .journal import SessionRecord, replay_lines
+from .ring import HashRing
+from .router import Router
+from .supervisor import Supervisor, WorkerHandle
+
+__all__ = [
+    "Cluster",
+    "HashRing",
+    "Router",
+    "SessionRecord",
+    "Supervisor",
+    "WorkerHandle",
+    "drive_cluster",
+    "reference_lines",
+    "replay_lines",
+    "workload_ticks",
+]

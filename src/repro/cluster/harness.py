@@ -1,0 +1,313 @@
+"""Cluster orchestration and the deterministic test/bench driver.
+
+:class:`Cluster` wires the three tentpole pieces together — a
+:class:`~repro.cluster.router.Router` in this process and a
+:class:`~repro.cluster.supervisor.Supervisor` spawning one
+:class:`~repro.cluster.worker` subprocess per shard — and owns the
+drain choreography.
+
+The driver half exists for one claim: *cluster output is byte-identical
+to a single pool*.  :func:`workload_ticks` pivots a
+:func:`~repro.serve.generate_workload` script (or a fault plan's
+``delivered_log``) into per-tick groups; :func:`drive_cluster` plays
+them over one TCP connection with an explicit ``tick`` barrier after
+each group — the same (apply, advance) cadence
+:func:`~repro.serve.run_load` uses — and collects the reply lines per
+stroke; :func:`reference_lines` produces what a single
+:class:`~repro.serve.SessionPool` says to the identical cadence.
+Comparing the two dicts *as strings* is the invariance test.
+
+The driver ends with a trailing tick + ``sweep`` (the drain
+``run_load`` performs in-process) and then uses a ``stats`` request as
+a completion barrier: each worker answers stats after everything it was
+sent earlier, and the router's fleet reply waits on every live worker,
+so when the stats reply lands every prior decision has, too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..interaction import DEFAULT_TIMEOUT
+from ..serve import SessionPool, encode_decision
+from .router import Router
+from .supervisor import Supervisor
+
+__all__ = [
+    "Cluster",
+    "drive_cluster",
+    "reference_lines",
+    "workload_ticks",
+]
+
+
+class Cluster:
+    """A router, a supervisor, and N worker processes, as one object."""
+
+    def __init__(
+        self,
+        recognizer_path: str,
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = None,
+        max_sessions: int = 4096,
+        heartbeat: float = 0.5,
+        backoff_base: float = 0.05,
+        metrics: bool = True,
+        shard_names=None,
+    ):
+        from ..obs import MetricsRegistry
+
+        shards = (
+            tuple(shard_names)
+            if shard_names is not None
+            else tuple(f"w{i}" for i in range(workers))
+        )
+        self.metrics = MetricsRegistry() if metrics else None
+        self.router = Router(shards, host=host, port=port, metrics=self.metrics)
+        self.supervisor = Supervisor(
+            recognizer_path,
+            shards,
+            timeout=timeout,
+            max_sessions=max_sessions,
+            heartbeat=heartbeat,
+            backoff_base=backoff_base,
+            on_up=self.router.worker_up,
+            on_down=self.router.worker_down,
+        )
+        self.router.drain_hook = self.drain
+        self.router.supervisor_status = self.supervisor.status
+
+    async def start(self) -> None:
+        await self.router.start()
+        await self.supervisor.start()
+
+    async def stop(self) -> None:
+        await self.supervisor.stop()
+        await self.router.stop()
+
+    async def __aenter__(self) -> "Cluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.router.address
+
+    def status(self) -> dict:
+        return self.router.status()
+
+    def kill(self, shard: str) -> int | None:
+        """SIGKILL one worker; the supervisor will restart it."""
+        return self.supervisor.kill(shard)
+
+    async def wait_all_up(self, timeout: float = 30.0) -> None:
+        """Block until every non-retired shard is spawned and connected."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            pending = [
+                shard
+                for shard, link in self.router.links.items()
+                if shard not in self.router.retired and link.state != "up"
+            ]
+            if not pending:
+                return
+            if loop.time() >= deadline:
+                raise TimeoutError(f"shards never came up: {pending}")
+            await asyncio.sleep(0.02)
+
+    async def wait_recovered(
+        self, shard: str, ups_before: int, timeout: float = 60.0
+    ) -> None:
+        """Block until ``shard`` has *reconnected* since ``ups_before``.
+
+        Death detection is asynchronous — immediately after a SIGKILL
+        the link still reads "up" — so crash tests snapshot
+        ``router.links[shard].ups`` before killing and wait here for it
+        to move, which proves the death was noticed, the worker
+        respawned, and the journal replay was enqueued.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        link = self.router.links[shard]
+        while not (link.ups > ups_before and link.state == "up"):
+            if loop.time() >= deadline:
+                raise TimeoutError(
+                    f"{shard} never recovered (ups {link.ups}, "
+                    f"state {link.state})"
+                )
+            await asyncio.sleep(0.02)
+
+    async def drain(self, shard: str) -> None:
+        """Gracefully retire ``shard``: spill new sessions to the ring
+        successor, wait out its live sessions, then terminate it."""
+        if shard in self.router.draining or shard in self.router.retired:
+            return
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self.router.draining.add(shard)
+        if self.metrics is not None:
+            self.metrics.counter("cluster.drains").inc()
+        while any(
+            r.shard == shard for r in self.router.sessions.values()
+        ):
+            await asyncio.sleep(0.02)
+        await self.supervisor.retire(shard)
+        self.router.retired.add(shard)
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "cluster.drain_seconds", (0.1, 1.0, 10.0, 60.0)
+            ).observe(loop.time() - started)
+
+
+def workload_ticks(source, dt: float = 0.01):
+    """Pivot ops into ``[(t, [op, ...]), ...]`` tick groups.
+
+    ``source`` is either a :func:`~repro.serve.generate_workload` script
+    (list of per-client op lists; tick ``k`` is ``t = k * dt``, client
+    order preserved within a tick, as in ``run_load``) or a
+    ``delivered_log`` from a faulted ``run_load`` (``(t, op)`` pairs,
+    already timestamped — the post-fault ground truth).
+    """
+    if source and isinstance(source[0], tuple):  # a delivered_log
+        ticks: list[tuple[float, list]] = []
+        for t, op in source:
+            if ticks and ticks[-1][0] == t:
+                ticks[-1][1].append(op)
+            else:
+                ticks.append((t, [op]))
+        return ticks
+    n_ticks = max((len(ops) for ops in source), default=0)
+    out = []
+    for k in range(n_ticks):
+        group = [
+            ops[k]
+            for ops in source
+            if k < len(ops) and ops[k][0] != "idle"
+        ]
+        out.append((k * dt, group))
+    return out
+
+
+async def drive_cluster(
+    host: str,
+    port: int,
+    ticks,
+    *,
+    end_t: float | None = None,
+    sweep_idle: float = 0.0,
+    before_tick=None,
+    before_barrier=None,
+    barrier_timeout: float = 120.0,
+):
+    """Play tick groups against a server; return per-stroke reply lines.
+
+    Works against a :class:`~repro.serve.GestureServer` or a
+    :class:`~repro.cluster.router.Router` alike — the protocol is the
+    same, which is the invariant under test.  ``before_tick(i, t)``
+    runs ahead of group ``i`` (chaos hooks inject crashes here);
+    ``before_barrier()`` runs after the final sweep, before the
+    ``stats`` completion barrier (crash tests wait for the fleet to
+    heal here, so the barrier covers the replay too).
+
+    Returns ``(replies, stats)``: ``replies`` maps each stroke id to
+    its reply lines in arrival order; ``stats`` is the decoded barrier
+    reply.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    replies: dict[str, list[str]] = {}
+    stats: dict | None = None
+    done = asyncio.Event()
+
+    async def read_replies() -> None:
+        nonlocal stats
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                break
+            obj = json.loads(raw)
+            if obj.get("kind") == "stats":
+                stats = obj
+                done.set()
+                break
+            replies.setdefault(obj.get("stroke", ""), []).append(
+                raw.decode().rstrip("\n")
+            )
+
+    read_task = asyncio.get_running_loop().create_task(read_replies())
+    try:
+        for i, (t, group) in enumerate(ticks):
+            if before_tick is not None:
+                await before_tick(i, t)
+            out = [
+                json.dumps(
+                    {"op": name, "stroke": key, "x": x, "y": y, "t": t}
+                )
+                for name, key, x, y in group
+            ]
+            out.append(json.dumps({"op": "tick", "t": t}))
+            writer.write(("\n".join(out) + "\n").encode())
+            await writer.drain()
+        tail = []
+        if end_t is not None:
+            tail.append(json.dumps({"op": "tick", "t": end_t}))
+        tail.append(json.dumps({"op": "sweep", "max_idle": sweep_idle}))
+        writer.write(("\n".join(tail) + "\n").encode())
+        await writer.drain()
+        if before_barrier is not None:
+            await before_barrier()
+        writer.write(b'{"op": "stats"}\n')
+        await writer.drain()
+        await asyncio.wait_for(done.wait(), timeout=barrier_timeout)
+    finally:
+        read_task.cancel()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return replies, stats
+
+
+def reference_lines(
+    recognizer,
+    ticks,
+    *,
+    end_t: float | None = None,
+    sweep_idle: float = 0.0,
+    timeout: float = DEFAULT_TIMEOUT,
+    batched: bool = True,
+    max_sessions: int = 4096,
+) -> dict[str, list[str]]:
+    """What one :class:`SessionPool` replies to the same cadence.
+
+    The pool is driven exactly as :func:`~repro.serve.run_load` drives
+    it — submit each tick's ops, advance to the tick's time — and the
+    decisions are encoded with the protocol encoder, so the returned
+    per-stroke line lists are directly comparable (``==``) with
+    :func:`drive_cluster`'s.
+    """
+    pool = SessionPool(
+        recognizer, timeout=timeout, batched=batched, max_sessions=max_sessions
+    )
+    replies: dict[str, list[str]] = {}
+
+    def emit(decisions) -> None:
+        for d in decisions:
+            replies.setdefault(d.key, []).append(encode_decision(d, d.key))
+
+    for t, group in ticks:
+        if group:
+            pool.submit(group, t)
+        emit(pool.advance_to(t))
+    if end_t is not None:
+        emit(pool.advance_to(end_t))
+    emit(pool.evict_idle(sweep_idle))
+    return replies

@@ -1,0 +1,84 @@
+"""Per-session op journals: the router's crash-recovery ground truth.
+
+A worker's sessions live in its memory; when the supervisor restarts a
+crashed worker that memory is gone.  The router therefore journals, per
+live session, every line it routed — plus *clock markers*: a session's
+decisions depend not only on its own operations but on where the shared
+virtual clock stood between them (a motionless timeout fires when the
+clock passes ``last_point + timeout``; a later move can only rescue the
+session if it arrives *before* that advance).  Rather than journal every
+global tick into every session, a record lazily inserts one marker
+carrying the highest clock value reached since its previous entry —
+enough, because intermediate advances between two consecutive ops of one
+session cannot change its decisions (a timeout either fired at the
+first advance past the horizon, with its timestamp pinned to
+``last_point + timeout`` regardless, or it fires just the same at the
+highest value).
+
+Every entry carries a router-global sequence number.  Replay merges the
+live records of a shard back into one stream in sequence order — the
+original interleaving of ops and clock advances — and the restarted
+worker, whose pump honours tick barriers in line order, walks the exact
+decision path the crashed one did.  Decisions the router already
+forwarded are suppressed by count (:attr:`SessionRecord.skip`); the
+journal of a session is dropped the moment it reaches a terminal
+decision (``commit`` or ``evict``), so journal memory tracks live
+sessions only.
+"""
+
+from __future__ import annotations
+
+import json
+from heapq import merge
+
+__all__ = ["SessionRecord", "replay_lines"]
+
+
+class SessionRecord:
+    """One live session's route, journal, and delivery cursor."""
+
+    __slots__ = ("key", "client", "shard", "delivered", "skip", "clock_mark", "entries")
+
+    def __init__(self, key: str, client: str, shard: str):
+        self.key = key  # namespaced "client:stroke"
+        self.client = client
+        self.shard = shard
+        self.delivered = 0  # replies already forwarded to the client
+        self.skip = 0  # replayed replies still to suppress
+        self.clock_mark = float("-inf")  # clock at the last journal entry
+        self.entries: list[tuple[int, str]] = []  # (seq, line), seq ascending
+
+    def journal(self, seq: int, line: str, clock: float, t: float) -> int:
+        """Append one routed op line; returns the next free sequence number.
+
+        ``clock`` is the global virtual clock *before* this op (i.e. the
+        highest timestamp the router has seen); if it moved past this
+        record's last entry, a tick marker is inserted first so replay
+        reproduces the advance at this position.
+        """
+        if clock > self.clock_mark:
+            self.entries.append(
+                (seq, json.dumps({"op": "tick", "t": clock}))
+            )
+            seq += 1
+        self.entries.append((seq, line))
+        self.clock_mark = max(clock, t)
+        return seq + 1
+
+
+def replay_lines(records, extras=(), final_t: float | None = None) -> list[str]:
+    """Merge session journals back into one stream, in original order.
+
+    ``records`` are the live :class:`SessionRecord` values of one shard;
+    ``extras`` are shard-global ``(seq, line)`` entries (e.g. ``sweep``
+    requests that arrived while the worker was down).  A trailing tick
+    to ``final_t`` restores the worker's clock to the fleet's present,
+    firing any timeouts that came due after the last journaled entry.
+    """
+    streams = [r.entries for r in records]
+    if extras:
+        streams.append(sorted(extras))
+    lines = [line for _, line in merge(*streams)]
+    if final_t is not None and final_t != float("-inf"):
+        lines.append(json.dumps({"op": "tick", "t": final_t}))
+    return lines

@@ -1,0 +1,64 @@
+"""A consistent hash ring mapping session keys onto worker shards.
+
+Routing must be a pure function of the key and the shard set — the same
+key must land on the same shard in the router, in a test's reference
+run, and across a router restart — so the ring hashes with ``md5``
+(stable across processes and platforms) rather than Python's
+per-process-salted ``hash``.
+
+Each shard owns ``replicas`` points on a 64-bit ring; a key routes to
+the first shard point at or after its own hash, wrapping.  Consistent
+hashing buys two things the cluster leans on:
+
+* a crashed-and-restarted worker keeps its shard name, so its keys map
+  back to it and the router's journal replay restores its sessions;
+* :meth:`lookup` can *skip* draining shards — keys owned by a draining
+  shard spill to their ring successor, while every other key keeps its
+  old mapping, which is exactly the "stop routing new sessions, leave
+  the rest alone" semantics of a graceful drain.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from hashlib import md5
+
+__all__ = ["HashRing"]
+
+
+def _hash64(data: str) -> int:
+    return int.from_bytes(md5(data.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """``replicas`` virtual nodes per shard on a 64-bit md5 ring."""
+
+    def __init__(self, shards, replicas: int = 64):
+        self.shards = tuple(shards)
+        if not self.shards:
+            raise ValueError("a ring needs at least one shard")
+        if len(set(self.shards)) != len(self.shards):
+            raise ValueError("duplicate shard names")
+        self.replicas = replicas
+        points = []
+        for shard in self.shards:
+            for i in range(replicas):
+                points.append((_hash64(f"{shard}#{i}"), shard))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def lookup(self, key: str, skip=frozenset()) -> str:
+        """The shard owning ``key``, skipping any shard in ``skip``.
+
+        With every shard skipped there is nowhere to route;
+        ``ValueError``.
+        """
+        points = self._points
+        n = len(points)
+        start = bisect_right(self._hashes, _hash64(key))
+        for i in range(n):
+            shard = points[(start + i) % n][1]
+            if shard not in skip:
+                return shard
+        raise ValueError("every shard is draining or down; nowhere to route")

@@ -1,0 +1,496 @@
+"""The cluster front door: one address, N workers, zero new semantics.
+
+The router speaks the exact :mod:`repro.serve.protocol` NDJSON dialect
+on its client side and is itself a plain client on its worker side, so
+neither end can tell the cluster apart from a single
+:class:`~repro.serve.GestureServer` — which is the point: routed
+decisions are *byte-identical* to a single-pool run.
+
+Mechanics:
+
+* every session key (``client:stroke``) is consistent-hashed onto a
+  shard (:class:`~repro.cluster.ring.HashRing`) and stays there —
+  sticky routing, so one session's ops never interleave across workers;
+* ``tick``/``sweep`` are broadcast to every live worker: all shards
+  share one virtual timeline, exactly as all sessions of a single pool
+  share one clock;
+* every routed op is journaled per session with lazy clock markers
+  (:mod:`repro.cluster.journal`); when the supervisor restarts a
+  crashed worker, the router replays the journals of that shard's live
+  sessions in original global order, suppresses the replies it had
+  already forwarded (by count — replay is deterministic, so the prefix
+  is bit-equal), and forwards the rest.  Clients see a complete,
+  duplicate-free, byte-identical decision stream across a crash;
+* ``stats`` fans out to every live worker and the per-worker metric
+  snapshots are merged (:func:`repro.obs.merge_snapshots`) together
+  with the router's own ``cluster.*`` registry into one fleet-wide
+  reply.
+
+The router accepts two admin ops beyond the serve protocol:
+``{"op": "cluster"}`` returns shard states, and
+``{"op": "drain", "shard": ...}`` starts a graceful drain (new sessions
+spill to the ring successor; the shard retires once its last live
+session ends).
+
+Known limit: a record whose very first ``down`` was answered with a
+``pool full`` error is dropped on that reply, but an error reply lost
+to a crash *and* never re-derivable (the key never had a live session)
+is at-most-once.  Session decisions — the recognition stream — are
+exactly-once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from contextlib import suppress
+
+from ..serve import DEFAULT_MAX_LINE, LineReader
+from ..serve.protocol import ProtocolError, decode_request, encode_error, encode_stats
+from .journal import SessionRecord, replay_lines
+from .ring import HashRing
+
+__all__ = ["Router"]
+
+_NEG_INF = float("-inf")
+
+# Error reasons that prove the worker holds no session for the key, so
+# the router's record (and journal) can be dropped with it.
+_GONE_REASONS = ("unknown stroke", "pool full")
+
+
+class _WorkerLink:
+    """The router's connection (and outbound queue) to one worker."""
+
+    __slots__ = (
+        "shard",
+        "state",
+        "ups",
+        "queue",
+        "writer",
+        "reader_task",
+        "writer_task",
+        "pending_stats",
+        "extras",
+    )
+
+    def __init__(self, shard: str):
+        self.shard = shard
+        self.state = "down"
+        self.ups = 0
+        self.queue: asyncio.Queue | None = None
+        self.writer = None
+        self.reader_task: asyncio.Task | None = None
+        self.writer_task: asyncio.Task | None = None
+        self.pending_stats: deque = deque()
+        self.extras: list[tuple[int, str]] = []  # shard-global journal
+
+
+class _Client:
+    """One accepted client connection."""
+
+    __slots__ = ("id", "outbox", "closed")
+
+    def __init__(self, cid: str, queue_size: int):
+        self.id = cid
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.closed = False
+
+    def push(self, line: str) -> bool:
+        try:
+            self.outbox.put_nowait(line)
+            return True
+        except asyncio.QueueFull:
+            return False
+
+
+class Router:
+    """Route the serve protocol across a shard fleet."""
+
+    def __init__(
+        self,
+        shards,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_size: int = 1024,
+        max_line: int = DEFAULT_MAX_LINE,
+        stats_timeout: float = 10.0,
+        metrics=None,
+    ):
+        self.ring = HashRing(shards)
+        self.host = host
+        self.port = port
+        self.queue_size = queue_size
+        self.max_line = max_line
+        self.stats_timeout = stats_timeout
+        # Duck-typed: anything with .counter(name).inc(n) and .snapshot().
+        self.metrics = metrics
+        self.links = {shard: _WorkerLink(shard) for shard in self.ring.shards}
+        self.sessions: dict[str, SessionRecord] = {}
+        self.draining: set[str] = set()
+        self.retired: set[str] = set()
+        self.drain_hook = None  # async (shard) -> None; wired by the harness
+        self.supervisor_status = None  # () -> dict; wired by the harness
+        self._clients: dict[str, _Client] = {}
+        self._next_client = 0
+        self._seq = 0
+        self._clock = _NEG_INF
+        self._server: asyncio.AbstractServer | None = None
+        self._client_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._client_tasks):
+            task.cancel()
+        for task in list(self._client_tasks):
+            with suppress(asyncio.CancelledError):
+                await task
+        for shard in self.links:
+            self._mark_down(shard)
+
+    # -- metrics -------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
+
+    # -- worker side ---------------------------------------------------------
+
+    async def worker_up(self, shard: str, host: str, port: int) -> None:
+        """Connect a (re)started worker and replay its shard's journals.
+
+        Everything between opening the connection and marking the link
+        up is synchronous, so ops that arrive during the connect are
+        journaled and land in the replay, never double-sent.
+        """
+        reader, writer = await asyncio.open_connection(host, port)
+        link = self.links[shard]
+        records = [r for r in self.sessions.values() if r.shard == shard]
+        final_t = None if self._clock == _NEG_INF else self._clock
+        lines = replay_lines(records, link.extras, final_t=final_t)
+        for record in records:
+            record.skip = record.delivered
+        link.extras = []
+        link.queue = asyncio.Queue()  # stale pre-crash queue is discarded
+        for line in lines:
+            link.queue.put_nowait(line)
+        link.writer = writer
+        link.state = "up"
+        link.ups += 1
+        if link.ups > 1:
+            self._count("cluster.worker_restarts")
+            if lines:
+                self._count("cluster.replays")
+                self._count("cluster.replayed_lines", len(lines))
+        loop = asyncio.get_running_loop()
+        link.writer_task = loop.create_task(self._worker_writer(link, writer))
+        link.reader_task = loop.create_task(self._worker_reader(link, reader))
+
+    async def worker_down(self, shard: str) -> None:
+        self._mark_down(shard)
+
+    def _mark_down(self, shard: str) -> None:
+        link = self.links[shard]
+        if link.state != "up":
+            return
+        link.state = "down"
+        current = asyncio.current_task()
+        for task in (link.reader_task, link.writer_task):
+            if task is not None and task is not current:
+                task.cancel()
+        link.reader_task = link.writer_task = None
+        if link.writer is not None:
+            link.writer.close()
+            link.writer = None
+        while link.pending_stats:  # unblock any stats fan-out in flight
+            fut = link.pending_stats.popleft()
+            if not fut.done():
+                fut.set_result(None)
+
+    async def _worker_writer(self, link: _WorkerLink, writer) -> None:
+        queue = link.queue
+        with suppress(ConnectionError, asyncio.CancelledError):
+            while True:
+                line = await queue.get()
+                writer.write(line.encode() + b"\n")
+                await writer.drain()
+
+    async def _worker_reader(self, link: _WorkerLink, reader) -> None:
+        lines = LineReader(reader, self.max_line)
+        try:
+            while True:
+                kind, raw = await lines.next()
+                if kind == "eof":
+                    break
+                if kind == "overflow":
+                    continue
+                raw = raw.strip()
+                if not raw:
+                    continue
+                self._on_worker_line(link, raw.decode())
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if link.state == "up":
+                self._mark_down(link.shard)
+
+    def _on_worker_line(self, link: _WorkerLink, raw: str) -> None:
+        obj = json.loads(raw)
+        kind = obj.get("kind")
+        if kind == "stats":
+            if link.pending_stats:
+                fut = link.pending_stats.popleft()
+                if not fut.done():
+                    fut.set_result(obj)
+            return
+        key = obj.get("stroke", "")
+        record = self.sessions.get(key)
+        terminal = kind in ("commit", "evict") or (
+            kind == "error" and obj.get("reason") in _GONE_REASONS
+        )
+        if record is not None and record.skip > 0:
+            # A replayed reply the client already has: bit-equal to the
+            # one forwarded before the crash, so drop it by count.
+            record.skip -= 1
+            self._count("cluster.replies_suppressed")
+            if terminal:
+                self.sessions.pop(key, None)
+            return
+        client_id, _, stroke = key.partition(":")
+        obj["stroke"] = stroke  # un-namespace; dumps() restores the bytes
+        line = json.dumps(obj)
+        if record is not None:
+            record.delivered += 1
+            client_id = record.client
+            if terminal:
+                self.sessions.pop(key, None)
+        client = self._clients.get(client_id)
+        if client is not None and not client.closed:
+            if not client.push(line):
+                self._close_client(client)
+        self._count("cluster.replies_forwarded")
+
+    # -- client side ---------------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        self._next_client += 1
+        client = _Client(f"k{self._next_client}", self.queue_size)
+        self._clients[client.id] = client
+        task = asyncio.current_task()
+        self._client_tasks.add(task)
+        drain_task = asyncio.get_running_loop().create_task(
+            self._client_writer(client, writer)
+        )
+        lines = LineReader(reader, self.max_line)
+        try:
+            while not client.closed:
+                kind, line = await lines.next()
+                if kind == "eof":
+                    break
+                if kind == "overflow":
+                    if not client.push(
+                        encode_error(f"line exceeds {self.max_line} bytes")
+                    ):
+                        break
+                    continue
+                line = line.strip()
+                if not line:
+                    continue
+                await self._route_line(client, line.decode())
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._close_client(client)
+            with suppress(asyncio.CancelledError):
+                await drain_task
+            writer.close()
+            with suppress(ConnectionError):
+                await writer.wait_closed()
+            self._client_tasks.discard(task)
+
+    async def _client_writer(self, client: _Client, writer) -> None:
+        with suppress(ConnectionError):
+            while True:
+                line = await client.outbox.get()
+                if line is None:
+                    break
+                writer.write(line.encode() + b"\n")
+                await writer.drain()
+
+    def _close_client(self, client: _Client) -> None:
+        if client.closed:
+            return
+        client.closed = True
+        self._clients.pop(client.id, None)
+        if client.outbox.full():
+            with suppress(asyncio.QueueEmpty):
+                client.outbox.get_nowait()
+        with suppress(asyncio.QueueFull):
+            client.outbox.put_nowait(None)
+
+    async def _route_line(self, client: _Client, line: str) -> None:
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict) and payload.get("op") in ("cluster", "drain"):
+            await self._admin(client, payload)
+            return
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            client.push(encode_error(str(exc)))
+            return
+        op = request.op
+        if op == "stats":
+            await self._fleet_stats(client)
+            return
+        if op == "tick":
+            if request.t > self._clock:
+                self._clock = request.t
+            self._broadcast(line)
+            self._count("cluster.ticks_broadcast")
+            return
+        if op == "sweep":
+            if request.t > self._clock:
+                self._clock = request.t
+            self._broadcast(line)
+            # Workers that are down journal the sweep (with a clock
+            # marker, since eviction depends on where time stood) and
+            # run it on replay.
+            for link in self.links.values():
+                if link.state == "down" and link.shard not in self.retired:
+                    if self._clock != _NEG_INF:
+                        link.extras.append(
+                            (
+                                self._seq,
+                                json.dumps({"op": "tick", "t": self._clock}),
+                            )
+                        )
+                        self._seq += 1
+                    link.extras.append((self._seq, line))
+                    self._seq += 1
+            return
+        # down / move / up: sticky-route, journal, forward.
+        key = f"{client.id}:{request.stroke}"
+        record = self.sessions.get(key)
+        if record is None:
+            shard = self.ring.lookup(key, skip=self.draining | self.retired)
+            record = SessionRecord(key, client.id, shard)
+            self.sessions[key] = record
+        payload["stroke"] = key
+        forwarded = json.dumps(payload)
+        self._seq = record.journal(
+            self._seq, forwarded, clock=self._clock, t=request.t
+        )
+        if request.t > self._clock:
+            self._clock = request.t
+        link = self.links[record.shard]
+        if link.state == "up":
+            link.queue.put_nowait(forwarded)
+        self._count("cluster.ops_routed")
+
+    def _broadcast(self, line: str) -> None:
+        for link in self.links.values():
+            if link.state == "up":
+                link.queue.put_nowait(line)
+
+    # -- stats and admin -----------------------------------------------------
+
+    async def _fleet_stats(self, client: _Client) -> None:
+        loop = asyncio.get_running_loop()
+        futures = []
+        for link in self.links.values():
+            if link.state == "up":
+                fut = loop.create_future()
+                link.pending_stats.append(fut)
+                link.queue.put_nowait('{"op": "stats"}')
+                futures.append(fut)
+        replies: list = []
+        if futures:
+            try:
+                replies = await asyncio.wait_for(
+                    asyncio.gather(*futures), timeout=self.stats_timeout
+                )
+            except asyncio.TimeoutError:
+                replies = [f.result() for f in futures if f.done() and not f.cancelled()]
+        stats = [r for r in replies if isinstance(r, dict)]
+        snapshots = [s.get("metrics") for s in stats]
+        if self.metrics is not None:
+            snapshots.append(self.metrics.snapshot())
+        snapshots = [s for s in snapshots if s is not None]
+        if snapshots:
+            from ..obs import merge_snapshots
+
+            merged = merge_snapshots(snapshots)
+        else:
+            merged = None
+        line = encode_stats(
+            merged,
+            t=self._clock if self._clock != _NEG_INF else 0.0,
+            sessions=sum(s.get("sessions", 0) for s in stats),
+            channels=len(self._clients),
+        )
+        payload = json.loads(line)
+        payload["cluster"] = self.status()
+        if not client.closed and not client.push(json.dumps(payload)):
+            self._close_client(client)
+
+    def status(self) -> dict:
+        shards = {}
+        supervisor = self.supervisor_status() if self.supervisor_status else {}
+        for shard in self.ring.shards:
+            link = self.links[shard]
+            info = {
+                "state": link.state,
+                "ups": link.ups,
+                "sessions": sum(
+                    1 for r in self.sessions.values() if r.shard == shard
+                ),
+                "draining": shard in self.draining,
+                "retired": shard in self.retired,
+            }
+            info.update(supervisor.get(shard, {}))
+            shards[shard] = info
+        return {"shards": shards, "sessions": len(self.sessions)}
+
+    async def _admin(self, client: _Client, payload: dict) -> None:
+        if payload["op"] == "cluster":
+            reply = {"kind": "cluster"}
+            reply.update(self.status())
+            client.push(json.dumps(reply))
+            return
+        shard = payload.get("shard")
+        if shard not in self.ring.shards:
+            client.push(encode_error(f"unknown shard: {shard!r}"))
+            return
+        if shard in self.draining or shard in self.retired:
+            client.push(encode_error(f"shard already draining: {shard}"))
+            return
+        if self.drain_hook is None:
+            client.push(encode_error("drain unavailable: no supervisor"))
+            return
+        live = {s for s in self.ring.shards if s not in self.draining | self.retired}
+        if len(live) <= 1:
+            client.push(encode_error("cannot drain the last live shard"))
+            return
+        asyncio.get_running_loop().create_task(self.drain_hook(shard))
+        client.push(json.dumps({"kind": "drain", "shard": shard, "status": "started"}))

@@ -27,7 +27,7 @@ name catalogue, and the fault-injection knobs.
 """
 
 from .faults import FaultInjector, FaultPlan
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import Counter, Histogram, MetricsRegistry, merge_snapshots
 from .observer import PoolObserver
 from .profile import PerfProfiler
 from .quality import QualityMonitor
@@ -44,4 +44,5 @@ __all__ = [
     "QualityMonitor",
     "Tracer",
     "encode_record",
+    "merge_snapshots",
 ]

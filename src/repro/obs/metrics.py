@@ -19,7 +19,13 @@ from __future__ import annotations
 import math
 from bisect import bisect_left
 
-__all__ = ["Counter", "DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
 
 # A decade ladder wide enough for batch sizes (1..4096) and
 # microsecond-scale latencies alike; callers with tighter needs pass
@@ -80,6 +86,34 @@ class Histogram:
         if value > self.vmax:
             self.vmax = value
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold one snapshotted histogram (a ``snapshot()`` dict) into this one.
+
+        Bucket counts add, so merging the per-worker histograms of a
+        sharded run yields exactly the histogram a single process would
+        have recorded.  The snapshot's bucket bounds must match this
+        histogram's (the merge is meaningless otherwise).
+        """
+        buckets = snapshot.get("buckets")
+        if not buckets or buckets[-1][0] is not None:
+            raise ValueError(
+                f"histogram {self.name!r}: malformed snapshot buckets"
+            )
+        bounds = tuple(float(edge) for edge, _ in buckets[:-1])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ "
+                f"({list(bounds)} vs {list(self.bounds)})"
+            )
+        for i, (_, n) in enumerate(buckets):
+            self.bucket_counts[i] += n
+        self.count += snapshot["count"]
+        self.total += snapshot["sum"]
+        if snapshot["min"] is not None and snapshot["min"] < self.vmin:
+            self.vmin = snapshot["min"]
+        if snapshot["max"] is not None and snapshot["max"] > self.vmax:
+            self.vmax = snapshot["max"]
+
 
 class MetricsRegistry:
     """Named counters and histograms, created on first use."""
@@ -123,3 +157,42 @@ class MetricsRegistry:
                 ],
             }
         return {"counters": counters, "histograms": histograms}
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters sum and histogram buckets add, so merging every
+        worker's snapshot into one registry reproduces exactly the
+        registry a single shared process would have built — the
+        fleet-wide ``stats`` aggregation of the cluster router, and the
+        multi-trace path of ``repro analyze``.  Metrics absent here are
+        created; metrics present in both must agree on shape (a
+        histogram's bucket bounds), else ``ValueError``.
+        """
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, h in (snapshot.get("histograms") or {}).items():
+            buckets = h.get("buckets") or []
+            if not buckets or buckets[-1][0] is not None:
+                raise ValueError(
+                    f"histogram {name!r}: malformed snapshot buckets"
+                )
+            bounds = tuple(float(edge) for edge, _ in buckets[:-1])
+            self.histogram(name, bounds).merge(h)
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Merge an iterable of snapshot dicts into one snapshot.
+
+    Commutative on counts (ordering only matters if two snapshots
+    disagree on a histogram's bounds, which raises either way), with
+    deterministic, sorted key order in the result — merging the same
+    snapshots always yields the same bytes.  ``None`` entries are
+    skipped, so callers can pass worker replies straight in even when
+    some workers run unobserved.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot is not None:
+            registry.merge(snapshot)
+    return registry.snapshot()

@@ -23,6 +23,7 @@ multi-tenant streaming service:
 
 from .bank import FeatureBank
 from .batch import BatchEvaluator
+from .lines import LineReader
 from .loadgen import (
     LoadResult,
     compare_modes,
@@ -40,15 +41,17 @@ from .protocol import (
     encode_stats,
 )
 from .registry import ModelRegistry, ModelVersion
-from .server import Channel, GestureServer
+from .server import Channel, DEFAULT_MAX_LINE, GestureServer
 
 __all__ = [
     "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_LINE",
     "BatchEvaluator",
     "Channel",
     "Decision",
     "FeatureBank",
     "GestureServer",
+    "LineReader",
     "LoadResult",
     "ModelRegistry",
     "ModelVersion",

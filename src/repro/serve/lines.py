@@ -1,0 +1,81 @@
+"""Bounded NDJSON line framing over an asyncio stream.
+
+``StreamReader.readline`` raises ``LimitOverrunError``/``ValueError``
+when a line exceeds the stream limit, *after* which the unread bytes of
+the oversized line are still sitting in the buffer — a naive handler
+either kills the connection or reparses garbage.  :class:`LineReader`
+owns the framing instead: it reads raw chunks, splits complete lines up
+to a byte cap, and when a line overruns the cap it swallows the rest of
+that line (however long) and reports a single ``"overflow"`` event, so
+the connection survives and the next line parses cleanly.
+
+Used by :class:`~repro.serve.GestureServer` connections and by the
+cluster router's client and worker links — every socket that speaks the
+protocol frames it the same way.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LineReader"]
+
+_CHUNK = 8192
+
+
+class LineReader:
+    """Split a ``StreamReader`` into lines of at most ``max_line`` bytes.
+
+    :meth:`next` returns ``(kind, payload)`` where ``kind`` is:
+
+    * ``"line"`` — one complete line (without its newline);
+    * ``"overflow"`` — a line exceeded ``max_line``; its bytes were
+      discarded up to and including the terminating newline (one event
+      per oversized line, however many chunks it spanned);
+    * ``"eof"`` — the peer closed the stream.  A non-empty unterminated
+      tail is returned as a final ``"line"`` first, matching
+      ``readline``'s end-of-stream behaviour.
+    """
+
+    def __init__(self, reader, max_line: int = 65536):
+        self._reader = reader
+        self.max_line = max_line
+        self._buf = bytearray()
+        self._scanned = 0  # no b"\n" before this offset in _buf
+        self._skipping = False  # inside an oversized line's remainder
+        self._eof = False
+
+    async def next(self) -> tuple[str, bytes]:
+        while True:
+            newline = self._buf.find(b"\n", self._scanned)
+            if newline >= 0:
+                line = bytes(self._buf[:newline])
+                del self._buf[: newline + 1]
+                self._scanned = 0
+                if self._skipping:
+                    self._skipping = False
+                    return "overflow", b""
+                if len(line) > self.max_line:
+                    return "overflow", b""
+                return "line", line
+            self._scanned = len(self._buf)
+            if self._skipping:
+                # Still inside the oversized line: drop what we have.
+                self._buf.clear()
+                self._scanned = 0
+            elif len(self._buf) > self.max_line:
+                self._buf.clear()
+                self._scanned = 0
+                self._skipping = True
+            if self._eof:
+                if self._skipping:
+                    self._skipping = False
+                    return "overflow", b""
+                if self._buf:
+                    line = bytes(self._buf)
+                    self._buf.clear()
+                    return "line", line
+                return "eof", b""
+            chunk = await self._reader.read(_CHUNK)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)

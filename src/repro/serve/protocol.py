@@ -8,6 +8,7 @@ Requests (client → server)::
     {"op": "move", "stroke": "s1", "x": 14, "y": 21, "t": 0.01}
     {"op": "up",   "stroke": "s1", "x": 30, "y": 40, "t": 0.25}
     {"op": "tick", "t": 0.50}
+    {"op": "sweep", "max_idle": 30.0}
     {"op": "stats"}
 
 ``down``/``move``/``up`` mirror :class:`~repro.serve.SessionPool`
@@ -15,10 +16,20 @@ operations; ``stroke`` is the client's id for one gesture (the server
 namespaces it per connection, so clients cannot collide).  ``tick``
 advances the server's virtual clock — timeouts fire from the
 timestamps clients supply, never from the server's wall clock, so a
-recorded interaction replays identically.  ``stats`` asks for a
-metrics snapshot; its ``t`` is optional and defaults to ``0.0`` (a
-no-op for the monotone virtual clock), so polling stats never moves
-time.
+recorded interaction replays identically.  ``sweep`` asks the server to
+evict every session idle for at least ``max_idle`` seconds of virtual
+time (``max_idle`` defaults to ``0.0`` — evict everything idle at all)
+— the remote form of :meth:`~repro.serve.SessionPool.evict_idle` that a
+drain or an end-of-run cleanup needs; evicted sessions get ``evict``
+replies.  ``stats`` asks for a metrics snapshot; ``t`` is optional on
+``sweep`` and ``stats`` and defaults to ``0.0`` (a no-op for the
+monotone virtual clock), so polling stats never moves time.
+
+``tick`` and ``sweep`` are also *clock barriers*: the server applies
+everything received before them, then advances time (then sweeps), at
+the request's position in the input order — behaviour is a function of
+the line sequence alone, never of how lines happened to coalesce into
+read batches.
 
 Replies (server → client)::
 
@@ -50,7 +61,10 @@ __all__ = [
     "encode_stats",
 ]
 
-_OPS = ("down", "move", "up", "tick", "stats")
+_OPS = ("down", "move", "up", "tick", "sweep", "stats")
+
+# Ops that may omit ``t`` (it defaults to 0.0, a virtual-clock no-op).
+_OPTIONAL_T = ("sweep", "stats")
 
 
 class ProtocolError(ValueError):
@@ -61,11 +75,12 @@ class ProtocolError(ValueError):
 class Request:
     """One decoded client request."""
 
-    op: str  # "down" | "move" | "up" | "tick"
+    op: str  # "down" | "move" | "up" | "tick" | "sweep" | "stats"
     t: float
     stroke: str = ""
     x: float = 0.0
     y: float = 0.0
+    max_idle: float = 0.0  # sweep only
 
 
 def decode_request(line: str | bytes) -> Request:
@@ -82,11 +97,19 @@ def decode_request(line: str | bytes) -> Request:
     try:
         t = float(payload["t"])
     except KeyError:
-        if op != "stats":  # stats may omit t; nothing else may
+        if op not in _OPTIONAL_T:
             raise ProtocolError("missing or non-numeric t") from None
         t = 0.0
     except (TypeError, ValueError):
         raise ProtocolError("missing or non-numeric t") from None
+    if op == "sweep":
+        try:
+            max_idle = float(payload.get("max_idle", 0.0))
+        except (TypeError, ValueError):
+            raise ProtocolError("non-numeric max_idle") from None
+        if max_idle < 0.0:
+            raise ProtocolError("max_idle must be >= 0")
+        return Request(op=op, t=t, max_idle=max_idle)
     if op in ("tick", "stats"):
         return Request(op=op, t=t)
     stroke = payload.get("stroke")

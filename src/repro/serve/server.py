@@ -48,6 +48,7 @@ from contextlib import suppress
 
 from ..eager import EagerRecognizer
 from ..interaction import DEFAULT_TIMEOUT
+from .lines import LineReader
 from .pool import Decision, SessionPool
 from .protocol import (
     ProtocolError,
@@ -58,7 +59,11 @@ from .protocol import (
     encode_stats,
 )
 
-__all__ = ["Channel", "GestureServer"]
+__all__ = ["Channel", "DEFAULT_MAX_LINE", "GestureServer"]
+
+# Cap on one NDJSON request line; far beyond any legitimate request
+# (the longest op is a down/move/up with four floats).
+DEFAULT_MAX_LINE = 65536
 
 _CLOSE = object()  # outbox sentinel
 
@@ -118,6 +123,7 @@ class GestureServer:
         timeout: float = DEFAULT_TIMEOUT,
         max_sessions: int = 4096,
         queue_size: int = 1024,
+        max_line: int = DEFAULT_MAX_LINE,
         batched: bool = True,
         observer=None,
         fault_injector=None,
@@ -132,6 +138,7 @@ class GestureServer:
         self.host = host
         self.port = port
         self.queue_size = queue_size
+        self.max_line = max_line
         self.observer = observer
         self.fault_injector = fault_injector
         self._batch_no = 0
@@ -194,11 +201,22 @@ class GestureServer:
     def _fault_key(item: tuple[Channel, Request]) -> str | None:
         """Session key of one pump item; None exempts it from faults."""
         channel, request = item
-        if request.op in ("tick", "stats"):
+        if request.op in ("tick", "sweep", "stats"):
             return None
         return f"{channel.id}/{request.stroke}"
 
     def _apply(self, batch: list[tuple[Channel, Request]]) -> None:
+        """Apply one pump batch, honouring intra-batch clock barriers.
+
+        ``tick`` and ``sweep`` requests split the batch into segments:
+        each segment's operations are applied and the clock advanced at
+        the barrier's position, so the pool sees the same sequence of
+        (apply, advance) steps however the lines were coalesced into
+        pump batches.  That makes a server's decisions a pure function
+        of its input line order — the property the cluster router's
+        crash-replay equivalence rests on.  A batch without barriers
+        takes exactly the old path: apply everything, advance once.
+        """
         if self.observer is not None:
             self.observer.server_batch(len(batch))
         live = [item for item in batch if not item[0].closed]
@@ -209,28 +227,42 @@ class GestureServer:
                 self._batch_no, live, key=self._fault_key
             )
         latest: float | None = None
+        advanced = False  # a barrier already ran in this batch
+        dirty = False  # pool input buffered since the last barrier
         stats_requests: list[Channel] = []
+        decisions: list[Decision] = []
         for channel, request in live:
             op = request.op
             if op == "stats":
                 stats_requests.append(channel)
                 continue
-            if op != "tick":
-                key = f"{channel.id}/{request.stroke}"
-                if op == "down":
-                    self.pool.down(key, request.x, request.y, request.t)
-                elif op == "move":
-                    self.pool.move(key, request.x, request.y, request.t)
-                else:
-                    self.pool.up(key, request.x, request.y, request.t)
+            if op in ("tick", "sweep"):
+                if latest is None or request.t > latest:
+                    latest = request.t
+                decisions.extend(self.pool.advance_to(latest))
+                if op == "sweep":
+                    decisions.extend(self.pool.evict_idle(request.max_idle))
+                advanced = True
+                dirty = False
+                continue
+            key = f"{channel.id}/{request.stroke}"
+            if op == "down":
+                self.pool.down(key, request.x, request.y, request.t)
+            elif op == "move":
+                self.pool.move(key, request.x, request.y, request.t)
+            else:
+                self.pool.up(key, request.x, request.y, request.t)
+            dirty = True
             if latest is None or request.t > latest:
                 latest = request.t
         for key in kills:
             self.pool.kill(key, latest if latest is not None else self.pool.clock.now)
-        if latest is None:
-            decisions = self.pool.flush()
-        else:
-            decisions = self.pool.advance_to(latest)
+            dirty = True
+        if dirty or not advanced:
+            if latest is None:
+                decisions.extend(self.pool.flush())
+            else:
+                decisions.extend(self.pool.advance_to(latest))
         for decision in decisions:
             self._route(decision)
         if stats_requests:
@@ -280,11 +312,23 @@ class GestureServer:
         drain_task = asyncio.get_running_loop().create_task(
             self._drain_replies(channel, writer)
         )
+        lines = LineReader(reader, self.max_line)
         try:
             while not channel.closed:
-                line = await reader.readline()
-                if not line:
+                kind, line = await lines.next()
+                if kind == "eof":
                     break
+                if kind == "overflow":
+                    # The oversized line was swallowed whole; report it
+                    # and keep the connection — one bad line is not a
+                    # reason to lose every other in-flight stroke.
+                    if not channel._push(
+                        encode_error(
+                            f"line exceeds {self.max_line} bytes"
+                        )
+                    ):
+                        break
+                    continue
                 line = line.strip()
                 if not line:
                     continue

@@ -1,0 +1,43 @@
+"""Shared fixtures for the cluster tests.
+
+The recognizer is trained once per session from the checked-in GDP
+strokes (the same artifact the golden-trace tests pin), then saved to a
+temp file for the worker subprocesses to load — workers and the
+single-pool reference run the *identical* model, which the byte-identity
+tests require.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import GestureSet
+from repro.eager import train_eager_recognizer
+from repro.serve import generate_workload
+from repro.synth import gdp_templates
+
+from pathlib import Path
+
+DATA = Path(__file__).parent.parent / "obs" / "data" / "gdp_strokes.json"
+
+
+@pytest.fixture(scope="session")
+def cluster_recognizer():
+    gesture_set = GestureSet.load(DATA)
+    return train_eager_recognizer(gesture_set.strokes_by_class()).recognizer
+
+
+@pytest.fixture(scope="session")
+def recognizer_path(cluster_recognizer, tmp_path_factory) -> str:
+    path = tmp_path_factory.mktemp("cluster") / "recognizer.json"
+    cluster_recognizer.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def cluster_workload() -> list:
+    # 10 clients x 2 gestures, dwells included, so eager, timeout and
+    # mouse-up decision paths all cross the cluster.
+    return generate_workload(
+        gdp_templates(), clients=10, gestures_per_client=2, seed=11
+    )

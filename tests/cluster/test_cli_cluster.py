@@ -1,0 +1,43 @@
+"""CLI wiring: ``loadgen --cluster`` runs real workers and verifies
+byte-identity itself; incompatible observer flags fail fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_loadgen_cluster_verifies_byte_identity(capsys):
+    code = main(
+        [
+            "loadgen",
+            "--cluster", "2",
+            "--clients", "4",
+            "--gestures", "1",
+            "--examples", "8",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "cluster: 2 workers" in out
+    assert "byte-identical" in out
+    assert "MISMATCH" not in out
+
+
+def test_loadgen_cluster_rejects_per_pool_observers(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(
+            [
+                "loadgen",
+                "--cluster", "2",
+                "--trace", str(tmp_path / "trace.ndjson"),
+            ]
+        )
+    assert "--cluster" in str(exc.value)
+
+
+def test_cluster_subcommand_needs_one_recognizer_source():
+    with pytest.raises(SystemExit) as exc:
+        main(["cluster", "--workers", "2"])
+    assert "exactly one" in str(exc.value)

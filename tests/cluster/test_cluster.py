@@ -1,0 +1,300 @@
+"""End-to-end cluster invariance, crash recovery, drain, and admin ops.
+
+The load-bearing assertion, three ways (clean, mid-run SIGKILL, faulted
+input): the per-stroke reply streams of an N-worker cluster are
+*string-equal* to what one :class:`~repro.serve.SessionPool` produces
+for the same input order.  Workers are real subprocesses; the crash
+test kills one with SIGKILL mid-run and the supervisor + journal replay
+must make the loss invisible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    HashRing,
+    Router,
+    drive_cluster,
+    reference_lines,
+    workload_ticks,
+)
+from repro.interaction import DEFAULT_TIMEOUT
+from repro.obs import FaultPlan
+from repro.serve import run_load
+
+DT = 0.01
+
+
+def end_time(ticks) -> float:
+    # The same drain horizon run_load uses: past the last possible
+    # motionless timeout.
+    return len(ticks) * DT + DEFAULT_TIMEOUT + DT
+
+
+def assert_byte_identical(replies: dict, reference: dict) -> None:
+    assert set(replies) == set(reference), (
+        sorted(set(reference) - set(replies)),
+        sorted(set(replies) - set(reference)),
+    )
+    for stroke in sorted(reference):
+        assert replies[stroke] == reference[stroke], stroke
+
+
+def shard_of(stroke: str, workers: int) -> str:
+    # drive_cluster is the router's first client, so keys are "k1:...".
+    return HashRing([f"w{i}" for i in range(workers)]).lookup(f"k1:{stroke}")
+
+
+def test_invariance_matches_single_pool(
+    recognizer_path, cluster_recognizer, cluster_workload
+):
+    ticks = workload_ticks(cluster_workload, dt=DT)
+    end_t = end_time(ticks)
+    reference = reference_lines(
+        cluster_recognizer, ticks, end_t=end_t, timeout=DEFAULT_TIMEOUT
+    )
+    strokes = set(reference)
+    # The workload must actually exercise the sharding for the test to
+    # mean anything.
+    assert len({shard_of(s, 4) for s in strokes}) >= 2
+
+    async def run():
+        async with Cluster(
+            recognizer_path, workers=4, timeout=DEFAULT_TIMEOUT
+        ) as cluster:
+            host, port = cluster.address
+            return await drive_cluster(host, port, ticks, end_t=end_t)
+
+    replies, stats = asyncio.run(run())
+    assert_byte_identical(replies, reference)
+    # The stats barrier reply is the fleet-wide merge: worker pool
+    # counters summed across shards equal the single-pool totals.
+    merged = stats["metrics"]
+    assert merged["counters"]["pool.sessions_opened"] == len(strokes)
+    assert merged["counters"]["pool.commits"] == sum(
+        1 for lines in reference.values() for line in lines
+        if json.loads(line)["kind"] == "commit"
+    )
+    assert stats["sessions"] == 0  # everything terminal after the sweep
+    assert set(stats["cluster"]["shards"]) == {"w0", "w1", "w2", "w3"}
+    # The router's own namespace rides along in the merge.
+    assert merged["counters"]["cluster.ops_routed"] > 0
+
+
+def test_invariance_across_worker_crash(
+    recognizer_path, cluster_recognizer, cluster_workload
+):
+    ticks = workload_ticks(cluster_workload, dt=DT)
+    end_t = end_time(ticks)
+    reference = reference_lines(
+        cluster_recognizer, ticks, end_t=end_t, timeout=DEFAULT_TIMEOUT
+    )
+    # Kill the shard that owns the most strokes, mid-run.
+    counts: dict = {}
+    for stroke in reference:
+        counts[shard_of(stroke, 4)] = counts.get(shard_of(stroke, 4), 0) + 1
+    victim = max(counts, key=counts.get)
+    mid = len(ticks) // 2
+
+    async def run():
+        async with Cluster(
+            recognizer_path, workers=4, timeout=DEFAULT_TIMEOUT
+        ) as cluster:
+            host, port = cluster.address
+            ups_before = {}
+
+            async def before_tick(i, t):
+                if i == mid:
+                    await cluster.wait_all_up()
+                    ups_before["n"] = cluster.router.links[victim].ups
+                    assert cluster.kill(victim) is not None
+
+            async def before_barrier():
+                await cluster.wait_recovered(victim, ups_before["n"])
+                await cluster.wait_all_up()
+
+            replies, stats = await drive_cluster(
+                host,
+                port,
+                ticks,
+                end_t=end_t,
+                before_tick=before_tick,
+                before_barrier=before_barrier,
+            )
+            return replies, stats, cluster.metrics.snapshot()
+
+    replies, stats, snapshot = asyncio.run(run())
+    # Byte-identical per session, crash and all.
+    assert_byte_identical(replies, reference)
+    # The crash actually happened and was healed by replay.
+    assert snapshot["counters"]["cluster.worker_restarts"] >= 1
+    assert snapshot["counters"]["cluster.replays"] >= 1
+    assert snapshot["counters"]["cluster.replayed_lines"] > 0
+    assert stats["cluster"]["shards"][victim]["ups"] >= 2
+    # Zero lost sessions: every journaled session reached terminal.
+    assert stats["cluster"]["sessions"] == 0
+
+
+def test_invariance_with_faulted_input(
+    recognizer_path, cluster_recognizer, cluster_workload
+):
+    # Ground truth from the obs fault machinery: run the plan once
+    # in-process and take the post-fault delivered op stream (kills off
+    # — there is deliberately no remote kill op).
+    plan = FaultPlan(drop=0.03, duplicate=0.03, delay=0.03, reorder=0.05)
+    base = run_load(
+        cluster_recognizer,
+        cluster_workload,
+        collect=True,
+        fault_plan=plan,
+        fault_seed=5,
+    )
+    assert base.fault_summary["dropped"] > 0
+    assert base.fault_summary["duplicated"] > 0
+    ticks = workload_ticks(base.delivered_log)
+    reference = reference_lines(
+        cluster_recognizer, ticks, end_t=base.end_t, timeout=DEFAULT_TIMEOUT
+    )
+
+    async def run():
+        async with Cluster(
+            recognizer_path, workers=3, timeout=DEFAULT_TIMEOUT
+        ) as cluster:
+            host, port = cluster.address
+            return await drive_cluster(host, port, ticks, end_t=base.end_t)
+
+    replies, stats = asyncio.run(run())
+    assert_byte_identical(replies, reference)
+    # Dropped downs produce unknown-stroke errors; they must round-trip
+    # the cluster too, and their records must not leak.
+    assert any(
+        json.loads(line)["kind"] == "error"
+        for lines in reference.values()
+        for line in lines
+    )
+    assert stats["cluster"]["sessions"] == 0
+
+
+def test_graceful_drain_via_admin_op(
+    recognizer_path, cluster_recognizer, cluster_workload
+):
+    ticks = workload_ticks(cluster_workload, dt=DT)
+    end_t = end_time(ticks)
+    reference = reference_lines(
+        cluster_recognizer, ticks, end_t=end_t, timeout=DEFAULT_TIMEOUT
+    )
+    mid = len(ticks) // 2
+
+    async def admin(host, port, line: str) -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(line.encode() + b"\n")
+        await writer.drain()
+        reply = json.loads(await asyncio.wait_for(reader.readline(), 30))
+        writer.close()
+        await writer.wait_closed()
+        return reply
+
+    async def run():
+        async with Cluster(
+            recognizer_path, workers=3, timeout=DEFAULT_TIMEOUT
+        ) as cluster:
+            host, port = cluster.address
+
+            async def before_tick(i, t):
+                if i == mid:
+                    reply = await admin(
+                        host, port, '{"op": "drain", "shard": "w2"}'
+                    )
+                    assert reply == {
+                        "kind": "drain", "shard": "w2", "status": "started",
+                    }
+
+            async def before_barrier():
+                while "w2" not in cluster.router.retired:
+                    await asyncio.sleep(0.05)
+                await cluster.wait_all_up()
+
+            replies, _ = await drive_cluster(
+                host,
+                port,
+                ticks,
+                end_t=end_t,
+                before_tick=before_tick,
+                before_barrier=before_barrier,
+            )
+            status = await admin(host, port, '{"op": "cluster"}')
+            return replies, status, cluster.metrics.snapshot()
+
+    replies, status, snapshot = asyncio.run(run())
+    assert_byte_identical(replies, reference)
+    assert status["kind"] == "cluster"
+    assert status["shards"]["w2"]["retired"] is True
+    assert status["shards"]["w2"]["state"] == "down"
+    assert status["shards"]["w0"]["state"] == "up"
+    assert snapshot["counters"]["cluster.drains"] == 1
+    assert snapshot["histograms"]["cluster.drain_seconds"]["count"] == 1
+
+
+def test_supervisor_restarts_with_backoff(recognizer_path):
+    async def run():
+        async with Cluster(recognizer_path, workers=2) as cluster:
+            link = cluster.router.links["w0"]
+            handle = cluster.supervisor.workers["w0"]
+            first_pid = handle.pid
+            ups = link.ups
+            assert cluster.kill("w0") == first_pid
+            await cluster.wait_recovered("w0", ups)
+            first_backoff = handle.backoff
+            assert handle.restarts == 1
+            assert handle.pid != first_pid
+            # A second quick crash: backoff must grow, not hot-loop.
+            ups = link.ups
+            assert cluster.kill("w0") is not None
+            await cluster.wait_recovered("w0", ups)
+            assert handle.restarts == 2
+            assert handle.backoff > first_backoff
+
+    asyncio.run(run())
+
+
+def test_router_rejects_malformed_lines_without_workers():
+    # Protocol validation happens at the router's edge; no worker is
+    # needed to test it, and a bad line must not poison the connection.
+    async def run():
+        router = Router(["w0"], max_line=4096)
+        await router.start()
+        try:
+            host, port = router.address
+            reader, writer = await asyncio.open_connection(host, port)
+
+            async def ask(line: bytes) -> dict:
+                writer.write(line + b"\n")
+                await writer.drain()
+                return json.loads(await asyncio.wait_for(reader.readline(), 10))
+
+            bad = [
+                b'{"op": "down", "stroke": "s1", "x": 1, "y"',  # truncated
+                b'{"op": "merge"}',  # unknown op
+                b'{"op": "down", "x": 1, "y": 2, "t": 0.1}',  # no stroke
+                b'{"op": "drain"}',  # admin: unknown shard
+                b'{"op": "drain", "shard": "w0"}',  # admin: no supervisor
+                b"x" * 5000,  # oversized line
+            ]
+            for line in bad:
+                reply = await ask(line)
+                assert reply["kind"] == "error", (line, reply)
+            # Still alive and well after all of that.
+            status = await ask(b'{"op": "cluster"}')
+            assert status["kind"] == "cluster"
+            assert status["shards"]["w0"]["state"] == "down"
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await router.stop()
+
+    asyncio.run(run())

@@ -1,0 +1,71 @@
+"""Consistent-hash ring properties the router depends on."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.cluster import HashRing
+
+KEYS = [f"k{c}:s{i}" for c in range(4) for i in range(500)]
+
+
+def test_lookup_is_process_stable():
+    # Two independently built rings agree on every key: routing is a
+    # pure function of (key, shard set), never of hash seeding.
+    a = HashRing(["w0", "w1", "w2"])
+    b = HashRing(["w0", "w1", "w2"])
+    assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+
+def test_shard_order_does_not_matter():
+    a = HashRing(["w0", "w1", "w2"])
+    b = HashRing(["w2", "w0", "w1"])
+    assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+
+def test_load_is_roughly_balanced():
+    ring = HashRing(["w0", "w1", "w2", "w3"])
+    counts = Counter(ring.lookup(k) for k in KEYS)
+    assert set(counts) == {"w0", "w1", "w2", "w3"}
+    for shard, n in counts.items():
+        assert n > len(KEYS) * 0.10, (shard, counts)
+
+
+def test_adding_a_shard_moves_only_a_fraction():
+    small = HashRing(["w0", "w1", "w2"])
+    large = HashRing(["w0", "w1", "w2", "w3"])
+    moved = sum(1 for k in KEYS if small.lookup(k) != large.lookup(k))
+    # Ideal is 1/4; anything near a full reshuffle means the ring is
+    # not consistent at all.
+    assert moved < len(KEYS) * 0.5
+    # ...and every moved key moved *to* the new shard.
+    assert all(
+        large.lookup(k) == "w3"
+        for k in KEYS
+        if small.lookup(k) != large.lookup(k)
+    )
+
+
+def test_skip_spills_to_successor_and_keeps_the_rest():
+    ring = HashRing(["w0", "w1", "w2"])
+    owned = [k for k in KEYS if ring.lookup(k) == "w1"]
+    others = [k for k in KEYS if ring.lookup(k) != "w1"]
+    for k in owned:
+        assert ring.lookup(k, skip={"w1"}) in ("w0", "w2")
+    # Draining w1 must not move anyone else's keys.
+    assert all(ring.lookup(k, skip={"w1"}) == ring.lookup(k) for k in others)
+
+
+def test_all_skipped_raises():
+    ring = HashRing(["w0", "w1"])
+    with pytest.raises(ValueError):
+        ring.lookup("k1:s1", skip={"w0", "w1"})
+
+
+def test_bad_shard_sets_rejected():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(["w0", "w0"])

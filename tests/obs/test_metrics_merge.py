@@ -1,0 +1,82 @@
+"""Snapshot merging: the fleet-stats aggregation the cluster router uses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_snapshots
+
+
+def _registry(counter_vals: dict, hist_obs=(), bounds=(1.0, 10.0)) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, value in counter_vals.items():
+        registry.counter(name).inc(value)
+    for value in hist_obs:
+        registry.histogram("lat", bounds).observe(value)
+    return registry
+
+
+def test_counters_sum_and_union():
+    a = _registry({"pool.ops": 3, "pool.commits": 1})
+    b = _registry({"pool.ops": 5, "pool.errors": 2})
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"] == {
+        "pool.commits": 1,
+        "pool.errors": 2,
+        "pool.ops": 8,
+    }
+
+
+def test_histogram_buckets_add_and_minmax_combine():
+    a = _registry({}, hist_obs=[0.5, 5.0])
+    b = _registry({}, hist_obs=[0.7, 50.0])
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    hist = merged["histograms"]["lat"]
+    assert hist["count"] == 4
+    assert hist["sum"] == pytest.approx(56.2)
+    assert hist["min"] == 0.5
+    assert hist["max"] == 50.0
+    # buckets: [1.0, 10.0, null] upper bounds; counts add positionally.
+    assert [count for _, count in hist["buckets"]] == [2, 1, 1]
+    assert hist["buckets"][-1][0] is None
+
+
+def test_merge_is_deterministic_and_key_sorted():
+    a = _registry({"z": 1, "a": 2}, hist_obs=[0.1])
+    b = _registry({"m": 3}, hist_obs=[2.0])
+    one = merge_snapshots([a.snapshot(), b.snapshot()])
+    two = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert one == two
+    assert list(one["counters"]) == sorted(one["counters"])
+    # Order of inputs must not matter either.
+    assert merge_snapshots([b.snapshot(), a.snapshot()]) == one
+
+
+def test_merge_skips_none_and_handles_empty():
+    a = _registry({"pool.ops": 2})
+    merged = merge_snapshots([None, a.snapshot(), None])
+    assert merged["counters"] == {"pool.ops": 2}
+    assert merge_snapshots([]) == MetricsRegistry().snapshot()
+
+
+def test_merge_into_live_registry():
+    registry = _registry({"pool.ops": 1}, hist_obs=[0.2])
+    registry.merge(_registry({"pool.ops": 4}, hist_obs=[3.0]).snapshot())
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["pool.ops"] == 5
+    assert snapshot["histograms"]["lat"]["count"] == 2
+
+
+def test_mismatched_bucket_bounds_rejected():
+    a = _registry({}, hist_obs=[0.5], bounds=(1.0, 10.0))
+    b = _registry({}, hist_obs=[0.5], bounds=(2.0, 20.0))
+    with pytest.raises(ValueError):
+        merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+def test_malformed_snapshot_rejected():
+    registry = _registry({}, hist_obs=[0.5])
+    bad = registry.snapshot()
+    bad["histograms"]["lat"]["buckets"] = [[1.0, 1]]  # no +inf overflow
+    with pytest.raises(ValueError):
+        MetricsRegistry().merge(bad)
