@@ -355,6 +355,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 port=args.port,
                 timeout=args.timeout,
                 max_sessions=args.max_sessions,
+                drain_timeout=args.drain_timeout,
                 metrics=not args.no_metrics,
             ) as cluster:
                 await cluster.wait_all_up()
@@ -854,6 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="motionless timeout in (virtual) seconds",
     )
     cluster.add_argument("--max-sessions", type=int, default=4096)
+    cluster.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds a graceful drain may wait before force-sweeping "
+        "the shard (then aborting if sessions still survive)",
+    )
     cluster.add_argument(
         "--no-metrics", action="store_true",
         help="disable worker metrics (fleet stats replies carry null)",

@@ -56,6 +56,7 @@ class Cluster:
         max_sessions: int = 4096,
         heartbeat: float = 0.5,
         backoff_base: float = 0.05,
+        drain_timeout: float = 30.0,
         metrics: bool = True,
         shard_names=None,
     ):
@@ -67,6 +68,7 @@ class Cluster:
             else tuple(f"w{i}" for i in range(workers))
         )
         self.metrics = MetricsRegistry() if metrics else None
+        self.drain_timeout = drain_timeout
         self.router = Router(shards, host=host, port=port, metrics=self.metrics)
         self.supervisor = Supervisor(
             recognizer_path,
@@ -147,7 +149,19 @@ class Cluster:
 
     async def drain(self, shard: str) -> None:
         """Gracefully retire ``shard``: spill new sessions to the ring
-        successor, wait out its live sessions, then terminate it."""
+        successor, wait out its live sessions, then terminate it.
+
+        The wait is bounded by ``drain_timeout``: a client that opened
+        a session and went silent would otherwise stall the drain
+        forever (with the shard stuck "draining" and un-drainable
+        again).  At the deadline the router force-sweeps the shard
+        (targeted ``max_idle=0`` eviction, journaled like any sweep);
+        if sessions still survive a grace period — e.g. ops timestamped
+        ahead of the virtual clock cannot be idle — the drain aborts,
+        the shard returns to normal routing, and it can be re-drained
+        later.  ``cluster.drains_forced`` / ``cluster.drain_aborts``
+        record both escalations.
+        """
         if shard in self.router.draining or shard in self.router.retired:
             return
         loop = asyncio.get_running_loop()
@@ -155,9 +169,23 @@ class Cluster:
         self.router.draining.add(shard)
         if self.metrics is not None:
             self.metrics.counter("cluster.drains").inc()
+        deadline = started + self.drain_timeout
+        forced = False
         while any(
             r.shard == shard for r in self.router.sessions.values()
         ):
+            if loop.time() >= deadline:
+                if not forced:
+                    forced = True
+                    deadline = loop.time() + min(5.0, self.drain_timeout)
+                    self.router.force_sweep(shard)
+                    if self.metrics is not None:
+                        self.metrics.counter("cluster.drains_forced").inc()
+                else:
+                    self.router.draining.discard(shard)
+                    if self.metrics is not None:
+                        self.metrics.counter("cluster.drain_aborts").inc()
+                    return
             await asyncio.sleep(0.02)
         await self.supervisor.retire(shard)
         self.router.retired.add(shard)

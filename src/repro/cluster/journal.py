@@ -6,14 +6,28 @@ live session, every line it routed — plus *clock markers*: a session's
 decisions depend not only on its own operations but on where the shared
 virtual clock stood between them (a motionless timeout fires when the
 clock passes ``last_point + timeout``; a later move can only rescue the
-session if it arrives *before* that advance).  Rather than journal every
-global tick into every session, a record lazily inserts one marker
-carrying the highest clock value reached since its previous entry —
-enough, because intermediate advances between two consecutive ops of one
-session cannot change its decisions (a timeout either fired at the
-first advance past the horizon, with its timestamp pinned to
-``last_point + timeout`` regardless, or it fires just the same at the
-highest value).
+session if it arrives *before* that advance).
+
+Workers advance their clocks **only at tick/sweep barriers** (see
+:meth:`~repro.serve.GestureServer._apply`), so the clock journaled in a
+marker is the router's *broadcast* clock — the highest barrier actually
+sent to workers before the op — never a value inferred from other
+sessions' op timestamps.  Journaling op-derived clock values would be
+unsound: an op's timestamp reaches the worker on the op line itself and
+is folded into the clock at the *next* barrier, after the op applied; a
+marker replayed *before* the op would fire a motionless timeout the
+live worker never fired, and the restarted worker's replies would
+diverge from the delivered prefix.
+
+Rather than journal every broadcast barrier into every session, a
+record lazily inserts one marker carrying the highest broadcast clock
+reached since its previous entry — enough, because intermediate
+advances between two consecutive ops of one session cannot change its
+decisions (a timeout either fired at the first advance past the
+horizon, with its timestamp pinned to ``last_point + timeout``
+regardless, or it fires just the same at the highest value; advances at
+or below the session's own last timestamp — subsumed by the record's
+``clock_mark`` — can never reach its horizon at all).
 
 Every entry carries a router-global sequence number.  Replay merges the
 live records of a shard back into one stream in sequence order — the
@@ -51,10 +65,13 @@ class SessionRecord:
     def journal(self, seq: int, line: str, clock: float, t: float) -> int:
         """Append one routed op line; returns the next free sequence number.
 
-        ``clock`` is the global virtual clock *before* this op (i.e. the
-        highest timestamp the router has seen); if it moved past this
-        record's last entry, a tick marker is inserted first so replay
-        reproduces the advance at this position.
+        ``clock`` is the *broadcast* clock before this op — the highest
+        tick/sweep barrier the router has sent to workers; if it moved
+        past this record's last entry, a tick marker is inserted first
+        so replay reproduces the advance at this position.  ``t`` is the
+        op's own timestamp; it raises ``clock_mark`` (suppressing later
+        markers at or below it) because a barrier advance that cannot
+        exceed the session's last activity can never fire its timeout.
         """
         if clock > self.clock_mark:
             self.entries.append(

@@ -13,7 +13,9 @@ Mechanics:
   sticky routing, so one session's ops never interleave across workers;
 * ``tick``/``sweep`` are broadcast to every live worker: all shards
   share one virtual timeline, exactly as all sessions of a single pool
-  share one clock;
+  share one clock.  Sweeps are additionally journaled per shard (a
+  worker can die before processing one) and pruned once no live
+  journal entry precedes them;
 * every routed op is journaled per session with lazy clock markers
   (:mod:`repro.cluster.journal`); when the supervisor restarts a
   crashed worker, the router replays the journals of that shard's live
@@ -136,6 +138,14 @@ class Router:
         self._clients: dict[str, _Client] = {}
         self._next_client = 0
         self._seq = 0
+        # The *broadcast* clock: the highest t the router has actually
+        # broadcast to workers as a tick/sweep barrier.  Workers advance
+        # their pool clocks only at barriers, so this — and only this —
+        # is where every live worker's clock stands; journal markers and
+        # the replay's trailing tick are taken from it.  Op timestamps
+        # never move it: an op's own t reaches the worker on the op line
+        # itself and is folded in at the next barrier, which replay
+        # reproduces from the journaled op lines.
         self._clock = _NEG_INF
         self._server: asyncio.AbstractServer | None = None
         self._client_tasks: set[asyncio.Task] = set()
@@ -188,7 +198,9 @@ class Router:
         lines = replay_lines(records, link.extras, final_t=final_t)
         for record in records:
             record.skip = record.delivered
-        link.extras = []
+        # link.extras is kept: this worker too can die before processing
+        # a replayed sweep.  Stale entries are pruned as sweeps are
+        # journaled (see _journal_sweep).
         link.queue = asyncio.Queue()  # stale pre-crash queue is discarded
         for line in lines:
             link.queue.put_nowait(line)
@@ -373,23 +385,20 @@ class Router:
             if request.t > self._clock:
                 self._clock = request.t
             self._broadcast(line)
-            # Workers that are down journal the sweep (with a clock
-            # marker, since eviction depends on where time stood) and
-            # run it on replay.
+            # A worker can die with the sweep queued or sent but not yet
+            # processed — death detection is asynchronous, so "up at
+            # routing time" proves nothing — and a lost sweep would mean
+            # the replayed worker never runs the eviction every live
+            # worker ran.  So the sweep is journaled (with its clock
+            # marker) for *every* shard that could still be replayed.
             for link in self.links.values():
-                if link.state == "down" and link.shard not in self.retired:
-                    if self._clock != _NEG_INF:
-                        link.extras.append(
-                            (
-                                self._seq,
-                                json.dumps({"op": "tick", "t": self._clock}),
-                            )
-                        )
-                        self._seq += 1
-                    link.extras.append((self._seq, line))
-                    self._seq += 1
+                if link.shard not in self.retired:
+                    self._journal_sweep(link, line)
             return
-        # down / move / up: sticky-route, journal, forward.
+        # down / move / up: sticky-route, journal, forward.  The journal
+        # marker carries the broadcast clock — the barriers the worker
+        # received before this op; the op's own t is carried by the op
+        # line itself, live and in replay alike.
         key = f"{client.id}:{request.stroke}"
         record = self.sessions.get(key)
         if record is None:
@@ -401,8 +410,6 @@ class Router:
         self._seq = record.journal(
             self._seq, forwarded, clock=self._clock, t=request.t
         )
-        if request.t > self._clock:
-            self._clock = request.t
         link = self.links[record.shard]
         if link.state == "up":
             link.queue.put_nowait(forwarded)
@@ -412,6 +419,46 @@ class Router:
         for link in self.links.values():
             if link.state == "up":
                 link.queue.put_nowait(line)
+
+    def _journal_sweep(self, link: _WorkerLink, line: str) -> None:
+        """Journal one sweep (with clock marker) into a shard's extras.
+
+        Old entries are pruned first: a sweep whose sequence number
+        precedes every live journal entry of the shard would replay
+        against sessions that no longer exist (evicted or committed
+        sessions' journals were dropped on their terminal replies), so
+        it can no longer change anything.  That bounds extras growth to
+        the sweeps broadcast since the shard's oldest live session
+        opened; with no live sessions at all, nothing is journaled.
+        """
+        floor: int | None = None
+        for record in self.sessions.values():
+            if record.shard == link.shard and record.entries:
+                first = record.entries[0][0]
+                if floor is None or first < floor:
+                    floor = first
+        if floor is None:
+            link.extras = []
+            return
+        link.extras = [e for e in link.extras if e[0] >= floor]
+        if self._clock != _NEG_INF:
+            link.extras.append(
+                (self._seq, json.dumps({"op": "tick", "t": self._clock}))
+            )
+            self._seq += 1
+        link.extras.append((self._seq, line))
+        self._seq += 1
+
+    def force_sweep(self, shard: str, max_idle: float = 0.0) -> None:
+        """Send a targeted ``sweep`` to one shard — the drain-deadline
+        hammer.  Journaled exactly like a broadcast sweep, so a crash
+        between send and processing still replays the eviction."""
+        link = self.links[shard]
+        line = json.dumps({"op": "sweep", "max_idle": max_idle})
+        if link.state == "up":
+            link.queue.put_nowait(line)
+        if shard not in self.retired:
+            self._journal_sweep(link, line)
 
     # -- stats and admin -----------------------------------------------------
 

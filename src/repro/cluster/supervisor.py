@@ -204,9 +204,25 @@ class Supervisor:
                 if event.get("event") == "ready":
                     handle.host = event.get("host")
                     handle.port = event.get("port")
+                    try:
+                        if self.on_up is not None:
+                            await self.on_up(
+                                handle.shard, handle.host, handle.port
+                            )
+                    except OSError:
+                        # The worker printed its ready line and then
+                        # died before the router could connect to it
+                        # (ConnectionRefusedError and kin).  Treat it
+                        # exactly like a death: reap the process and
+                        # fall through to the backoff-respawn path —
+                        # letting the exception escape would kill this
+                        # monitor task and leave the shard permanently
+                        # unwatched and never restarted.
+                        with suppress(ProcessLookupError):
+                            proc.kill()
+                        await proc.wait()
+                        break
                     handle.ready = True
-                    if self.on_up is not None:
-                        await self.on_up(handle.shard, handle.host, handle.port)
                     if not ready.done():
                         ready.set_result(None)
         finally:

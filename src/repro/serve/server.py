@@ -21,11 +21,14 @@ to per-channel bounded outboxes.  Backpressure is explicit at both ends:
   than buffer without bound or stall every other client, the server
   closes that channel.  Each closure only ever affects its own client.
 
-Time is virtual: the pool's clock advances to the largest timestamp seen
-in client input (``down``/``move``/``up`` carry ``t``; ``tick`` carries
-only ``t``), so motionless timeouts fire deterministically from the
-recorded timeline, never from the server's wall clock.  All clients of
-one server therefore share a single timeline.
+Time is virtual, and advances **only at ``tick``/``sweep`` barriers**:
+the server tracks the largest timestamp seen anywhere on its input
+(``down``/``move``/``up`` carry ``t``; ``tick`` carries only ``t``) and
+moves the pool's clock to it when a barrier arrives, at the barrier's
+position in line order.  Motionless timeouts therefore fire
+deterministically from the recorded timeline — never from the server's
+wall clock, and never from how lines happened to coalesce into read
+batches.  All clients of one server share a single timeline.
 
 Per-session errors (duplicate ``down``, pool exhaustion) come back as
 ``error`` replies on the offending stroke; malformed lines come back as
@@ -141,6 +144,11 @@ class GestureServer:
         self.max_line = max_line
         self.observer = observer
         self.fault_injector = fault_injector
+        # Largest timestamp seen anywhere on the input stream, across
+        # pump batches.  Barriers advance the pool clock to this value,
+        # so when a timeout fires depends only on line order, never on
+        # how lines coalesced into batches.
+        self._latest = float("-inf")
         self._batch_no = 0
         self._inbox: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
         self._channels: dict[str, Channel] = {}
@@ -206,16 +214,18 @@ class GestureServer:
         return f"{channel.id}/{request.stroke}"
 
     def _apply(self, batch: list[tuple[Channel, Request]]) -> None:
-        """Apply one pump batch, honouring intra-batch clock barriers.
+        """Apply one pump batch; the clock advances at barriers only.
 
         ``tick`` and ``sweep`` requests split the batch into segments:
-        each segment's operations are applied and the clock advanced at
-        the barrier's position, so the pool sees the same sequence of
-        (apply, advance) steps however the lines were coalesced into
-        pump batches.  That makes a server's decisions a pure function
-        of its input line order — the property the cluster router's
-        crash-replay equivalence rests on.  A batch without barriers
-        takes exactly the old path: apply everything, advance once.
+        each segment's operations are applied, then the clock advances
+        to the largest timestamp seen so far *on the whole stream* —
+        at the barrier's position in line order.  Operations outside a
+        barrier are applied (eager recognitions and ``up`` commits
+        still come back promptly) but never move the clock, so a
+        motionless timeout cannot fire earlier or later depending on
+        how lines coalesced into pump batches.  Decisions are a pure
+        function of input line order — the property the cluster
+        router's crash-replay equivalence rests on.
         """
         if self.observer is not None:
             self.observer.server_batch(len(batch))
@@ -226,8 +236,7 @@ class GestureServer:
             live, kills = self.fault_injector.apply(
                 self._batch_no, live, key=self._fault_key
             )
-        latest: float | None = None
-        advanced = False  # a barrier already ran in this batch
+        latest = self._latest
         dirty = False  # pool input buffered since the last barrier
         stats_requests: list[Channel] = []
         decisions: list[Decision] = []
@@ -237,12 +246,11 @@ class GestureServer:
                 stats_requests.append(channel)
                 continue
             if op in ("tick", "sweep"):
-                if latest is None or request.t > latest:
+                if request.t > latest:
                     latest = request.t
                 decisions.extend(self.pool.advance_to(latest))
                 if op == "sweep":
                     decisions.extend(self.pool.evict_idle(request.max_idle))
-                advanced = True
                 dirty = False
                 continue
             key = f"{channel.id}/{request.stroke}"
@@ -253,16 +261,16 @@ class GestureServer:
             else:
                 self.pool.up(key, request.x, request.y, request.t)
             dirty = True
-            if latest is None or request.t > latest:
+            if request.t > latest:
                 latest = request.t
+        self._latest = latest
         for key in kills:
-            self.pool.kill(key, latest if latest is not None else self.pool.clock.now)
+            self.pool.kill(
+                key, latest if latest != float("-inf") else self.pool.clock.now
+            )
             dirty = True
-        if dirty or not advanced:
-            if latest is None:
-                decisions.extend(self.pool.flush())
-            else:
-                decisions.extend(self.pool.advance_to(latest))
+        if dirty:
+            decisions.extend(self.pool.flush())
         for decision in decisions:
             self._route(decision)
         if stats_requests:

@@ -19,6 +19,7 @@ from repro.cluster import (
     Cluster,
     HashRing,
     Router,
+    Supervisor,
     drive_cluster,
     reference_lines,
     workload_ticks,
@@ -260,6 +261,202 @@ def test_supervisor_restarts_with_backoff(recognizer_path):
             assert handle.backoff > first_backoff
 
     asyncio.run(run())
+
+
+def test_timeout_boundary_rescue_survives_crash(
+    recognizer_path, cluster_recognizer
+):
+    # Review regression, end to end: a session one barrier away from its
+    # motionless timeout is rescued by a move at exactly that barrier,
+    # with a peer session's op (same timestamp, different shard) routed
+    # ahead of it.  The router's clock used to advance on the peer op's
+    # timestamp, so the rescue move was journaled behind a t=0.2 marker;
+    # replay after a crash fired a timeout the live worker never fired.
+    ring = HashRing(["w0", "w1"])
+    strokes = [f"s{i}" for i in range(64)]
+    rescued = next(s for s in strokes if ring.lookup(f"k1:{s}") == "w0")
+    peer = next(s for s in strokes if ring.lookup(f"k1:{s}") == "w1")
+    ticks = [
+        (0.0, [("down", peer, 0.0, 0.0), ("down", rescued, 0.0, 0.0)]),
+        (0.1, [("move", peer, 5.0, 5.0)]),
+        (
+            DEFAULT_TIMEOUT,
+            [("move", peer, 10.0, 10.0), ("move", rescued, 3.0, 3.0)],
+        ),
+        (0.3, [("move", peer, 15.0, 15.0)]),
+        (0.4, [("up", peer, 20.0, 20.0)]),
+    ]
+    end_t = end_time(ticks)
+    reference = reference_lines(
+        cluster_recognizer, ticks, end_t=end_t, timeout=DEFAULT_TIMEOUT
+    )
+    # The scenario only bites if the reference's rescue worked: the
+    # boundary move must have counted as a gesture point.
+    assert json.loads(reference[rescued][0])["points_seen"] == 2
+
+    async def run():
+        async with Cluster(
+            recognizer_path, workers=2, timeout=DEFAULT_TIMEOUT
+        ) as cluster:
+            host, port = cluster.address
+            ups_before = {}
+
+            async def before_tick(i, t):
+                if i == 3:  # the rescue group is journaled; now crash
+                    await cluster.wait_all_up()
+                    ups_before["n"] = cluster.router.links["w0"].ups
+                    assert cluster.kill("w0") is not None
+
+            async def before_barrier():
+                await cluster.wait_recovered("w0", ups_before["n"])
+                await cluster.wait_all_up()
+
+            return await drive_cluster(
+                host,
+                port,
+                ticks,
+                end_t=end_t,
+                before_tick=before_tick,
+                before_barrier=before_barrier,
+            )
+
+    replies, stats = asyncio.run(run())
+    assert_byte_identical(replies, reference)
+    assert stats["cluster"]["sessions"] == 0
+
+
+def test_monitor_survives_on_up_connection_failure(recognizer_path):
+    # Review regression: a worker can print its ready line and die
+    # before the router connects, making ``on_up`` raise.  That
+    # exception used to escape the monitor task, leaving the shard
+    # permanently unwatched — never marked dead, never restarted.
+    calls = {"n": 0}
+
+    async def run():
+        connected = asyncio.Event()
+
+        async def flaky_on_up(shard, host, port):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ConnectionRefusedError("worker died before connect")
+            connected.set()
+
+        sup = Supervisor(
+            recognizer_path, ["w0"], on_up=flaky_on_up, backoff_base=0.01
+        )
+        await sup.start()
+        try:
+            await asyncio.wait_for(connected.wait(), 30)
+        finally:
+            await sup.stop()
+        return sup.workers["w0"].restarts
+
+    restarts = asyncio.run(run())
+    assert calls["n"] >= 2
+    assert restarts >= 1
+
+
+def test_drain_deadline_forces_idle_eviction(recognizer_path):
+    # Review regression: drain used to poll forever, so a client that
+    # opened a session and went silent stalled the drain permanently —
+    # with the shard stuck "draining" and un-drainable again.  Now the
+    # deadline force-sweeps the shard: the parked session is evicted
+    # (the client told, like any idle eviction) and the drain completes.
+    victim = shard_of("s0", 2)
+
+    async def run():
+        async with Cluster(
+            recognizer_path,
+            workers=2,
+            timeout=DEFAULT_TIMEOUT,
+            drain_timeout=0.25,
+        ) as cluster:
+            host, port = cluster.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b'{"op": "down", "stroke": "s0", "x": 0, "y": 0, "t": 0.0}\n'
+                b'{"op": "tick", "t": 0.0}\n'
+                b'{"op": "drain", "shard": "' + victim.encode() + b'"}\n'
+            )
+            await writer.drain()
+            drain_reply = json.loads(
+                await asyncio.wait_for(reader.readline(), 30)
+            )
+            assert drain_reply["status"] == "started"
+            # This client never finishes its stroke; the forced sweep
+            # must end the session for it.
+            evict = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 30
+            while victim not in cluster.router.retired:
+                assert loop.time() < deadline
+                await asyncio.sleep(0.02)
+            writer.close()
+            await writer.wait_closed()
+            return evict, cluster.metrics.snapshot()
+
+    evict, snapshot = asyncio.run(run())
+    assert evict["kind"] == "evict"
+    assert evict["stroke"] == "s0"
+    assert snapshot["counters"]["cluster.drains_forced"] == 1
+    assert "cluster.drain_aborts" not in snapshot["counters"]
+    assert snapshot["histograms"]["cluster.drain_seconds"]["count"] == 1
+
+
+def test_drain_aborts_when_shard_cannot_be_emptied(recognizer_path):
+    # The force-sweep escalation cannot help when the shard's worker is
+    # gone for good (here: killed with respawn disabled).  The drain
+    # must then give the shard back — abort, not retire — and leave it
+    # re-drainable instead of stuck "draining" forever.
+    victim = shard_of("s0", 2)
+
+    async def run():
+        async with Cluster(
+            recognizer_path,
+            workers=2,
+            timeout=DEFAULT_TIMEOUT,
+            drain_timeout=0.2,
+        ) as cluster:
+            host, port = cluster.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b'{"op": "down", "stroke": "s0", "x": 0, "y": 0, "t": 0.0}\n'
+                b'{"op": "tick", "t": 0.0}\n'
+            )
+            await writer.drain()
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 30
+            while not cluster.router.sessions:
+                assert loop.time() < deadline
+                await asyncio.sleep(0.02)
+            # Take the worker down for good: marking the handle retired
+            # stops the supervisor from respawning after the kill.
+            cluster.supervisor.workers[victim].retired = True
+            cluster.kill(victim)
+            writer.write(
+                b'{"op": "drain", "shard": "' + victim.encode() + b'"}\n'
+            )
+            await writer.drain()
+            reply = json.loads(await asyncio.wait_for(reader.readline(), 30))
+            assert reply["status"] == "started"
+            while (
+                "cluster.drain_aborts"
+                not in cluster.metrics.snapshot()["counters"]
+            ):
+                assert loop.time() < deadline
+                await asyncio.sleep(0.02)
+            # Aborted: not retired, not draining — re-drainable.
+            assert victim not in cluster.router.retired
+            assert victim not in cluster.router.draining
+            writer.close()
+            await writer.wait_closed()
+            return cluster.metrics.snapshot()
+
+    snapshot = asyncio.run(run())
+    assert snapshot["counters"]["cluster.drain_aborts"] == 1
+    assert snapshot["counters"]["cluster.drains_forced"] == 1
+    # The aborted drain must not count as a completed one.
+    assert "cluster.drain_seconds" not in snapshot.get("histograms", {})
 
 
 def test_router_rejects_malformed_lines_without_workers():

@@ -118,6 +118,38 @@ class TestInProcessChannels:
         assert recog["eager"] is False
         assert recog["t"] == 0.01 + 0.2  # last point + DEFAULT_TIMEOUT
 
+    def test_timeouts_fire_only_at_tick_barriers(self, directions_recognizer):
+        # Review regression: ops used to advance the clock at the end of
+        # whichever pump batch they landed in, so whether a timeout
+        # fired could depend on how the transport coalesced reads.  The
+        # clock now moves only at tick/sweep lines: another session's op
+        # arriving in its own batch must not time this one out.
+        async def scenario():
+            server = GestureServer(directions_recognizer)
+            await server.start()
+            try:
+                channel = await server.open_channel()
+                await channel.send(Request("down", 0.0, "a", 0.0, 0.0))
+                await asyncio.sleep(0.05)  # a's down drains as one batch
+                # A peer op far past a's timeout horizon, in a batch of
+                # its own — pre-fix this advanced the clock to 0.5 and
+                # timed "a" out on its lone down point.
+                await channel.send(Request("down", 0.5, "b", 9.0, 9.0))
+                await asyncio.sleep(0.05)
+                await channel.send(Request("move", 0.5, "a", 5.0, 5.0))
+                await channel.send(Request("up", 0.6, "a", 10.0, 10.0))
+                replies = await _recv_until(channel, "commit")
+            finally:
+                await server.stop()
+            return replies
+
+        replies = asyncio.run(scenario())
+        recog = next(
+            r for r in replies if r["stroke"] == "a" and r["kind"] == "recog"
+        )
+        assert recog["reason"] != "timeout"
+        assert recog["points_seen"] == 2
+
     def test_session_errors_do_not_close_channel(self, directions_recognizer):
         async def scenario():
             server = GestureServer(directions_recognizer)
