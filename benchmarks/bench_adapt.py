@@ -1,0 +1,171 @@
+"""Personalization-loop benchmark: incremental retrain and swap latency.
+
+The adapt subsystem's perf claims, measured:
+
+* **incremental wins** — retraining N users' candidates against the
+  base model's warm stage cache is faster than N cold full retrains of
+  the same combined example sets.  The win comes from the cache: the
+  base manifest is recovered (not regenerated) and the base strokes'
+  eager-prefix vectors are shared across every user.  This must hold
+  on any machine, 1 CPU included, so it is asserted unconditionally;
+* **per-user models are cheap to hold** — one published candidate per
+  user, content-addressed in the registry;
+* **hot-swap is fast** — registry load + ``swap_model`` + the tick
+  barrier that applies it, measured per swap.  The absolute bound is
+  CPU-gated (a loaded 1-core container cannot promise milliseconds);
+  the distribution is published regardless.
+
+Results go to ``BENCH_adapt.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+from conftest import write_bench_json, write_report
+
+from repro.adapt import AdaptPipeline
+from repro.serve import ModelRegistry, SessionPool
+from repro.synth import GestureGenerator, family_templates
+from repro.train import TrainJobSpec, TrainingPipeline
+
+FAMILY = "gdp"
+EXAMPLES = 8
+SEED = 7
+N_USERS = 8
+
+
+def user_examples(seed: int, classes: int = 2, per_class: int = 2) -> list:
+    generator = GestureGenerator(family_templates(FAMILY), seed=seed)
+    by_class = generator.generate_strokes(per_class)
+    out = []
+    for name, strokes in list(by_class.items())[:classes]:
+        for stroke in strokes:
+            out.append(
+                {
+                    "stroke": f"s{len(out)}",
+                    "class": name,
+                    "points": [[p.x, p.y, p.t] for p in stroke],
+                    "source": "correction",
+                }
+            )
+    return out
+
+
+def test_adapt_numbers(tmp_path):
+    registry_root = tmp_path / "registry"
+    cache_dir = tmp_path / "cache"
+    base = TrainingPipeline(
+        TrainJobSpec(family=FAMILY, examples=EXAMPLES, seed=SEED),
+        cache_dir=cache_dir,
+    ).run()
+    TrainingPipeline(
+        TrainJobSpec(family=FAMILY, examples=EXAMPLES, seed=SEED),
+        cache_dir=cache_dir,
+    ).publish(registry_root, base)
+
+    users = [(f"user{i}", user_examples(seed=1000 + i)) for i in range(N_USERS)]
+
+    # Warm-up: the first adapt run pays for the base strokes' prefix
+    # vectors once; every later user reuses them.  Timing starts after,
+    # so `incremental_s` measures the steady state a serving fleet
+    # lives in.
+    warm = AdaptPipeline(
+        registry_root, FAMILY, cache_dir=cache_dir,
+        state_dir=tmp_path / "state",
+    )
+    warm.fold("warmup", user_examples(seed=999))
+    warm.run("warmup")
+
+    results = []
+    start = time.perf_counter()
+    for user, examples in users:
+        warm.fold(user, examples)
+        results.append(warm.run(user))
+    incremental_s = time.perf_counter() - start
+    for result in results:
+        warm.publish(result)
+
+    # The same users, cold: no stage cache, nothing shared.
+    start = time.perf_counter()
+    cold_results = []
+    for user, examples in users:
+        cold = AdaptPipeline(registry_root, FAMILY, cache_dir=None)
+        cold.fold(user, examples)
+        cold_results.append(cold.run(user))
+    full_s = time.perf_counter() - start
+
+    # Same bits either way — the speedup is free.
+    for warm_r, cold_r in zip(results, cold_results):
+        assert warm_r.model_hash == cold_r.model_hash
+    assert incremental_s < full_s, (
+        f"incremental {incremental_s:.3f}s should beat cold {full_s:.3f}s"
+    )
+
+    # Hot-swap latency: load the published candidate and apply it at a
+    # tick barrier of a live pool, per user.
+    registry = ModelRegistry(registry_root)
+    base_model = registry.load(FAMILY)
+    pool = SessionPool(base_model, timeout=0.2)
+    swap_times = []
+    for i, result in enumerate(results):
+        t = float(i)
+        start = time.perf_counter()
+        candidate = registry.load(result.candidate_name, result.version)
+        pool.swap_model(f"{result.user}/", candidate, t, label=result.version)
+        pool.advance_to(t)
+        swap_times.append(time.perf_counter() - start)
+    swap_ms = sorted(s * 1000 for s in swap_times)
+    mean_ms = sum(swap_ms) / len(swap_ms)
+    p99_ms = swap_ms[min(len(swap_ms) - 1, int(len(swap_ms) * 0.99))]
+
+    speedup = full_s / incremental_s if incremental_s > 0 else 0.0
+    cpus = os.cpu_count() or 1
+    prefix_hits = sum(r.prefixes_cached for r in results)
+    prefix_misses = sum(r.prefixes_computed for r in results)
+    write_report(
+        "adapt_loop",
+        f"Per-user adaptation ({FAMILY} base, {EXAMPLES}/class, "
+        f"{N_USERS} users)\n"
+        f"incremental (warm cache): {incremental_s * 1000:.1f} ms total, "
+        f"{incremental_s / N_USERS * 1000:.1f} ms/user\n"
+        f"full retrain (cold):      {full_s * 1000:.1f} ms total "
+        f"({speedup:.2f}x slower, {cpus} cpus)\n"
+        f"prefix cache: {prefix_hits} hits / {prefix_misses} computed\n"
+        f"hot swap: mean {mean_ms:.2f} ms, p99 {p99_ms:.2f} ms "
+        f"over {N_USERS} swaps",
+    )
+    write_bench_json(
+        "adapt",
+        params={
+            "family": FAMILY,
+            "examples_per_class": EXAMPLES,
+            "seed": SEED,
+            "users": N_USERS,
+            "user_examples": len(users[0][1]),
+            "cpus": cpus,
+        },
+        results={
+            "per_user_models": len({r.candidate_name for r in results}),
+            "incremental_s": round(incremental_s, 4),
+            "incremental_per_user_s": round(incremental_s / N_USERS, 4),
+            "full_s": round(full_s, 4),
+            "incremental_speedup": round(speedup, 3),
+            "prefix_cache_hits": prefix_hits,
+            "prefix_cache_misses": prefix_misses,
+            "swap_ms_mean": round(mean_ms, 3),
+            "swap_ms_p99": round(p99_ms, 3),
+        },
+    )
+    assert len({r.candidate_name for r in results}) == N_USERS
+    if cpus < 4:
+        pytest.skip(
+            f"only {cpus} CPU(s): incremental win asserted above, but "
+            "absolute latency bounds are not meaningful on this machine"
+        )
+    assert speedup >= 1.5, (
+        f"warm cache gave only {speedup:.2f}x over cold retrains"
+    )
+    assert p99_ms < 250.0, f"swap p99 {p99_ms:.1f} ms"

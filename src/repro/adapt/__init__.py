@@ -1,0 +1,36 @@
+"""Per-user online adaptation: harvest, retrain, shadow-eval, hot-swap.
+
+The personalization loop closes the gap the paper leaves open between
+*training* (§4, offline, one classifier for everyone) and *use* (§5,
+online, one particular human's hand):
+
+1. :class:`AdaptStore` **harvests** labelled examples per user from the
+   serving traffic journal, the quality trace, and explicit corrections;
+2. :class:`AdaptPipeline` **retrains** a per-user candidate by folding
+   those examples into the base model's training set — incremental via
+   the shared stage cache, yet bit-identical to batch-training on the
+   combined set;
+3. :func:`shadow_eval` **replays** the user's strokes through live and
+   candidate models and issues a byte-stable promotion verdict — never
+   promote on a tie or regression;
+4. the serving layer **hot-swaps** the promoted model at a tick barrier
+   (``SessionPool.swap_model`` / the ``swap`` protocol op), pinning
+   in-flight sessions to the model they started with.
+
+Each step is deterministic, so the whole loop is auditable end to end:
+same journals + same base ⇒ same candidate hash, same report bytes,
+same verdict.
+"""
+
+from .harvest import AdaptStore, harvest_hash
+from .retrain import AdaptPipeline, AdaptRunResult
+from .shadow import report_hash, shadow_eval
+
+__all__ = [
+    "AdaptPipeline",
+    "AdaptRunResult",
+    "AdaptStore",
+    "harvest_hash",
+    "report_hash",
+    "shadow_eval",
+]

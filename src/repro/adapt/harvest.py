@@ -1,0 +1,194 @@
+"""Harvesting labelled training examples from serving telemetry.
+
+The personalization loop starts where serving observability ends: the
+traffic journal (the ops a user actually drew), the
+:class:`~repro.obs.QualityMonitor` trace (what the recognizer decided
+and how confidently), and explicit user corrections.  This module joins
+the three into per-user labelled examples:
+
+* a **correction** always wins — the user told us the true class;
+* an uncorrected **outlier** decision (Rubine's ``d^2 > 0.5 F^2``
+  rejection rule) is *skipped*: the decided label is untrustworthy and
+  there is no human label to replace it;
+* a **timeout** decision, a long **ambiguous dwell**, or a thin
+  **classification margin** marks a gesture the base model found hard;
+  it is harvested under the decided class so retraining reinforces the
+  call on this user's rendition of it;
+* a healthy decision teaches nothing the base model does not already
+  know, and is not harvested.
+
+Everything is deterministic: examples come out in traffic-journal
+arrival order (the order the user's ``down`` events appeared), so one
+journal + one trace + one corrections file always produce the same
+per-user example lists and the same :func:`harvest_hash` — the property
+the incremental retrainer's cache keys and the promotion audit trail
+are built on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..hashing import content_hash
+
+__all__ = ["AdaptStore", "harvest_hash"]
+
+# Default thresholds: dwell is measured against the 0.2 s motionless
+# timeout (three-quarters of the way there means the user sat waiting),
+# and margins under 0.5 are razor-thin next to the hundreds a confident
+# decision scores (see repro.obs.quality's bucket ladders).
+DEFAULT_DWELL_THRESHOLD = 0.15
+DEFAULT_MARGIN_THRESHOLD = 0.5
+
+
+def harvest_hash(examples: list) -> str:
+    """Content hash of one user's harvested example list."""
+    return content_hash(examples)
+
+
+class AdaptStore:
+    """Join traffic, quality trace, and corrections into labelled examples.
+
+    Feed records with :meth:`add_op` / :meth:`add_trace` /
+    :meth:`add_correction` (or the ``load_*`` NDJSON readers), then call
+    :meth:`harvest`.  The store never mutates its inputs and harvests
+    are pure functions of them, so harvesting twice — or on another
+    machine — yields identical bytes.
+    """
+
+    def __init__(
+        self,
+        *,
+        dwell_threshold: float = DEFAULT_DWELL_THRESHOLD,
+        margin_threshold: float = DEFAULT_MARGIN_THRESHOLD,
+        min_points: int = 3,
+    ):
+        self.dwell_threshold = dwell_threshold
+        self.margin_threshold = margin_threshold
+        self.min_points = min_points
+        # stroke key -> {"user", "points": [[x, y, t], ...]}; insertion
+        # order is traffic arrival order of the stroke's down.
+        self._strokes: dict[str, dict] = {}
+        # stroke key -> quality trace record (rec == "quality").
+        self._quality: dict[str, dict] = {}
+        # (user, stroke key) -> corrected class.
+        self._corrections: dict[tuple[str, str], str] = {}
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_op(self, record: dict) -> None:
+        """One traffic-journal op: ``{"op", "user", "stroke", "x", "y", "t"}``.
+
+        The stroke a session classifies is its ``down`` plus every
+        ``move`` — ``up`` ends collection without contributing a point,
+        exactly as the serving layer's gesture handler does — so the
+        harvested points are bit-equal to what the recognizer saw.
+        """
+        op = record.get("op")
+        key = record.get("stroke", "")
+        if op == "down":
+            self._strokes[key] = {
+                "user": record.get("user", ""),
+                "points": [[record["x"], record["y"], record["t"]]],
+            }
+        elif op == "move":
+            stroke = self._strokes.get(key)
+            if stroke is not None:
+                stroke["points"].append(
+                    [record["x"], record["y"], record["t"]]
+                )
+        # "up" carries no new point; anything else is not traffic.
+
+    def add_trace(self, record: dict) -> None:
+        """One observability record; only ``rec == "quality"`` ones matter."""
+        if record.get("rec") == "quality":
+            self._quality[record.get("session", "")] = record
+
+    def add_correction(self, record: dict) -> None:
+        """One ``{"rec": "correction", "user", "stroke", "class"}`` record."""
+        if record.get("rec") == "correction":
+            self._corrections[
+                (record.get("user", ""), record.get("stroke", ""))
+            ] = record["class"]
+
+    def load_traffic(self, path: str | Path) -> int:
+        return self._load(path, self.add_op)
+
+    def load_traces(self, path: str | Path) -> int:
+        return self._load(path, self.add_trace)
+
+    def load_corrections(self, path: str | Path) -> int:
+        return self._load(path, self.add_correction)
+
+    @staticmethod
+    def _load(path: str | Path, add) -> int:
+        count = 0
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    add(json.loads(line))
+                    count += 1
+        return count
+
+    # -- harvesting ----------------------------------------------------------
+
+    def harvest(self) -> tuple[dict[str, list], dict]:
+        """Label every journaled stroke; returns ``(by_user, counts)``.
+
+        ``by_user`` maps each user id to its examples — dicts of
+        ``{"stroke", "class", "points", "source"}`` in arrival order.
+        ``counts`` reports what happened to every stroke, so a harvest
+        that silently drops data is visible in the numbers.
+        """
+        by_user: dict[str, list] = {}
+        counts = {
+            "strokes": 0,
+            "harvested": 0,
+            "correction": 0,
+            "timeout": 0,
+            "dwell": 0,
+            "margin": 0,
+            "skipped_healthy": 0,
+            "skipped_outlier": 0,
+            "skipped_undecided": 0,
+            "skipped_short": 0,
+        }
+        for key, stroke in self._strokes.items():
+            counts["strokes"] += 1
+            label, source = self._label(key, stroke)
+            if label is None:
+                counts[f"skipped_{source}"] += 1
+                continue
+            if len(stroke["points"]) < self.min_points:
+                counts["skipped_short"] += 1
+                continue
+            by_user.setdefault(stroke["user"], []).append(
+                {
+                    "stroke": key,
+                    "class": label,
+                    "points": [list(p) for p in stroke["points"]],
+                    "source": source,
+                }
+            )
+            counts["harvested"] += 1
+            counts[source] += 1
+        return by_user, counts
+
+    def _label(self, key: str, stroke: dict) -> tuple[str | None, str]:
+        corrected = self._corrections.get((stroke["user"], key))
+        if corrected is not None:
+            return corrected, "correction"
+        quality = self._quality.get(key)
+        if quality is None:
+            return None, "undecided"
+        if quality.get("outlier"):
+            return None, "outlier"
+        if quality.get("reason") == "timeout":
+            return quality["class"], "timeout"
+        if quality.get("dwell", 0.0) >= self.dwell_threshold:
+            return quality["class"], "dwell"
+        if quality.get("margin", float("inf")) < self.margin_threshold:
+            return quality["class"], "margin"
+        return None, "healthy"

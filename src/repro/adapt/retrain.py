@@ -1,0 +1,534 @@
+"""Per-user incremental retraining on top of the staged trainer.
+
+:class:`AdaptPipeline` folds a user's harvested examples into the base
+model's training set and produces a *candidate* recognizer, reusing the
+training pipeline's stage functions and content-addressed
+:class:`~repro.train.StageCache` so the result is **bit-identical** to
+batch-training on the combined example set — the same claim the staged
+trainer makes against the in-memory trainer, extended per user.
+
+What makes the retrain *incremental* rather than a disguised full run:
+
+* the **base manifest** is recovered from the base model's registry
+  lineage (its manifest stage key), so the base dataset is read from
+  the cache, not regenerated;
+* **prefix feature vectors** — the dominant training cost, one
+  incremental sweep per example enumerating every subgesture — are
+  cached per example, keyed by the points' content.  The base examples'
+  prefixes are computed once *ever*; every user's retrain reuses them
+  and computes prefixes only for that user's handful of new examples.
+  (The prefix→label step must re-run per candidate because labelling
+  consults the candidate's own full classifier, but it is a thin layer
+  of dot products over the cached vectors.)
+* the classifier/AUC/package stages run through the standard stage
+  keys, so re-running the same fold is a pure cache replay, and a
+  retrain killed half-way resumes exactly like ``train --resume``.
+
+Per-user state (the fold of harvested examples) persists under
+``state_dir``, named by a hash of the user id (ids may contain ``:`` or
+``/`` — they are session-key prefixes), written atomically, and keyed to
+the base version so a rebased user re-folds cleanly.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..eager import EagerTrainingConfig
+from ..fsio import atomic_write_text
+from ..geometry import Point, Stroke
+from ..hashing import canonical_json, content_hash, short_hash
+from ..train import TrainJobSpec
+from ..train import stages as train_stages
+from ..train.cache import StageCache, write_checkpoint
+from .harvest import harvest_hash
+
+__all__ = ["AdaptPipeline", "AdaptRunResult"]
+
+
+@dataclass
+class AdaptRunResult:
+    """Everything one per-user retrain produced."""
+
+    user: str
+    candidate_name: str
+    model: dict  # EagerRecognizer.to_dict()
+    model_hash: str
+    lineage: dict
+    stages_run: list[str] = field(default_factory=list)
+    stages_cached: list[str] = field(default_factory=list)
+    user_example_count: int = 0
+    base_example_count: int = 0
+    class_count: int = 0
+    new_classes: list[str] = field(default_factory=list)
+    prefixes_computed: int = 0
+    prefixes_cached: int = 0
+    wall_time_s: float = 0.0
+    published: dict | None = None
+
+    @property
+    def version(self) -> str:
+        """The registry version this candidate has (or would get)."""
+        return self.model_hash[:12]
+
+
+def _sanitize_user(user: str) -> str:
+    """A registry-directory-safe candidate-name suffix for a user id.
+
+    User ids are session-key prefixes and may contain ``:`` / ``/``;
+    when sanitizing changes the id, a short hash of the original is
+    appended so two ids that sanitize alike cannot collide.
+    """
+    safe = re.sub(r"[^A-Za-z0-9_.-]", "-", user) or "user"
+    if safe != user:
+        safe = f"{safe}-{short_hash({'user': user}, 6)}"
+    return safe
+
+
+class AdaptPipeline:
+    """Fold harvested examples into per-user candidate models.
+
+    Args:
+        registry: a :class:`~repro.serve.ModelRegistry` or its root path;
+            the base model is loaded from here and candidates publish
+            back into it.
+        base: the base model as ``name`` or ``name@version``.
+        cache_dir: stage-cache root shared with ``repro-gestures train``
+            — a warm base train makes the first adapt mostly cache hits;
+            ``None`` keeps everything in memory (a full, cold retrain).
+        state_dir: where per-user fold state persists; ``None`` keeps
+            folds in memory for this pipeline's lifetime only.
+        jobs: process fan-out for the features/classifier stages.
+        metrics: optional duck-typed observer
+            (``counter(name).inc(n)``).
+    """
+
+    def __init__(
+        self,
+        registry,
+        base: str,
+        *,
+        cache_dir: str | Path | None = None,
+        state_dir: str | Path | None = None,
+        jobs: int = 1,
+        metrics=None,
+    ):
+        if not hasattr(registry, "load"):
+            from ..serve.registry import ModelRegistry
+
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        name, _, version = base.partition("@")
+        self.base_name = name
+        self.base_version = version or registry.latest_version(name)
+        self.cache = StageCache(cache_dir)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.jobs = max(1, int(jobs))
+        self.metrics = metrics
+        self._mem_state: dict[str, dict] = {}
+        metadata = registry.metadata_of(self.base_name, self.base_version)
+        self._base_lineage = metadata.get("lineage") or {}
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(n)
+
+    # -- per-user fold state -------------------------------------------------
+
+    def state_path(self, user: str) -> Path | None:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / f"{short_hash({'user': user})}.json"
+
+    def load_state(self, user: str) -> dict:
+        """The user's fold: harvested examples absorbed so far.
+
+        A state folded against a different base version is discarded —
+        the candidate lineage must trace to the current base, and a
+        re-fold of the same harvest is cheap and deterministic.
+        """
+        state = None
+        path = self.state_path(user)
+        if path is not None and path.exists():
+            import json
+
+            state = json.loads(path.read_text())
+        elif path is None:
+            state = self._mem_state.get(user)
+        base = {"name": self.base_name, "version": self.base_version}
+        if state is None or state.get("base") != base:
+            state = {"user": user, "base": base, "examples": [], "folded": []}
+        return state
+
+    def fold(self, user: str, examples: list) -> dict:
+        """Absorb new harvested examples into the user's fold state.
+
+        Idempotent: an example already folded (by content hash) is
+        skipped, so re-harvesting an ever-growing journal only appends
+        the genuinely new tail, in harvest order.
+        """
+        state = self.load_state(user)
+        seen = set(state["folded"])
+        for example in examples:
+            h = short_hash(example)
+            if h in seen:
+                continue
+            seen.add(h)
+            state["folded"].append(h)
+            state["examples"].append(example)
+            self._count("adapt.examples_folded")
+        path = self.state_path(user)
+        if path is not None:
+            atomic_write_text(path, canonical_json(state))
+        else:
+            self._mem_state[user] = state
+        return state
+
+    # -- the base training set -----------------------------------------------
+
+    def _base_spec(self) -> TrainJobSpec:
+        identity = self._base_lineage.get("spec")
+        if not identity:
+            raise ValueError(
+                f"{self.base_name}@{self.base_version} has no training "
+                "lineage; cannot adapt a model whose dataset is unknown"
+            )
+        return TrainJobSpec(
+            family=identity.get("family"),
+            dataset=identity.get("dataset"),
+            examples=identity.get("examples") or 15,
+            seed=identity.get("seed") if identity.get("seed") is not None else 7,
+            config=dict(identity.get("config") or {}),
+        )
+
+    def _base_manifest(self) -> tuple[dict, str]:
+        """The base model's frozen training data, cache-first.
+
+        The manifest stage key comes from the base's lineage, so a cache
+        warmed by the base train serves it without touching the original
+        dataset; on a cold cache the manifest is rebuilt from the
+        lineage spec (and cached for every later user).
+        """
+        key = (self._base_lineage.get("stages") or {}).get("manifest")
+        if key:
+            manifest = self.cache.get(key)
+            if manifest is not None:
+                return manifest, content_hash(manifest)
+        spec = self._base_spec()
+        if not key:
+            key = train_stages.stage_key(
+                "manifest", {}, train_stages.manifest_params(spec)
+            )
+            manifest = self.cache.get(key)
+            if manifest is not None:
+                return manifest, content_hash(manifest)
+        manifest = self.cache.put(key, train_stages.build_manifest(spec))
+        return manifest, content_hash(manifest)
+
+    # -- the retrain ---------------------------------------------------------
+
+    def job_key(self, user: str, state: dict) -> str:
+        """Checkpoint name of one (base, user, fold) retrain."""
+        return short_hash(
+            {
+                "adapt": 1,
+                "base": [self.base_name, self.base_version],
+                "user": user,
+                "harvest": harvest_hash(state["examples"]),
+            }
+        )
+
+    def run(self, user: str) -> AdaptRunResult:
+        """Retrain the user's candidate from the current fold state.
+
+        Deterministic and resumable: the same base version and the same
+        folded examples produce the same combined manifest, the same
+        stage keys, and a bit-identical candidate model hash on any
+        host, at any jobs count, across any number of kills.
+        """
+        started = time.perf_counter()
+        state = self.load_state(user)
+        user_examples = state["examples"]
+        if not user_examples:
+            raise ValueError(f"nothing harvested for user {user!r}")
+        config = EagerTrainingConfig(
+            **(self._base_lineage.get("spec", {}).get("config") or {})
+        )
+        base_manifest, base_hash = self._base_manifest()
+
+        result = AdaptRunResult(
+            user=user,
+            candidate_name=f"{self.base_name}--{_sanitize_user(user)}",
+            model={},
+            model_hash="",
+            lineage={},
+        )
+        completed: dict[str, str] = {}
+        job_key = self.job_key(user, state)
+
+        def run_stage(name: str, key: str, compute):
+            payload = self.cache.get(key)
+            if payload is None:
+                payload = self.cache.put(key, compute())
+                result.stages_run.append(name)
+                self._count("adapt.stages_run")
+            else:
+                result.stages_cached.append(name)
+                self._count("adapt.stages_cached")
+            completed[name] = key
+            if self.cache_dir is not None:
+                write_checkpoint(
+                    self.cache_dir,
+                    job_key,
+                    {
+                        "adapt": {"user": user, "base": state["base"]},
+                        "stages": dict(completed),
+                    },
+                )
+            return payload
+
+        # 1. manifest: base examples + the user's, class-major, new
+        # classes appended in first-seen order — the exact layout
+        # build_manifest would freeze for the combined dataset.
+        manifest_key = train_stages.stage_key(
+            "manifest",
+            {"base": base_hash},
+            {
+                "source": "repro.adapt",
+                "examples": harvest_hash(user_examples),
+            },
+        )
+        manifest = run_stage(
+            "manifest",
+            manifest_key,
+            lambda: _combined_manifest(base_manifest, user_examples),
+        )
+        manifest_hash = content_hash(manifest)
+
+        # 2–3. features and classifier: the standard stages on the
+        # combined manifest, under the standard content-derived keys.
+        features_key = train_stages.stage_key(
+            "features", {"manifest": manifest_hash}, {}
+        )
+        features = run_stage(
+            "features",
+            features_key,
+            lambda: train_stages.run_features(manifest, self.jobs),
+        )
+        features_hash = content_hash(features)
+
+        classifier_key = train_stages.stage_key(
+            "classifier", {"features": features_hash}, {}
+        )
+        classifier = run_stage(
+            "classifier",
+            classifier_key,
+            lambda: train_stages.run_classifier(features, self.jobs),
+        )
+        classifier_hash = content_hash(classifier)
+
+        # 4. subgestures: per-example prefix vectors come from the
+        # adapt_prefixes cache (computed once ever per stroke); only the
+        # labelling — predictions of *this* candidate's classifier over
+        # those vectors — runs per retrain.  The payload is bit-identical
+        # to run_subgestures' and is stored under its standard key, so
+        # adapt and batch training share the cache both ways.
+        subgestures_key = train_stages.stage_key(
+            "subgestures",
+            {"manifest": manifest_hash, "classifier": classifier_hash},
+            {"min_prefix_points": config.min_prefix_points},
+        )
+        subgestures = run_stage(
+            "subgestures",
+            subgestures_key,
+            lambda: self._label_manifest(
+                manifest, classifier, config.min_prefix_points, result
+            ),
+        )
+        subgestures_hash = content_hash(subgestures)
+
+        # 5–6. AUC and package: the training pipeline's stages, verbatim.
+        auc_key = train_stages.stage_key(
+            "auc",
+            {"subgestures": subgestures_hash, "classifier": classifier_hash},
+            {
+                name: getattr(config, name)
+                for name in train_stages.AUC_PARAM_FIELDS
+            },
+        )
+        auc = run_stage(
+            "auc",
+            auc_key,
+            lambda: train_stages.run_auc(subgestures, classifier, config),
+        )
+        auc_hash = content_hash(auc)
+
+        package_key = train_stages.stage_key(
+            "package",
+            {"classifier": classifier_hash, "auc": auc_hash},
+            {"min_points": config.min_prefix_points},
+        )
+        package = run_stage(
+            "package",
+            package_key,
+            lambda: train_stages.run_package(
+                classifier, auc, config.min_prefix_points
+            ),
+        )
+
+        result.model = package["model"]
+        result.model_hash = package["model_hash"]
+        result.user_example_count = len(user_examples)
+        result.base_example_count = len(base_manifest["examples"])
+        result.class_count = len(manifest["classes"])
+        result.new_classes = [
+            name
+            for name in manifest["classes"]
+            if name not in base_manifest["classes"]
+        ]
+        result.wall_time_s = time.perf_counter() - started
+        result.lineage = {
+            "base": {"name": self.base_name, "version": self.base_version},
+            "user": user,
+            "harvest": harvest_hash(user_examples),
+            "examples": len(user_examples),
+            "stages": dict(completed),
+            "model_hash": result.model_hash,
+            "wall_time_s": round(result.wall_time_s, 6),
+        }
+        self._count("adapt.candidates")
+        return result
+
+    def publish(self, result: AdaptRunResult):
+        """Publish a candidate into the registry with its adapt lineage."""
+        from ..eager import EagerRecognizer
+
+        published = self.registry.publish(
+            result.candidate_name,
+            EagerRecognizer.from_dict(result.model),
+            metadata={"source": "repro.adapt", "lineage": result.lineage},
+        )
+        result.published = {
+            "name": published.name,
+            "version": published.version,
+            "path": str(published.path),
+        }
+        self._count("adapt.published")
+        return published
+
+    # -- labelling over cached prefixes --------------------------------------
+
+    def _prefix_payload(
+        self, points: list, min_points: int, result: AdaptRunResult
+    ) -> dict:
+        """Prefix feature vectors of one stroke, computed once ever.
+
+        Keyed by the points' content alone — prefix enumeration does not
+        depend on any classifier — so the base examples' sweeps (the
+        bulk of training compute) are shared across every user and every
+        retrain round.
+        """
+        key = short_hash(
+            {
+                "stage": "adapt_prefixes",
+                "v": 1,
+                "points": content_hash(points),
+                "min_points": min_points,
+            }
+        )
+        payload = self.cache.get(key)
+        if payload is None:
+            from ..eager import prefix_feature_vectors
+
+            prefixes = prefix_feature_vectors(
+                Stroke(Point(x, y, t) for x, y, t in points), min_points
+            )
+            payload = self.cache.put(
+                key,
+                {
+                    "lengths": list(prefixes.lengths),
+                    "vectors": [v.tolist() for v in prefixes.vectors],
+                },
+            )
+            result.prefixes_computed += 1
+            self._count("adapt.prefixes_computed")
+        else:
+            result.prefixes_cached += 1
+            self._count("adapt.prefixes_cached")
+        return payload
+
+    def _label_manifest(
+        self,
+        manifest: dict,
+        classifier_payload: dict,
+        min_points: int,
+        result: AdaptRunResult,
+    ) -> dict:
+        """The subgestures stage, from cached prefixes.
+
+        Mirrors :func:`~repro.eager.label_example` exactly — same
+        prediction calls, same largest-down completeness scan — over the
+        cached vectors, producing the byte-identical payload
+        :func:`~repro.train.stages.run_subgestures` would.
+        """
+        from ..recognizer import GestureClassifier
+
+        classifier = GestureClassifier.from_dict(classifier_payload)
+        examples = []
+        for i, ex in enumerate(manifest["examples"]):
+            payload = self._prefix_payload(ex["points"], min_points, result)
+            vectors = payload["vectors"]
+            predictions = [
+                classifier.classify_features(np.asarray(v, dtype=float))
+                for v in vectors
+            ]
+            complete = [False] * len(predictions)
+            all_correct_above = True
+            for idx in range(len(predictions) - 1, -1, -1):
+                all_correct_above = (
+                    all_correct_above and predictions[idx] == ex["class"]
+                )
+                complete[idx] = all_correct_above
+            examples.append(
+                {
+                    "id": i,
+                    "class": ex["class"],
+                    "lengths": list(payload["lengths"]),
+                    "vectors": vectors,
+                    "predicted": predictions,
+                    "complete": complete,
+                }
+            )
+        return {"examples": examples}
+
+
+def _combined_manifest(base_manifest: dict, user_examples: list) -> dict:
+    """Base + user examples as one class-major manifest.
+
+    Within a class, base examples come first (in base order) and the
+    user's follow in fold order; classes the base never saw are appended
+    in first-seen order.  This is the layout ``build_manifest`` freezes
+    for the equivalent combined dataset, which is what makes the adapt
+    candidate's hash equal the batch-trained one's.
+    """
+    classes = list(base_manifest["classes"])
+    for example in user_examples:
+        if example["class"] not in classes:
+            classes.append(example["class"])
+    examples = []
+    for name in classes:
+        examples.extend(
+            ex for ex in base_manifest["examples"] if ex["class"] == name
+        )
+        examples.extend(
+            {"class": name, "points": [list(p) for p in ex["points"]]}
+            for ex in user_examples
+            if ex["class"] == name
+        )
+    return {"classes": classes, "examples": examples}

@@ -1,0 +1,131 @@
+"""Shadow evaluation: replay a user's strokes through live vs candidate.
+
+A candidate model earns promotion by *evidence*, never optimism: the
+user's recent journaled strokes — with their harvested labels — are
+replayed offline through both the live model and the candidate, and the
+candidate is promoted only if it is strictly better:
+
+* more strokes classified correctly, or
+* the same number correct *and* a strictly larger summed margin toward
+  the true labels (the quantity Rubine's §4.6 bias tweak optimizes).
+
+A tie, a regression, or an empty replay set all reject — hot-swapping a
+model that merely matches the live one buys nothing and risks churn.
+
+The report is a pure function of ``(live model, candidate model,
+labelled strokes)`` built from the same feature pipeline the trainer
+uses, so re-running the evaluation anywhere reproduces it byte-for-byte
+(:func:`report_hash` over :func:`~repro.hashing.canonical_json`); the
+promotion audit trail can therefore pin the exact bytes a verdict was
+issued on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..features import features_of
+from ..geometry import Point, Stroke
+from ..hashing import content_hash
+
+__all__ = ["shadow_eval", "report_hash"]
+
+
+def report_hash(report: dict) -> str:
+    """Content hash of a shadow-eval report (the promotion audit id)."""
+    return content_hash(report)
+
+
+def _model_view(recognizer, stroke: Stroke, label: str) -> dict:
+    """One model's take on one labelled stroke.
+
+    ``margin`` is toward the *true* label — its linear evaluation minus
+    the best other class's — so it is positive exactly when the model
+    ranks the truth first, and summing it rewards confidently-right over
+    barely-right.  A label the model has no class for scores incorrect
+    with zero margin (it cannot possibly rank it first).
+    """
+    result = recognizer.recognize(stroke)
+    full = recognizer.full_classifier
+    if label not in full.class_names:
+        return {
+            "class": result.class_name,
+            "correct": False,
+            "eager": result.eager,
+            "points_seen": result.points_seen,
+            "margin": 0.0,
+        }
+    features = features_of(stroke)
+    if full.feature_indices is not None:
+        features = features[full.feature_indices]
+    scores = full.linear.evaluations(features)
+    idx = full.class_names.index(label)
+    others = np.delete(scores, idx)
+    margin = float(scores[idx] - others.max()) if len(others) else 0.0
+    return {
+        "class": result.class_name,
+        "correct": result.class_name == label,
+        "eager": result.eager,
+        "points_seen": result.points_seen,
+        "margin": margin,
+    }
+
+
+def _totals(views: list[dict]) -> dict:
+    correct = sum(1 for v in views if v["correct"])
+    return {
+        "correct": correct,
+        "accuracy": correct / len(views) if views else 0.0,
+        "margin_sum": float(sum(v["margin"] for v in views)),
+        "eager": sum(1 for v in views if v["eager"]),
+    }
+
+
+def shadow_eval(live, candidate, labelled_strokes: list) -> dict:
+    """Replay labelled strokes through both models; return the verdict.
+
+    ``labelled_strokes`` is a list of ``{"class", "points"}`` dicts —
+    harvested examples qualify directly.  Returns a report dict with a
+    ``verdict`` of ``"promote"`` or ``"reject"`` plus the per-model and
+    per-stroke evidence; serialize with
+    :func:`~repro.hashing.canonical_json` for the byte-stable form.
+    """
+    per_stroke = []
+    live_views = []
+    cand_views = []
+    for example in labelled_strokes:
+        stroke = Stroke(Point(x, y, t) for x, y, t in example["points"])
+        lv = _model_view(live, stroke, example["class"])
+        cv = _model_view(candidate, stroke, example["class"])
+        live_views.append(lv)
+        cand_views.append(cv)
+        per_stroke.append(
+            {"label": example["class"], "live": lv, "candidate": cv}
+        )
+    live_totals = _totals(live_views)
+    cand_totals = _totals(cand_views)
+    delta = {
+        "correct": cand_totals["correct"] - live_totals["correct"],
+        "margin_sum": cand_totals["margin_sum"] - live_totals["margin_sum"],
+    }
+    if not per_stroke:
+        verdict, reason = "reject", "no strokes to replay"
+    elif delta["correct"] > 0:
+        verdict = "promote"
+        reason = f"+{delta['correct']} correct"
+    elif delta["correct"] < 0:
+        verdict, reason = "reject", f"{delta['correct']} correct (regression)"
+    elif delta["margin_sum"] > 0:
+        verdict = "promote"
+        reason = f"equal correct, margin +{delta['margin_sum']!r}"
+    else:
+        verdict, reason = "reject", "no improvement (tie or worse margin)"
+    return {
+        "strokes": len(per_stroke),
+        "live": live_totals,
+        "candidate": cand_totals,
+        "delta": delta,
+        "verdict": verdict,
+        "reason": reason,
+        "per_stroke": per_stroke,
+    }

@@ -34,6 +34,12 @@ Subcommands:
   over TCP and verifies the replies are byte-identical to one pool;
   ``--trace``/``--quality``/``--profile`` attach the observability
   stack and ``--metrics-out`` saves the snapshot for ``analyze``;
+* ``adapt`` — per-user personalization loop (:mod:`repro.adapt`):
+  harvest labelled examples from a traffic journal + quality trace +
+  corrections, incrementally retrain a per-user candidate against the
+  registry base model, shadow-replay the user's strokes through live
+  and candidate, and publish on a promote verdict (``--dry-run`` stops
+  short; a reject exits 4);
 * ``analyze`` — turn an NDJSON trace (plus an optional metrics
   snapshot) into a deterministic JSON or markdown report: decision
   paths, per-class eagerness curves, latency tables, drift summaries.
@@ -54,6 +60,11 @@ __all__ = ["main"]
 # Exit code of a --kill-after run: EX_TEMPFAIL, "try again" — rerunning
 # with --resume completes the job.
 EXIT_KILLED = 75
+
+# Exit code of an `adapt` run whose shadow evaluation rejected the
+# candidate: distinct from error exits so automation can tell "the loop
+# ran and decided not to promote" from "the loop broke".
+EXIT_NOT_PROMOTED = 4
 
 
 def _generator(family: str, seed: int) -> GestureGenerator:
@@ -306,6 +317,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 timeout=args.timeout,
                 max_sessions=args.max_sessions,
                 observer=observer,
+                registry=args.registry,
             )
             await server.start()
             host, port = server.address
@@ -357,6 +369,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 max_sessions=args.max_sessions,
                 drain_timeout=args.drain_timeout,
                 metrics=not args.no_metrics,
+                registry=args.registry,
             ) as cluster:
                 await cluster.wait_all_up()
                 host, port = cluster.address
@@ -556,6 +569,45 @@ def _loadgen_cluster(args: argparse.Namespace, recognizer, workload) -> int:
     return 0
 
 
+def _write_traffic_journal(workload, path: str, dt: float = 0.01) -> int:
+    """Record a workload as the tick-major NDJSON traffic journal.
+
+    One ``{"rec": "op", ...}`` line per delivered op, stamped with the
+    virtual time ``run_load`` submits it at and grouped exactly as the
+    pool sees them (tick-major, client order within a tick), so the
+    journal replays bit-identically — it is the harvest side's ground
+    truth for what each user actually drew.
+    """
+    import json
+
+    count = 0
+    n_ticks = max((len(ops) for ops in workload), default=0)
+    with open(path, "w") as f:
+        for k in range(n_ticks):
+            t = k * dt
+            for ops in workload:
+                if k < len(ops) and ops[k][0] != "idle":
+                    name, key, x, y = ops[k]
+                    f.write(
+                        json.dumps(
+                            {
+                                "rec": "op",
+                                "op": name,
+                                # loadgen strokes are "c{client}g{gesture}":
+                                # the client prefix is the user identity.
+                                "user": key.rsplit("g", 1)[0],
+                                "stroke": key,
+                                "x": x,
+                                "y": y,
+                                "t": t,
+                            }
+                        )
+                        + "\n"
+                    )
+                    count += 1
+    return count
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .serve import compare_modes, family_templates, generate_workload, run_load
 
@@ -573,6 +625,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         gestures_per_client=args.gestures,
         seed=args.seed + 1,
     )
+    if args.record:
+        if args.mode == "both":
+            raise SystemExit(
+                "--record journals one pool's traffic; use --mode batched "
+                "or --mode sequential"
+            )
+        if args.fault_seed is not None:
+            raise SystemExit(
+                "--record journals the pre-fault op stream, which a faulted "
+                "run does not serve; drop --fault-seed"
+            )
+        ops = _write_traffic_journal(workload, args.record)
+        print(f"traffic journal: {ops} ops written to {args.record}")
     if args.cluster:
         return _loadgen_cluster(args, recognizer, workload)
     fault_plan = None
@@ -666,6 +731,99 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                     f"  {name:<28} calls={p['count']} "
                     f"mean={p['mean_us']:.1f}us{per_unit}"
                 )
+    return 0
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    import json
+
+    from .adapt import AdaptPipeline, AdaptStore, report_hash, shadow_eval
+    from .eager import EagerRecognizer as _ER
+    from .hashing import canonical_json
+    from .serve import ModelRegistry
+
+    store = AdaptStore(
+        dwell_threshold=args.dwell_threshold,
+        margin_threshold=args.margin_threshold,
+    )
+    try:
+        store.load_traffic(args.traffic)
+        if args.trace:
+            store.load_traces(args.trace)
+        if args.corrections:
+            store.load_corrections(args.corrections)
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(f"cannot read journal: {exc}") from None
+    by_user, counts = store.harvest()
+    print(
+        f"harvest: {counts['harvested']}/{counts['strokes']} strokes "
+        f"(correction={counts['correction']} timeout={counts['timeout']} "
+        f"dwell={counts['dwell']} margin={counts['margin']})"
+    )
+    examples = by_user.get(args.user)
+    if not examples:
+        raise SystemExit(
+            f"nothing harvested for user {args.user!r}; "
+            f"users with examples: {sorted(by_user) or 'none'}"
+        )
+
+    try:
+        pipeline = AdaptPipeline(
+            args.registry,
+            args.base,
+            cache_dir=args.cache_dir,
+            state_dir=args.state_dir,
+            jobs=args.jobs,
+        )
+        pipeline.fold(args.user, examples)
+        result = pipeline.run(args.user)
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc.args[0]) if exc.args else str(exc)) from None
+    print(
+        f"candidate {result.candidate_name}@{result.version}: "
+        f"{result.user_example_count} user examples folded into "
+        f"{result.base_example_count} base "
+        f"({result.class_count} classes"
+        + (f", new: {', '.join(result.new_classes)}" if result.new_classes else "")
+        + ")"
+    )
+    print(
+        f"stages run: {', '.join(result.stages_run) or 'none'}; "
+        f"cached: {', '.join(result.stages_cached) or 'none'}; "
+        f"prefixes {result.prefixes_cached} cached / "
+        f"{result.prefixes_computed} computed"
+    )
+
+    registry = ModelRegistry(args.registry)
+    live = registry.load(pipeline.base_name, pipeline.base_version)
+    replay = pipeline.load_state(args.user)["examples"]
+    report = shadow_eval(live, _ER.from_dict(result.model), replay)
+    if args.json:
+        print(canonical_json(report))
+    print(
+        f"shadow: {report['strokes']} strokes — live "
+        f"{report['live']['correct']} correct, candidate "
+        f"{report['candidate']['correct']} correct "
+        f"(margin delta {report['delta']['margin_sum']:+.3f})"
+    )
+    print(
+        f"verdict: {report['verdict']} ({report['reason']}) "
+        f"[report {report_hash(report)[:12]}]"
+    )
+    if report["verdict"] != "promote":
+        return EXIT_NOT_PROMOTED
+    if args.dry_run:
+        print("dry run: candidate not published")
+        return 0
+    published = pipeline.publish(result)
+    print(f"published {published.name}@{published.version}")
+    swap_op = {
+        "op": "swap",
+        "user": args.user,
+        "model": f"{published.name}@{published.version}",
+        "t": 0.0,
+    }
+    print(f"hot-swap a serving session pool with: {json.dumps(swap_op)}")
     return 0
 
 
@@ -926,7 +1084,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="time the serving hot path and print the section summary",
     )
+    loadgen.add_argument(
+        "--record", metavar="PATH",
+        help="journal the delivered ops as NDJSON traffic (the `adapt` "
+        "harvest input; single-mode, unfaulted runs only)",
+    )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="per-user personalization: harvest -> retrain -> shadow-eval "
+        "-> promote",
+    )
+    adapt.add_argument(
+        "--registry", required=True, metavar="DIR",
+        help="model registry holding the base model (candidates publish "
+        "back here)",
+    )
+    adapt.add_argument(
+        "--base", required=True, metavar="NAME[@VERSION]",
+        help="base model to adapt (version defaults to latest)",
+    )
+    adapt.add_argument(
+        "--user", required=True,
+        help="user id to adapt for (the traffic journal's user field)",
+    )
+    adapt.add_argument(
+        "--traffic", required=True, metavar="PATH",
+        help="NDJSON traffic journal (from `loadgen --record` or a "
+        "serving-side journal)",
+    )
+    adapt.add_argument(
+        "--trace", metavar="PATH",
+        help="NDJSON observability trace with quality records "
+        "(`--quality --trace` on the serving run)",
+    )
+    adapt.add_argument(
+        "--corrections", metavar="PATH",
+        help='NDJSON user corrections: {"rec": "correction", "user", '
+        '"stroke", "class"}',
+    )
+    adapt.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="stage cache shared with `train` — a warm base train makes "
+        "the retrain incremental",
+    )
+    adapt.add_argument(
+        "--state-dir", metavar="DIR",
+        help="persist per-user fold state here (re-runs fold only the "
+        "new tail)",
+    )
+    adapt.add_argument("--jobs", type=int, default=1, metavar="N")
+    adapt.add_argument(
+        "--dwell-threshold", type=float, default=0.15,
+        help="harvest decisions the user dwelt on at least this long",
+    )
+    adapt.add_argument(
+        "--margin-threshold", type=float, default=0.5,
+        help="harvest decisions with classification margin below this",
+    )
+    adapt.add_argument(
+        "--dry-run", action="store_true",
+        help="run the loop and print the verdict without publishing",
+    )
+    adapt.add_argument(
+        "--json", action="store_true",
+        help="print the byte-stable shadow-eval report as canonical JSON",
+    )
+    adapt.set_defaults(func=_cmd_adapt)
 
     analyze = sub.add_parser(
         "analyze", help="report on an NDJSON trace (+ metrics snapshot)"

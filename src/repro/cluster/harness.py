@@ -59,6 +59,7 @@ class Cluster:
         drain_timeout: float = 30.0,
         metrics: bool = True,
         shard_names=None,
+        registry=None,
     ):
         from ..obs import MetricsRegistry
 
@@ -69,7 +70,10 @@ class Cluster:
         )
         self.metrics = MetricsRegistry() if metrics else None
         self.drain_timeout = drain_timeout
-        self.router = Router(shards, host=host, port=port, metrics=self.metrics)
+        self.router = Router(
+            shards, host=host, port=port, metrics=self.metrics,
+            registry=registry,
+        )
         self.supervisor = Supervisor(
             recognizer_path,
             shards,
@@ -79,6 +83,7 @@ class Cluster:
             backoff_base=backoff_base,
             on_up=self.router.worker_up,
             on_down=self.router.worker_down,
+            registry=registry,
         )
         self.router.drain_hook = self.drain
         self.router.supervisor_status = self.supervisor.status

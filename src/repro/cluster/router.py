@@ -26,7 +26,18 @@ Mechanics:
 * ``stats`` fans out to every live worker and the per-worker metric
   snapshots are merged (:func:`repro.obs.merge_snapshots`) together
   with the router's own ``cluster.*`` registry into one fleet-wide
-  reply.
+  reply;
+* ``swap`` is resolved against the router's registry — the version is
+  *pinned* at routing time, so a replay after the registry's latest
+  moved applies the same model — then broadcast to every worker (a
+  user's sessions can land on any shard) with the user rewritten to
+  ``client:user``, mirroring stroke namespacing.  Swaps are journaled
+  per shard in full (never pruned — they are rare and bind *future*
+  sessions, so no live-session floor applies) and re-applied on crash
+  replay; re-application is idempotent because the line carries the
+  pinned version.  The router synthesizes exactly one ack itself and
+  drops the N worker acks, keeping the client's stream identical to a
+  single server's.
 
 The router accepts two admin ops beyond the serve protocol:
 ``{"op": "cluster"}`` returns shard states, and
@@ -49,7 +60,13 @@ from collections import deque
 from contextlib import suppress
 
 from ..serve import DEFAULT_MAX_LINE, LineReader
-from ..serve.protocol import ProtocolError, decode_request, encode_error, encode_stats
+from ..serve.protocol import (
+    ProtocolError,
+    decode_request,
+    encode_error,
+    encode_stats,
+    encode_swap,
+)
 from .journal import SessionRecord, replay_lines
 from .ring import HashRing
 
@@ -75,6 +92,7 @@ class _WorkerLink:
         "writer_task",
         "pending_stats",
         "extras",
+        "swaps",
     )
 
     def __init__(self, shard: str):
@@ -87,6 +105,11 @@ class _WorkerLink:
         self.writer_task: asyncio.Task | None = None
         self.pending_stats: deque = deque()
         self.extras: list[tuple[int, str]] = []  # shard-global journal
+        # Swap journal, kept separate from `extras`: sweeps are pruned
+        # against the shard's oldest *live* session (and cleared when
+        # none), but a swap binds sessions that do not exist yet, so it
+        # must survive arbitrary idle gaps and replay on every restart.
+        self.swaps: list[tuple[int, str]] = []
 
 
 class _Client:
@@ -120,8 +143,16 @@ class Router:
         max_line: int = DEFAULT_MAX_LINE,
         stats_timeout: float = 10.0,
         metrics=None,
+        registry=None,
     ):
         self.ring = HashRing(shards)
+        # Model source for `swap` requests: a ModelRegistry, a registry
+        # root path, or None (swaps rejected with an error reply).
+        if registry is not None and not hasattr(registry, "load"):
+            from ..serve.registry import ModelRegistry
+
+            registry = ModelRegistry(registry)
+        self.registry = registry
         self.host = host
         self.port = port
         self.queue_size = queue_size
@@ -195,7 +226,7 @@ class Router:
         link = self.links[shard]
         records = [r for r in self.sessions.values() if r.shard == shard]
         final_t = None if self._clock == _NEG_INF else self._clock
-        lines = replay_lines(records, link.extras, final_t=final_t)
+        lines = replay_lines(records, link.extras + link.swaps, final_t=final_t)
         for record in records:
             record.skip = record.delivered
         # link.extras is kept: this worker too can die before processing
@@ -267,6 +298,11 @@ class Router:
     def _on_worker_line(self, link: _WorkerLink, raw: str) -> None:
         obj = json.loads(raw)
         kind = obj.get("kind")
+        if kind == "swap":
+            # Every worker acks a broadcast swap; the router already
+            # synthesized the single client-facing ack at routing time.
+            self._count("cluster.swap_acks_dropped")
+            return
         if kind == "stats":
             if link.pending_stats:
                 fut = link.pending_stats.popleft()
@@ -375,6 +411,9 @@ class Router:
         if op == "stats":
             await self._fleet_stats(client)
             return
+        if op == "swap":
+            self._route_swap(client, request)
+            return
         if op == "tick":
             if request.t > self._clock:
                 self._clock = request.t
@@ -419,6 +458,48 @@ class Router:
         for link in self.links.values():
             if link.state == "up":
                 link.queue.put_nowait(line)
+
+    def _route_swap(self, client: _Client, request) -> None:
+        """Resolve, pin, broadcast, and journal one swap request.
+
+        The user is rewritten to ``client:user`` so it prefixes the
+        worker-side session keys exactly as stroke namespacing composes
+        them (the worker's pool keys are ``chan/client:stroke``).  The
+        version is resolved here — against the router's registry, once
+        — and the *pinned* ``name@version`` is what workers receive and
+        what the journal replays, so a crash replay after a later
+        publish re-applies the same bits.
+        """
+        if self.registry is None:
+            client.push(
+                encode_error("swap unsupported: no registry", t=request.t)
+            )
+            return
+        name, _, version = request.model.partition("@")
+        try:
+            if version:
+                self.registry.path_of(name, version)
+            else:
+                version = self.registry.latest_version(name)
+        except (KeyError, OSError) as exc:
+            client.push(encode_error(f"swap failed: {exc}", t=request.t))
+            return
+        pinned = f"{name}@{version}"
+        line = json.dumps(
+            {
+                "op": "swap",
+                "user": f"{client.id}:{request.user}",
+                "model": pinned,
+                "t": request.t,
+            }
+        )
+        self._broadcast(line)
+        for link in self.links.values():
+            if link.shard not in self.retired:
+                link.swaps.append((self._seq, line))
+                self._seq += 1
+        client.push(encode_swap(request.user, pinned, request.t))
+        self._count("cluster.swaps_routed")
 
     def _journal_sweep(self, link: _WorkerLink, line: str) -> None:
         """Journal one sweep (with clock marker) into a shard's extras.

@@ -79,8 +79,10 @@ class Supervisor:
         healthy_after: float = 5.0,
         on_up=None,
         on_down=None,
+        registry=None,
     ):
         self.recognizer_path = str(recognizer_path)
+        self.registry = None if registry is None else str(registry)
         self.shards = tuple(shards)
         self.timeout = timeout
         self.max_sessions = max_sessions
@@ -161,6 +163,7 @@ class Supervisor:
             timeout=self.timeout,
             max_sessions=self.max_sessions,
             heartbeat=self.heartbeat,
+            registry=self.registry,
         )
         loop = asyncio.get_running_loop()
         handle.proc = await asyncio.create_subprocess_exec(

@@ -46,6 +46,7 @@ def worker_command(
     max_sessions: int = 4096,
     heartbeat: float = DEFAULT_HEARTBEAT,
     metrics: bool = True,
+    registry: str | None = None,
 ) -> list[str]:
     """The argv the supervisor spawns for one worker."""
     cmd = [
@@ -69,6 +70,8 @@ def worker_command(
         cmd += ["--timeout", str(timeout)]
     if not metrics:
         cmd.append("--no-metrics")
+    if registry is not None:
+        cmd += ["--registry", str(registry)]
     return cmd
 
 
@@ -100,6 +103,7 @@ async def _amain(args: argparse.Namespace) -> int:
         timeout=args.timeout if args.timeout is not None else DEFAULT_TIMEOUT,
         max_sessions=args.max_sessions,
         observer=observer,
+        registry=args.registry,
     )
     await server.start()
     host, port = server.address
@@ -151,6 +155,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-sessions", type=int, default=4096)
     parser.add_argument("--heartbeat", type=float, default=DEFAULT_HEARTBEAT)
     parser.add_argument("--no-metrics", action="store_true")
+    parser.add_argument(
+        "--registry",
+        default=None,
+        help="model registry directory enabling swap ops",
+    )
     args = parser.parse_args(argv)
     try:
         return asyncio.run(_amain(args))

@@ -1,0 +1,44 @@
+"""Crash-safe filesystem primitives shared across subsystems.
+
+One discipline, used by the training :class:`~repro.train.cache.
+StageCache`, the serving :class:`~repro.serve.ModelRegistry`, and the
+per-user state files of :mod:`repro.adapt`: write the full payload to a
+temp file in the *same directory* (same filesystem, so the rename is
+atomic), then :func:`os.replace` it over the destination.  A reader can
+observe the old content or the new content, never a torn mix; a kill
+mid-write leaves at worst an orphaned ``*.tmp`` the writer unlinks on
+the error path.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Atomically replace ``path``'s content with ``text``.
+
+    Creates parent directories as needed.  The temp file is created with
+    ``mkstemp`` (exclusive), so concurrent writers never collide on the
+    scratch name; the loser of a racing ``os.replace`` simply has its
+    complete file overwritten by another complete file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -190,6 +190,13 @@ class PoolObserver:
                 if tracer is not None:
                     tracer.event(d.key, "error", d.t, reason=d.reason)
 
+    def model_swapped(self, prefix: str, label: str, t: float) -> None:
+        """A hot-swap took effect at a tick barrier (``adapt.swaps``)."""
+        if self.metrics is not None:
+            self.metrics.counter("adapt.swaps").inc()
+        if self.tracer is not None:
+            self.tracer.event(prefix, "swap", t, model=label)
+
     # -- server hooks --------------------------------------------------------
 
     def server_batch(self, requests: int) -> None:

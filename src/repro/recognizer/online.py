@@ -3,55 +3,33 @@
 GRANDMA was an interactive tool: a designer added example gestures — and
 whole new gesture classes — to a running application, and the classifier
 retrained instantly ("Training is also efficient, as there is a closed
-form expression ... for determining the evaluation functions").  The
-closed form needs only per-class sufficient statistics (count, feature
-sum, sum of outer products), so :class:`OnlineTrainer` maintains exactly
-those: adding an example is O(F^2), and building a fresh classifier is
-one covariance inversion, independent of how many examples have ever
-been added.
+form expression ... for determining the evaluation functions").
+:class:`OnlineTrainer` keeps the per-class sufficient statistics in
+their lossless form — the raw feature vectors themselves, grouped by
+class — and :meth:`OnlineTrainer.build` hands them to the exact batch
+closed form, :func:`~repro.recognizer.train_linear_classifier`.  That
+makes the incremental path *bit-identical* to batch training on the
+same example set, not merely numerically close: floating-point addition
+is not associative, so a separately-maintained running sum would agree
+only to rounding error, and the repo's content-hashed model versions
+demand exact equality.
+
+Trainer state round-trips through JSON (:meth:`~OnlineTrainer.to_dict` /
+:meth:`~OnlineTrainer.from_dict`) with ``repr``-exact floats, so a
+persisted per-user trainer resumes to the same bits — the property
+:mod:`repro.adapt` relies on for deterministic personalization.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..features import NUM_FEATURES, features_of
 from ..geometry import Stroke
 from .classifier import GestureClassifier
-from .linear import LinearClassifier
-from .mahalanobis import MahalanobisMetric
-from .training import TrainingResult, regularized_inverse
+from .training import train_linear_classifier
 
 __all__ = ["OnlineTrainer"]
-
-
-@dataclass
-class _ClassStats:
-    """Sufficient statistics of one gesture class."""
-
-    count: int = 0
-    feature_sum: np.ndarray = field(
-        default_factory=lambda: np.zeros(NUM_FEATURES)
-    )
-    outer_sum: np.ndarray = field(
-        default_factory=lambda: np.zeros((NUM_FEATURES, NUM_FEATURES))
-    )
-
-    def add(self, vector: np.ndarray) -> None:
-        self.count += 1
-        self.feature_sum += vector
-        self.outer_sum += np.outer(vector, vector)
-
-    @property
-    def mean(self) -> np.ndarray:
-        return self.feature_sum / self.count
-
-    @property
-    def scatter(self) -> np.ndarray:
-        mean = self.mean
-        return self.outer_sum - self.count * np.outer(mean, mean)
 
 
 class OnlineTrainer:
@@ -63,11 +41,16 @@ class OnlineTrainer:
         for stroke in recorded:            # designer draws examples
             trainer.add_example("lasso", stroke)
         handler.recognizer = trainer.build()   # live immediately
+
+    Classes keep their first-seen order and examples their insertion
+    order, matching the class-major manifest order of batch training, so
+    folding the same examples in the same order always rebuilds the same
+    classifier — hash and all.
     """
 
     def __init__(self, num_features: int = NUM_FEATURES):
         self.num_features = num_features
-        self._stats: dict[str, _ClassStats] = {}
+        self._vectors: dict[str, list[np.ndarray]] = {}
 
     # -- accumulating -------------------------------------------------------
 
@@ -81,51 +64,63 @@ class OnlineTrainer:
             raise ValueError(
                 f"expected {self.num_features} features, got {vector.shape}"
             )
-        self._stats.setdefault(class_name, _ClassStats()).add(vector)
+        self._vectors.setdefault(class_name, []).append(vector)
 
     def remove_class(self, class_name: str) -> bool:
         """Forget a class entirely; returns False if unknown."""
-        return self._stats.pop(class_name, None) is not None
+        return self._vectors.pop(class_name, None) is not None
 
     # -- introspection ---------------------------------------------------------
 
     @property
     def class_names(self) -> list[str]:
-        return list(self._stats.keys())
+        return list(self._vectors.keys())
 
     def example_count(self, class_name: str) -> int:
-        stats = self._stats.get(class_name)
-        return 0 if stats is None else stats.count
+        return len(self._vectors.get(class_name, ()))
 
     @property
     def total_examples(self) -> int:
-        return sum(s.count for s in self._stats.values())
+        return sum(len(v) for v in self._vectors.values())
+
+    def examples_by_class(self) -> dict[str, list[np.ndarray]]:
+        """The accumulated vectors, class-ordered — the batch trainer's input."""
+        return {name: list(vs) for name, vs in self._vectors.items()}
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable trainer state (floats survive via ``repr``)."""
+        return {
+            "num_features": self.num_features,
+            "classes": [
+                {"class": name, "vectors": [v.tolist() for v in vs]}
+                for name, vs in self._vectors.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "OnlineTrainer":
+        trainer = cls(num_features=int(payload["num_features"]))
+        for entry in payload["classes"]:
+            for vector in entry["vectors"]:
+                trainer.add_feature_vector(
+                    entry["class"], np.asarray(vector, dtype=float)
+                )
+        return trainer
 
     # -- building ----------------------------------------------------------------
 
     def build(self) -> GestureClassifier:
         """A classifier over everything accumulated so far.
 
-        Produces the same classifier batch training on the same examples
-        would (sufficient statistics are lossless for LDA).
+        Delegates to the batch closed form on the stored vectors, so the
+        result is bit-identical to batch training on the same example
+        set — same weights, same covariance, same content hash.
 
         Raises:
             ValueError: with fewer than two classes, or an empty class.
         """
-        if len(self._stats) < 2:
+        if len(self._vectors) < 2:
             raise ValueError("need at least two classes to discriminate")
-        names = list(self._stats.keys())
-        means = np.vstack([self._stats[n].mean for n in names])
-        scatter = sum(self._stats[n].scatter for n in names)
-        denominator = max(self.total_examples - len(names), 1)
-        covariance = scatter / denominator
-        inv_cov = regularized_inverse(covariance)
-        weights = means @ inv_cov.T
-        constants = -0.5 * np.einsum("cf,cf->c", weights, means)
-        return GestureClassifier(
-            TrainingResult(
-                classifier=LinearClassifier(names, weights, constants),
-                means=means,
-                metric=MahalanobisMetric(inv_cov),
-            )
-        )
+        return GestureClassifier(train_linear_classifier(self._vectors))

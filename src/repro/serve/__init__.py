@@ -39,6 +39,7 @@ from .protocol import (
     encode_decision,
     encode_error,
     encode_stats,
+    encode_swap,
 )
 from .registry import ModelRegistry, ModelVersion
 from .server import Channel, DEFAULT_MAX_LINE, GestureServer
@@ -63,6 +64,7 @@ __all__ = [
     "encode_decision",
     "encode_error",
     "encode_stats",
+    "encode_swap",
     "family_templates",
     "generate_workload",
     "run_load",

@@ -51,6 +51,16 @@ one matrix product per round via
 *prove* unaffected by vectorization are re-decided here by replaying the
 stored gesture prefix through the scalar path.  The decision streams of
 the two modes are identical, element for element.
+
+Hot model swaps (:meth:`SessionPool.swap_model`) bind a key *prefix* —
+in serving terms, a user — to a different recognizer.  A session pins
+its model when it opens and keeps it until commit, so a swap takes
+effect for the user's next stroke, never mid-gesture; every other
+session's decision stream is byte-identical to a run without the swap,
+because batched evaluation partitions rows by model and the evaluator's
+decisions are provably independent of batch composition (risky rows
+fall back to the scalar path).  Until the first swap is applied the
+pool runs the single-model fast path untouched.
 """
 
 from __future__ import annotations
@@ -92,6 +102,22 @@ class Decision:
     reason: str = ""
 
 
+class _PoolModel:
+    """One recognizer resident in the pool, with its batched evaluator.
+
+    Sessions reference a ``_PoolModel`` (pinned at open), and swaps to
+    the same recognizer object share one instance — many users swapping
+    to one registry-cached candidate cost one evaluator, not N.
+    """
+
+    __slots__ = ("recognizer", "evaluator", "label")
+
+    def __init__(self, recognizer: EagerRecognizer, evaluator, label: str):
+        self.recognizer = recognizer
+        self.evaluator = evaluator
+        self.label = label
+
+
 class _Session:
     """Mutable per-stroke state; gesture points stop at the decision."""
 
@@ -108,11 +134,13 @@ class _Session:
         "manip",
         "last_t",
         "stamp",
+        "model",
     )
 
     def __init__(self, key: str, t: float):
         self.key = key
         self.stamp = 0
+        self.model: _PoolModel | None = None
         self.slot: int | None = None
         self.points: list = []  # Point (sequential) or (x, y, t) (batched)
         self.eseq: EagerSession | None = None
@@ -154,6 +182,8 @@ class SessionPool:
         # sites stay one `is not None` test each.
         self._quality = getattr(observer, "quality", None)
         self._profiler = getattr(observer, "profiler", None)
+        # Hot-swap hook, optional like the extensions above.
+        self._on_swap = getattr(observer, "model_swapped", None)
         self._sessions: dict[str, _Session] = {}
         # Insertion-ordered view of sessions still collecting a gesture:
         # the motionless-timeout scan never visits decided sessions.
@@ -162,6 +192,21 @@ class SessionPool:
         self._evaluator = BatchEvaluator(recognizer) if batched else None
         if self._evaluator is not None:
             self._evaluator.profiler = self._profiler
+        # Model table for hot swaps.  `_assign` maps a key prefix to the
+        # model its new sessions pin; `_model_cache` (keyed by recognizer
+        # object identity) shares one evaluator across prefixes swapped
+        # to the same recognizer.  `_swapped` gates the grouped-eval
+        # path: until a swap is applied, evaluation is the single-model
+        # fast path, byte for byte.  `_min_floor` is the smallest
+        # min_points over every resident model — the candidate prefilter
+        # bound; per-session thresholds re-check exactly.
+        self._default_model = _PoolModel(recognizer, self._evaluator, "")
+        self._model_cache: dict[int, _PoolModel] = {
+            id(recognizer): self._default_model
+        }
+        self._assign: dict[str, _PoolModel] = {}
+        self._swapped = False
+        self._min_floor = recognizer.min_points
         # Slot -> session table, so the candidate scan after a batched
         # tick recovers sessions without any per-operation bookkeeping.
         self._slot_session: list = [None] * max_sessions if batched else []
@@ -205,6 +250,27 @@ class SessionPool:
         already buffered ahead of the kill is still applied first.
         """
         self._ops.append((t, (("kill", key, 0.0, 0.0),)))
+
+    def swap_model(
+        self,
+        prefix: str,
+        recognizer: EagerRecognizer,
+        t: float,
+        label: str = "",
+    ) -> None:
+        """Bind every session key starting with ``prefix`` to ``recognizer``.
+
+        Buffered and ordered with the other operations: the swap takes
+        effect at its position in the input sequence, for sessions that
+        *open* from then on.  Sessions already in flight — with or
+        without buffered input ahead of the swap — finish on the model
+        they pinned at open, so no gesture is ever judged by two
+        different classifiers.  The longest matching prefix wins when
+        several bind one key; swapping the empty prefix rebinds every
+        future session.  ``label`` is carried to the observer's
+        ``model_swapped`` hook (e.g. the registry ``name@version``).
+        """
+        self._ops.append((t, (("swap", prefix, recognizer, label),)))
 
     def submit(self, ops, t: float) -> None:
         """Bulk-submit one tick of ``(kind, key, x, y)`` operations at ``t``.
@@ -342,7 +408,7 @@ class SessionPool:
         """
         sessions = self._sessions
         batched = self.batched
-        min_points = self.recognizer.min_points
+        min_points = self._min_floor
         stamp = self._round_id = self._round_id + 1
         sget = sessions.get
         obs = self.observer
@@ -360,6 +426,12 @@ class SessionPool:
             later: list | None = None
             for op in chunk:
                 kind, key, x, y = op
+                if kind == "swap":
+                    # x = recognizer, y = label (see swap_model); applied
+                    # at this position in arrival order, so the swap
+                    # governs sessions opened from here on.
+                    self._apply_swap(key, x, y, t)
+                    continue
                 session = sget(key)
                 if session is None:
                     if kind != "down":
@@ -375,11 +447,16 @@ class SessionPool:
                         continue
                     session = _Session(key, t)
                     session.stamp = stamp
+                    session.model = (
+                        self._model_for(key)
+                        if self._swapped
+                        else self._default_model
+                    )
                     if batched:
                         session.slot = self._bank.open_slot()
                         self._slot_session[session.slot] = session
                     else:
-                        session.eseq = self.recognizer.session()
+                        session.eseq = session.model.recognizer.session()
                     sessions[key] = session
                     self._undecided[key] = session
                     if t < self._scan_floor:
@@ -483,6 +560,21 @@ class SessionPool:
                     cand_slots = slot_arr[cand]
                     table = self._slot_session
                     eval_sessions = [table[s] for s in cand_slots.tolist()]
+                    if self._swapped:
+                        # min_points is the floor over all resident
+                        # models; re-check each candidate against its
+                        # own model's threshold.
+                        keep = [
+                            j
+                            for j, s in enumerate(eval_sessions)
+                            if new_counts[cand[j]]
+                            >= s.model.recognizer.min_points
+                        ]
+                        if len(keep) != n_eval:
+                            cand = cand[keep]
+                            cand_slots = slot_arr[cand]
+                            eval_sessions = [eval_sessions[j] for j in keep]
+                            n_eval = len(cand)
             if n_eval or finish_sessions:
                 if finish_sessions:
                     finish_slots = np.array([s.slot for s in finish_sessions])
@@ -494,14 +586,25 @@ class SessionPool:
                 else:
                     row_slots = cand_slots
                 features, counts, guard_risk = self._bank.features(row_slots)
-                (
-                    unambiguous,
-                    auc_risky,
-                    full_winners,
-                    full_risky,
-                ) = self._evaluator.combined_decisions(
-                    features, counts, guard_risk
-                )
+                rows = eval_sessions + finish_sessions
+                if self._swapped:
+                    (
+                        unambiguous,
+                        auc_risky,
+                        full_winners,
+                        full_risky,
+                    ) = self._eval_rows_grouped(
+                        rows, features, counts, guard_risk
+                    )
+                else:
+                    (
+                        unambiguous,
+                        auc_risky,
+                        full_winners,
+                        full_risky,
+                    ) = self._evaluator.combined_decisions(
+                        features, counts, guard_risk
+                    )
                 if n_eval:
                     eager_unambiguous = unambiguous[:n_eval]
                     auc_replays = np.flatnonzero(auc_risky[:n_eval])
@@ -509,10 +612,10 @@ class SessionPool:
                     if len(auc_replays):
                         t_fb = perf_counter() if prof is not None else 0.0
                         for i in auc_replays:
-                            eager_unambiguous[i] = (
-                                self.recognizer.auc.is_unambiguous(
-                                    self._replay_vector(eval_sessions[i])
-                                )
+                            eager_unambiguous[i] = eval_sessions[
+                                i
+                            ].model.recognizer.auc.is_unambiguous(
+                                self._replay_vector(eval_sessions[i])
                             )
                         if prof is not None:
                             prof.add(
@@ -525,12 +628,18 @@ class SessionPool:
                 # order), then finishers — `names` keeps that layout.
                 n_unambiguous = len(unamb_rows)
                 full_names = self._evaluator.full_names
-                rows = eval_sessions + finish_sessions
+                swapped = self._swapped
                 n_rows = len(rows)
-                for r_i in unamb_rows + list(range(n_eval, len(rows))):
+                for r_i in unamb_rows + list(range(n_eval, n_rows)):
                     if full_risky[r_i]:
                         n_fallbacks += 1
                         names.append(self._fallback_full(rows[r_i]))
+                    elif swapped:
+                        names.append(
+                            rows[r_i].model.evaluator.full_names[
+                                full_winners[r_i]
+                            ]
+                        )
                     else:
                         names.append(full_names[full_winners[r_i]])
             if timing and (fed_slots or n_rows):
@@ -624,6 +733,34 @@ class SessionPool:
 
     # -- helpers -------------------------------------------------------------
 
+    def _apply_swap(
+        self, prefix: str, recognizer: EagerRecognizer, label: str, t: float
+    ) -> None:
+        model = self._model_cache.get(id(recognizer))
+        if model is None:
+            evaluator = BatchEvaluator(recognizer) if self.batched else None
+            if evaluator is not None:
+                evaluator.profiler = self._profiler
+            model = _PoolModel(recognizer, evaluator, label)
+            self._model_cache[id(recognizer)] = model
+        else:
+            model.label = label
+        self._assign[prefix] = model
+        self._swapped = True
+        if recognizer.min_points < self._min_floor:
+            self._min_floor = recognizer.min_points
+        if self._on_swap is not None:
+            self._on_swap(prefix, label, t)
+
+    def _model_for(self, key: str) -> _PoolModel:
+        """The model a session opening under ``key`` pins (longest prefix)."""
+        best = self._default_model
+        best_len = -1
+        for prefix, model in self._assign.items():
+            if len(prefix) > best_len and key.startswith(prefix):
+                best, best_len = model, len(prefix)
+        return best
+
     def _decide(self, session: _Session, name: str, eager: bool) -> None:
         if self.batched:
             # Batched feeds don't maintain the per-session counter; the
@@ -687,27 +824,73 @@ class SessionPool:
         """One exact-fallback full classification, profiled when attached."""
         prof = self._profiler
         t_start = perf_counter() if prof is not None else 0.0
-        name = self.recognizer.full_classifier.classify_features(
+        name = session.model.recognizer.full_classifier.classify_features(
             self._replay_vector(session)
         )
         if prof is not None:
             prof.add("exact_fallback", perf_counter() - t_start)
         return name
 
+    def _eval_rows_grouped(self, rows, features, counts, guard_risk):
+        """Combined decisions with rows partitioned by pinned model.
+
+        Each group is sliced out, decided by its own model's evaluator,
+        and scattered back into full-length result arrays.  Because the
+        evaluator's discrete decisions never depend on which other rows
+        share a batch (risky rows are exact-replayed), the default
+        model's group decides exactly as it would have in an unpartition-
+        ed, swap-free batch — the hot-swap byte-identity invariant.
+        """
+        n = len(rows)
+        unambiguous = np.zeros(n, dtype=bool)
+        auc_risky = np.zeros(n, dtype=bool)
+        full_winners = np.zeros(n, dtype=np.intp)
+        full_risky = np.zeros(n, dtype=bool)
+        groups: dict[int, list[int]] = {}
+        for i, session in enumerate(rows):
+            groups.setdefault(id(session.model), []).append(i)
+        for indices in groups.values():
+            model = rows[indices[0]].model
+            idx = np.asarray(indices, dtype=np.intp)
+            u, a, w, f = model.evaluator.combined_decisions(
+                features[idx], counts[idx], guard_risk[idx]
+            )
+            unambiguous[idx] = u
+            auc_risky[idx] = a
+            full_winners[idx] = w
+            full_risky[idx] = f
+        return unambiguous, auc_risky, full_winners, full_risky
+
     def _classify_full(self, sessions: list[_Session]) -> list[str]:
         """Full-classifier verdicts on current prefixes (timeout path)."""
         if not self.batched:
             return [
-                self.recognizer.full_classifier.classify_features(
+                s.model.recognizer.full_classifier.classify_features(
                     self._replay_vector(s)
                 )
                 for s in sessions
             ]
         slots = np.array([s.slot for s in sessions])
         features, counts, guard_risk = self._bank.features(slots)
-        names, risky = self._evaluator.full_decisions(
-            features, counts, guard_risk
-        )
+        if self._swapped:
+            names: list = [None] * len(sessions)
+            risky = np.zeros(len(sessions), dtype=bool)
+            groups: dict[int, list[int]] = {}
+            for i, session in enumerate(sessions):
+                groups.setdefault(id(session.model), []).append(i)
+            for indices in groups.values():
+                model = sessions[indices[0]].model
+                idx = np.asarray(indices, dtype=np.intp)
+                group_names, group_risky = model.evaluator.full_decisions(
+                    features[idx], counts[idx], guard_risk[idx]
+                )
+                for k, i in enumerate(indices):
+                    names[i] = group_names[k]
+                risky[idx] = group_risky
+        else:
+            names, risky = self._evaluator.full_decisions(
+                features, counts, guard_risk
+            )
         replays = np.flatnonzero(risky)
         for i in replays:
             names[i] = self._fallback_full(sessions[i])

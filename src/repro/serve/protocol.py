@@ -10,6 +10,7 @@ Requests (client → server)::
     {"op": "tick", "t": 0.50}
     {"op": "sweep", "max_idle": 30.0}
     {"op": "stats"}
+    {"op": "swap", "user": "alice", "model": "gdp-alice@ab12cd34ef56", "t": 0.60}
 
 ``down``/``move``/``up`` mirror :class:`~repro.serve.SessionPool`
 operations; ``stroke`` is the client's id for one gesture (the server
@@ -30,6 +31,14 @@ everything received before them, then advances time (then sweeps), at
 the request's position in the input order — behaviour is a function of
 the line sequence alone, never of how lines happened to coalesce into
 read batches.
+
+``swap`` rebinds a *user* — a client-chosen id that prefixes session
+keys — to a registry model (``name`` or ``name@version``), for sessions
+opened after the swap's position in line order; sessions already
+in flight keep the model they pinned at open, and all other users'
+byte streams are untouched (see :meth:`~repro.serve.SessionPool.
+swap_model`).  The server acks with a ``swap`` reply carrying the
+resolved ``name@version``.
 
 Replies (server → client)::
 
@@ -59,9 +68,10 @@ __all__ = [
     "encode_decision",
     "encode_error",
     "encode_stats",
+    "encode_swap",
 ]
 
-_OPS = ("down", "move", "up", "tick", "sweep", "stats")
+_OPS = ("down", "move", "up", "tick", "sweep", "stats", "swap")
 
 # Ops that may omit ``t`` (it defaults to 0.0, a virtual-clock no-op).
 _OPTIONAL_T = ("sweep", "stats")
@@ -75,12 +85,14 @@ class ProtocolError(ValueError):
 class Request:
     """One decoded client request."""
 
-    op: str  # "down" | "move" | "up" | "tick" | "sweep" | "stats"
+    op: str  # "down" | "move" | "up" | "tick" | "sweep" | "stats" | "swap"
     t: float
     stroke: str = ""
     x: float = 0.0
     y: float = 0.0
     max_idle: float = 0.0  # sweep only
+    user: str = ""  # swap only: the session-key prefix to rebind
+    model: str = ""  # swap only: registry "name" or "name@version"
 
 
 def decode_request(line: str | bytes) -> Request:
@@ -112,6 +124,14 @@ def decode_request(line: str | bytes) -> Request:
         return Request(op=op, t=t, max_idle=max_idle)
     if op in ("tick", "stats"):
         return Request(op=op, t=t)
+    if op == "swap":
+        user = payload.get("user")
+        model = payload.get("model")
+        if not isinstance(user, str) or not user:
+            raise ProtocolError("missing swap user")
+        if not isinstance(model, str) or not model:
+            raise ProtocolError("missing swap model")
+        return Request(op=op, t=t, user=user, model=model)
     stroke = payload.get("stroke")
     if not isinstance(stroke, str) or not stroke:
         raise ProtocolError("missing stroke id")
@@ -137,6 +157,17 @@ def encode_decision(decision: Decision, stroke: str) -> str:
             "reason": decision.reason,
         }
     )
+
+
+def encode_swap(user: str, model: str, t: float) -> str:
+    """Encode a swap acknowledgement (without the newline).
+
+    ``model`` is the *resolved* ``name@version`` — a client that swapped
+    to a bare name learns exactly which version now serves its user.
+    One shared encoder keeps the direct server's ack and the cluster
+    router's synthesized ack byte-equal.
+    """
+    return json.dumps({"kind": "swap", "user": user, "model": model, "t": t})
 
 
 def encode_error(reason: str, stroke: str = "", t: float = 0.0) -> str:

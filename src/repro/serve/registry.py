@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..eager import EagerRecognizer
+from ..fsio import atomic_write_text
 from ..hashing import canonical_json as _canonical
 from ..hashing import model_version
 
@@ -59,7 +60,12 @@ class ModelRegistry:
         """Store a recognizer; returns its (content-derived) version.
 
         Idempotent: re-publishing identical weights returns the existing
-        version without rewriting anything.
+        version without rewriting anything.  Both the model file and the
+        index are written atomically (temp + ``os.replace``, the
+        :mod:`repro.fsio` discipline), so a publish racing another
+        publish — or killed mid-write — can corrupt neither: readers see
+        a complete old index or a complete new one, and the model file
+        is fully present before the index ever points at it.
         """
         model = recognizer.to_dict()
         version = model_version(model)
@@ -67,16 +73,15 @@ class ModelRegistry:
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{version}.json"
         if not path.exists():
-            path.write_text(
-                _canonical(
-                    {"model": model, "metadata": metadata or {}}
-                )
+            atomic_write_text(
+                path,
+                _canonical({"model": model, "metadata": metadata or {}}),
             )
         index = self._read_index(name)
         if version not in index["versions"]:
             index["versions"].append(version)
         index["latest"] = version
-        (directory / "index.json").write_text(_canonical(index))
+        atomic_write_text(directory / "index.json", _canonical(index))
         self._cache[(name, version)] = recognizer
         return ModelVersion(
             name=name, version=version, path=path, metadata=metadata or {}

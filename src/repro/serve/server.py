@@ -60,6 +60,7 @@ from .protocol import (
     encode_decision,
     encode_error,
     encode_stats,
+    encode_swap,
 )
 
 __all__ = ["Channel", "DEFAULT_MAX_LINE", "GestureServer"]
@@ -130,6 +131,7 @@ class GestureServer:
         batched: bool = True,
         observer=None,
         fault_injector=None,
+        registry=None,
     ):
         self.pool = SessionPool(
             recognizer,
@@ -144,6 +146,15 @@ class GestureServer:
         self.max_line = max_line
         self.observer = observer
         self.fault_injector = fault_injector
+        # Model source for `swap` requests: a ModelRegistry, a registry
+        # root path, or None (swaps are then rejected with an error
+        # reply — a server without a registry still speaks the full
+        # protocol).
+        if registry is not None and not hasattr(registry, "load"):
+            from .registry import ModelRegistry
+
+            registry = ModelRegistry(registry)
+        self.registry = registry
         # Largest timestamp seen anywhere on the input stream, across
         # pump batches.  Barriers advance the pool clock to this value,
         # so when a timeout fires depends only on line order, never on
@@ -209,7 +220,7 @@ class GestureServer:
     def _fault_key(item: tuple[Channel, Request]) -> str | None:
         """Session key of one pump item; None exempts it from faults."""
         channel, request = item
-        if request.op in ("tick", "sweep", "stats"):
+        if request.op in ("tick", "sweep", "stats", "swap"):
             return None
         return f"{channel.id}/{request.stroke}"
 
@@ -253,6 +264,12 @@ class GestureServer:
                     decisions.extend(self.pool.evict_idle(request.max_idle))
                 dirty = False
                 continue
+            if op == "swap":
+                line, applied = self._swap(channel, request)
+                dirty = dirty or applied
+                if not channel.closed and not channel._push(line):
+                    self._close_channel(channel)
+                continue
             key = f"{channel.id}/{request.stroke}"
             if op == "down":
                 self.pool.down(key, request.x, request.y, request.t)
@@ -295,6 +312,33 @@ class GestureServer:
             for channel in stats_requests:
                 if not channel.closed and not channel._push(line):
                     self._close_channel(channel)
+
+    def _swap(self, channel: Channel, request: Request) -> tuple[str, bool]:
+        """Resolve one swap against the registry; returns (reply, applied).
+
+        The swapped prefix is ``channel.id/user`` — users are namespaced
+        per channel exactly like strokes, so one client's swap can never
+        rebind another client's sessions.  The swap is buffered into the
+        pool at its position in line order; the ack carries the resolved
+        ``name@version``.  A registry-less server or an unknown model
+        answers with an ``error`` reply and changes nothing.
+        """
+        if self.registry is None:
+            return (
+                encode_error("swap unsupported: no registry", t=request.t),
+                False,
+            )
+        name, _, version = request.model.partition("@")
+        try:
+            recognizer = self.registry.load(name, version or None)
+            resolved = version or self.registry.latest_version(name)
+        except (KeyError, OSError, ValueError) as exc:
+            return encode_error(f"swap failed: {exc}", t=request.t), False
+        label = f"{name}@{resolved}"
+        self.pool.swap_model(
+            f"{channel.id}/{request.user}", recognizer, request.t, label=label
+        )
+        return encode_swap(request.user, label, request.t), True
 
     def _route(self, decision: Decision) -> None:
         channel_id, _, stroke = decision.key.partition("/")

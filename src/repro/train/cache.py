@@ -23,30 +23,12 @@ just now or last week.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 
+from ..fsio import atomic_write_text as _atomic_write
 from ..hashing import canonical_json
 
 __all__ = ["StageCache", "load_checkpoint", "write_checkpoint", "checkpoint_path"]
-
-
-def _atomic_write(path: Path, text: str) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as f:
-            f.write(text)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
 
 
 class StageCache:

@@ -12,10 +12,11 @@ process, so the parallel path can never drift from the serial one.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
-__all__ = ["fan_out", "split_chunks"]
+__all__ = ["effective_workers", "fan_out", "split_chunks"]
 
 
 def split_chunks(items: Sequence, jobs: int) -> list[list]:
@@ -46,26 +47,55 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+def effective_workers(jobs: int, chunks: list[list], min_chunk: int = 0) -> int:
+    """How many processes a fan-out should actually use.
+
+    Process fan-out pays a fixed tax per worker (fork, pickle, IPC), so
+    ``--jobs N`` must degrade to fewer workers — down to serial — when
+    the tax would dominate.  Three caps compose:
+
+    * ``len(chunks)``: a worker with no chunk is pure overhead;
+    * ``total_items // min_chunk``: each worker must have at least
+      ``min_chunk`` items to amortize its startup (``min_chunk=0``
+      disables the cap — callers whose per-item cost is known large);
+    * ``os.cpu_count()``: more processes than cores never run
+      concurrently, they just context-switch — the reason a 1-CPU host
+      must fall back to serial no matter what ``--jobs`` says.
+
+    Because the merge order never depends on the worker count, shrinking
+    it changes wall time only, never output bits.
+    """
+    workers = min(jobs, len(chunks))
+    if min_chunk > 0:
+        total = sum(len(chunk) for chunk in chunks)
+        workers = min(workers, max(1, total // min_chunk))
+    return min(workers, os.cpu_count() or 1)
+
+
 def fan_out(
     worker: Callable[[list], list],
     chunks: list[list],
     jobs: int,
     initializer: Callable | None = None,
     initargs: tuple = (),
+    min_chunk: int = 0,
 ) -> list[list]:
     """Run ``worker`` over every chunk; results in chunk order.
 
-    With ``jobs <= 1`` (or a single chunk) everything runs inline —
-    including ``initializer``, so workers may rely on it
-    unconditionally.  ``worker``, ``initializer``, and the chunk
+    Falls back to running everything inline — including ``initializer``,
+    so workers may rely on it unconditionally — whenever
+    :func:`effective_workers` says one process is the right answer:
+    ``jobs <= 1``, a single chunk, too few items per ``min_chunk``, or a
+    host without the cores.  ``worker``, ``initializer``, and the chunk
     payloads must be picklable for the multiprocess path.
     """
-    if jobs <= 1 or len(chunks) <= 1:
+    workers = effective_workers(jobs, chunks, min_chunk)
+    if workers <= 1 or len(chunks) <= 1:
         if initializer is not None:
             initializer(*initargs)
         return [worker(chunk) for chunk in chunks]
     with ProcessPoolExecutor(
-        max_workers=min(jobs, len(chunks)),
+        max_workers=workers,
         mp_context=_pool_context(),
         initializer=initializer,
         initargs=initargs,

@@ -162,7 +162,11 @@ def run_features(manifest: dict, jobs: int = 1) -> dict:
     """Full-gesture feature vector of every manifest example."""
     items = [(i, ex["points"]) for i, ex in enumerate(manifest["examples"])]
     vectors: list = [None] * len(items)
-    for chunk in fan_out(_featurize_chunk, split_chunks(items, jobs), jobs):
+    # Featurizing one example is microseconds; below ~32 per worker the
+    # fork/pickle tax exceeds the work, so fan_out degrades toward serial.
+    for chunk in fan_out(
+        _featurize_chunk, split_chunks(items, jobs), jobs, min_chunk=32
+    ):
         for index, vector in chunk:
             vectors[index] = vector
     return {
@@ -216,7 +220,11 @@ def run_classifier(features: dict, jobs: int = 1) -> dict:
         by_class[ex["class"]].append(ex["vector"])
     items = [(name, by_class[name]) for name in classes]
     stats: dict[str, dict] = {}
-    for chunk in fan_out(_class_stats_chunk, split_chunks(items, jobs), jobs):
+    # One item = one class (a mean + a BLAS matmul): cheap, and there are
+    # only C of them, so require a couple per worker before forking.
+    for chunk in fan_out(
+        _class_stats_chunk, split_chunks(items, jobs), jobs, min_chunk=2
+    ):
         for entry in chunk:
             stats[entry["class"]] = entry
 
@@ -290,12 +298,16 @@ def run_subgestures(
         for i, ex in enumerate(manifest["examples"])
     ]
     chunks = split_chunks(items, jobs)
+    # Labelling enumerates every prefix of an example — the pipeline's
+    # dominant cost — so even two examples per worker beat the fork tax;
+    # this stage keeps full fan-out on any multi-core host.
     results = fan_out(
         _label_chunk,
         chunks,
         jobs,
         initializer=_init_labeller,
         initargs=(classifier_payload, min_points),
+        min_chunk=2,
     )
     return {"examples": [ex for chunk in results for ex in chunk]}
 

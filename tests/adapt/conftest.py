@@ -1,0 +1,53 @@
+"""Shared fixtures for the adapt tests.
+
+One base model trained through the staged pipeline and published into a
+registry, with its stage cache kept — the pair every adapt test needs.
+Session-scoped: training is the expensive part and the artifacts are
+immutable (the registry is content-addressed, the cache content-keyed),
+so sharing them across tests cannot leak state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import GestureGenerator, family_templates
+from repro.train import TrainJobSpec, TrainingPipeline
+
+FAMILY = "gdp"
+EXAMPLES = 6
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def adapt_env(tmp_path_factory):
+    """(registry_root, cache_dir, base TrainingRunResult) for one base."""
+    root = tmp_path_factory.mktemp("adapt")
+    cache_dir = root / "cache"
+    registry_root = root / "registry"
+    pipeline = TrainingPipeline(
+        TrainJobSpec(family=FAMILY, examples=EXAMPLES, seed=SEED),
+        cache_dir=cache_dir,
+        jobs=1,
+    )
+    result = pipeline.run()
+    pipeline.publish(registry_root, result)
+    return registry_root, cache_dir, result
+
+
+def user_examples(seed: int, classes: int = 2, per_class: int = 2, label=None):
+    """Deterministic harvested-example dicts from the synth generator."""
+    generator = GestureGenerator(family_templates(FAMILY), seed=seed)
+    by_class = generator.generate_strokes(per_class)
+    out = []
+    for name, strokes in list(by_class.items())[:classes]:
+        for stroke in strokes:
+            out.append(
+                {
+                    "stroke": f"s{len(out)}",
+                    "class": label(name) if label else name,
+                    "points": [[p.x, p.y, p.t] for p in stroke],
+                    "source": "correction",
+                }
+            )
+    return out

@@ -1,0 +1,173 @@
+"""AdaptStore: labelling precedence, skip rules, determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.adapt import AdaptStore, harvest_hash
+from repro.hashing import canonical_json
+
+
+def _ops(key: str, user: str, n: int = 5, t0: float = 0.0):
+    out = [
+        {"rec": "op", "op": "down", "user": user, "stroke": key,
+         "x": 0.0, "y": 0.0, "t": t0}
+    ]
+    for i in range(1, n):
+        out.append(
+            {"rec": "op", "op": "move", "user": user, "stroke": key,
+             "x": i * 5.0, "y": i * 5.0, "t": t0 + i * 0.01}
+        )
+    out.append(
+        {"rec": "op", "op": "up", "user": user, "stroke": key,
+         "x": n * 5.0, "y": n * 5.0, "t": t0 + n * 0.01}
+    )
+    return out
+
+
+def _quality(key: str, **overrides):
+    record = {
+        "rec": "quality", "session": key, "class": "line",
+        "reason": "eager", "eager": True, "points": 5, "margin": 50.0,
+        "d2": 1.0, "drift": 0.1, "outlier": False, "dwell": 0.04,
+        "t": 0.05, "total": 6, "eagerness": 0.8,
+    }
+    record.update(overrides)
+    return record
+
+
+def _store(**kwargs) -> AdaptStore:
+    return AdaptStore(**kwargs)
+
+
+def _feed(store, records):
+    for r in records:
+        store.add_op(r)
+
+
+class TestLabelling:
+    def test_correction_wins_over_everything(self):
+        store = _store()
+        _feed(store, _ops("s1", "u1"))
+        store.add_trace(_quality("s1", outlier=True))  # would be skipped
+        store.add_correction(
+            {"rec": "correction", "user": "u1", "stroke": "s1", "class": "rect"}
+        )
+        by_user, counts = store.harvest()
+        assert counts["correction"] == 1
+        assert by_user["u1"][0]["class"] == "rect"
+        assert by_user["u1"][0]["source"] == "correction"
+
+    def test_correction_is_per_user(self):
+        # A correction from another user must not label this stroke.
+        store = _store()
+        _feed(store, _ops("s1", "u1"))
+        store.add_correction(
+            {"rec": "correction", "user": "u2", "stroke": "s1", "class": "rect"}
+        )
+        by_user, counts = store.harvest()
+        assert by_user == {}
+        assert counts["skipped_undecided"] == 1
+
+    def test_outlier_decision_is_skipped(self):
+        store = _store()
+        _feed(store, _ops("s1", "u1"))
+        store.add_trace(_quality("s1", outlier=True))
+        by_user, counts = store.harvest()
+        assert by_user == {}
+        assert counts["skipped_outlier"] == 1
+
+    def test_timeout_dwell_and_margin_harvest_under_decided_class(self):
+        store = _store(dwell_threshold=0.15, margin_threshold=0.5)
+        _feed(store, _ops("s1", "u1", t0=0.0))
+        _feed(store, _ops("s2", "u1", t0=1.0))
+        _feed(store, _ops("s3", "u1", t0=2.0))
+        store.add_trace(_quality("s1", reason="timeout", dwell=0.25))
+        store.add_trace(_quality("s2", dwell=0.2))
+        store.add_trace(_quality("s3", margin=0.1, dwell=0.01))
+        by_user, counts = store.harvest()
+        assert [e["source"] for e in by_user["u1"]] == [
+            "timeout", "dwell", "margin",
+        ]
+        assert counts["harvested"] == 3
+        assert all(e["class"] == "line" for e in by_user["u1"])
+
+    def test_healthy_and_undecided_are_skipped(self):
+        store = _store()
+        _feed(store, _ops("s1", "u1"))  # no quality record at all
+        _feed(store, _ops("s2", "u1"))
+        store.add_trace(_quality("s2", margin=400.0, dwell=0.01))
+        by_user, counts = store.harvest()
+        assert by_user == {}
+        assert counts["skipped_undecided"] == 1
+        assert counts["skipped_healthy"] == 1
+
+    def test_short_stroke_is_skipped_even_with_correction(self):
+        store = _store(min_points=3)
+        _feed(store, _ops("s1", "u1", n=2))  # down + 1 move = 2 points
+        store.add_correction(
+            {"rec": "correction", "user": "u1", "stroke": "s1", "class": "rect"}
+        )
+        by_user, counts = store.harvest()
+        assert by_user == {}
+        assert counts["skipped_short"] == 1
+
+
+class TestDeterminism:
+    def test_examples_in_traffic_arrival_order_with_stable_hash(self):
+        def build():
+            store = _store()
+            _feed(store, _ops("b", "u1", t0=0.0))
+            _feed(store, _ops("a", "u1", t0=1.0))
+            store.add_trace(_quality("a", dwell=0.3))
+            store.add_trace(_quality("b", dwell=0.3))
+            return store.harvest()
+
+        (users1, counts1), (users2, counts2) = build(), build()
+        assert [e["stroke"] for e in users1["u1"]] == ["b", "a"]  # arrival
+        assert canonical_json(users1) == canonical_json(users2)
+        assert counts1 == counts2
+        assert harvest_hash(users1["u1"]) == harvest_hash(users2["u1"])
+
+    def test_points_are_what_the_recognizer_saw(self):
+        # down + moves contribute points; up does not.
+        store = _store()
+        _feed(store, _ops("s1", "u1", n=5))
+        store.add_trace(_quality("s1", dwell=0.3))
+        by_user, _ = store.harvest()
+        points = by_user["u1"][0]["points"]
+        assert len(points) == 5
+        assert points[0] == [0.0, 0.0, 0.0]
+
+    def test_harvest_does_not_mutate_inputs(self):
+        store = _store()
+        _feed(store, _ops("s1", "u1"))
+        store.add_trace(_quality("s1", dwell=0.3))
+        by_user, _ = store.harvest()
+        by_user["u1"][0]["points"][0][0] = 999.0
+        again, _ = store.harvest()
+        assert again["u1"][0]["points"][0][0] == 0.0
+
+
+class TestLoaders:
+    def test_ndjson_round_trip(self, tmp_path):
+        traffic = tmp_path / "traffic.ndjson"
+        trace = tmp_path / "trace.ndjson"
+        corrections = tmp_path / "corrections.ndjson"
+        traffic.write_text(
+            "".join(json.dumps(r) + "\n" for r in _ops("s1", "u1"))
+        )
+        trace.write_text(json.dumps(_quality("s1", outlier=True)) + "\n")
+        corrections.write_text(
+            json.dumps(
+                {"rec": "correction", "user": "u1", "stroke": "s1",
+                 "class": "rect"}
+            )
+            + "\n\n"  # blank lines are tolerated
+        )
+        store = _store()
+        assert store.load_traffic(traffic) == 6
+        assert store.load_traces(trace) == 1
+        assert store.load_corrections(corrections) == 1
+        by_user, _ = store.harvest()
+        assert by_user["u1"][0]["class"] == "rect"

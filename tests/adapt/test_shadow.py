@@ -1,0 +1,93 @@
+"""shadow_eval: promotion rules and byte-stability.
+
+Verdicts are tested against hand-built model pairs where the better
+model is known by construction: a candidate retrained on a brand-new
+class must beat a live model that has never seen it, and a model
+replayed against itself must always be rejected (tie).
+"""
+
+from __future__ import annotations
+
+from repro.adapt import AdaptPipeline, report_hash, shadow_eval
+from repro.hashing import canonical_json
+from repro.serve import ModelRegistry
+
+from .conftest import user_examples
+
+
+def _candidate(adapt_env, tmp_path, user, examples):
+    registry_root, cache_dir, _ = adapt_env
+    pipeline = AdaptPipeline(
+        registry_root, "gdp", cache_dir=cache_dir,
+        state_dir=tmp_path / "state",
+    )
+    pipeline.fold(user, examples)
+    result = pipeline.run(user)
+    published = pipeline.publish(result)
+    registry = ModelRegistry(registry_root)
+    return (
+        registry.load("gdp"),
+        registry.load(published.name, published.version),
+    )
+
+
+def test_new_class_candidate_promotes(adapt_env, tmp_path):
+    examples = user_examples(
+        seed=55, classes=1, per_class=3, label=lambda _: "zigzag"
+    )
+    live, candidate = _candidate(adapt_env, tmp_path, "carol", examples)
+    report = shadow_eval(live, candidate, examples)
+    assert report["verdict"] == "promote"
+    assert report["candidate"]["correct"] > report["live"]["correct"]
+    # The live model cannot even name the class: incorrect, zero margin.
+    assert all(s["live"]["margin"] == 0.0 for s in report["per_stroke"])
+    # The relabeled class collides in shape with a base class, so the
+    # candidate need not sweep every stroke — strictly better suffices.
+    assert report["delta"]["correct"] >= 1
+
+
+def test_identical_models_always_reject(adapt_env, tmp_path):
+    registry_root, _, _ = adapt_env
+    live = ModelRegistry(registry_root).load("gdp")
+    examples = user_examples(seed=99)
+    report = shadow_eval(live, live, examples)
+    assert report["verdict"] == "reject"
+    assert report["delta"] == {"correct": 0, "margin_sum": 0.0}
+
+
+def test_regression_rejects_in_both_directions(adapt_env, tmp_path):
+    examples = user_examples(
+        seed=55, classes=1, per_class=3, label=lambda _: "zigzag"
+    )
+    live, candidate = _candidate(adapt_env, tmp_path, "carol", examples)
+    # Swapped roles: the worse model as candidate must be rejected —
+    # promotion is strict improvement, never symmetry.
+    report = shadow_eval(candidate, live, examples)
+    assert report["verdict"] == "reject"
+    assert "regression" in report["reason"]
+
+
+def test_empty_replay_set_rejects(adapt_env):
+    registry_root, _, _ = adapt_env
+    live = ModelRegistry(registry_root).load("gdp")
+    report = shadow_eval(live, live, [])
+    assert report["verdict"] == "reject"
+    assert report["strokes"] == 0
+
+
+def test_report_is_byte_stable(adapt_env, tmp_path):
+    examples = user_examples(
+        seed=55, classes=1, per_class=3, label=lambda _: "zigzag"
+    )
+    live, candidate = _candidate(adapt_env, tmp_path, "carol", examples)
+    a = shadow_eval(live, candidate, examples)
+    b = shadow_eval(live, candidate, examples)
+    assert canonical_json(a) == canonical_json(b)
+    assert report_hash(a) == report_hash(b)
+    # The evidence rides in the report: one entry per stroke, each with
+    # both models' views.
+    assert len(a["per_stroke"]) == len(examples)
+    assert all(
+        set(entry) == {"label", "live", "candidate"}
+        for entry in a["per_stroke"]
+    )

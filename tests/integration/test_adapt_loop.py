@@ -1,0 +1,275 @@
+"""The full personalization loop, end to end, through the CLI.
+
+record -> harvest -> retrain -> shadow -> promote -> hot-swap:
+
+* ``loadgen --record --quality --trace`` journals real pool traffic;
+* ``adapt`` harvests one user (corrections teach a brand-new class),
+  retrains incrementally on the ``train`` run's stage cache, replays
+  the shadow eval, and publishes the candidate with lineage;
+* the promoted model is hot-swapped into a live :class:`GestureServer`
+  and actually serves — it recognizes the user's personal class — while
+  a non-adapted session's byte stream is string-equal to a no-swap run;
+* the whole loop is deterministic: a second run produces the same
+  candidate version and a byte-identical shadow report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import GestureServer, ModelRegistry, Request, encode_swap
+
+import math
+
+DT = 0.01
+USER = "c0"
+NEW_CLASS = "my-gesture"
+
+
+def spiral(scale: float, turns: int = 3, n: int = 40) -> list:
+    """A three-turn spiral — a shape no gdp template resembles.
+
+    The personal class has to be *learnable*: strokes shape-identical
+    to an existing class leave the candidate preferring the incumbent
+    (more examples) and the promotion gate correctly rejects.  The
+    user's personal gesture is therefore genuinely novel.
+    """
+    pts = []
+    for i in range(n):
+        theta = i / n * turns * 2 * math.pi
+        r = scale * (i + 5) / n
+        pts.append((r * math.cos(theta), r * math.sin(theta)))
+    return pts
+
+
+def spiral_ops(stroke: str, scale: float, t0: float) -> list:
+    pts = spiral(scale)
+    ops = [
+        {"rec": "op", "op": "down", "user": USER, "stroke": stroke,
+         "x": pts[0][0], "y": pts[0][1], "t": t0}
+    ]
+    for i, (x, y) in enumerate(pts[1:], start=1):
+        ops.append(
+            {"rec": "op", "op": "move", "user": USER, "stroke": stroke,
+             "x": x, "y": y, "t": t0 + i * DT}
+        )
+    x, y = pts[-1]
+    ops.append(
+        {"rec": "op", "op": "up", "user": USER, "stroke": stroke,
+         "x": x, "y": y, "t": t0 + len(pts) * DT}
+    )
+    return ops
+
+
+def run_cli(argv) -> tuple[int, str]:
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def loop_env(tmp_path_factory):
+    """Run the CLI loop once; return every artifact the tests inspect."""
+    root = tmp_path_factory.mktemp("adapt-loop")
+    registry = root / "registry"
+    cache = root / "cache"
+    state = root / "state"
+    traffic = root / "traffic.ndjson"
+    trace = root / "trace.ndjson"
+    corrections = root / "corrections.ndjson"
+
+    code, _ = run_cli(
+        [
+            "train", "--family", "gdp", "--examples", "6", "--seed", "7",
+            "--output", str(root / "rec.json"), "--cache-dir", str(cache),
+            "--registry", str(registry), "--name", "gdp",
+        ]
+    )
+    assert code == 0
+
+    code, _ = run_cli(
+        [
+            "loadgen", "--family", "gdp", "--clients", "4", "--gestures",
+            "2", "--examples", "6", "--seed", "7", "--mode", "batched",
+            "--quality", "--trace", str(trace), "--record", str(traffic),
+        ]
+    )
+    assert code == 0
+    # The user draws their personal gesture three times after the
+    # recorded run (appended to the same journal, as a serving-side
+    # journal would accumulate it) and corrects each to a class the
+    # base model has never seen.
+    with traffic.open("a") as fh:
+        for i, scale in enumerate((58.0, 60.0, 62.0)):
+            for op in spiral_ops(f"p{i}", scale, t0=100.0 + i):
+                fh.write(json.dumps(op) + "\n")
+    corrections.write_text(
+        "".join(
+            json.dumps(
+                {"rec": "correction", "user": USER, "stroke": f"p{i}",
+                 "class": NEW_CLASS}
+            )
+            + "\n"
+            for i in range(3)
+        )
+    )
+
+    adapt_argv = [
+        "adapt", "--registry", str(registry), "--base", "gdp",
+        "--user", USER, "--traffic", str(traffic), "--trace", str(trace),
+        "--corrections", str(corrections), "--cache-dir", str(cache),
+        "--state-dir", str(state), "--json",
+    ]
+    code, out = run_cli(adapt_argv)
+    return {
+        "registry": registry,
+        "state": state,
+        "adapt_argv": adapt_argv,
+        "code": code,
+        "out": out,
+    }
+
+
+def parse_adapt(out: str) -> tuple[dict, str]:
+    """(shadow report, published NAME@VERSION) from the CLI output."""
+    report = next(
+        json.loads(line) for line in out.splitlines()
+        if line.startswith("{")
+    )
+    published = next(
+        line.split()[1] for line in out.splitlines()
+        if line.startswith("published ")
+    )
+    return report, published
+
+
+def test_cli_loop_promotes_a_personal_candidate(loop_env):
+    assert loop_env["code"] == 0, loop_env["out"]
+    report, published = parse_adapt(loop_env["out"])
+    assert report["verdict"] == "promote"
+    # Only the correction-taught strokes can explain the win: the live
+    # model cannot name the personal class at all.
+    assert report["candidate"]["correct"] > report["live"]["correct"]
+    name, _, version = published.partition("@")
+    registry = ModelRegistry(loop_env["registry"])
+    metadata = registry.metadata_of(name, version)
+    assert metadata["source"] == "repro.adapt"
+    assert metadata["lineage"]["user"] == USER
+    assert metadata["lineage"]["base"]["name"] == "gdp"
+    candidate = registry.load(name, version)
+    assert NEW_CLASS in candidate.class_names
+    # The CLI hands the operator the exact swap line for the live pool.
+    swap_hint = next(
+        json.loads(line.split(": ", 1)[1])
+        for line in loop_env["out"].splitlines()
+        if line.startswith("hot-swap a serving session pool with")
+    )
+    assert swap_hint == {
+        "op": "swap", "user": USER, "model": published, "t": 0.0,
+    }
+
+
+def test_loop_is_deterministic_end_to_end(loop_env):
+    code, out = run_cli(loop_env["adapt_argv"])
+    assert code == 0
+    report_a, published_a = parse_adapt(loop_env["out"])
+    report_b, published_b = parse_adapt(out)
+    # Same traces, same seed: bit-identical candidate, byte-identical
+    # shadow report (the registry publish is content-addressed, so the
+    # re-publish was a no-op).
+    assert published_b == published_a
+    assert json.dumps(report_b, sort_keys=True) == json.dumps(
+        report_a, sort_keys=True
+    )
+
+
+def _winning_stroke(loop_env) -> list:
+    """Points of a stroke the shadow eval proved the candidate wins."""
+    from repro.adapt import AdaptPipeline
+
+    report, _ = parse_adapt(loop_env["out"])
+    pipeline = AdaptPipeline(
+        loop_env["registry"], "gdp", state_dir=loop_env["state"]
+    )
+    examples = pipeline.load_state(USER)["examples"]
+    idx = next(
+        i for i, entry in enumerate(report["per_stroke"])
+        if entry["candidate"]["correct"]
+        and entry["candidate"]["class"] == NEW_CLASS
+    )
+    return examples[idx]["points"]
+
+
+async def _serve_strokes(registry, base, strokes, swap=None):
+    """One channel per stroke; returns raw reply lines per stroke key.
+
+    ``swap=(user, model)`` is sent on the first channel before any
+    points move — the hot-swap path under test.
+    """
+    server = GestureServer(base, registry=ModelRegistry(registry))
+    await server.start()
+    lines: dict[str, list[str]] = {}
+    try:
+        channels = [await server.open_channel() for _ in strokes]
+        if swap is not None:
+            user, model = swap
+            await channels[0].send(
+                Request(op="swap", t=0.0, user=user, model=model)
+            )
+            ack = await asyncio.wait_for(channels[0].recv(), 5.0)
+            assert ack == encode_swap(user, model, 0.0)
+        for channel, (key, points) in zip(channels, strokes):
+            x0, y0, t0 = points[0]
+            await channel.send(Request("down", t0, key, x0, y0))
+            for x, y, t in points[1:]:
+                await channel.send(Request("move", t, key, x, y))
+            xn, yn, tn = points[-1]
+            await channel.send(Request("up", tn + DT, key, xn, yn))
+            await channel.send(Request("tick", tn + 10.0))
+            got = []
+            while not got or json.loads(got[-1])["kind"] != "commit":
+                line = await asyncio.wait_for(channel.recv(), 5.0)
+                got.append(line)
+            lines[key] = got
+    finally:
+        await server.stop()
+    return lines
+
+
+def test_promoted_model_hot_swaps_into_live_server(loop_env):
+    _, published = parse_adapt(loop_env["out"])
+    registry = ModelRegistry(loop_env["registry"])
+    base = registry.load("gdp")
+    points = _winning_stroke(loop_env)
+    # A second, non-adapted session drawing the same shape: its stream
+    # must not feel the swap.
+    strokes = [("adapted/s", points), ("other/s", points)]
+
+    swapped = asyncio.run(
+        _serve_strokes(
+            loop_env["registry"], base, strokes,
+            swap=("adapted/", published),
+        )
+    )
+    plain = asyncio.run(
+        _serve_strokes(loop_env["registry"], base, strokes)
+    )
+
+    def recog(lines):
+        return next(
+            json.loads(x) for x in lines if json.loads(x)["kind"] == "recog"
+        )
+
+    # The personal class is served live, exactly where the shadow
+    # replay predicted it.
+    assert recog(swapped["adapted/s"])["class"] == NEW_CLASS
+    assert recog(plain["adapted/s"])["class"] != NEW_CLASS
+    # Byte-for-byte: the swap is invisible to everyone else.
+    assert swapped["other/s"] == plain["other/s"]

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.recognizer import GestureClassifier, OnlineTrainer
 from repro.synth import GestureGenerator, eight_direction_templates, ud_templates
@@ -122,3 +124,88 @@ class TestRuntimeClassAddition:
         # More training data arrives; rebuild and swap in place.
         handler.recognizer = trainer.build()
         assert handler.phase.name == "IDLE"
+
+
+class TestBitIdentityWithEagerTrainer:
+    """Satellite of the adapt loop: incremental == batch, bit for bit.
+
+    The per-user retrainer persists an :class:`OnlineTrainer` and folds
+    corrections into it one at a time; its candidate model is only
+    reproducible (content-hash stable) if building from accumulated
+    examples is *exactly* the batch closed form, not a numerically
+    similar one.
+    """
+
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.integers(min_value=4, max_value=8),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_one_at_a_time_matches_batch_model_hash(self, seed, examples):
+        from repro.eager import train_eager_recognizer
+        from repro.hashing import content_hash
+
+        strokes = GestureGenerator(
+            ud_templates(), seed=seed
+        ).generate_strokes(examples)
+        batch = train_eager_recognizer(strokes).recognizer
+
+        trainer = OnlineTrainer()
+        for name, examples_list in strokes.items():
+            for stroke in examples_list:
+                trainer.add_example(name, stroke)
+        incremental = train_eager_recognizer(
+            strokes, full_classifier=trainer.build()
+        ).recognizer
+
+        assert content_hash(incremental.to_dict()) == content_hash(
+            batch.to_dict()
+        )
+
+    def test_new_class_added_then_built_matches_batch(self):
+        from repro.eager import train_eager_recognizer
+        from repro.hashing import content_hash
+        from repro.synth import GestureTemplate
+
+        strokes = GestureGenerator(ud_templates(), seed=5).generate_strokes(6)
+        trainer = OnlineTrainer()
+        for name, examples_list in strokes.items():
+            for stroke in examples_list:
+                trainer.add_example(name, stroke)
+
+        # A brand-new class arrives at runtime, appended after the others
+        # — the same first-seen order batch training would use.
+        flick = GestureTemplate(name="flick", waypoints=((0.0, 0.0), (0.8, 0.0)))
+        flick_strokes = GestureGenerator(
+            {"flick": flick}, seed=6
+        ).generate_strokes(6)["flick"]
+        for stroke in flick_strokes:
+            trainer.add_example("flick", stroke)
+
+        combined = dict(strokes)
+        combined["flick"] = flick_strokes
+        batch = train_eager_recognizer(combined).recognizer
+        incremental = train_eager_recognizer(
+            combined, full_classifier=trainer.build()
+        ).recognizer
+        assert content_hash(incremental.to_dict()) == content_hash(
+            batch.to_dict()
+        )
+
+    def test_trainer_state_round_trips_to_same_bits(self):
+        import json
+
+        from repro.hashing import content_hash
+
+        strokes = GestureGenerator(ud_templates(), seed=9).generate_strokes(5)
+        trainer = OnlineTrainer()
+        for name, examples_list in strokes.items():
+            for stroke in examples_list:
+                trainer.add_example(name, stroke)
+        revived = OnlineTrainer.from_dict(
+            json.loads(json.dumps(trainer.to_dict()))
+        )
+        assert content_hash(revived.build().to_dict()) == content_hash(
+            trainer.build().to_dict()
+        )
+        assert revived.class_names == trainer.class_names

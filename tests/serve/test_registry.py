@@ -107,3 +107,75 @@ class TestWarmCache:
             registry.latest_version("absent")
         with pytest.raises(KeyError):
             registry.path_of("absent", "deadbeef0000")
+
+
+class TestAtomicPublish:
+    """A publish killed mid-write can never tear the index (satellite)."""
+
+    def test_kill_mid_index_write_leaves_old_index_intact(
+        self, registry, directions_recognizer, monkeypatch
+    ):
+        import json
+        import os as _os
+
+        first = registry.publish("directions", directions_recognizer)
+        index_path = registry.root / "directions" / "index.json"
+        before = index_path.read_text()
+
+        # Kill the second publish at the instant it would move the index
+        # into place: os.replace raises, simulating SIGKILL mid-publish.
+        calls = {"n": 0}
+        real_replace = _os.replace
+
+        def dying_replace(src, dst):
+            if str(dst).endswith("index.json"):
+                calls["n"] += 1
+                raise OSError("killed mid-publish")
+            return real_replace(src, dst)
+
+        from repro import fsio
+
+        monkeypatch.setattr(fsio.os, "replace", dying_replace)
+        with pytest.raises(OSError):
+            registry.publish("directions", _retrained(99))
+        monkeypatch.setattr(fsio.os, "replace", real_replace)
+        assert calls["n"] == 1
+
+        # The old index is byte-identical — parseable, old latest serves.
+        assert index_path.read_text() == before
+        assert json.loads(index_path.read_text())["latest"] == first.version
+        fresh = ModelRegistry(registry.root)
+        assert fresh.latest_version("directions") == first.version
+        assert _probe(fresh.load("directions")) == _probe(
+            directions_recognizer
+        )
+        # No scratch files leaked into the model directory.
+        assert not list((registry.root / "directions").glob("*.tmp"))
+
+    def test_interrupted_publish_recovers_on_retry(
+        self, registry, directions_recognizer, monkeypatch
+    ):
+        registry.publish("directions", directions_recognizer)
+        retrained = _retrained(99)
+
+        import os as _os
+
+        from repro import fsio
+
+        real_replace = _os.replace
+        fail = {"armed": True}
+
+        def flaky_replace(src, dst):
+            if fail["armed"] and str(dst).endswith("index.json"):
+                fail["armed"] = False
+                raise OSError("killed mid-publish")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(fsio.os, "replace", flaky_replace)
+        with pytest.raises(OSError):
+            registry.publish("directions", retrained)
+        # Retry after the crash: publish is idempotent, index heals.
+        published = registry.publish("directions", retrained)
+        fresh = ModelRegistry(registry.root)
+        assert fresh.latest_version("directions") == published.version
+        assert len(fresh.versions("directions")) == 2

@@ -208,3 +208,36 @@ class TestParallelPrimitives:
         out = fan_out(worker, [[1, 2], [3]], jobs=1, initializer=init,
                       initargs=(10,))
         assert out == [[10, 20], [30]]
+
+    def test_effective_workers_caps(self, monkeypatch):
+        from repro.train import parallel
+        from repro.train.parallel import effective_workers
+
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 8)
+        chunks = split_chunks(list(range(100)), 4)
+        # No min_chunk: bounded by jobs and chunk count only.
+        assert effective_workers(4, chunks) == 4
+        assert effective_workers(9, chunks) == 4
+        # min_chunk shrinks workers so each gets enough items.
+        assert effective_workers(4, chunks, min_chunk=30) == 3
+        assert effective_workers(4, chunks, min_chunk=200) == 1
+        # The host's core count is a hard ceiling.
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        assert effective_workers(4, chunks) == 1
+
+    def test_fan_out_stays_inline_when_gated(self, monkeypatch):
+        """Tiny workloads must never pay the process-pool tax."""
+        from repro.train import parallel
+
+        def boom(*args, **kwargs):
+            raise AssertionError("ProcessPoolExecutor must not be used")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", boom)
+        chunks = split_chunks(list(range(8)), 4)
+        out = fan_out(lambda c: [x + 1 for x in c], chunks, jobs=4,
+                      min_chunk=32)
+        assert [x for chunk in out for x in chunk] == list(range(1, 9))
+        # A 1-CPU host gates even without min_chunk.
+        monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+        out = fan_out(lambda c: [x * 2 for x in c], chunks, jobs=4)
+        assert [x for chunk in out for x in chunk] == [x * 2 for x in range(8)]
