@@ -370,6 +370,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 drain_timeout=args.drain_timeout,
                 metrics=not args.no_metrics,
                 registry=args.registry,
+                framing=args.framing,
             ) as cluster:
                 await cluster.wait_all_up()
                 host, port = cluster.address
@@ -534,7 +535,10 @@ def _loadgen_cluster(args: argparse.Namespace, recognizer, workload) -> int:
             path = os.path.join(tmp, "recognizer.json")
             recognizer.save(path)
             async with Cluster(
-                path, workers=args.cluster, timeout=DEFAULT_TIMEOUT
+                path,
+                workers=args.cluster,
+                timeout=DEFAULT_TIMEOUT,
+                framing=args.framing,
             ) as cluster:
                 await cluster.wait_all_up()
                 host, port = cluster.address
@@ -1022,6 +1026,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-metrics", action="store_true",
         help="disable worker metrics (fleet stats replies carry null)",
     )
+    cluster.add_argument(
+        "--framing", choices=["lp1", "ndjson"], default="lp1",
+        help="router-to-worker wire framing: lp1 (length-prefixed, "
+        "negotiated per link with NDJSON fallback) or ndjson (legacy); "
+        "the client-facing wire is always NDJSON",
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     stats = sub.add_parser(
@@ -1053,6 +1063,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the workload through an N-worker cluster "
         "(real subprocesses) and verify the replies are byte-identical "
         "to a single pool",
+    )
+    loadgen.add_argument(
+        "--framing", choices=["lp1", "ndjson"], default="lp1",
+        help="with --cluster: the router-to-worker wire framing; the "
+        "byte-identity check must pass for either",
     )
     loadgen.add_argument(
         "--fault-seed", type=int, default=None, metavar="SEED",

@@ -60,6 +60,8 @@ class Cluster:
         metrics: bool = True,
         shard_names=None,
         registry=None,
+        framing: str = "lp1",
+        no_lp1_shards=(),
     ):
         from ..obs import MetricsRegistry
 
@@ -70,9 +72,14 @@ class Cluster:
         )
         self.metrics = MetricsRegistry() if metrics else None
         self.drain_timeout = drain_timeout
+        # ``framing`` picks the router→worker wire ("lp1" negotiated
+        # per link, "ndjson" legacy); ``no_lp1_shards`` spawns selected
+        # workers with --no-lp1, producing a mixed fleet where those
+        # links fall back to NDJSON — outputs are byte-identical either
+        # way, which tests assert.
         self.router = Router(
             shards, host=host, port=port, metrics=self.metrics,
-            registry=registry,
+            registry=registry, worker_framing=framing,
         )
         self.supervisor = Supervisor(
             recognizer_path,
@@ -84,6 +91,7 @@ class Cluster:
             on_up=self.router.worker_up,
             on_down=self.router.worker_down,
             registry=registry,
+            no_lp1_shards=no_lp1_shards,
         )
         self.router.drain_hook = self.drain
         self.router.supervisor_status = self.supervisor.status

@@ -62,7 +62,14 @@ class SessionRecord:
         self.clock_mark = float("-inf")  # clock at the last journal entry
         self.entries: list[tuple[int, str]] = []  # (seq, line), seq ascending
 
-    def journal(self, seq: int, line: str, clock: float, t: float) -> int:
+    def journal(
+        self,
+        seq: int,
+        line: str,
+        clock: float,
+        t: float,
+        clock_line: str | None = None,
+    ) -> int:
         """Append one routed op line; returns the next free sequence number.
 
         ``clock`` is the *broadcast* clock before this op — the highest
@@ -72,10 +79,20 @@ class SessionRecord:
         op's own timestamp; it raises ``clock_mark`` (suppressing later
         markers at or below it) because a barrier advance that cannot
         exceed the session's last activity can never fire its timeout.
+
+        ``clock_line`` is an optional pre-encoded marker for ``clock``:
+        the router encodes it once per barrier instead of once per
+        journalled op (markers are per *record*, so one barrier can
+        otherwise cost thousands of identical ``json.dumps`` calls).
         """
         if clock > self.clock_mark:
             self.entries.append(
-                (seq, json.dumps({"op": "tick", "t": clock}))
+                (
+                    seq,
+                    clock_line
+                    if clock_line is not None
+                    else json.dumps({"op": "tick", "t": clock}),
+                )
             )
             seq += 1
         self.entries.append((seq, line))

@@ -30,8 +30,19 @@ def _hash64(data: str) -> int:
     return int.from_bytes(md5(data.encode()).digest()[:8], "big")
 
 
+_CACHE_CAP = 65536
+
+
 class HashRing:
-    """``replicas`` virtual nodes per shard on a 64-bit md5 ring."""
+    """``replicas`` virtual nodes per shard on a 64-bit md5 ring.
+
+    Lookups are memoized: the md5 + bisect walk runs once per distinct
+    key, then a dict hit answers repeats.  The cache is keyed to the
+    ``skip`` set in force when it was filled — any topology change
+    (a shard starts or stops draining) empties it wholesale, so a stale
+    route can never be served.  Memoization is an observably pure
+    speedup: routing stays a function of ``(key, skip)`` alone.
+    """
 
     def __init__(self, shards, replicas: int = 64):
         self.shards = tuple(shards)
@@ -47,6 +58,8 @@ class HashRing:
         points.sort()
         self._points = points
         self._hashes = [h for h, _ in points]
+        self._cache: dict[str, str] = {}
+        self._cache_skip: frozenset = frozenset()
 
     def lookup(self, key: str, skip=frozenset()) -> str:
         """The shard owning ``key``, skipping any shard in ``skip``.
@@ -54,11 +67,26 @@ class HashRing:
         With every shard skipped there is nowhere to route;
         ``ValueError``.
         """
+        cache = self._cache
+        if skip != self._cache_skip:
+            # Topology changed since the cache was filled: every cached
+            # route is suspect (a key owned by a newly skipped shard
+            # must spill to its successor; a key that had spilled may
+            # return home).  Rebuild from scratch under the new skip.
+            self._cache_skip = frozenset(skip)
+            cache = self._cache = {}
+        else:
+            shard = cache.get(key)
+            if shard is not None:
+                return shard
         points = self._points
         n = len(points)
         start = bisect_right(self._hashes, _hash64(key))
         for i in range(n):
             shard = points[(start + i) % n][1]
             if shard not in skip:
+                if len(cache) >= _CACHE_CAP:
+                    cache.clear()
+                cache[key] = shard
                 return shard
         raise ValueError("every shard is draining or down; nowhere to route")

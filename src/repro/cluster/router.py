@@ -58,15 +58,25 @@ import asyncio
 import json
 from collections import deque
 from contextlib import suppress
+from time import perf_counter
 
 from ..serve import DEFAULT_MAX_LINE, LineReader
+from ..serve.framing import (
+    DEFAULT_MAX_FRAME,
+    FRAME_MAGIC,
+    FrameReader,
+    encode_hello,
+    encode_frames,
+    negotiate,
+)
 from ..serve.protocol import (
     ProtocolError,
-    decode_request,
+    decode_payload,
     encode_error,
     encode_stats,
     encode_swap,
 )
+from .fastpath import OP_LINE, splice_reply
 from .journal import SessionRecord, replay_lines
 from .ring import HashRing
 
@@ -79,6 +89,38 @@ _NEG_INF = float("-inf")
 _GONE_REASONS = ("unknown stroke", "pool full")
 
 
+class _Mailbox:
+    """A single-consumer list mailbox for the per-op hot path.
+
+    ``put_nowait`` is a list append (plus one Event set when the list
+    was empty) — several times cheaper than ``asyncio.Queue``'s
+    put/get machinery — and ``take()`` hands the consumer *everything*
+    queued in one call, which is exactly the coalescing the connection
+    writers want anyway.  Single-threaded asyncio only: no locks.
+    """
+
+    __slots__ = ("items", "event")
+
+    def __init__(self):
+        self.items: list = []
+        # Public: the batch router inlines put_nowait (append + set).
+        self.event = asyncio.Event()
+
+    def put_nowait(self, item) -> None:
+        self.items.append(item)
+        if len(self.items) == 1:
+            self.event.set()
+
+    async def take(self) -> list:
+        while not self.items:
+            self.event.clear()
+            await self.event.wait()
+        batch = self.items
+        self.items = []
+        self.event.clear()
+        return batch
+
+
 class _WorkerLink:
     """The router's connection (and outbound queue) to one worker."""
 
@@ -86,6 +128,7 @@ class _WorkerLink:
         "shard",
         "state",
         "ups",
+        "mode",
         "queue",
         "writer",
         "reader_task",
@@ -99,7 +142,8 @@ class _WorkerLink:
         self.shard = shard
         self.state = "down"
         self.ups = 0
-        self.queue: asyncio.Queue | None = None
+        self.mode = "ndjson"  # per-link framing, renegotiated each connect
+        self.queue: _Mailbox | None = None
         self.writer = None
         self.reader_task: asyncio.Task | None = None
         self.writer_task: asyncio.Task | None = None
@@ -115,19 +159,21 @@ class _WorkerLink:
 class _Client:
     """One accepted client connection."""
 
-    __slots__ = ("id", "outbox", "closed")
+    __slots__ = ("id", "ns", "outbox", "limit", "closed", "seen")
 
     def __init__(self, cid: str, queue_size: int):
         self.id = cid
-        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+        self.ns = cid + ":"  # namespace prefix, built once per connection
+        self.outbox = _Mailbox()
+        self.limit = queue_size  # backpressure: beyond it, push refuses
         self.closed = False
+        self.seen = False  # any line processed yet (hello negotiation)
 
     def push(self, line: str) -> bool:
-        try:
-            self.outbox.put_nowait(line)
-            return True
-        except asyncio.QueueFull:
+        if len(self.outbox.items) >= self.limit:
             return False
+        self.outbox.put_nowait(line)
+        return True
 
 
 class Router:
@@ -141,7 +187,9 @@ class Router:
         port: int = 0,
         queue_size: int = 1024,
         max_line: int = DEFAULT_MAX_LINE,
+        max_frame: int = DEFAULT_MAX_FRAME,
         stats_timeout: float = 10.0,
+        worker_framing: str = "lp1",
         metrics=None,
         registry=None,
     ):
@@ -157,9 +205,36 @@ class Router:
         self.port = port
         self.queue_size = queue_size
         self.max_line = max_line
+        self.max_frame = max_frame
         self.stats_timeout = stats_timeout
+        # Framing attempted on the router→worker hop: "lp1" negotiates
+        # length-prefixed frames per link (falling back to NDJSON when a
+        # worker refuses — mixed fleets interoperate); "ndjson" never
+        # negotiates.  The client hop always speaks NDJSON.
+        if worker_framing not in ("ndjson", "lp1"):
+            raise ValueError(f"unknown worker framing: {worker_framing!r}")
+        self.worker_framing = worker_framing
         # Duck-typed: anything with .counter(name).inc(n) and .snapshot().
         self.metrics = metrics
+        # Hot-loop counters, resolved once (the generic _count path pays
+        # a dict lookup per call).
+        if metrics is not None:
+            self._ops_routed = metrics.counter("cluster.ops_routed")
+            self._replies_forwarded = metrics.counter("cluster.replies_forwarded")
+            self._replies_suppressed = metrics.counter("cluster.replies_suppressed")
+        else:
+            self._ops_routed = None
+            self._replies_forwarded = None
+            self._replies_suppressed = None
+        # Data-plane busy time (client-side routing / worker-side reply
+        # handling), excluding every await — the "router_s" half of the
+        # benchmark's router/worker/transport breakdown.
+        self._client_in_s = 0.0
+        self._worker_in_s = 0.0
+        # Ops routed since the last counter flush: the hot path bumps a
+        # plain int and _handle_client folds it into the metrics counter
+        # once per event batch (and before any stats fan-out reads it).
+        self._ops_pending = 0
         self.links = {shard: _WorkerLink(shard) for shard in self.ring.shards}
         self.sessions: dict[str, SessionRecord] = {}
         self.draining: set[str] = set()
@@ -178,6 +253,9 @@ class Router:
         # itself and is folded in at the next barrier, which replay
         # reproduces from the journaled op lines.
         self._clock = _NEG_INF
+        # The broadcast clock's journal marker, encoded once per barrier
+        # instead of once per journalled op (see SessionRecord.journal).
+        self._clock_line: str | None = None
         self._server: asyncio.AbstractServer | None = None
         self._client_tasks: set[asyncio.Task] = set()
 
@@ -213,17 +291,61 @@ class Router:
         if self.metrics is not None:
             self.metrics.counter(name).inc(n)
 
+    def _flush_op_count(self) -> None:
+        if self._ops_pending:
+            if self._ops_routed is not None:
+                self._ops_routed.inc(self._ops_pending)
+            self._ops_pending = 0
+
     # -- worker side ---------------------------------------------------------
+
+    async def _negotiate_worker(self, reader, writer) -> str:
+        """One hello round trip; returns the link's framing mode.
+
+        The ack to an accepted ``lp1`` hello is itself the first lp1
+        frame, so the first reply byte disambiguates: the frame magic
+        means the worker switched; anything else is an NDJSON error
+        line from a worker that refused (``--no-lp1``) or predates the
+        framing — the link then stays NDJSON and everything still
+        works, just slower.
+        """
+        writer.write((encode_hello("lp1") + "\n").encode())
+        await writer.drain()
+        first = await reader.readexactly(1)
+        if first[0] == FRAME_MAGIC:
+            length = int.from_bytes(await reader.readexactly(4), "big")
+            payload = await reader.readexactly(length)
+            ack = json.loads(payload)
+            if ack.get("kind") == "hello" and ack.get("framing") == "lp1":
+                return "lp1"
+            raise ConnectionError(f"unexpected lp1 negotiation ack: {ack!r}")
+        await reader.readline()  # the refusal's error line
+        self._count("cluster.lp1_refused")
+        return "ndjson"
 
     async def worker_up(self, shard: str, host: str, port: int) -> None:
         """Connect a (re)started worker and replay its shard's journals.
 
-        Everything between opening the connection and marking the link
-        up is synchronous, so ops that arrive during the connect are
-        journaled and land in the replay, never double-sent.
+        Everything between framing negotiation and marking the link up
+        is synchronous, so ops that arrive during the connect (or the
+        negotiation round trip) are journaled and land in the replay,
+        never double-sent.
         """
         reader, writer = await asyncio.open_connection(host, port)
+        mode = "ndjson"
+        if self.worker_framing == "lp1":
+            try:
+                mode = await self._negotiate_worker(reader, writer)
+            except asyncio.IncompleteReadError:
+                # The supervisor's retry loop catches OSError; a worker
+                # dying mid-negotiation must look like any other failed
+                # connect, not escape as EOFError.
+                writer.close()
+                raise ConnectionError(
+                    "worker closed during framing negotiation"
+                ) from None
         link = self.links[shard]
+        link.mode = mode
         records = [r for r in self.sessions.values() if r.shard == shard]
         final_t = None if self._clock == _NEG_INF else self._clock
         lines = replay_lines(records, link.extras + link.swaps, final_t=final_t)
@@ -232,7 +354,7 @@ class Router:
         # link.extras is kept: this worker too can die before processing
         # a replayed sweep.  Stale entries are pruned as sweeps are
         # journaled (see _journal_sweep).
-        link.queue = asyncio.Queue()  # stale pre-crash queue is discarded
+        link.queue = _Mailbox()  # stale pre-crash queue is discarded
         for line in lines:
             link.queue.put_nowait(line)
         link.writer = writer
@@ -270,25 +392,44 @@ class Router:
 
     async def _worker_writer(self, link: _WorkerLink, writer) -> None:
         queue = link.queue
+        lp1 = link.mode == "lp1"
         with suppress(ConnectionError, asyncio.CancelledError):
             while True:
-                line = await queue.get()
-                writer.write(line.encode() + b"\n")
+                # Coalesce: everything already queued leaves in one
+                # write() — one syscall per pump pass, not per op.
+                batch = await queue.take()
+                if lp1:
+                    data = encode_frames(line.encode() for line in batch)
+                else:
+                    data = b"".join(line.encode() + b"\n" for line in batch)
+                writer.write(data)
                 await writer.drain()
 
     async def _worker_reader(self, link: _WorkerLink, reader) -> None:
-        lines = LineReader(reader, self.max_line)
+        if link.mode == "lp1":
+            frames = FrameReader(reader, self.max_frame)
+        else:
+            frames = LineReader(reader, self.max_line)
         try:
-            while True:
-                kind, raw = await lines.next()
-                if kind == "eof":
-                    break
-                if kind == "overflow":
-                    continue
-                raw = raw.strip()
-                if not raw:
-                    continue
-                self._on_worker_line(link, raw.decode())
+            eof = False
+            while not eof:
+                events = await frames.next_batch()
+                t0 = perf_counter()
+                for kind, raw in events:
+                    if kind == "eof":
+                        eof = True
+                        break
+                    if kind != "line":
+                        # overflow/garbage/truncated: a worker never
+                        # legitimately produces these; drop the event
+                        # and keep the link.
+                        self._count("cluster.worker_frame_errors")
+                        continue
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    self._on_worker_line(link, raw.decode())
+                self._worker_in_s += perf_counter() - t0
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -296,35 +437,46 @@ class Router:
                 self._mark_down(link.shard)
 
     def _on_worker_line(self, link: _WorkerLink, raw: str) -> None:
-        obj = json.loads(raw)
-        kind = obj.get("kind")
-        if kind == "swap":
-            # Every worker acks a broadcast swap; the router already
-            # synthesized the single client-facing ack at routing time.
-            self._count("cluster.swap_acks_dropped")
-            return
-        if kind == "stats":
-            if link.pending_stats:
-                fut = link.pending_stats.popleft()
-                if not fut.done():
-                    fut.set_result(obj)
-            return
-        key = obj.get("stroke", "")
+        fast = splice_reply(raw)
+        if fast is not None:
+            # A canonical decision reply: kind, key, and the
+            # un-namespaced line came straight off the bytes.
+            kind, key, line = fast
+            obj = None
+            terminal = kind == "commit" or kind == "evict"
+        else:
+            obj = json.loads(raw)
+            kind = obj.get("kind")
+            if kind == "swap":
+                # Every worker acks a broadcast swap; the router already
+                # synthesized the single client-facing ack at routing time.
+                self._count("cluster.swap_acks_dropped")
+                return
+            if kind == "stats":
+                if link.pending_stats:
+                    fut = link.pending_stats.popleft()
+                    if not fut.done():
+                        fut.set_result(obj)
+                return
+            key = obj.get("stroke", "")
+            line = None  # encoded lazily: a suppressed replay never needs it
+            terminal = kind in ("commit", "evict") or (
+                kind == "error" and obj.get("reason") in _GONE_REASONS
+            )
         record = self.sessions.get(key)
-        terminal = kind in ("commit", "evict") or (
-            kind == "error" and obj.get("reason") in _GONE_REASONS
-        )
         if record is not None and record.skip > 0:
             # A replayed reply the client already has: bit-equal to the
             # one forwarded before the crash, so drop it by count.
             record.skip -= 1
-            self._count("cluster.replies_suppressed")
+            if self._replies_suppressed is not None:
+                self._replies_suppressed.inc(1)
             if terminal:
                 self.sessions.pop(key, None)
             return
         client_id, _, stroke = key.partition(":")
-        obj["stroke"] = stroke  # un-namespace; dumps() restores the bytes
-        line = json.dumps(obj)
+        if line is None:
+            obj["stroke"] = stroke  # un-namespace; dumps() restores the bytes
+            line = json.dumps(obj)
         if record is not None:
             record.delivered += 1
             client_id = record.client
@@ -334,7 +486,8 @@ class Router:
         if client is not None and not client.closed:
             if not client.push(line):
                 self._close_client(client)
-        self._count("cluster.replies_forwarded")
+        if self._replies_forwarded is not None:
+            self._replies_forwarded.inc(1)
 
     # -- client side ---------------------------------------------------------
 
@@ -350,19 +503,25 @@ class Router:
         lines = LineReader(reader, self.max_line)
         try:
             while not client.closed:
-                kind, line = await lines.next()
-                if kind == "eof":
+                events = await lines.next_batch()
+                if events[0][0] == "eof":
+                    # next_batch never scans past an eof, so it is
+                    # always the sole (first) event of its batch.
                     break
-                if kind == "overflow":
-                    if not client.push(
-                        encode_error(f"line exceeds {self.max_line} bytes")
-                    ):
+                t0 = perf_counter()
+                start = 0
+                while True:
+                    # Routing is synchronous; only the rare ops that
+                    # fan out (admin, stats) hand back an awaitable —
+                    # kept outside the busy-time accounting, which
+                    # measures data-plane work, not waits.
+                    pending, start = self._route_batch(client, events, start)
+                    if pending is None:
                         break
-                    continue
-                line = line.strip()
-                if not line:
-                    continue
-                await self._route_line(client, line.decode())
+                    self._client_in_s += perf_counter() - t0
+                    await pending
+                    t0 = perf_counter()
+                self._client_in_s += perf_counter() - t0
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -375,54 +534,183 @@ class Router:
             self._client_tasks.discard(task)
 
     async def _client_writer(self, client: _Client, writer) -> None:
+        outbox = client.outbox
         with suppress(ConnectionError):
-            while True:
-                line = await client.outbox.get()
-                if line is None:
-                    break
-                writer.write(line.encode() + b"\n")
-                await writer.drain()
+            closing = False
+            while not closing:
+                # Coalesce queued replies into one write() per wakeup.
+                batch = await outbox.take()
+                if batch[-1] is None:  # the common close: sentinel last
+                    closing = True
+                    batch.pop()
+                elif None in batch:
+                    closing = True
+                    batch = batch[: batch.index(None)]
+                if batch:
+                    writer.write(b"".join(l.encode() + b"\n" for l in batch))
+                    await writer.drain()
 
     def _close_client(self, client: _Client) -> None:
         if client.closed:
             return
         client.closed = True
         self._clients.pop(client.id, None)
-        if client.outbox.full():
-            with suppress(asyncio.QueueEmpty):
-                client.outbox.get_nowait()
-        with suppress(asyncio.QueueFull):
-            client.outbox.put_nowait(None)
+        # The sentinel bypasses the backpressure limit: closing must
+        # always be deliverable to the writer task.
+        client.outbox.put_nowait(None)
 
-    async def _route_line(self, client: _Client, line: str) -> None:
+    def _route_batch(self, client: _Client, events, start: int):
+        """Route one read's worth of client lines, starting at ``start``.
+
+        The canonical ``down``/``move``/``up`` shape takes the splice
+        path inline: no dict is built, the ``client:`` namespace prefix
+        is inserted at the matched offset, the journal append is the
+        pre-encoded marker plus the spliced line, and every per-op
+        ``self``/``client`` attribute read is hoisted into a local once
+        per batch — at router rates the lookups alone are measurable.
+        Anything else falls back to :meth:`_route_line` (with journal
+        and clock state synced around the call), so validation outcomes
+        and error bytes never depend on which path ran.
+
+        Returns ``(pending, resume)``: ``pending`` is an awaitable only
+        when a line fanned out (admin, stats) — the caller awaits it
+        outside the busy window and re-enters at index ``resume``.
+        """
+        match = OP_LINE.match
+        sessions = self.sessions
+        links = self.links
+        ns = client.ns
+        cid = client.id
+        seen = client.seen
+        seq = self._seq
+        clock = self._clock
+        clock_line = self._clock_line
+        ops = 0
+        pending = None
+        i = start
+        n = len(events)
+        while i < n:
+            kind, bline = events[i]
+            i += 1
+            if kind != "line":  # overflow: the only other mid-batch kind
+                if not client.push(
+                    encode_error(f"line exceeds {self.max_line} bytes")
+                ):
+                    self._close_client(client)
+                    break
+                continue
+            # bytes.strip() copies even when there is nothing to strip;
+            # a canonical line starts with ``{`` and ends with ``}``.
+            if not (bline and bline[0] == 123 and bline[-1] == 125):
+                bline = bline.strip()
+                if not bline:
+                    continue
+            line = bline.decode()
+            m = match(line)
+            if m is None:
+                # Sync shared state around the legacy path: it journals
+                # non-canonical ops (``_seq``) and a tick/sweep moves
+                # the broadcast clock.
+                self._seq = seq
+                client.seen = seen
+                pending = self._route_line(client, line)
+                seq = self._seq
+                clock = self._clock
+                clock_line = self._clock_line
+                seen = client.seen
+                if pending is not None:
+                    break
+                continue
+            seen = True
+            stroke, ts = m.group(2, 3)
+            key = ns + stroke
+            record = sessions.get(key)
+            if record is None:
+                shard = self.ring.lookup(
+                    key, skip=self.draining | self.retired
+                )
+                record = SessionRecord(key, cid, shard)
+                sessions[key] = record
+            vstart = m.start(2)
+            forwarded = line[:vstart] + ns + line[vstart:]
+            entries = record.entries
+            if clock > record.clock_mark:
+                entries.append((seq, clock_line))
+                seq += 1
+            entries.append((seq, forwarded))
+            seq += 1
+            t = float(ts)
+            record.clock_mark = clock if clock > t else t
+            link = links[record.shard]
+            if link.state == "up":
+                # _Mailbox.put_nowait, inlined.
+                queue = link.queue
+                items = queue.items
+                items.append(forwarded)
+                if len(items) == 1:
+                    queue.event.set()
+            ops += 1
+        client.seen = seen
+        self._seq = seq
+        if ops:
+            self._ops_pending += ops
+        self._flush_op_count()
+        return pending, i
+
+    def _route_line(self, client: _Client, line: str):
+        """Route one non-canonical client line the legacy way; returns
+        an awaitable only for ops that fan out (admin, stats).
+
+        Everything here decodes to a dict — including valid session ops
+        in non-canonical form (compact separators, reordered keys),
+        which are validated, re-encoded canonically, and journaled
+        exactly as every op was before the splice path existed.
+        """
         try:
             payload = json.loads(line)
-        except ValueError:
-            payload = None
-        if isinstance(payload, dict) and payload.get("op") in ("cluster", "drain"):
-            await self._admin(client, payload)
-            return
+        except ValueError as exc:
+            client.seen = True
+            client.push(encode_error(f"bad json: {exc}"))
+            return None
+        if isinstance(payload, dict):
+            admin_op = payload.get("op")
+            if admin_op in ("cluster", "drain"):
+                client.seen = True
+                return self._admin(client, payload)
+            if admin_op == "hello":
+                # The client hop stays NDJSON (the debuggable compat
+                # path; lp1 runs router↔worker): an ndjson hello acks
+                # as a capability probe, lp1 is refused, and the
+                # connection continues either way.
+                reply, _ = negotiate(
+                    payload, first=not client.seen, allow_lp1=False
+                )
+                client.seen = True
+                client.push(reply)
+                return None
+        client.seen = True
         try:
-            request = decode_request(line)
+            request = decode_payload(payload)
         except ProtocolError as exc:
             client.push(encode_error(str(exc)))
-            return
+            return None
         op = request.op
         if op == "stats":
-            await self._fleet_stats(client)
-            return
+            return self._fleet_stats(client)
         if op == "swap":
             self._route_swap(client, request)
-            return
+            return None
         if op == "tick":
             if request.t > self._clock:
                 self._clock = request.t
+                self._clock_line = json.dumps({"op": "tick", "t": self._clock})
             self._broadcast(line)
             self._count("cluster.ticks_broadcast")
-            return
+            return None
         if op == "sweep":
             if request.t > self._clock:
                 self._clock = request.t
+                self._clock_line = json.dumps({"op": "tick", "t": self._clock})
             self._broadcast(line)
             # A worker can die with the sweep queued or sent but not yet
             # processed — death detection is asynchronous, so "up at
@@ -433,11 +721,13 @@ class Router:
             for link in self.links.values():
                 if link.shard not in self.retired:
                     self._journal_sweep(link, line)
-            return
-        # down / move / up: sticky-route, journal, forward.  The journal
-        # marker carries the broadcast clock — the barriers the worker
-        # received before this op; the op's own t is carried by the op
-        # line itself, live and in replay alike.
+            return None
+        # down / move / up in non-canonical form: sticky-route, journal,
+        # forward — via re-encode, exactly as every op was before the
+        # splice path existed.  The journal marker carries the broadcast
+        # clock — the barriers the worker received before this op; the
+        # op's own t is carried by the op line itself, live and in
+        # replay alike.
         key = f"{client.id}:{request.stroke}"
         record = self.sessions.get(key)
         if record is None:
@@ -447,12 +737,17 @@ class Router:
         payload["stroke"] = key
         forwarded = json.dumps(payload)
         self._seq = record.journal(
-            self._seq, forwarded, clock=self._clock, t=request.t
+            self._seq,
+            forwarded,
+            clock=self._clock,
+            t=request.t,
+            clock_line=self._clock_line,
         )
         link = self.links[record.shard]
         if link.state == "up":
             link.queue.put_nowait(forwarded)
-        self._count("cluster.ops_routed")
+        self._ops_pending += 1
+        return None
 
     def _broadcast(self, line: str) -> None:
         for link in self.links.values():
@@ -523,9 +818,9 @@ class Router:
             return
         link.extras = [e for e in link.extras if e[0] >= floor]
         if self._clock != _NEG_INF:
-            link.extras.append(
-                (self._seq, json.dumps({"op": "tick", "t": self._clock}))
-            )
+            # _clock_line is always current here: it is re-encoded at
+            # every barrier that moves _clock off -inf.
+            link.extras.append((self._seq, self._clock_line))
             self._seq += 1
         link.extras.append((self._seq, line))
         self._seq += 1
@@ -579,6 +874,11 @@ class Router:
         )
         payload = json.loads(line)
         payload["cluster"] = self.status()
+        # Fleet-wide pump busy time: the "worker_s" half of the
+        # benchmark's router/worker/transport breakdown.
+        payload["cluster"]["worker_busy_s"] = round(
+            sum(s.get("busy_s", 0.0) for s in stats), 6
+        )
         if not client.closed and not client.push(json.dumps(payload)):
             self._close_client(client)
 
@@ -597,8 +897,17 @@ class Router:
                 "retired": shard in self.retired,
             }
             info.update(supervisor.get(shard, {}))
+            info["framing"] = link.mode
             shards[shard] = info
-        return {"shards": shards, "sessions": len(self.sessions)}
+        return {
+            "shards": shards,
+            "sessions": len(self.sessions),
+            "router": {
+                "client_in_s": round(self._client_in_s, 6),
+                "worker_in_s": round(self._worker_in_s, 6),
+                "busy_s": round(self._client_in_s + self._worker_in_s, 6),
+            },
+        }
 
     async def _admin(self, client: _Client, payload: dict) -> None:
         if payload["op"] == "cluster":

@@ -80,10 +80,14 @@ class Supervisor:
         on_up=None,
         on_down=None,
         registry=None,
+        no_lp1_shards=(),
     ):
         self.recognizer_path = str(recognizer_path)
         self.registry = None if registry is None else str(registry)
         self.shards = tuple(shards)
+        # Shards spawned with --no-lp1 (NDJSON-only workers) — the
+        # mixed-fleet compat knob; survives restarts of those shards.
+        self.no_lp1_shards = frozenset(no_lp1_shards)
         self.timeout = timeout
         self.max_sessions = max_sessions
         self.heartbeat = heartbeat
@@ -164,6 +168,7 @@ class Supervisor:
             max_sessions=self.max_sessions,
             heartbeat=self.heartbeat,
             registry=self.registry,
+            lp1=shard not in self.no_lp1_shards,
         )
         loop = asyncio.get_running_loop()
         handle.proc = await asyncio.create_subprocess_exec(

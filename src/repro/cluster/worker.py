@@ -47,6 +47,7 @@ def worker_command(
     heartbeat: float = DEFAULT_HEARTBEAT,
     metrics: bool = True,
     registry: str | None = None,
+    lp1: bool = True,
 ) -> list[str]:
     """The argv the supervisor spawns for one worker."""
     cmd = [
@@ -72,6 +73,8 @@ def worker_command(
         cmd.append("--no-metrics")
     if registry is not None:
         cmd += ["--registry", str(registry)]
+    if not lp1:
+        cmd.append("--no-lp1")
     return cmd
 
 
@@ -104,6 +107,7 @@ async def _amain(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         observer=observer,
         registry=args.registry,
+        allow_lp1=not args.no_lp1,
     )
     await server.start()
     host, port = server.address
@@ -159,6 +163,12 @@ def main(argv: list[str] | None = None) -> int:
         "--registry",
         default=None,
         help="model registry directory enabling swap ops",
+    )
+    parser.add_argument(
+        "--no-lp1",
+        action="store_true",
+        help="refuse lp1 framing negotiation (NDJSON only — the legacy"
+        " wire, for mixed-fleet compat testing)",
     )
     args = parser.parse_args(argv)
     try:

@@ -23,6 +23,16 @@ multi-tenant streaming service:
 
 from .bank import FeatureBank
 from .batch import BatchEvaluator
+from .framing import (
+    DEFAULT_MAX_FRAME,
+    FRAME_MAGIC,
+    FrameReader,
+    encode_frame,
+    encode_frames,
+    encode_hello,
+    encode_hello_ack,
+    negotiate,
+)
 from .lines import LineReader
 from .loadgen import (
     LoadResult,
@@ -35,6 +45,7 @@ from .pool import DEFAULT_IDLE_TIMEOUT, Decision, SessionPool
 from .protocol import (
     ProtocolError,
     Request,
+    decode_payload,
     decode_request,
     encode_decision,
     encode_error,
@@ -46,11 +57,14 @@ from .server import Channel, DEFAULT_MAX_LINE, GestureServer
 
 __all__ = [
     "DEFAULT_IDLE_TIMEOUT",
+    "DEFAULT_MAX_FRAME",
     "DEFAULT_MAX_LINE",
+    "FRAME_MAGIC",
     "BatchEvaluator",
     "Channel",
     "Decision",
     "FeatureBank",
+    "FrameReader",
     "GestureServer",
     "LineReader",
     "LoadResult",
@@ -60,12 +74,18 @@ __all__ = [
     "Request",
     "SessionPool",
     "compare_modes",
+    "decode_payload",
     "decode_request",
     "encode_decision",
     "encode_error",
+    "encode_frame",
+    "encode_frames",
+    "encode_hello",
+    "encode_hello_ack",
     "encode_stats",
     "encode_swap",
     "family_templates",
     "generate_workload",
+    "negotiate",
     "run_load",
 ]

@@ -39,23 +39,50 @@ class LineReader:
         self._reader = reader
         self.max_line = max_line
         self._buf = bytearray()
-        self._scanned = 0  # no b"\n" before this offset in _buf
+        self._pos = 0  # consumed prefix of _buf (compacted lazily)
+        self._scanned = 0  # no b"\n" between _pos and this offset
         self._skipping = False  # inside an oversized line's remainder
         self._eof = False
 
+    def _scan(self) -> tuple[str, bytes] | None:
+        """One event from the buffer alone, or ``None`` if starved.
+
+        Consumed lines advance ``_pos`` instead of deleting from the
+        buffer — a per-line ``del buf[:n]`` memmoves the whole tail, so
+        a read chunk holding N lines would cost O(N·chunk) in copying.
+        The consumed prefix is dropped once per starved scan.
+        """
+        buf = self._buf
+        newline = buf.find(b"\n", self._scanned)
+        if newline < 0:
+            if self._pos:
+                del buf[: self._pos]
+                self._pos = 0
+            self._scanned = len(buf)
+            return None
+        line = bytes(buf[self._pos : newline])
+        self._pos = newline + 1
+        self._scanned = self._pos
+        if self._skipping:
+            self._skipping = False
+            return "overflow", b""
+        if len(line) > self.max_line:
+            return "overflow", b""
+        return "line", line
+
+    def take_buffer(self) -> bytes:
+        """Hand over unconsumed bytes (for a framing switch) and reset."""
+        data = bytes(self._buf[self._pos :])
+        self._buf.clear()
+        self._pos = 0
+        self._scanned = 0
+        return data
+
     async def next(self) -> tuple[str, bytes]:
         while True:
-            newline = self._buf.find(b"\n", self._scanned)
-            if newline >= 0:
-                line = bytes(self._buf[:newline])
-                del self._buf[: newline + 1]
-                self._scanned = 0
-                if self._skipping:
-                    self._skipping = False
-                    return "overflow", b""
-                if len(line) > self.max_line:
-                    return "overflow", b""
-                return "line", line
+            event = self._scan()
+            if event is not None:
+                return event
             self._scanned = len(self._buf)
             if self._skipping:
                 # Still inside the oversized line: drop what we have.
@@ -79,3 +106,16 @@ class LineReader:
                 self._eof = True
             else:
                 self._buf.extend(chunk)
+
+    async def next_batch(self) -> list[tuple[str, bytes]]:
+        """At least one event, plus every further complete line already
+        buffered — lets a consumer process a whole read's worth of lines
+        without re-entering the event loop per line."""
+        events = [await self.next()]
+        if events[0][0] == "eof":
+            return events
+        while True:
+            event = self._scan()
+            if event is None:
+                return events
+            events.append(event)

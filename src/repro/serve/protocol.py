@@ -64,6 +64,7 @@ from .pool import Decision
 __all__ = [
     "ProtocolError",
     "Request",
+    "decode_payload",
     "decode_request",
     "encode_decision",
     "encode_error",
@@ -101,6 +102,17 @@ def decode_request(line: str | bytes) -> Request:
         payload = json.loads(line)
     except (ValueError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"bad json: {exc}") from None
+    return decode_payload(payload)
+
+
+def decode_payload(payload) -> Request:
+    """Validate one already-parsed request object.
+
+    The validation (and every error message) is exactly
+    :func:`decode_request`'s — split out so a caller that already had
+    to ``json.loads`` the line for its own routing (the cluster router)
+    does not parse it twice.
+    """
     if not isinstance(payload, dict):
         raise ProtocolError("request must be a json object")
     op = payload.get("op")
@@ -184,6 +196,7 @@ def encode_stats(
     sessions: int,
     channels: int,
     profile: dict | None = None,
+    busy_s: float | None = None,
 ) -> str:
     """Encode a metrics-snapshot reply (without the newline).
 
@@ -191,7 +204,10 @@ def encode_stats(
     ``None`` when the server runs unobserved.  ``profile`` is a
     :meth:`repro.obs.PerfProfiler.snapshot` dict; the key is only
     present when a profiler is attached (``serve --profile``), keeping
-    the reply unchanged for existing clients otherwise.
+    the reply unchanged for existing clients otherwise.  ``busy_s`` is
+    the server's cumulative pump busy time (recognition work, as
+    opposed to transport); present whenever the server reports it —
+    the cluster benchmark's router/worker/transport breakdown reads it.
     """
     payload = {
         "kind": "stats",
@@ -202,4 +218,6 @@ def encode_stats(
     }
     if profile is not None:
         payload["profile"] = profile
+    if busy_s is not None:
+        payload["busy_s"] = busy_s
     return json.dumps(payload)

@@ -47,10 +47,13 @@ exempt.  With neither, the pump path is exactly as before.
 from __future__ import annotations
 
 import asyncio
+import json
 from contextlib import suppress
+from time import perf_counter
 
 from ..eager import EagerRecognizer
 from ..interaction import DEFAULT_TIMEOUT
+from .framing import DEFAULT_MAX_FRAME, FrameReader, encode_frames, negotiate
 from .lines import LineReader
 from .pool import Decision, SessionPool
 from .protocol import (
@@ -70,6 +73,17 @@ __all__ = ["Channel", "DEFAULT_MAX_LINE", "GestureServer"]
 DEFAULT_MAX_LINE = 65536
 
 _CLOSE = object()  # outbox sentinel
+
+
+class _Wire:
+    """One TCP connection's negotiated framing, shared between the
+    reader loop (which switches it) and the reply drain task (which
+    encodes with it)."""
+
+    __slots__ = ("mode",)
+
+    def __init__(self):
+        self.mode = "ndjson"
 
 
 class Channel:
@@ -128,10 +142,12 @@ class GestureServer:
         max_sessions: int = 4096,
         queue_size: int = 1024,
         max_line: int = DEFAULT_MAX_LINE,
+        max_frame: int = DEFAULT_MAX_FRAME,
         batched: bool = True,
         observer=None,
         fault_injector=None,
         registry=None,
+        allow_lp1: bool = True,
     ):
         self.pool = SessionPool(
             recognizer,
@@ -144,6 +160,12 @@ class GestureServer:
         self.port = port
         self.queue_size = queue_size
         self.max_line = max_line
+        self.max_frame = max_frame
+        self.allow_lp1 = allow_lp1
+        # Cumulative pump busy time (recognition work, not transport):
+        # the worker half of the cluster benchmark's breakdown, exported
+        # on stats replies as "busy_s".
+        self.busy_s = 0.0
         self.observer = observer
         self.fault_injector = fault_injector
         # Model source for `swap` requests: a ModelRegistry, a registry
@@ -214,7 +236,9 @@ class GestureServer:
                     batch.append(self._inbox.get_nowait())
                 except asyncio.QueueEmpty:
                     break
+            t0 = perf_counter()
             self._apply(batch)
+            self.busy_s += perf_counter() - t0
 
     @staticmethod
     def _fault_key(item: tuple[Channel, Request]) -> str | None:
@@ -308,6 +332,7 @@ class GestureServer:
                 sessions=len(self.pool),
                 channels=len(self._channels),
                 profile=profiler.snapshot() if profiler is not None else None,
+                busy_s=round(self.busy_s, 6),
             )
             for channel in stats_requests:
                 if not channel.closed and not channel._push(line):
@@ -359,38 +384,108 @@ class GestureServer:
 
     # -- TCP ------------------------------------------------------------------
 
+    def _frame_error(self, kind: str, mode: str) -> str:
+        if kind == "overflow":
+            if mode == "lp1":
+                return encode_error(f"frame exceeds {self.max_frame} bytes")
+            return encode_error(f"line exceeds {self.max_line} bytes")
+        if kind == "garbage":
+            return encode_error("bad frame magic")
+        return encode_error("truncated frame")
+
+    def _bad_request_reply(self, line: bytes, exc: ProtocolError) -> str:
+        """The error reply for one undecodable line.
+
+        A ``hello`` arriving after the first line is the one case that
+        deserves a more specific message than ``unknown op: 'hello'`` —
+        framing cannot be renegotiated mid-connection (replies already
+        in flight would straddle the switch), and the error should say
+        so.  Only the (rare) error path pays the re-parse.
+        """
+        if b'"hello"' in line:
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                payload = None
+            if isinstance(payload, dict) and payload.get("op") == "hello":
+                reply, _ = negotiate(
+                    payload, first=False, allow_lp1=self.allow_lp1
+                )
+                return reply
+        return encode_error(str(exc))
+
     async def _handle_connection(self, reader, writer) -> None:
         channel = await self.open_channel()
+        wire = _Wire()
         drain_task = asyncio.get_running_loop().create_task(
-            self._drain_replies(channel, writer)
+            self._drain_replies(channel, writer, wire)
         )
-        lines = LineReader(reader, self.max_line)
+        frames = LineReader(reader, self.max_line)
+        first = True  # no event processed yet: a hello can still switch
         try:
-            while not channel.closed:
-                kind, line = await lines.next()
-                if kind == "eof":
-                    break
-                if kind == "overflow":
-                    # The oversized line was swallowed whole; report it
-                    # and keep the connection — one bad line is not a
-                    # reason to lose every other in-flight stroke.
-                    if not channel._push(
-                        encode_error(
-                            f"line exceeds {self.max_line} bytes"
-                        )
-                    ):
+            eof = False
+            while not channel.closed and not eof:
+                if first:
+                    # One event at a time until the framing is settled:
+                    # bytes after a hello line are frames, not lines,
+                    # and must not be consumed by the line scanner.
+                    events = [await frames.next()]
+                else:
+                    events = await frames.next_batch()
+                for kind, line in events:
+                    if kind == "eof":
+                        eof = True
                         break
-                    continue
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    request = decode_request(line)
-                except ProtocolError as exc:
-                    if not channel._push(encode_error(str(exc))):
-                        break
-                    continue
-                await channel.send(request)
+                    if kind != "line":
+                        first = False
+                        # One bad line/frame is not a reason to lose
+                        # every other in-flight stroke: report it and
+                        # keep the connection.
+                        if not channel._push(self._frame_error(kind, wire.mode)):
+                            eof = True
+                            break
+                        continue
+                    line = line.strip()
+                    if not line:
+                        continue
+                    if first:
+                        first = False
+                        if line.startswith(b"{") and b'"hello"' in line:
+                            try:
+                                payload = json.loads(line)
+                            except ValueError:
+                                payload = None
+                            if (
+                                isinstance(payload, dict)
+                                and payload.get("op") == "hello"
+                            ):
+                                reply, new_mode = negotiate(
+                                    payload,
+                                    first=True,
+                                    allow_lp1=self.allow_lp1,
+                                )
+                                if new_mode == "lp1":
+                                    # The ack is the first lp1 frame;
+                                    # bytes the line scanner had already
+                                    # buffered are frames.
+                                    wire.mode = "lp1"
+                                    frames = FrameReader(
+                                        reader,
+                                        self.max_frame,
+                                        initial=frames.take_buffer(),
+                                    )
+                                if not channel._push(reply):
+                                    eof = True
+                                    break
+                                continue
+                    try:
+                        request = decode_request(line)
+                    except ProtocolError as exc:
+                        if not channel._push(self._bad_request_reply(line, exc)):
+                            eof = True
+                            break
+                        continue
+                    await channel.send(request)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -401,11 +496,30 @@ class GestureServer:
             with suppress(ConnectionError):
                 await writer.wait_closed()
 
-    async def _drain_replies(self, channel: Channel, writer) -> None:
+    async def _drain_replies(self, channel: Channel, writer, wire=None) -> None:
+        mode = wire if wire is not None else _Wire()
         with suppress(ConnectionError):
-            while True:
+            closing = False
+            while not closing:
                 line = await channel.recv()
                 if line is None:
                     break
-                writer.write(line.encode() + b"\n")
+                # Coalesce everything already queued into one write():
+                # replies leave in one syscall per pump pass, not one
+                # per decision.
+                batch = [line]
+                while True:
+                    try:
+                        item = channel._outbox.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if item is _CLOSE:
+                        closing = True
+                        break
+                    batch.append(item)
+                if mode.mode == "lp1":
+                    data = encode_frames(l.encode() for l in batch)
+                else:
+                    data = b"".join(l.encode() + b"\n" for l in batch)
+                writer.write(data)
                 await writer.drain()

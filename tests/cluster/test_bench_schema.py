@@ -1,0 +1,136 @@
+"""Regression harness for the published cluster bench artifact.
+
+``BENCH_cluster.json`` is committed at the repo root so a PR that
+regresses the data plane shows up as a *diff* in reviewed numbers, not
+as silence.  That only works while the artifact keeps its shape: these
+tests pin the schema — the profiled router/worker/transport breakdown,
+the per-op stage costs, the CPU count that gates the parallel-speedup
+assertion — and pin the bench *source* to the invariants it must keep
+asserting (byte-identity, the 1-worker floor), so neither can be
+dropped quietly while the JSON continues to look plausible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BENCH_SOURCE = REPO_ROOT / "benchmarks" / "bench_cluster.py"
+
+TOP_LEVEL_KEYS = {"bench", "commit", "params", "results"}
+BREAKDOWN_KEYS = {
+    "total_s",
+    "router_s",
+    "worker_s",
+    "transport_s",
+    "router_us_per_op",
+    "worker_us_per_op",
+    "transport_us_per_op",
+}
+
+
+def _load(name: str) -> dict:
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    assert path.is_file(), f"{path.name} must be committed at the repo root"
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def cluster_bench() -> dict:
+    return _load("cluster")
+
+
+def test_every_bench_artifact_has_the_common_envelope():
+    artifacts = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    assert artifacts, "no BENCH_*.json artifacts at the repo root"
+    for path in artifacts:
+        doc = json.loads(path.read_text())
+        assert TOP_LEVEL_KEYS <= set(doc), (
+            f"{path.name} missing {TOP_LEVEL_KEYS - set(doc)}"
+        )
+        assert path.name == f"BENCH_{doc['bench']}.json"
+        assert isinstance(doc["params"], dict) and doc["params"]
+        assert isinstance(doc["results"], dict) and doc["results"]
+
+
+def test_cluster_params_pin_the_workload_and_the_host(cluster_bench):
+    params = cluster_bench["params"]
+    for key in (
+        "clients",
+        "gestures_per_client",
+        "examples_per_class",
+        "seed",
+        "ops",
+        "worker_counts",
+        "cpus",
+    ):
+        assert key in params, f"params lost {key!r}"
+    # The >=2x@4-workers assertion is gated on cpus >= 4; the recorded
+    # count is what makes a skipped gate auditable after the fact.
+    assert isinstance(params["cpus"], int) and params["cpus"] >= 1
+    assert params["ops"] > 0
+    assert 4 in params["worker_counts"]
+
+
+def _check_breakdown(b: dict, ops: int, where: str) -> None:
+    assert BREAKDOWN_KEYS <= set(b), f"{where} missing {BREAKDOWN_KEYS - set(b)}"
+    for key in BREAKDOWN_KEYS:
+        assert b[key] >= 0, f"{where}[{key}] negative"
+    # Transport is defined as the non-negative remainder of the wall
+    # time.  It clamps to zero when the summed busy times exceed the
+    # wall — on a host with fewer cores than processes, concurrent
+    # stages overlap-count — so the invariant is the definition itself,
+    # not an exact three-way partition.
+    expect_transport = max(0.0, b["total_s"] - b["router_s"] - b["worker_s"])
+    assert math.isclose(
+        b["transport_s"], expect_transport, rel_tol=0.01, abs_tol=0.002
+    ), f"{where}: transport_s is not the clamped wall-time remainder"
+    for stage in ("router", "worker", "transport"):
+        expect = b[f"{stage}_s"] * 1e6 / ops
+        assert math.isclose(
+            b[f"{stage}_us_per_op"], expect, rel_tol=0.05, abs_tol=0.05
+        ), f"{where}: {stage}_us_per_op inconsistent with {stage}_s"
+
+
+def test_cluster_results_carry_the_profiled_breakdown(cluster_bench):
+    params, results = cluster_bench["params"], cluster_bench["results"]
+    ops = params["ops"]
+    _check_breakdown(results["baseline_breakdown"], ops, "baseline_breakdown")
+    # The baseline has no router stage by construction.
+    assert results["baseline_breakdown"]["router_s"] == 0.0
+    counts = {str(n) for n in params["worker_counts"]}
+    assert set(results["cluster_breakdown"]) == counts
+    assert set(results["cluster_ops_per_sec"]) == counts
+    for n, b in results["cluster_breakdown"].items():
+        _check_breakdown(b, ops, f"cluster_breakdown[{n}]")
+        assert b["router_s"] > 0, f"{n}-worker run measured no router time"
+
+
+def test_cluster_results_publish_the_asserted_invariants(cluster_bench):
+    results = cluster_bench["results"]
+    assert results["byte_identical"] is True
+    assert results["speedup_1_worker"] > 0
+    assert results["speedup_4_workers"] > 0
+    assert results["crash_recovery_s"] > 0
+    # The committed artifact must itself satisfy the floor the bench
+    # asserts at run time — a regressed number cannot be checked in.
+    assert results["speedup_1_worker"] >= 0.85
+
+
+def test_bench_source_keeps_the_invariants_wired():
+    """The bench must keep asserting what the artifact claims.
+
+    Textual pins, deliberately loose: they break only if someone
+    removes the byte-identity comparison, the 0.85x floor, or the
+    cpus>=4 gate from ``bench_cluster.py`` without updating this
+    harness — which is exactly the conversation that change needs.
+    """
+    source = BENCH_SOURCE.read_text()
+    assert "assert replies == reference" in source
+    assert "speedup_1 >= 0.85" in source
+    assert "cpus < 4" in source
+    assert "byte_identical" in source

@@ -1,0 +1,228 @@
+"""Differential fuzzing: cluster vs single pool, under randomized chaos.
+
+Hypothesis drives randomized workloads — interleaved strokes, barriers,
+mid-run sweeps, model swaps, worker crashes, graceful drains, malformed
+lines, and connection churn — through an in-process cluster (a real
+router in front of real ``GestureServer`` workers, see
+``tests/cluster/inproc.py``) and asserts the reply streams are
+*byte-identical* to a scripted single-``SessionPool`` reference.  The
+reference is fault-agnostic: crashes, drains, and churn appear nowhere
+in it, which **is** the invariant.
+
+The example budget follows the hypothesis profile: the ambient ``ci``
+profile (registered in ``tests/conftest.py``) keeps the suite bounded
+for tier-1 runs; ``pytest --hypothesis-profile=deep`` turns the fuzzer
+loose for long soak runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import workload_ticks
+from repro.serve import ModelRegistry, generate_workload
+from repro.synth import gdp_templates
+
+from .inproc import InProcessCluster, drive_script, reference_script
+from .test_cluster import DT, assert_byte_identical, end_time
+
+# Raw lines for the router's legacy/error paths: unparseable bytes, a
+# non-object, an unknown op, a missing field, a late hello, a bad
+# max_idle.  Expected replies are *derived* (inproc._non_op_reply), not
+# hand-written, so these stay in lockstep with the protocol module.
+BAD_LINES = (
+    "not json",
+    "[1, 2, 3]",
+    '{"op": "zap"}',
+    '{"op": "down", "stroke": "q", "x": 1, "y": 2}',
+    '{"op": "hello", "framing": "lp1"}',
+    '{"op": "sweep", "max_idle": -1}',
+)
+
+
+@pytest.fixture(scope="session")
+def diff_registry(tmp_path_factory, cluster_recognizer, gdp_recognizer):
+    """Two genuinely different published models, so a misapplied or
+    lost swap changes decision bytes and fails the diff."""
+    registry = ModelRegistry(tmp_path_factory.mktemp("diff-registry"))
+    registry.publish("gdp", cluster_recognizer)
+    registry.publish("alt", gdp_recognizer)
+    return registry
+
+
+@st.composite
+def cluster_cases(draw):
+    workers = draw(st.integers(min_value=2, max_value=3))
+    clients = draw(st.integers(min_value=2, max_value=3))
+    crash = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(min_value=0.1, max_value=0.9),
+                st.integers(min_value=0, max_value=workers - 1),
+            ),
+        )
+    )
+    drain = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(min_value=0.2, max_value=0.8),
+                st.integers(min_value=0, max_value=workers - 1),
+            ),
+        )
+    )
+    if crash is not None and drain is not None and crash[1] == drain[1]:
+        # Crashing a shard mid-drain would "restart" a retired worker —
+        # a scenario the supervisor never produces.
+        drain = None
+    swap = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(min_value=0.1, max_value=0.9),
+                st.integers(min_value=0, max_value=clients - 1),
+                st.sampled_from(["gdp", "alt"]),
+            ),
+        )
+    )
+    return {
+        "workers": workers,
+        "clients": clients,
+        "gestures": draw(st.integers(min_value=1, max_value=2)),
+        "seed": draw(st.integers(min_value=0, max_value=2**16)),
+        "framing": draw(st.sampled_from(["lp1", "ndjson"])),
+        "mixed": draw(st.booleans()),
+        "crash": crash,
+        "drain": drain,
+        "swap": swap,
+        "bads": draw(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0.0, max_value=1.0),
+                    st.sampled_from(BAD_LINES),
+                ),
+                max_size=2,
+            )
+        ),
+        "sweeps": draw(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0.1, max_value=0.9),
+                    st.sampled_from([1e9, 0.5, 0.05]),
+                ),
+                max_size=2,
+            )
+        ),
+        "churn": draw(
+            st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=1)
+        ),
+        "rawop_at": draw(
+            st.one_of(st.none(), st.floats(min_value=0.1, max_value=0.8))
+        ),
+    }
+
+
+def build_script(case, ticks, end_t):
+    """Weave the case's chaos events into the workload's tick stream."""
+    n = len(ticks)
+    inject: dict[int, list] = {}
+
+    def at(frac: float, event) -> None:
+        inject.setdefault(min(int(frac * n), n - 1), []).append(event)
+
+    for frac in case["churn"]:
+        at(frac, ("churn",))
+    for frac, line in case["bads"]:
+        at(frac, ("raw", line))
+    if case["rawop_at"] is not None:
+        i = min(int(case["rawop_at"] * n), n - 1)
+        t = ticks[i][0]
+        # A *valid* op in non-canonical form (key order, separators):
+        # must route through the legacy re-encode path and still match.
+        at(
+            case["rawop_at"],
+            ("raw", '{"t": %r, "op": "down", "stroke": "zz", "x": 4.0, "y": 5.0}' % t),
+        )
+    for frac, max_idle in case["sweeps"]:
+        at(frac, ("sweep", max_idle))
+    if case["swap"] is not None:
+        frac, ci, model = case["swap"]
+        i = min(int(frac * n), n - 1)
+        at(frac, ("swap", f"c{ci}", model, ticks[i][0]))
+    if case["crash"] is not None:
+        frac, wi = case["crash"]
+        at(frac, ("crash", f"w{wi}"))
+    if case["drain"] is not None:
+        frac, wi = case["drain"]
+        at(frac, ("drain", f"w{wi}"))
+
+    script = []
+    for i, (t, group) in enumerate(ticks):
+        script.extend(inject.get(i, ()))
+        script.append(("ops", t, group))
+        script.append(("tick", t))
+    script.append(("tick", end_t))
+    script.append(("sweep", 0.0))
+    if case["drain"] is not None:
+        script.append(("wait_retired", f"w{case['drain'][1]}"))
+    return script
+
+
+def _run_case(case, recognizer, registry) -> None:
+    workload = generate_workload(
+        gdp_templates(),
+        clients=case["clients"],
+        gestures_per_client=case["gestures"],
+        seed=case["seed"],
+    )
+    ticks = workload_ticks(workload, dt=DT)
+    end_t = end_time(ticks)
+    script = build_script(case, ticks, end_t)
+    expected = reference_script(recognizer, script, registry=registry)
+
+    no_lp1 = ("w0",) if case["mixed"] and case["framing"] == "lp1" else ()
+
+    async def run():
+        async with InProcessCluster(
+            recognizer,
+            case["workers"],
+            framing=case["framing"],
+            no_lp1_shards=no_lp1,
+            registry=registry,
+        ) as cluster:
+            return await drive_script(cluster, script)
+
+    replies = asyncio.run(run())
+    assert_byte_identical(replies, expected)
+
+
+@given(case=cluster_cases())
+def test_differential_cluster_vs_pool(case, cluster_recognizer, diff_registry):
+    _run_case(case, cluster_recognizer, diff_registry)
+
+
+def test_differential_pilot(cluster_recognizer, diff_registry):
+    """One fixed, everything-at-once case that always runs: mixed-fleet
+    framing, a crash, a drain, a swap, malformed lines, churn, and a
+    mid-run sweep in a single script.  Debuggable without hypothesis."""
+    case = {
+        "workers": 3,
+        "clients": 3,
+        "gestures": 2,
+        "seed": 23,
+        "framing": "lp1",
+        "mixed": True,
+        "crash": (0.35, 1),
+        "drain": (0.6, 2),
+        "swap": (0.25, 0, "alt"),
+        "bads": [(0.15, BAD_LINES[0]), (0.7, BAD_LINES[4])],
+        "sweeps": [(0.5, 1e9)],
+        "churn": [0.4],
+        "rawop_at": 0.3,
+    }
+    _run_case(case, cluster_recognizer, diff_registry)

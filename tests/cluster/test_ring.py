@@ -69,3 +69,42 @@ def test_bad_shard_sets_rejected():
         HashRing([])
     with pytest.raises(ValueError):
         HashRing(["w0", "w0"])
+
+
+def test_memoized_lookup_answers_from_cache():
+    ring = HashRing(["w0", "w1", "w2"])
+    first = [ring.lookup(k) for k in KEYS]
+    assert set(KEYS) <= set(ring._cache)
+    # Poison the cache to prove repeats are served from it...
+    probe = KEYS[0]
+    ring._cache[probe] = "poisoned"
+    assert ring.lookup(probe) == "poisoned"
+    # ...then drop the poison and confirm memoized routes match a
+    # fresh ring exactly.
+    del ring._cache[probe]
+    assert [ring.lookup(k) for k in KEYS] == first
+
+
+def test_cache_invalidated_on_topology_change():
+    # Regression: a stale cached route must never survive a skip-set
+    # change.  Fill the cache, drain a shard, and require every key
+    # owned by the drained shard to spill immediately.
+    ring = HashRing(["w0", "w1", "w2"])
+    owned = [k for k in KEYS if ring.lookup(k) == "w1"]
+    assert owned  # the workload must actually exercise w1
+    for k in owned:
+        assert ring.lookup(k, skip={"w1"}) != "w1"
+    # And when the drain ends, the keys return home — the spill-cache
+    # is invalidated right back.
+    assert [ring.lookup(k) for k in owned] == ["w1"] * len(owned)
+
+
+def test_cache_never_exceeds_its_cap():
+    from repro.cluster.ring import _CACHE_CAP
+
+    ring = HashRing(["w0", "w1"])
+    fresh = HashRing(["w0", "w1"])
+    n = _CACHE_CAP + 512
+    for i in range(n):
+        assert ring.lookup(f"k:{i}") == fresh.lookup(f"k:{i}")
+    assert len(ring._cache) <= _CACHE_CAP

@@ -8,6 +8,21 @@ expensive trained artifacts are session-scoped: every test that needs
 from __future__ import annotations
 
 import pytest
+from hypothesis import HealthCheck
+from hypothesis import settings as hyp_settings
+
+# Hypothesis effort is profile-driven: "ci" (the ambient default) keeps
+# property suites bounded for the tier-1 run; "deep" — selected with
+# ``--hypothesis-profile=deep`` — turns the differential cluster fuzzer
+# loose.  Tests that pin ``max_examples`` explicitly are unaffected by
+# the profile switch; only the profile-inheriting fuzz tests scale.
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+hyp_settings.register_profile("ci", max_examples=8, **_COMMON)
+hyp_settings.register_profile("deep", max_examples=200, **_COMMON)
+hyp_settings.load_profile("ci")
 
 
 def pytest_addoption(parser):

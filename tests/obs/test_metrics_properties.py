@@ -37,6 +37,7 @@ bounds_lists = st.lists(
 ).map(sorted)
 
 
+@settings(deadline=None, max_examples=100)
 @given(bounds=bounds_lists, values=st.lists(finite_values, max_size=200))
 def test_histogram_totals_match_the_stream(bounds, values):
     h = Histogram("h", bounds)
@@ -52,6 +53,7 @@ def test_histogram_totals_match_the_stream(bounds, values):
         assert h.vmin == math.inf and h.vmax == -math.inf
 
 
+@settings(deadline=None, max_examples=100)
 @given(bounds=bounds_lists, values=st.lists(finite_values, max_size=200))
 def test_every_value_lands_in_its_own_bucket(bounds, values):
     h = Histogram("h", bounds)
@@ -67,6 +69,7 @@ def test_every_value_lands_in_its_own_bucket(bounds, values):
     assert h.bucket_counts == expected
 
 
+@settings(deadline=None, max_examples=100)
 @given(
     ops=st.lists(
         st.one_of(
