@@ -8,12 +8,14 @@ reference scale (256 concurrent sessions, the throughput benchmark's
 workload): the metrics-observed batched run must stay within 10 % of
 the bare run.
 
-Beyond the asserted metrics ratio, the run records informational ratios
-for the heavier configurations — tracer attached (per-decision record
-building) and quality telemetry attached (per-decision scalar replay) —
-and one profiled run's per-section timings.  Everything lands in
-``BENCH_obs.json`` at the repo root so the overhead trajectory is
-diffable across PRs.
+Quality telemetry is asserted too: since the monitor consumes the
+feature bank's raw sidecar snapshots and defers all scoring to scrape
+time, always-on quality must stay within 15 % of bare — the bound that
+makes "leave it on in production" a budgeted claim rather than a hope.
+The tracer configuration (per-decision record building, which forces
+eager scoring) stays informational.  One profiled run's per-section
+timings ride along, and everything lands in ``BENCH_obs.json`` at the
+repo root so the overhead trajectory is diffable across PRs.
 
 Measurements interleave configurations within each repeat (bare, then
 each observed flavour) and keep the best repeat per configuration, so a
@@ -42,6 +44,7 @@ CLIENTS = 256
 GESTURES_PER_CLIENT = 4
 REPEATS = 5
 MAX_METRICS_OVERHEAD = 1.10
+MAX_QUALITY_OVERHEAD = 1.15
 
 
 def _setup():
@@ -102,10 +105,13 @@ def test_observer_overhead_256_sessions():
     ratios = {
         name: best["bare"] / best[name] for name in configs if name != "bare"
     }
-    if ratios["metrics"] > MAX_METRICS_OVERHEAD:
-        # One retry for the asserted pair: absorb a throttled repeat.
+    if (
+        ratios["metrics"] > MAX_METRICS_OVERHEAD
+        or ratios["quality"] > MAX_QUALITY_OVERHEAD
+    ):
+        # One retry for the asserted pairs: absorb a throttled repeat.
         for _ in range(REPEATS):
-            for name in ("bare", "metrics"):
+            for name in ("bare", "metrics", "quality"):
                 pps = _timed(recognizer, workload, configs[name])
                 if pps > best[name]:
                     best[name] = pps
@@ -146,6 +152,7 @@ def test_observer_overhead_256_sessions():
             "dwell_every": 0,
             "seed": 5,
             "max_metrics_overhead": MAX_METRICS_OVERHEAD,
+            "max_quality_overhead": MAX_QUALITY_OVERHEAD,
         },
         results={
             "points_per_sec": {
@@ -161,4 +168,9 @@ def test_observer_overhead_256_sessions():
         f"metrics observer costs {ratios['metrics']:.3f}x "
         f"(bare {best['bare']:,.0f} vs observed {best['metrics']:,.0f} "
         f"points/sec), expected <= {MAX_METRICS_OVERHEAD}x"
+    )
+    assert ratios["quality"] <= MAX_QUALITY_OVERHEAD, (
+        f"always-on quality telemetry costs {ratios['quality']:.3f}x "
+        f"(bare {best['bare']:,.0f} vs observed {best['quality']:,.0f} "
+        f"points/sec), expected <= {MAX_QUALITY_OVERHEAD}x"
     )

@@ -293,7 +293,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.trace:
             tracer = Tracer(stream=stack.enter_context(open(args.trace, "w")))
         quality = (
-            QualityMonitor(recognizer, metrics=metrics, tracer=tracer)
+            QualityMonitor(
+                recognizer,
+                metrics=metrics,
+                tracer=tracer,
+                sample=args.quality_sample,
+                sample_seed=args.quality_seed,
+            )
             if args.quality
             else None
         )
@@ -371,6 +377,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 metrics=not args.no_metrics,
                 registry=args.registry,
                 framing=args.framing,
+                quality=args.quality,
+                quality_sample=args.quality_sample,
+                quality_seed=args.quality_seed,
             ) as cluster:
                 await cluster.wait_all_up()
                 host, port = cluster.address
@@ -443,6 +452,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"  {name:<28} count={count} mean={mean:.2f} "
             f"min={h['min']} max={h['max']}"
         )
+    rows = _quality_rows(metrics.get("histograms", {}))
+    if rows:
+        print("\nquality (fleet-wide, per class):")
+        for cls, count, margin, drift in rows:
+            print(
+                f"  {cls:<20} n={count} margin_mean={margin:.3f} "
+                f"drift={drift:.3f}"
+            )
     profile = payload.get("profile")
     if profile:
         print("\nprofile (wall-clock):")
@@ -457,6 +474,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"mean={p['mean_us']:.1f}us{per_unit}"
             )
     return 0
+
+
+def _quality_rows(histograms: dict) -> list[tuple[str, int, float, float]]:
+    """Per-class ``(name, count, margin_mean, drift)`` rows from merged
+    ``quality.*`` histograms — the fleet-wide view, since
+    ``merge_snapshots`` sums the per-worker sums and counts.  Drift is
+    the Rubine rejection statistic mean d²/F (see QualityMonitor).
+    """
+    from .features import NUM_FEATURES
+
+    rows = []
+    prefix = "quality.margin."
+    for name, h in sorted(histograms.items()):
+        if not name.startswith(prefix):
+            continue
+        cls = name[len(prefix):]
+        count = h["count"]
+        margin = h["sum"] / count if count else 0.0
+        maha = histograms.get(f"quality.mahal_sq.{cls}")
+        drift = (
+            maha["sum"] / maha["count"] / NUM_FEATURES
+            if maha and maha["count"]
+            else 0.0
+        )
+        rows.append((cls, count, margin, drift))
+    return rows
 
 
 def _print_snapshot(snapshot: dict) -> None:
@@ -493,12 +536,13 @@ def _loadgen_cluster(args: argparse.Namespace, recognizer, workload) -> int:
     from .cluster import Cluster, drive_cluster, reference_lines, workload_ticks
     from .interaction import DEFAULT_TIMEOUT
 
-    if args.trace or args.quality or args.profile or args.metrics_out:
+    if args.trace or args.profile or args.metrics_out:
         raise SystemExit(
-            "--trace/--quality/--profile/--metrics-out observe one "
-            "in-process pool; with --cluster the workers keep their own "
-            "metrics and the final stats reply is the fleet-wide merge "
-            "(print it with --metrics)"
+            "--trace/--profile/--metrics-out observe one in-process "
+            "pool; with --cluster the workers keep their own metrics "
+            "and the final stats reply is the fleet-wide merge "
+            "(print it with --metrics; --quality rides along — every "
+            "worker scores its own shard)"
         )
     dt = 0.01
     if args.fault_seed is not None:
@@ -539,6 +583,9 @@ def _loadgen_cluster(args: argparse.Namespace, recognizer, workload) -> int:
                 workers=args.cluster,
                 timeout=DEFAULT_TIMEOUT,
                 framing=args.framing,
+                quality=args.quality,
+                quality_sample=args.quality_sample,
+                quality_seed=args.quality_seed,
             ) as cluster:
                 await cluster.wait_all_up()
                 host, port = cluster.address
@@ -570,6 +617,15 @@ def _loadgen_cluster(args: argparse.Namespace, recognizer, workload) -> int:
     print("decision streams byte-identical to a single pool")
     if args.metrics and stats and stats.get("metrics"):
         _print_snapshot(stats["metrics"])
+    if args.quality and stats and stats.get("metrics"):
+        rows = _quality_rows(stats["metrics"].get("histograms", {}))
+        if rows:
+            print("\nquality (fleet-wide, per class):")
+            for cls, count, margin, drift in rows:
+                print(
+                    f"  {cls:<20} n={count} margin_mean={margin:.3f} "
+                    f"drift={drift:.3f}"
+                )
     return 0
 
 
@@ -676,7 +732,13 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             metrics=metrics,
             tracer=tracer,
             quality=(
-                QualityMonitor(recognizer, metrics=metrics, tracer=tracer)
+                QualityMonitor(
+                    recognizer,
+                    metrics=metrics,
+                    tracer=tracer,
+                    sample=args.quality_sample,
+                    sample_seed=args.quality_seed,
+                )
                 if args.quality
                 else None
             ),
@@ -858,7 +920,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             metrics.get("metrics"), dict
         ):
             metrics = metrics["metrics"]
-    report = validate_report(analyze_records(records, metrics=metrics))
+    try:
+        report = validate_report(analyze_records(records, metrics=metrics))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     text = (
         render_json(report) if args.format == "json" else render_markdown(report)
     )
@@ -869,6 +934,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(text)
     return 0
+
+
+def _add_quality_sample_flags(parser) -> None:
+    """The sampling knobs shared by every --quality-capable command."""
+    parser.add_argument(
+        "--quality-sample", type=float, default=1.0, metavar="RATE",
+        help="score a deterministic fraction of sessions, keyed on the "
+        "session id (default 1.0 = every session; replay-stable)",
+    )
+    parser.add_argument(
+        "--quality-seed", type=int, default=0, metavar="N",
+        help="seed for the sampling hash (same seed => same sampled "
+        "set, fleet-wide and across restarts)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -986,6 +1065,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach recognition-quality telemetry (margins, rejection "
         "distances, eagerness, drift)",
     )
+    _add_quality_sample_flags(serve)
     serve.add_argument(
         "--profile", action="store_true",
         help="time the serving hot path with perf counters "
@@ -1032,6 +1112,12 @@ def build_parser() -> argparse.ArgumentParser:
         "negotiated per link with NDJSON fallback) or ndjson (legacy); "
         "the client-facing wire is always NDJSON",
     )
+    cluster.add_argument(
+        "--quality", action="store_true",
+        help="attach recognition-quality telemetry on every worker; "
+        "`stats` replies merge the quality.* histograms fleet-wide",
+    )
+    _add_quality_sample_flags(cluster)
     cluster.set_defaults(func=_cmd_cluster)
 
     stats = sub.add_parser(
@@ -1093,8 +1179,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--quality", action="store_true",
         help="attach recognition-quality telemetry (adds quality records "
-        "to the trace and quality.* metrics)",
+        "to the trace and quality.* metrics; with --cluster, every "
+        "worker scores its own shard and stats merges them)",
     )
+    _add_quality_sample_flags(loadgen)
     loadgen.add_argument(
         "--profile", action="store_true",
         help="time the serving hot path and print the section summary",

@@ -62,6 +62,9 @@ class Cluster:
         registry=None,
         framing: str = "lp1",
         no_lp1_shards=(),
+        quality: bool = False,
+        quality_sample: float = 1.0,
+        quality_seed: int = 0,
     ):
         from ..obs import MetricsRegistry
 
@@ -92,6 +95,9 @@ class Cluster:
             on_down=self.router.worker_down,
             registry=registry,
             no_lp1_shards=no_lp1_shards,
+            quality=quality,
+            quality_sample=quality_sample,
+            quality_seed=quality_seed,
         )
         self.router.drain_hook = self.drain
         self.router.supervisor_status = self.supervisor.status

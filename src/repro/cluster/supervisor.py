@@ -81,9 +81,19 @@ class Supervisor:
         on_down=None,
         registry=None,
         no_lp1_shards=(),
+        quality: bool = False,
+        quality_sample: float = 1.0,
+        quality_seed: int = 0,
     ):
         self.recognizer_path = str(recognizer_path)
         self.registry = None if registry is None else str(registry)
+        # Quality telemetry flags, replicated to every worker (and to
+        # every restart of one): the sampling hash is keyed on the
+        # session id alone, so a respawned worker re-makes the exact
+        # sampling choices its predecessor made.
+        self.quality = quality
+        self.quality_sample = quality_sample
+        self.quality_seed = quality_seed
         self.shards = tuple(shards)
         # Shards spawned with --no-lp1 (NDJSON-only workers) — the
         # mixed-fleet compat knob; survives restarts of those shards.
@@ -169,6 +179,9 @@ class Supervisor:
             heartbeat=self.heartbeat,
             registry=self.registry,
             lp1=shard not in self.no_lp1_shards,
+            quality=self.quality,
+            quality_sample=self.quality_sample,
+            quality_seed=self.quality_seed,
         )
         loop = asyncio.get_running_loop()
         handle.proc = await asyncio.create_subprocess_exec(

@@ -48,6 +48,9 @@ def worker_command(
     metrics: bool = True,
     registry: str | None = None,
     lp1: bool = True,
+    quality: bool = False,
+    quality_sample: float = 1.0,
+    quality_seed: int = 0,
 ) -> list[str]:
     """The argv the supervisor spawns for one worker."""
     cmd = [
@@ -75,6 +78,12 @@ def worker_command(
         cmd += ["--registry", str(registry)]
     if not lp1:
         cmd.append("--no-lp1")
+    if quality:
+        cmd.append("--quality")
+        if quality_sample != 1.0:
+            cmd += ["--quality-sample", str(quality_sample)]
+        if quality_seed != 0:
+            cmd += ["--quality-seed", str(quality_seed)]
     return cmd
 
 
@@ -90,15 +99,29 @@ def worker_env() -> dict:
 async def _amain(args: argparse.Namespace) -> int:
     from ..eager import EagerRecognizer
     from ..interaction import DEFAULT_TIMEOUT
-    from ..obs import MetricsRegistry, PoolObserver
+    from ..obs import MetricsRegistry, PoolObserver, QualityMonitor
     from ..serve import GestureServer
 
     recognizer = EagerRecognizer.load(args.recognizer)
-    observer = (
-        None
-        if args.no_metrics
-        else PoolObserver(metrics=MetricsRegistry())
-    )
+    if args.no_metrics:
+        observer = None
+    else:
+        metrics = MetricsRegistry()
+        # Quality telemetry stays deferred (no tracer in a worker): the
+        # monitor stages raw snapshots and its registry collector hook
+        # folds them in whenever a stats request snapshots the metrics,
+        # so fleet-wide merges always see fully accounted numbers.
+        quality = (
+            QualityMonitor(
+                recognizer,
+                metrics=metrics,
+                sample=args.quality_sample,
+                sample_seed=args.quality_seed,
+            )
+            if args.quality
+            else None
+        )
+        observer = PoolObserver(metrics=metrics, quality=quality)
     server = GestureServer(
         recognizer,
         host=args.host,
@@ -170,7 +193,31 @@ def main(argv: list[str] | None = None) -> int:
         help="refuse lp1 framing negotiation (NDJSON only — the legacy"
         " wire, for mixed-fleet compat testing)",
     )
+    parser.add_argument(
+        "--quality",
+        action="store_true",
+        help="attach recognition-quality telemetry (quality.* metrics, "
+        "merged fleet-wide by the router's stats reply)",
+    )
+    parser.add_argument(
+        "--quality-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="score a deterministic fraction of sessions, keyed on the "
+        "session id (default 1.0 = every session)",
+    )
+    parser.add_argument(
+        "--quality-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the sampling hash (same seed fleet-wide => "
+        "same sampled set on every worker)",
+    )
     args = parser.parse_args(argv)
+    if args.quality and args.no_metrics:
+        parser.error("--quality needs metrics; drop --no-metrics")
     try:
         return asyncio.run(_amain(args))
     except KeyboardInterrupt:

@@ -68,6 +68,17 @@ class EagerSession:
         return self._inc.count
 
     @property
+    def feature_vector(self):
+        """The current scalar feature vector (a fresh array, O(1)).
+
+        After a decision this is exactly the *decided prefix's* vector —
+        :meth:`add_point` ignores manipulation-phase points — which is
+        what lets quality telemetry read it instead of replaying the
+        prefix through a second :class:`IncrementalFeatures`.
+        """
+        return self._inc.vector
+
+    @property
     def decided(self) -> bool:
         """True once the gesture has been classified (eagerly or not)."""
         return self._decided is not None

@@ -1,6 +1,10 @@
 """Rubine's gesture features: batch and incremental computation."""
 
-from .incremental import IncrementalFeatures
+from .incremental import (
+    IncrementalFeatures,
+    fold_turn_angles,
+    vector_from_snapshot,
+)
 from .rubine import FEATURE_NAMES, NUM_FEATURES, feature_matrix, features_of
 
 __all__ = [
@@ -9,4 +13,6 @@ __all__ = [
     "IncrementalFeatures",
     "feature_matrix",
     "features_of",
+    "fold_turn_angles",
+    "vector_from_snapshot",
 ]

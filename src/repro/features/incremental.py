@@ -19,7 +19,84 @@ import numpy as np
 from ..geometry import Point, Stroke
 from .rubine import NUM_FEATURES, _MIN_DISTANCE, _MIN_DT, _MIN_SEGMENT_SQ
 
-__all__ = ["IncrementalFeatures"]
+__all__ = ["IncrementalFeatures", "fold_turn_angles", "vector_from_snapshot"]
+
+
+def fold_turn_angles(crosses, dots) -> tuple[float, float, float]:
+    """Fold per-segment cross/dot products into the turn-angle features.
+
+    ``crosses[i]`` / ``dots[i]`` are the cross and dot products of
+    segment ``i`` against its predecessor — the two operands
+    :meth:`IncrementalFeatures.add_point` hands to ``math.atan2`` for
+    each turning point, in arrival order.  The fold here is that
+    method's theta block verbatim (``math.atan2``, then ``+= theta``,
+    ``+= abs(theta)``, ``+= theta * theta`` per point, left to right),
+    so a caller holding the products — however it computed them — gets
+    accumulators bit-identical to the scalar path's.
+
+    Returns ``(total_angle, total_abs_angle, sharpness)``.
+    """
+    total_angle = 0.0
+    total_abs = 0.0
+    sharpness = 0.0
+    for cross, dot in zip(crosses, dots):
+        theta = math.atan2(cross, dot)
+        total_angle += theta
+        total_abs += abs(theta)
+        sharpness += theta * theta
+    return total_angle, total_abs, sharpness
+
+
+def vector_from_snapshot(
+    dx0: float,
+    dy0: float,
+    width: float,
+    height: float,
+    dxe: float,
+    dye: float,
+    total_len: float,
+    total_angle: float,
+    total_abs: float,
+    sharpness: float,
+    max_speed_sq: float,
+    duration: float,
+) -> np.ndarray:
+    """Assemble the 13-feature vector from raw accumulator deltas.
+
+    The arguments are exactly the intermediate scalars
+    :attr:`IncrementalFeatures.vector` derives before its ``hypot`` /
+    ``atan2`` / divide stage: the initial-angle anchor deltas, the
+    bounding-box extents, the first-to-last chord deltas, and the five
+    accumulators that pass through unchanged.  Subtraction is
+    IEEE-exact, so a caller that produces those deltas from its own
+    state (e.g. a :class:`~repro.serve.bank.FeatureBank` row) gets a
+    result bit-identical to the scalar property — the point of this
+    function is letting such callers *capture* the cheap deltas on the
+    hot path and defer the transcendental assembly to read time.
+
+    Mirrors the property operation for operation; the property stays
+    hand-inlined because it runs per mouse point in sequential mode.
+    """
+    f = [0.0] * NUM_FEATURES
+    d0 = math.hypot(dx0, dy0)
+    if d0 > _MIN_DISTANCE:
+        f[0] = dx0 / d0
+        f[1] = dy0 / d0
+    f[2] = math.hypot(width, height)
+    if width != 0.0 or height != 0.0:
+        f[3] = math.atan2(height, width)
+    de = math.hypot(dxe, dye)
+    f[4] = de
+    if de > _MIN_DISTANCE:
+        f[5] = dxe / de
+        f[6] = dye / de
+    f[7] = total_len
+    f[8] = total_angle
+    f[9] = total_abs
+    f[10] = sharpness
+    f[11] = max_speed_sq
+    f[12] = duration
+    return np.array(f)
 
 
 class IncrementalFeatures:

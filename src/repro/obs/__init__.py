@@ -30,7 +30,7 @@ from .faults import FaultInjector, FaultPlan
 from .metrics import Counter, Histogram, MetricsRegistry, merge_snapshots
 from .observer import PoolObserver
 from .profile import PerfProfiler
-from .quality import QualityMonitor
+from .quality import QualityMonitor, session_sampled
 from .trace import Tracer, encode_record
 
 __all__ = [
@@ -45,4 +45,5 @@ __all__ = [
     "Tracer",
     "encode_record",
     "merge_snapshots",
+    "session_sampled",
 ]

@@ -17,6 +17,13 @@ asks as a deterministic report:
 * **drift summaries** — per-class mean drift score and Rubine-rule
   outlier counts from the quality records.
 
+Quality records may come from a *sampled* monitor (``sample=`` on
+:class:`~repro.obs.QualityMonitor`): each record then carries its
+``sample_rate``, the report surfaces the rate plus a scaled
+``estimated_gestures``, and mixing records taken at different rates —
+which would silently bias every aggregate — is rejected with
+``ValueError`` rather than averaged over.
+
 Everything is computed from virtual-clock quantities, so the same trace
 always produces byte-identical output (the golden-report tests pin
 this).  A metrics snapshot may be supplied alongside; it contributes a
@@ -188,6 +195,20 @@ def analyze_records(records: list, metrics: dict | None = None) -> dict:
 def _quality_section(quality: list):
     if not quality:
         return None
+    # A record without sample_rate was scored by an unsampled monitor
+    # (rate 1.0, stamped implicitly).  One rate per trace set: every
+    # aggregate below weighs records equally, which is only sound when
+    # they were all kept with the same probability.
+    rates = sorted({r.get("sample_rate", 1.0) for r in quality})
+    if len(rates) > 1:
+        raise ValueError(
+            "trace mixes quality records sampled at different rates "
+            f"({', '.join(str(r) for r in rates)}); analyze traces from "
+            "one sampling configuration at a time"
+        )
+    rate = rates[0]
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"quality sample_rate {rate} outside (0, 1]")
     per_class: dict = {}
     outliers = 0
     for r in quality:
@@ -204,22 +225,29 @@ def _quality_section(quality: list):
         if r.get("outlier"):
             cell["outliers"] += 1
             outliers += 1
-    return {
+    section = {
         "gestures": len(quality),
         "outliers": outliers,
-        "per_class": {
-            name: {
-                "count": cell["count"],
-                "margin_mean": _mean(cell["margins"]),
-                "margin_min": min(cell["margins"]),
-                "drift": _mean(cell["drifts"]),
-                "dwell_mean": _mean(cell["dwells"]),
-                "eagerness_mean": _mean(cell["eagerness"]),
-                "outliers": cell["outliers"],
-            }
-            for name, cell in sorted(per_class.items())
-        },
     }
+    if rate < 1.0:
+        # Horvitz-Thompson scale-up: each kept record stands for 1/rate
+        # gestures.  Unsampled traces omit both keys, byte-compatible
+        # with pre-sampling reports (the golden tests pin that).
+        section["sample_rate"] = rate
+        section["estimated_gestures"] = round(len(quality) / rate)
+    section["per_class"] = {
+        name: {
+            "count": cell["count"],
+            "margin_mean": _mean(cell["margins"]),
+            "margin_min": min(cell["margins"]),
+            "drift": _mean(cell["drifts"]),
+            "dwell_mean": _mean(cell["dwells"]),
+            "eagerness_mean": _mean(cell["eagerness"]),
+            "outliers": cell["outliers"],
+        }
+        for name, cell in sorted(per_class.items())
+    }
+    return section
 
 
 def _eagerness_curves(quality: list):
@@ -355,8 +383,14 @@ def render_markdown(report: dict) -> str:
             "",
             f"{quality['gestures']} gestures with quality records; "
             f"{quality['outliers']} past Rubine's rejection threshold.",
-            "",
         ]
+        if "sample_rate" in quality:
+            lines.append(
+                f"Sampled at rate {_fmt(quality['sample_rate'])}: "
+                f"~{quality['estimated_gestures']} gestures estimated "
+                "fleet-wide."
+            )
+        lines.append("")
         lines += _table(
             ["class", "count", "margin mean", "margin min", "drift",
              "dwell mean", "eagerness mean", "outliers"],

@@ -116,11 +116,26 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters and histograms, created on first use."""
+    """Named counters and histograms, created on first use.
+
+    Instruments that aggregate lazily (e.g. the quality monitor's
+    scrape-time pipeline) register a *collector* — a zero-argument
+    callable invoked at the top of every :meth:`snapshot`, before any
+    metric is read.  Collectors fold pending observations in, so a
+    snapshot is always consistent no matter when it is taken; the
+    pattern is Prometheus's collect hook, kept synchronous because the
+    serving layer is single-pump.
+    """
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._collectors: list = []
+
+    def register_collector(self, collect) -> None:
+        """Run ``collect()`` before every snapshot (idempotent add)."""
+        if collect not in self._collectors:
+            self._collectors.append(collect)
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
@@ -141,6 +156,8 @@ class MetricsRegistry:
         pair's bound is ``null`` (the ``+inf`` overflow).  ``min`` and
         ``max`` are ``null`` while a histogram is empty.
         """
+        for collect in self._collectors:
+            collect()
         counters = {
             name: c.value for name, c in sorted(self._counters.items())
         }

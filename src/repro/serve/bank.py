@@ -29,12 +29,35 @@ bounded and surfaced to the caller:
 
 Rows that trip neither check are guaranteed to classify identically to
 the scalar path; rows that do are re-decided sequentially by the pool.
+
+**The quality sidecar.**  The one consumer that needs *value-level*
+bit-identity — :class:`repro.obs.QualityMonitor`, whose margins and
+Mahalanobis distances are pinned byte-for-byte by golden traces — cannot
+read :meth:`features` rows directly, because ``np.arctan2`` /
+``np.hypot`` demonstrably diverge from ``math.atan2`` / ``math.hypot``
+on real coordinates (SIMD libm kernels round differently in the last
+ulp).  Opting in with ``quality=True`` adds a per-slot *log* of the
+turning segments' cross and dot products — numbers the vectorized tick
+already computed, each bit-identical to what the scalar path derives
+from the same accumulators — appended with one scatter per tick.
+:meth:`quality_state` snapshots a slot's raw deltas plus a copy of its
+log; :func:`~repro.features.fold_turn_angles` and
+:func:`~repro.features.vector_from_snapshot` then replay the scalar
+``math.atan2`` fold (same operands, same order) and assemble the full
+vector with ``math`` operations only, so the result is bit-identical
+to a scalar replay of the slot's points.  The hot path pays a
+vectorized append per tick and two small memcpys per decision; every
+transcendental runs at read time.  The sidecar is write-only extra
+state: the decision path (:meth:`features`, the evaluator, the guard
+flags) never reads it, which is what keeps "attach quality" provably
+decision-neutral.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..features.incremental import fold_turn_angles, vector_from_snapshot
 from ..features.rubine import _MIN_DISTANCE, _MIN_DT, _MIN_SEGMENT_SQ, NUM_FEATURES
 
 __all__ = ["FeatureBank"]
@@ -78,14 +101,32 @@ _EMPTY_ROW[_MAX_X] = _EMPTY_ROW[_MAX_Y] = -np.inf
 
 
 class FeatureBank:
-    """Vectorized incremental feature state for ``capacity`` strokes."""
+    """Vectorized incremental feature state for ``capacity`` strokes.
 
-    def __init__(self, capacity: int):
+    ``quality=True`` additionally maintains the cross/dot sidecar log
+    that :meth:`quality_state` / :meth:`quality_vector` read; leave it
+    off (the default) and the tick pays nothing for it.
+    """
+
+    # Initial sidecar log width (turning points per stroke); the log
+    # doubles on demand, so this only sets where growth starts.
+    _Q_LOG_WIDTH = 128
+
+    def __init__(self, capacity: int, *, quality: bool = False):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self.quality = quality
         self._state = np.zeros((capacity, _NUM_COLUMNS))
         self._free = list(range(capacity - 1, -1, -1))
+        # The quality sidecar: one row of logged cross/dot products per
+        # slot (column j = the slot's j-th turning point), plus a
+        # per-slot entry count.  Entries beyond a slot's count are
+        # stale garbage from earlier occupants — never read.
+        if quality:
+            self._q_cross = np.zeros((capacity, self._Q_LOG_WIDTH))
+            self._q_dot = np.zeros((capacity, self._Q_LOG_WIDTH))
+            self._q_len = np.zeros(capacity, dtype=np.intp)
 
     # -- slot management -----------------------------------------------------
 
@@ -99,6 +140,8 @@ class FeatureBank:
             raise IndexError("feature bank is full")
         slot = self._free.pop()
         self._state[slot] = _EMPTY_ROW
+        if self.quality:
+            self._q_len[slot] = 0
         return slot
 
     def close_slot(self, slot: int) -> None:
@@ -191,12 +234,16 @@ class FeatureBank:
                 & (pdx * pdx + pdy * pdy >= _MIN_SEGMENT_SQ)
             )
             if turning.all():
-                theta = np.arctan2(pdx * dy - pdy * dx, pdx * dx + pdy * dy)
+                cross = pdx * dy - pdy * dx
+                dot = pdx * dx + pdy * dy
+                theta = np.arctan2(cross, dot)
                 blk = np.empty((len(theta), 3))
                 np.add(r[:, _TOTAL_ANGLE], theta, out=blk[:, 0])
                 np.add(r[:, _TOTAL_ABS], np.abs(theta), out=blk[:, 1])
                 np.add(r[:, _SHARPNESS], theta * theta, out=blk[:, 2])
                 st[s, _TOTAL_ANGLE : _SHARPNESS + 1] = blk
+                if self.quality:
+                    self._fold_quality(s, cross, dot)
             elif turning.any():
                 cross = pdx[turning] * dy[turning] - pdy[turning] * dx[turning]
                 dot = pdx[turning] * dx[turning] + pdy[turning] * dy[turning]
@@ -205,6 +252,8 @@ class FeatureBank:
                 st[tgt, _TOTAL_ANGLE] = r[turning, _TOTAL_ANGLE] + theta
                 st[tgt, _TOTAL_ABS] = r[turning, _TOTAL_ABS] + np.abs(theta)
                 st[tgt, _SHARPNESS] = r[turning, _SHARPNESS] + theta * theta
+                if self.quality:
+                    self._fold_quality(tgt, cross, dot)
             moved = seg_sq > 0.0
             if moved.all():
                 blk = np.empty((len(dx), 3))
@@ -280,3 +329,93 @@ class FeatureBank:
             np.abs(de - _MIN_DISTANCE) <= _GUARD_SLACK
         )
         return f, r[:, _COUNT], guard_risk
+
+    # -- the quality sidecar -------------------------------------------------
+
+    def _fold_quality(self, tgt: np.ndarray, cross, dot):
+        """Append this tick's turning products to the sidecar log.
+
+        ``cross``/``dot`` are the turning rows' cross and dot products —
+        already computed by the vectorized tick, each bit-identical to
+        what the scalar path computes from the same accumulators.
+        Logging them (instead of folding thetas here) keeps the tick
+        free of scalar ``atan2`` calls; one point per slot per tick
+        means column order per slot is exactly the scalar fold order.
+
+        The scatter raises ``IndexError`` when a stroke outgrows the
+        log width; any elements written before the raise land at their
+        final positions, so doubling the log and redoing the identical
+        assignment is safe.
+        """
+        idx = self._q_len[tgt]
+        while True:
+            try:
+                self._q_cross[tgt, idx] = cross
+                self._q_dot[tgt, idx] = dot
+                break
+            except IndexError:
+                width = self._q_cross.shape[1]
+                for name in ("_q_cross", "_q_dot"):
+                    old = getattr(self, name)
+                    new = np.zeros((self.capacity, width * 2))
+                    new[:, :width] = old
+                    setattr(self, name, new)
+        self._q_len[tgt] = idx + 1
+
+    def quality_state(self, slot: int) -> tuple:
+        """The slot's raw feature snapshot: nine scalars plus the log.
+
+        Requires a bank built with ``quality=True`` and a slot that has
+        seen at least one point.  The tuple is ``(dx0, dy0, width,
+        height, dxe, dye, total_len, crosses, dots, max_speed_sq,
+        duration)`` — the scalar entries are the deltas
+        :func:`~repro.features.vector_from_snapshot` takes, produced
+        with subtractions only (IEEE-exact); ``crosses``/``dots`` are
+        owned copies of the slot's turning-product log, from which
+        :func:`~repro.features.fold_turn_angles` reproduces the three
+        turn-angle accumulators bit-exactly.  Capturing this instead of
+        the assembled vector keeps the per-decision hot-path cost to a
+        row read plus two small memcpys; every ``hypot``/``atan2``/
+        divide runs wherever the snapshot is consumed (the quality
+        monitor defers them to scrape time).
+        """
+        row = self._state[slot].tolist()
+        fx = row[_FIRST_X]
+        fy = row[_FIRST_Y]
+        if row[_COUNT] >= 2.0:
+            dx0 = row[_THIRD_X] - fx
+            dy0 = row[_THIRD_Y] - fy
+        else:
+            # A 1-point prefix anchors on its first point (x - x).
+            dx0 = fx - fx
+            dy0 = fy - fy
+        n = self._q_len[slot]
+        return (
+            dx0,
+            dy0,
+            row[_MAX_X] - row[_MIN_X],
+            row[_MAX_Y] - row[_MIN_Y],
+            row[_LAST_X] - fx,
+            row[_LAST_Y] - fy,
+            row[_TOTAL_LEN],
+            self._q_cross[slot, :n].copy(),
+            self._q_dot[slot, :n].copy(),
+            row[_MAX_SPEED_SQ],
+            row[_LAST_T] - row[_FIRST_T],
+        )
+
+    def quality_vector(self, slot: int) -> np.ndarray:
+        """The slot's feature vector, bit-identical to a scalar replay.
+
+        :meth:`quality_state` assembled eagerly through
+        :func:`~repro.features.fold_turn_angles` and
+        :func:`~repro.features.vector_from_snapshot`: every operation on
+        the path is literally the operation ``IncrementalFeatures``
+        performs, so the result equals replaying the slot's points
+        through the scalar path without touching them.
+        """
+        state = self.quality_state(slot)
+        angle, abs_angle, sharp = fold_turn_angles(state[7], state[8])
+        return vector_from_snapshot(
+            *state[:7], angle, abs_angle, sharp, *state[9:]
+        )

@@ -188,7 +188,14 @@ class SessionPool:
         # Insertion-ordered view of sessions still collecting a gesture:
         # the motionless-timeout scan never visits decided sessions.
         self._undecided: dict[str, _Session] = {}
-        self._bank = FeatureBank(max_sessions) if batched else None
+        # With quality attached the bank maintains its scalar-theta
+        # sidecar, so decided prefixes get O(1) bit-exact feature
+        # vectors instead of per-decision scalar replays.
+        self._bank = (
+            FeatureBank(max_sessions, quality=self._quality is not None)
+            if batched
+            else None
+        )
         self._evaluator = BatchEvaluator(recognizer) if batched else None
         if self._evaluator is not None:
             self._evaluator.profiler = self._profiler
@@ -354,7 +361,9 @@ class SessionPool:
                 )
                 out.append(decision)
                 if quality is not None:
-                    quality.decided(session.points, decision)
+                    quality.decided(
+                        session.points, decision, self._quality_vector(session)
+                    )
         obs = self.observer
         if obs is not None and out:
             obs.decisions(out)
@@ -664,7 +673,11 @@ class SessionPool:
             decision = self._recog(session, session.last_t, "eager")
             out.append(decision)
             if quality is not None:
-                quality.decided(session.points, decision)
+                quality.decided(
+                    session.points,
+                    decision,
+                    self._bank.quality_state(session.slot),
+                )
         while entry_i < n_entries:
             self._emit(entries[entry_i], out, next_finish)
             entry_i += 1
@@ -683,7 +696,9 @@ class SessionPool:
             decision = self._recog(session, t, "eager")
             out.append(decision)
             if quality is not None:
-                quality.decided(session.points, decision)
+                quality.decided(
+                    session.points, decision, session.eseq.feature_vector
+                )
         elif tag == _FINISH:
             _, _, session, t = entry
             if self.batched:
@@ -694,7 +709,9 @@ class SessionPool:
             decision = self._recog(session, t, "up")
             out.append(decision)
             if quality is not None:
-                quality.decided(session.points, decision)
+                quality.decided(
+                    session.points, decision, self._quality_vector(session)
+                )
             self._remove(session)
             out.append(self._commit(session, t))
             if quality is not None:
@@ -804,6 +821,21 @@ class SessionPool:
             self._slot_session[session.slot] = None
             self._bank.close_slot(session.slot)
             session.slot = None
+
+    def _quality_vector(self, session: _Session):
+        """The decided prefix's feature snapshot, without a scalar replay.
+
+        Batched mode reads the bank's quality sidecar as a raw
+        accumulator tuple (O(1) per call; the monitor assembles it
+        lazily); sequential mode reads the eager session's own
+        incremental vector.  Both are bit-identical to
+        :meth:`_replay_vector` once assembled — that identity is what
+        lets :class:`~repro.obs.QualityMonitor` stay attached in
+        production without re-walking every decided prefix.
+        """
+        if self.batched:
+            return self._bank.quality_state(session.slot)
+        return session.eseq.feature_vector
 
     def _replay_vector(self, session: _Session) -> np.ndarray:
         """The scalar path's exact feature vector for a session's prefix.

@@ -121,6 +121,55 @@ def test_cluster_results_publish_the_asserted_invariants(cluster_bench):
     assert results["speedup_1_worker"] >= 0.85
 
 
+@pytest.fixture(scope="module")
+def obs_bench() -> dict:
+    return _load("obs")
+
+
+def test_obs_params_pin_the_workload_and_the_bounds(obs_bench):
+    params = obs_bench["params"]
+    for key in (
+        "clients",
+        "gestures_per_client",
+        "family",
+        "seed",
+        "repeats",
+        "max_metrics_overhead",
+        "max_quality_overhead",
+    ):
+        assert key in params, f"params lost {key!r}"
+    assert params["clients"] >= 256  # the tentpole's stated scale
+    assert 1.0 < params["max_quality_overhead"] <= 1.15
+
+
+def test_obs_results_respect_the_asserted_envelope(obs_bench):
+    """The committed artifact satisfies its own run-time assertions.
+
+    A regressed quality or metrics ratio cannot be checked in: the
+    recorded overhead must sit inside the bound the bench enforces, and
+    the ratios must be consistent with the recorded points/sec.
+    """
+    params, results = obs_bench["params"], obs_bench["results"]
+    ratios = results["overhead_ratio"]
+    pps = results["points_per_sec"]
+    for config in ("metrics", "quality", "tracer"):
+        assert config in ratios and config in pps
+        assert pps[config] > 0
+        assert math.isclose(
+            ratios[config], pps["bare"] / pps[config], rel_tol=0.001
+        ), f"{config} ratio inconsistent with its points/sec"
+    assert ratios["metrics"] <= params["max_metrics_overhead"]
+    assert ratios["quality"] <= params["max_quality_overhead"]
+
+
+def test_obs_bench_source_keeps_the_quality_bound_wired():
+    """The always-on quality bound must stay asserted at run time."""
+    source = (REPO_ROOT / "benchmarks" / "bench_obs_overhead.py").read_text()
+    assert "MAX_QUALITY_OVERHEAD" in source
+    assert 'ratios["quality"] <= MAX_QUALITY_OVERHEAD' in source
+    assert 'ratios["metrics"] <= MAX_METRICS_OVERHEAD' in source
+
+
 def test_bench_source_keeps_the_invariants_wired():
     """The bench must keep asserting what the artifact claims.
 

@@ -266,6 +266,73 @@ def test_metrics_section_derivations():
     }
 
 
+def _quality_record(i: int, **override) -> dict:
+    record = {
+        "rec": "quality",
+        "session": f"s{i}",
+        "class": "left",
+        "reason": "unambiguous",
+        "eager": True,
+        "points": 5,
+        "margin": 1.5,
+        "d2": 2.6,
+        "drift": 0.2,
+        "outlier": False,
+        "dwell": 0.05,
+        "t": 0.1 * (i + 1),
+        "total": 10,
+        "eagerness": 0.5,
+    }
+    record.update(override)
+    return record
+
+
+def test_analyze_rejects_mixed_sampling_rates():
+    """One rate per trace: mixed records cannot be aggregated soundly."""
+    records = [
+        _quality_record(0, sample_rate=0.5),
+        _quality_record(1),  # unsampled (implicit rate 1.0)
+    ]
+    with pytest.raises(ValueError, match="mixes quality records sampled"):
+        analyze_records(records)
+    with pytest.raises(ValueError, match=r"outside \(0, 1\]"):
+        analyze_records([_quality_record(0, sample_rate=0.0)])
+
+
+def test_analyze_scales_up_sampled_traces():
+    records = [_quality_record(i, sample_rate=0.25) for i in range(3)]
+    report = validate_report(analyze_records(records))
+    quality = report["quality"]
+    assert quality["gestures"] == 3
+    assert quality["sample_rate"] == 0.25
+    # Horvitz-Thompson: each kept record stands for 1/rate gestures.
+    assert quality["estimated_gestures"] == 12
+    md = render_markdown(report)
+    assert "Sampled at rate 0.25" in md
+    assert "~12 gestures estimated fleet-wide" in md
+    # Unsampled reports stay byte-compatible: neither key, no MD line.
+    plain = validate_report(
+        analyze_records([_quality_record(i) for i in range(3)])
+    )
+    assert "sample_rate" not in plain["quality"]
+    assert "estimated_gestures" not in plain["quality"]
+    assert "Sampled at rate" not in render_markdown(plain)
+
+
+def test_cli_analyze_fails_cleanly_on_mixed_rate_trace(tmp_path):
+    from repro.cli import main
+
+    trace = tmp_path / "mixed.ndjson"
+    trace.write_text(
+        json.dumps(_quality_record(0, sample_rate=0.5))
+        + "\n"
+        + json.dumps(_quality_record(1))
+        + "\n"
+    )
+    with pytest.raises(SystemExit, match="mixes quality records sampled"):
+        main(["analyze", str(trace)])
+
+
 def test_validate_report_rejects_malformed_reports():
     good = analyze_records([])
     with pytest.raises(ValueError, match="schema"):
