@@ -12,6 +12,13 @@ The staged trainer's claims, measured:
   is skipped on boxes with fewer than four CPUs (a 1-core container
   cannot demonstrate parallelism); the measured wall times and the CPU
   count are published regardless, so the numbers are honest either way.
+  A second floor holds on *any* host: ``--jobs N`` must never lose to
+  serial — the min-chunk and cpu-count gates in
+  :func:`~repro.train.parallel.effective_workers` degrade the fan-out
+  to the identical inline path wherever the fork tax would dominate, so
+  the worst case is serial plus scheduler noise.  Wall times are the
+  median of ``REPEATS`` fresh runs, for the same reason as
+  ``bench_cluster.py``: single samples wobble more than the effect.
 
 Results go to ``BENCH_train.json`` at the repo root.
 """
@@ -34,8 +41,13 @@ FAMILY = "gdp"
 EXAMPLES = 15
 SEED = 7
 PARALLEL_JOBS = 4
+REPEATS = 5
 
 SPEC = TrainJobSpec(family=FAMILY, examples=EXAMPLES, seed=SEED)
+
+
+def _median(samples: list) -> float:
+    return sorted(samples)[len(samples) // 2]
 
 
 def _timed_run(cache_dir: Path, jobs: int):
@@ -75,20 +87,49 @@ def test_killed_run_resumes_to_identical_model(tmp_path):
 
 def test_train_pipeline_numbers(tmp_path):
     """Measure serial, parallel, and cached-replay wall times."""
-    serial, serial_s = _timed_run(tmp_path / "serial", jobs=1)
-    assert serial.stages_run == list(
-        ("manifest", "features", "classifier", "subgestures", "auc", "package")
-    )
+    serial = None
+    serial_times, parallel_times = [], []
+    for i in range(REPEATS):
+        # Alternate which configuration runs first so a drifting host
+        # (caches warming, the container throttling) biases neither.
+        order = [
+            ("serial", 1, serial_times),
+            ("parallel", PARALLEL_JOBS, parallel_times),
+        ]
+        if i % 2:
+            order.reverse()
+        for name, jobs, times in order:
+            result, elapsed = _timed_run(tmp_path / f"{name}-{i}", jobs=jobs)
+            if serial is None:
+                serial = result
+                assert serial.stages_run == list(
+                    (
+                        "manifest",
+                        "features",
+                        "classifier",
+                        "subgestures",
+                        "auc",
+                        "package",
+                    )
+                )
+            assert result.model_hash == serial.model_hash
+            times.append(elapsed)
+    serial_s = _median(serial_times)
+    parallel_s = _median(parallel_times)
 
-    parallel, parallel_s = _timed_run(tmp_path / "parallel", jobs=PARALLEL_JOBS)
-    assert parallel.model_hash == serial.model_hash
-
-    replay, replay_s = _timed_run(tmp_path / "serial", jobs=1)
+    replay, replay_s = _timed_run(tmp_path / "serial-0", jobs=1)
     assert replay.stages_run == []
     assert replay.model_hash == serial.model_hash
     assert replay_s < serial_s, "cache replay should beat training"
 
-    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    # Paired ratios, not a ratio of medians: each iteration's serial
+    # and parallel runs are adjacent in time, so host drift (this
+    # container wobbles +/- 30% minute to minute) cancels within a
+    # pair, and the median pair is a far tighter speedup estimate than
+    # two independently-noisy medians divided.
+    speedup = _median(
+        [s / p for s, p in zip(serial_times, parallel_times) if p > 0]
+    )
     cpus = os.cpu_count() or 1
     write_report(
         "train_pipeline",
@@ -106,6 +147,7 @@ def test_train_pipeline_numbers(tmp_path):
             "examples_per_class": EXAMPLES,
             "seed": SEED,
             "parallel_jobs": PARALLEL_JOBS,
+            "repeats": REPEATS,
             "cpus": cpus,
         },
         results={
@@ -121,10 +163,19 @@ def test_train_pipeline_numbers(tmp_path):
             and sum(serial.stats["set_counts"].values()),
         },
     )
+    # The any-host floor: the gates in effective_workers must degrade
+    # --jobs N to the identical inline path wherever forking would not
+    # pay, so a parallel run can lose at most scheduler noise to serial.
+    assert speedup >= 0.9, (
+        f"jobs={PARALLEL_JOBS} took {parallel_s:.3f}s vs jobs=1 "
+        f"{serial_s:.3f}s = {speedup:.2f}x — the fan-out gates should "
+        "never let --jobs lose to serial"
+    )
     if cpus < 4:
         pytest.skip(
-            f"only {cpus} CPU(s): hash identity asserted above, but a "
-            "parallel speedup cannot be demonstrated on this machine"
+            f"only {cpus} CPU(s): hash identity and the no-regression "
+            "floor asserted above, but a parallel speedup cannot be "
+            "demonstrated on this machine"
         )
     assert speedup >= 2.0, (
         f"jobs={PARALLEL_JOBS} took {parallel_s:.3f}s vs jobs=1 "

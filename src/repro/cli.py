@@ -287,6 +287,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import GestureServer
 
     recognizer = _resolve_recognizer(args)
+    if args.model_cache is not None and not args.registry:
+        raise SystemExit("--model-cache needs --registry to reload from")
     with ExitStack() as stack:
         metrics = None if args.no_metrics else MetricsRegistry()
         tracer = None
@@ -324,6 +326,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_sessions=args.max_sessions,
                 observer=observer,
                 registry=args.registry,
+                model_cache=args.model_cache,
+                record=args.record,
             )
             await server.start()
             host, port = server.address
@@ -380,6 +384,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 quality=args.quality,
                 quality_sample=args.quality_sample,
                 quality_seed=args.quality_seed,
+                min_workers=args.min_workers,
+                max_workers=args.max_workers,
+                autoscale=args.autoscale,
+                model_cache=args.model_cache,
             ) as cluster:
                 await cluster.wait_all_up()
                 host, port = cluster.address
@@ -388,10 +396,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                     f"cluster: {len(recognizer.class_names)} gesture classes "
                     f"on {host}:{port} across {args.workers} workers "
                     f"({shards})"
+                    + (" [autoscaling]" if args.autoscale else "")
                 )
                 print(
                     "  same NDJSON protocol as `serve`; admin ops: "
-                    '{"op": "cluster"}, {"op": "drain", "shard": "..."}'
+                    '{"op": "cluster"}, {"op": "drain", "shard": "..."}, '
+                    '{"op": "scale", "workers": N}'
                 )
                 await asyncio.Event().wait()  # until interrupted
 
@@ -1071,6 +1081,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the serving hot path with perf counters "
         "(reported in stats replies)",
     )
+    serve.add_argument(
+        "--record", metavar="PATH",
+        help="journal the live op traffic to PATH as adapt-harvest "
+        "NDJSON records (replayable by `repro adapt --record`)",
+    )
+    serve.add_argument(
+        "--model-cache", type=int, metavar="N",
+        help="keep at most N swapped-in models resident per pool (LRU; "
+        "evicted models reload from --registry on next use)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -1099,8 +1119,28 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--max-sessions", type=int, default=4096)
     cluster.add_argument(
         "--drain-timeout", type=float, default=30.0,
-        help="seconds a graceful drain may wait before force-sweeping "
-        "the shard (then aborting if sessions still survive)",
+        help="retained for compatibility: drains now migrate live "
+        "sessions to surviving shards instead of waiting them out",
+    )
+    cluster.add_argument(
+        "--min-workers", type=int, default=1, metavar="N",
+        help="floor for admin scale ops and the autoscaler",
+    )
+    cluster.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help="ceiling for admin scale ops and the autoscaler",
+    )
+    cluster.add_argument(
+        "--autoscale", action="store_true",
+        help="scale the fleet from load samples (sessions/shard, queue "
+        "depth) between --min-workers and --max-workers, with "
+        "hysteresis and a cooldown; joins and drains migrate live "
+        "sessions, so clients never notice",
+    )
+    cluster.add_argument(
+        "--model-cache", type=int, metavar="N",
+        help="bound each worker's resident swapped-in models to N (LRU; "
+        "evicted models reload from --registry on next use)",
     )
     cluster.add_argument(
         "--no-metrics", action="store_true",

@@ -13,17 +13,22 @@ one core.  This package shards it without changing its meaning:
   clock markers, the router's crash-recovery ground truth;
 * :mod:`~repro.cluster.router` — the single client-facing address:
   sticky routing, tick/sweep broadcast, journal replay on worker
-  restart, fleet-wide ``stats`` merging;
+  restart (and, re-aimed at planned moves, *live session migration*),
+  fleet-wide ``stats`` merging;
+* :mod:`~repro.cluster.elastic` — :class:`Autoscaler`, the pure
+  watermark/hysteresis decision core behind ``--autoscale``;
 * :mod:`~repro.cluster.harness` — :class:`Cluster` (all of the above as
-  one object) and the deterministic driver/reference pair behind the
-  invariance tests and ``benchmarks/bench_cluster.py``.
+  one object: drain-by-migration, ``join``, ``scale_to``) and the
+  deterministic driver/reference pair behind the invariance tests and
+  ``benchmarks/bench_cluster.py`` / ``benchmarks/bench_elastic.py``.
 
 The load-bearing claim, pinned by ``tests/cluster/``: for any worker
-count, with or without a worker crash mid-run, the per-session reply
-streams are byte-identical to a single :class:`~repro.serve.SessionPool`
-run over the same input order.
+count, across any schedule of crashes, joins, drains, scales, and
+migrations, the per-session reply streams are byte-identical to a
+single :class:`~repro.serve.SessionPool` run over the same input order.
 """
 
+from .elastic import Autoscaler, quantile_from_buckets
 from .harness import Cluster, drive_cluster, reference_lines, workload_ticks
 from .journal import SessionRecord, replay_lines
 from .ring import HashRing
@@ -31,6 +36,7 @@ from .router import Router
 from .supervisor import Supervisor, WorkerHandle
 
 __all__ = [
+    "Autoscaler",
     "Cluster",
     "HashRing",
     "Router",
@@ -38,6 +44,7 @@ __all__ = [
     "Supervisor",
     "WorkerHandle",
     "drive_cluster",
+    "quantile_from_buckets",
     "reference_lines",
     "replay_lines",
     "workload_ticks",

@@ -1,0 +1,167 @@
+"""Metrics-driven elasticity: decide when the fleet should change size.
+
+The :class:`Autoscaler` is deliberately split in two:
+
+* :meth:`Autoscaler.decide` is a *pure* function of one load sample and
+  a clock reading — no I/O, no tasks — so every hysteresis and cooldown
+  path is unit-testable with hand-built samples;
+* :meth:`Autoscaler.run` is the thin async loop that feeds it the
+  router's :meth:`~repro.cluster.router.Router.load_sample` and hands
+  any verdict to :meth:`~repro.cluster.harness.Cluster.scale_to`.
+
+Signals, matching what the router can answer synchronously plus what a
+fleet ``stats`` merge can add:
+
+* ``sessions_per_shard`` — live sessions over live shards;
+* ``max_queue_depth`` — the deepest outbound worker queue (backlog the
+  workers have not drained yet);
+* ``p99_decision_seconds`` — optional; when a caller enriches samples
+  with a fleet-merged latency quantile (:func:`quantile_from_buckets`
+  over merged histogram buckets), a latency ceiling also triggers
+  scale-out.
+
+Flapping is suppressed twice over: a *confirm streak* (the same
+direction must win ``confirm`` consecutive samples) and a *cooldown*
+(after any action, decisions hold for ``cooldown`` seconds — time for
+migrations to land and the signals to reflect the new topology).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["Autoscaler", "quantile_from_buckets"]
+
+
+def quantile_from_buckets(buckets, q: float = 0.99) -> float:
+    """Estimate a quantile from ``[upper_bound, count]`` histogram
+    buckets — the :meth:`repro.obs.MetricsRegistry.snapshot` shape,
+    where the final bound is ``None`` (+inf overflow).
+
+    Returns the upper bound of the bucket containing the ``q``-th
+    observation (a conservative over-estimate, the usual Prometheus
+    convention); the overflow bucket reports the last finite bound.
+    With no observations at all the estimate is ``0.0``.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError("q must be in (0, 1]")
+    total = sum(count for _, count in buckets)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    last_finite = 0.0
+    for bound, count in buckets:
+        cumulative += count
+        if cumulative >= target:
+            return last_finite if bound is None else float(bound)
+        if bound is not None:
+            last_finite = float(bound)
+    return last_finite
+
+
+class Autoscaler:
+    """Watermark autoscaling with confirm-streak hysteresis + cooldown."""
+
+    def __init__(
+        self,
+        *,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        high_sessions: float = 64.0,
+        low_sessions: float = 16.0,
+        high_queue: int = 256,
+        high_p99: float | None = None,
+        interval: float = 0.5,
+        confirm: int = 3,
+        cooldown: float = 5.0,
+    ):
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if low_sessions >= high_sessions:
+            raise ValueError("low_sessions must be below high_sessions")
+        if confirm < 1:
+            raise ValueError("confirm must be >= 1")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.high_sessions = high_sessions
+        self.low_sessions = low_sessions
+        self.high_queue = high_queue
+        self.high_p99 = high_p99
+        self.interval = interval
+        self.confirm = confirm
+        self.cooldown = cooldown
+        self.decisions = 0  # actions emitted (for status/tests)
+        self._direction = 0
+        self._streak = 0
+        self._last_action: float | None = None
+
+    def decide(self, sample: dict, now: float) -> int | None:
+        """One shard-count verdict, or ``None`` to hold.
+
+        ``sample`` is a :meth:`Router.load_sample` dict (optionally
+        enriched with ``p99_decision_seconds``); ``now`` is any
+        monotonic clock reading, injected so tests never sleep.
+        """
+        if (
+            self._last_action is not None
+            and now - self._last_action < self.cooldown
+        ):
+            # Cooling down: the topology just changed, so the signals
+            # still describe the old fleet.  Streaks restart after.
+            self._direction = 0
+            self._streak = 0
+            return None
+        shards = max(1, int(sample.get("shards", 1)))
+        per_shard = float(sample.get("sessions_per_shard", 0.0))
+        queue = int(sample.get("max_queue_depth", 0))
+        p99 = sample.get("p99_decision_seconds")
+        hot = (
+            per_shard > self.high_sessions
+            or queue > self.high_queue
+            or (
+                self.high_p99 is not None
+                and p99 is not None
+                and float(p99) > self.high_p99
+            )
+        )
+        cold = per_shard < self.low_sessions and queue <= self.high_queue // 4
+        if hot and shards < self.max_workers:
+            direction = 1
+        elif not hot and cold and shards > self.min_workers:
+            direction = -1
+        else:
+            self._direction = 0
+            self._streak = 0
+            return None
+        if direction != self._direction:
+            self._direction = direction
+            self._streak = 1
+        else:
+            self._streak += 1
+        if self._streak < self.confirm:
+            return None
+        self._direction = 0
+        self._streak = 0
+        self._last_action = now
+        self.decisions += 1
+        return shards + direction
+
+    async def run(self, sample_fn, scale_fn) -> None:
+        """Sample → decide → act, forever (cancel to stop).
+
+        ``sample_fn`` returns a load-sample dict (sync or async);
+        ``scale_fn`` is an async ``(workers) -> None`` —
+        :meth:`Cluster.scale_to` in production.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.interval)
+            sample = sample_fn()
+            if asyncio.iscoroutine(sample):
+                sample = await sample
+            target = self.decide(sample, loop.time())
+            if target is not None:
+                await scale_fn(target)

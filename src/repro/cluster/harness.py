@@ -4,7 +4,12 @@
 :class:`~repro.cluster.router.Router` in this process and a
 :class:`~repro.cluster.supervisor.Supervisor` spawning one
 :class:`~repro.cluster.worker` subprocess per shard — and owns the
-drain choreography.
+elasticity choreography: ``drain`` migrates a shard's live sessions
+off and retires it in one pass (nobody is evicted), ``join`` spawns a
+fresh worker and rebalances exactly the ring-moved sessions onto it,
+``scale_to`` walks the live fleet to a target size one move at a time,
+and an optional :class:`~repro.cluster.elastic.Autoscaler` drives
+``scale_to`` from the router's load samples.
 
 The driver half exists for one claim: *cluster output is byte-identical
 to a single pool*.  :func:`workload_ticks` pivots a
@@ -28,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+from contextlib import suppress
 
 from ..interaction import DEFAULT_TIMEOUT
 from ..serve import SessionPool, encode_decision
@@ -65,6 +71,10 @@ class Cluster:
         quality: bool = False,
         quality_sample: float = 1.0,
         quality_seed: int = 0,
+        min_workers: int = 1,
+        max_workers: int | None = None,
+        autoscale=False,
+        model_cache: int | None = None,
     ):
         from ..obs import MetricsRegistry
 
@@ -75,6 +85,18 @@ class Cluster:
         )
         self.metrics = MetricsRegistry() if metrics else None
         self.drain_timeout = drain_timeout
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_workers is not None and max_workers < min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        # ``autoscale`` is False (off), True (default-tuned
+        # Autoscaler), or a ready-made Autoscaler instance.
+        self.autoscale = autoscale
+        self._autoscale_task: asyncio.Task | None = None
+        self._scale_lock = asyncio.Lock()
+        self._next_worker = len(shards)
         # ``framing`` picks the router→worker wire ("lp1" negotiated
         # per link, "ndjson" legacy); ``no_lp1_shards`` spawns selected
         # workers with --no-lp1, producing a mixed fleet where those
@@ -98,15 +120,40 @@ class Cluster:
             quality=quality,
             quality_sample=quality_sample,
             quality_seed=quality_seed,
+            model_cache=model_cache,
         )
         self.router.drain_hook = self.drain
+        self.router.scale_hook = self.scale_to
         self.router.supervisor_status = self.supervisor.status
 
     async def start(self) -> None:
         await self.router.start()
         await self.supervisor.start()
+        if self.autoscale:
+            from .elastic import Autoscaler
+
+            scaler = (
+                self.autoscale
+                if isinstance(self.autoscale, Autoscaler)
+                else Autoscaler(
+                    min_workers=self.min_workers,
+                    max_workers=(
+                        self.max_workers
+                        if self.max_workers is not None
+                        else max(self.min_workers, 8)
+                    ),
+                )
+            )
+            self._autoscale_task = asyncio.get_running_loop().create_task(
+                scaler.run(self.router.load_sample, self.scale_to)
+            )
 
     async def stop(self) -> None:
+        if self._autoscale_task is not None:
+            self._autoscale_task.cancel()
+            with suppress(asyncio.CancelledError):
+                await self._autoscale_task
+            self._autoscale_task = None
         await self.supervisor.stop()
         await self.router.stop()
 
@@ -168,18 +215,16 @@ class Cluster:
 
     async def drain(self, shard: str) -> None:
         """Gracefully retire ``shard``: spill new sessions to the ring
-        successor, wait out its live sessions, then terminate it.
+        successors and *migrate* its live sessions off — journal replay
+        into each session's new shard, byte-identical, nobody evicted —
+        then terminate the worker.
 
-        The wait is bounded by ``drain_timeout``: a client that opened
-        a session and went silent would otherwise stall the drain
-        forever (with the shard stuck "draining" and un-drainable
-        again).  At the deadline the router force-sweeps the shard
-        (targeted ``max_idle=0`` eviction, journaled like any sweep);
-        if sessions still survive a grace period — e.g. ops timestamped
-        ahead of the virtual clock cannot be idle — the drain aborts,
-        the shard returns to normal routing, and it can be re-drained
-        later.  ``cluster.drains_forced`` / ``cluster.drain_aborts``
-        record both escalations.
+        Migration is synchronous router work, so the drain completes in
+        one pass regardless of client behaviour: a client that opened a
+        session and went silent simply carries its session to another
+        shard.  The shard stays in the ring but in the ``retired`` skip
+        set — by skip-spill equivalence, removing it would change no
+        route, and keeping it keeps every historical journal seq valid.
         """
         if shard in self.router.draining or shard in self.router.retired:
             return
@@ -188,30 +233,62 @@ class Cluster:
         self.router.draining.add(shard)
         if self.metrics is not None:
             self.metrics.counter("cluster.drains").inc()
-        deadline = started + self.drain_timeout
-        forced = False
-        while any(
-            r.shard == shard for r in self.router.sessions.values()
-        ):
-            if loop.time() >= deadline:
-                if not forced:
-                    forced = True
-                    deadline = loop.time() + min(5.0, self.drain_timeout)
-                    self.router.force_sweep(shard)
-                    if self.metrics is not None:
-                        self.metrics.counter("cluster.drains_forced").inc()
-                else:
-                    self.router.draining.discard(shard)
-                    if self.metrics is not None:
-                        self.metrics.counter("cluster.drain_aborts").inc()
-                    return
-            await asyncio.sleep(0.02)
+        # Freeze, then move: quiesce() resolves every in-flight sweep,
+        # and migrate_off runs in the same synchronous continuation.
+        await self.router.quiesce()
+        self.router.migrate_off(shard)
         await self.supervisor.retire(shard)
         self.router.retired.add(shard)
+        self.router.draining.discard(shard)
         if self.metrics is not None:
             self.metrics.histogram(
                 "cluster.drain_seconds", (0.1, 1.0, 10.0, 60.0)
             ).observe(loop.time() - started)
+
+    async def join(self, shard: str | None = None) -> str:
+        """Scale out by one worker: register its link, spawn it, wait
+        until the router is connected, then rebalance — migrating
+        exactly the sessions the grown ring assigns to the newcomer
+        (the :meth:`HashRing.plan_rebalance` minimum) and no others.
+        """
+        if shard is None:
+            while shard is None or shard in self.router.links:
+                shard = f"w{self._next_worker}"
+                self._next_worker += 1
+        self.router.add_shard(shard)
+        await self.supervisor.add_shard(shard)
+        await self.router.quiesce()
+        self.router.rebalance(self.router.ring.with_shard(shard))
+        if self.metrics is not None:
+            self.metrics.counter("cluster.joins").inc()
+        return shard
+
+    async def scale_to(self, workers: int) -> None:
+        """Walk the live fleet to ``workers`` shards, one join or drain
+        at a time, clamped to ``[min_workers, max_workers]``.
+
+        Serialized on a lock so an admin ``scale`` op and the
+        autoscaler can never interleave half-finished topology moves.
+        """
+        target = max(self.min_workers, workers)
+        if self.max_workers is not None:
+            target = min(target, self.max_workers)
+        async with self._scale_lock:
+            while True:
+                live = [
+                    s
+                    for s in self.router.links
+                    if s not in self.router.retired
+                    and s not in self.router.draining
+                ]
+                if len(live) < target:
+                    await self.join()
+                elif len(live) > target:
+                    # Shrink newest-first: the highest-numbered live
+                    # shard is the cheapest to empty again.
+                    await self.drain(live[-1])
+                else:
+                    return
 
 
 def workload_ticks(source, dt: float = 0.01):

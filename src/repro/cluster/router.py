@@ -39,11 +39,23 @@ Mechanics:
   drops the N worker acks, keeping the client's stream identical to a
   single server's.
 
-The router accepts two admin ops beyond the serve protocol:
-``{"op": "cluster"}`` returns shard states, and
+The router accepts three admin ops beyond the serve protocol:
+``{"op": "cluster"}`` returns shard states,
 ``{"op": "drain", "shard": ...}`` starts a graceful drain (new sessions
-spill to the ring successor; the shard retires once its last live
-session ends).
+spill to the ring successor; live sessions *migrate* off — see below —
+so the shard retires immediately, never evicting anyone), and
+``{"op": "scale", "workers": n}`` asks the harness to grow or shrink
+the fleet to ``n`` workers.
+
+Live migration reuses the crash-replay machinery against a *planned*
+move: the migrating session's journal (ops, clock markers, and a
+one-shot ``pin`` carrying the model it bound at open) is replayed into
+the destination via the normal worker hop, already-forwarded replies
+are suppressed by count, a ``release`` tells the source to forget the
+session (stale in-flight replies are dropped until its ack), and the
+record is atomically re-pointed.  ``migrate_off`` empties a shard;
+``rebalance`` migrates exactly the sessions a ring change moves
+(:meth:`HashRing.plan_rebalance` bounds that set).
 
 Known limit: a record whose very first ``down`` was answered with a
 ``pool full`` error is dropped on that reply, but an error reply lost
@@ -87,6 +99,23 @@ _NEG_INF = float("-inf")
 # Error reasons that prove the worker holds no session for the key, so
 # the router's record (and journal) can be dropped with it.
 _GONE_REASONS = ("unknown stroke", "pool full")
+
+# Migration freeze windows are sub-millisecond router work, far below
+# the serve-latency decade ladder — they get their own bucket ladder.
+_MIGRATION_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    1.0,
+)
 
 
 class _Mailbox:
@@ -136,6 +165,7 @@ class _WorkerLink:
         "pending_stats",
         "extras",
         "swaps",
+        "released",
     )
 
     def __init__(self, shard: str):
@@ -154,6 +184,12 @@ class _WorkerLink:
         # none), but a swap binds sessions that do not exist yet, so it
         # must survive arbitrary idle gaps and replay on every restart.
         self.swaps: list[tuple[int, str]] = []
+        # Keys migrated *off* this worker whose `release` is still in
+        # flight: any reply for them is a stale pre-release copy (the
+        # destination owns the byte stream now) and must be dropped.
+        # Wire order makes the protocol exact: stale replies < released
+        # ack < anything a later migrate-back replays.
+        self.released: set[str] = set()
 
 
 class _Client:
@@ -222,10 +258,14 @@ class Router:
             self._ops_routed = metrics.counter("cluster.ops_routed")
             self._replies_forwarded = metrics.counter("cluster.replies_forwarded")
             self._replies_suppressed = metrics.counter("cluster.replies_suppressed")
+            self._migration_seconds = metrics.histogram(
+                "cluster.migration_seconds", bounds=_MIGRATION_BUCKETS
+            )
         else:
             self._ops_routed = None
             self._replies_forwarded = None
             self._replies_suppressed = None
+            self._migration_seconds = None
         # Data-plane busy time (client-side routing / worker-side reply
         # handling), excluding every await — the "router_s" half of the
         # benchmark's router/worker/transport breakdown.
@@ -240,7 +280,15 @@ class Router:
         self.draining: set[str] = set()
         self.retired: set[str] = set()
         self.drain_hook = None  # async (shard) -> None; wired by the harness
+        self.scale_hook = None  # async (workers) -> None; wired by the harness
         self.supervisor_status = None  # () -> dict; wired by the harness
+        # Every swap ever routed, as (seq, "client:user" prefix, pinned
+        # label): a live migration must re-pin the model the session
+        # bound at *open* — the destination's present-day assignments
+        # have moved on, so replaying the down alone would bind the
+        # wrong model.  Swaps are rare and never pruned (same contract
+        # as the per-link swap journals).
+        self._swap_history: list[tuple[int, str, str]] = []
         self._clients: dict[str, _Client] = {}
         self._next_client = 0
         self._seq = 0
@@ -256,6 +304,10 @@ class Router:
         # The broadcast clock's journal marker, encoded once per barrier
         # instead of once per journalled op (see SessionRecord.journal).
         self._clock_line: str | None = None
+        # Sweeps ever broadcast (or force-sent): quiesce() loops until a
+        # barrier round completes with this unchanged, because a sweep
+        # racing a migration is the one thing replay cannot repair.
+        self._sweeps_broadcast = 0
         self._server: asyncio.AbstractServer | None = None
         self._client_tasks: set[asyncio.Task] = set()
 
@@ -389,6 +441,10 @@ class Router:
             fut = link.pending_stats.popleft()
             if not fut.done():
                 fut.set_result(None)
+        # A dead worker holds no stale session copies: its replacement
+        # starts empty, so nothing is left to drop.  Keeping entries
+        # here could wrongly swallow replies if the key migrates back.
+        link.released.clear()
 
     async def _worker_writer(self, link: _WorkerLink, writer) -> None:
         queue = link.queue
@@ -458,11 +514,22 @@ class Router:
                     if not fut.done():
                         fut.set_result(obj)
                 return
+            if kind == "released":
+                # The source worker confirmed a migration handoff: every
+                # stale reply for the key has already arrived (wire
+                # order), so stop dropping.
+                link.released.discard(obj.get("stroke", ""))
+                return
             key = obj.get("stroke", "")
             line = None  # encoded lazily: a suppressed replay never needs it
             terminal = kind in ("commit", "evict") or (
                 kind == "error" and obj.get("reason") in _GONE_REASONS
             )
+        if link.released and key in link.released:
+            # A stale copy from a worker the session migrated off —
+            # the destination's replay owns this byte stream now.
+            self._count("cluster.stale_replies_dropped")
+            return
         record = self.sessions.get(key)
         if record is not None and record.skip > 0:
             # A replayed reply the client already has: bit-equal to the
@@ -674,7 +741,7 @@ class Router:
             return None
         if isinstance(payload, dict):
             admin_op = payload.get("op")
-            if admin_op in ("cluster", "drain"):
+            if admin_op in ("cluster", "drain", "scale"):
                 client.seen = True
                 return self._admin(client, payload)
             if admin_op == "hello":
@@ -695,6 +762,15 @@ class Router:
             client.push(encode_error(str(exc)))
             return None
         op = request.op
+        if op == "release" or op == "pin":
+            # Migration internals the router speaks to its *workers*;
+            # from a client they could silently corrupt live sessions.
+            client.push(
+                encode_error(
+                    f"internal op: {op}", stroke=request.stroke, t=request.t
+                )
+            )
+            return None
         if op == "stats":
             return self._fleet_stats(client)
         if op == "swap":
@@ -711,6 +787,7 @@ class Router:
             if request.t > self._clock:
                 self._clock = request.t
                 self._clock_line = json.dumps({"op": "tick", "t": self._clock})
+            self._sweeps_broadcast += 1
             self._broadcast(line)
             # A worker can die with the sweep queued or sent but not yet
             # processed — death detection is asynchronous, so "up at
@@ -780,15 +857,21 @@ class Router:
             client.push(encode_error(f"swap failed: {exc}", t=request.t))
             return
         pinned = f"{name}@{version}"
+        user_prefix = f"{client.id}:{request.user}"
         line = json.dumps(
             {
                 "op": "swap",
-                "user": f"{client.id}:{request.user}",
+                "user": user_prefix,
                 "model": pinned,
                 "t": request.t,
             }
         )
         self._broadcast(line)
+        # One history entry at the base sequence: per-link journal seqs
+        # are consecutive (no session line lands between them), so any
+        # record entry is entirely before or entirely after this swap —
+        # comparing against the base is exact.
+        self._swap_history.append((self._seq, user_prefix, pinned))
         for link in self.links.values():
             if link.shard not in self.retired:
                 link.swaps.append((self._seq, line))
@@ -831,10 +914,215 @@ class Router:
         between send and processing still replays the eviction."""
         link = self.links[shard]
         line = json.dumps({"op": "sweep", "max_idle": max_idle})
+        self._sweeps_broadcast += 1
         if link.state == "up":
             link.queue.put_nowait(line)
         if shard not in self.retired:
             self._journal_sweep(link, line)
+
+    # -- live migration ------------------------------------------------------
+
+    async def quiesce(self) -> None:
+        """The migration freeze: wait until every live worker has
+        answered everything queued to it so far.
+
+        A ``stats`` probe is enqueued per link *after* whatever is
+        already queued, so each worker's reply proves it processed the
+        lot — in particular, every broadcast sweep's evictions have
+        come back and their terminal records are dropped.  Sweeps are
+        the one op replay cannot repair: a pool-wide ``evict_idle``
+        re-run on a warm destination could evict bystander sessions, so
+        a migration must never leave a sweep's outcome for a session
+        unresolved.  The loop re-runs the round whenever a new sweep
+        was broadcast (or a worker (re)connected — its journal replay
+        re-enqueues sweeps) while a round was in flight; once it
+        returns, the caller's continuation runs in the same synchronous
+        task step, so a migration started immediately after cannot race
+        anything.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            mark = (
+                self._sweeps_broadcast,
+                sum(link.ups for link in self.links.values()),
+            )
+            futures = []
+            for link in self.links.values():
+                if link.state == "up":
+                    fut = loop.create_future()
+                    link.pending_stats.append(fut)
+                    link.queue.put_nowait('{"op": "stats"}')
+                    futures.append(fut)
+            if futures:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.gather(*futures), timeout=self.stats_timeout
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            if mark == (
+                self._sweeps_broadcast,
+                sum(link.ups for link in self.links.values()),
+            ):
+                return
+
+    def _pinned_model(self, record: SessionRecord) -> str | None:
+        """The model label ``record``'s session bound when it opened.
+
+        Scans the swap history for entries routed before the session's
+        first journal entry, matching the pool's own resolution rule —
+        longest ``client:user`` prefix wins, last write per prefix wins.
+        Returns ``""`` when swaps touching the key exist but none
+        preceded the open (the session bound the default model, which a
+        warm destination would *not* give it), and ``None`` when no
+        swap has ever matched the key — then no pin is needed at all.
+        """
+        history = self._swap_history
+        if not history:
+            return None
+        key = record.key
+        first = record.entries[0][0] if record.entries else self._seq
+        matched = False
+        best_len = -1
+        best = ""
+        for seq, prefix, label in history:
+            if not key.startswith(prefix):
+                continue
+            matched = True
+            if seq >= first:
+                continue
+            n = len(prefix)
+            # >= so a later swap on the same prefix overwrites, while a
+            # later swap on a *shorter* prefix never shadows a longer
+            # match — exactly SessionPool's assignment semantics.
+            if n >= best_len:
+                best_len = n
+                best = label
+        if not matched:
+            return None
+        return best
+
+    def _migrate(self, record: SessionRecord, dest: str) -> None:
+        """Move one live session to ``dest`` — atomically, byte-exactly.
+
+        This is crash replay aimed at a planned move, and it is fully
+        synchronous: between reading the record and re-pointing it, no
+        reply can interleave, so the suppression count is exact.  The
+        destination replays the session's journal (plus a one-shot
+        ``pin`` so it re-binds the model the session opened under, not
+        the destination's present-day assignment) and suppresses the
+        first ``delivered`` replies; the source gets a ``release`` and
+        any reply it had in flight is dropped until the release ack.
+        """
+        src = record.shard
+        if dest == src:
+            return
+        t0 = perf_counter()
+        extras: list[tuple[int, str]] = []
+        pinned = self._pinned_model(record)
+        if pinned is not None and record.entries:
+            # One seq below the first entry: the pin lands before the
+            # session's down (and before its clock marker, which is
+            # harmless — pins do not interact with the clock).
+            extras.append(
+                (
+                    record.entries[0][0] - 1,
+                    json.dumps(
+                        {"op": "pin", "stroke": record.key, "model": pinned}
+                    ),
+                )
+            )
+        final_t = None if self._clock == _NEG_INF else self._clock
+        lines = replay_lines([record], extras, final_t=final_t)
+        record.skip = record.delivered
+        record.shard = dest
+        dest_link = self.links[dest]
+        if dest_link.state == "up":
+            for line in lines:
+                dest_link.queue.put_nowait(line)
+        # A down destination is fine: the record now belongs to it, so
+        # its next worker_up cold-replays the journal — and a cold
+        # replay needs no pin (the shard's full swap journal re-derives
+        # the binding in original order).
+        src_link = self.links[src]
+        if src_link.state == "up":
+            src_link.queue.put_nowait(
+                json.dumps({"op": "release", "stroke": record.key})
+            )
+            src_link.released.add(record.key)
+        # A down source needs nothing: its replacement starts empty and
+        # its replay skips this record (record.shard is dest now).
+        self._count("cluster.migrations")
+        if self._migration_seconds is not None:
+            self._migration_seconds.observe(perf_counter() - t0)
+
+    def migrate_off(self, shard: str) -> None:
+        """Migrate every live session off ``shard`` (drain's data move).
+
+        Destinations follow the ring's skip spill — identical to where
+        each key would have landed had the shard never existed, so a
+        later ``retire`` (shard stays in the ring, lookups skip it)
+        changes no route.
+        """
+        skip = self.draining | self.retired | {shard}
+        for record in list(self.sessions.values()):
+            if record.shard == shard:
+                self._migrate(record, self.ring.lookup(record.key, skip=skip))
+
+    def rebalance(self, new_ring: HashRing) -> None:
+        """Adopt ``new_ring`` and migrate exactly the sessions it moves.
+
+        Each record's ``shard`` is its *effective* route (spills
+        included), so comparing it against the new ring's effective
+        lookup moves the provably-minimal session set — the same set
+        :meth:`HashRing.plan_rebalance` plans.
+        """
+        self.ring = new_ring
+        shards = set(new_ring.shards)
+        skip = frozenset(s for s in self.draining | self.retired if s in shards)
+        for record in list(self.sessions.values()):
+            dest = new_ring.lookup(record.key, skip=skip)
+            if dest != record.shard:
+                self._migrate(record, dest)
+
+    def add_shard(self, shard: str) -> None:
+        """Register a joining worker's link (the ring is untouched until
+        :meth:`rebalance` — callers add the shard there once the worker
+        is connected, so sessions never migrate toward a cold gap).
+
+        The new link inherits the fleet's swap journal: swaps bind
+        sessions that do not exist yet, and every non-retired link
+        carries the identical journal, so any one of them seeds it.
+        """
+        if shard in self.links:
+            raise ValueError(f"shard already known: {shard}")
+        link = _WorkerLink(shard)
+        for other in self.links.values():
+            if other.shard not in self.retired:
+                link.swaps = list(other.swaps)
+                break
+        self.links[shard] = link
+
+    def load_sample(self) -> dict:
+        """A synchronous load snapshot for the autoscaler: live shard
+        count, session totals, and the deepest outbound worker queue."""
+        live = [
+            s
+            for s in self.links
+            if s not in self.retired and s not in self.draining
+        ]
+        max_queue = 0
+        for shard in live:
+            queue = self.links[shard].queue
+            if queue is not None and len(queue.items) > max_queue:
+                max_queue = len(queue.items)
+        sessions = len(self.sessions)
+        return {
+            "shards": len(live),
+            "sessions": sessions,
+            "sessions_per_shard": sessions / max(1, len(live)),
+            "max_queue_depth": max_queue,
+        }
 
     # -- stats and admin -----------------------------------------------------
 
@@ -885,8 +1173,9 @@ class Router:
     def status(self) -> dict:
         shards = {}
         supervisor = self.supervisor_status() if self.supervisor_status else {}
-        for shard in self.ring.shards:
-            link = self.links[shard]
+        # Iterate the links, not the ring: a joining shard has a link
+        # before its first rebalance puts it on the ring.
+        for shard, link in self.links.items():
             info = {
                 "state": link.state,
                 "ups": link.ups,
@@ -915,8 +1204,27 @@ class Router:
             reply.update(self.status())
             client.push(json.dumps(reply))
             return
+        if payload["op"] == "scale":
+            workers = payload.get("workers")
+            if (
+                isinstance(workers, bool)
+                or not isinstance(workers, int)
+                or workers < 1
+            ):
+                client.push(encode_error("scale needs a positive workers count"))
+                return
+            if self.scale_hook is None:
+                client.push(encode_error("scale unavailable: no supervisor"))
+                return
+            asyncio.get_running_loop().create_task(self.scale_hook(workers))
+            client.push(
+                json.dumps(
+                    {"kind": "scale", "workers": workers, "status": "started"}
+                )
+            )
+            return
         shard = payload.get("shard")
-        if shard not in self.ring.shards:
+        if shard not in self.links:
             client.push(encode_error(f"unknown shard: {shard!r}"))
             return
         if shard in self.draining or shard in self.retired:
@@ -925,7 +1233,7 @@ class Router:
         if self.drain_hook is None:
             client.push(encode_error("drain unavailable: no supervisor"))
             return
-        live = {s for s in self.ring.shards if s not in self.draining | self.retired}
+        live = {s for s in self.links if s not in self.draining | self.retired}
         if len(live) <= 1:
             client.push(encode_error("cannot drain the last live shard"))
             return

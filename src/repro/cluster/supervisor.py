@@ -84,8 +84,10 @@ class Supervisor:
         quality: bool = False,
         quality_sample: float = 1.0,
         quality_seed: int = 0,
+        model_cache: int | None = None,
     ):
         self.recognizer_path = str(recognizer_path)
+        self.model_cache = model_cache
         self.registry = None if registry is None else str(registry)
         # Quality telemetry flags, replicated to every worker (and to
         # every restart of one): the sampling hash is keyed on the
@@ -129,6 +131,19 @@ class Supervisor:
         for task in monitors:
             with suppress(asyncio.CancelledError):
                 await task
+
+    async def add_shard(self, shard: str) -> None:
+        """Scale-out path: spawn a brand-new shard and wait until ready.
+
+        The caller registers the shard with the router first (so the
+        ready line's ``on_up`` finds a link to connect), then folds it
+        into the ring once this returns.
+        """
+        if shard in self.workers:
+            raise ValueError(f"shard already known: {shard}")
+        self.shards = self.shards + (shard,)
+        self.workers[shard] = WorkerHandle(shard)
+        await self._spawn(shard)
 
     async def retire(self, shard: str) -> None:
         """Drain path: terminate ``shard`` and never restart it."""
@@ -182,6 +197,7 @@ class Supervisor:
             quality=self.quality,
             quality_sample=self.quality_sample,
             quality_seed=self.quality_seed,
+            model_cache=self.model_cache,
         )
         loop = asyncio.get_running_loop()
         handle.proc = await asyncio.create_subprocess_exec(

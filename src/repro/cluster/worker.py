@@ -51,6 +51,7 @@ def worker_command(
     quality: bool = False,
     quality_sample: float = 1.0,
     quality_seed: int = 0,
+    model_cache: int | None = None,
 ) -> list[str]:
     """The argv the supervisor spawns for one worker."""
     cmd = [
@@ -76,6 +77,8 @@ def worker_command(
         cmd.append("--no-metrics")
     if registry is not None:
         cmd += ["--registry", str(registry)]
+    if model_cache is not None:
+        cmd += ["--model-cache", str(model_cache)]
     if not lp1:
         cmd.append("--no-lp1")
     if quality:
@@ -130,6 +133,7 @@ async def _amain(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         observer=observer,
         registry=args.registry,
+        model_cache=args.model_cache,
         allow_lp1=not args.no_lp1,
     )
     await server.start()
@@ -188,6 +192,14 @@ def main(argv: list[str] | None = None) -> int:
         help="model registry directory enabling swap ops",
     )
     parser.add_argument(
+        "--model-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound swapped-in models resident per pool to N, LRU-"
+        "evicted and reloaded from the registry on next use",
+    )
+    parser.add_argument(
         "--no-lp1",
         action="store_true",
         help="refuse lp1 framing negotiation (NDJSON only — the legacy"
@@ -218,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.quality and args.no_metrics:
         parser.error("--quality needs metrics; drop --no-metrics")
+    if args.model_cache is not None and args.registry is None:
+        parser.error("--model-cache needs --registry to reload from")
     try:
         return asyncio.run(_amain(args))
     except KeyboardInterrupt:

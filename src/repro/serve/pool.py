@@ -85,7 +85,7 @@ __all__ = ["DEFAULT_IDLE_TIMEOUT", "Decision", "SessionPool"]
 DEFAULT_IDLE_TIMEOUT = 30.0
 
 # Entry tags used inside a processing round (see _run_round).
-_ERROR, _DECIDED, _FINISH, _COMMIT, _KILL = 0, 1, 2, 3, 4
+_ERROR, _DECIDED, _FINISH, _COMMIT, _KILL, _RELEASE = 0, 1, 2, 3, 4, 5
 
 
 @dataclass(frozen=True)
@@ -169,6 +169,8 @@ class SessionPool:
         max_sessions: int = 4096,
         batched: bool = True,
         observer=None,
+        max_models: int | None = None,
+        model_loader=None,
     ):
         self.recognizer = recognizer
         self.clock = clock if clock is not None else VirtualClock()
@@ -211,9 +213,25 @@ class SessionPool:
         self._model_cache: dict[int, _PoolModel] = {
             id(recognizer): self._default_model
         }
-        self._assign: dict[str, _PoolModel] = {}
+        self._assign: dict[str, _PoolModel | str] = {}
         self._swapped = False
         self._min_floor = recognizer.min_points
+        # Bound on *swapped-in* models resident at once (the default
+        # model is never counted or evicted).  Past the bound the
+        # least-recently-used model is dropped and its prefix
+        # assignments degrade to label strings; `_model_for` reloads a
+        # marker through `model_loader` (label -> recognizer) on the
+        # next session open, so eviction never changes a decision —
+        # registry models are content-addressed and reload bit-equal.
+        if max_models is not None and model_loader is None:
+            raise ValueError("max_models needs a model_loader to reload from")
+        self._max_models = max_models
+        self._model_loader = model_loader
+        self.model_evictions = 0
+        # One-shot model pins consumed at the key's next session open —
+        # how a migrated-in session keeps the model it originally
+        # opened under, regardless of swaps applied here since.
+        self._pins: dict[str, _PoolModel] = {}
         # Slot -> session table, so the candidate scan after a batched
         # tick recovers sessions without any per-operation bookkeeping.
         self._slot_session: list = [None] * max_sessions if batched else []
@@ -257,6 +275,26 @@ class SessionPool:
         already buffered ahead of the kill is still applied first.
         """
         self._ops.append((t, (("kill", key, 0.0, 0.0),)))
+
+    def release(self, key: str, t: float) -> None:
+        """Silently forget session ``key`` (live migration handoff).
+
+        Unlike :meth:`kill` no decision is emitted — the session now
+        lives elsewhere and its byte stream must come from there alone.
+        Ordered with the other buffered operations; releasing a key
+        with no session is a silent no-op.
+        """
+        self._ops.append((t, (("release", key, 0.0, 0.0),)))
+
+    def pin(self, key: str, recognizer, t: float, label: str = "") -> None:
+        """One-shot model pin for ``key``'s *next* session open.
+
+        The pin binds exactly one future session of exactly this key to
+        ``recognizer`` (``None`` pins the default model), overriding the
+        prefix assignments a :meth:`swap_model` would consult, then
+        expires.  Buffered and ordered like every other operation.
+        """
+        self._ops.append((t, (("pin", key, recognizer, label),)))
 
     def swap_model(
         self,
@@ -441,10 +479,15 @@ class SessionPool:
                     # governs sessions opened from here on.
                     self._apply_swap(key, x, y, t)
                     continue
+                if kind == "pin":
+                    # x = recognizer (None = default), y = label.
+                    self._apply_pin(key, x, y)
+                    continue
                 session = sget(key)
                 if session is None:
                     if kind != "down":
-                        if kind != "kill":  # killing a dead key: no-op
+                        # killing or releasing a dead key: no-op
+                        if kind != "kill" and kind != "release":
                             entries.append(
                                 (len(fed_slots), _ERROR, key, t, "unknown stroke")
                             )
@@ -456,8 +499,11 @@ class SessionPool:
                         continue
                     session = _Session(key, t)
                     session.stamp = stamp
+                    pinned = self._pins.pop(key, None) if self._pins else None
                     session.model = (
-                        self._model_for(key)
+                        pinned
+                        if pinned is not None
+                        else self._model_for(key)
                         if self._swapped
                         else self._default_model
                     )
@@ -483,6 +529,10 @@ class SessionPool:
                             entries.append(
                                 (len(fed_slots), _KILL, session, t)
                             )
+                        elif kind == "release":
+                            entries.append(
+                                (len(fed_slots), _RELEASE, session, t)
+                            )
                         else:
                             # Manipulation phase: refresh activity and
                             # count the sample toward the whole stroke.
@@ -498,6 +548,10 @@ class SessionPool:
                         elif kind == "kill":
                             entries.append(
                                 (len(fed_slots), _KILL, session, t)
+                            )
+                        elif kind == "release":
+                            entries.append(
+                                (len(fed_slots), _RELEASE, session, t)
                             )
                         else:
                             entries.append(
@@ -726,7 +780,7 @@ class SessionPool:
                 quality.closed(
                     session.key, session.decided_points + session.manip
                 )
-        else:  # _KILL
+        elif tag == _KILL:
             _, _, session, t = entry
             if self.batched and not session.decided:
                 session.count = self._bank.count_of(session.slot)
@@ -747,35 +801,107 @@ class SessionPool:
                 quality.closed(
                     session.key, session.decided_points + session.manip
                 )
+        else:  # _RELEASE: the session migrated away — forget, emit nothing
+            _, _, session, _t = entry
+            self._remove(session)
+            if quality is not None:
+                quality.closed(
+                    session.key, session.decided_points + session.manip
+                )
 
     # -- helpers -------------------------------------------------------------
 
-    def _apply_swap(
-        self, prefix: str, recognizer: EagerRecognizer, label: str, t: float
-    ) -> None:
-        model = self._model_cache.get(id(recognizer))
+    def _resident_model(
+        self, recognizer: EagerRecognizer, label: str
+    ) -> _PoolModel:
+        """The shared ``_PoolModel`` for ``recognizer``, LRU-maintained."""
+        cache = self._model_cache
+        model = cache.get(id(recognizer))
         if model is None:
             evaluator = BatchEvaluator(recognizer) if self.batched else None
             if evaluator is not None:
                 evaluator.profiler = self._profiler
             model = _PoolModel(recognizer, evaluator, label)
-            self._model_cache[id(recognizer)] = model
+            cache[id(recognizer)] = model
+            self._evict_models()
         else:
             model.label = label
-        self._assign[prefix] = model
-        self._swapped = True
+            if self._max_models is not None and model is not self._default_model:
+                # Refresh recency: dict order is the LRU order.
+                cache[id(recognizer)] = cache.pop(id(recognizer))
         if recognizer.min_points < self._min_floor:
             self._min_floor = recognizer.min_points
+        return model
+
+    def _evict_models(self) -> None:
+        """Drop least-recently-used swapped-in models past the bound.
+
+        Assignments to an evicted model degrade to its label string;
+        :meth:`_model_for` reloads the label through ``model_loader`` on
+        the next session open.  Sessions in flight keep their direct
+        model reference, so eviction never touches a live gesture.
+        ``_min_floor`` is left alone — stale-low only over-selects
+        candidates (each is re-checked against its own model's exact
+        threshold); raising it could miss a decision.
+        """
+        bound = self._max_models
+        if bound is None:
+            return
+        cache = self._model_cache
+        default = self._default_model
+        while len(cache) - (id(self.recognizer) in cache) > bound:
+            victim = None
+            for mid, model in cache.items():
+                if model is not default:
+                    victim = (mid, model)
+                    break
+            if victim is None:
+                return
+            mid, model = victim
+            del cache[mid]
+            self.model_evictions += 1
+            for prefix, assigned in self._assign.items():
+                if assigned is model:
+                    self._assign[prefix] = model.label
+
+    def _apply_swap(
+        self, prefix: str, recognizer: EagerRecognizer, label: str, t: float
+    ) -> None:
+        self._assign[prefix] = self._resident_model(recognizer, label)
+        self._swapped = True
         if self._on_swap is not None:
             self._on_swap(prefix, label, t)
 
+    def _apply_pin(self, key: str, recognizer, label: str) -> None:
+        if recognizer is None:
+            self._pins[key] = self._default_model
+            return
+        self._pins[key] = self._resident_model(recognizer, label)
+        # A pinned non-default model must route evaluation through the
+        # grouped path even if no swap ever ran here.
+        self._swapped = True
+
     def _model_for(self, key: str) -> _PoolModel:
         """The model a session opening under ``key`` pins (longest prefix)."""
-        best = self._default_model
+        best: _PoolModel | str = self._default_model
         best_len = -1
         for prefix, model in self._assign.items():
             if len(prefix) > best_len and key.startswith(prefix):
                 best, best_len = model, len(prefix)
+        if type(best) is str:
+            # An evicted assignment: reload the label and re-materialize
+            # every prefix that degraded to it.
+            recognizer = self._model_loader(best)
+            model = self._resident_model(recognizer, best)
+            for prefix, assigned in self._assign.items():
+                if assigned == best and type(assigned) is str:
+                    self._assign[prefix] = model
+            return model
+        if self._max_models is not None and best is not self._default_model:
+            cache = self._model_cache
+            mid = id(best.recognizer)
+            if mid in cache:
+                cache[mid] = cache.pop(mid)
         return best
 
     def _decide(self, session: _Session, name: str, eager: bool) -> None:

@@ -40,6 +40,16 @@ byte streams are untouched (see :meth:`~repro.serve.SessionPool.
 swap_model`).  The server acks with a ``swap`` reply carrying the
 resolved ``name@version``.
 
+Two further ops are *internal* — the cluster router speaks them to its
+workers during live session migration and rejects them from clients:
+``release`` (``{"op": "release", "stroke": "s1"}``) silently forgets a
+session that migrated away (acked with ``{"kind": "released", ...}``,
+never a decision), and ``pin`` (``{"op": "pin", "stroke": "s1",
+"model": "name@version"}``) one-shot-pins the model the stroke's *next*
+session open must bind — how a migrated session keeps the historical
+model it opened under, even though the destination pool's per-user
+assignments have since moved on (``model: ""`` pins the default).
+
 Replies (server → client)::
 
     {"kind": "recog", "stroke": "s1", "class": "delete", "eager": true,
@@ -72,10 +82,10 @@ __all__ = [
     "encode_swap",
 ]
 
-_OPS = ("down", "move", "up", "tick", "sweep", "stats", "swap")
+_OPS = ("down", "move", "up", "tick", "sweep", "stats", "swap", "release", "pin")
 
 # Ops that may omit ``t`` (it defaults to 0.0, a virtual-clock no-op).
-_OPTIONAL_T = ("sweep", "stats")
+_OPTIONAL_T = ("sweep", "stats", "release", "pin")
 
 
 class ProtocolError(ValueError):
@@ -147,6 +157,18 @@ def decode_payload(payload) -> Request:
     stroke = payload.get("stroke")
     if not isinstance(stroke, str) or not stroke:
         raise ProtocolError("missing stroke id")
+    if op == "release":
+        # Internal (router → worker only): silently forget a session
+        # that migrated away.  Carries no point, produces no decision.
+        return Request(op=op, t=t, stroke=stroke)
+    if op == "pin":
+        # Internal (router → worker only): one-shot model pin for the
+        # stroke's *next* session open.  ``model`` may be "" (default
+        # model) — unlike swap, which always names a registry model.
+        model = payload.get("model", "")
+        if not isinstance(model, str):
+            raise ProtocolError("missing pin model")
+        return Request(op=op, t=t, stroke=stroke, model=model)
     try:
         x = float(payload["x"])
         y = float(payload["y"])

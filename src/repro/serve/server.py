@@ -148,13 +148,28 @@ class GestureServer:
         fault_injector=None,
         registry=None,
         allow_lp1: bool = True,
+        model_cache: int | None = None,
+        record=None,
     ):
+        # Model source for `swap`/`pin` requests: a ModelRegistry, a
+        # registry root path, or None (those ops are then rejected with
+        # an error reply — a server without a registry still speaks the
+        # full protocol).
+        if registry is not None and not hasattr(registry, "load"):
+            from .registry import ModelRegistry
+
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        if model_cache is not None and registry is None:
+            raise ValueError("model_cache needs a registry to reload from")
         self.pool = SessionPool(
             recognizer,
             timeout=timeout,
             max_sessions=max_sessions,
             batched=batched,
             observer=observer,
+            max_models=model_cache,
+            model_loader=self._load_label if model_cache is not None else None,
         )
         self.host = host
         self.port = port
@@ -168,15 +183,19 @@ class GestureServer:
         self.busy_s = 0.0
         self.observer = observer
         self.fault_injector = fault_injector
-        # Model source for `swap` requests: a ModelRegistry, a registry
-        # root path, or None (swaps are then rejected with an error
-        # reply — a server without a registry still speaks the full
-        # protocol).
-        if registry is not None and not hasattr(registry, "load"):
-            from .registry import ModelRegistry
-
-            registry = ModelRegistry(registry)
-        self.registry = registry
+        # Optional traffic journal: every applied down/move/up is
+        # written as an adapt-harvest ``{"rec": "op", ...}`` record, so
+        # a live server feeds `repro adapt` directly — no loadgen
+        # `--record` replay needed.  Post-fault: the journal holds what
+        # the recognizer actually saw.
+        self._record = None
+        self._record_owned = False
+        if record is not None:
+            if hasattr(record, "write"):
+                self._record = record
+            else:
+                self._record = open(record, "w")
+                self._record_owned = True
         # Largest timestamp seen anywhere on the input stream, across
         # pump batches.  Barriers advance the pool clock to this value,
         # so when a timeout fires depends only on line order, never on
@@ -216,6 +235,11 @@ class GestureServer:
             with suppress(asyncio.CancelledError):
                 await self._pump_task
             self._pump_task = None
+        if self._record is not None:
+            self._record.flush()
+            if self._record_owned:
+                self._record.close()
+            self._record = None
 
     # -- the in-process API ---------------------------------------------------
 
@@ -244,7 +268,7 @@ class GestureServer:
     def _fault_key(item: tuple[Channel, Request]) -> str | None:
         """Session key of one pump item; None exempts it from faults."""
         channel, request = item
-        if request.op in ("tick", "sweep", "stats", "swap"):
+        if request.op in ("tick", "sweep", "stats", "swap", "release", "pin"):
             return None
         return f"{channel.id}/{request.stroke}"
 
@@ -275,6 +299,7 @@ class GestureServer:
         dirty = False  # pool input buffered since the last barrier
         stats_requests: list[Channel] = []
         decisions: list[Decision] = []
+        released: list[tuple[Channel, str]] = []
         for channel, request in live:
             op = request.op
             if op == "stats":
@@ -295,12 +320,42 @@ class GestureServer:
                     self._close_channel(channel)
                 continue
             key = f"{channel.id}/{request.stroke}"
+            if op == "release":
+                # Migration handoff: forget the session silently, then
+                # ack *after* this batch's decisions route — the ack
+                # orders behind any still-in-flight reply for the key.
+                self.pool.release(key, request.t)
+                dirty = True
+                released.append((channel, request.stroke))
+                continue
+            if op == "pin":
+                line, applied = self._pin(channel, key, request)
+                dirty = dirty or applied
+                if line is not None:
+                    if not channel.closed and not channel._push(line):
+                        self._close_channel(channel)
+                continue
             if op == "down":
                 self.pool.down(key, request.x, request.y, request.t)
             elif op == "move":
                 self.pool.move(key, request.x, request.y, request.t)
             else:
                 self.pool.up(key, request.x, request.y, request.t)
+            if self._record is not None:
+                self._record.write(
+                    json.dumps(
+                        {
+                            "rec": "op",
+                            "op": op,
+                            "user": channel.id,
+                            "stroke": key,
+                            "x": request.x,
+                            "y": request.y,
+                            "t": request.t,
+                        }
+                    )
+                    + "\n"
+                )
             dirty = True
             if request.t > latest:
                 latest = request.t
@@ -314,6 +369,12 @@ class GestureServer:
             decisions.extend(self.pool.flush())
         for decision in decisions:
             self._route(decision)
+        for channel, stroke in released:
+            line = json.dumps({"kind": "released", "stroke": stroke})
+            if not channel.closed and not channel._push(line):
+                self._close_channel(channel)
+        if self._record is not None:
+            self._record.flush()
         if stats_requests:
             observer = self.observer
             snapshot = (
@@ -364,6 +425,46 @@ class GestureServer:
             f"{channel.id}/{request.user}", recognizer, request.t, label=label
         )
         return encode_swap(request.user, label, request.t), True
+
+    def _load_label(self, label: str):
+        """Registry loader for the pool's bounded model cache."""
+        name, _, version = label.partition("@")
+        return self.registry.load(name, version or None)
+
+    def _pin(
+        self, channel: Channel, key: str, request: Request
+    ) -> tuple[str | None, bool]:
+        """One-shot model pin for ``key``'s next open; (reply, applied).
+
+        Success is silent — the router replays pins ahead of a migrated
+        journal and absorbs no ack.  ``model: ""`` pins the default
+        model and needs no registry; anything else resolves like a
+        swap, answering an ``error`` reply on failure.
+        """
+        if not request.model:
+            self.pool.pin(key, None, request.t)
+            return None, True
+        if self.registry is None:
+            return (
+                encode_error(
+                    "pin unsupported: no registry",
+                    stroke=request.stroke,
+                    t=request.t,
+                ),
+                False,
+            )
+        name, _, version = request.model.partition("@")
+        try:
+            recognizer = self.registry.load(name, version or None)
+        except (KeyError, OSError, ValueError) as exc:
+            return (
+                encode_error(
+                    f"pin failed: {exc}", stroke=request.stroke, t=request.t
+                ),
+                False,
+            )
+        self.pool.pin(key, recognizer, request.t, label=request.model)
+        return None, True
 
     def _route(self, decision: Decision) -> None:
         channel_id, _, stroke = decision.key.partition("/")

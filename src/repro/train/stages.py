@@ -162,10 +162,12 @@ def run_features(manifest: dict, jobs: int = 1) -> dict:
     """Full-gesture feature vector of every manifest example."""
     items = [(i, ex["points"]) for i, ex in enumerate(manifest["examples"])]
     vectors: list = [None] * len(items)
-    # Featurizing one example is microseconds; below ~32 per worker the
-    # fork/pickle tax exceeds the work, so fan_out degrades toward serial.
+    # Featurizing one example is tens of microseconds, while a forked
+    # worker costs ~10ms before it does anything; a worker needs a few
+    # hundred examples to amortize that, so below 512 per worker
+    # fan_out degrades toward serial rather than losing to it.
     for chunk in fan_out(
-        _featurize_chunk, split_chunks(items, jobs), jobs, min_chunk=32
+        _featurize_chunk, split_chunks(items, jobs), jobs, min_chunk=512
     ):
         for index, vector in chunk:
             vectors[index] = vector
@@ -220,10 +222,11 @@ def run_classifier(features: dict, jobs: int = 1) -> dict:
         by_class[ex["class"]].append(ex["vector"])
     items = [(name, by_class[name]) for name in classes]
     stats: dict[str, dict] = {}
-    # One item = one class (a mean + a BLAS matmul): cheap, and there are
-    # only C of them, so require a couple per worker before forking.
+    # One item = one class (a mean + a BLAS matmul): sub-millisecond,
+    # far below the fork/pickle tax, so this stage only forks on class
+    # counts large enough to give every worker a real batch.
     for chunk in fan_out(
-        _class_stats_chunk, split_chunks(items, jobs), jobs, min_chunk=2
+        _class_stats_chunk, split_chunks(items, jobs), jobs, min_chunk=8
     ):
         for entry in chunk:
             stats[entry["class"]] = entry

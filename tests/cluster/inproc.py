@@ -5,17 +5,19 @@ slow (and makes shrinking miserable), so :class:`InProcessCluster` runs
 the same data plane — a real :class:`~repro.cluster.router.Router` in
 front of N real :class:`~repro.serve.GestureServer` instances — inside
 one event loop, over real TCP sockets.  Nothing is mocked: framing
-negotiation, journaling, replay, drain, and swap broadcast all run the
-production code paths.  Only the supervisor is absent; its two duties
-(restart-on-death, terminate-on-retire) are played by :meth:`crash` and
+negotiation, journaling, replay, migration, drain, join/scale, and
+swap broadcast all run the production code paths.  Only the supervisor
+is absent; its duties (restart-on-death, spawn-on-join,
+terminate-on-retire) are played by :meth:`crash`, :meth:`join`, and
 :meth:`drain`, which drive the router through the exact
-``worker_down`` → ``worker_up`` / retire choreography the supervisor
-would.
+``worker_down`` → ``worker_up`` / rebalance / retire choreography the
+supervisor would.
 
 :func:`drive_script` generalises ``drive_cluster`` from "tick groups"
 to an event *script* — ops, barriers, sweeps, swaps, raw (malformed or
-non-canonical) lines, crashes, drains, connection churn — so a fuzzer
-can interleave faults with traffic at arbitrary positions.
+non-canonical) lines, crashes, drains, joins, scale ops, connection
+churn — so a fuzzer can interleave faults and elastic topology changes
+with traffic at arbitrary positions.
 :func:`reference_script` consumes the same script against a single
 :class:`~repro.serve.SessionPool`, ignoring the fault events (the
 byte-identity invariant says they must be invisible), and predicts the
@@ -73,7 +75,10 @@ class InProcessCluster:
             self.shards, registry=registry, worker_framing=framing
         )
         self.router.drain_hook = self.drain
+        self.router.scale_hook = self.scale_to
         self.servers: dict[str, GestureServer] = {}
+        self._next_worker = workers
+        self._scale_lock = asyncio.Lock()
 
     async def start(self) -> None:
         await self.router.start()
@@ -125,30 +130,48 @@ class InProcessCluster:
         await self._up(shard)
 
     async def drain(self, shard: str) -> None:
-        """The harness drain choreography, minus the subprocess kill."""
+        """The harness drain-by-migration, minus the subprocess kill."""
         if shard in self.router.draining or shard in self.router.retired:
             return
-        loop = asyncio.get_running_loop()
         self.router.draining.add(shard)
-        deadline = loop.time() + self.drain_timeout
-        forced = False
-        while any(
-            r.shard == shard for r in self.router.sessions.values()
-        ):
-            if loop.time() >= deadline:
-                if not forced:
-                    forced = True
-                    deadline = loop.time() + min(5.0, self.drain_timeout)
-                    self.router.force_sweep(shard)
-                else:
-                    self.router.draining.discard(shard)
-                    return
-            await asyncio.sleep(0.02)
+        await self.router.quiesce()
+        self.router.migrate_off(shard)
         await self.router.worker_down(shard)
         server = self.servers.pop(shard, None)
         if server is not None:
             await server.stop()
         self.router.retired.add(shard)
+        self.router.draining.discard(shard)
+
+    async def join(self, shard: str | None = None) -> str:
+        """Scale out by one in-process worker, mirroring Cluster.join."""
+        if shard is None:
+            while shard is None or shard in self.router.links:
+                shard = f"w{self._next_worker}"
+                self._next_worker += 1
+        self.router.add_shard(shard)
+        await self._up(shard)
+        await self.router.quiesce()
+        self.router.rebalance(self.router.ring.with_shard(shard))
+        return shard
+
+    async def scale_to(self, workers: int) -> None:
+        """Walk the live fleet to ``workers``, mirroring Cluster.scale_to."""
+        target = max(1, workers)
+        async with self._scale_lock:
+            while True:
+                live = [
+                    s
+                    for s in self.router.links
+                    if s not in self.router.retired
+                    and s not in self.router.draining
+                ]
+                if len(live) < target:
+                    await self.join()
+                elif len(live) > target:
+                    await self.drain(live[-1])
+                else:
+                    return
 
     async def wait_retired(self, shard: str, timeout: float = 60.0) -> None:
         loop = asyncio.get_running_loop()
@@ -196,6 +219,9 @@ async def drive_script(
     - ``("swap", user, model, t)`` — a model swap request
     - ``("raw", line)`` — a verbatim line (malformed or non-canonical)
     - ``("crash", shard)`` / ``("drain", shard)`` — faults
+    - ``("join",)`` — scale out by one worker (live rebalance migration)
+    - ``("scale", n)`` — the ``{"op": "scale"}`` admin request
+    - ``("wait_workers", n)`` — block until the live fleet counts ``n``
     - ``("churn",)`` — an unrelated connection opens, errs, closes
     - ``("wait_retired", shard)`` — block until a drain completes
 
@@ -265,6 +291,30 @@ async def drive_script(
                 await cluster.crash(event[1])
             elif kind == "drain":
                 await send(json.dumps({"op": "drain", "shard": event[1]}))
+            elif kind == "join":
+                await cluster.join()
+            elif kind == "scale":
+                await send(
+                    json.dumps({"op": "scale", "workers": event[1]})
+                )
+            elif kind == "wait_workers":
+                target = event[1]
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + barrier_timeout
+                while True:
+                    live = [
+                        s
+                        for s in cluster.router.links
+                        if s not in cluster.router.retired
+                        and s not in cluster.router.draining
+                    ]
+                    if len(live) == target:
+                        break
+                    if loop.time() >= deadline:
+                        raise TimeoutError(
+                            f"fleet never reached {target} workers"
+                        )
+                    await asyncio.sleep(0.01)
             elif kind == "churn":
                 await churn_connection(host, port)
             elif kind == "wait_retired":
@@ -308,6 +358,17 @@ def _non_op_reply(line: str, first: bool = False):
         request = decode_payload(payload)
     except ProtocolError as exc:
         return encode_error(str(exc)), None
+    if request.op in ("release", "pin"):
+        # Migration internals: valid protocol, but the router refuses
+        # them from clients (same bytes as Router._route_line).
+        return (
+            encode_error(
+                f"internal op: {request.op}",
+                stroke=request.stroke,
+                t=request.t,
+            ),
+            None,
+        )
     return None, request
 
 
@@ -387,5 +448,17 @@ def reference_script(
                 )
             )
             seen = True
-        # crash / churn / wait_retired: invisible by construction.
+        elif kind == "scale":
+            misc(
+                json.dumps(
+                    {
+                        "kind": "scale",
+                        "workers": event[1],
+                        "status": "started",
+                    }
+                )
+            )
+            seen = True
+        # crash / join / churn / wait_workers / wait_retired: invisible
+        # by construction — topology is not allowed to touch the bytes.
     return replies

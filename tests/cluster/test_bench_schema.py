@@ -170,6 +170,63 @@ def test_obs_bench_source_keeps_the_quality_bound_wired():
     assert 'ratios["metrics"] <= MAX_METRICS_OVERHEAD' in source
 
 
+@pytest.fixture(scope="module")
+def elastic_bench() -> dict:
+    return _load("elastic")
+
+
+def test_elastic_params_pin_the_scale_and_the_bounds(elastic_bench):
+    params = elastic_bench["params"]
+    for key in (
+        "sessions",
+        "workers_before",
+        "workers_after",
+        "ring_replicas",
+        "seed",
+        "move_ratio_bound",
+        "p99_bound_s",
+    ):
+        assert key in params, f"params lost {key!r}"
+    assert params["sessions"] >= 256  # the tentpole's stated scale
+    assert params["workers_before"] < params["workers_after"]
+    assert 1.0 <= params["move_ratio_bound"] <= 1.25
+
+
+def test_elastic_results_respect_the_asserted_envelope(elastic_bench):
+    """The committed artifact satisfies its own run-time assertions.
+
+    A regressed resharding economy or migration latency cannot be
+    checked in: the recorded movement must stay within the bound the
+    bench enforces, every mid-stroke session must have survived, and
+    the derived ratio must be consistent with the recorded counts.
+    """
+    params, results = elastic_bench["params"], elastic_bench["results"]
+    assert results["byte_identical"] is True
+    assert results["dropped_strokes"] == 0
+    assert results["keys_moved"] > 0
+    assert results["migrations"] > 0
+    assert results["min_moves"] > 0
+    assert math.isclose(
+        results["move_ratio"],
+        results["keys_moved"] / results["min_moves"],
+        rel_tol=0.01,
+    ), "move_ratio inconsistent with keys_moved / min_moves"
+    assert results["move_ratio"] <= params["move_ratio_bound"]
+    assert 0 < results["migration_p99_s"] <= params["p99_bound_s"]
+    assert results["scale_out_s"] > 0
+
+
+def test_elastic_bench_source_keeps_the_invariants_wired():
+    """Byte-identity, the movement bound, the p99 bound, and the
+    zero-drop assertion must stay asserted at run time."""
+    source = (REPO_ROOT / "benchmarks" / "bench_elastic.py").read_text()
+    assert "assert replies == reference" in source
+    assert "move_ratio <= MOVE_RATIO_BOUND" in source
+    assert "p99_s <= P99_BOUND_S" in source
+    assert "assert dropped == 0" in source
+    assert 'stats["cluster"]["sessions"] == 0' in source
+
+
 def test_bench_source_keeps_the_invariants_wired():
     """The bench must keep asserting what the artifact claims.
 

@@ -41,3 +41,31 @@ def test_cluster_subcommand_needs_one_recognizer_source():
     with pytest.raises(SystemExit) as exc:
         main(["cluster", "--workers", "2"])
     assert "exactly one" in str(exc.value)
+
+
+def test_serve_model_cache_requires_a_registry():
+    with pytest.raises(SystemExit) as exc:
+        main(
+            [
+                "serve",
+                "--family", "directions",
+                "--examples", "2",
+                "--model-cache", "2",
+            ]
+        )
+    assert "--registry" in str(exc.value)
+
+
+def test_cluster_rejects_inverted_scale_bounds(tmp_path):
+    # Cluster.__init__ validates the bounds before any worker spawns;
+    # the CLI surfaces that as a clean error, not a live fleet.
+    with pytest.raises(ValueError, match="max_workers"):
+        main(
+            [
+                "cluster",
+                "--family", "directions",
+                "--examples", "2",
+                "--min-workers", "4",
+                "--max-workers", "2",
+            ]
+        )

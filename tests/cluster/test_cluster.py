@@ -356,20 +356,17 @@ def test_monitor_survives_on_up_connection_failure(recognizer_path):
     assert restarts >= 1
 
 
-def test_drain_deadline_forces_idle_eviction(recognizer_path):
-    # Review regression: drain used to poll forever, so a client that
-    # opened a session and went silent stalled the drain permanently —
-    # with the shard stuck "draining" and un-drainable again.  Now the
-    # deadline force-sweeps the shard: the parked session is evicted
-    # (the client told, like any idle eviction) and the drain completes.
+def test_drain_migrates_parked_sessions_instead_of_evicting(recognizer_path):
+    # A client that opened a session and went silent used to stall the
+    # drain until a deadline force-sweep evicted it.  Drain is now
+    # migration: the parked session moves to a survivor immediately,
+    # the shard retires promptly, nobody is evicted, and the stroke can
+    # still finish afterwards on its new shard.
     victim = shard_of("s0", 2)
 
     async def run():
         async with Cluster(
-            recognizer_path,
-            workers=2,
-            timeout=DEFAULT_TIMEOUT,
-            drain_timeout=0.25,
+            recognizer_path, workers=2, timeout=DEFAULT_TIMEOUT
         ) as cluster:
             host, port = cluster.address
             reader, writer = await asyncio.open_connection(host, port)
@@ -383,39 +380,45 @@ def test_drain_deadline_forces_idle_eviction(recognizer_path):
                 await asyncio.wait_for(reader.readline(), 30)
             )
             assert drain_reply["status"] == "started"
-            # This client never finishes its stroke; the forced sweep
-            # must end the session for it.
-            evict = json.loads(await asyncio.wait_for(reader.readline(), 30))
             loop = asyncio.get_running_loop()
             deadline = loop.time() + 30
             while victim not in cluster.router.retired:
                 assert loop.time() < deadline
                 await asyncio.sleep(0.02)
+            # The parked session survived the drain, on another shard.
+            record = cluster.router.sessions["k1:s0"]
+            assert record.shard != victim
+            # ...and the client can still finish the stroke there.
+            writer.write(
+                b'{"op": "move", "stroke": "s0", "x": 15, "y": 0, "t": 0.1}\n'
+                b'{"op": "up", "stroke": "s0", "x": 30, "y": 0, "t": 0.2}\n'
+                b'{"op": "tick", "t": 0.2}\n'
+            )
+            await writer.drain()
+            reply = json.loads(await asyncio.wait_for(reader.readline(), 30))
             writer.close()
             await writer.wait_closed()
-            return evict, cluster.metrics.snapshot()
+            return reply, cluster.metrics.snapshot()
 
-    evict, snapshot = asyncio.run(run())
-    assert evict["kind"] == "evict"
-    assert evict["stroke"] == "s0"
-    assert snapshot["counters"]["cluster.drains_forced"] == 1
-    assert "cluster.drain_aborts" not in snapshot["counters"]
+    reply, snapshot = asyncio.run(run())
+    assert reply["stroke"] == "s0"
+    assert reply["kind"] not in ("evict", "error")
+    assert snapshot["counters"]["cluster.migrations"] == 1
+    assert snapshot["histograms"]["cluster.migration_seconds"]["count"] == 1
     assert snapshot["histograms"]["cluster.drain_seconds"]["count"] == 1
+    assert "cluster.drains_forced" not in snapshot["counters"]
 
 
-def test_drain_aborts_when_shard_cannot_be_emptied(recognizer_path):
-    # The force-sweep escalation cannot help when the shard's worker is
-    # gone for good (here: killed with respawn disabled).  The drain
-    # must then give the shard back — abort, not retire — and leave it
-    # re-drainable instead of stuck "draining" forever.
+def test_drain_completes_without_the_source_worker(recognizer_path):
+    # Migration never needs the source worker: the journals live in the
+    # router.  Kill the shard's process with respawn disabled, then
+    # drain it — the parked session still moves (its journal replays
+    # into the destination) and the drain still completes.
     victim = shard_of("s0", 2)
 
     async def run():
         async with Cluster(
-            recognizer_path,
-            workers=2,
-            timeout=DEFAULT_TIMEOUT,
-            drain_timeout=0.2,
+            recognizer_path, workers=2, timeout=DEFAULT_TIMEOUT
         ) as cluster:
             host, port = cluster.address
             reader, writer = await asyncio.open_connection(host, port)
@@ -439,24 +442,27 @@ def test_drain_aborts_when_shard_cannot_be_emptied(recognizer_path):
             await writer.drain()
             reply = json.loads(await asyncio.wait_for(reader.readline(), 30))
             assert reply["status"] == "started"
-            while (
-                "cluster.drain_aborts"
-                not in cluster.metrics.snapshot()["counters"]
-            ):
+            while victim not in cluster.router.retired:
                 assert loop.time() < deadline
                 await asyncio.sleep(0.02)
-            # Aborted: not retired, not draining — re-drainable.
-            assert victim not in cluster.router.retired
-            assert victim not in cluster.router.draining
+            record = cluster.router.sessions["k1:s0"]
+            assert record.shard != victim
+            writer.write(
+                b'{"op": "move", "stroke": "s0", "x": 15, "y": 0, "t": 0.1}\n'
+                b'{"op": "up", "stroke": "s0", "x": 30, "y": 0, "t": 0.2}\n'
+                b'{"op": "tick", "t": 0.2}\n'
+            )
+            await writer.drain()
+            reply = json.loads(await asyncio.wait_for(reader.readline(), 30))
             writer.close()
             await writer.wait_closed()
-            return cluster.metrics.snapshot()
+            return reply, cluster.metrics.snapshot()
 
-    snapshot = asyncio.run(run())
-    assert snapshot["counters"]["cluster.drain_aborts"] == 1
-    assert snapshot["counters"]["cluster.drains_forced"] == 1
-    # The aborted drain must not count as a completed one.
-    assert "cluster.drain_seconds" not in snapshot.get("histograms", {})
+    reply, snapshot = asyncio.run(run())
+    assert reply["stroke"] == "s0"
+    assert reply["kind"] not in ("evict", "error")
+    assert snapshot["counters"]["cluster.migrations"] == 1
+    assert snapshot["histograms"]["cluster.drain_seconds"]["count"] == 1
 
 
 def test_router_rejects_malformed_lines_without_workers():

@@ -1,13 +1,15 @@
 """Differential fuzzing: cluster vs single pool, under randomized chaos.
 
 Hypothesis drives randomized workloads — interleaved strokes, barriers,
-mid-run sweeps, model swaps, worker crashes, graceful drains, malformed
-lines, and connection churn — through an in-process cluster (a real
-router in front of real ``GestureServer`` workers, see
+mid-run sweeps, model swaps, worker crashes, graceful drains, elastic
+joins and scale ops (live session migration), malformed lines, and
+connection churn — through an in-process cluster (a real router in
+front of real ``GestureServer`` workers, see
 ``tests/cluster/inproc.py``) and asserts the reply streams are
 *byte-identical* to a scripted single-``SessionPool`` reference.  The
-reference is fault-agnostic: crashes, drains, and churn appear nowhere
-in it, which **is** the invariant.
+reference is fault-agnostic: crashes, drains, scales, and churn appear
+nowhere in it (beyond their one-line admin acks), which **is** the
+invariant.
 
 The example budget follows the hypothesis profile: the ambient ``ci``
 profile (registered in ``tests/conftest.py``) keeps the suite bounded
@@ -80,6 +82,26 @@ def cluster_cases(draw):
         # Crashing a shard mid-drain would "restart" a retired worker —
         # a scenario the supervisor never produces.
         drain = None
+    join = draw(
+        st.one_of(st.none(), st.floats(min_value=0.1, max_value=0.9))
+    )
+    scale = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.floats(min_value=0.2, max_value=0.8),
+                st.integers(min_value=1, max_value=workers + 2),
+            ),
+        )
+    )
+    if scale is not None:
+        # The end-of-script wait needs an unambiguous fleet target, so
+        # a scale op excludes the other topology events; and a
+        # scale-down may retire exactly the shard a crash targets — a
+        # "restart the retired" scenario the supervisor never produces.
+        join = None
+        if drain is not None or (scale[1] < workers and crash is not None):
+            scale = None
     swap = draw(
         st.one_of(
             st.none(),
@@ -99,6 +121,8 @@ def cluster_cases(draw):
         "mixed": draw(st.booleans()),
         "crash": crash,
         "drain": drain,
+        "join": join,
+        "scale": scale,
         "swap": swap,
         "bads": draw(
             st.lists(
@@ -160,6 +184,11 @@ def build_script(case, ticks, end_t):
     if case["drain"] is not None:
         frac, wi = case["drain"]
         at(frac, ("drain", f"w{wi}"))
+    if case["join"] is not None:
+        at(case["join"], ("join",))
+    if case["scale"] is not None:
+        frac, target = case["scale"]
+        at(frac, ("scale", target))
 
     script = []
     for i, (t, group) in enumerate(ticks):
@@ -170,6 +199,10 @@ def build_script(case, ticks, end_t):
     script.append(("sweep", 0.0))
     if case["drain"] is not None:
         script.append(("wait_retired", f"w{case['drain'][1]}"))
+    if case["scale"] is not None:
+        # Block until the async scale task converged: every migration
+        # it plans is then enqueued ahead of the stats barrier.
+        script.append(("wait_workers", case["scale"][1]))
     return script
 
 
@@ -219,10 +252,36 @@ def test_differential_pilot(cluster_recognizer, diff_registry):
         "mixed": True,
         "crash": (0.35, 1),
         "drain": (0.6, 2),
+        "join": 0.45,
+        "scale": None,
         "swap": (0.25, 0, "alt"),
         "bads": [(0.15, BAD_LINES[0]), (0.7, BAD_LINES[4])],
         "sweeps": [(0.5, 1e9)],
         "churn": [0.4],
         "rawop_at": 0.3,
+    }
+    _run_case(case, cluster_recognizer, diff_registry)
+
+
+def test_differential_scale_cycle_pilot(cluster_recognizer, diff_registry):
+    """A fixed scale-out → scale-in cycle under live traffic with a
+    swap and sweeps in the mix: the admin ``scale`` path, joins with
+    rebalance migrations, and drain-by-migration all in one script."""
+    case = {
+        "workers": 2,
+        "clients": 3,
+        "gestures": 2,
+        "seed": 71,
+        "framing": "lp1",
+        "mixed": False,
+        "crash": None,
+        "drain": None,
+        "join": None,
+        "scale": (0.3, 4),
+        "swap": (0.2, 1, "alt"),
+        "bads": [(0.5, BAD_LINES[2])],
+        "sweeps": [(0.6, 0.5)],
+        "churn": [],
+        "rawop_at": None,
     }
     _run_case(case, cluster_recognizer, diff_registry)

@@ -108,3 +108,88 @@ def test_cache_never_exceeds_its_cap():
     for i in range(n):
         assert ring.lookup(f"k:{i}") == fresh.lookup(f"k:{i}")
     assert len(ring._cache) <= _CACHE_CAP
+
+
+# -- weighted vnodes and bounded rebalancing -------------------------
+
+
+def test_weights_shift_load_proportionally():
+    even = HashRing(["w0", "w1"])
+    skewed = HashRing(["w0", "w1"], weights={"w1": 0.25})
+    even_counts = Counter(even.lookup(k) for k in KEYS)
+    skewed_counts = Counter(skewed.lookup(k) for k in KEYS)
+    # A quarter-weight shard owns a quarter of the vnodes and must
+    # attract clearly less than its even-split share.
+    assert skewed.vnodes == {"w0": 64, "w1": 16}
+    assert skewed_counts["w1"] < even_counts["w1"]
+    assert skewed_counts["w1"] < len(KEYS) * 0.35
+
+
+def test_bad_weights_rejected():
+    with pytest.raises(ValueError):
+        HashRing(["w0", "w1"], weights={"w1": 0.0})
+    with pytest.raises(ValueError):
+        HashRing(["w0", "w1"], weights={"w1": -1.0})
+    with pytest.raises(ValueError):
+        HashRing(["w0"], weights={"w9": 1.0})
+    # A tiny positive weight still gets at least one vnode.
+    assert HashRing(["w0", "w1"], weights={"w1": 1e-9}).vnodes["w1"] == 1
+
+
+def test_with_and_without_shard_preserve_weights():
+    ring = HashRing(["w0", "w1"], weights={"w1": 0.5})
+    grown = ring.with_shard("w2", weight=2.0)
+    assert grown.shards == ("w0", "w1", "w2")
+    assert grown.weights == {"w0": 1.0, "w1": 0.5, "w2": 2.0}
+    shrunk = grown.without_shard("w2")
+    assert shrunk.shards == ring.shards
+    assert shrunk.weights == ring.weights
+    assert [shrunk.lookup(k) for k in KEYS] == [ring.lookup(k) for k in KEYS]
+    with pytest.raises(ValueError):
+        ring.without_shard("w9")
+
+
+def test_plan_rebalance_is_exactly_the_moved_set():
+    old = HashRing(["w0", "w1", "w2"])
+    new = old.with_shard("w3")
+    plan = old.plan_rebalance(new, KEYS)
+    # The plan is exactly the keys whose owner changed...
+    for key in KEYS:
+        if key in plan:
+            src, dst = plan[key]
+            assert src == old.lookup(key) and dst == new.lookup(key)
+            assert src != dst
+        else:
+            # ...and every non-planned key provably keeps its shard.
+            assert old.lookup(key) == new.lookup(key)
+    # Growing moves keys only *onto* the new shard, and a bounded
+    # number of them (ideal is 1/4 of the keys for an even 3->4 grow).
+    assert plan and all(dst == "w3" for _, dst in plan.values())
+    assert len(plan) < len(KEYS) * 0.5
+
+
+def test_plan_rebalance_shrink_moves_only_the_leavers_keys():
+    old = HashRing(["w0", "w1", "w2", "w3"])
+    new = old.without_shard("w3")
+    plan = old.plan_rebalance(new, KEYS)
+    owned = [k for k in KEYS if old.lookup(k) == "w3"]
+    # Removing a shard moves exactly its keys — the theoretical
+    # minimum — and nothing else.
+    assert set(plan) == set(owned)
+    assert all(src == "w3" for src, _ in plan.values())
+
+
+def test_plan_rebalance_respects_skip_sets():
+    old = HashRing(["w0", "w1", "w2"])
+    new = old.with_shard("w3")
+    # A shard draining on both sides keeps spilling on both sides: the
+    # plan reflects effective routing, not raw ownership.
+    plan = old.plan_rebalance(new, KEYS, skip={"w1"})
+    for key, (src, dst) in plan.items():
+        assert src == old.lookup(key, skip={"w1"})
+        assert dst == new.lookup(key, skip={"w1"})
+        assert src != "w1" and dst != "w1"
+    # Dropping a shard from the ring defaults its stale skip away.
+    shrunk = old.without_shard("w2")
+    plan = old.plan_rebalance(shrunk, KEYS, skip={"w2"})
+    assert all(dst != "w2" for _, dst in plan.values())

@@ -1,0 +1,100 @@
+"""``GestureServer(record=...)``: the live traffic journal.
+
+A recording server writes every applied ``down``/``move``/``up`` as an
+adapt-harvest ``{"rec": "op", ...}`` record — the same NDJSON
+``repro adapt`` consumes — so the online-learning loop can run straight
+off production traffic with no separate ``--record`` loadgen replay.
+The journal is written *post-fault* (after the pool applied the op), so
+it holds exactly what the recognizer saw.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+from repro.adapt import AdaptStore
+from repro.serve import GestureServer, Request
+
+DT = 0.01
+
+
+def _stroke(channel_reqs, key: str, n: int = 6, t0: float = 0.0):
+    reqs = [Request("down", t0, key, 0.0, 0.0)]
+    for i in range(1, n):
+        reqs.append(Request("move", t0 + i * DT, key, i * 5.0, i * 5.0))
+    reqs.append(Request("up", t0 + n * DT, key, n * 5.0, n * 5.0))
+    channel_reqs.extend(reqs)
+    return reqs
+
+
+def test_record_path_journals_applied_ops(directions_recognizer, tmp_path):
+    path = tmp_path / "traffic.ndjson"
+
+    async def scenario():
+        server = GestureServer(directions_recognizer, record=str(path))
+        await server.start()
+        try:
+            channel = await server.open_channel()
+            sent = []
+            for request in _stroke(sent, "u1:s1"):
+                await channel.send(request)
+            await channel.send(Request("tick", 1.0))
+            # stats is the completion barrier: once it answers, every
+            # earlier op has been applied (and therefore journaled).
+            await channel.send(Request("stats", 1.0))
+            while True:
+                line = await asyncio.wait_for(channel.recv(), 5.0)
+                if json.loads(line)["kind"] == "stats":
+                    break
+            return sent
+        finally:
+            await server.stop()
+
+    sent = asyncio.run(scenario())
+    records = [json.loads(l) for l in path.read_text().splitlines()]
+    ops = [r for r in records if r["rec"] == "op"]
+    # Strokes only: tick/stats are barriers, not traffic.
+    assert [r["op"] for r in ops] == [r.op for r in sent]
+    # Stroke keys are channel-namespaced (the pool's own key), so two
+    # clients reusing a stroke id cannot collide in the journal.
+    assert all(r["stroke"] == f"{r['user']}/u1:s1" for r in ops)
+    # Point-for-point bit equality with what the pool applied.
+    assert [[r["x"], r["y"], r["t"]] for r in ops] == [
+        [r.x, r.y, r.t] for r in sent
+    ]
+    # The journal's user field is the channel id, so multi-client
+    # journals keep traffic attributable.
+    assert ops[0]["user"]
+
+    # The harvester ingests the journal as-is — the contract
+    # `repro adapt` relies on.
+    store = AdaptStore()
+    assert store.load_traffic(path) == len(ops)
+
+
+def test_record_accepts_an_open_stream(directions_recognizer):
+    stream = io.StringIO()
+
+    async def scenario():
+        server = GestureServer(directions_recognizer, record=stream)
+        await server.start()
+        try:
+            channel = await server.open_channel()
+            sent = []
+            for request in _stroke(sent, "s1", n=4):
+                await channel.send(request)
+            await channel.send(Request("stats", 1.0))
+            while True:
+                line = await asyncio.wait_for(channel.recv(), 5.0)
+                if json.loads(line)["kind"] == "stats":
+                    break
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+    # A caller-owned stream is flushed but never closed by the server.
+    ops = [json.loads(l) for l in stream.getvalue().splitlines()]
+    assert len(ops) == 5  # down + 3 moves + up ... and nothing else
+    assert {r["rec"] for r in ops} == {"op"}

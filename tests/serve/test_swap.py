@@ -19,7 +19,9 @@ import json
 
 import pytest
 
+from repro.eager import train_eager_recognizer
 from repro.obs import MetricsRegistry, PoolObserver, Tracer
+from repro.synth import GestureGenerator, eight_direction_templates
 from repro.serve import (
     GestureServer,
     ModelRegistry,
@@ -179,6 +181,118 @@ class TestPoolSwap:
             pool.swap_model(f"u{i}/", gdp_recognizer, 0.0, label="gdp@x")
         pool.advance_to(0.0)
         assert len(pool._model_cache) == 2  # default + the one candidate
+
+
+class TestModelCacheLRU:
+    def test_max_models_needs_a_loader(self, directions_recognizer):
+        with pytest.raises(ValueError, match="model_loader"):
+            SessionPool(directions_recognizer, max_models=1)
+
+    def test_lru_eviction_degrades_assignments_to_labels(
+        self, directions_recognizer, gdp_recognizer
+    ):
+        loads = []
+
+        def loader(label):
+            loads.append(label)
+            return {"dirs": directions_recognizer, "gdp": gdp_recognizer}[
+                label
+            ]
+
+        pool = SessionPool(
+            directions_recognizer,
+            timeout=TIMEOUT,
+            max_models=1,
+            model_loader=loader,
+        )
+        pool.swap_model("u1/", gdp_recognizer, 0.0, label="gdp")
+        pool.advance_to(0.0)
+        assert pool.model_evictions == 0
+        # Swapping to the *default* recognizer adds no resident model:
+        # the default never counts against the bound.
+        pool.swap_model("u2/", directions_recognizer, 0.1, label="dirs")
+        pool.advance_to(0.1)
+        assert pool.model_evictions == 0
+        # A second swapped-in model crosses the bound: gdp (the LRU)
+        # is evicted and its assignment degrades to the label string.
+        other = train_eager_recognizer(
+            GestureGenerator(
+                eight_direction_templates(), seed=7
+            ).generate_strokes(5)
+        ).recognizer
+        pool.swap_model("u3/", other, 0.2, label="other")
+        pool.advance_to(0.2)
+        assert pool.model_evictions == 1
+        assert pool._assign["u1/"] == "gdp"
+        assert loads == []
+
+        # The next session under the evicted prefix reloads the label
+        # through the loader and decides with the real model again.
+        lines: list[str] = []
+        for t, op in stroke_ops("u1/s1", t0=1.0):
+            pool.submit([op], t)
+            for d in pool.advance_to(t):
+                lines.append(encode_decision(d, d.key))
+        for d in pool.advance_to(2.0):
+            lines.append(encode_decision(d, d.key))
+        assert loads == ["gdp"]
+        assert decided_class(lines) in gdp_recognizer.class_names
+        # ...and the assignment re-materialized to a live model.
+        assert pool._assign["u1/"] != "gdp"
+
+    def test_eviction_never_changes_decisions(
+        self, directions_recognizer, gdp_recognizer
+    ):
+        """Bounded and unbounded pools produce byte-identical streams.
+
+        Registry models are content-addressed, so an evicted model
+        reloads bit-equal; the only observable difference a bound can
+        make is memory, never output bytes.
+        """
+
+        other = train_eager_recognizer(
+            GestureGenerator(
+                eight_direction_templates(), seed=7
+            ).generate_strokes(5)
+        ).recognizer
+
+        def loader(label):
+            return {"gdp": gdp_recognizer, "other": other}[label]
+
+        events = stroke_ops("u1/s1", t0=0.0)
+        events.append((0.5, ("swap", "u1/", gdp_recognizer, "gdp")))
+        events.append((0.6, ("swap", "u2/", other, "other")))
+        events += stroke_ops("u1/s2", t0=1.0)
+        events += stroke_ops("u2/s1", t0=1.0)
+
+        def run(**kwargs):
+            pool = SessionPool(
+                directions_recognizer, timeout=TIMEOUT, **kwargs
+            )
+            lines: dict[str, list[str]] = {}
+            for t, op in sorted(events, key=lambda e: e[0]):
+                if op[0] == "swap":
+                    _, prefix, model, label = op
+                    pool.swap_model(prefix, model, t, label=label)
+                else:
+                    pool.submit([op], t)
+                for d in pool.advance_to(t):
+                    lines.setdefault(d.key, []).append(
+                        encode_decision(d, d.key)
+                    )
+            for d in pool.advance_to(3.0):
+                lines.setdefault(d.key, []).append(encode_decision(d, d.key))
+            return pool, lines
+
+        unbounded, plain = run()
+        bounded, capped = run(max_models=1, model_loader=loader)
+        assert capped == plain
+        assert bounded.model_evictions >= 1
+        assert unbounded.model_evictions == 0
+
+    def test_server_model_cache_needs_registry(self, directions_recognizer):
+        with pytest.raises(ValueError, match="registry"):
+            GestureServer(directions_recognizer, model_cache=2)
 
 
 @pytest.fixture()
