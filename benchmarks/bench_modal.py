@@ -1,0 +1,142 @@
+"""Modality-layer throughput and detection latency.
+
+The modality layer is a passive sink over the serving layer's two
+streams, so its costs and its latencies are measured from the same run:
+
+* **throughput** — points/sec through a pool *with the composer
+  attached*, per modal family, batched mode, best of several repeats
+  (sink work runs outside ``run_load``'s timed window, so the number is
+  directly comparable to ``BENCH_serve.json``);
+* **detection latency** — virtual milliseconds from a stroke's down to
+  its modality's first ``begin``/``fire`` event, p50/p99 per modality.
+  Virtual time, not wall time: the latency is a property of the
+  semantics (a hold *cannot* confirm before ``hold_duration``; a swipe
+  fires as soon as the velocity window and the recognizer agree), so
+  it is deterministic and diffable across PRs.
+
+Identity is asserted before anything is timed: batched and sequential
+runs must produce the same decision stream and the same modal event
+stream for every family, or the numbers are meaningless.
+
+Publishes ``BENCH_modal.json`` (schema pinned by
+``tests/cluster/test_bench_schema.py``).
+"""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+from conftest import write_bench_json, write_report
+
+from repro.eager import train_eager_recognizer
+from repro.modal import generate_pair_workload, run_modal
+from repro.serve import generate_workload
+from repro.synth import GestureGenerator, modal_templates, pinch_templates
+from repro.synth.modal import swipe_templates
+
+CLIENTS = 64
+GESTURES_PER_CLIENT = 4
+REPEATS = 3
+SEED = 29
+FAMILIES = ("modal", "swipes", "pinch")
+
+_TEMPLATES = {
+    "modal": modal_templates,
+    "swipes": swipe_templates,
+    "pinch": pinch_templates,
+}
+
+
+def _recognizer(family: str):
+    generator = GestureGenerator(_TEMPLATES[family](), seed=3)
+    return train_eager_recognizer(generator.generate_strokes(12)).recognizer
+
+
+def _workload(family: str):
+    if family == "pinch":
+        return generate_pair_workload(
+            clients=CLIENTS, pairs_per_client=GESTURES_PER_CLIENT, seed=SEED
+        )
+    return generate_workload(
+        _TEMPLATES[family](),
+        clients=CLIENTS,
+        gestures_per_client=GESTURES_PER_CLIENT,
+        seed=SEED,
+    )
+
+
+def _best_run(recognizer, workload, repeats: int):
+    best = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            result, composer = run_modal(recognizer, workload, batched=True)
+        finally:
+            gc.enable()
+        if best is None or result.points_per_sec > best[0].points_per_sec:
+            best = (result, composer)
+    return best
+
+
+def _latency_stats(composer) -> dict:
+    stats = {}
+    for modality, values in sorted(composer.detection_latencies().items()):
+        arr = np.asarray(values) * 1e3  # virtual ms
+        stats[modality] = {
+            "n": len(values),
+            "p50_ms": round(float(np.percentile(arr, 50)), 3),
+            "p99_ms": round(float(np.percentile(arr, 99)), 3),
+        }
+    return stats
+
+
+def test_modal_throughput_and_latency():
+    lines = [
+        "Modality-layer throughput (composer attached) and detection "
+        f"latency, {CLIENTS} clients x {GESTURES_PER_CLIENT} gestures, "
+        f"best of {REPEATS}",
+    ]
+    results: dict = {"identical": True, "families": {}}
+    for family in FAMILIES:
+        recognizer = _recognizer(family)
+        workload = _workload(family)
+        # Identity gate: numbers for streams that differ are noise.
+        batched, bc = run_modal(recognizer, workload, batched=True)
+        sequential, sc = run_modal(recognizer, workload, batched=False)
+        assert batched.decision_log == sequential.decision_log, family
+        assert bc.events == sc.events, family
+        assert bc.events, f"{family}: no modal events produced"
+        assert batched.errors == 0, family
+
+        run_modal(recognizer, workload)  # warm numpy + allocator
+        best, composer = _best_run(recognizer, workload, REPEATS)
+        latencies = _latency_stats(composer)
+        results["families"][family] = {
+            "points_per_sec": round(best.points_per_sec, 1),
+            "points": best.points,
+            "decisions": best.decisions,
+            "events": len(composer.events),
+            "detection_latency_ms": latencies,
+        }
+        lines.append(f"\n[{family}] {best.summary()}")
+        for modality, stat in latencies.items():
+            lines.append(
+                f"  {modality:>7}: detect p50 {stat['p50_ms']:.1f}ms "
+                f"p99 {stat['p99_ms']:.1f}ms (n={stat['n']})"
+            )
+        lines.append("  decision and modal event streams identical across modes")
+
+    write_report("modal", "\n".join(lines))
+    write_bench_json(
+        "modal",
+        params={
+            "clients": CLIENTS,
+            "gestures_per_client": GESTURES_PER_CLIENT,
+            "repeats": REPEATS,
+            "seed": SEED,
+            "families": list(FAMILIES),
+        },
+        results=results,
+    )

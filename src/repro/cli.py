@@ -350,10 +350,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_cluster(args: argparse.Namespace) -> int:
     import asyncio
     import os
+    import sys
     import tempfile
     from contextlib import ExitStack
 
     from .cluster import Cluster
+
+    if args.drain_timeout is not None:
+        # Deprecation shim: the flag parses but does nothing — drains
+        # migrate live sessions to surviving shards immediately, so
+        # there is nothing to wait out.
+        print(
+            "warning: --drain-timeout is deprecated and ignored "
+            "(drains migrate live sessions instead of waiting them out)",
+            file=sys.stderr,
+        )
 
     # Workers are subprocesses: they load the model from a file.  A
     # --recognizer path is handed straight to them; any other source is
@@ -377,7 +388,6 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
                 port=args.port,
                 timeout=args.timeout,
                 max_sessions=args.max_sessions,
-                drain_timeout=args.drain_timeout,
                 metrics=not args.no_metrics,
                 registry=args.registry,
                 framing=args.framing,
@@ -678,6 +688,74 @@ def _write_traffic_journal(workload, path: str, dt: float = 0.01) -> int:
     return count
 
 
+def _loadgen_modal(args: argparse.Namespace, recognizer, workload) -> int:
+    """Drive the workload with a modality composer attached.
+
+    ``--mode both`` runs both execution modes, insists the decision
+    streams are identical (as always), *and* insists the composed modal
+    event streams are identical — the composer is a pure function of
+    (ops, decisions), so any divergence is a real bug.
+    """
+    from .modal import run_modal
+
+    if args.cluster:
+        raise SystemExit(
+            "--modal composes one in-process run's op and decision "
+            "streams; the cluster byte-identity gate already proves "
+            "remote replies match that stream (drop --cluster)"
+        )
+    if args.fault_seed is not None or args.record:
+        raise SystemExit(
+            "--modal drives an unfaulted, unjournaled run; drop "
+            "--fault-seed/--record"
+        )
+    if args.trace or args.profile or args.metrics or args.metrics_out:
+        raise SystemExit(
+            "--modal prints the modality event summary; run observability "
+            "flags without it"
+        )
+
+    def report(result, composer) -> None:
+        print(result.summary())
+        summary = composer.summary()
+        if not summary:
+            print("modal: no modality events")
+            return
+        print("modal events:")
+        for modality, kinds in summary.items():
+            cells = ", ".join(f"{k}={v}" for k, v in kinds.items())
+            print(f"  {modality:<8} {cells}")
+        latencies = composer.detection_latencies()
+        if latencies:
+            print("modal detection latency (virtual ms, down to first event):")
+            for modality, values in sorted(latencies.items()):
+                values = sorted(values)
+                p50 = values[len(values) // 2] * 1e3
+                print(
+                    f"  {modality:<8} n={len(values)} p50={p50:.0f}ms "
+                    f"max={values[-1] * 1e3:.0f}ms"
+                )
+
+    if args.mode == "both":
+        batched, bc = run_modal(recognizer, workload, batched=True)
+        sequential, sc = run_modal(recognizer, workload, batched=False)
+        if batched.decision_log != sequential.decision_log:
+            raise SystemExit("decision streams differ between modes")
+        if bc.events != sc.events:
+            raise SystemExit("modal event streams differ between modes")
+        report(batched, bc)
+        print(
+            f"{'':>10}  sequential: {sequential.points_per_sec:,.0f} "
+            f"points/sec; decision and modal event streams identical"
+        )
+    else:
+        result, composer = run_modal(
+            recognizer, workload, batched=args.mode == "batched"
+        )
+        report(result, composer)
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .serve import compare_modes, family_templates, generate_workload, run_load
 
@@ -689,12 +767,29 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         args.examples
     )
     recognizer = train_eager_recognizer(strokes).recognizer
-    workload = generate_workload(
-        templates,
-        clients=args.clients,
-        gestures_per_client=args.gestures,
-        seed=args.seed + 1,
-    )
+    if args.family == "pinch":
+        # Two-finger traffic: synchronized :a/:b session pairs.  Twice
+        # the concurrent sessions per client, and the modal composer
+        # (with --modal) pairs them into pinch/rotate manipulations.
+        from .modal import generate_pair_workload
+
+        workload = generate_pair_workload(
+            clients=args.clients,
+            pairs_per_client=args.gestures,
+            seed=args.seed + 1,
+            templates=templates,
+        )
+        max_sessions = 2 * args.clients + 1
+    else:
+        workload = generate_workload(
+            templates,
+            clients=args.clients,
+            gestures_per_client=args.gestures,
+            seed=args.seed + 1,
+        )
+        max_sessions = None
+    if args.modal:
+        return _loadgen_modal(args, recognizer, workload)
     if args.record:
         if args.mode == "both":
             raise SystemExit(
@@ -760,6 +855,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             workload,
             fault_plan=fault_plan,
             fault_seed=args.fault_seed or 0,
+            max_sessions=max_sessions,
         )
         print(batched.summary())
         print(sequential.summary())
@@ -779,6 +875,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             observer=observer,
             fault_plan=fault_plan,
             fault_seed=args.fault_seed or 0,
+            max_sessions=max_sessions,
         )
         print(result.summary())
         if args.trace:
@@ -1117,10 +1214,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="motionless timeout in (virtual) seconds",
     )
     cluster.add_argument("--max-sessions", type=int, default=4096)
+    # Deprecated and hidden: drains migrate live sessions immediately,
+    # so there is no timeout to configure.  Still parses (scripts that
+    # pass it keep working) but only prints a warning.
     cluster.add_argument(
-        "--drain-timeout", type=float, default=30.0,
-        help="retained for compatibility: drains now migrate live "
-        "sessions to surviving shards instead of waiting them out",
+        "--drain-timeout", type=float, default=None, help=argparse.SUPPRESS
     )
     cluster.add_argument(
         "--min-workers", type=int, default=1, metavar="N",
@@ -1231,6 +1329,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--record", metavar="PATH",
         help="journal the delivered ops as NDJSON traffic (the `adapt` "
         "harvest input; single-mode, unfaulted runs only)",
+    )
+    loadgen.add_argument(
+        "--modal", action="store_true",
+        help="attach the modality composer (repro.modal) and print the "
+        "per-modality event summary and detection latencies; with "
+        "--mode both, also verify the two modes compose identical "
+        "modal event streams",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 

@@ -62,7 +62,6 @@ class Cluster:
         max_sessions: int = 4096,
         heartbeat: float = 0.5,
         backoff_base: float = 0.05,
-        drain_timeout: float = 30.0,
         metrics: bool = True,
         shard_names=None,
         registry=None,
@@ -84,7 +83,6 @@ class Cluster:
             else tuple(f"w{i}" for i in range(workers))
         )
         self.metrics = MetricsRegistry() if metrics else None
-        self.drain_timeout = drain_timeout
         if min_workers < 1:
             raise ValueError("min_workers must be >= 1")
         if max_workers is not None and max_workers < min_workers:

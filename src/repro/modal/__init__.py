@@ -1,0 +1,68 @@
+"""First-class interaction modalities over the two-phase engine.
+
+The paper's cycle — *collect points, classify, manipulate* — treats
+every gesture as a stroke.  This package makes the common interaction
+modalities (hold, tap/double-tap, scroll, swipe/flick, pinch/rotate)
+first-class: each gets its own collection→manipulation semantics,
+composed *on top of* the unchanged serving protocol.  The pool, server
+and cluster still see only down/move/up and still emit the same
+decisions; :class:`ModalComposer` reads the op stream and the decision
+stream side by side and derives :class:`ModalEvent` streams from them.
+
+Layering:
+
+* :class:`ModalityConfig` (:mod:`repro.modal.config`) — every
+  threshold, validated at construction;
+* :mod:`repro.modal.detectors` — pure incremental kinematics (drift,
+  axis lock, velocity window, pair TRS);
+* :mod:`repro.modal.semantics` — per-stroke and per-pair state
+  machines mapping (ops, decisions) to modal events;
+* :mod:`repro.modal.compose` — the composer sink, the
+  :func:`run_modal` driver, and two-finger workload generation.
+
+Because the composer is a passive sink, attaching it can never change a
+decision — the same guarantee the serving layer's observers carry, and
+the compose tests assert it the same way (batched == sequential, with
+and without the composer, byte-identical through the cluster).
+"""
+
+from .compose import ModalComposer, generate_pair_workload, pair_base, run_modal
+from .config import ModalityConfig
+from .detectors import (
+    HoldDetector,
+    PairTracker,
+    ScrollAxisLock,
+    SwipeDetector,
+    SwipeHit,
+    TapTracker,
+    edge_of,
+    quantize_direction,
+)
+from .semantics import (
+    MODALITIES,
+    ModalEvent,
+    PairSemantics,
+    StrokeSemantics,
+    modality_of,
+)
+
+__all__ = [
+    "MODALITIES",
+    "HoldDetector",
+    "ModalComposer",
+    "ModalEvent",
+    "ModalityConfig",
+    "PairSemantics",
+    "PairTracker",
+    "ScrollAxisLock",
+    "StrokeSemantics",
+    "SwipeDetector",
+    "SwipeHit",
+    "TapTracker",
+    "edge_of",
+    "generate_pair_workload",
+    "modality_of",
+    "pair_base",
+    "quantize_direction",
+    "run_modal",
+]

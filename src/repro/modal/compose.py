@@ -1,0 +1,302 @@
+"""The modal composer: ops + decisions in, modality events out.
+
+:class:`ModalComposer` is a *sink*: a passive consumer of the serving
+layer's two streams, the delivered op stream and the pool's decision
+stream.  It never calls into the pool, holds no pool references, and
+produces nothing the pool reads — which is the "observers provably
+never change decisions" property stated as architecture: the pool's
+output is computed before the composer ever sees it.  The compose
+tests still assert it behaviorally (decision logs with and without a
+composer attached are identical, batched and sequential).
+
+:func:`run_modal` drives a workload through
+:func:`repro.serve.run_load` with a composer attached and returns both
+the load result and the composer, so benchmarks and tests measure
+serving throughput and modality detection latency from one run.
+
+:func:`generate_pair_workload` builds two-finger traffic from the
+``pinch`` synth family: each gesture is a synchronized pair of
+sessions keyed ``<base>:a`` / ``<base>:b`` — two ordinary strokes to
+the pool and cluster, one manipulation to the composer.
+"""
+
+from __future__ import annotations
+
+from ..synth import GestureGenerator, pinch_templates
+from .config import ModalityConfig
+from .detectors import TapTracker
+from .semantics import ModalEvent, PairSemantics, StrokeSemantics
+
+__all__ = [
+    "ModalComposer",
+    "generate_pair_workload",
+    "pair_base",
+    "run_modal",
+]
+
+_PAIR_SUFFIXES = (":a", ":b")
+
+
+def pair_base(key: str) -> str | None:
+    """The pair a session key belongs to, or None for single strokes.
+
+    The convention is the ``pinch`` family's: two-finger gestures name
+    their sessions ``<base>:a`` and ``<base>:b``.
+    """
+    for suffix in _PAIR_SUFFIXES:
+        if key.endswith(suffix):
+            return key[: -len(suffix)]
+    return None
+
+
+def _default_tap_scope(key: str) -> str:
+    """The tap-chain scope of a session key: one chain per client.
+
+    Loadgen keys are ``c{client}g{gesture}`` (and the traffic journal
+    derives the user the same way), so consecutive taps of one client
+    pair into double-taps while different clients never interfere.
+    Keys without the pattern fall back to one chain per key.
+    """
+    base, sep, _ = key.rpartition("g")
+    return base if sep else key
+
+
+class ModalComposer:
+    """Compose per-key op/decision streams into modality events.
+
+    Implements the :func:`repro.serve.run_load` sink protocol —
+    ``ops(t, tick_ops)`` and ``decisions(decided, t)`` per tick — and
+    can equally be fed by hand for unit tests.  All state is keyed on
+    virtual time; two identical input streams produce identical
+    ``events`` lists.
+    """
+
+    def __init__(
+        self,
+        config: ModalityConfig | None = None,
+        viewport: tuple[float, float] | None = None,
+        tap_scope=None,
+    ):
+        self.config = config or ModalityConfig()
+        self.viewport = viewport
+        self.events: list[ModalEvent] = []
+        self._strokes: dict[str, StrokeSemantics] = {}
+        self._pairs: dict[str, PairSemantics] = {}
+        self._taps: dict[str, TapTracker] = {}
+        self._tap_scope = tap_scope or _default_tap_scope
+        # Down time per event key (stroke keys and pair bases), kept
+        # after close so detection latency can be measured post-run.
+        self._down_t: dict[str, float] = {}
+
+    # -- sink protocol -------------------------------------------------------
+
+    def ops(self, t: float, tick_ops) -> None:
+        """One tick's delivered operations (post-fault, pool order)."""
+        for op in tick_ops:
+            name = op[0]
+            if name == "down":
+                self._down(op[1], op[2], op[3], t)
+            elif name == "move":
+                self._move(op[1], op[2], op[3], t)
+            elif name == "up":
+                state = self._strokes.get(op[1])
+                if state is not None:
+                    state.on_up(op[2], op[3], t)
+            # kill/release/pin/swap carry no kinematics; decisions (or
+            # their absence) close the affected strokes.
+
+    def decisions(self, decided, t: float) -> None:
+        """One tick's pool decisions, plus the tick boundary itself."""
+        for d in decided:
+            state = self._strokes.get(d.key)
+            if state is None:
+                continue
+            was_closed = state.closed
+            self.events.extend(
+                state.on_decision(
+                    d.kind, getattr(d, "reason", None), d.class_name, d.t
+                )
+            )
+            if state.closed and not was_closed:
+                self._resolve_tap(state, d.t)
+                self._close_pair(state.key, d.t)
+            if d.kind in ("commit", "evict", "error"):
+                self._strokes.pop(d.key, None)
+        # The tick boundary confirms pending hold promotions.
+        for state in self._strokes.values():
+            self.events.extend(state.on_tick(t))
+
+    # -- per-op routing ------------------------------------------------------
+
+    def _down(self, key: str, x: float, y: float, t: float) -> None:
+        state = StrokeSemantics(key, x, y, t, self.config, self.viewport)
+        self._strokes[key] = state
+        self._down_t[key] = t
+        base = pair_base(key)
+        if base is not None:
+            other = self._other_finger(base, key)
+            if other is not None and base not in self._pairs:
+                a, b = (other, state) if other.key.endswith(":a") else (state, other)
+                self._pairs[base] = PairSemantics(base, self.config, a, b)
+                self._down_t[base] = t
+
+    def _move(self, key: str, x: float, y: float, t: float) -> None:
+        state = self._strokes.get(key)
+        if state is None:
+            return
+        self.events.extend(state.on_move(x, y, t))
+        base = pair_base(key)
+        if base is not None:
+            pair = self._pairs.get(base)
+            if pair is not None:
+                self.events.extend(pair.on_pair_move(t))
+
+    def _other_finger(self, base: str, key: str) -> StrokeSemantics | None:
+        for suffix in _PAIR_SUFFIXES:
+            other = base + suffix
+            if other != key and other in self._strokes:
+                state = self._strokes[other]
+                if not state.closed:
+                    return state
+        return None
+
+    def _close_pair(self, key: str, t: float) -> None:
+        base = pair_base(key)
+        if base is None:
+            return
+        pair = self._pairs.get(base)
+        if pair is not None:
+            self.events.extend(pair.on_close(t))
+            self._pairs.pop(base, None)
+
+    def _resolve_tap(self, state: StrokeSemantics, t: float) -> None:
+        if state.modality != "tap":
+            return
+        scope = self._tap_scope(state.key)
+        tracker = self._taps.setdefault(scope, TapTracker(self.config))
+        fired = tracker.stroke_end(
+            state.last[0], state.last[1],
+            state.down[2], t, state.hold.max_drift,
+        )
+        if fired is not None:
+            self.events.append(
+                ModalEvent(
+                    key=state.key,
+                    modality="tap",
+                    kind="fire",
+                    t=t,
+                    class_name=state.class_name,
+                    data={
+                        "count": 2 if fired == "double_tap" else 1,
+                        "scope": scope,
+                    },
+                )
+            )
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Event counts by modality and kind (sorted, JSON-friendly)."""
+        counts: dict[str, dict[str, int]] = {}
+        for event in self.events:
+            cell = counts.setdefault(event.modality, {})
+            cell[event.kind] = cell.get(event.kind, 0) + 1
+        return {
+            modality: dict(sorted(kinds.items()))
+            for modality, kinds in sorted(counts.items())
+        }
+
+    def detection_latencies(self) -> dict[str, list[float]]:
+        """Virtual seconds from each stroke's down to its modality's
+        first event (``begin`` or ``fire``), grouped by modality.
+
+        For pairs the clock starts when the second finger lands (the
+        manipulation cannot exist earlier).
+        """
+        seen: set[str] = set()
+        latencies: dict[str, list[float]] = {}
+        for event in self.events:
+            if event.kind not in ("begin", "fire") or event.key in seen:
+                continue
+            seen.add(event.key)
+            t0 = self._down_t.get(event.key)
+            if t0 is not None:
+                latencies.setdefault(event.modality, []).append(event.t - t0)
+        return latencies
+
+
+def run_modal(
+    recognizer,
+    workload,
+    *,
+    config: ModalityConfig | None = None,
+    viewport: tuple[float, float] | None = None,
+    batched: bool = True,
+    collect: bool = True,
+    observer=None,
+    timeout: float | None = None,
+):
+    """Drive a workload with a composer attached; (LoadResult, composer)."""
+    from ..interaction import DEFAULT_TIMEOUT
+    from ..serve import run_load
+
+    composer = ModalComposer(config=config, viewport=viewport)
+    result = run_load(
+        recognizer,
+        workload,
+        batched=batched,
+        collect=collect,
+        observer=observer,
+        sink=composer,
+        timeout=DEFAULT_TIMEOUT if timeout is None else timeout,
+        # Two-finger workloads run two concurrent sessions per client.
+        max_sessions=2 * len(workload) + 1,
+    )
+    return result, composer
+
+
+def generate_pair_workload(
+    clients: int = 16,
+    pairs_per_client: int = 2,
+    seed: int = 13,
+    templates=None,
+) -> list[list[tuple]]:
+    """Two-finger traffic: synchronized ``:a``/``:b`` session pairs.
+
+    Gestures cycle pinch → spread → rotate per client.  A spread is the
+    pinch pair traversed outward — the finger *paths* are the mirrored
+    pinch classes (Rubine's features are translation-invariant), while
+    the pair's growing gap makes the composer name it ``pinch_out``.
+    Both fingers go down on the same tick and move in lockstep; the
+    shorter finger path idles while the longer one finishes, then both
+    release together.
+    """
+    templates = templates if templates is not None else pinch_templates()
+    generator = GestureGenerator(templates, seed=seed)
+    kinds = ("pinch", "spread", "rotate")
+    workload: list[list[tuple]] = []
+    for ci in range(clients):
+        ops: list[tuple] = [("idle",)] * (ci % 5)
+        for gi in range(pairs_per_client):
+            kind = kinds[(ci + gi) % len(kinds)]
+            if kind == "spread":
+                a = list(reversed(list(generator.generate("pinch_a").stroke)))
+                b = list(reversed(list(generator.generate("pinch_b").stroke)))
+            else:
+                a = list(generator.generate(f"{kind}_a").stroke)
+                b = list(generator.generate(f"{kind}_b").stroke)
+            base = f"c{ci}p{gi}"
+            ka, kb = base + ":a", base + ":b"
+            ops.append(("down", ka, a[0].x, a[0].y))
+            ops.append(("down", kb, b[0].x, b[0].y))
+            steps = max(len(a), len(b))
+            for i in range(1, steps):
+                pa = a[min(i, len(a) - 1)]
+                pb = b[min(i, len(b) - 1)]
+                ops.append(("move", ka, pa.x, pa.y))
+                ops.append(("move", kb, pb.x, pb.y))
+            ops.append(("up", ka, a[-1].x, a[-1].y))
+            ops.append(("up", kb, b[-1].x, b[-1].y))
+            ops.append(("idle",))
+        workload.append(ops)
+    return workload

@@ -1,0 +1,105 @@
+"""Declarative per-modality thresholds, validated at load.
+
+One frozen :class:`ModalityConfig` carries every knob the modality
+layer reads — the Pharo OSWindow gesture menu's debounce/threshold
+schema (hold distance + time, double-tap distance + time, scroll
+minimum travel, pinch gap, rotation angle, edge margin) merged with the
+EXWM-VR swipe detector's velocity window, minimum velocity and
+linearity check.  Validation happens in ``__post_init__``, so a config
+is either fully usable or never constructed: detectors and semantics
+can trust every field without re-checking.
+
+Thresholds compare *inclusively*: a windowed velocity exactly at
+``swipe_min_velocity`` fires, a press of exactly ``hold_duration``
+promotes.  A ``hold_duration`` of zero is legal and means "promote at
+the first motionless timeout" — the degenerate hold the edge-case
+tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace
+
+__all__ = ["ModalityConfig"]
+
+
+@dataclass(frozen=True)
+class ModalityConfig:
+    """Every threshold the modality layer reads, in screen px/seconds."""
+
+    # hold: a press that drifts at most this far, held at least this long.
+    hold_max_drift: float = 8.0
+    hold_duration: float = 0.35
+    # tap / double-tap: inter-stroke timing windows.
+    tap_max_drift: float = 12.0
+    tap_max_duration: float = 0.25
+    double_tap_gap: float = 0.35  # max seconds between up and next down
+    double_tap_radius: float = 24.0  # max distance between the two taps
+    debounce: float = 0.02  # a second down sooner than this is bounce
+    # scroll: axis lock engages at this travel with this dominance.
+    scroll_min_travel: float = 24.0
+    scroll_axis_ratio: float = 1.5
+    # swipe/flick: velocity-windowed detection.
+    swipe_window: float = 0.25  # sliding window, seconds
+    swipe_min_travel: float = 60.0  # px of path inside the window
+    swipe_min_velocity: float = 900.0  # px/s of net displacement
+    swipe_min_linearity: float = 0.9  # net displacement / path length
+    swipe_directions: int = 8  # quantize to 4 or 8 compass points
+    # edge swipe: a swipe starting within this margin of the viewport.
+    edge_margin: float = 16.0
+    # pinch / rotate: two-path commitment thresholds.
+    pinch_min_travel: float = 24.0  # px of finger-gap change
+    rotate_min_angle: float = 0.2  # radians of pair rotation
+
+    def __post_init__(self) -> None:
+        positive = (
+            "hold_max_drift", "tap_max_drift", "tap_max_duration",
+            "double_tap_gap", "double_tap_radius", "scroll_min_travel",
+            "swipe_window", "swipe_min_travel", "swipe_min_velocity",
+            "pinch_min_travel", "rotate_min_angle",
+        )
+        for name in positive:
+            if not getattr(self, name) > 0.0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("hold_duration", "debounce", "edge_margin"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0.0 < self.swipe_min_linearity <= 1.0:
+            raise ValueError("swipe_min_linearity must be in (0, 1]")
+        if self.scroll_axis_ratio < 1.0:
+            raise ValueError("scroll_axis_ratio must be >= 1")
+        if self.swipe_directions not in (4, 8):
+            raise ValueError("swipe_directions must be 4 or 8")
+        if self.debounce >= self.double_tap_gap:
+            raise ValueError(
+                "debounce must be smaller than double_tap_gap "
+                "(otherwise no second tap can ever qualify)"
+            )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModalityConfig":
+        """Build from a mapping; unknown keys are an error, not noise."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown ModalityConfig keys: {', '.join(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def load(cls, path: str) -> "ModalityConfig":
+        """Read a JSON config file; validation runs on construction."""
+        with open(path) as stream:
+            data = json.load(stream)
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: modality config must be a JSON object")
+        return cls.from_dict(data)
+
+    def with_overrides(self, **overrides) -> "ModalityConfig":
+        """A copy with some fields changed (re-validated)."""
+        return replace(self, **overrides)

@@ -1,0 +1,307 @@
+"""Pure incremental kinematic detectors for the modality layer.
+
+Each detector consumes an (x, y, t) stream in constant work per point
+and exposes exactly the state its modality's semantics need.  None of
+them knows about sessions, pools, or decisions — that composition lives
+in :mod:`repro.modal.semantics` and :mod:`repro.modal.compose` — so
+they are directly testable against hand-built streams, including the
+edge cases the config documents (inclusive thresholds, zero-duration
+holds, single-point strokes).
+
+The swipe detector is the EXWM-VR design: a sliding time window over
+recent samples, net displacement and path length inside it, a velocity
+threshold on the displacement, a linearity check (net/path) that
+rejects curved paths, and direction quantization to 4 or 8 compass
+points.  Scroll is the Pharo design: accumulate per-axis travel until
+the lock criterion is met, then the axis is *persistent* — once
+vertical, never horizontal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from ..geometry import Point
+from ..multipath import TwoFingerTracker
+from .config import ModalityConfig
+
+__all__ = [
+    "HoldDetector",
+    "PairTracker",
+    "ScrollAxisLock",
+    "SwipeDetector",
+    "SwipeHit",
+    "TapTracker",
+    "edge_of",
+    "quantize_direction",
+]
+
+# Compass names counterclockwise from east, matching the y-down screen
+# frame (north is up) and the modal synth families' class suffixes.
+_COMPASS_8 = ("e", "ne", "n", "nw", "w", "sw", "s", "se")
+_COMPASS_4 = ("e", "n", "w", "s")
+
+
+def quantize_direction(dx: float, dy: float, directions: int = 8) -> str:
+    """The compass point nearest a screen-frame displacement.
+
+    Sector boundaries fall halfway between compass points; an exactly
+    diagonal displacement in 4-direction mode rounds counterclockwise
+    (northeast becomes north), which keeps the mapping total and
+    deterministic.
+    """
+    if directions not in (4, 8):
+        raise ValueError("directions must be 4 or 8")
+    names = _COMPASS_8 if directions == 8 else _COMPASS_4
+    # y grows downward on screen, so flip it for the math-frame angle.
+    angle = math.atan2(-dy, dx)
+    sector = 2.0 * math.pi / directions
+    # Half-up (not banker's) rounding: exact sector boundaries always
+    # resolve counterclockwise, independent of index parity.
+    index = int(math.floor(angle / sector + 0.5)) % directions
+    return names[index]
+
+
+def edge_of(
+    x: float, y: float, viewport: tuple[float, float], margin: float
+) -> str | None:
+    """Which viewport edge a point sits within ``margin`` of, if any.
+
+    ``viewport`` is (width, height) with the origin at the top left.
+    Corners resolve to the *nearest* edge (ties go horizontal-first:
+    w/e before n/s), so the result is single-valued.
+    """
+    width, height = viewport
+    candidates = []
+    if x <= margin:
+        candidates.append((x, "w"))
+    if x >= width - margin:
+        candidates.append((width - x, "e"))
+    if y <= margin:
+        candidates.append((y, "n"))
+    if y >= height - margin:
+        candidates.append((height - y, "s"))
+    if not candidates:
+        return None
+    return min(candidates, key=lambda pair: pair[0])[1]
+
+
+class HoldDetector:
+    """Tracks a press's drift from its anchor and its age.
+
+    A hold is a press that never drifted more than ``hold_max_drift``
+    from the down point and has been down at least ``hold_duration``
+    (inclusive; a zero duration holds immediately).
+    """
+
+    def __init__(self, config: ModalityConfig, x: float, y: float, t: float):
+        self._config = config
+        self._x0, self._y0 = x, y
+        self._t0 = t
+        self.max_drift = 0.0
+
+    def move(self, x: float, y: float) -> None:
+        self.max_drift = max(
+            self.max_drift, math.hypot(x - self._x0, y - self._y0)
+        )
+
+    @property
+    def within_drift(self) -> bool:
+        return self.max_drift <= self._config.hold_max_drift
+
+    def confirm_time(self) -> float:
+        """The earliest instant this press can qualify as a hold."""
+        return self._t0 + self._config.hold_duration
+
+    def is_hold(self, now: float) -> bool:
+        return self.within_drift and now >= self.confirm_time()
+
+
+class TapTracker:
+    """Cross-stroke tap and double-tap windows with debounce.
+
+    Feed every finished stroke through :meth:`stroke_end`.  A stroke
+    within the tap drift/duration bounds fires ``"tap"`` immediately at
+    its up; a second qualifying tap whose down lands within
+    ``double_tap_gap`` of the previous up *and* within
+    ``double_tap_radius`` of it fires ``"double_tap"`` (and closes the
+    chain).  A second down sooner than ``debounce`` is switch bounce:
+    swallowed entirely, the pending tap left armed.  Any non-tap stroke
+    breaks the chain.
+    """
+
+    def __init__(self, config: ModalityConfig):
+        self._config = config
+        self._last: tuple[float, float, float] | None = None  # x, y, up_t
+
+    def stroke_end(
+        self, x: float, y: float, down_t: float, up_t: float, drift: float
+    ) -> str | None:
+        c = self._config
+        if up_t - down_t > c.tap_max_duration or drift > c.tap_max_drift:
+            self._last = None
+            return None
+        if self._last is not None:
+            lx, ly, last_up = self._last
+            gap = down_t - last_up
+            if gap < c.debounce:
+                return None  # bounce: the armed tap stays armed
+            if gap <= c.double_tap_gap and (
+                math.hypot(x - lx, y - ly) <= c.double_tap_radius
+            ):
+                self._last = None
+                return "double_tap"
+        self._last = (x, y, up_t)
+        return "tap"
+
+
+class ScrollAxisLock:
+    """Accumulates per-axis travel; locks the dominant axis forever.
+
+    The lock engages at the first point where total travel reaches
+    ``scroll_min_travel`` *and* one axis dominates the other by
+    ``scroll_axis_ratio``.  From then on :meth:`feed` projects every
+    delta onto the locked axis — once vertical, never horizontal.
+    """
+
+    def __init__(self, config: ModalityConfig, x: float, y: float):
+        self._config = config
+        self._x, self._y = x, y
+        self._travel_x = 0.0
+        self._travel_y = 0.0
+        self.axis: str | None = None  # "v" or "h" once locked
+
+    def feed(self, x: float, y: float) -> tuple[str, float] | None:
+        """Advance to a new point; after lock, the axis-projected delta."""
+        dx, dy = x - self._x, y - self._y
+        self._x, self._y = x, y
+        if self.axis is None:
+            self._travel_x += abs(dx)
+            self._travel_y += abs(dy)
+            c = self._config
+            if self._travel_x + self._travel_y >= c.scroll_min_travel:
+                lo = min(self._travel_x, self._travel_y)
+                hi = max(self._travel_x, self._travel_y)
+                if lo == 0.0 or hi / lo >= c.scroll_axis_ratio:
+                    self.axis = "v" if self._travel_y >= self._travel_x else "h"
+            if self.axis is None:
+                return None
+            # The locking delta itself scrolls: report it projected.
+        return (self.axis, dy if self.axis == "v" else dx)
+
+
+@dataclass(frozen=True)
+class SwipeHit:
+    """What the velocity window saw when a swipe qualified."""
+
+    direction: str
+    velocity: float  # px/s of net displacement across the window
+    linearity: float  # net displacement / path length, in (0, 1]
+    t: float
+
+
+class SwipeDetector:
+    """Sliding velocity window with travel, linearity and direction.
+
+    :meth:`feed` reports a :class:`SwipeHit` at every sample where the
+    window qualifies (the semantics layer latches the first one) and
+    ``None`` otherwise.  A single-point stroke can never fire: the
+    window needs a time span.  All comparisons are inclusive, so a
+    windowed velocity of exactly ``swipe_min_velocity`` fires.
+    """
+
+    def __init__(self, config: ModalityConfig):
+        self._config = config
+        self._window: deque[tuple[float, float, float]] = deque()
+        self._path = 0.0  # path length inside the window
+
+    def feed(self, x: float, y: float, t: float) -> SwipeHit | None:
+        c = self._config
+        if self._window:
+            px, py, _ = self._window[-1]
+            self._path += math.hypot(x - px, y - py)
+        self._window.append((x, y, t))
+        while self._window[0][2] < t - c.swipe_window and len(self._window) > 1:
+            ox, oy, _ = self._window.popleft()
+            nx, ny, _ = self._window[0]
+            self._path -= math.hypot(nx - ox, ny - oy)
+        if len(self._window) < 2 or self._path < c.swipe_min_travel:
+            return None
+        x0, y0, t0 = self._window[0]
+        span = t - t0
+        if span <= 0.0:
+            return None
+        net = math.hypot(x - x0, y - y0)
+        velocity = net / span
+        if velocity < c.swipe_min_velocity:
+            return None
+        linearity = net / self._path if self._path > 0.0 else 0.0
+        if linearity < c.swipe_min_linearity:
+            return None
+        return SwipeHit(
+            direction=quantize_direction(x - x0, y - y0, c.swipe_directions),
+            velocity=velocity,
+            linearity=linearity,
+            t=t,
+        )
+
+
+class PairTracker:
+    """Two concurrent paths as one manipulation, via the multipath TRS.
+
+    Wraps :class:`~repro.multipath.TwoFingerTracker`: every update
+    yields the incremental similarity transform, while the tracker
+    accumulates the finger-gap change and the pair-segment rotation.
+    :meth:`classify` stays ``None`` until one commitment threshold is
+    crossed, then names the manipulation — ``pinch_in``/``pinch_out``
+    when the gap change reaches ``pinch_min_travel`` first, ``rotate``
+    when the accumulated angle reaches ``rotate_min_angle`` first (gap
+    wins exact ties, deterministically).
+    """
+
+    def __init__(
+        self,
+        config: ModalityConfig,
+        ax: float, ay: float,
+        bx: float, by: float,
+    ):
+        self._config = config
+        self._trs = TwoFingerTracker(Point(ax, ay, 0.0), Point(bx, by, 0.0))
+        self._gap0 = math.hypot(bx - ax, by - ay)
+        self._gap = self._gap0
+        self._angle0 = math.atan2(by - ay, bx - ax)
+        self._turn = 0.0
+        self._kind: str | None = None
+
+    def update(self, ax: float, ay: float, bx: float, by: float):
+        """Feed both fingers' positions; the incremental Affine."""
+        transform = self._trs.update(Point(ax, ay, 0.0), Point(bx, by, 0.0))
+        self._gap = math.hypot(bx - ax, by - ay)
+        angle = math.atan2(by - ay, bx - ax)
+        delta = angle - self._angle0 - self._turn
+        while delta > math.pi:
+            delta -= 2.0 * math.pi
+        while delta <= -math.pi:
+            delta += 2.0 * math.pi
+        self._turn += delta
+        if self._kind is None:
+            c = self._config
+            if abs(self._gap - self._gap0) >= c.pinch_min_travel:
+                self._kind = "pinch_out" if self._gap > self._gap0 else "pinch_in"
+            elif abs(self._turn) >= c.rotate_min_angle:
+                self._kind = "rotate"
+        return transform
+
+    @property
+    def gap_change(self) -> float:
+        return self._gap - self._gap0
+
+    @property
+    def turn(self) -> float:
+        """Accumulated pair rotation in radians (screen clockwise > 0)."""
+        return self._turn
+
+    def classify(self) -> str | None:
+        return self._kind

@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import json
 
+from ..synth.modal import modality_of
+
 __all__ = [
     "SCHEMA",
     "analyze_records",
@@ -189,7 +191,60 @@ def analyze_records(records: list, metrics: dict | None = None) -> dict:
         "eagerness_curve": _eagerness_curves(quality),
         "metrics": _metrics_section(metrics),
     }
+    modalities = _modalities_section(per_class, quality)
+    if modalities is not None:
+        # Only modal traffic grows this section; a trace of plain
+        # strokes produces a report byte-identical to pre-modal ones.
+        report["modalities"] = modalities
     return _round(report)
+
+
+def _modalities_section(per_class: dict, quality: list):
+    """Decision paths and eagerness regrouped by gesture modality.
+
+    Classes map to modalities via :func:`repro.synth.modal.modality_of`
+    (exact names only).  When every class in the trace is a plain
+    ``"stroke"`` the section is omitted entirely, keeping reports for
+    existing traces byte-identical.
+    """
+    if not per_class:
+        return None
+    grouped: dict = {}
+    for name, cell in per_class.items():
+        modality = modality_of(name)
+        g = grouped.setdefault(
+            modality,
+            {"classes": [], "decisions": 0, "eager": 0, "timeout": 0,
+             "up": 0, "points": []},
+        )
+        g["classes"].append(name)
+        g["decisions"] += cell["decisions"]
+        g["eager"] += cell["eager"]
+        g["timeout"] += cell["timeout"]
+        g["up"] += cell["up"]
+        g["points"].extend(cell["points"])
+    if set(grouped) == {"stroke"}:
+        return None
+    eagerness: dict = {}
+    for r in quality:
+        eagerness.setdefault(modality_of(r["class"]), []).append(
+            r["eagerness"]
+        )
+    return {
+        modality: {
+            "classes": sorted(g["classes"]),
+            "decisions": g["decisions"],
+            "eager": g["eager"],
+            "timeout": g["timeout"],
+            "up": g["up"],
+            "eager_fraction": (
+                g["eager"] / g["decisions"] if g["decisions"] else None
+            ),
+            "mean_points": _mean(g["points"]),
+            "eagerness_mean": _mean(eagerness.get(modality, [])),
+        }
+        for modality, g in sorted(grouped.items())
+    }
 
 
 def _quality_section(quality: list):
@@ -354,6 +409,27 @@ def render_markdown(report: dict) -> str:
         ["path", "decisions"],
         [["eager", p["eager"]], ["timeout", p["timeout"]], ["up", p["up"]]],
     )
+    modalities = report.get("modalities")
+    if modalities is not None:
+        lines += [
+            "",
+            "## Modalities",
+            "",
+            "Decision paths and eagerness regrouped by interaction "
+            "modality (classes outside the modal families count as "
+            "plain strokes).",
+            "",
+        ]
+        lines += _table(
+            ["modality", "classes", "decisions", "eager", "timeout", "up",
+             "eager fraction", "mean points", "eagerness mean"],
+            [
+                [name, " ".join(m["classes"]), m["decisions"], m["eager"],
+                 m["timeout"], m["up"], m["eager_fraction"],
+                 m["mean_points"], m["eagerness_mean"]]
+                for name, m in modalities.items()
+            ],
+        )
     lines += ["", "## Per-class decisions", ""]
     lines += _table(
         ["class", "decisions", "eager", "timeout", "up", "mean points"],
@@ -463,6 +539,20 @@ def validate_report(report: dict) -> dict:
     for key in ("quality", "eagerness_curve", "metrics"):
         if key not in report:
             raise ValueError(f"missing section {key!r}")
+    modalities = report.get("modalities")
+    if modalities is not None:
+        if not isinstance(modalities, dict) or set(modalities) <= {"stroke"}:
+            raise ValueError(
+                "modalities section must group at least one modal class"
+            )
+        for name, cell in modalities.items():
+            for key in ("decisions", "eager", "timeout", "up"):
+                if not isinstance(cell.get(key), int):
+                    raise ValueError(
+                        f"modalities[{name!r}].{key} is not an integer"
+                    )
+            if not isinstance(cell.get("classes"), list):
+                raise ValueError(f"modalities[{name!r}].classes is not a list")
     curves = report["eagerness_curve"]
     if curves is not None:
         for name, curve in curves.items():

@@ -133,14 +133,24 @@ def run_load(
     dt: float = 0.01,
     collect: bool = False,
     observer=None,
+    sink=None,
     fault_plan=None,
     fault_seed: int = 0,
+    max_sessions: int | None = None,
 ) -> LoadResult:
     """Drive a workload through a :class:`SessionPool`; measure it.
 
     ``observer`` is handed to the pool (see
     :class:`~repro.obs.PoolObserver`); if it carries a metrics registry,
-    the result's ``metrics`` field is its final snapshot.  ``fault_plan``
+    the result's ``metrics`` field is its final snapshot.  ``sink`` is a
+    passive tap on the run's two streams — per tick it receives
+    ``sink.ops(t, tick_ops)`` (the post-fault delivered ops) and then
+    ``sink.decisions(decided, t)``, every tick including empty ones.
+    The sink sees pool output only after the pool computed it and feeds
+    nothing back, so its presence cannot change any decision
+    (:class:`~repro.modal.ModalComposer` is the canonical sink, and the
+    modal tests assert exactly that invariance).  Sink work runs outside
+    the timed window; throughput numbers stay comparable.  ``fault_plan``
     (a :class:`~repro.obs.FaultPlan`) routes every tick through a fresh
     ``FaultInjector(fault_plan, fault_seed)`` — fresh per call, so two
     runs (e.g. batched and sequential) see the *identical* fault
@@ -154,7 +164,9 @@ def run_load(
         recognizer,
         batched=batched,
         timeout=timeout,
-        max_sessions=len(workload) + 1,
+        # One session per client unless told otherwise — two-finger
+        # workloads run two concurrent sessions per client.
+        max_sessions=max_sessions or len(workload) + 1,
         observer=observer,
     )
     injector = None if fault_plan is None else FaultInjector(fault_plan, fault_seed)
@@ -186,6 +198,8 @@ def run_load(
         kills: list = []
         if injector is not None:
             tick_ops, kills = injector.apply(tick, tick_ops)
+        if sink is not None:
+            sink.ops(t, tick_ops)
         start = time.perf_counter()
         if tick_ops:
             pool.submit(tick_ops, t)
@@ -193,6 +207,8 @@ def run_load(
             pool.kill(key, t)
         decided = pool.advance_to(t)
         elapsed = time.perf_counter() - start
+        if sink is not None:
+            sink.decisions(decided, t)
         events = len(tick_ops)
         points += events
         decisions += len(decided)
@@ -215,6 +231,8 @@ def run_load(
         # whatever faults left behind (e.g. sessions whose up was lost).
         t = tick * dt + timeout + dt
         for batch in (pool.advance_to(t), pool.evict_idle(0.0)):
+            if sink is not None:
+                sink.decisions(batch, t)
             decisions += len(batch)
             for d in batch:
                 if d.kind == "commit":
@@ -269,6 +287,7 @@ def compare_modes(
     dt: float = 0.01,
     fault_plan=None,
     fault_seed: int = 0,
+    max_sessions: int | None = None,
 ) -> tuple[LoadResult, LoadResult]:
     """Run both modes over one workload; insist the decisions match.
 
@@ -281,10 +300,12 @@ def compare_modes(
     batched = run_load(
         recognizer, workload, batched=True, timeout=timeout, dt=dt,
         collect=True, fault_plan=fault_plan, fault_seed=fault_seed,
+        max_sessions=max_sessions,
     )
     sequential = run_load(
         recognizer, workload, batched=False, timeout=timeout, dt=dt,
         collect=True, fault_plan=fault_plan, fault_seed=fault_seed,
+        max_sessions=max_sessions,
     )
     if batched.decision_log != sequential.decision_log:
         for i, (b, s) in enumerate(

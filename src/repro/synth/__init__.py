@@ -6,6 +6,12 @@ Four template families mirror the paper's four gesture sets:
 * :func:`ud_templates` — figures 5–7's U and D classes,
 * :func:`gdp_templates` — GDP's eleven classes (figures 3 and 10),
 * :func:`note_templates` — figure 8's nested note gestures.
+
+Three more families feed the modality layer (:mod:`repro.modal`):
+
+* :func:`modal_templates` — tap, hold, scrolls and cardinal swipes,
+* :func:`swipe_templates` — all eight compass flicks,
+* :func:`pinch_templates` — finger-role paths of two-path gestures.
 """
 
 from .directions import (
@@ -22,12 +28,23 @@ from .generator import (
     GestureGenerator,
     with_params,
 )
+from .modal import (
+    MODAL_CLASS_NAMES,
+    PINCH_CLASS_NAMES,
+    SWIPE_CLASS_NAMES,
+    modal_templates,
+    modality_of,
+    pinch_templates,
+    swipe_templates,
+)
 from .notes import NOTE_CLASS_NAMES, note_templates
 from .templates import GestureTemplate, arc_waypoints
 
 # The CLI-facing family names, in one place so the CLI, the load
 # generator, and the training pipeline agree on what a "--family" is.
-FAMILY_NAMES = ("directions", "editing", "gdp", "notes", "ud")
+FAMILY_NAMES = (
+    "directions", "editing", "gdp", "modal", "notes", "pinch", "swipes", "ud",
+)
 
 
 def family_templates(family: str) -> dict:
@@ -44,7 +61,10 @@ def family_templates(family: str) -> dict:
     families = {
         "directions": eight_direction_templates,
         "gdp": gdp_templates,
+        "modal": modal_templates,
         "notes": note_templates,
+        "pinch": pinch_templates,
+        "swipes": swipe_templates,
         "ud": ud_templates,
     }
     if family not in families:
@@ -60,7 +80,10 @@ __all__ = [
     "EIGHT_DIRECTION_CLASSES",
     "FAMILY_NAMES",
     "GDP_CLASS_NAMES",
+    "MODAL_CLASS_NAMES",
     "NOTE_CLASS_NAMES",
+    "PINCH_CLASS_NAMES",
+    "SWIPE_CLASS_NAMES",
     "GeneratedGesture",
     "GenerationParams",
     "GestureGenerator",
@@ -70,7 +93,11 @@ __all__ = [
     "eight_direction_templates",
     "family_templates",
     "gdp_templates",
+    "modal_templates",
+    "modality_of",
     "note_templates",
+    "pinch_templates",
+    "swipe_templates",
     "ud_templates",
     "with_params",
 ]

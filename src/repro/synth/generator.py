@@ -137,7 +137,9 @@ class GestureGenerator:
         cumulative = _cumulative_lengths(waypoints)
         corner_arcs = [cumulative[i] for i in corner_waypoints]
 
-        samples, sample_arcs = self._sample_polyline(waypoints)
+        samples, sample_arcs = self._sample_polyline(
+            waypoints, template.speed_scale
+        )
 
         # Whole-gesture wobble: rotate and scale about the first point.
         theta = rng.gauss(0.0, p.rotation_sigma)
@@ -161,14 +163,34 @@ class GestureGenerator:
         ]
 
         # Timing: a constant mouse clock, with the whole gesture drawn
-        # faster or slower run to run.
+        # faster or slower run to run.  Class pace is spatial (the
+        # template's speed_scale stretches sample spacing), so it holds
+        # when the serving layer replays one sample per fixed tick.
         dt = p.dt * math.exp(rng.gauss(0.0, p.speed_sigma))
+        if template.dwell_samples:
+            # The press stays down at the end of the path: more samples
+            # jittered in place, the clock still running (a hold).
+            lx, ly = transformed[-1]
+            jittered.extend(
+                (lx + rng.gauss(0.0, p.jitter), ly + rng.gauss(0.0, p.jitter))
+                for _ in range(template.dwell_samples)
+            )
+        if template.press_samples:
+            # The finger landed before the path launched: samples
+            # jittered at the origin, ahead of the motion (a flick
+            # accelerating from rest).
+            fx, fy = transformed[0]
+            jittered[:0] = [
+                (fx + rng.gauss(0.0, p.jitter), fy + rng.gauss(0.0, p.jitter))
+                for _ in range(template.press_samples)
+            ]
         points = [
             Point(x, y, i * dt) for i, (x, y) in enumerate(jittered)
         ]
 
         corner_samples = tuple(
-            _first_index_at_least(sample_arcs, arc) for arc in corner_arcs
+            _first_index_at_least(sample_arcs, arc) + template.press_samples
+            for arc in corner_arcs
         )
         return GeneratedGesture(
             stroke=Stroke(points),
@@ -178,17 +200,22 @@ class GestureGenerator:
         )
 
     def _generate_dot(self, template: GestureTemplate) -> GeneratedGesture:
-        """GDP's dot gesture: two samples at (nearly) the same spot."""
+        """GDP's dot gesture: two samples at (nearly) the same spot.
+
+        With ``dwell_samples`` the dot becomes a press-and-hold: the
+        extra samples keep jittering in place while the clock runs.
+        """
         p = self.params
         x0, y0 = template.waypoints[0]
         x0, y0 = x0 * p.scale, y0 * p.scale
+        dt = p.dt
         points = [
             Point(
                 x0 + self._rng.gauss(0.0, p.jitter / 2.0),
                 y0 + self._rng.gauss(0.0, p.jitter / 2.0),
-                i * p.dt,
+                i * dt,
             )
-            for i in range(2)
+            for i in range(2 + template.dwell_samples)
         ]
         return GeneratedGesture(stroke=Stroke(points), class_name=template.name)
 
@@ -241,11 +268,13 @@ class GestureGenerator:
         return out, new_corners, looped
 
     def _sample_polyline(
-        self, waypoints: list[tuple[float, float]]
+        self, waypoints: list[tuple[float, float]], speed_scale: float = 1.0
     ) -> tuple[list[tuple[float, float]], list[float]]:
         """Walk the polyline emitting samples every ~spacing pixels.
 
-        Returns the samples and each sample's arc-length position.
+        ``speed_scale`` stretches the spacing (a fast class covers more
+        ground per mouse sample).  Returns the samples and each
+        sample's arc-length position.
         """
         p = self.params
         cumulative = _cumulative_lengths(waypoints)
@@ -254,7 +283,7 @@ class GestureGenerator:
         arcs = [0.0]
         position = 0.0
         while position < total:
-            step = p.spacing * max(
+            step = p.spacing * speed_scale * max(
                 0.2, 1.0 + self._rng.gauss(0.0, p.spacing_sigma)
             )
             position = min(position + step, total)

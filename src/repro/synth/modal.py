@@ -1,0 +1,240 @@
+"""Synthetic families for the interaction modalities (``repro.modal``).
+
+Three template families feed the two-phase engine the richer streams
+ROADMAP item 4 asks for, one stroke class per modality role:
+
+* :func:`modal_templates` — the integrated menu: ``tap`` (a dab),
+  ``hold`` (a press that stays down, its dwell samples still ticking),
+  ``scroll_v``/``scroll_h`` (long deliberate axis strokes) and the four
+  cardinal ``swipe_*`` flicks (short, fast, straight).  Pace is encoded
+  per class via ``GestureTemplate.speed_scale``/``dwell_samples`` —
+  spatially, as sample spacing, so it survives the serving layer's
+  tick-paced replay — and the thirteen-feature classifier separates tap
+  from hold by duration and scroll from swipe by maximum speed, which
+  geometry alone would not.
+* :func:`swipe_templates` — all eight compass flicks, the direction-
+  quantization stress test.
+* :func:`pinch_templates` — single-finger paths of two-finger gestures
+  (``pinch``/``spread`` converging/diverging lines, ``rotate`` arcs),
+  the ``_a``/``_b`` suffix naming the finger role.  The modal composer
+  pairs concurrent ``:a``/``:b`` sessions and runs the multipath TRS
+  tracker over them; each path is still an ordinary stroke class to the
+  pool and cluster.
+
+Every non-dot class carries a *commitment landmark* in the corner slot:
+the waypoint where the modality's kinematic threshold is crossed (a
+swipe's minimum travel, a scroll's axis-lock travel, a pinch's gap
+change, a rotation's minimum angle).  The generator turns landmarks
+into ground-truth sample indices (``GeneratedGesture.oracle_points``),
+so eagerness telemetry and figure-9-style oracle comparisons stay
+meaningful on modal traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .templates import GestureTemplate, arc_waypoints
+
+__all__ = [
+    "MODAL_CLASS_NAMES",
+    "PINCH_CLASS_NAMES",
+    "SWIPE_CLASS_NAMES",
+    "modal_templates",
+    "modality_of",
+    "pinch_templates",
+    "swipe_templates",
+]
+
+# Compass unit vectors under the y-down screen frame (north is up).
+_COMPASS: dict[str, tuple[float, float]] = {
+    "e": (1.0, 0.0),
+    "ne": (math.sqrt(0.5), -math.sqrt(0.5)),
+    "n": (0.0, -1.0),
+    "nw": (-math.sqrt(0.5), -math.sqrt(0.5)),
+    "w": (-1.0, 0.0),
+    "sw": (-math.sqrt(0.5), math.sqrt(0.5)),
+    "s": (0.0, 1.0),
+    "se": (math.sqrt(0.5), math.sqrt(0.5)),
+}
+
+# Class pace relative to the family default (see GestureTemplate):
+# pace is spatial — a flick covers 3x the ground per mouse sample
+# (~1800 px/s at the 100 Hz clock), a deliberate scroll 0.75x
+# (~450 px/s) — which puts them on opposite sides of the modal
+# config's 900 px/s velocity threshold at the default 100 px scale,
+# and keeps doing so when the serving layer replays one sample per
+# fixed 10 ms tick.
+_SWIPE_SPEED_SCALE = 3.0
+_SCROLL_SPEED_SCALE = 0.75
+# A flick accelerates from rest: a few samples sit at the origin before
+# the path launches.  All flick directions thereby share a near-origin
+# prefix — the training ambiguity the eager AUC requires — exactly as
+# the paper's gesture sets share initial segments.
+_SWIPE_PRESS_SAMPLES = 3
+# A hold is a tap that stays down: ~half a second of in-place samples.
+_HOLD_DWELL_SAMPLES = 48
+
+# Unit-coordinate geometry (scaled by GenerationParams.scale = 100 px).
+_SWIPE_LENGTH = 1.5  # px 150: well past swipe_min_travel
+_SWIPE_LANDMARK = 0.6  # px 60: ModalityConfig.swipe_min_travel
+_SCROLL_LENGTH = 1.2
+_SCROLL_LANDMARK = 0.24  # px 24: ModalityConfig.scroll_min_travel
+_PINCH_SPAN = 0.75  # each finger starts this far from the pair center
+_PINCH_TRAVEL = 0.6  # and moves this far along its line
+_PINCH_LANDMARK = 0.12  # half of pinch_min_travel: the gap moves 2x per finger
+_ROTATE_RADIUS = 0.6
+_ROTATE_SWEEP = 0.9  # rad per finger
+_ROTATE_STEPS = 18
+_ROTATE_LANDMARK_STEP = 4  # first step past rotate_min_angle (0.2 rad)
+
+
+def _line(
+    name: str,
+    direction: tuple[float, float],
+    length: float,
+    landmark: float,
+    speed_scale: float,
+    press_samples: int = 0,
+) -> GestureTemplate:
+    """A straight stroke with an interior commitment landmark."""
+    ux, uy = direction
+    return GestureTemplate(
+        name=name,
+        waypoints=(
+            (0.0, 0.0),
+            (ux * landmark, uy * landmark),
+            (ux * length, uy * length),
+        ),
+        corner_indices=(1,),
+        speed_scale=speed_scale,
+        press_samples=press_samples,
+    )
+
+
+def modal_templates() -> dict[str, GestureTemplate]:
+    """The integrated modality menu: tap, hold, scrolls, cardinal swipes."""
+    templates = {
+        "tap": GestureTemplate(name="tap", waypoints=((0.0, 0.0),)),
+        "hold": GestureTemplate(
+            name="hold",
+            waypoints=((0.0, 0.0),),
+            dwell_samples=_HOLD_DWELL_SAMPLES,
+        ),
+        "scroll_v": _line(
+            "scroll_v", _COMPASS["s"], _SCROLL_LENGTH, _SCROLL_LANDMARK,
+            _SCROLL_SPEED_SCALE,
+        ),
+        "scroll_h": _line(
+            "scroll_h", _COMPASS["e"], _SCROLL_LENGTH, _SCROLL_LANDMARK,
+            _SCROLL_SPEED_SCALE,
+        ),
+    }
+    for point in ("e", "n", "w", "s"):
+        name = f"swipe_{point}"
+        templates[name] = _line(
+            name, _COMPASS[point], _SWIPE_LENGTH, _SWIPE_LANDMARK,
+            _SWIPE_SPEED_SCALE, _SWIPE_PRESS_SAMPLES,
+        )
+    return templates
+
+
+def swipe_templates() -> dict[str, GestureTemplate]:
+    """All eight compass flicks — direction quantization's stress test."""
+    return {
+        f"swipe_{point}": _line(
+            f"swipe_{point}", vector, _SWIPE_LENGTH, _SWIPE_LANDMARK,
+            _SWIPE_SPEED_SCALE, _SWIPE_PRESS_SAMPLES,
+        )
+        for point, vector in _COMPASS.items()
+    }
+
+
+def _radial(name: str, angle: float) -> GestureTemplate:
+    """One finger's inward path of a pinch.
+
+    A spread is the same pair of paths traversed outward — under
+    Rubine's translation-invariant features a left finger moving east
+    *is* a right finger moving east, so finger paths classify by
+    direction and the pair's gap change (not the class) decides pinch
+    in versus out.
+    """
+    ux, uy = math.cos(angle), math.sin(angle)
+    return GestureTemplate(
+        name=name,
+        waypoints=(
+            (ux * _PINCH_SPAN, uy * _PINCH_SPAN),
+            (
+                ux * (_PINCH_SPAN - _PINCH_LANDMARK),
+                uy * (_PINCH_SPAN - _PINCH_LANDMARK),
+            ),
+            (
+                ux * (_PINCH_SPAN - _PINCH_TRAVEL),
+                uy * (_PINCH_SPAN - _PINCH_TRAVEL),
+            ),
+        ),
+        corner_indices=(1,),
+    )
+
+
+def _arc(name: str, start_angle: float) -> GestureTemplate:
+    """One finger's path of a two-finger rotation (clockwise on screen).
+
+    The start angles put finger a at the top moving east and finger b
+    at the bottom moving west — tangent to the pinch lines' initial
+    directions, so pinch and rotate share prefixes and the eager
+    recognizer has a real unambiguity point to find (the arc reveals
+    itself by curvature, not by its first samples).
+    """
+    waypoints = arc_waypoints(
+        0.0, 0.0, _ROTATE_RADIUS, start_angle, _ROTATE_SWEEP,
+        steps=_ROTATE_STEPS,
+    )
+    return GestureTemplate(
+        name=name,
+        waypoints=tuple(waypoints),
+        corner_indices=(_ROTATE_LANDMARK_STEP,),
+    )
+
+
+def pinch_templates() -> dict[str, GestureTemplate]:
+    """Finger-role paths for the two-path manipulations.
+
+    ``*_a`` starts on the left of the pair center, ``*_b`` on the
+    right; the modal composer matches them by the ``:a``/``:b`` session
+    key suffix and feeds the multipath TwoFingerTracker.
+    """
+    return {
+        "pinch_a": _radial("pinch_a", math.pi),
+        "pinch_b": _radial("pinch_b", 0.0),
+        "rotate_a": _arc("rotate_a", -math.pi / 2.0),
+        "rotate_b": _arc("rotate_b", math.pi / 2.0),
+    }
+
+
+MODAL_CLASS_NAMES: tuple[str, ...] = tuple(modal_templates())
+SWIPE_CLASS_NAMES: tuple[str, ...] = tuple(swipe_templates())
+PINCH_CLASS_NAMES: tuple[str, ...] = tuple(pinch_templates())
+
+# Exact class-name -> modality map.  Exact names (not prefixes) so
+# legacy families can never alias into a modality by accident (GDP has
+# a "rotate_scale" class; it stays a plain stroke).
+_MODALITY_BY_CLASS: dict[str, str] = {
+    "tap": "tap",
+    "hold": "hold",
+    "scroll_v": "scroll",
+    "scroll_h": "scroll",
+    **{name: "swipe" for name in SWIPE_CLASS_NAMES},
+    **{name: "pinch" for name in ("pinch_a", "pinch_b")},
+    **{name: "rotate" for name in ("rotate_a", "rotate_b")},
+}
+
+
+def modality_of(class_name: str) -> str:
+    """The modality a gesture class belongs to, or ``"stroke"``.
+
+    Only the modal families' exact class names map to a modality;
+    every other class — GDP, notes, editing, user-defined — is a plain
+    ``"stroke"``, which keeps pre-modal analyze reports byte-identical.
+    """
+    return _MODALITY_BY_CLASS.get(class_name, "stroke")

@@ -24,8 +24,27 @@ class GestureTemplate:
 
     name: str
     waypoints: tuple[tuple[float, float], ...]
-    # Indices into waypoints marking sharp interior corners.
+    # Indices into waypoints marking sharp interior corners.  Modal
+    # families (repro.synth.modal) reuse the slot for their commitment
+    # landmarks — the waypoint where the modality's kinematic threshold
+    # is crossed — which may be collinear rather than sharp; either way
+    # the generator turns them into ground-truth sample indices.
     corner_indices: tuple[int, ...] = field(default_factory=tuple)
+    # Pace multiplier on the generator's sample spacing: > 1 spreads
+    # samples farther apart, i.e. the class is drawn faster than the
+    # family default at the same mouse clock (a flick); < 1 draws it
+    # slower (a deliberate scroll).  Spatial, not temporal, so the pace
+    # survives tick-paced replay through the serving layer.  1.0 leaves
+    # the generator byte-identical to the pre-modal behaviour.
+    speed_scale: float = 1.0
+    # Extra samples jittered in place at the *first* waypoint before
+    # the path launches — the finger landing and loading before a flick
+    # accelerates from rest.  Gives fast classes a shared near-origin
+    # prefix (the ambiguity eager training needs).  0 adds nothing.
+    press_samples: int = 0
+    # Extra samples jittered in place at the final waypoint, continuing
+    # the clock — a press that stays down (hold).  0 adds nothing.
+    dwell_samples: int = 0
 
     def __post_init__(self) -> None:
         if len(self.waypoints) < 1:
@@ -35,6 +54,18 @@ class GestureTemplate:
                 raise ValueError(
                     f"template {self.name!r}: corner index {idx} is not interior"
                 )
+        if not self.speed_scale > 0.0:
+            raise ValueError(
+                f"template {self.name!r}: speed_scale must be positive"
+            )
+        if self.press_samples < 0:
+            raise ValueError(
+                f"template {self.name!r}: press_samples must be >= 0"
+            )
+        if self.dwell_samples < 0:
+            raise ValueError(
+                f"template {self.name!r}: dwell_samples must be >= 0"
+            )
 
     @property
     def is_dot(self) -> bool:

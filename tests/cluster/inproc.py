@@ -63,12 +63,10 @@ class InProcessCluster:
         framing: str = "lp1",
         no_lp1_shards=(),
         registry=None,
-        drain_timeout: float = 30.0,
     ):
         self.recognizer = recognizer
         self.timeout = timeout
         self.registry = registry
-        self.drain_timeout = drain_timeout
         self.no_lp1_shards = frozenset(no_lp1_shards)
         self.shards = tuple(f"w{i}" for i in range(workers))
         self.router = Router(

@@ -240,3 +240,56 @@ def test_bench_source_keeps_the_invariants_wired():
     assert "speedup_1 >= 0.85" in source
     assert "cpus < 4" in source
     assert "byte_identical" in source
+
+
+@pytest.fixture(scope="module")
+def modal_bench() -> dict:
+    return _load("modal")
+
+
+def test_modal_params_pin_the_workload(modal_bench):
+    params = modal_bench["params"]
+    for key in ("clients", "gestures_per_client", "repeats", "seed", "families"):
+        assert key in params, f"params lost {key!r}"
+    # All three modal families must stay measured — dropping one would
+    # silently un-benchmark a modality.
+    assert set(params["families"]) == {"modal", "swipes", "pinch"}
+
+
+def test_modal_results_carry_per_family_throughput_and_latency(modal_bench):
+    params, results = modal_bench["params"], modal_bench["results"]
+    assert results["identical"] is True
+    assert set(results["families"]) == set(params["families"])
+    for family, cell in results["families"].items():
+        where = f"families[{family}]"
+        assert cell["points_per_sec"] > 0, where
+        assert cell["points"] > 0 and cell["decisions"] > 0, where
+        assert cell["events"] > 0, where
+        latencies = cell["detection_latency_ms"]
+        assert latencies, f"{where}: no detection latencies"
+        for modality, stat in latencies.items():
+            assert stat["n"] > 0, f"{where}[{modality}]"
+            assert 0.0 <= stat["p50_ms"] <= stat["p99_ms"], f"{where}[{modality}]"
+
+
+def test_modal_results_respect_the_semantics_floors(modal_bench):
+    # Detection latency is virtual-time, hence deterministic: a hold
+    # cannot confirm before the configured hold_duration (350 ms), and
+    # a committed artifact claiming otherwise is lying about the
+    # semantics, not just slow.
+    families = modal_bench["results"]["families"]
+    hold = families["modal"]["detection_latency_ms"].get("hold")
+    assert hold is not None, "the modal family stopped producing holds"
+    assert hold["p50_ms"] >= 350.0
+    # Two-finger manipulations must appear in the pinch family.
+    assert {"pinch", "rotate"} <= set(
+        families["pinch"]["detection_latency_ms"]
+    )
+
+
+def test_modal_bench_source_keeps_the_identity_gate():
+    source = (REPO_ROOT / "benchmarks" / "bench_modal.py").read_text()
+    # The throughput numbers are only meaningful while the bench keeps
+    # proving both streams identical across execution modes.
+    assert "batched.decision_log == sequential.decision_log" in source
+    assert "bc.events == sc.events" in source

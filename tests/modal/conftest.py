@@ -1,0 +1,34 @@
+"""Shared fixtures for the modality-layer tests.
+
+Each modal synth family trains its own eager recognizer once per
+session; the compose/differential tests then drive real workloads
+through the real serving layer with those models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eager import train_eager_recognizer
+from repro.synth import GestureGenerator, modal_templates, pinch_templates
+from repro.synth.modal import swipe_templates
+
+
+def _train(templates: dict):
+    generator = GestureGenerator(templates, seed=501)
+    return train_eager_recognizer(generator.generate_strokes(10)).recognizer
+
+
+@pytest.fixture(scope="session")
+def modal_recognizer():
+    return _train(modal_templates())
+
+
+@pytest.fixture(scope="session")
+def swipes_recognizer():
+    return _train(swipe_templates())
+
+
+@pytest.fixture(scope="session")
+def pinch_recognizer():
+    return _train(pinch_templates())

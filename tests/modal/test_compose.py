@@ -1,0 +1,151 @@
+"""The modal composer through the real serving layer.
+
+The tentpole invariants, asserted behaviorally for every modal family:
+
+* batched and sequential runs produce identical decision streams AND
+  identical modal event streams;
+* attaching an observer changes neither;
+* attaching the composer itself changes no decision (the sink is
+  provably passive: same decision log with and without it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modal import (
+    MODALITIES,
+    ModalComposer,
+    ModalityConfig,
+    generate_pair_workload,
+    modality_of,
+    pair_base,
+    run_modal,
+)
+from repro.obs import PoolObserver, Tracer
+from repro.serve import generate_workload, run_load
+from repro.synth import modal_templates, pinch_templates
+from repro.synth.modal import swipe_templates
+
+
+def _workload(templates):
+    return generate_workload(
+        templates, clients=8, gestures_per_client=3, seed=17
+    )
+
+
+@pytest.fixture(scope="module")
+def families(modal_recognizer, swipes_recognizer, pinch_recognizer):
+    return {
+        "modal": (modal_recognizer, _workload(modal_templates())),
+        "swipes": (swipes_recognizer, _workload(swipe_templates())),
+        "pinch": (pinch_recognizer, generate_pair_workload(clients=8, seed=17)),
+    }
+
+
+@pytest.mark.parametrize("family", ["modal", "swipes", "pinch"])
+def test_batched_equals_sequential_decisions_and_events(family, families):
+    recognizer, workload = families[family]
+    batched, bc = run_modal(recognizer, workload, batched=True)
+    sequential, sc = run_modal(recognizer, workload, batched=False)
+    assert batched.decision_log == sequential.decision_log
+    assert bc.events == sc.events
+    assert bc.events  # the family actually produced modality traffic
+
+
+@pytest.mark.parametrize("family", ["modal", "swipes", "pinch"])
+def test_observer_never_changes_decisions_or_events(family, families):
+    recognizer, workload = families[family]
+    bare, bare_composer = run_modal(recognizer, workload)
+    observed, observed_composer = run_modal(
+        recognizer, workload, observer=PoolObserver(tracer=Tracer())
+    )
+    assert bare.decision_log == observed.decision_log
+    assert bare_composer.events == observed_composer.events
+
+
+@pytest.mark.parametrize("family", ["modal", "swipes", "pinch"])
+def test_sink_never_changes_decisions(family, families):
+    recognizer, workload = families[family]
+    with_sink, composer = run_modal(recognizer, workload)
+    max_sessions = 2 * len(workload) + 1  # what run_modal passes
+    without = run_load(
+        recognizer, workload, batched=True, collect=True,
+        max_sessions=max_sessions,
+    )
+    assert with_sink.decision_log == without.decision_log
+    assert composer.events
+
+
+def test_modal_family_covers_single_finger_modalities(families):
+    recognizer, workload = families["modal"]
+    _, composer = run_modal(recognizer, workload)
+    summary = composer.summary()
+    for modality in ("tap", "hold", "scroll", "swipe"):
+        assert modality in summary, summary
+    # Manipulations that begin must end; holds pair exactly.
+    assert summary["hold"].get("begin", 0) == summary["hold"].get("end", 0)
+    assert summary["scroll"].get("begin", 0) == summary["scroll"].get("end", 0)
+    assert summary["scroll"].get("update", 0) > 0
+
+
+def test_pair_family_covers_pinch_and_rotate(families):
+    recognizer, workload = families["pinch"]
+    _, composer = run_modal(recognizer, workload)
+    summary = composer.summary()
+    assert set(summary) >= {"pinch", "rotate"}
+    kinds = {event.data.get("pair_kind") for event in composer.events}
+    assert {"pinch_in", "pinch_out", "rotate"} <= kinds
+    # Pair events are keyed on the base, not a finger session.
+    for event in composer.events:
+        assert pair_base(event.key) is None
+
+
+def test_detection_latencies_are_positive_and_grouped(families):
+    recognizer, workload = families["modal"]
+    _, composer = run_modal(recognizer, workload)
+    latencies = composer.detection_latencies()
+    assert set(latencies) <= set(MODALITIES)
+    for modality, values in latencies.items():
+        assert values, modality
+        assert all(v >= 0.0 for v in values), modality
+    # Hold begins exactly at the configured duration, never earlier.
+    config = ModalityConfig()
+    assert min(latencies["hold"]) >= config.hold_duration
+
+
+def test_events_are_deterministic_across_runs(families):
+    recognizer, workload = families["modal"]
+    _, first = run_modal(recognizer, workload)
+    _, second = run_modal(recognizer, workload)
+    assert first.events == second.events
+
+
+def test_double_tap_fires_for_consecutive_client_taps(modal_recognizer):
+    # Two tap strokes from one client, back to back within the gap.
+    workload = generate_workload(
+        modal_templates(), clients=8, gestures_per_client=3, seed=17
+    )
+    _, composer = run_modal(modal_recognizer, workload)
+    taps = [e for e in composer.events if e.modality == "tap"]
+    assert taps
+    for event in taps:
+        assert event.data["count"] in (1, 2)
+        assert "scope" in event.data
+
+
+def test_modality_of_routes_only_exact_modal_classes():
+    assert modality_of("tap") == "tap"
+    assert modality_of("swipe_ne") == "swipe"
+    assert modality_of("rotate_a") == "rotate"
+    # GDP's rotate_scale must never alias into the rotate modality.
+    assert modality_of("rotate_scale") == "stroke"
+    assert modality_of("line") == "stroke"
+
+
+def test_composer_survives_ops_for_unknown_keys():
+    composer = ModalComposer()
+    # Moves/ups for keys with no down (e.g. after an evict) are ignored.
+    composer.ops(0.0, [("move", "ghost", 1.0, 2.0), ("up", "ghost", 1.0, 2.0)])
+    composer.decisions([], 0.0)
+    assert composer.events == []

@@ -1,0 +1,133 @@
+"""ModalityConfig validation: constructed means usable, always.
+
+Hypothesis drives both directions — any in-range combination
+constructs and round-trips losslessly; any single out-of-range field
+is rejected at construction, so the detectors never see a half-valid
+config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modal import ModalityConfig
+
+_POSITIVE = (
+    "hold_max_drift", "tap_max_drift", "tap_max_duration",
+    "double_tap_gap", "double_tap_radius", "scroll_min_travel",
+    "swipe_window", "swipe_min_travel", "swipe_min_velocity",
+    "pinch_min_travel", "rotate_min_angle",
+)
+_NON_NEGATIVE = ("hold_duration", "debounce", "edge_margin")
+
+
+def _finite(min_value, max_value):
+    return st.floats(
+        min_value=min_value, max_value=max_value,
+        allow_nan=False, allow_infinity=False,
+    )
+
+
+@st.composite
+def valid_configs(draw):
+    kwargs = {name: draw(_finite(0.001, 1e4)) for name in _POSITIVE}
+    kwargs.update({name: draw(_finite(0.0, 1e4)) for name in _NON_NEGATIVE})
+    kwargs["swipe_min_linearity"] = draw(_finite(0.001, 1.0))
+    kwargs["scroll_axis_ratio"] = draw(_finite(1.0, 100.0))
+    kwargs["swipe_directions"] = draw(st.sampled_from([4, 8]))
+    # The one cross-field constraint: debounce < double_tap_gap.
+    kwargs["debounce"] = min(
+        kwargs["debounce"], kwargs["double_tap_gap"] / 2.0
+    )
+    return kwargs
+
+
+@given(kwargs=valid_configs())
+def test_valid_configs_construct_and_round_trip(kwargs):
+    config = ModalityConfig(**kwargs)
+    assert ModalityConfig.from_dict(config.to_dict()) == config
+
+
+@given(kwargs=valid_configs(), data=st.data())
+def test_any_nonpositive_threshold_is_rejected(kwargs, data):
+    name = data.draw(st.sampled_from(_POSITIVE))
+    kwargs[name] = data.draw(st.sampled_from([0.0, -1.0, -0.001]))
+    with pytest.raises(ValueError, match=name):
+        ModalityConfig(**kwargs)
+
+
+@given(kwargs=valid_configs(), data=st.data())
+def test_negative_durations_are_rejected(kwargs, data):
+    name = data.draw(st.sampled_from(_NON_NEGATIVE))
+    kwargs[name] = -0.01
+    if name == "debounce":
+        with pytest.raises(ValueError):
+            ModalityConfig(**kwargs)
+    else:
+        with pytest.raises(ValueError, match=name):
+            ModalityConfig(**kwargs)
+
+
+def test_zero_hold_duration_is_legal():
+    # The degenerate hold: promote at the first motionless timeout.
+    assert ModalityConfig(hold_duration=0.0).hold_duration == 0.0
+
+
+@pytest.mark.parametrize("linearity", [0.0, -0.5, 1.0001, 2.0])
+def test_linearity_bounds(linearity):
+    with pytest.raises(ValueError, match="swipe_min_linearity"):
+        ModalityConfig(swipe_min_linearity=linearity)
+
+
+@pytest.mark.parametrize("directions", [0, 1, 3, 6, 16, -8])
+def test_directions_must_be_4_or_8(directions):
+    with pytest.raises(ValueError, match="swipe_directions"):
+        ModalityConfig(swipe_directions=directions)
+
+
+def test_axis_ratio_floor():
+    with pytest.raises(ValueError, match="scroll_axis_ratio"):
+        ModalityConfig(scroll_axis_ratio=0.99)
+    assert ModalityConfig(scroll_axis_ratio=1.0).scroll_axis_ratio == 1.0
+
+
+def test_debounce_must_leave_room_for_a_second_tap():
+    with pytest.raises(ValueError, match="debounce"):
+        ModalityConfig(debounce=0.35, double_tap_gap=0.35)
+
+
+def test_unknown_keys_are_an_error():
+    with pytest.raises(ValueError, match="hold_durration"):
+        ModalityConfig.from_dict({"hold_durration": 0.5})
+
+
+def test_load_validates_and_rejects_non_objects(tmp_path):
+    path = tmp_path / "modal.json"
+    path.write_text(json.dumps({"hold_duration": 0.5, "debounce": 0.01}))
+    config = ModalityConfig.load(str(path))
+    assert config.hold_duration == 0.5
+    assert config.swipe_directions == 8  # defaults fill the rest
+
+    path.write_text("[1, 2]")
+    with pytest.raises(ValueError, match="JSON object"):
+        ModalityConfig.load(str(path))
+
+    path.write_text(json.dumps({"hold_duration": -1.0}))
+    with pytest.raises(ValueError, match="hold_duration"):
+        ModalityConfig.load(str(path))
+
+
+def test_with_overrides_revalidates():
+    config = ModalityConfig()
+    assert config.with_overrides(swipe_directions=4).swipe_directions == 4
+    with pytest.raises(ValueError):
+        config.with_overrides(swipe_min_velocity=-1.0)
+    # The original is frozen and untouched.
+    assert config.swipe_directions == 8
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.swipe_directions = 4

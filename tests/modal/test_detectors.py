@@ -1,0 +1,290 @@
+"""The kinematic detectors against hand-built streams.
+
+These pin the edge cases the config module documents: inclusive
+thresholds (a velocity of exactly ``swipe_min_velocity`` fires, a
+press of exactly ``hold_duration`` promotes), zero-duration holds,
+single-point strokes, debounce windows, and the persistence of the
+scroll axis lock.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.modal import (
+    HoldDetector,
+    ModalityConfig,
+    PairTracker,
+    ScrollAxisLock,
+    SwipeDetector,
+    TapTracker,
+    edge_of,
+    quantize_direction,
+)
+
+CONFIG = ModalityConfig()
+
+
+class TestQuantizeDirection:
+    @pytest.mark.parametrize(
+        "dx,dy,name",
+        [
+            (1.0, 0.0, "e"), (0.0, -1.0, "n"), (-1.0, 0.0, "w"),
+            (0.0, 1.0, "s"), (1.0, -1.0, "ne"), (-1.0, -1.0, "nw"),
+            (-1.0, 1.0, "sw"), (1.0, 1.0, "se"),
+        ],
+    )
+    def test_compass_8(self, dx, dy, name):
+        assert quantize_direction(dx, dy, 8) == name
+
+    def test_exact_diagonals_round_counterclockwise_in_4(self):
+        # A boundary displacement resolves toward increasing angle, for
+        # every diagonal — not just the even-index ones (the half-up
+        # rounding rule, immune to banker's-rounding parity).
+        assert quantize_direction(1.0, -1.0, 4) == "n"   # ne -> n
+        assert quantize_direction(-1.0, -1.0, 4) == "w"  # nw -> w
+        assert quantize_direction(-1.0, 1.0, 4) == "s"   # sw -> s
+        assert quantize_direction(1.0, 1.0, 4) == "e"    # se -> e
+
+    def test_rejects_other_direction_counts(self):
+        with pytest.raises(ValueError):
+            quantize_direction(1.0, 0.0, 6)
+
+    @given(
+        angle=st.floats(min_value=-math.pi, max_value=math.pi),
+        directions=st.sampled_from([4, 8]),
+    )
+    def test_total_over_the_circle(self, angle, directions):
+        name = quantize_direction(
+            math.cos(angle), -math.sin(angle), directions
+        )
+        assert name in ("e", "ne", "n", "nw", "w", "sw", "s", "se")
+
+
+class TestEdgeOf:
+    def test_interior_is_none(self):
+        assert edge_of(50.0, 50.0, (100.0, 100.0), 16.0) is None
+
+    @pytest.mark.parametrize(
+        "x,y,edge",
+        [(5.0, 50.0, "w"), (95.0, 50.0, "e"), (50.0, 5.0, "n"), (50.0, 95.0, "s")],
+    )
+    def test_each_edge(self, x, y, edge):
+        assert edge_of(x, y, (100.0, 100.0), 16.0) == edge
+
+    def test_corner_resolves_to_nearest_edge(self):
+        assert edge_of(3.0, 10.0, (100.0, 100.0), 16.0) == "w"
+        assert edge_of(10.0, 3.0, (100.0, 100.0), 16.0) == "n"
+
+    def test_corner_tie_goes_horizontal_first(self):
+        assert edge_of(5.0, 5.0, (100.0, 100.0), 16.0) == "w"
+
+
+class TestHoldDetector:
+    def test_exact_duration_is_inclusive(self):
+        hold = HoldDetector(CONFIG, 0.0, 0.0, 1.0)
+        assert not hold.is_hold(1.0 + CONFIG.hold_duration - 1e-9)
+        assert hold.is_hold(1.0 + CONFIG.hold_duration)
+
+    def test_zero_duration_holds_immediately(self):
+        config = ModalityConfig(hold_duration=0.0)
+        hold = HoldDetector(config, 0.0, 0.0, 2.0)
+        assert hold.confirm_time() == 2.0
+        assert hold.is_hold(2.0)
+
+    def test_drift_boundary_is_inclusive_and_sticky(self):
+        hold = HoldDetector(CONFIG, 0.0, 0.0, 0.0)
+        hold.move(CONFIG.hold_max_drift, 0.0)
+        assert hold.within_drift
+        # Drift is a running max: returning to the anchor cannot
+        # un-disqualify a press that wandered too far.
+        hold.move(CONFIG.hold_max_drift + 0.1, 0.0)
+        hold.move(0.0, 0.0)
+        assert not hold.within_drift
+        assert hold.max_drift == pytest.approx(CONFIG.hold_max_drift + 0.1)
+
+
+class TestTapTracker:
+    def test_single_tap_fires_at_up(self):
+        taps = TapTracker(CONFIG)
+        assert taps.stroke_end(0.0, 0.0, 0.0, 0.1, 1.0) == "tap"
+
+    def test_double_tap_within_gap_and_radius(self):
+        taps = TapTracker(CONFIG)
+        taps.stroke_end(0.0, 0.0, 0.0, 0.1, 1.0)
+        down = 0.1 + CONFIG.double_tap_gap  # exactly at the gap: inclusive
+        assert (
+            taps.stroke_end(CONFIG.double_tap_radius, 0.0, down, down + 0.1, 1.0)
+            == "double_tap"
+        )
+
+    def test_double_tap_closes_the_chain(self):
+        taps = TapTracker(CONFIG)
+        taps.stroke_end(0.0, 0.0, 0.0, 0.1, 1.0)
+        taps.stroke_end(0.0, 0.0, 0.2, 0.3, 1.0)
+        # A third tap starts a fresh chain, not a triple.
+        assert taps.stroke_end(0.0, 0.0, 0.4, 0.5, 1.0) == "tap"
+
+    def test_late_second_tap_is_just_a_tap(self):
+        taps = TapTracker(CONFIG)
+        taps.stroke_end(0.0, 0.0, 0.0, 0.1, 1.0)
+        down = 0.1 + CONFIG.double_tap_gap + 0.01
+        assert taps.stroke_end(0.0, 0.0, down, down + 0.1, 1.0) == "tap"
+
+    def test_distant_second_tap_is_just_a_tap(self):
+        taps = TapTracker(CONFIG)
+        taps.stroke_end(0.0, 0.0, 0.0, 0.1, 1.0)
+        assert (
+            taps.stroke_end(CONFIG.double_tap_radius + 1.0, 0.0, 0.2, 0.3, 1.0)
+            == "tap"
+        )
+
+    def test_bounce_is_swallowed_and_the_armed_tap_survives(self):
+        taps = TapTracker(CONFIG)
+        taps.stroke_end(0.0, 0.0, 0.0, 0.1, 1.0)
+        bounce_down = 0.1 + CONFIG.debounce / 2.0
+        assert taps.stroke_end(0.0, 0.0, bounce_down, bounce_down, 1.0) is None
+        # The original tap is still armed: a real second tap doubles.
+        assert taps.stroke_end(0.0, 0.0, 0.3, 0.35, 1.0) == "double_tap"
+
+    def test_slow_or_drifting_stroke_breaks_the_chain(self):
+        taps = TapTracker(CONFIG)
+        taps.stroke_end(0.0, 0.0, 0.0, 0.1, 1.0)
+        assert (
+            taps.stroke_end(0.0, 0.0, 0.2, 0.2 + CONFIG.tap_max_duration + 0.1, 1.0)
+            is None
+        )
+        assert taps.stroke_end(0.0, 0.0, 0.5, 0.6, 1.0) == "tap"  # fresh chain
+        assert (
+            taps.stroke_end(0.0, 0.0, 0.8, 0.9, CONFIG.tap_max_drift + 1.0)
+            is None
+        )
+
+    def test_zero_duration_stroke_is_a_tap(self):
+        # down and up on the same tick: degenerate but legal.
+        assert TapTracker(CONFIG).stroke_end(0.0, 0.0, 1.0, 1.0, 0.0) == "tap"
+
+
+class TestScrollAxisLock:
+    def test_locks_dominant_axis_at_exact_travel(self):
+        lock = ScrollAxisLock(CONFIG, 0.0, 0.0)
+        assert lock.feed(0.0, CONFIG.scroll_min_travel / 2.0) is None
+        axis, delta = lock.feed(0.0, CONFIG.scroll_min_travel)
+        assert axis == "v"
+        assert delta == pytest.approx(CONFIG.scroll_min_travel / 2.0)
+
+    def test_lock_is_persistent(self):
+        lock = ScrollAxisLock(CONFIG, 0.0, 0.0)
+        lock.feed(0.0, 30.0)
+        assert lock.axis == "v"
+        # A hard horizontal turn still scrolls vertically (delta 0).
+        axis, delta = lock.feed(500.0, 30.0)
+        assert (axis, delta) == ("v", 0.0)
+        assert lock.axis == "v"
+
+    def test_diagonal_travel_does_not_lock(self):
+        lock = ScrollAxisLock(CONFIG, 0.0, 0.0)
+        # Equal travel on both axes fails the 1.5x dominance ratio.
+        assert lock.feed(20.0, 20.0) is None
+        assert lock.axis is None
+
+    def test_horizontal_lock(self):
+        lock = ScrollAxisLock(CONFIG, 0.0, 0.0)
+        axis, delta = lock.feed(-30.0, 0.0)
+        assert (axis, delta) == ("h", -30.0)
+
+
+class TestSwipeDetector:
+    def _feed_line(self, detector, speed, n=6, dt=0.01):
+        hit = None
+        for i in range(1, n + 1):
+            hit = hit or detector.feed(speed * dt * i, 0.0, dt * i)
+        return hit
+
+    def test_exact_threshold_velocity_fires(self):
+        config = ModalityConfig(swipe_min_travel=10.0)
+        hit = self._feed_line(SwipeDetector(config), config.swipe_min_velocity)
+        assert hit is not None
+        assert hit.direction == "e"
+        assert hit.velocity == pytest.approx(config.swipe_min_velocity)
+        assert hit.linearity == pytest.approx(1.0)
+
+    def test_below_threshold_never_fires(self):
+        config = ModalityConfig(swipe_min_travel=10.0)
+        hit = self._feed_line(
+            SwipeDetector(config), config.swipe_min_velocity - 1.0, n=30
+        )
+        assert hit is None
+
+    def test_single_point_stroke_cannot_fire(self):
+        detector = SwipeDetector(CONFIG)
+        assert detector.feed(0.0, 0.0, 0.0) is None
+
+    def test_simultaneous_points_cannot_fire(self):
+        # Two samples at the same instant: no time span, no velocity.
+        detector = SwipeDetector(CONFIG)
+        detector.feed(0.0, 0.0, 0.0)
+        assert detector.feed(1000.0, 0.0, 0.0) is None
+
+    def test_curved_path_fails_linearity(self):
+        config = ModalityConfig(swipe_min_travel=10.0)
+        detector = SwipeDetector(config)
+        detector.feed(0.0, 0.0, 0.0)
+        detector.feed(60.0, 0.0, 0.01)
+        # Fast but a right-angle dogleg: net/path ~ 0.7 < 0.9.
+        hit = detector.feed(60.0, 60.0, 0.02)
+        assert hit is None
+
+    def test_window_slides_old_samples_out(self):
+        config = ModalityConfig(swipe_min_travel=10.0)
+        detector = SwipeDetector(config)
+        # A slow leading segment, then a genuine flick: the stale slow
+        # samples must leave the window instead of diluting velocity.
+        t = 0.0
+        for i in range(10):
+            t = 0.1 * i
+            detector.feed(float(i), 0.0, t)  # 10 px/s amble
+        hit = None
+        for i in range(1, 15):
+            hit = hit or detector.feed(9.0 + 20.0 * i, 0.0, t + 0.01 * i)
+        assert hit is not None
+        assert hit.velocity >= config.swipe_min_velocity
+
+
+class TestPairTracker:
+    def test_pinch_in_and_out(self):
+        tracker = PairTracker(CONFIG, -50.0, 0.0, 50.0, 0.0)
+        assert tracker.classify() is None
+        tracker.update(-40.0, 0.0, 40.0, 0.0)  # gap 100 -> 80: not yet
+        assert tracker.classify() is None
+        tracker.update(-30.0, 0.0, 30.0, 0.0)  # gap change 40 >= 24
+        assert tracker.classify() == "pinch_in"
+        assert tracker.gap_change == pytest.approx(-40.0)
+
+        out = PairTracker(CONFIG, -50.0, 0.0, 50.0, 0.0)
+        out.update(-70.0, 0.0, 70.0, 0.0)
+        assert out.classify() == "pinch_out"
+
+    def test_rotate_accumulates_turn(self):
+        tracker = PairTracker(CONFIG, 0.0, -50.0, 0.0, 50.0)
+        # Rotate the pair segment 0.15 then 0.15 rad: classifies on the
+        # second step, with the gap untouched.
+        for angle in (0.15, 0.3):
+            ax = 50.0 * math.sin(angle)
+            ay = -50.0 * math.cos(angle)
+            tracker.update(ax, ay, -ax, -ay)
+        assert tracker.classify() == "rotate"
+        assert abs(tracker.turn) >= CONFIG.rotate_min_angle
+        assert tracker.gap_change == pytest.approx(0.0, abs=1e-9)
+
+    def test_commitment_is_sticky(self):
+        tracker = PairTracker(CONFIG, -50.0, 0.0, 50.0, 0.0)
+        tracker.update(-30.0, 0.0, 30.0, 0.0)
+        assert tracker.classify() == "pinch_in"
+        # A later dramatic rotation cannot re-name the manipulation.
+        tracker.update(0.0, -30.0, 0.0, 30.0)
+        assert tracker.classify() == "pinch_in"

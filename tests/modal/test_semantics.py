@@ -1,0 +1,246 @@
+"""StrokeSemantics / PairSemantics against hand-fed op+decision streams.
+
+Each test plays the two streams a real run would produce — moves, a
+``recog`` decision with its reason, a terminal ``commit``/``evict``,
+tick boundaries — and pins the modal events they must yield.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modal import ModalityConfig, PairSemantics, StrokeSemantics
+
+CONFIG = ModalityConfig()
+
+
+def stroke(key="s", x=0.0, y=0.0, t=0.0, config=CONFIG, viewport=None):
+    return StrokeSemantics(key, x, y, t, config, viewport)
+
+
+def kinds(events):
+    return [(e.modality, e.kind) for e in events]
+
+
+class TestHoldPromotion:
+    def test_motionless_timeout_promotes_after_duration(self):
+        s = stroke()
+        # The pool's motionless timeout fires at 0.2; the hold needs
+        # the press to be 0.35 old, so the promotion arms and the tick
+        # boundary at/after 0.35 confirms it.
+        events = s.on_decision("recog", "timeout", "hold", 0.2)
+        assert events == []
+        assert s.on_tick(0.3) == []
+        begin = s.on_tick(0.35)
+        assert kinds(begin) == [("hold", "begin")]
+        assert begin[0].t == 0.35
+        assert begin[0].data["held_s"] == pytest.approx(0.35)
+        # Confirmation is one-shot.
+        assert s.on_tick(0.4) == []
+        end = s.on_decision("commit", None, "hold", 0.6)
+        assert kinds(end) == [("hold", "end")]
+
+    def test_timeout_promotion_is_kinematic_not_class_routed(self):
+        # A 3-point blob misclassified as "tap" that then goes
+        # motionless: the stillness is the signal, the class is noise.
+        s = stroke()
+        s.on_move(1.0, 0.0, 0.01)
+        s.on_decision("recog", "timeout", "tap", 0.21)
+        assert kinds(s.on_tick(0.35)) == [("hold", "begin")]
+
+    def test_eager_hold_decision_promotes_without_a_timeout(self):
+        # A jittery press: samples keep arriving so the motionless
+        # timeout never fires, but the eager path names it "hold".
+        s = stroke()
+        s.on_move(2.0, 1.0, 0.05)
+        s.on_decision("recog", "eager", "hold", 0.1)
+        assert kinds(s.on_tick(0.35)) == [("hold", "begin")]
+
+    def test_eager_promotion_already_past_duration_begins_at_decision(self):
+        s = stroke(t=0.0, config=CONFIG.with_overrides(hold_duration=0.05))
+        events = s.on_decision("recog", "eager", "hold", 0.1)
+        assert kinds(events) == [("hold", "begin")]
+        assert events[0].t == 0.1
+
+    def test_drifted_press_never_promotes(self):
+        s = stroke()
+        s.on_move(CONFIG.hold_max_drift + 1.0, 0.0, 0.05)
+        s.on_decision("recog", "timeout", "hold", 0.25)
+        assert s.on_tick(1.0) == []
+
+    def test_released_before_duration_is_too_brief_to_hold(self):
+        s = stroke()
+        s.on_up(0.0, 0.0, 0.1)
+        events = s.on_decision("recog", "up", "hold", 0.1)
+        assert events == []  # closed, no hold begin
+        assert s.closed
+        assert s.on_tick(1.0) == []
+
+    def test_up_after_duration_fires_begin_then_end(self):
+        s = stroke(config=CONFIG.with_overrides(hold_duration=0.05))
+        s.on_up(0.0, 0.0, 0.1)
+        events = s.on_decision("recog", "up", "hold", 0.1)
+        assert kinds(events) == [("hold", "begin"), ("hold", "end")]
+
+    def test_moves_during_hold_stream_drag_updates(self):
+        s = stroke(config=CONFIG.with_overrides(hold_duration=0.05))
+        s.on_decision("recog", "eager", "hold", 0.1)
+        update = s.on_move(3.0, 4.0, 0.15)
+        assert kinds(update) == [("hold", "update")]
+        assert update[0].data == {"dx": 3.0, "dy": 4.0}
+
+
+class TestScrollSemantics:
+    def test_locked_before_decision_begins_at_decision(self):
+        s = stroke()
+        s.on_move(0.0, 30.0, 0.05)  # travel 30 >= 24: lock engages
+        events = s.on_decision("recog", "eager", "scroll_v", 0.06)
+        assert kinds(events) == [("scroll", "begin")]
+        assert events[0].data["axis"] == "v"
+
+    def test_updates_project_on_the_locked_axis(self):
+        s = stroke()
+        s.on_move(0.0, 30.0, 0.05)
+        s.on_decision("recog", "eager", "scroll_v", 0.06)
+        update = s.on_move(100.0, 40.0, 0.07)  # a hard horizontal turn
+        assert kinds(update) == [("scroll", "update")]
+        assert update[0].data == {"axis": "v", "delta": 10.0}
+        end = s.on_decision("commit", None, "scroll_v", 0.2)
+        assert kinds(end) == [("scroll", "end")]
+        assert end[0].data["total"] == pytest.approx(10.0)
+
+    def test_lock_after_decision_begins_at_the_lock(self):
+        s = stroke()
+        s.on_move(0.0, 10.0, 0.05)  # below scroll_min_travel
+        assert s.on_decision("recog", "eager", "scroll_v", 0.06) == []
+        events = s.on_move(0.0, 40.0, 0.07)  # travel crosses 24 here
+        assert kinds(events) == [("scroll", "begin"), ("scroll", "update")]
+
+    def test_non_scroll_class_never_scrolls(self):
+        s = stroke()
+        s.on_move(0.0, 30.0, 0.05)
+        s.on_decision("recog", "eager", "tap", 0.06)
+        assert s.on_move(0.0, 60.0, 0.07) == []
+
+
+class TestSwipeSemantics:
+    FAST = 15.0  # px per 10 ms tick = 1500 px/s
+
+    def _flick(self, s, n, t0=0.0):
+        events = []
+        for i in range(1, n + 1):
+            events.extend(s.on_move(self.FAST * i, 0.0, t0 + 0.01 * i))
+        return events
+
+    def test_window_hit_then_decision_fires_at_decision(self):
+        s = stroke()
+        self._flick(s, 6)  # 90 px in 60 ms: qualifies
+        events = s.on_decision("recog", "eager", "swipe_e", 0.07)
+        assert kinds(events) == [("swipe", "fire")]
+        assert events[0].data["direction"] == "e"
+        assert events[0].data["velocity"] >= CONFIG.swipe_min_velocity
+
+    def test_decision_then_window_hit_fires_on_the_move(self):
+        s = stroke()
+        self._flick(s, 2)  # 30 px: window not yet qualified
+        assert s.on_decision("recog", "eager", "swipe_e", 0.025) == []
+        events = []
+        for i in range(3, 10):  # the flick continues past the decision
+            events.extend(s.on_move(self.FAST * i, 0.0, 0.01 * i))
+        fires = [e for e in events if e.kind == "fire"]
+        assert len(fires) == 1  # latched: later qualifying samples don't re-fire
+
+    def test_classified_swipe_that_never_qualified_rejects(self):
+        s = stroke()
+        for i in range(1, 30):  # a slow amble east
+            s.on_move(2.0 * i, 0.0, 0.01 * i)
+        s.on_decision("recog", "eager", "swipe_e", 0.1)
+        s.on_up(60.0, 0.0, 0.3)
+        events = s.on_decision("recog", "up", "swipe_e", 0.3)
+        assert kinds(events) == [("swipe", "reject")]
+        assert events[0].data == {"reason": "window"}
+
+    def test_edge_swipe_carries_the_edge(self):
+        s = stroke(x=4.0, y=300.0, viewport=(800.0, 600.0))
+        for i in range(1, 7):
+            s.on_move(4.0 + self.FAST * i, 300.0, 0.01 * i)
+        events = s.on_decision("recog", "eager", "swipe_e", 0.07)
+        assert events[0].data["edge"] == "w"
+
+    def test_interior_swipe_has_no_edge(self):
+        s = stroke(x=400.0, y=300.0, viewport=(800.0, 600.0))
+        for i in range(1, 7):
+            s.on_move(400.0 + self.FAST * i, 300.0, 0.01 * i)
+        events = s.on_decision("recog", "eager", "swipe_e", 0.07)
+        assert "edge" not in events[0].data
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        s = stroke(config=CONFIG.with_overrides(hold_duration=0.05))
+        s.on_decision("recog", "eager", "hold", 0.1)
+        assert kinds(s.on_decision("commit", None, "hold", 0.2)) == [
+            ("hold", "end")
+        ]
+        assert s.on_decision("evict", None, None, 0.3) == []
+
+    def test_evict_closes_like_commit(self):
+        s = stroke()
+        s.on_move(0.0, 30.0, 0.05)
+        s.on_decision("recog", "eager", "scroll_v", 0.06)
+        assert kinds(s.on_decision("evict", None, None, 0.5)) == [
+            ("scroll", "end")
+        ]
+
+    def test_plain_stroke_class_emits_nothing(self):
+        s = stroke()
+        s.on_move(0.0, 30.0, 0.05)
+        assert s.on_decision("recog", "eager", "line", 0.06) == []
+        assert s.on_decision("commit", None, "line", 0.2) == []
+        assert s.modality == "stroke"
+
+
+class TestPairSemantics:
+    def _pair(self):
+        a = stroke(key="p:a", x=-50.0, y=0.0)
+        b = stroke(key="p:b", x=50.0, y=0.0)
+        return a, b, PairSemantics("p", CONFIG, a, b)
+
+    def test_pinch_out_begins_updates_ends(self):
+        a, b, pair = self._pair()
+        a.on_move(-60.0, 0.0, 0.01)
+        b.on_move(60.0, 0.0, 0.01)
+        assert pair.on_pair_move(0.01) == []  # gap +20 < 24
+        a.on_move(-70.0, 0.0, 0.02)
+        b.on_move(70.0, 0.0, 0.02)
+        begin = pair.on_pair_move(0.02)
+        assert kinds(begin) == [("pinch", "begin")]
+        assert begin[0].key == "p"
+        assert begin[0].data["pair_kind"] == "pinch_out"
+        assert begin[0].data["gap_change"] == pytest.approx(40.0)
+        a.on_move(-80.0, 0.0, 0.03)
+        update = pair.on_pair_move(0.03)
+        assert kinds(update) == [("pinch", "update")]
+        end = pair.on_close(0.05)
+        assert kinds(end) == [("pinch", "end")]
+        assert pair.on_close(0.06) == []  # idempotent
+
+    def test_rotation_names_the_rotate_modality(self):
+        a = stroke(key="p:a", x=0.0, y=-50.0)
+        b = stroke(key="p:b", x=0.0, y=50.0)
+        pair = PairSemantics("p", CONFIG, a, b)
+        import math
+
+        for i, angle in enumerate((0.15, 0.3), start=1):
+            ax, ay = 50.0 * math.sin(angle), -50.0 * math.cos(angle)
+            a.on_move(ax, ay, 0.01 * i)
+            b.on_move(-ax, -ay, 0.01 * i)
+            events = pair.on_pair_move(0.01 * i)
+        assert kinds(events) == [("rotate", "begin")]
+        assert abs(events[0].data["turn"]) >= CONFIG.rotate_min_angle
+
+    def test_uncommitted_pair_ends_silently(self):
+        a, b, pair = self._pair()
+        a.on_move(-52.0, 0.0, 0.01)
+        pair.on_pair_move(0.01)
+        assert pair.on_close(0.02) == []

@@ -48,7 +48,16 @@ class TestArgmaxConsistency:
         before = classifier.classify(features)
         for name in classifier.class_names:
             classifier.add_to_constant(name, shift)
-        assert classifier.classify(features) == before
+        after, scores = classifier.classify_with_scores(features)
+        if after != before:
+            # The invariant is exact in real arithmetic but not in
+            # floats: scores that differ by less than one ulp at the
+            # shifted magnitude can collapse into an exact tie, and the
+            # argmax then picks the lower index.  Only that collapse is
+            # acceptable — a genuine reordering still fails.
+            assert scores[classifier.class_index(after)] == (
+                scores[classifier.class_index(before)]
+            )
 
     @given(linear_classifiers(), feature_vectors())
     @settings(max_examples=100, deadline=None)

@@ -1,0 +1,160 @@
+"""The modal synth families: registration, pacing, landmarks, determinism.
+
+Also pins the neutrality claim the pacing refactor rests on: templates
+with default ``speed_scale``/``press_samples`` generate byte-identical
+strokes to the pre-modal generator, so every existing family's datasets
+and golden traces are untouched.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.synth import (
+    FAMILY_NAMES,
+    GestureGenerator,
+    GestureTemplate,
+    family_templates,
+    modal_templates,
+    pinch_templates,
+)
+from repro.synth.modal import (
+    MODAL_CLASS_NAMES,
+    PINCH_CLASS_NAMES,
+    SWIPE_CLASS_NAMES,
+    modality_of,
+    swipe_templates,
+)
+
+
+class TestRegistration:
+    def test_families_are_registered(self):
+        for family in ("modal", "swipes", "pinch"):
+            assert family in FAMILY_NAMES
+            assert family_templates(family)
+
+    def test_class_name_tuples_match_templates(self):
+        assert MODAL_CLASS_NAMES == tuple(modal_templates())
+        assert SWIPE_CLASS_NAMES == tuple(swipe_templates())
+        assert PINCH_CLASS_NAMES == tuple(pinch_templates())
+
+    def test_every_modal_class_has_a_modality(self):
+        for name in MODAL_CLASS_NAMES + SWIPE_CLASS_NAMES + PINCH_CLASS_NAMES:
+            assert modality_of(name) != "stroke", name
+
+
+class TestTemplateFields:
+    def test_speed_scale_must_be_positive(self):
+        with pytest.raises(ValueError, match="speed_scale"):
+            GestureTemplate(
+                name="x", waypoints=((0, 0), (1, 0)), speed_scale=0.0
+            )
+        with pytest.raises(ValueError, match="speed_scale"):
+            GestureTemplate(
+                name="x", waypoints=((0, 0), (1, 0)), speed_scale=-1.0
+            )
+
+    def test_press_samples_must_be_non_negative(self):
+        with pytest.raises(ValueError, match="press_samples"):
+            GestureTemplate(
+                name="x", waypoints=((0, 0), (1, 0)), press_samples=-1
+            )
+
+    def test_swipes_are_fast_scrolls_are_slow(self):
+        templates = modal_templates()
+        assert templates["swipe_e"].speed_scale > 1.0
+        assert templates["scroll_v"].speed_scale < 1.0
+        assert templates["swipe_e"].press_samples > 0
+        assert templates["scroll_v"].press_samples == 0
+        assert templates["hold"].dwell_samples > 0
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        for templates in (modal_templates(), pinch_templates()):
+            a = GestureGenerator(templates, seed=9).generate_strokes(3)
+            b = GestureGenerator(templates, seed=9).generate_strokes(3)
+            assert a == b
+
+    def test_speed_scale_changes_sample_count_not_geometry(self):
+        fast = GestureGenerator(modal_templates(), seed=5).generate("swipe_e")
+        slow = GestureGenerator(modal_templates(), seed=5).generate("scroll_h")
+        # Same eastward geometry family; the flick covers more ground
+        # per sample, so it lands far fewer samples per unit length.
+        def px_per_sample(g):
+            pts = list(g.stroke)
+            length = sum(
+                math.hypot(b.x - a.x, b.y - a.y)
+                for a, b in zip(pts, pts[1:])
+            )
+            return length / max(1, len(pts) - 1)
+
+        assert px_per_sample(fast) > 2.0 * px_per_sample(slow)
+
+    def test_press_samples_cluster_at_the_origin(self):
+        gesture = GestureGenerator(modal_templates(), seed=5).generate("swipe_n")
+        pts = list(gesture.stroke)
+        first = pts[0]
+        # The press prefix sits within jitter of the landing point while
+        # the flick travels ~150 px: the first few inter-sample gaps are
+        # tiny compared to the flight gaps.
+        press_span = math.hypot(pts[2].x - first.x, pts[2].y - first.y)
+        flight = math.hypot(pts[-1].x - first.x, pts[-1].y - first.y)
+        assert press_span < 0.1 * flight
+
+    def test_landmarks_become_oracle_points(self):
+        generator = GestureGenerator(modal_templates(), seed=5)
+        for name in ("swipe_e", "scroll_v", "swipe_s", "scroll_h"):
+            gesture = generator.generate(name)
+            assert gesture.oracle_points is not None, name
+            assert 1 < gesture.oracle_points < len(list(gesture.stroke)), name
+
+    def test_dots_have_no_oracle(self):
+        generator = GestureGenerator(modal_templates(), seed=5)
+        assert generator.generate("tap").oracle_points is None
+        assert generator.generate("hold").oracle_points is None
+
+    def test_hold_dwells_in_place(self):
+        gesture = GestureGenerator(modal_templates(), seed=5).generate("hold")
+        pts = list(gesture.stroke)
+        assert len(pts) > 30  # the dwell samples are really there
+        spread = max(
+            math.hypot(p.x - pts[0].x, p.y - pts[0].y) for p in pts
+        )
+        assert spread < 8.0  # within the hold drift budget
+
+    def test_pinch_fingers_converge(self):
+        generator = GestureGenerator(pinch_templates(), seed=5)
+        a = list(generator.generate("pinch_a").stroke)
+        b = list(generator.generate("pinch_b").stroke)
+        gap_start = math.hypot(b[0].x - a[0].x, b[0].y - a[0].y)
+        gap_end = math.hypot(b[-1].x - a[-1].x, b[-1].y - a[-1].y)
+        assert gap_end < gap_start - 24.0  # past pinch_min_travel
+
+
+class TestNeutrality:
+    """Default pacing fields must not perturb existing families."""
+
+    def test_default_speed_scale_is_float_neutral(self):
+        # A template with explicit defaults generates the same bytes as
+        # one that never mentions the new fields.
+        plain = GestureTemplate(name="l", waypoints=((0.0, 0.0), (1.0, 0.0)))
+        spelled = GestureTemplate(
+            name="l",
+            waypoints=((0.0, 0.0), (1.0, 0.0)),
+            speed_scale=1.0,
+            press_samples=0,
+        )
+        a = GestureGenerator({"l": plain}, seed=3).generate_strokes(5)
+        b = GestureGenerator({"l": spelled}, seed=3).generate_strokes(5)
+        assert a == b
+
+    def test_legacy_families_have_default_pacing(self):
+        for family in FAMILY_NAMES:
+            if family in ("modal", "swipes", "pinch"):
+                continue
+            for template in family_templates(family).values():
+                assert template.speed_scale == 1.0, template.name
+                assert template.press_samples == 0, template.name
